@@ -1,0 +1,205 @@
+// Ablations over BatteryLab's design choices (DESIGN.md §4).
+//
+// Four sweeps quantify why the system is built the way it is:
+//   A. Relay contact loss — how much measurement error does the circuit
+//      switch introduce before it would become visible in Fig. 2?
+//   B. scrcpy bitrate cap — the paper picks 1 Mbps; what do other caps cost
+//      in upload volume and device power?
+//   C. Monsoon sampling rate — how coarse can sampling get before the
+//      charge estimate of a bursty workload degrades?
+//   D. noVNC compression — upload volume across the compression range
+//      (the paper's observed 32 MB corresponds to ~0.61).
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "automation/browser_workload.hpp"
+#include "bench/common.hpp"
+#include "util/strings.hpp"
+
+using namespace blab;
+
+namespace {
+
+// ---- A: relay contact loss ------------------------------------------------
+
+void ablation_relay_loss() {
+  analysis::TableReport table{
+      "Ablation A: relay contact loss vs measurement error",
+      {"loss fraction", "direct median (mA)", "relay median (mA)",
+       "error (%)"}};
+  for (double loss : {0.0, 0.002, 0.01, 0.05}) {
+    // Direct reference.
+    double direct_median = 0.0;
+    {
+      bench::Testbed tb{20191113};
+      tb.start_video();
+      tb.arm_monitor();
+      tb.vp->monitor().connect_load(tb.device);
+      auto capture =
+          tb.api->run_monitor("J7DUO-1", util::Duration::seconds(60));
+      direct_median = capture.value().current_cdf(10).median();
+    }
+    double relay_median = 0.0;
+    {
+      api::VantagePointConfig config;
+      config.relay.contact_loss_fraction = loss;
+      sim::Simulator sim;
+      net::Network net{sim, 20191113};
+      net.add_host("internet");
+      net.add_link("web", "internet",
+                   net::LinkSpec::symmetric(util::Duration::millis(4), 900.0));
+      api::VantagePoint vp{sim, net, config};
+      net.add_link(vp.controller_host(), "internet",
+                   net::LinkSpec::symmetric(util::Duration::millis(6), 200.0));
+      device::DeviceSpec phone;
+      phone.serial = "J7DUO-1";
+      auto* dev = vp.add_device(phone).value();
+      auto player = std::make_unique<device::VideoPlayerApp>(*dev);
+      auto* p = player.get();
+      (void)dev->os().install(std::move(player));
+      (void)dev->os().start_activity(p->package());
+      (void)p->play("/sdcard/video.mp4");
+      api::BatteryLabApi api{vp};
+      (void)api.power_monitor();
+      (void)api.set_voltage(3.85);
+      auto capture = api.run_monitor("J7DUO-1", util::Duration::seconds(60));
+      relay_median = capture.value().current_cdf(10).median();
+    }
+    table.add_row({util::format_double(loss, 3),
+                   util::format_double(direct_median, 1),
+                   util::format_double(relay_median, 1),
+                   util::format_double(
+                       (relay_median / direct_median - 1.0) * 100.0, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "-> at the deployed 0.002 the relay is invisible; an order of"
+               " magnitude worse would still sit inside Fig. 2's noise.\n\n";
+}
+
+// ---- B: encoder bitrate cap -----------------------------------------------
+
+void ablation_bitrate() {
+  analysis::TableReport table{
+      "Ablation B: scrcpy bitrate cap (1-minute mirrored video)",
+      {"cap (Mbps)", "device mean (mA)", "upload (MB/min)"}};
+  for (double cap : {0.5, 1.0, 2.0, 4.0}) {
+    api::VantagePointConfig config;
+    config.encoder.bitrate_cap_mbps = cap;
+    sim::Simulator sim;
+    net::Network net{sim, 20191113};
+    net.add_host("internet");
+    net.add_link("web", "internet",
+                 net::LinkSpec::symmetric(util::Duration::millis(4), 900.0));
+    api::VantagePoint vp{sim, net, config};
+    net.add_link(vp.controller_host(), "internet",
+                 net::LinkSpec::symmetric(util::Duration::millis(6), 200.0));
+    device::DeviceSpec phone;
+    phone.serial = "J7DUO-1";
+    auto* dev = vp.add_device(phone).value();
+    auto player = std::make_unique<device::VideoPlayerApp>(*dev);
+    auto* p = player.get();
+    (void)dev->os().install(std::move(player));
+    (void)dev->os().start_activity(p->package());
+    (void)p->play("/sdcard/video.mp4");
+    net.add_link("viewer", vp.controller_host(),
+                 net::LinkSpec::symmetric(util::Duration::micros(500), 100.0));
+    net.listen({"viewer", 7200}, [](const net::Message&) {});
+    api::BatteryLabApi api{vp};
+    (void)api.device_mirroring("J7DUO-1");
+    (void)vp.mirroring("J7DUO-1")->attach_viewer({"viewer", 7200});
+    (void)api.power_monitor();
+    (void)api.set_voltage(3.85);
+    net.reset_stats();
+    auto capture = api.run_monitor("J7DUO-1", util::Duration::minutes(1));
+    const double upload_mb =
+        static_cast<double>(net.stats("viewer").bytes_rx) / 1e6;
+    table.add_row({util::format_double(cap, 1),
+                   util::format_double(capture.value().mean_current_ma(), 1),
+                   util::format_double(upload_mb, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "-> above 1 Mbps the cap stops binding for this content: the"
+               " paper's choice is the knee of the curve.\n\n";
+}
+
+// ---- C: sampling rate -----------------------------------------------------
+
+void ablation_sampling_rate() {
+  analysis::TableReport table{
+      "Ablation C: Monsoon sampling rate (bursty browser workload)",
+      {"rate (Hz)", "mean (mA)", "charge (mAh)", "p99 (mA)"}};
+  for (double hz : {50.0, 500.0, 5000.0}) {
+    api::VantagePointConfig config;
+    config.monsoon.sample_hz = hz;
+    sim::Simulator sim;
+    net::Network net{sim, 20191113};
+    net.add_host("internet");
+    net.add_link("web", "internet",
+                 net::LinkSpec::symmetric(util::Duration::millis(4), 900.0));
+    api::VantagePoint vp{sim, net, config};
+    net.add_link(vp.controller_host(), "internet",
+                 net::LinkSpec::symmetric(util::Duration::millis(6), 200.0));
+    device::DeviceSpec phone;
+    phone.serial = "J7DUO-1";
+    (void)vp.add_device(phone);
+    api::BatteryLabApi api{vp};
+    (void)api.power_monitor();
+    (void)api.set_voltage(3.85);
+    automation::BrowserWorkloadOptions options;
+    options.pages = 3;
+    options.scrolls_per_page = 3;
+    auto run = automation::run_browser_energy_test(
+        api, "J7DUO-1", device::BrowserProfile::chrome(), options);
+    const auto cdf = run.value().capture.current_cdf(
+        hz >= 5000.0 ? 10 : 1);
+    table.add_row({util::format_double(hz, 0),
+                   util::format_double(run.value().mean_current_ma, 2),
+                   util::format_double(run.value().discharge_mah, 3),
+                   util::format_double(cdf.quantile(0.99), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "-> mean charge is robust to rate; the tails (p99, the spikes"
+               " hardware designers care about) need the full 5 kHz.\n\n";
+}
+
+// ---- D: noVNC compression -------------------------------------------------
+
+void ablation_compression() {
+  analysis::TableReport table{
+      "Ablation D: noVNC compression (1-minute mirrored video)",
+      {"ratio", "upload (MB/min)", "scaled to 7 min"}};
+  for (double ratio : {1.0, 0.8, 0.61, 0.4}) {
+    bench::Testbed tb{20191113};
+    tb.start_video();
+    tb.net.add_link("viewer", tb.vp->controller_host(),
+                    net::LinkSpec::symmetric(util::Duration::micros(500),
+                                             100.0));
+    tb.net.listen({"viewer", 7200}, [](const net::Message&) {});
+    (void)tb.api->device_mirroring("J7DUO-1");
+    auto* session = tb.vp->mirroring("J7DUO-1");
+    session->novnc().set_compression_ratio(ratio);
+    (void)session->attach_viewer({"viewer", 7200});
+    tb.arm_monitor();
+    tb.net.reset_stats();
+    (void)tb.api->run_monitor("J7DUO-1", util::Duration::minutes(1));
+    const double upload_mb =
+        static_cast<double>(tb.net.stats("viewer").bytes_rx) / 1e6;
+    table.add_row({util::format_double(ratio, 2),
+                   util::format_double(upload_mb, 2),
+                   util::format_double(upload_mb * 7.0, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "-> the paper's observed 32 MB/7 min sits at ratio ~0.61; "
+               "without compression the 1 Mbps stream hits its 50 MB bound.\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "BatteryLab reproduction — design ablations\n\n";
+  ablation_relay_loss();
+  ablation_bitrate();
+  ablation_sampling_rate();
+  ablation_compression();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Shared deployment builder for the benchmark harnesses.
+//
+// Each bench binary reconstructs the paper's first vantage point (Imperial
+// College London: Monsoon + Samsung J7 Duo + Raspberry Pi 3B+ + Meross
+// socket) against a small simulated internet, with deterministic seeds.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "api/batterylab_api.hpp"
+#include "api/vantage_point.hpp"
+#include "device/android.hpp"
+#include "device/video_player.hpp"
+#include "net/vpn.hpp"
+#include "util/logging.hpp"
+
+namespace blab::bench {
+
+struct Testbed {
+  explicit Testbed(std::uint64_t seed = 20191113)
+      : net{sim, seed}, vpn_seed{seed} {
+    util::Logger::global().set_level(util::LogLevel::kOff);
+    net.add_host("internet");
+    // Web content origin and a speedtest server, both well-connected.
+    net.add_link("web", "internet",
+                 net::LinkSpec::symmetric(util::Duration::millis(4), 900.0));
+    net.add_link("speedtest", "internet",
+                 net::LinkSpec::symmetric(util::Duration::millis(1), 1000.0));
+
+    api::VantagePointConfig config;
+    config.name = "node1";
+    config.seed = seed;
+    vp = std::make_unique<api::VantagePoint>(sim, net, config);
+    net.add_link(vp->controller_host(), "internet",
+                 net::LinkSpec::symmetric(util::Duration::millis(6), 200.0));
+
+    device::DeviceSpec phone;  // Samsung J7 Duo, Android 8.0 defaults
+    phone.serial = "J7DUO-1";
+    auto added = vp->add_device(phone);
+    if (!added.ok()) throw std::runtime_error{added.error().str()};
+    device = added.value();
+    api = std::make_unique<api::BatteryLabApi>(*vp);
+  }
+
+  /// Install the video player and start looped local playback (Fig. 2).
+  device::VideoPlayerApp& start_video() {
+    auto player = std::make_unique<device::VideoPlayerApp>(*device);
+    auto* ptr = player.get();
+    (void)device->os().install(std::move(player));
+    (void)device->os().start_activity(ptr->package());
+    (void)ptr->play("/sdcard/video.mp4");
+    return *ptr;
+  }
+
+  /// Power the monitor and program the J7's nominal pack voltage.
+  void arm_monitor(double voltage = 3.85) {
+    if (!api->monitor_powered()) (void)api->power_monitor();
+    (void)api->set_voltage(voltage);
+  }
+
+  sim::Simulator sim;
+  net::Network net;
+  std::unique_ptr<api::VantagePoint> vp;
+  device::AndroidDevice* device = nullptr;
+  std::unique_ptr<api::BatteryLabApi> api;
+  std::uint64_t vpn_seed;
+};
+
+}  // namespace blab::bench

@@ -1,0 +1,85 @@
+// Device diversity (§1, §5): "BatteryLab will naturally grow richer of new
+// and old devices" and "there is no fundamental constraint which would not
+// allow BatteryLab to support laptops or IoT devices."
+//
+// One vantage point measures four device classes through the same relay +
+// Monsoon path: an Android phone, an iPhone, a laptop and an IoT sensor.
+// The table shows the instrument range each one exercises — pack voltage,
+// draw, power, and the relative noise floor (where the Monsoon's ±0.9 mA
+// front end starts to matter).
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "bench/common.hpp"
+#include "util/strings.hpp"
+
+using namespace blab;
+
+namespace {
+
+struct Row {
+  std::string serial;
+  std::string klass;
+  double voltage;
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "BatteryLab reproduction — device diversity (§1/§5)\n"
+            << "(four device classes through one relay + Monsoon path)\n\n";
+
+  sim::Simulator sim;
+  net::Network net{sim, 20191113};
+  net.add_host("internet");
+  net.add_link("web", "internet",
+               net::LinkSpec::symmetric(util::Duration::millis(4), 900.0));
+  api::VantagePoint vp{sim, net};
+  net.add_link(vp.controller_host(), "internet",
+               net::LinkSpec::symmetric(util::Duration::millis(6), 200.0));
+
+  device::DeviceSpec phone;
+  phone.serial = "J7DUO-1";
+  if (!vp.add_device(phone).ok()) return 1;
+  if (!vp.add_device(device::DeviceSpec::iphone("IPHONE8-1")).ok()) return 1;
+  if (!vp.add_device(device::DeviceSpec::laptop("LAPTOP-1")).ok()) return 1;
+  if (!vp.add_device(device::DeviceSpec::iot_sensor("SENSOR-1")).ok()) {
+    return 1;
+  }
+  api::BatteryLabApi api{vp};
+  if (auto st = api.power_monitor(); !st.ok()) return 1;
+
+  const Row rows[] = {
+      {"J7DUO-1", "phone (Android 8.0)", 3.85},
+      {"IPHONE8-1", "phone (iOS 12)", 3.80},
+      {"LAPTOP-1", "laptop (3S pack)", 11.40},
+      {"SENSOR-1", "IoT sensor (MCU)", 3.30},
+  };
+  analysis::TableReport table{
+      "Idle measurements across device classes",
+      {"device", "class", "V", "mean (mA)", "mean (mW)", "p10-p90 noise (%)"}};
+  for (const Row& row : rows) {
+    if (auto st = api.set_voltage(row.voltage); !st.ok()) {
+      std::cerr << st.error().str() << "\n";
+      return 1;
+    }
+    auto capture = api.run_monitor(row.serial, util::Duration::seconds(30));
+    if (!capture.ok()) {
+      std::cerr << row.serial << ": " << capture.error().str() << "\n";
+      return 1;
+    }
+    const auto cdf = capture.value().current_cdf(5);
+    const double spread_pct =
+        (cdf.quantile(0.9) - cdf.quantile(0.1)) / cdf.mean() * 100.0;
+    table.add_row({row.serial, row.klass, util::format_double(row.voltage, 2),
+                   util::format_double(cdf.mean(), 1),
+                   util::format_double(cdf.mean() * row.voltage, 0),
+                   util::format_double(spread_pct, 1)});
+  }
+  table.print(std::cout);
+  table.write_csv("device_diversity.csv");
+  std::cout << "\n-> one instrument spans three orders of magnitude of draw;"
+               " only the MCU-class node approaches the noise floor.\n"
+            << "CSV: device_diversity.csv\n";
+  return 0;
+}

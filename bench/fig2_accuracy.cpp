@@ -1,0 +1,81 @@
+// Figure 2 — Accuracy of battery reporting (§4.1).
+//
+// CDF of current drawn during a 5-minute local mp4 playback under four
+// wiring scenarios: direct, relay, direct-mirroring, relay-mirroring.
+// Paper shape: direct and relay coincide; mirroring lifts the median from
+// ~160 mA to ~220 mA regardless of wiring.
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "bench/common.hpp"
+#include "util/strings.hpp"
+
+using namespace blab;
+
+namespace {
+
+constexpr auto kTestDuration = util::Duration::minutes(5);
+
+util::Cdf run_scenario(bool use_relay, bool mirroring, std::uint64_t seed) {
+  bench::Testbed tb{seed};
+  tb.start_video();
+
+  if (mirroring) {
+    if (auto st = tb.api->device_mirroring("J7DUO-1"); !st.ok()) {
+      throw std::runtime_error{st.error().str()};
+    }
+  }
+  tb.arm_monitor();
+
+  if (!use_relay) {
+    // Direct scenario: the phone's terminals go straight to the Monsoon,
+    // following the vendor's wiring instructions — no relay in the path.
+    tb.vp->monitor().connect_load(tb.device);
+  }
+  // Either way the measurement protocol is the API's: USB cut, bypass, 5 kHz.
+  auto capture = tb.api->run_monitor("J7DUO-1", kTestDuration);
+  if (!capture.ok()) throw std::runtime_error{capture.error().str()};
+  if (mirroring) (void)tb.api->device_mirroring("J7DUO-1", false);
+  return capture.value().current_cdf(/*stride=*/10);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "BatteryLab reproduction — Figure 2: CDF of current drawn\n"
+            << "(5-minute local video playback; 4 wiring scenarios)\n\n";
+
+  analysis::CdfFigure fig{"Figure 2: CDF of current drawn", "current (mA)"};
+  struct Scenario {
+    const char* label;
+    bool relay;
+    bool mirroring;
+  };
+  const Scenario scenarios[] = {
+      {"direct", false, false},
+      {"relay", true, false},
+      {"direct-mirroring", false, true},
+      {"relay-mirroring", true, true},
+  };
+  for (const auto& s : scenarios) {
+    fig.add_series(s.label, run_scenario(s.relay, s.mirroring, 20191113));
+  }
+  fig.print(std::cout);
+  fig.write_csv("fig2_accuracy.csv");
+
+  const auto& series = fig.series();
+  const double direct_med = series[0].cdf.median();
+  const double relay_med = series[1].cdf.median();
+  const double mirror_med = series[3].cdf.median();
+  std::cout << "\npaper anchors: direct/relay medians coincide near 160 mA;"
+            << " mirroring median near 220 mA\n"
+            << "measured: direct " << util::format_double(direct_med, 1)
+            << " mA, relay " << util::format_double(relay_med, 1)
+            << " mA (delta "
+            << util::format_double(relay_med - direct_med, 2)
+            << " mA), relay-mirroring "
+            << util::format_double(mirror_med, 1) << " mA (delta +"
+            << util::format_double(mirror_med - relay_med, 1) << " mA)\n"
+            << "CSV: fig2_accuracy.csv\n";
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Microbenchmarks (google-benchmark) for the hot paths underneath the
+// reproduction: simulator event dispatch, Monsoon sample synthesis, the
+// encoder model, bulk flows, CDF quantiles, and network routing.
+#include <benchmark/benchmark.h>
+
+#include "automation/browser_workload.hpp"
+#include "bench/common.hpp"
+#include "hw/power_monitor.hpp"
+#include "mirror/encoder.hpp"
+#include "net/flow.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+using namespace blab;
+
+namespace {
+
+void BM_SimulatorEventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      sim.schedule_after(util::Duration::micros(i), [] {});
+    }
+    benchmark::DoNotOptimize(sim.run_all());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorEventDispatch)->Arg(1000)->Arg(10000);
+
+void BM_MonsoonCaptureSynthesis(benchmark::State& state) {
+  // Synthesize `range(0)` seconds of 5 kHz samples from a busy timeline.
+  class BusyLoad : public hw::Load {
+   public:
+    double current_ma(util::TimePoint t) const override {
+      return 150.0 + static_cast<double>(t.us() % 7) * 10.0;
+    }
+    std::vector<std::pair<util::TimePoint, double>> current_segments(
+        util::TimePoint t0, util::TimePoint t1) const override {
+      // A breakpoint every 150 ms, like the device jitter task produces.
+      std::vector<std::pair<util::TimePoint, double>> out;
+      for (util::TimePoint t = t0; t < t1;
+           t += util::Duration::millis(150)) {
+        out.emplace_back(t, current_ma(t));
+      }
+      return out;
+    }
+  } load;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    hw::PowerMonitor monitor{sim, util::Rng{1}};
+    monitor.set_mains(true);
+    (void)monitor.set_voltage(3.85);
+    monitor.connect_load(&load);
+    (void)monitor.start_capture();
+    sim.run_for(util::Duration::seconds(static_cast<double>(state.range(0))));
+    auto capture = monitor.stop_capture();
+    benchmark::DoNotOptimize(capture.value().mean_current_ma());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 5000);
+}
+BENCHMARK(BM_MonsoonCaptureSynthesis)->Arg(10)->Arg(60);
+
+void BM_EncoderModel(benchmark::State& state) {
+  mirror::EncoderConfig cfg;
+  double acc = 0.0;
+  double c = 0.0;
+  for (auto _ : state) {
+    acc += mirror::H264Encoder::output_mbps(cfg, c);
+    acc += mirror::H264Encoder::device_cpu_demand(c);
+    c += 0.001;
+    if (c > 1.0) c = 0.0;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_EncoderModel);
+
+void BM_BulkFlowTransfer(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Network net{sim, 7};
+    net.add_link("a", "b",
+                 net::LinkSpec::symmetric(util::Duration::millis(5), 50.0));
+    bool done = false;
+    net::Flow flow{net, "a", "b",
+                   static_cast<std::size_t>(state.range(0)) * 1024 * 1024,
+                   {},
+                   [&](const net::FlowResult&) { done = true; }};
+    flow.start();
+    sim.run_all();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 1024 * 1024);
+}
+BENCHMARK(BM_BulkFlowTransfer)->Arg(1)->Arg(8);
+
+void BM_CdfQuantiles(benchmark::State& state) {
+  util::Rng rng{5};
+  util::Cdf cdf;
+  for (int i = 0; i < state.range(0); ++i) cdf.add(rng.normal(100.0, 15.0));
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (double q = 0.0; q <= 1.0; q += 0.01) acc += cdf.quantile(q);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_CdfQuantiles)->Arg(10000)->Arg(1000000);
+
+void BM_NetworkRouting(benchmark::State& state) {
+  sim::Simulator sim;
+  net::Network net{sim, 3};
+  // A chain of hosts with some cross links.
+  const int n = 32;
+  for (int i = 0; i + 1 < n; ++i) {
+    net.add_link("h" + std::to_string(i), "h" + std::to_string(i + 1),
+                 net::LinkSpec::symmetric(util::Duration::millis(1), 100.0));
+  }
+  for (int i = 0; i + 8 < n; i += 8) {
+    net.add_link("h" + std::to_string(i), "h" + std::to_string(i + 8),
+                 net::LinkSpec::symmetric(util::Duration::millis(1), 100.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.path("h0", "h31"));
+  }
+}
+BENCHMARK(BM_NetworkRouting);
+
+void BM_FullBrowserWorkload(benchmark::State& state) {
+  // Wall-clock cost of simulating one full 10-page measured workload.
+  for (auto _ : state) {
+    bench::Testbed tb{static_cast<std::uint64_t>(state.iterations()) + 7};
+    tb.arm_monitor();
+    automation::BrowserWorkloadOptions options;
+    options.pages = 4;
+    options.scrolls_per_page = 3;
+    auto run = automation::run_browser_energy_test(
+        *tb.api, "J7DUO-1", device::BrowserProfile::chrome(), options);
+    benchmark::DoNotOptimize(run.ok());
+  }
+}
+BENCHMARK(BM_FullBrowserWorkload)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// The §4.2 demonstration, end to end: "which of today's Android browsers is
+// the most energy efficient?"
+//
+// An experimenter writes an automation script, deploys it through the
+// Jenkins-style access server, an admin approves the pipeline, and the
+// scheduler runs one job per browser per mirroring mode on the vantage
+// point's device. Results come back through each job's workspace.
+//
+//   ./build/examples/browser_energy_study
+#include <iostream>
+#include <map>
+#include <memory>
+
+#include "automation/browser_workload.hpp"
+#include "util/logging.hpp"
+#include "device/android.hpp"
+#include "server/access_server.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace blab;
+
+int main() {
+  util::Logger::global().set_level(util::LogLevel::kWarn);
+  sim::Simulator sim;
+  net::Network net{sim, 20191113};
+
+  // Internet + web content.
+  net.add_host("internet");
+  net.add_link("web", "internet",
+               net::LinkSpec::symmetric(util::Duration::millis(4), 900.0));
+
+  // Vantage point at Imperial College London, one Samsung J7 Duo.
+  api::VantagePoint vp{sim, net};
+  net.add_link(vp.controller_host(), "internet",
+               net::LinkSpec::symmetric(util::Duration::millis(6), 200.0));
+  device::DeviceSpec phone;
+  phone.serial = "J7DUO-1";
+  if (auto r = vp.add_device(phone); !r.ok()) {
+    std::cerr << r.error().str() << "\n";
+    return 1;
+  }
+
+  // Access server in the cloud; onboarding per the §3.4 tutorial.
+  server::AccessServer server{sim, net};
+  if (auto st = server.onboard_vantage_point("node1", vp); !st.ok()) {
+    std::cerr << st.error().str() << "\n";
+    return 1;
+  }
+  const auto admin = server.users().register_user("ops", server::Role::kAdmin);
+  const auto alice =
+      server.users().register_user("alice", server::Role::kExperimenter);
+
+  // One job per (browser, mirroring) cell; results keyed by job name.
+  std::map<std::string, double> discharge;
+  std::vector<server::JobId> ids;
+  for (const char* browser : {"Brave", "Chrome", "Edge", "Firefox"}) {
+    for (bool mirroring : {false, true}) {
+      server::Job job;
+      job.name = std::string{browser} + (mirroring ? "+mirroring" : "");
+      job.constraints.device_serial = "J7DUO-1";
+      job.constraints.connectivity = server::Connectivity::kWifi;
+      const std::string key = job.name;
+      job.script = [key, browser, mirroring,
+                    &discharge](server::JobContext& ctx) -> util::Status {
+        automation::BrowserWorkloadOptions options;
+        options.mirroring = mirroring;
+        auto run = automation::run_browser_energy_test(
+            *ctx.api, ctx.device_serial,
+            *device::BrowserProfile::find(browser), options);
+        if (!run.ok()) return run.error();
+        discharge[key] = run.value().discharge_mah;
+        ctx.workspace->store_artifact(
+            "discharge_mah", util::format_double(run.value().discharge_mah, 3));
+        ctx.workspace->log("pages=" + std::to_string(run.value().pages_loaded));
+        return util::Status::ok_status();
+      };
+      auto id = server.submit_job(alice.value(), std::move(job));
+      if (!id.ok()) {
+        std::cerr << id.error().str() << "\n";
+        return 1;
+      }
+      (void)server.approve_pipeline(admin.value(), id.value());
+      ids.push_back(id.value());
+    }
+  }
+
+  auto ran = server.run_queue(alice.value());
+  if (!ran.ok() || ran.value() != ids.size()) {
+    std::cerr << "dispatch incomplete\n";
+    return 1;
+  }
+
+  util::TextTable table{{"browser", "discharge (mAh)", "with mirroring",
+                         "mirroring cost"}};
+  for (const char* browser : {"Brave", "Chrome", "Edge", "Firefox"}) {
+    const double plain = discharge[browser];
+    const double mirrored = discharge[std::string{browser} + "+mirroring"];
+    table.add_row({browser, util::format_double(plain, 2),
+                   util::format_double(mirrored, 2),
+                   "+" + util::format_double(mirrored - plain, 2)});
+  }
+  std::cout << "Which Android browser is the most energy efficient?\n\n";
+  table.print(std::cout);
+  std::cout << "\nretrieving a job workspace, like the Jenkins UI would:\n";
+  const server::Job* first = server.scheduler().find(ids.front());
+  for (const auto& line : first->workspace.logs()) {
+    std::cout << "  [" << first->name << "] " << line << "\n";
+  }
+  return 0;
+}

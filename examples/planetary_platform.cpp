@@ -1,0 +1,167 @@
+// The PlanetLab-style vision (§1, §5): members around the world contribute
+// vantage points in exchange for access; experimenters spend credits on
+// device time; recruited testers drive usability sessions.
+//
+// Three institutions join with different hardware (Android phone, iPhone,
+// laptop + IoT sensor); credit enforcement is on; a measurement campaign
+// fans out across the fleet and a crowdsourced tester task closes the loop.
+//
+//   ./build/examples/planetary_platform
+#include <iostream>
+#include <memory>
+
+#include "automation/browser_workload.hpp"
+#include "server/access_server.hpp"
+#include "server/maintenance.hpp"
+#include "server/testers.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace blab;
+
+int main() {
+  util::Logger::global().set_level(util::LogLevel::kWarn);
+  sim::Simulator sim;
+  net::Network net{sim, 20191113};
+  net.add_host("internet");
+  net.add_link("web", "internet",
+               net::LinkSpec::symmetric(util::Duration::millis(4), 900.0));
+
+  server::AccessServer server{sim, net};
+  server.enable_credit_enforcement();
+
+  // ---- Three member institutions contribute hardware --------------------
+  struct Site {
+    const char* label;
+    const char* owner;
+    int wan_ms;
+  };
+  const Site sites[] = {
+      {"london", "imperial", 6},
+      {"princeton", "princeton-cs", 40},
+      {"tokyo", "keio-lab", 120},
+  };
+  std::vector<std::unique_ptr<api::VantagePoint>> nodes;
+  for (const auto& site : sites) {
+    (void)server.users().register_user(site.owner,
+                                       server::Role::kExperimenter);
+    api::VantagePointConfig config;
+    config.name = site.label;
+    config.seed = util::fnv1a(site.label);
+    auto vp = std::make_unique<api::VantagePoint>(sim, net, config);
+    net.add_link(vp->controller_host(), "internet",
+                 net::LinkSpec::symmetric(
+                     util::Duration::millis(site.wan_ms), 150.0));
+    nodes.push_back(std::move(vp));
+  }
+  // Different hardware at each site — "heterogeneous devices and testing
+  // conditions" (§1).
+  device::DeviceSpec j7;
+  j7.serial = "J7DUO-1";
+  (void)nodes[0]->add_device(j7);
+  (void)nodes[0]->add_device(device::DeviceSpec::iphone("IPHONE8-1"));
+  device::DeviceSpec pixel;
+  pixel.serial = "PIXEL3A-1";
+  pixel.model = "Pixel 3a";
+  (void)nodes[1]->add_device(pixel);
+  (void)nodes[2]->add_device(device::DeviceSpec::laptop("LAPTOP-1"));
+  (void)nodes[2]->add_device(device::DeviceSpec::iot_sensor("SENSOR-1"));
+
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (auto st = server.onboard_vantage_point(sites[i].label, *nodes[i],
+                                               sites[i].owner);
+        !st.ok()) {
+      std::cerr << st.error().str() << "\n";
+      return 1;
+    }
+  }
+  std::cout << "fleet: ";
+  for (const auto& label : server.registry().approved_labels()) {
+    std::cout << label << "." << server.dns().zone() << " ";
+  }
+  std::cout << "\nhosting bonuses: ";
+  for (const auto& site : sites) {
+    std::cout << site.owner << "="
+              << util::format_double(
+                     server.credits().balance(site.owner).value(), 0)
+              << " ";
+  }
+  std::cout << "\n\n";
+
+  // Standing fleet hygiene (§3.1) runs on a cron.
+  server.schedule_recurring(
+      [] { return server::make_monitor_safety_job(); },
+      util::Duration::minutes(30));
+
+  // ---- A measurement campaign across the fleet --------------------------
+  // Imperial's researcher measures Brave on every *phone* in the platform;
+  // the scheduler places jobs by model constraint.
+  const auto admin = server.users().register_user("ops", server::Role::kAdmin);
+  const std::string alice = "imperial";  // already registered as a host
+  const auto alice_token = server.users().find(alice)->api_token;
+
+  util::TextTable table{{"job", "node/device", "mean (mA)", "mAh",
+                         "credits left"}};
+  std::vector<std::tuple<std::string, server::JobId>> campaign;
+  for (const char* serial : {"J7DUO-1", "PIXEL3A-1"}) {
+    server::Job job;
+    job.name = std::string{"brave-on-"} + serial;
+    job.constraints.device_serial = serial;
+    job.max_duration = util::Duration::minutes(10);
+    const std::string name = job.name;
+    job.script = [&table, &server, name, alice](server::JobContext& ctx) {
+      automation::BrowserWorkloadOptions options;
+      options.pages = 4;
+      options.scrolls_per_page = 3;
+      auto run = automation::run_browser_energy_test(
+          *ctx.api, ctx.device_serial, device::BrowserProfile::brave(),
+          options);
+      if (!run.ok()) return util::Status{run.error()};
+      table.add_row({name, ctx.node_label + "/" + ctx.device_serial,
+                     util::format_double(run.value().mean_current_ma, 1),
+                     util::format_double(run.value().discharge_mah, 2),
+                     "-"});
+      (void)server;
+      (void)alice;
+      return util::Status::ok_status();
+    };
+    auto id = server.submit_job(alice_token, std::move(job));
+    if (!id.ok()) {
+      std::cerr << id.error().str() << "\n";
+      return 1;
+    }
+    (void)server.approve_pipeline(admin.value(), id.value());
+    campaign.emplace_back(serial, id.value());
+  }
+  auto ran = server.run_queue(alice_token);
+  std::cout << "campaign dispatched: " << ran.value() << " jobs\n";
+  table.print(std::cout);
+  std::cout << "imperial's credits after paying for device time: "
+            << util::format_double(server.credits().balance(alice).value(), 1)
+            << " (earns hosting share back when others use the London "
+               "node)\n\n";
+
+  // ---- Crowdsourced usability task on the Princeton phone ---------------
+  auto task = server.testers().post_task(
+      alice, "princeton", "PIXEL3A-1",
+      "open the shopping app and search for three items",
+      server::TesterSource::kMTurk, 5.0, sim.now());
+  if (!task.ok()) {
+    std::cerr << task.error().str() << "\n";
+    return 1;
+  }
+  const auto* posted = server.testers().find(task.value());
+  std::cout << "tester task posted via MTurk; invite "
+            << posted->invite_token.substr(0, 14) << "..., toolbar "
+            << (posted->toolbar_visible ? "visible" : "hidden") << "\n";
+  auto claimed = server.testers().claim(posted->invite_token, "turker-881");
+  if (claimed.ok()) {
+    (void)server.testers().complete(task.value(), alice, sim.now());
+    std::cout << "turker-881 completed the session and was paid "
+              << util::format_double(
+                     server.credits().balance("turker-881").value(), 1)
+              << " credits\n";
+  }
+  return 0;
+}

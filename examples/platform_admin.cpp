@@ -1,0 +1,128 @@
+// Platform administration walkthrough (§3.1, §3.4): onboarding two vantage
+// points, user and role management, standing maintenance jobs (certificate
+// renewal, Monsoon power-down safety, factory reset), and SSH-driven node
+// management.
+//
+//   ./build/examples/platform_admin
+#include <iostream>
+#include <memory>
+
+#include "device/android.hpp"
+#include "device/browser.hpp"
+#include "server/access_server.hpp"
+#include "util/logging.hpp"
+#include "server/maintenance.hpp"
+#include "util/strings.hpp"
+
+using namespace blab;
+
+namespace {
+
+void show(const std::string& step, const util::Status& st) {
+  std::cout << "  [" << (st.ok() ? "ok" : "FAIL") << "] " << step;
+  if (!st.ok()) std::cout << " — " << st.error().str();
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  util::Logger::global().set_level(util::LogLevel::kWarn);
+  sim::Simulator sim;
+  net::Network net{sim, 42};
+  net.add_host("internet");
+  net.add_link("web", "internet",
+               net::LinkSpec::symmetric(util::Duration::millis(4), 900.0));
+  server::AccessServer server{sim, net};
+
+  std::cout << "== Onboarding two member institutions (§3.4) ==\n";
+  std::vector<std::unique_ptr<api::VantagePoint>> nodes;
+  for (const char* label : {"node1", "node2"}) {
+    api::VantagePointConfig config;
+    config.name = label;
+    config.seed = util::fnv1a(label);
+    auto vp = std::make_unique<api::VantagePoint>(sim, net, config);
+    net.add_link(vp->controller_host(), "internet",
+                 net::LinkSpec::symmetric(util::Duration::millis(8), 150.0));
+    device::DeviceSpec phone;
+    phone.serial = std::string{"PHONE-"} + label;
+    (void)vp->add_device(phone);
+    show(std::string{"onboard "} + label + " -> https://" + label +
+             ".batterylab.dev",
+         server.onboard_vantage_point(label, *vp));
+    nodes.push_back(std::move(vp));
+  }
+  std::cout << "  approved nodes: "
+            << util::join(server.registry().approved_labels(), ", ") << "\n";
+
+  std::cout << "\n== Users and the authorization matrix (§3.1) ==\n";
+  const auto admin = server.users().register_user("ops", server::Role::kAdmin);
+  const auto alice =
+      server.users().register_user("alice", server::Role::kExperimenter);
+  const auto tess = server.users().register_user("tess", server::Role::kTester);
+  std::cout << "  registered ops(admin), alice(experimenter), tess(tester)\n";
+  show("tester may NOT create jobs (expected failure)",
+       server.users().authorize(tess.value(), server::Permission::kCreateJob));
+  show("experimenter may create jobs",
+       server.users().authorize(alice.value(),
+                                server::Permission::kCreateJob));
+  show("plain-HTTP console access refused (expected failure)",
+       server.users().authorize(admin.value(),
+                                server::Permission::kViewConsole,
+                                /*over_https=*/false));
+
+  std::cout << "\n== Standing maintenance jobs (§3.1) ==\n";
+  // Leave node1's Monsoon on and give PHONE-node2 some app state to wipe.
+  (void)nodes[0]->power_socket().turn_on();
+  auto* dev2 = nodes[1]->find_device("PHONE-node2");
+  {
+    auto browser = std::make_unique<device::Browser>(
+        *dev2, device::BrowserProfile::chrome());
+    auto* b = browser.get();
+    (void)dev2->os().install(std::move(browser));
+    (void)dev2->os().start_activity(b->package());
+    b->on_tap(0, 0);
+    b->on_tap(0, 0);
+  }
+
+  auto submit = [&](server::Job job, const std::string& node,
+                    const std::string& serial = "") {
+    job.constraints.node_label = node;
+    job.constraints.device_serial = serial;
+    auto id = server.submit_job(alice.value(), std::move(job));
+    (void)server.approve_pipeline(admin.value(), id.value());
+    return id.value();
+  };
+  submit(server::make_monitor_safety_job(), "node1");
+  submit(server::make_cert_renewal_job(server), "node2");
+  const auto reset_id =
+      submit(server::make_factory_reset_job(), "node2", "PHONE-node2");
+  auto ran = server.run_queue(alice.value());
+  std::cout << "  dispatched " << ran.value() << " maintenance jobs\n";
+  std::cout << "  node1 Monsoon socket now: "
+            << (nodes[0]->power_socket().is_on() ? "ON (!)" : "off (safe)")
+            << "\n";
+  std::cout << "  certificates current on: ";
+  for (const auto& label : server.registry().approved_labels()) {
+    if (server.certs().node_current(label)) std::cout << label << " ";
+  }
+  std::cout << "\n  factory-reset workspace log:\n";
+  for (const auto& line :
+       server.scheduler().find(reset_id)->workspace.logs()) {
+    std::cout << "    " << line << "\n";
+  }
+
+  std::cout << "\n== Raw SSH node management ==\n";
+  nodes[0]->controller().ssh_server().set_command_handler(
+      [](const std::string& cmd) {
+        if (cmd == "uptime") {
+          return net::SshCommandResult{0, "up 42 days, load 0.25"};
+        }
+        return net::SshCommandResult{127, "command not found: " + cmd};
+      });
+  auto uptime = server.ssh_exec("node1", "uptime");
+  std::cout << "  node1 $ uptime -> "
+            << (uptime.ok() ? uptime.value().output : uptime.error().str())
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Quickstart: bring up one vantage point, run a 60-second battery
+// measurement of local video playback, then a short browser workload —
+// the BatteryLab "hello world".
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <iostream>
+#include <memory>
+
+#include "api/batterylab_api.hpp"
+#include "automation/browser_workload.hpp"
+#include "device/android.hpp"
+#include "device/video_player.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/strings.hpp"
+
+using namespace blab;
+
+int main() {
+  // One simulator and network carry the whole deployment.
+  sim::Simulator sim;
+  net::Network network{sim};
+
+  // Web infrastructure: the sites the browser workload fetches from.
+  network.add_host("internet");
+  network.add_link("web", "internet",
+                   net::LinkSpec::symmetric(util::Duration::millis(4), 900.0));
+
+  // A vantage point like the paper's first deployment at Imperial College.
+  api::VantagePointConfig config;
+  config.name = "node1";
+  api::VantagePoint vp{sim, network, config};
+  // The controller's uplink to the wider internet.
+  network.add_link(vp.controller_host(), "internet",
+                   net::LinkSpec::symmetric(util::Duration::millis(6), 200.0));
+
+  device::DeviceSpec phone;
+  phone.serial = "J7DUO-1";
+  auto dev = vp.add_device(phone);
+  if (!dev.ok()) {
+    std::cerr << "add_device failed: " << dev.error().str() << "\n";
+    return 1;
+  }
+
+  api::BatteryLabApi api{vp};
+  std::cout << "devices: " << util::join(api.list_devices(), ", ") << "\n";
+
+  // --- Measurement 1: local video playback (the Fig. 2 workload) ---------
+  auto& os = dev.value()->os();
+  (void)os.install(std::make_unique<device::VideoPlayerApp>(*dev.value()));
+  (void)os.start_activity("com.example.videoplayer");
+  auto* player = static_cast<device::VideoPlayerApp*>(
+      os.app("com.example.videoplayer"));
+  (void)player->play("/sdcard/video.mp4");
+
+  if (auto st = api.power_monitor(); !st.ok()) {
+    std::cerr << st.str() << "\n";
+    return 1;
+  }
+  (void)api.set_voltage(3.85);
+  auto capture = api.run_monitor("J7DUO-1", util::Duration::seconds(60));
+  if (!capture.ok()) {
+    std::cerr << "measurement failed: " << capture.error().str() << "\n";
+    return 1;
+  }
+  (void)player->pause();
+  std::cout << "video playback: " << capture.value().sample_count()
+            << " samples @5kHz, median "
+            << util::format_double(capture.value().current_cdf(10).median(), 1)
+            << " mA, mean "
+            << util::format_double(capture.value().mean_current_ma(), 1)
+            << " mA, " << util::format_double(capture.value().charge_mah(), 2)
+            << " mAh\n";
+
+  // --- Measurement 2: a short Brave browsing workload --------------------
+  automation::BrowserWorkloadOptions options;
+  options.pages = 3;
+  options.scrolls_per_page = 4;
+  auto run = automation::run_browser_energy_test(
+      api, "J7DUO-1", device::BrowserProfile::brave(), options);
+  if (!run.ok()) {
+    std::cerr << "browser run failed: " << run.error().str() << "\n";
+    return 1;
+  }
+  std::cout << "brave browsing: mean "
+            << util::format_double(run.value().mean_current_ma, 1)
+            << " mA, device CPU median "
+            << util::format_double(run.value().device_cpu.median() * 100.0, 1)
+            << "%, " << util::format_bytes(
+                   static_cast<double>(run.value().bytes_fetched))
+            << " fetched over "
+            << util::to_string(run.value().elapsed) << "\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+// The §4.3 study: how does network location affect battery measurements?
+//
+// Tunnels the vantage point through each ProtonVPN exit, runs a speedtest
+// (Table 2), then measures Brave and Chrome through every tunnel (Fig. 6),
+// using location-constrained jobs so the scheduler manages the VPN.
+//
+//   ./build/examples/vpn_location_study
+#include <iostream>
+#include <map>
+
+#include "automation/browser_workload.hpp"
+#include "util/logging.hpp"
+#include "net/speedtest.hpp"
+#include "net/vpn.hpp"
+#include "server/access_server.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace blab;
+
+int main() {
+  util::Logger::global().set_level(util::LogLevel::kWarn);
+  sim::Simulator sim;
+  net::Network net{sim, 20191113};
+  net.add_host("internet");
+  net.add_link("web", "internet",
+               net::LinkSpec::symmetric(util::Duration::millis(4), 900.0));
+  net.add_link("speedtest", "internet",
+               net::LinkSpec::symmetric(util::Duration::millis(1), 1000.0));
+
+  api::VantagePoint vp{sim, net};
+  net.add_link(vp.controller_host(), "internet",
+               net::LinkSpec::symmetric(util::Duration::millis(6), 200.0));
+  device::DeviceSpec phone;
+  phone.serial = "J7DUO-1";
+  (void)vp.add_device(phone);
+
+  server::AccessServer server{sim, net};
+  (void)server.onboard_vantage_point("node1", vp);
+  net::VpnProvider vpn{net, "internet"};
+  server.scheduler().attach_vpn(&vpn);
+  const auto admin = server.users().register_user("ops", server::Role::kAdmin);
+  const auto alice =
+      server.users().register_user("alice", server::Role::kExperimenter);
+
+  // ---- Part 1: Table 2, speedtest through each tunnel -------------------
+  std::cout << "Part 1 — speedtest through each ProtonVPN exit:\n\n";
+  util::TextTable speeds{{"location", "down (Mbps)", "up (Mbps)", "rtt (ms)"}};
+  for (const auto& loc : vpn.locations()) {
+    (void)vpn.connect(vp.controller_host(), loc.country);
+    net::SpeedTest st{net, vp.controller_host(), "speedtest"};
+    auto result = st.run();
+    (void)vpn.disconnect(vp.controller_host());
+    if (!result.ok()) {
+      std::cerr << result.error().str() << "\n";
+      return 1;
+    }
+    speeds.add_row({loc.country,
+                    util::format_double(result.value().download_mbps, 2),
+                    util::format_double(result.value().upload_mbps, 2),
+                    util::format_double(result.value().rtt_ms, 1)});
+  }
+  speeds.print(std::cout);
+
+  // ---- Part 2: Fig. 6, browser energy per location ----------------------
+  std::cout << "\nPart 2 — Brave and Chrome energy through each tunnel:\n\n";
+  std::map<std::string, std::pair<double, double>> results;  // mAh, MB
+  for (const char* browser : {"Brave", "Chrome"}) {
+    for (const auto& loc : vpn.locations()) {
+      server::Job job;
+      job.name = std::string{browser} + "@" + loc.country;
+      job.constraints.network_location = loc.country;
+      const std::string key = job.name;
+      job.script = [key, browser, &results](server::JobContext& ctx) {
+        automation::BrowserWorkloadOptions options;
+        options.pages = 5;
+        options.scrolls_per_page = 3;
+        auto run = automation::run_browser_energy_test(
+            *ctx.api, ctx.device_serial,
+            *device::BrowserProfile::find(browser), options);
+        if (!run.ok()) return util::Status{run.error()};
+        results[key] = {run.value().discharge_mah,
+                        static_cast<double>(run.value().bytes_fetched) / 1e6};
+        return util::Status::ok_status();
+      };
+      auto id = server.submit_job(alice.value(), std::move(job));
+      (void)server.approve_pipeline(admin.value(), id.value());
+    }
+  }
+  auto ran = server.run_queue(alice.value());
+  if (!ran.ok()) {
+    std::cerr << ran.error().str() << "\n";
+    return 1;
+  }
+
+  util::TextTable energy{{"job", "discharge (mAh)", "traffic (MB)"}};
+  for (const auto& [key, value] : results) {
+    energy.add_row({key, util::format_double(value.first, 2),
+                    util::format_double(value.second, 1)});
+  }
+  energy.print(std::cout);
+  std::cout << "\nNote the Chrome@Japan traffic dip — systematically smaller "
+               "ads at that exit (§4.3).\n";
+  return 0;
+}

@@ -1,0 +1,106 @@
+#include "analysis/report.hpp"
+
+#include <ostream>
+
+#include "util/strings.hpp"
+
+namespace blab::analysis {
+
+CdfFigure::CdfFigure(std::string title, std::string x_label)
+    : title_{std::move(title)}, x_label_{std::move(x_label)} {}
+
+void CdfFigure::add_series(std::string label, util::Cdf cdf) {
+  series_.push_back({std::move(label), std::move(cdf)});
+}
+
+std::vector<double> CdfFigure::default_quantiles() {
+  return {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99};
+}
+
+void CdfFigure::print(std::ostream& os,
+                      const std::vector<double>& quantiles) const {
+  os << "== " << title_ << " ==\n";
+  std::vector<std::string> header{"quantile"};
+  for (const auto& s : series_) header.push_back(s.label);
+  util::TextTable table{header};
+  for (double q : quantiles) {
+    std::vector<std::string> row{"p" + util::format_double(q * 100.0, 0)};
+    for (const auto& s : series_) {
+      row.push_back(s.cdf.empty() ? "-"
+                                  : util::format_double(s.cdf.quantile(q), 1));
+    }
+    table.add_row(std::move(row));
+  }
+  std::vector<std::string> mean_row{"mean"};
+  for (const auto& s : series_) {
+    mean_row.push_back(util::format_double(s.cdf.mean(), 1));
+  }
+  table.add_row(std::move(mean_row));
+  table.print(os);
+  os << "(" << x_label_ << ")\n";
+}
+
+bool CdfFigure::write_csv(const std::string& path, std::size_t points) const {
+  util::CsvWriter csv{path};
+  if (!csv.ok()) return false;
+  csv.write_row({"series", x_label_, "cdf"});
+  for (const auto& s : series_) {
+    for (const auto& [value, prob] : s.cdf.curve(points)) {
+      csv.write_row({s.label, util::format_double(value, 4),
+                     util::format_double(prob, 4)});
+    }
+  }
+  return true;
+}
+
+BarFigure::BarFigure(std::string title, std::string y_label)
+    : title_{std::move(title)}, y_label_{std::move(y_label)} {}
+
+void BarFigure::add_bar(std::string label, double mean, double stddev) {
+  bars_.push_back({std::move(label), mean, stddev});
+}
+
+void BarFigure::print(std::ostream& os) const {
+  os << "== " << title_ << " ==\n";
+  util::TextTable table{{"series", y_label_, "stddev"}};
+  for (const auto& b : bars_) {
+    table.add_row({b.label, util::format_double(b.mean, 2),
+                   util::format_double(b.stddev, 2)});
+  }
+  table.print(os);
+}
+
+bool BarFigure::write_csv(const std::string& path) const {
+  util::CsvWriter csv{path};
+  if (!csv.ok()) return false;
+  csv.write_row({"series", y_label_, "stddev"});
+  for (const auto& b : bars_) {
+    csv.write_row({b.label, util::format_double(b.mean, 4),
+                   util::format_double(b.stddev, 4)});
+  }
+  return true;
+}
+
+TableReport::TableReport(std::string title, std::vector<std::string> header)
+    : title_{std::move(title)}, header_{std::move(header)} {}
+
+void TableReport::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TableReport::print(std::ostream& os) const {
+  os << "== " << title_ << " ==\n";
+  util::TextTable table{header_};
+  for (const auto& row : rows_) table.add_row(row);
+  table.print(os);
+}
+
+bool TableReport::write_csv(const std::string& path) const {
+  util::CsvWriter csv{path};
+  if (!csv.ok()) return false;
+  csv.write_row(header_);
+  for (const auto& row : rows_) csv.write_row(row);
+  return true;
+}
+
+}  // namespace blab::analysis

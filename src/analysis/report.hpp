@@ -1,0 +1,80 @@
+// Figure/table emitters for the benchmark harnesses.
+//
+// Every bench binary prints the same rows or series its paper counterpart
+// shows and writes a CSV next to the binary, via these helpers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace blab::analysis {
+
+/// A named empirical distribution, one line in a CDF figure.
+struct CdfSeries {
+  std::string label;
+  util::Cdf cdf;
+};
+
+/// Print a CDF figure as a quantile table (rows: quantiles, cols: series)
+/// and optionally dump the full curves to CSV.
+class CdfFigure {
+ public:
+  CdfFigure(std::string title, std::string x_label);
+
+  void add_series(std::string label, util::Cdf cdf);
+  const std::vector<CdfSeries>& series() const { return series_; }
+
+  /// Console rendering with the given quantiles (default deciles + extremes).
+  void print(std::ostream& os,
+             const std::vector<double>& quantiles = default_quantiles()) const;
+  /// CSV: columns label,value,cum_prob with `points` per series.
+  bool write_csv(const std::string& path, std::size_t points = 200) const;
+
+  static std::vector<double> default_quantiles();
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::vector<CdfSeries> series_;
+};
+
+/// A bar figure: label -> mean with stddev error bar (Figs. 3 and 6).
+class BarFigure {
+ public:
+  BarFigure(std::string title, std::string y_label);
+
+  void add_bar(std::string label, double mean, double stddev);
+
+  void print(std::ostream& os) const;
+  bool write_csv(const std::string& path) const;
+
+ private:
+  struct Bar {
+    std::string label;
+    double mean;
+    double stddev;
+  };
+  std::string title_;
+  std::string y_label_;
+  std::vector<Bar> bars_;
+};
+
+/// Plain table (Table 2).
+class TableReport {
+ public:
+  TableReport(std::string title, std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  void print(std::ostream& os) const;
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace blab::analysis

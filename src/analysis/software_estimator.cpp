@@ -1,0 +1,160 @@
+#include "analysis/software_estimator.hpp"
+
+#include <cmath>
+
+namespace blab::analysis {
+namespace {
+
+constexpr std::size_t kDim = 4;
+
+/// Solve A x = b for a symmetric positive-definite 4x4 system (Gaussian
+/// elimination with partial pivoting). Returns false when singular.
+bool solve4(std::array<std::array<double, kDim>, kDim> a,
+            std::array<double, kDim> b, std::array<double, kDim>& x) {
+  for (std::size_t col = 0; col < kDim; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < kDim; ++row) {
+      if (std::fabs(a[row][col]) > std::fabs(a[pivot][col])) pivot = row;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-9) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t row = col + 1; row < kDim; ++row) {
+      const double f = a[row][col] / a[col][col];
+      for (std::size_t k = col; k < kDim; ++k) a[row][k] -= f * a[col][k];
+      b[row] -= f * b[col];
+    }
+  }
+  for (std::size_t i = kDim; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t k = i + 1; k < kDim; ++k) acc -= a[i][k] * x[k];
+    x[i] = acc / a[i][i];
+  }
+  return true;
+}
+
+std::array<double, kDim> features(const ResourceSample& s) {
+  return {1.0, s.cpu_util, s.screen_on, s.radio_active};
+}
+
+/// Mean measured current over the trace window [i·period, (i+1)·period).
+double window_mean_ma(const hw::Capture& capture, const ResourceTrace& trace,
+                      std::size_t i) {
+  const double period_s = trace.period().to_seconds();
+  const double offset_s =
+      (trace.start() - capture.start()).to_seconds() +
+      static_cast<double>(i) * period_s;
+  const auto first = static_cast<std::size_t>(
+      std::max(0.0, offset_s * capture.sample_hz()));
+  auto last = static_cast<std::size_t>(
+      std::max(0.0, (offset_s + period_s) * capture.sample_hz()));
+  last = std::min(last, capture.sample_count());
+  if (first >= last) return 0.0;
+  double acc = 0.0;
+  for (std::size_t k = first; k < last; ++k) acc += capture.samples_ma()[k];
+  return acc / static_cast<double>(last - first);
+}
+
+}  // namespace
+
+ResourceTrace::ResourceTrace(util::TimePoint t0, util::Duration period)
+    : t0_{t0}, period_{period} {}
+
+void ResourceTrace::add(const ResourceSample& sample) {
+  samples_.push_back(sample);
+}
+
+ResourceTrace ResourceTrace::sample(const hw::Timeline& cpu_util,
+                                    const hw::Timeline& screen_on,
+                                    const hw::Timeline& radio_active,
+                                    util::TimePoint t0, util::TimePoint t1,
+                                    util::Duration period) {
+  ResourceTrace trace{t0, period};
+  for (util::TimePoint t = t0; t + period <= t1; t += period) {
+    ResourceSample s;
+    // Time-weighted means over the window: closer to what a polling agent
+    // integrating /proc counters reports than point samples.
+    s.cpu_util = cpu_util.mean(t, t + period);
+    s.screen_on = screen_on.mean(t, t + period);
+    s.radio_active = radio_active.mean(t, t + period);
+    trace.add(s);
+  }
+  return trace;
+}
+
+util::Status SoftwareEstimator::calibrate(const hw::Capture& capture,
+                                          const ResourceTrace& trace) {
+  if (trace.size() < 8) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "calibration trace too short");
+  }
+  std::array<std::array<double, kDim>, kDim> xtx{};
+  std::array<double, kDim> xty{};
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto f = features(trace.samples()[i]);
+    const double y = window_mean_ma(capture, trace, i);
+    for (std::size_t r = 0; r < kDim; ++r) {
+      xty[r] += f[r] * y;
+      for (std::size_t c = 0; c < kDim; ++c) xtx[r][c] += f[r] * f[c];
+    }
+  }
+  // Ridge term: calibration workloads routinely hold a counter constant
+  // (screen always on), making the plain normal equations singular. A tiny
+  // diagonal load keeps the fit well-posed without biasing predictions.
+  const double lambda = 1e-3 * static_cast<double>(trace.size());
+  for (std::size_t d = 1; d < kDim; ++d) xtx[d][d] += lambda;
+  std::array<double, kDim> beta{};
+  if (!solve4(xtx, xty, beta)) {
+    return util::make_error(
+        util::ErrorCode::kFailedPrecondition,
+        "degenerate calibration workload (no counter variation)");
+  }
+  model_.beta = beta;
+  double sse = 0.0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto f = features(trace.samples()[i]);
+    double pred = 0.0;
+    for (std::size_t k = 0; k < kDim; ++k) pred += beta[k] * f[k];
+    const double err = pred - window_mean_ma(capture, trace, i);
+    sse += err * err;
+  }
+  model_.training_rmse_ma = std::sqrt(sse / static_cast<double>(trace.size()));
+  calibrated_ = true;
+  return util::Status::ok_status();
+}
+
+util::Result<EstimateResult> SoftwareEstimator::estimate(
+    const ResourceTrace& trace) const {
+  if (!calibrated_) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "estimator not calibrated (§1: only possible "
+                            "for calibrated devices)");
+  }
+  EstimateResult out;
+  out.per_sample_ma.reserve(trace.size());
+  double acc = 0.0;
+  for (const auto& s : trace.samples()) {
+    const auto f = features(s);
+    double pred = 0.0;
+    for (std::size_t k = 0; k < kDim; ++k) pred += model_.beta[k] * f[k];
+    pred = std::max(0.0, pred);
+    out.per_sample_ma.push_back(pred);
+    acc += pred;
+  }
+  if (!out.per_sample_ma.empty()) {
+    out.mean_current_ma = acc / static_cast<double>(out.per_sample_ma.size());
+  }
+  const double hours = trace.period().to_seconds() *
+                       static_cast<double>(trace.size()) / 3600.0;
+  out.charge_mah = out.mean_current_ma * hours;
+  return out;
+}
+
+double SoftwareEstimator::relative_error(const EstimateResult& estimate,
+                                         const hw::Capture& truth) {
+  const double real = truth.mean_current_ma();
+  if (real <= 0.0) return 0.0;
+  return std::fabs(estimate.mean_current_ma - real) / real;
+}
+
+}  // namespace blab::analysis

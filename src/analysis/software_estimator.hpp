@@ -1,0 +1,91 @@
+// Software-based battery estimation — the baseline BatteryLab argues against.
+//
+// §1: startups "offer software-based battery measurements where device
+// resource monitoring (screen, CPU, network, etc.) are used to infer the
+// power consumed by few devices for which a calibration was possible."
+//
+// This implements that approach: a linear utilization-counter model
+//
+//   current_ma ≈ β0 + β1·cpu_util + β2·screen_on + β3·radio_active
+//
+// whose coefficients are fit (ordinary least squares) against ONE
+// hardware-measured calibration capture, then applied to later workloads
+// from resource counters alone. The bench compares its error against the
+// hardware path — quantifying why BatteryLab wants real power meters.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "hw/power_monitor.hpp"
+#include "hw/timeline.hpp"
+#include "util/result.hpp"
+
+namespace blab::analysis {
+
+/// One resource-counter observation (what a software agent can sample).
+struct ResourceSample {
+  double cpu_util = 0.0;     ///< [0,1]
+  double screen_on = 0.0;    ///< 0/1
+  double radio_active = 0.0; ///< 0/1
+};
+
+/// Resource counters sampled over a window, aligned with a capture.
+class ResourceTrace {
+ public:
+  ResourceTrace(util::TimePoint t0, util::Duration period);
+
+  void add(const ResourceSample& sample);
+  /// Sample device state timelines over [t0, t1).
+  static ResourceTrace sample(const hw::Timeline& cpu_util,
+                              const hw::Timeline& screen_on,
+                              const hw::Timeline& radio_active,
+                              util::TimePoint t0, util::TimePoint t1,
+                              util::Duration period);
+
+  util::TimePoint start() const { return t0_; }
+  util::Duration period() const { return period_; }
+  const std::vector<ResourceSample>& samples() const { return samples_; }
+  std::size_t size() const { return samples_.size(); }
+
+ private:
+  util::TimePoint t0_;
+  util::Duration period_;
+  std::vector<ResourceSample> samples_;
+};
+
+struct EstimatorModel {
+  // β0 (idle) + β1·cpu + β2·screen + β3·radio, all in mA.
+  std::array<double, 4> beta{0.0, 0.0, 0.0, 0.0};
+  double training_rmse_ma = 0.0;
+};
+
+struct EstimateResult {
+  double mean_current_ma = 0.0;
+  double charge_mah = 0.0;
+  std::vector<double> per_sample_ma;
+};
+
+class SoftwareEstimator {
+ public:
+  /// Fit the model on a hardware capture + aligned resource trace
+  /// ("devices for which a calibration was possible", §1). Fails when the
+  /// trace is too short or degenerate (singular normal equations).
+  util::Status calibrate(const hw::Capture& capture,
+                         const ResourceTrace& trace);
+  bool calibrated() const { return calibrated_; }
+  const EstimatorModel& model() const { return model_; }
+
+  /// Estimate a workload's power from resource counters alone.
+  util::Result<EstimateResult> estimate(const ResourceTrace& trace) const;
+
+  /// Convenience: relative error of an estimate vs a hardware capture.
+  static double relative_error(const EstimateResult& estimate,
+                               const hw::Capture& truth);
+
+ private:
+  EstimatorModel model_;
+  bool calibrated_ = false;
+};
+
+}  // namespace blab::analysis

@@ -1,0 +1,98 @@
+#include "analysis/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace blab::analysis {
+
+void write_capture_csv(const hw::Capture& capture, std::ostream& os,
+                       std::size_t stride) {
+  if (stride == 0) stride = 1;
+  os << "time_s,current_mA,voltage\n";
+  const auto& samples = capture.samples_ma();
+  const double dt = 1.0 / capture.sample_hz();
+  for (std::size_t i = 0; i < samples.size(); i += stride) {
+    os << util::format_double(static_cast<double>(i) * dt, 6) << ','
+       << util::format_double(samples[i], 3) << ','
+       << util::format_double(capture.voltage(), 3) << '\n';
+  }
+}
+
+util::Status write_capture_csv(const hw::Capture& capture,
+                               const std::string& path, std::size_t stride) {
+  std::ofstream out{path};
+  if (!out) {
+    return util::make_error(util::ErrorCode::kUnavailable,
+                            "cannot open " + path + " for writing");
+  }
+  write_capture_csv(capture, out, stride);
+  return util::Status::ok_status();
+}
+
+util::Result<hw::Capture> read_capture_csv_stream(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) ||
+      util::trim(line) != "time_s,current_mA,voltage") {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "missing Monsoon CSV header");
+  }
+  std::vector<float> samples;
+  double voltage = 0.0;
+  double first_t = 0.0;
+  double second_t = 0.0;
+  std::size_t row = 0;
+  while (std::getline(is, line)) {
+    if (util::trim(line).empty()) continue;
+    const auto fields = util::split(line, ',');
+    if (fields.size() != 3) {
+      return util::make_error(util::ErrorCode::kInvalidArgument,
+                              "bad row " + std::to_string(row) + ": " + line);
+    }
+    try {
+      const double t = std::stod(fields[0]);
+      samples.push_back(static_cast<float>(std::stod(fields[1])));
+      voltage = std::stod(fields[2]);
+      if (row == 0) first_t = t;
+      if (row == 1) second_t = t;
+    } catch (const std::exception&) {
+      return util::make_error(util::ErrorCode::kInvalidArgument,
+                              "unparseable row " + std::to_string(row));
+    }
+    ++row;
+  }
+  if (samples.empty()) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "capture has no samples");
+  }
+  const double dt = row > 1 ? second_t - first_t : 1.0 / 5000.0;
+  if (dt <= 0.0) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "non-monotonic timestamps");
+  }
+  return hw::Capture{util::TimePoint::epoch(), 1.0 / dt, voltage,
+                     std::move(samples)};
+}
+
+util::Result<hw::Capture> read_capture_csv(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            "cannot open " + path);
+  }
+  return read_capture_csv_stream(in);
+}
+
+std::string capture_summary(const hw::Capture& capture) {
+  std::ostringstream os;
+  os << capture.sample_count() << " samples @ "
+     << util::format_double(capture.sample_hz(), 0) << " Hz, "
+     << util::format_double(capture.duration().to_seconds(), 1) << " s, mean "
+     << util::format_double(capture.mean_current_ma(), 1) << " mA, "
+     << util::format_double(capture.charge_mah(), 3) << " mAh @ "
+     << util::format_double(capture.voltage(), 2) << " V";
+  return os.str();
+}
+
+}  // namespace blab::analysis

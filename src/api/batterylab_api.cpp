@@ -1,0 +1,241 @@
+#include "api/batterylab_api.hpp"
+
+#include "controller/rest_backend.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace blab::api {
+
+BatteryLabApi::BatteryLabApi(VantagePoint& vp) : vp_{vp} {}
+
+util::Status BatteryLabApi::require_device(const std::string& device_id) const {
+  if (const_cast<VantagePoint&>(vp_).find_device(device_id) == nullptr) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            "unknown device " + device_id);
+  }
+  return util::Status::ok_status();
+}
+
+std::vector<std::string> BatteryLabApi::list_devices() const {
+  return const_cast<VantagePoint&>(vp_).controller().device_serials();
+}
+
+util::Status BatteryLabApi::device_mirroring(const std::string& device_id,
+                                             bool on) {
+  if (auto st = require_device(device_id); !st.ok()) return st;
+  if (on) {
+    auto r = vp_.start_mirroring(device_id);
+    return r.ok() ? util::Status::ok_status() : util::Status{r.error()};
+  }
+  return vp_.stop_mirroring(device_id);
+}
+
+bool BatteryLabApi::mirroring_active(const std::string& device_id) {
+  auto* session = vp_.mirroring(device_id);
+  return session != nullptr && session->active();
+}
+
+util::Status BatteryLabApi::power_monitor() {
+  auto& socket = vp_.power_socket();
+  return socket.is_on() ? socket.turn_off() : socket.turn_on();
+}
+
+bool BatteryLabApi::monitor_powered() const {
+  return const_cast<VantagePoint&>(vp_).monitor().has_mains();
+}
+
+util::Status BatteryLabApi::set_voltage(double voltage) {
+  return vp_.monitor().set_voltage(voltage);
+}
+
+util::Status BatteryLabApi::start_monitor(
+    const std::string& device_id, std::optional<util::Duration> duration) {
+  if (auto st = require_device(device_id); !st.ok()) return st;
+  if (monitored_device_.has_value()) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "a measurement is already running on device " +
+                                *monitored_device_);
+  }
+  auto* dev = vp_.find_device(device_id);
+  // Measurement hygiene (§3.2/§3.3): cut USB charge current first.
+  if (auto st = vp_.usb_hub().set_port_power_for(dev->host(), false);
+      !st.ok()) {
+    return st;
+  }
+  vp_.refresh_usb_power();
+  // Battery bypass: the Monsoon now powers (and measures) the phone.
+  if (auto st = vp_.switch_power(device_id, hw::RelayPosition::kBypass);
+      !st.ok()) {
+    (void)vp_.usb_hub().set_port_power_for(dev->host(), true);
+    vp_.refresh_usb_power();
+    return st;
+  }
+  // Let the relay contacts settle before sampling starts.
+  vp_.simulator().run_for(vp_.relay().spec().switch_time +
+                          vp_.relay().spec().transient_duration);
+  if (auto st = vp_.poller().start(); !st.ok()) {
+    (void)vp_.switch_power(device_id, hw::RelayPosition::kBattery);
+    (void)vp_.usb_hub().set_port_power_for(dev->host(), true);
+    vp_.refresh_usb_power();
+    return st;
+  }
+  monitored_device_ = device_id;
+  if (duration.has_value()) {
+    auto_stop_ = vp_.simulator().schedule_after(*duration, [this] {
+      auto_stop_ = sim::kInvalidEvent;
+      if (monitored_device_.has_value()) {
+        BLAB_INFO("api", "auto-stopping measurement");
+        (void)stop_monitor();
+      }
+    }, "api.auto-stop");
+  }
+  return util::Status::ok_status();
+}
+
+util::Result<hw::Capture> BatteryLabApi::stop_monitor() {
+  if (!monitored_device_.has_value()) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "no measurement running");
+  }
+  const std::string device_id = *monitored_device_;
+  monitored_device_.reset();
+  if (auto_stop_ != sim::kInvalidEvent) {
+    vp_.simulator().cancel(auto_stop_);
+    auto_stop_ = sim::kInvalidEvent;
+  }
+  auto capture = vp_.poller().stop();
+  // Restore battery operation and USB charging for the idle period.
+  (void)vp_.switch_power(device_id, hw::RelayPosition::kBattery);
+  if (auto* dev = vp_.find_device(device_id)) {
+    (void)vp_.usb_hub().set_port_power_for(dev->host(), true);
+  }
+  vp_.refresh_usb_power();
+  return capture;
+}
+
+util::Result<hw::Capture> BatteryLabApi::run_monitor(
+    const std::string& device_id, util::Duration duration) {
+  if (auto st = start_monitor(device_id); !st.ok()) return st.error();
+  vp_.simulator().run_for(duration);
+  return stop_monitor();
+}
+
+util::Status BatteryLabApi::batt_switch(const std::string& device_id) {
+  if (auto st = require_device(device_id); !st.ok()) return st;
+  auto channel = vp_.relay_channel_of(device_id);
+  if (!channel.ok()) return channel.error();
+  auto pos = vp_.relay().position(channel.value());
+  if (!pos.ok()) return pos.error();
+  const auto target = pos.value() == hw::RelayPosition::kBattery
+                          ? hw::RelayPosition::kBypass
+                          : hw::RelayPosition::kBattery;
+  return vp_.switch_power(device_id, target);
+}
+
+util::Result<std::string> BatteryLabApi::execute_adb(
+    const std::string& device_id, const std::string& command) {
+  if (auto st = require_device(device_id); !st.ok()) return st.error();
+  auto* dev = vp_.find_device(device_id);
+  // Table 1 offers execute_adb "if available" — there is no adbd on iOS.
+  if (dev->spec().platform != device::Platform::kAndroid) {
+    return util::make_error(util::ErrorCode::kUnsupported,
+                            "ADB is not available on " + device_id +
+                                " (" + dev->spec().model +
+                                "); use UI tests or the BT keyboard (§3.3)");
+  }
+  // USB is preferred when its port is powered; during measurements it is
+  // not, and automation rides WiFi (§3.3).
+  const bool usb_up = vp_.usb_hub().data_path_up(dev->host());
+  const auto transport = usb_up ? device::AdbTransport::kUsb
+                                : device::AdbTransport::kWifi;
+  return vp_.controller().adb().shell_sync(dev->host(), transport, command);
+}
+
+void BatteryLabApi::bind_rest_endpoints() {
+  auto& rest = vp_.rest();
+  rest.register_endpoint("list_devices", [this](const std::string&) {
+    return util::Result<std::string>{util::join(list_devices(), ",")};
+  });
+  rest.register_endpoint(
+      "device_mirroring", [this](const std::string& query) {
+        const auto params = controller::parse_query(query);
+        const auto it = params.find("device_id");
+        if (it == params.end()) {
+          return util::Result<std::string>{util::make_error(
+              util::ErrorCode::kInvalidArgument, "device_id required")};
+        }
+        const bool off = params.contains("off");
+        if (auto st = device_mirroring(it->second, !off); !st.ok()) {
+          return util::Result<std::string>{st.error()};
+        }
+        return util::Result<std::string>{std::string{"ok"}};
+      });
+  rest.register_endpoint("power_monitor", [this](const std::string&) {
+    if (auto st = power_monitor(); !st.ok()) {
+      return util::Result<std::string>{st.error()};
+    }
+    return util::Result<std::string>{
+        std::string{monitor_powered() ? "on" : "off"}};
+  });
+  rest.register_endpoint("set_voltage", [this](const std::string& query) {
+    const auto params = controller::parse_query(query);
+    const auto it = params.find("voltage_val");
+    if (it == params.end()) {
+      return util::Result<std::string>{util::make_error(
+          util::ErrorCode::kInvalidArgument, "voltage_val required")};
+    }
+    if (auto st = set_voltage(std::stod(it->second)); !st.ok()) {
+      return util::Result<std::string>{st.error()};
+    }
+    return util::Result<std::string>{std::string{"ok"}};
+  });
+  rest.register_endpoint("start_monitor", [this](const std::string& query) {
+    const auto params = controller::parse_query(query);
+    const auto it = params.find("device_id");
+    if (it == params.end()) {
+      return util::Result<std::string>{util::make_error(
+          util::ErrorCode::kInvalidArgument, "device_id required")};
+    }
+    std::optional<util::Duration> duration;
+    if (const auto d = params.find("duration"); d != params.end()) {
+      duration = util::Duration::seconds(std::stod(d->second));
+    }
+    if (auto st = start_monitor(it->second, duration); !st.ok()) {
+      return util::Result<std::string>{st.error()};
+    }
+    return util::Result<std::string>{std::string{"ok"}};
+  });
+  rest.register_endpoint("stop_monitor", [this](const std::string&) {
+    auto capture = stop_monitor();
+    if (!capture.ok()) return util::Result<std::string>{capture.error()};
+    return util::Result<std::string>{
+        "samples=" + std::to_string(capture.value().sample_count()) +
+        "&mean_ma=" +
+        util::format_double(capture.value().mean_current_ma(), 2)};
+  });
+  rest.register_endpoint("batt_switch", [this](const std::string& query) {
+    const auto params = controller::parse_query(query);
+    const auto it = params.find("device_id");
+    if (it == params.end()) {
+      return util::Result<std::string>{util::make_error(
+          util::ErrorCode::kInvalidArgument, "device_id required")};
+    }
+    if (auto st = batt_switch(it->second); !st.ok()) {
+      return util::Result<std::string>{st.error()};
+    }
+    return util::Result<std::string>{std::string{"ok"}};
+  });
+  rest.register_endpoint("execute_adb", [this](const std::string& query) {
+    const auto params = controller::parse_query(query);
+    const auto dev = params.find("device_id");
+    const auto cmd = params.find("command");
+    if (dev == params.end() || cmd == params.end()) {
+      return util::Result<std::string>{
+          util::make_error(util::ErrorCode::kInvalidArgument,
+                           "device_id and command required")};
+    }
+    return execute_adb(dev->second, cmd->second);
+  });
+}
+
+}  // namespace blab::api

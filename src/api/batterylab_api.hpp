@@ -1,0 +1,82 @@
+// BatteryLab's experimenter API — Table 1 of the paper.
+//
+//   list_devices       List ADB ids of test devices
+//   device_mirroring   Activate device mirroring          (device_id)
+//   power_monitor      Toggle Monsoon power state
+//   set_voltage        Set target voltage                 (voltage_val)
+//   start_monitor      Start battery measurement          (device_id, duration)
+//   stop_monitor       Stop battery measurement
+//   batt_switch        (De)activate battery               (device_id)
+//   execute_adb        Execute ADB command                (device_id, command)
+//
+// The API object runs at a vantage point; jobs dispatched by the access
+// server call it (in the paper this is the Python library shipped to
+// Jenkins jobs). start_monitor enforces the measurement hygiene the paper
+// describes: USB charge power is cut first (uhubctl), automation falls back
+// to WiFi, and the relay flips the device onto the Monsoon.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/vantage_point.hpp"
+#include "hw/power_monitor.hpp"
+#include "util/result.hpp"
+
+namespace blab::api {
+
+class BatteryLabApi {
+ public:
+  explicit BatteryLabApi(VantagePoint& vp);
+
+  /// Table 1: list ADB ids of test devices.
+  std::vector<std::string> list_devices() const;
+
+  /// Table 1: activate (or deactivate) device mirroring.
+  util::Status device_mirroring(const std::string& device_id, bool on = true);
+  bool mirroring_active(const std::string& device_id);
+
+  /// Table 1: toggle Monsoon power state (via the WiFi socket).
+  util::Status power_monitor();
+  bool monitor_powered() const;
+
+  /// Table 1: set target output voltage.
+  util::Status set_voltage(double voltage);
+
+  /// Table 1: start a battery measurement on a device. Cuts the device's USB
+  /// charge current, flips its relay channel to bypass and starts the 5 kHz
+  /// poller. With `duration` set, an auto-stop is scheduled.
+  util::Status start_monitor(const std::string& device_id,
+                             std::optional<util::Duration> duration = {});
+  /// Table 1: stop the measurement and retrieve the capture. Also restores
+  /// battery operation and USB power.
+  util::Result<hw::Capture> stop_monitor();
+  bool monitoring() const { return monitored_device_.has_value(); }
+
+  /// Convenience: start, run the simulator for `duration`, stop.
+  util::Result<hw::Capture> run_monitor(const std::string& device_id,
+                                        util::Duration duration);
+
+  /// Table 1: toggle a device between battery and bypass.
+  util::Status batt_switch(const std::string& device_id);
+
+  /// Table 1: execute an ADB command. Transport: WiFi while a measurement is
+  /// active (USB is powered down), USB otherwise (§3.3).
+  util::Result<std::string> execute_adb(const std::string& device_id,
+                                        const std::string& command);
+
+  /// Register the GUI toolbar's REST endpoints (§3.2) against the backend.
+  void bind_rest_endpoints();
+
+  VantagePoint& vantage_point() { return vp_; }
+
+ private:
+  util::Status require_device(const std::string& device_id) const;
+
+  VantagePoint& vp_;
+  std::optional<std::string> monitored_device_;
+  sim::EventId auto_stop_ = sim::kInvalidEvent;
+};
+
+}  // namespace blab::api

@@ -1,0 +1,157 @@
+#include "api/vantage_point.hpp"
+
+#include "util/logging.hpp"
+
+namespace blab::api {
+namespace {
+constexpr int kRelayBasePin = 17;  // first free GPIO on the Pi header
+}  // namespace
+
+VantagePoint::VantagePoint(sim::Simulator& sim, net::Network& net,
+                           VantagePointConfig config)
+    : sim_{sim},
+      net_{net},
+      config_{std::move(config)},
+      controller_{sim, net, "ctrl." + config_.name, config_.seed},
+      gpio_{40},
+      relay_{sim, gpio_, config_.relay_channels, kRelayBasePin, config_.relay},
+      monitor_{sim, util::Rng{config_.seed ^ 0x5EED}, config_.monsoon},
+      socket_{net, "socket." + config_.name},
+      hub_{net, controller_.host(), config_.usb_ports},
+      ap_{net, controller_.host(), controller_.host(), config_.ap_mode},
+      poller_{controller_.resources(), monitor_},
+      rest_{net, controller_.host()} {
+  // The Monsoon's main channel is fed by the relay board output; individual
+  // devices reach it by flipping their channel to bypass.
+  monitor_.connect_load(&relay_);
+  socket_.attach_monitor(&monitor_);
+}
+
+VantagePoint::~VantagePoint() {
+  // Sessions reference devices; drop them first.
+  sessions_.clear();
+}
+
+util::Result<device::AndroidDevice*> VantagePoint::add_device(
+    device::DeviceSpec spec) {
+  if (find_device(spec.serial) != nullptr) {
+    return util::make_error(util::ErrorCode::kAlreadyExists,
+                            "serial " + spec.serial + " already present");
+  }
+  const int channel = static_cast<int>(devices_.size());
+  if (channel >= relay_.channel_count()) {
+    return util::make_error(util::ErrorCode::kResourceExhausted,
+                            "no free relay channel");
+  }
+  ManagedDevice md;
+  md.device = std::make_unique<device::AndroidDevice>(
+      sim_, net_, "dev." + spec.serial, spec,
+      config_.seed ^ util::fnv1a(spec.serial));
+  if (spec.platform == device::Platform::kAndroid) {
+    md.adbd = std::make_unique<device::AdbDaemon>(*md.device);
+  }
+  // The HID input service backs the Bluetooth keyboard channel — and is the
+  // only remote-input path on iOS.
+  md.hid = std::make_unique<device::BtHidService>(*md.device);
+  md.relay_channel = channel;
+
+  auto* dev = md.device.get();
+  if (auto r = hub_.attach(dev->host()); !r.ok()) return r.error();
+  if (auto st = ap_.associate(dev->host()); !st.ok()) return st.error();
+  // NAT mode needs explicit forwards for inbound adb/scrcpy control.
+  ap_.forward_port(dev->host(), device::kAdbPort);
+  ap_.forward_port(dev->host(), mirror::kScrcpyControlPort);
+  if (auto st = relay_.connect_load(channel, dev); !st.ok()) return st.error();
+  if (auto st = controller_.register_device(dev); !st.ok()) return st.error();
+
+  dev->set_power_source(device::PowerSource::kBattery);
+  dev->set_usb_charge_ma(hub_.charge_current_ma(dev->host()));
+  dev->power_on();
+  devices_.push_back(std::move(md));
+  return dev;
+}
+
+device::AndroidDevice* VantagePoint::find_device(const std::string& serial) {
+  for (auto& md : devices_) {
+    if (md.device->serial() == serial) return md.device.get();
+  }
+  return nullptr;
+}
+
+util::Result<int> VantagePoint::relay_channel_of(
+    const std::string& serial) const {
+  for (const auto& md : devices_) {
+    if (md.device->serial() == serial) return md.relay_channel;
+  }
+  return util::make_error(util::ErrorCode::kNotFound,
+                          "no device with serial " + serial);
+}
+
+util::Status VantagePoint::switch_power(const std::string& serial,
+                                        hw::RelayPosition pos) {
+  auto channel = relay_channel_of(serial);
+  if (!channel.ok()) return channel.error();
+  device::AndroidDevice* dev = find_device(serial);
+  if (pos == hw::RelayPosition::kBypass && !monitor_.ready()) {
+    // Flipping to bypass without a programmed monitor browns the phone out.
+    BLAB_WARN("vantage-point",
+              serial << " switched to bypass with monitor down: brown-out");
+    if (auto st = relay_.set_position(channel.value(), pos); !st.ok()) {
+      return st;
+    }
+    dev->set_power_source(device::PowerSource::kNone);
+    dev->power_off();
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "monitor not ready; device browned out");
+  }
+  if (auto st = relay_.set_position(channel.value(), pos); !st.ok()) return st;
+  dev->set_power_source(pos == hw::RelayPosition::kBypass
+                            ? device::PowerSource::kMonitorBypass
+                            : device::PowerSource::kBattery);
+  return util::Status::ok_status();
+}
+
+util::Result<mirror::MirroringSession*> VantagePoint::start_mirroring(
+    const std::string& serial) {
+  device::AndroidDevice* dev = find_device(serial);
+  if (dev == nullptr) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            "no device with serial " + serial);
+  }
+  auto& slot = sessions_[serial];
+  if (slot != nullptr && slot->active()) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "mirroring already active for " + serial);
+  }
+  slot = std::make_unique<mirror::MirroringSession>(
+      controller_, *dev, config_.encoder, config_.mirror_timings);
+  if (auto st = slot->start(); !st.ok()) {
+    slot.reset();
+    return st.error();
+  }
+  return slot.get();
+}
+
+util::Status VantagePoint::stop_mirroring(const std::string& serial) {
+  const auto it = sessions_.find(serial);
+  if (it == sessions_.end() || it->second == nullptr) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            "no mirroring session for " + serial);
+  }
+  it->second->stop();
+  sessions_.erase(it);
+  return util::Status::ok_status();
+}
+
+mirror::MirroringSession* VantagePoint::mirroring(const std::string& serial) {
+  const auto it = sessions_.find(serial);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+void VantagePoint::refresh_usb_power() {
+  for (auto& md : devices_) {
+    md.device->set_usb_charge_ma(hub_.charge_current_ma(md.device->host()));
+  }
+}
+
+}  // namespace blab::api

@@ -1,0 +1,114 @@
+// A BatteryLab vantage point (§3.2, Figure 1(b)).
+//
+// Assembles and wires every component the paper's Figure 1(b) shows at a
+// member site: the Raspberry Pi controller (with WiFi AP, USB hub, Bluetooth,
+// SSH server, GUI backend), the Monsoon power monitor fed through the relay
+// circuit switch, the Meross WiFi power socket, and the attached test
+// devices.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "controller/controller.hpp"
+#include "controller/monsoon_poller.hpp"
+#include "controller/rest_backend.hpp"
+#include "device/adb.hpp"
+#include "device/device.hpp"
+#include "device/hid_service.hpp"
+#include "hw/gpio.hpp"
+#include "hw/power_monitor.hpp"
+#include "hw/power_socket.hpp"
+#include "hw/relay.hpp"
+#include "mirror/session.hpp"
+#include "net/usb.hpp"
+#include "net/wifi.hpp"
+#include "util/result.hpp"
+
+namespace blab::api {
+
+struct VantagePointConfig {
+  std::string name = "node1";  ///< DNS label under batterylab.dev
+  std::uint64_t seed = 20191113;  ///< HotNets'19 opening day
+  int relay_channels = 4;
+  int usb_ports = 4;
+  net::ApMode ap_mode = net::ApMode::kNat;
+  hw::MonsoonSpec monsoon{};
+  hw::RelayBoardSpec relay{};
+  mirror::EncoderConfig encoder{};
+  mirror::MirrorTimings mirror_timings{};
+};
+
+class VantagePoint {
+ public:
+  VantagePoint(sim::Simulator& sim, net::Network& net,
+               VantagePointConfig config = {});
+  ~VantagePoint();
+  VantagePoint(const VantagePoint&) = delete;
+  VantagePoint& operator=(const VantagePoint&) = delete;
+
+  const VantagePointConfig& config() const { return config_; }
+  const std::string& name() const { return config_.name; }
+  std::string controller_host() const { return controller_.host(); }
+
+  sim::Simulator& simulator() { return sim_; }
+  net::Network& network() { return net_; }
+  controller::Controller& controller() { return controller_; }
+  hw::GpioController& gpio() { return gpio_; }
+  hw::RelayBoard& relay() { return relay_; }
+  hw::PowerMonitor& monitor() { return monitor_; }
+  hw::PowerSocket& power_socket() { return socket_; }
+  net::UsbHub& usb_hub() { return hub_; }
+  net::WifiAccessPoint& access_point() { return ap_; }
+  controller::MonsoonPoller& poller() { return poller_; }
+  controller::RestBackend& rest() { return rest_; }
+
+  /// Create a test device, wire it to USB, WiFi and a relay channel, start
+  /// its adbd, and boot it (on its own battery).
+  util::Result<device::AndroidDevice*> add_device(device::DeviceSpec spec);
+  device::AndroidDevice* find_device(const std::string& serial);
+  util::Result<int> relay_channel_of(const std::string& serial) const;
+
+  /// Route a device's power terminal: battery or monitor bypass. Switching
+  /// to bypass requires the monitor to be up and programmed, or the phone
+  /// browns out (power_off).
+  util::Status switch_power(const std::string& serial, hw::RelayPosition pos);
+
+  /// Device mirroring session management (one per device).
+  util::Result<mirror::MirroringSession*> start_mirroring(
+      const std::string& serial);
+  util::Status stop_mirroring(const std::string& serial);
+  mirror::MirroringSession* mirroring(const std::string& serial);
+
+  /// USB charge bookkeeping: refresh each device's charge current from its
+  /// hub port state. Call after toggling port power.
+  void refresh_usb_power();
+
+ private:
+  sim::Simulator& sim_;
+  net::Network& net_;
+  VantagePointConfig config_;
+  controller::Controller controller_;
+  hw::GpioController gpio_;
+  hw::RelayBoard relay_;
+  hw::PowerMonitor monitor_;
+  hw::PowerSocket socket_;
+  net::UsbHub hub_;
+  net::WifiAccessPoint ap_;
+  controller::MonsoonPoller poller_;
+  controller::RestBackend rest_;
+
+  struct ManagedDevice {
+    std::unique_ptr<device::AndroidDevice> device;
+    std::unique_ptr<device::AdbDaemon> adbd;      ///< Android only
+    std::unique_ptr<device::BtHidService> hid;    ///< both platforms
+    int relay_channel = -1;
+  };
+  std::vector<ManagedDevice> devices_;
+  std::unordered_map<std::string, std::unique_ptr<mirror::MirroringSession>>
+      sessions_;
+};
+
+}  // namespace blab::api

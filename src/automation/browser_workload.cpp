@@ -1,0 +1,126 @@
+#include "automation/browser_workload.hpp"
+
+#include <memory>
+
+#include "device/android.hpp"
+#include "util/logging.hpp"
+
+namespace blab::automation {
+
+Script build_browser_page_script(const std::string& url,
+                                 const BrowserWorkloadOptions& options) {
+  Script script;
+  script.type(url).then(util::Duration::millis(500));
+  script.press_enter().then(options.page_wait);
+  for (int s = 0; s < options.scrolls_per_page; ++s) {
+    // Alternate scroll down / scroll up, like the paper's interaction.
+    script.swipe(s % 2 == 0 ? -600 : 600).then(options.scroll_gap);
+  }
+  return script;
+}
+
+util::Cdf sample_timeline_cdf(const hw::Timeline& timeline, util::TimePoint t0,
+                              util::TimePoint t1, util::Duration period) {
+  util::Cdf cdf;
+  for (util::TimePoint t = t0; t < t1; t += period) {
+    cdf.add(timeline.at(t));
+  }
+  return cdf;
+}
+
+util::Result<BrowserRunResult> run_browser_energy_test(
+    api::BatteryLabApi& api, const std::string& serial,
+    const device::BrowserProfile& profile,
+    const BrowserWorkloadOptions& options) {
+  auto& vp = api.vantage_point();
+  auto& sim = vp.simulator();
+  device::AndroidDevice* dev = vp.find_device(serial);
+  if (dev == nullptr) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            "unknown device " + serial);
+  }
+  // Install the browser on demand (sideloaded once per device).
+  if (dev->os().app(profile.package) == nullptr) {
+    if (auto st = dev->os().install(
+            std::make_unique<device::Browser>(*dev, profile));
+        !st.ok()) {
+      return st.error();
+    }
+  }
+
+  AdbChannel channel{api, serial};
+
+  // ---- Setup phase: USB still powered, ADB over USB (§3.3) --------------
+  Script setup;
+  setup.clear(profile.package)
+      .launch(profile.package)
+      .then(util::Duration::millis(700));
+  if (profile.needs_first_run_setup) {
+    setup.tap(540, 1700).then(util::Duration::millis(400));
+    setup.tap(540, 1700).then(util::Duration::millis(400));
+  }
+  if (auto r = run_script(sim, channel, setup); !r.ok()) return r.error();
+  if (profile.supports_lite_pages) {
+    // §4.3: lite pages are turned off to keep tests comparable.
+    if (auto r = api.execute_adb(
+            serial, "settings put secure chrome_lite_pages 0");
+        !r.ok()) {
+      return r.error();
+    }
+  }
+
+  // ---- Mirroring (usability mode) ----------------------------------------
+  if (options.mirroring && !api.mirroring_active(serial)) {
+    if (auto st = api.device_mirroring(serial, true); !st.ok()) return st.error();
+  }
+
+  // ---- Measurement: monitor up, USB cut, automation over WiFi ------------
+  if (!api.monitor_powered()) {
+    if (auto st = api.power_monitor(); !st.ok()) return st.error();
+  }
+  if (auto st = api.set_voltage(options.voltage); !st.ok()) return st.error();
+  vp.controller().resources().start_sampling(options.cpu_sample_period);
+  if (auto st = api.start_monitor(serial); !st.ok()) return st.error();
+
+  const util::TimePoint t0 = sim.now();
+  device::Browser* browser =
+      static_cast<device::Browser*>(dev->os().app(profile.package));
+  const std::uint64_t bytes_before = browser->bytes_fetched();
+
+  const auto& catalog = device::WebCatalog::news_sites();
+  for (int p = 0; p < options.pages; ++p) {
+    const auto& page = catalog.pages()[static_cast<std::size_t>(p) %
+                                       catalog.pages().size()];
+    const Script script = build_browser_page_script(page.url, options);
+    if (auto r = run_script(sim, channel, script); !r.ok()) {
+      (void)api.stop_monitor();
+      vp.controller().resources().stop_sampling();
+      return r.error();
+    }
+  }
+
+  auto capture = api.stop_monitor();
+  const util::TimePoint t1 = sim.now();
+  vp.controller().resources().stop_sampling();
+  if (!capture.ok()) return capture.error();
+
+  if (options.mirroring) (void)api.device_mirroring(serial, false);
+  (void)channel.stop_app(profile.package);
+
+  BrowserRunResult result;
+  result.browser = profile.name;
+  result.capture = std::move(capture).take();
+  result.discharge_mah = result.capture.charge_mah();
+  result.mean_current_ma = result.capture.mean_current_ma();
+  result.device_cpu = sample_timeline_cdf(dev->cpu().utilization_timeline(),
+                                          t0, t1, options.cpu_sample_period);
+  result.controller_cpu =
+      sample_timeline_cdf(vp.controller().resources().cpu_timeline(), t0, t1,
+                          options.cpu_sample_period);
+  result.bytes_fetched = browser->bytes_fetched() - bytes_before;
+  result.pages_loaded = browser->pages_loaded();
+  result.elapsed = t1 - t0;
+  return result;
+}
+
+}  // namespace blab::automation

@@ -1,0 +1,66 @@
+// The §4.2 browser energy workload.
+//
+// "Each browser is instrumented to sequentially load 10 popular news
+// websites. After a URL is entered, the automation script waits 6 seconds —
+// emulating a typical page load time — and then interacts with the page by
+// executing multiple scroll up and scroll down operations. Before the
+// beginning of a workload, the browser state is cleaned and the required
+// setup is done."
+//
+// run_browser_energy_test() performs exactly that against a device at a
+// vantage point, with active battery monitoring, and returns the capture
+// plus the device-CPU distribution (Figs. 3, 4, 6).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "api/batterylab_api.hpp"
+#include "automation/script.hpp"
+#include "device/browser.hpp"
+#include "util/result.hpp"
+#include "util/stats.hpp"
+
+namespace blab::automation {
+
+struct BrowserWorkloadOptions {
+  int pages = 10;
+  int scrolls_per_page = 6;
+  util::Duration page_wait = util::Duration::seconds(6);
+  util::Duration scroll_gap = util::Duration::seconds(2);
+  bool mirroring = false;
+  /// Monitor voltage (Samsung J7 Duo nominal pack voltage).
+  double voltage = 3.85;
+  /// Sampling period for the device CPU CDF.
+  util::Duration cpu_sample_period = util::Duration::millis(200);
+};
+
+struct BrowserRunResult {
+  std::string browser;
+  hw::Capture capture;
+  double discharge_mah = 0.0;
+  double mean_current_ma = 0.0;
+  util::Cdf device_cpu;      ///< utilization in [0,1] over the run
+  util::Cdf controller_cpu;  ///< Pi utilization over the run (Fig. 5)
+  std::uint64_t bytes_fetched = 0;
+  std::size_t pages_loaded = 0;
+  util::Duration elapsed = util::Duration::zero();
+};
+
+/// Build the per-page interaction script (type URL, enter, wait, scrolls).
+Script build_browser_page_script(const std::string& url,
+                                 const BrowserWorkloadOptions& options);
+
+/// Run the full workload on `serial` with browser `profile`. The browser is
+/// installed on demand, its state cleared and first-run completed over ADB
+/// while USB is still powered, then the measurement runs over WiFi.
+util::Result<BrowserRunResult> run_browser_energy_test(
+    api::BatteryLabApi& api, const std::string& serial,
+    const device::BrowserProfile& profile,
+    const BrowserWorkloadOptions& options = {});
+
+/// Sample a utilization timeline into a CDF over [t0, t1).
+util::Cdf sample_timeline_cdf(const hw::Timeline& timeline, util::TimePoint t0,
+                              util::TimePoint t1, util::Duration period);
+
+}  // namespace blab::automation

@@ -1,0 +1,68 @@
+#include "automation/bt_hid.hpp"
+
+#include "device/android.hpp"
+
+namespace blab::automation {
+
+BtKeyboardChannel::BtKeyboardChannel(net::Network& net,
+                                     net::BluetoothAdapter& controller_bt,
+                                     device::AndroidDevice& device)
+    : net_{net}, controller_bt_{controller_bt}, device_{device} {}
+
+util::Status BtKeyboardChannel::ready() const {
+  const auto* pairing = controller_bt_.pairing(device_.host());
+  if (pairing == nullptr || pairing->profile != net::BtProfile::kHid) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "no HID pairing with " + device_.host());
+  }
+  if (!device_.bluetooth().enabled()) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "device Bluetooth is off");
+  }
+  return util::Status::ok_status();
+}
+
+util::Status BtKeyboardChannel::send_event(const std::string& event) {
+  if (auto st = ready(); !st.ok()) return st;
+  net::Message msg;
+  msg.src = net::Address{controller_bt_.host(), kBtHidPort};
+  msg.dst = net::Address{device_.host(), kBtHidPort};
+  msg.tag = "hid.event";
+  msg.payload = event;
+  msg.wire_bytes = 48;
+  return net_.send(std::move(msg));
+}
+
+util::Status BtKeyboardChannel::text(const std::string& s) {
+  return send_event("text " + s);
+}
+
+util::Status BtKeyboardChannel::key(int keycode) {
+  return send_event("key " + std::to_string(keycode));
+}
+
+util::Status BtKeyboardChannel::swipe(int dy) {
+  return send_event("swipe " + std::to_string(dy));
+}
+
+util::Status BtKeyboardChannel::tap(int x, int y) {
+  return send_event("tap " + std::to_string(x) + " " + std::to_string(y));
+}
+
+util::Status BtKeyboardChannel::launch_app(const std::string& package) {
+  return send_event("launch " + package);
+}
+
+util::Status BtKeyboardChannel::stop_app(const std::string&) {
+  return util::make_error(util::ErrorCode::kUnsupported,
+                          "bt-keyboard cannot manage app state (use ADB "
+                          "outside the measurement, §3.3)");
+}
+
+util::Status BtKeyboardChannel::clear_app(const std::string&) {
+  return util::make_error(util::ErrorCode::kUnsupported,
+                          "bt-keyboard cannot manage app state (use ADB "
+                          "outside the measurement, §3.3)");
+}
+
+}  // namespace blab::automation

@@ -1,0 +1,50 @@
+// Bluetooth HID keyboard automation channel (§3.3).
+//
+// The controller emulates a keyboard the device pairs with; key events ride
+// the Bluetooth link, so automation works on cellular and without root, on
+// both Android and iOS. The device-side half is device::BtHidService.
+// App-state management is deliberately unsupported — the paper keeps those
+// operations on ADB, outside the measurement window.
+#pragma once
+
+#include "automation/channels.hpp"
+#include "device/device.hpp"
+#include "device/hid_service.hpp"
+#include "net/bluetooth.hpp"
+#include "net/network.hpp"
+
+namespace blab::automation {
+
+/// Backward-compatible aliases: the service itself now lives in device/.
+using device::BtHidService;
+using device::kBtHidPort;
+
+/// Controller-side channel. Requires an HID pairing between the controller's
+/// and the device's Bluetooth adapters.
+class BtKeyboardChannel : public AutomationChannel {
+ public:
+  /// Fails (reported by `ready()`) unless the adapters are HID-paired.
+  BtKeyboardChannel(net::Network& net, net::BluetoothAdapter& controller_bt,
+                    device::AndroidDevice& device);
+
+  util::Status ready() const;
+
+  const char* name() const override { return "bt-keyboard"; }
+  util::Status text(const std::string& s) override;
+  util::Status key(int keycode) override;
+  util::Status swipe(int dy) override;
+  util::Status tap(int x, int y) override;
+  util::Status launch_app(const std::string& package) override;
+  util::Status stop_app(const std::string& package) override;
+  util::Status clear_app(const std::string& package) override;
+  bool supports_app_management() const override { return false; }
+
+ private:
+  util::Status send_event(const std::string& event);
+
+  net::Network& net_;
+  net::BluetoothAdapter& controller_bt_;
+  device::AndroidDevice& device_;
+};
+
+}  // namespace blab::automation

@@ -1,0 +1,79 @@
+#include "automation/channels.hpp"
+
+#include "device/android.hpp"
+
+namespace blab::automation {
+
+AdbChannel::AdbChannel(api::BatteryLabApi& api, std::string device_serial)
+    : api_{api}, serial_{std::move(device_serial)} {}
+
+util::Status AdbChannel::run(const std::string& command) {
+  auto r = api_.execute_adb(serial_, command);
+  return r.ok() ? util::Status::ok_status() : util::Status{r.error()};
+}
+
+util::Status AdbChannel::text(const std::string& s) {
+  return run("input text " + s);
+}
+
+util::Status AdbChannel::key(int keycode) {
+  return run("input keyevent " + std::to_string(keycode));
+}
+
+util::Status AdbChannel::swipe(int dy) {
+  // Swipe through the middle of the screen; end point encodes direction.
+  const int x = 540;
+  const int y1 = 1200;
+  const int y2 = y1 + dy;
+  return run("input swipe " + std::to_string(x) + " " + std::to_string(y1) +
+             " " + std::to_string(x) + " " + std::to_string(y2));
+}
+
+util::Status AdbChannel::tap(int x, int y) {
+  return run("input tap " + std::to_string(x) + " " + std::to_string(y));
+}
+
+util::Status AdbChannel::launch_app(const std::string& package) {
+  return run("am start " + package);
+}
+
+util::Status AdbChannel::stop_app(const std::string& package) {
+  return run("am force-stop " + package);
+}
+
+util::Status AdbChannel::clear_app(const std::string& package) {
+  return run("pm clear " + package);
+}
+
+UiTestChannel::UiTestChannel(device::AndroidDevice& device)
+    : device_{device} {}
+
+util::Status UiTestChannel::text(const std::string& s) {
+  return device_.os().input_text(s);
+}
+
+util::Status UiTestChannel::key(int keycode) {
+  return device_.os().input_keyevent(keycode);
+}
+
+util::Status UiTestChannel::swipe(int dy) {
+  return device_.os().input_swipe(540, 1200, 540, 1200 + dy);
+}
+
+util::Status UiTestChannel::tap(int x, int y) {
+  return device_.os().input_tap(x, y);
+}
+
+util::Status UiTestChannel::launch_app(const std::string& package) {
+  return device_.os().start_activity(package);
+}
+
+util::Status UiTestChannel::stop_app(const std::string& package) {
+  return device_.os().force_stop(package);
+}
+
+util::Status UiTestChannel::clear_app(const std::string& package) {
+  return device_.os().clear_data(package);
+}
+
+}  // namespace blab::automation

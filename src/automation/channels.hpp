@@ -1,0 +1,79 @@
+// Test-automation channels (§3.3).
+//
+// BatteryLab automates devices three ways, each with its own trade-offs:
+//   - ADB (Android): full control; transport USB/WiFi/Bluetooth. USB is cut
+//     during measurements, so measurement-time automation rides WiFi.
+//   - UI testing (Android/iOS): an instrumented build drives itself — no
+//     channel to the Pi at all, but requires app source access.
+//   - Bluetooth keyboard (Android/iOS): the controller emulates an HID
+//     keyboard; works on cellular and unrooted devices, but cannot manage
+//     app state (pm clear et al. stay on ADB outside the measurement).
+#pragma once
+
+#include <string>
+
+#include "api/batterylab_api.hpp"
+#include "device/browser.hpp"
+#include "net/bluetooth.hpp"
+#include "util/result.hpp"
+
+namespace blab::automation {
+
+class AutomationChannel {
+ public:
+  virtual ~AutomationChannel() = default;
+
+  virtual const char* name() const = 0;
+
+  virtual util::Status text(const std::string& s) = 0;
+  virtual util::Status key(int keycode) = 0;
+  /// Vertical swipe by dy pixels (negative = scroll content down).
+  virtual util::Status swipe(int dy) = 0;
+  virtual util::Status tap(int x, int y) = 0;
+
+  virtual util::Status launch_app(const std::string& package) = 0;
+  virtual util::Status stop_app(const std::string& package) = 0;
+  virtual util::Status clear_app(const std::string& package) = 0;
+  /// BT keyboard cannot manage app state (§3.3).
+  virtual bool supports_app_management() const { return true; }
+};
+
+/// ADB-backed channel; transport selection (USB vs WiFi) is the API's.
+class AdbChannel : public AutomationChannel {
+ public:
+  AdbChannel(api::BatteryLabApi& api, std::string device_serial);
+
+  const char* name() const override { return "adb"; }
+  util::Status text(const std::string& s) override;
+  util::Status key(int keycode) override;
+  util::Status swipe(int dy) override;
+  util::Status tap(int x, int y) override;
+  util::Status launch_app(const std::string& package) override;
+  util::Status stop_app(const std::string& package) override;
+  util::Status clear_app(const std::string& package) override;
+
+ private:
+  util::Status run(const std::string& command);
+  api::BatteryLabApi& api_;
+  std::string serial_;
+};
+
+/// Instrumented-build channel: calls the app surface directly on-device.
+class UiTestChannel : public AutomationChannel {
+ public:
+  explicit UiTestChannel(device::AndroidDevice& device);
+
+  const char* name() const override { return "ui-test"; }
+  util::Status text(const std::string& s) override;
+  util::Status key(int keycode) override;
+  util::Status swipe(int dy) override;
+  util::Status tap(int x, int y) override;
+  util::Status launch_app(const std::string& package) override;
+  util::Status stop_app(const std::string& package) override;
+  util::Status clear_app(const std::string& package) override;
+
+ private:
+  device::AndroidDevice& device_;
+};
+
+}  // namespace blab::automation

@@ -1,0 +1,88 @@
+#include "automation/script.hpp"
+
+#include "device/app.hpp"
+
+namespace blab::automation {
+
+Script& Script::launch(const std::string& package) {
+  steps_.push_back({StepKind::kLaunchApp, package, 0, 0, {}});
+  return *this;
+}
+
+Script& Script::stop(const std::string& package) {
+  steps_.push_back({StepKind::kStopApp, package, 0, 0, {}});
+  return *this;
+}
+
+Script& Script::clear(const std::string& package) {
+  steps_.push_back({StepKind::kClearApp, package, 0, 0, {}});
+  return *this;
+}
+
+Script& Script::type(const std::string& text) {
+  steps_.push_back({StepKind::kText, text, 0, 0, {}});
+  return *this;
+}
+
+Script& Script::key(int keycode) {
+  steps_.push_back({StepKind::kKey, "", keycode, 0, {}});
+  return *this;
+}
+
+Script& Script::press_enter() { return key(device::kKeycodeEnter); }
+
+Script& Script::swipe(int dy) {
+  steps_.push_back({StepKind::kSwipe, "", dy, 0, {}});
+  return *this;
+}
+
+Script& Script::tap(int x, int y) {
+  steps_.push_back({StepKind::kTap, "", x, y, {}});
+  return *this;
+}
+
+Script& Script::wait(util::Duration d) {
+  steps_.push_back({StepKind::kWait, "", 0, 0, d});
+  return *this;
+}
+
+Script& Script::then(util::Duration d) {
+  if (!steps_.empty()) steps_.back().delay_after += d;
+  return *this;
+}
+
+util::Result<ScriptRunStats> run_script(sim::Simulator& sim,
+                                        AutomationChannel& channel,
+                                        const Script& script,
+                                        bool stop_on_error) {
+  ScriptRunStats stats;
+  const util::TimePoint started = sim.now();
+  for (const Step& step : script.steps()) {
+    util::Status st = util::Status::ok_status();
+    switch (step.kind) {
+      case StepKind::kLaunchApp: st = channel.launch_app(step.text); break;
+      case StepKind::kStopApp: st = channel.stop_app(step.text); break;
+      case StepKind::kClearApp: st = channel.clear_app(step.text); break;
+      case StepKind::kText: st = channel.text(step.text); break;
+      case StepKind::kKey: st = channel.key(step.a); break;
+      case StepKind::kSwipe: st = channel.swipe(step.a); break;
+      case StepKind::kTap: st = channel.tap(step.a, step.b); break;
+      case StepKind::kWait: break;
+    }
+    ++stats.steps_executed;
+    if (!st.ok()) {
+      ++stats.steps_failed;
+      if (stop_on_error) {
+        stats.elapsed = sim.now() - started;
+        return st.error();
+      }
+    }
+    if (step.delay_after > util::Duration::zero()) {
+      sim.run_for(step.delay_after);
+    }
+  }
+  stats.elapsed = sim.now() - started;
+  return stats;
+}
+
+}  // namespace blab::automation

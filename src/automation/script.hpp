@@ -1,0 +1,72 @@
+// Automation scripts: declarative step sequences executed over a channel.
+//
+// Experimenters "write an automation script which instruments a browser to
+// load a webpage and interact with it" (§4.2). A Script is a list of steps
+// with inter-step delays; the runner executes it at the top level, advancing
+// the simulator between steps (so a 6-second page wait really is 6 seconds
+// of simulated time with the device drawing power throughout).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "automation/channels.hpp"
+#include "sim/simulator.hpp"
+#include "util/result.hpp"
+
+namespace blab::automation {
+
+enum class StepKind {
+  kLaunchApp,
+  kStopApp,
+  kClearApp,
+  kText,
+  kKey,
+  kSwipe,
+  kTap,
+  kWait,
+};
+
+struct Step {
+  StepKind kind = StepKind::kWait;
+  std::string text;   ///< app package or input text
+  int a = 0;          ///< keycode / dy / x
+  int b = 0;          ///< y
+  util::Duration delay_after = util::Duration::zero();
+};
+
+class Script {
+ public:
+  Script& launch(const std::string& package);
+  Script& stop(const std::string& package);
+  Script& clear(const std::string& package);
+  Script& type(const std::string& text);
+  Script& key(int keycode);
+  Script& press_enter();
+  Script& swipe(int dy);
+  Script& tap(int x, int y);
+  Script& wait(util::Duration d);
+  /// Attach a delay to the most recent step (fluent: .type("x").then(2s)).
+  Script& then(util::Duration d);
+
+  const std::vector<Step>& steps() const { return steps_; }
+  std::size_t size() const { return steps_.size(); }
+
+ private:
+  std::vector<Step> steps_;
+};
+
+struct ScriptRunStats {
+  std::size_t steps_executed = 0;
+  std::size_t steps_failed = 0;
+  util::Duration elapsed = util::Duration::zero();
+};
+
+/// Execute at top level (never from inside a simulator callback). Failures
+/// of individual steps are recorded; `stop_on_error` aborts at the first.
+util::Result<ScriptRunStats> run_script(sim::Simulator& sim,
+                                        AutomationChannel& channel,
+                                        const Script& script,
+                                        bool stop_on_error = true);
+
+}  // namespace blab::automation

@@ -1,0 +1,73 @@
+#include "controller/controller.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace blab::controller {
+
+Controller::Controller(sim::Simulator& sim, net::Network& net,
+                       std::string host, std::uint64_t seed)
+    : sim_{sim},
+      net_{net},
+      host_{std::move(host)},
+      resources_{sim, util::Rng{seed}},
+      adb_{net, host_},
+      bt_{net, host_},
+      ssh_{net, host_, net::kSshPort} {
+  // The GUI backend and noVNC proxy idle cheaply until mirroring starts.
+  ServiceDemand backend;
+  backend.cpu = 0.01;
+  backend.ram_mb = 22.0;
+  resources_.register_service("gui-backend", backend);
+}
+
+util::Status Controller::register_device(device::AndroidDevice* device) {
+  if (device == nullptr) {
+    return util::make_error(util::ErrorCode::kInvalidArgument, "null device");
+  }
+  if (find_device(device->serial()) != nullptr) {
+    return util::make_error(util::ErrorCode::kAlreadyExists,
+                            "serial " + device->serial() + " already attached");
+  }
+  devices_.push_back(device);
+  BLAB_INFO("controller", host_ << " attached device " << device->serial());
+  return util::Status::ok_status();
+}
+
+util::Status Controller::deregister_device(const std::string& serial) {
+  const auto it =
+      std::find_if(devices_.begin(), devices_.end(), [&](const auto* d) {
+        return d->serial() == serial;
+      });
+  if (it == devices_.end()) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            "no device with serial " + serial);
+  }
+  devices_.erase(it);
+  return util::Status::ok_status();
+}
+
+device::AndroidDevice* Controller::find_device(const std::string& serial) {
+  for (auto* d : devices_) {
+    if (d->serial() == serial) return d;
+  }
+  return nullptr;
+}
+
+device::AndroidDevice* Controller::find_device_by_host(
+    const std::string& host) {
+  for (auto* d : devices_) {
+    if (d->host() == host) return d;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Controller::device_serials() const {
+  std::vector<std::string> out;
+  out.reserve(devices_.size());
+  for (const auto* d : devices_) out.push_back(d->serial());
+  return out;
+}
+
+}  // namespace blab::controller

@@ -1,0 +1,55 @@
+// Vantage-point controller (Raspberry Pi 3B+, §3.2).
+//
+// Owns the Pi's resource model, the ADB client, the Bluetooth adapter (for
+// HID-keyboard automation), the SSH server the access server connects to,
+// and the registry of test devices attached to this vantage point.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "controller/resources.hpp"
+#include "device/adb.hpp"
+#include "device/device.hpp"
+#include "net/bluetooth.hpp"
+#include "net/network.hpp"
+#include "net/ssh.hpp"
+#include "util/result.hpp"
+
+namespace blab::controller {
+
+class Controller {
+ public:
+  Controller(sim::Simulator& sim, net::Network& net, std::string host,
+             std::uint64_t seed);
+
+  const std::string& host() const { return host_; }
+  sim::Simulator& simulator() { return sim_; }
+  net::Network& network() { return net_; }
+
+  ResourceModel& resources() { return resources_; }
+  device::AdbClient& adb() { return adb_; }
+  net::BluetoothAdapter& bluetooth() { return bt_; }
+  net::SshServer& ssh_server() { return ssh_; }
+
+  /// Attach a test device to this vantage point (non-owning).
+  util::Status register_device(device::AndroidDevice* device);
+  util::Status deregister_device(const std::string& serial);
+  device::AndroidDevice* find_device(const std::string& serial);
+  device::AndroidDevice* find_device_by_host(const std::string& host);
+  std::vector<std::string> device_serials() const;
+  std::size_t device_count() const { return devices_.size(); }
+
+ private:
+  sim::Simulator& sim_;
+  net::Network& net_;
+  std::string host_;
+  ResourceModel resources_;
+  device::AdbClient adb_;
+  net::BluetoothAdapter bt_;
+  net::SshServer ssh_;
+  std::vector<device::AndroidDevice*> devices_;
+};
+
+}  // namespace blab::controller

@@ -1,0 +1,41 @@
+#include "controller/monsoon_poller.hpp"
+
+namespace blab::controller {
+namespace {
+constexpr char kServiceName[] = "monsoon-poller";
+}  // namespace
+
+MonsoonPoller::MonsoonPoller(ResourceModel& resources,
+                             hw::PowerMonitor& monitor)
+    : resources_{resources}, monitor_{monitor} {}
+
+MonsoonPoller::~MonsoonPoller() {
+  if (active_) resources_.unregister_service(kServiceName);
+}
+
+util::Status MonsoonPoller::start() {
+  if (active_) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "poller already active");
+  }
+  if (auto st = monitor_.start_capture(); !st.ok()) return st;
+  ServiceDemand demand;
+  demand.cpu = kPollCpuDemand;
+  demand.ram_mb = kPollRamMb;
+  demand.cpu_jitter = 0.04;
+  resources_.register_service(kServiceName, demand);
+  active_ = true;
+  return util::Status::ok_status();
+}
+
+util::Result<hw::Capture> MonsoonPoller::stop() {
+  if (!active_) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "poller not active");
+  }
+  active_ = false;
+  resources_.unregister_service(kServiceName);
+  return monitor_.stop_capture();
+}
+
+}  // namespace blab::controller

@@ -1,0 +1,39 @@
+// Monsoon readout service.
+//
+// The controller pulls battery samples from the Monsoon at the highest
+// frequency over its USB protocol; §4.2 attributes a constant ~25% Pi CPU to
+// this polling alone. The poller registers that demand while a capture is
+// active and relays capture control to the instrument.
+#pragma once
+
+#include <string>
+
+#include "controller/resources.hpp"
+#include "hw/power_monitor.hpp"
+#include "util/result.hpp"
+
+namespace blab::controller {
+
+class MonsoonPoller {
+ public:
+  MonsoonPoller(ResourceModel& resources, hw::PowerMonitor& monitor);
+  ~MonsoonPoller();
+  MonsoonPoller(const MonsoonPoller&) = delete;
+  MonsoonPoller& operator=(const MonsoonPoller&) = delete;
+
+  /// Begin a capture: arms the monitor and registers the polling CPU load.
+  util::Status start();
+  /// Stop and return the capture.
+  util::Result<hw::Capture> stop();
+  bool active() const { return active_; }
+
+  static constexpr double kPollCpuDemand = 0.24;
+  static constexpr double kPollRamMb = 18.0;
+
+ private:
+  ResourceModel& resources_;
+  hw::PowerMonitor& monitor_;
+  bool active_ = false;
+};
+
+}  // namespace blab::controller

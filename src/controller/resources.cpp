@@ -1,0 +1,58 @@
+#include "controller/resources.hpp"
+
+#include <algorithm>
+
+namespace blab::controller {
+
+ResourceModel::ResourceModel(sim::Simulator& sim, util::Rng rng, PiSpec spec)
+    : sim_{sim},
+      rng_{std::move(rng)},
+      spec_{spec},
+      sampler_{sim, util::Duration::millis(200), [this] { sample(); }} {}
+
+void ResourceModel::register_service(const std::string& name,
+                                     ServiceDemand demand) {
+  services_[name] = std::move(demand);
+}
+
+void ResourceModel::unregister_service(const std::string& name) {
+  services_.erase(name);
+}
+
+bool ResourceModel::has_service(const std::string& name) const {
+  return services_.contains(name);
+}
+
+double ResourceModel::cpu_utilization() {
+  double total = spec_.base_cpu;
+  for (auto& [_, svc] : services_) {
+    double cpu = svc.dynamic_cpu ? svc.dynamic_cpu() : svc.cpu;
+    if (svc.cpu_jitter > 0.0) {
+      cpu = rng_.normal(cpu, cpu * svc.cpu_jitter);
+    }
+    if (svc.spike_probability > 0.0 && rng_.chance(svc.spike_probability)) {
+      cpu += svc.spike_cpu;
+    }
+    total += std::max(0.0, cpu);
+  }
+  return std::clamp(total, 0.0, 1.0);
+}
+
+double ResourceModel::ram_used_mb() const {
+  double total = spec_.base_ram_mb;
+  for (const auto& [_, svc] : services_) total += svc.ram_mb;
+  return std::min(total, spec_.ram_mb);
+}
+
+void ResourceModel::start_sampling(util::Duration period) {
+  sampler_.set_period(period);
+  sampler_.start_after(period);
+}
+
+void ResourceModel::stop_sampling() { sampler_.stop(); }
+
+void ResourceModel::sample() {
+  cpu_timeline_.set(sim_.now(), cpu_utilization());
+}
+
+}  // namespace blab::controller

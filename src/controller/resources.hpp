@@ -1,0 +1,74 @@
+// Raspberry Pi 3B+ resource model.
+//
+// The controller's CPU and memory budgets matter: §4.2 reports ~25% CPU from
+// Monsoon polling alone, a ~75% median with mirroring active (10% of samples
+// above 95%), and <20% of the 1 GB RAM used. Services register demands here;
+// the model tracks utilization timelines for Fig. 5 and the memory numbers.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "hw/timeline.hpp"
+#include "sim/periodic.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace blab::controller {
+
+struct PiSpec {
+  int cores = 4;
+  double ram_mb = 1024.0;  // Raspberry Pi 3B+
+  double base_cpu = 0.02;  ///< OS housekeeping
+  double base_ram_mb = 95.0;
+};
+
+/// A registered service demand. `cpu` is fraction of total CPU [0,1];
+/// `dynamic_cpu` (optional) is re-evaluated on every sample tick, which is
+/// how the mirroring pipeline's load follows the mirrored screen content.
+struct ServiceDemand {
+  double cpu = 0.0;
+  double ram_mb = 0.0;
+  double cpu_jitter = 0.0;  ///< relative sigma applied at sampling time
+  std::function<double()> dynamic_cpu;  ///< overrides `cpu` when set
+  /// Occasional load spike (e.g. full-frame VNC updates): with this
+  /// probability per sample, `spike_cpu` is added on top.
+  double spike_probability = 0.0;
+  double spike_cpu = 0.0;
+};
+
+class ResourceModel {
+ public:
+  ResourceModel(sim::Simulator& sim, util::Rng rng, PiSpec spec = {});
+
+  const PiSpec& spec() const { return spec_; }
+
+  void register_service(const std::string& name, ServiceDemand demand);
+  void unregister_service(const std::string& name);
+  bool has_service(const std::string& name) const;
+  std::size_t service_count() const { return services_.size(); }
+
+  /// Instantaneous totals (clamped to capacity).
+  double cpu_utilization();
+  double ram_used_mb() const;
+  double ram_fraction() const { return ram_used_mb() / spec_.ram_mb; }
+
+  /// Start/stop periodic sampling of CPU into the utilization timeline
+  /// (drives Fig. 5's CDFs).
+  void start_sampling(util::Duration period = util::Duration::millis(200));
+  void stop_sampling();
+  const hw::Timeline& cpu_timeline() const { return cpu_timeline_; }
+
+ private:
+  void sample();
+
+  sim::Simulator& sim_;
+  util::Rng rng_;
+  PiSpec spec_;
+  std::unordered_map<std::string, ServiceDemand> services_;
+  hw::Timeline cpu_timeline_;
+  sim::PeriodicTask sampler_;
+};
+
+}  // namespace blab::controller

@@ -1,0 +1,78 @@
+#include "controller/rest_backend.hpp"
+
+#include "util/strings.hpp"
+
+namespace blab::controller {
+
+RestBackend::RestBackend(net::Network& net, std::string host, int port)
+    : net_{net}, addr_{std::move(host), port} {
+  net_.add_host(addr_.host);
+  net_.listen(addr_, [this](const net::Message& m) { on_message(m); });
+}
+
+RestBackend::~RestBackend() { net_.unlisten(addr_); }
+
+void RestBackend::register_endpoint(const std::string& name,
+                                    RestHandler handler) {
+  handlers_[name] = std::move(handler);
+}
+
+bool RestBackend::has_endpoint(const std::string& name) const {
+  return handlers_.contains(name);
+}
+
+std::vector<std::string> RestBackend::endpoints() const {
+  std::vector<std::string> out;
+  out.reserve(handlers_.size());
+  for (const auto& [name, _] : handlers_) out.push_back(name);
+  return out;
+}
+
+util::Result<std::string> RestBackend::call(const std::string& name,
+                                            const std::string& query) {
+  const auto it = handlers_.find(name);
+  if (it == handlers_.end()) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            "no endpoint /" + name);
+  }
+  ++requests_;
+  return it->second(query);
+}
+
+void RestBackend::on_message(const net::Message& msg) {
+  if (msg.tag != "rest.call") return;
+  // Payload: "<endpoint>?<query>".
+  const auto qmark = msg.payload.find('?');
+  const std::string name = msg.payload.substr(0, qmark);
+  const std::string query =
+      qmark == std::string::npos ? "" : msg.payload.substr(qmark + 1);
+  auto result = call(name, query);
+
+  net::Message reply;
+  reply.src = addr_;
+  reply.dst = msg.src;
+  reply.tag = "rest.reply";
+  if (result.ok()) {
+    reply.payload = "200\x1f" + result.value();
+  } else {
+    reply.payload = "400\x1f" + result.error().str();
+  }
+  reply.wire_bytes = 128 + reply.payload.size();
+  (void)net_.send(std::move(reply));
+}
+
+std::map<std::string, std::string> parse_query(const std::string& query) {
+  std::map<std::string, std::string> out;
+  if (query.empty()) return out;
+  for (const auto& pair : util::split(query, '&')) {
+    const auto eq = pair.find('=');
+    if (eq == std::string::npos) {
+      out[pair] = "";
+    } else {
+      out[pair.substr(0, eq)] = pair.substr(eq + 1);
+    }
+  }
+  return out;
+}
+
+}  // namespace blab::controller

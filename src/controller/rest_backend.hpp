@@ -1,0 +1,56 @@
+// GUI backend (§3.2).
+//
+// The noVNC GUI's toolbar talks to the controller through AJAX calls against
+// internal REST endpoints on port 8080. Endpoints are registered by the
+// vantage point (they wrap the BatteryLab API of Table 1) and invoked by
+// name with a query string.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "net/network.hpp"
+#include "util/result.hpp"
+
+namespace blab::controller {
+
+/// Handler receives the query string (e.g. "device_id=J7DUO1") and returns
+/// the response body or an error.
+using RestHandler =
+    std::function<util::Result<std::string>(const std::string& query)>;
+
+class RestBackend {
+ public:
+  RestBackend(net::Network& net, std::string host,
+              int port = net::kGuiBackendPort);
+  ~RestBackend();
+  RestBackend(const RestBackend&) = delete;
+  RestBackend& operator=(const RestBackend&) = delete;
+
+  const net::Address& address() const { return addr_; }
+
+  void register_endpoint(const std::string& name, RestHandler handler);
+  bool has_endpoint(const std::string& name) const;
+  std::vector<std::string> endpoints() const;
+
+  /// Invoke an endpoint in-process (used by unit tests and by the toolbar
+  /// model when rendered on the controller itself).
+  util::Result<std::string> call(const std::string& name,
+                                 const std::string& query);
+
+  std::uint64_t requests_served() const { return requests_; }
+
+ private:
+  void on_message(const net::Message& msg);
+
+  net::Network& net_;
+  net::Address addr_;
+  std::map<std::string, RestHandler> handlers_;
+  std::uint64_t requests_ = 0;
+};
+
+/// Parse "k1=v1&k2=v2" into a map (no URL decoding needed in simulation).
+std::map<std::string, std::string> parse_query(const std::string& query);
+
+}  // namespace blab::controller

@@ -1,0 +1,36 @@
+#include "controller/toolbar.hpp"
+
+namespace blab::controller {
+
+Toolbar::Toolbar(RestBackend& backend) : backend_{backend} {
+  buttons_ = {
+      {"Devices", "list_devices"},
+      {"Mirror", "device_mirroring"},
+      {"Monitor power", "power_monitor"},
+      {"Set voltage", "set_voltage"},
+      {"Start monitor", "start_monitor"},
+      {"Stop monitor", "stop_monitor"},
+      {"Battery switch", "batt_switch"},
+      {"ADB", "execute_adb"},
+  };
+}
+
+bool Toolbar::has_button(const std::string& label) const {
+  for (const auto& b : buttons_) {
+    if (b.label == label) return true;
+  }
+  return false;
+}
+
+util::Result<std::string> Toolbar::click(const std::string& label,
+                                         const std::string& query) {
+  for (const auto& b : buttons_) {
+    if (b.label != label) continue;
+    ++clicks_;
+    return backend_.call(b.endpoint, query);
+  }
+  return util::make_error(util::ErrorCode::kNotFound,
+                          "no toolbar button '" + label + "'");
+}
+
+}  // namespace blab::controller

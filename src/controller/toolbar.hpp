@@ -1,0 +1,44 @@
+// GUI toolbar (§3.2, Figure 1(c)).
+//
+// "The toolbar occupies the top part of the GUI, and implements a convenient
+// subset of BatteryLab's API... BatteryLab allows an experimenter to control
+// the presence or not of the toolbar on the webpage to be shared with a test
+// participant." Buttons map one-to-one onto REST endpoints of the GUI
+// backend; clicking issues the AJAX call.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "controller/rest_backend.hpp"
+#include "util/result.hpp"
+
+namespace blab::controller {
+
+struct ToolbarButton {
+  std::string label;     ///< what the GUI shows, e.g. "Start monitor"
+  std::string endpoint;  ///< backend endpoint it calls
+};
+
+class Toolbar {
+ public:
+  explicit Toolbar(RestBackend& backend);
+
+  /// The §3.2 "convenient subset" of Table 1.
+  const std::vector<ToolbarButton>& buttons() const { return buttons_; }
+  bool has_button(const std::string& label) const;
+
+  /// Click a button; `query` carries its parameter fields. Fails for
+  /// unknown buttons or when the backend lacks the endpoint.
+  util::Result<std::string> click(const std::string& label,
+                                  const std::string& query = {});
+
+  std::uint64_t clicks() const { return clicks_; }
+
+ private:
+  RestBackend& backend_;
+  std::vector<ToolbarButton> buttons_;
+  std::uint64_t clicks_ = 0;
+};
+
+}  // namespace blab::controller

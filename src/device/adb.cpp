@@ -1,0 +1,253 @@
+#include "device/adb.hpp"
+
+#include <atomic>
+#include <memory>
+
+#include "device/android.hpp"
+#include "device/device.hpp"
+#include "util/logging.hpp"
+
+namespace blab::device {
+namespace {
+
+constexpr char kExecTag[] = "adb.exec";
+constexpr char kPushTag[] = "adb.push";
+constexpr char kReplyTag[] = "adb.reply";
+constexpr char kErrorTag[] = "adb.error";
+
+int next_client_port() {
+  static std::atomic<int> port{38000};
+  return port++;
+}
+
+util::Result<AdbTransport> parse_transport(const std::string& s) {
+  if (s == "usb") return AdbTransport::kUsb;
+  if (s == "wifi") return AdbTransport::kWifi;
+  if (s == "bt") return AdbTransport::kBluetooth;
+  return util::make_error(util::ErrorCode::kInvalidArgument,
+                          "bad transport " + s);
+}
+
+}  // namespace
+
+const char* adb_transport_name(AdbTransport t) {
+  switch (t) {
+    case AdbTransport::kUsb: return "usb";
+    case AdbTransport::kWifi: return "wifi";
+    case AdbTransport::kBluetooth: return "bt";
+  }
+  return "?";
+}
+
+AdbDaemon::AdbDaemon(AndroidDevice& device, int port)
+    : device_{device}, addr_{device.host(), port} {
+  device_.network().listen(addr_,
+                           [this](const net::Message& m) { on_message(m); });
+}
+
+AdbDaemon::~AdbDaemon() { device_.network().unlisten(addr_); }
+
+bool AdbDaemon::transport_allowed(AdbTransport t) const {
+  switch (t) {
+    case AdbTransport::kUsb:
+      return true;  // reachability is enforced by the (powered) USB link
+    case AdbTransport::kWifi:
+      return tcpip_enabled_ && device_.wifi().enabled();
+    case AdbTransport::kBluetooth:
+      // ADB-over-Bluetooth needs root (§3.3).
+      return device_.spec().rooted && device_.bluetooth().enabled();
+  }
+  return false;
+}
+
+void AdbDaemon::on_message(const net::Message& msg) {
+  if (msg.tag != kExecTag && msg.tag != kPushTag) return;
+  auto reply = [&](const std::string& tag, const std::string& payload) {
+    net::Message r;
+    r.src = addr_;
+    r.dst = msg.src;
+    r.tag = tag;
+    r.payload = payload;
+    r.wire_bytes = 96 + payload.size();
+    (void)device_.network().send(std::move(r));
+  };
+  const auto sep = msg.payload.find('\x1f');
+  if (sep == std::string::npos) {
+    ++commands_rejected_;
+    reply(kErrorTag, "malformed request");
+    return;
+  }
+  const auto transport = parse_transport(msg.payload.substr(0, sep));
+  const std::string command = msg.payload.substr(sep + 1);
+  if (!transport.ok()) {
+    ++commands_rejected_;
+    reply(kErrorTag, transport.error().message);
+    return;
+  }
+  if (!device_.powered_on()) {
+    ++commands_rejected_;
+    reply(kErrorTag, "device offline");
+    return;
+  }
+  if (!transport_allowed(transport.value())) {
+    ++commands_rejected_;
+    reply(kErrorTag, std::string{"transport "} +
+                         adb_transport_name(transport.value()) +
+                         " not available");
+    return;
+  }
+  if (msg.tag == kPushTag) {
+    // command is "<remote_path>\x1f<bytes>".
+    const auto sep2 = command.find('\x1f');
+    if (sep2 == std::string::npos) {
+      ++commands_rejected_;
+      reply(kErrorTag, "malformed push");
+      return;
+    }
+    const std::string path = command.substr(0, sep2);
+    const auto bytes = std::stoull(command.substr(sep2 + 1));
+    device_.os().put_file(path, bytes);
+    device_.os().log("adbd", "pushed " + path + " (" +
+                                 std::to_string(bytes) + " bytes)");
+    ++commands_served_;
+    reply(kReplyTag, "1 file pushed");
+    return;
+  }
+  auto result = device_.os().execute_shell(command);
+  ++commands_served_;
+  if (result.ok()) {
+    reply(kReplyTag, result.value());
+  } else {
+    reply(kErrorTag, result.error().str());
+  }
+}
+
+AdbClient::AdbClient(net::Network& net, std::string host)
+    : net_{net}, host_{std::move(host)} {
+  net_.add_host(host_);
+}
+
+void AdbClient::shell(const std::string& device_host, AdbTransport transport,
+                      const std::string& command, ShellCallback cb,
+                      util::Duration timeout) {
+  auto& sim = net_.simulator();
+  if (transport == AdbTransport::kUsb) {
+    // `adb devices` only lists a phone whose USB data path is up; a port
+    // whose power was cut (uhubctl) is equivalent to an unplugged cable.
+    const net::Link* usb = net_.find_link(host_, device_host, "usb");
+    if (usb == nullptr || !usb->enabled()) {
+      cb(util::make_error(util::ErrorCode::kUnavailable,
+                          "device not on USB (port unpowered or detached)"));
+      return;
+    }
+  }
+  const net::Address session{host_, next_client_port()};
+  auto done = std::make_shared<bool>(false);
+
+  net_.listen(session, [this, session, cb, done](const net::Message& m) {
+    if (*done) return;
+    *done = true;
+    net_.unlisten(session);
+    if (m.tag == kErrorTag) {
+      cb(util::make_error(util::ErrorCode::kUnavailable, m.payload));
+    } else {
+      cb(m.payload);
+    }
+  });
+
+  net::Message msg;
+  msg.src = session;
+  msg.dst = net::Address{device_host, kAdbPort};
+  msg.tag = kExecTag;
+  msg.payload = std::string{adb_transport_name(transport)} + "\x1f" + command;
+  msg.wire_bytes = 128 + command.size();
+  if (auto st = net_.send(std::move(msg)); !st.ok()) {
+    *done = true;
+    net_.unlisten(session);
+    cb(st.error());
+    return;
+  }
+  sim.schedule_after(timeout, [this, session, cb, done] {
+    if (*done) return;
+    *done = true;
+    net_.unlisten(session);
+    cb(util::make_error(util::ErrorCode::kTimeout, "adb shell timed out"));
+  }, "adb.timeout");
+}
+
+util::Status AdbClient::push_sync(const std::string& device_host,
+                                  AdbTransport transport,
+                                  const std::string& remote_path,
+                                  std::size_t bytes, util::Duration timeout) {
+  auto& sim = net_.simulator();
+  if (transport == AdbTransport::kUsb) {
+    const net::Link* usb = net_.find_link(host_, device_host, "usb");
+    if (usb == nullptr || !usb->enabled()) {
+      return util::make_error(util::ErrorCode::kUnavailable,
+                              "device not on USB (port unpowered or "
+                              "detached)");
+    }
+  }
+  const net::Address session{host_, next_client_port()};
+  auto done = std::make_shared<bool>(false);
+  util::Status result = util::make_error(util::ErrorCode::kUnknown, "not run");
+
+  net_.listen(session, [this, session, done, &result](const net::Message& m) {
+    if (*done) return;
+    *done = true;
+    net_.unlisten(session);
+    if (m.tag == kErrorTag) {
+      result = util::make_error(util::ErrorCode::kUnavailable, m.payload);
+    } else {
+      result = util::Status::ok_status();
+    }
+  });
+
+  net::Message msg;
+  msg.src = session;
+  msg.dst = net::Address{device_host, kAdbPort};
+  msg.tag = kPushTag;
+  msg.payload = std::string{adb_transport_name(transport)} + "\x1f" +
+                remote_path + "\x1f" + std::to_string(bytes);
+  msg.wire_bytes = bytes + 256;  // the file itself rides the transport
+  if (auto st = net_.send(std::move(msg)); !st.ok()) {
+    net_.unlisten(session);
+    return st;
+  }
+  const util::TimePoint deadline = sim.now() + timeout;
+  while (!*done && sim.now() < deadline) {
+    if (!sim.step()) break;
+  }
+  if (!*done) {
+    net_.unlisten(session);
+    return util::make_error(util::ErrorCode::kTimeout, "adb push stalled");
+  }
+  return result;
+}
+
+util::Result<std::string> AdbClient::shell_sync(const std::string& device_host,
+                                                AdbTransport transport,
+                                                const std::string& command,
+                                                util::Duration timeout) {
+  auto& sim = net_.simulator();
+  bool finished = false;
+  util::Result<std::string> out =
+      util::make_error(util::ErrorCode::kUnknown, "not run");
+  shell(device_host, transport, command,
+        [&](util::Result<std::string> r) {
+          finished = true;
+          out = std::move(r);
+        },
+        timeout);
+  const util::TimePoint deadline =
+      sim.now() + timeout + util::Duration::seconds(1);
+  while (!finished && sim.now() < deadline) {
+    if (!sim.step()) break;
+  }
+  if (!finished) {
+    return util::make_error(util::ErrorCode::kTimeout, "adb shell_sync stalled");
+  }
+  return out;
+}
+
+}  // namespace blab::device

@@ -1,0 +1,86 @@
+// Android Debug Bridge over USB / WiFi / Bluetooth (§3.3).
+//
+// The daemon (adbd) runs on the device and executes shell commands; the
+// client runs on the controller. Transport rules follow the paper:
+//   - USB: most reliable, but the bus charge current corrupts measurements;
+//     requires the hub port's data path to be up.
+//   - WiFi: needs `adb tcpip` to have been enabled (over USB) beforehand;
+//     precludes cellular-network experiments.
+//   - Bluetooth: works on cellular too, but requires a rooted device.
+// Command exchanges ride the simulated network, so each transport's latency
+// and availability is the real path's.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "net/network.hpp"
+#include "util/result.hpp"
+
+namespace blab::device {
+
+class AndroidDevice;
+
+enum class AdbTransport { kUsb, kWifi, kBluetooth };
+
+const char* adb_transport_name(AdbTransport t);
+
+inline constexpr int kAdbPort = 5555;
+
+/// Device-side daemon.
+class AdbDaemon {
+ public:
+  explicit AdbDaemon(AndroidDevice& device, int port = kAdbPort);
+  ~AdbDaemon();
+  AdbDaemon(const AdbDaemon&) = delete;
+  AdbDaemon& operator=(const AdbDaemon&) = delete;
+
+  /// `adb tcpip 5555` must have been issued (over USB) before WiFi works.
+  void set_tcpip_enabled(bool on) { tcpip_enabled_ = on; }
+  bool tcpip_enabled() const { return tcpip_enabled_; }
+
+  std::uint64_t commands_served() const { return commands_served_; }
+  std::uint64_t commands_rejected() const { return commands_rejected_; }
+
+ private:
+  void on_message(const net::Message& msg);
+  bool transport_allowed(AdbTransport t) const;
+
+  AndroidDevice& device_;
+  net::Address addr_;
+  bool tcpip_enabled_ = true;
+  std::uint64_t commands_served_ = 0;
+  std::uint64_t commands_rejected_ = 0;
+};
+
+/// Controller-side client.
+class AdbClient {
+ public:
+  AdbClient(net::Network& net, std::string host);
+
+  using ShellCallback = std::function<void(util::Result<std::string>)>;
+  void shell(const std::string& device_host, AdbTransport transport,
+             const std::string& command, ShellCallback cb,
+             util::Duration timeout = util::Duration::seconds(10));
+
+  /// Pumps the simulator until the reply arrives (or times out).
+  util::Result<std::string> shell_sync(
+      const std::string& device_host, AdbTransport transport,
+      const std::string& command,
+      util::Duration timeout = util::Duration::seconds(10));
+
+  /// `adb push`: transfer `bytes` to `remote_path` on the device's storage.
+  /// The payload rides the selected transport (slow over Bluetooth, fast
+  /// over USB), so large pushes take realistic time and show in traffic
+  /// accounting. Synchronous.
+  util::Status push_sync(const std::string& device_host,
+                         AdbTransport transport,
+                         const std::string& remote_path, std::size_t bytes,
+                         util::Duration timeout = util::Duration::seconds(60));
+
+ private:
+  net::Network& net_;
+  std::string host_;
+};
+
+}  // namespace blab::device

@@ -1,0 +1,367 @@
+#include "device/android.hpp"
+
+#include <sstream>
+
+#include "device/device.hpp"
+#include "util/strings.hpp"
+
+namespace blab::device {
+
+void App::launch() { running_ = true; }
+void App::stop() { running_ = false; }
+
+AndroidOs::AndroidOs(AndroidDevice& device) : device_{device} {
+  // Factory content: the test video the Fig. 2 methodology pre-loads.
+  files_["/sdcard/video.mp4"] = 48 * 1024 * 1024;
+}
+
+void AndroidOs::put_file(const std::string& path, std::size_t bytes) {
+  files_[path] = bytes;
+}
+
+bool AndroidOs::has_file(const std::string& path) const {
+  return files_.contains(path);
+}
+
+util::Result<std::size_t> AndroidOs::file_size(const std::string& path) const {
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            path + ": No such file or directory");
+  }
+  return it->second;
+}
+
+bool AndroidOs::remove_file(const std::string& path) {
+  return files_.erase(path) > 0;
+}
+
+std::vector<std::string> AndroidOs::list_files(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [path, _] : files_) {
+    if (util::starts_with(path, prefix)) out.push_back(path);
+  }
+  return out;
+}
+
+int AndroidOs::api_level() const { return device_.spec().api_level; }
+bool AndroidOs::rooted() const { return device_.spec().rooted; }
+
+util::Status AndroidOs::install(std::unique_ptr<App> app) {
+  const std::string pkg = app->package();
+  if (apps_.contains(pkg)) {
+    return util::make_error(util::ErrorCode::kAlreadyExists,
+                            pkg + " already installed");
+  }
+  apps_[pkg] = std::move(app);
+  log("PackageManager", "installed " + pkg);
+  return util::Status::ok_status();
+}
+
+util::Status AndroidOs::uninstall(const std::string& package) {
+  const auto it = apps_.find(package);
+  if (it == apps_.end()) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            package + " not installed");
+  }
+  if (it->second->running()) it->second->stop();
+  if (foreground_ == package) foreground_.clear();
+  apps_.erase(it);
+  log("PackageManager", "uninstalled " + package);
+  return util::Status::ok_status();
+}
+
+App* AndroidOs::app(const std::string& package) {
+  const auto it = apps_.find(package);
+  return it == apps_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> AndroidOs::packages() const {
+  std::vector<std::string> out;
+  out.reserve(apps_.size());
+  for (const auto& [pkg, _] : apps_) out.push_back(pkg);
+  return out;
+}
+
+util::Status AndroidOs::start_activity(const std::string& package) {
+  App* a = app(package);
+  if (a == nullptr) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            "unknown package " + package);
+  }
+  if (!device_.powered_on()) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "device is off");
+  }
+  if (!a->running()) a->launch();
+  foreground_ = package;
+  log("ActivityManager", "START " + package);
+  device_.recompute_power();
+  return util::Status::ok_status();
+}
+
+util::Status AndroidOs::force_stop(const std::string& package) {
+  App* a = app(package);
+  if (a == nullptr) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            "unknown package " + package);
+  }
+  if (a->running()) a->stop();
+  if (foreground_ == package) foreground_.clear();
+  log("ActivityManager", "force-stop " + package);
+  device_.recompute_power();
+  return util::Status::ok_status();
+}
+
+util::Status AndroidOs::clear_data(const std::string& package) {
+  App* a = app(package);
+  if (a == nullptr) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            "unknown package " + package);
+  }
+  if (a->running()) a->stop();
+  if (foreground_ == package) foreground_.clear();
+  a->clear_state();
+  log("PackageManager", "cleared data of " + package);
+  return util::Status::ok_status();
+}
+
+App* AndroidOs::foreground_app() {
+  return foreground_.empty() ? nullptr : app(foreground_);
+}
+
+util::Status AndroidOs::input_text(const std::string& text) {
+  App* a = foreground_app();
+  if (a == nullptr) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "no foreground app for input");
+  }
+  a->on_text(text);
+  return util::Status::ok_status();
+}
+
+util::Status AndroidOs::input_keyevent(int keycode) {
+  if (keycode == kKeycodeHome) {
+    foreground_.clear();
+    device_.screen().set_content_change_rate(0.01);
+    device_.recompute_power();
+    return util::Status::ok_status();
+  }
+  App* a = foreground_app();
+  if (a == nullptr) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "no foreground app for key event");
+  }
+  a->on_key(keycode);
+  return util::Status::ok_status();
+}
+
+util::Status AndroidOs::input_swipe(int x1, int y1, int x2, int y2) {
+  (void)x1;
+  (void)x2;
+  App* a = foreground_app();
+  if (a == nullptr) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "no foreground app for swipe");
+  }
+  a->on_swipe(y2 - y1);
+  return util::Status::ok_status();
+}
+
+util::Status AndroidOs::input_tap(int x, int y) {
+  App* a = foreground_app();
+  if (a == nullptr) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "no foreground app for tap");
+  }
+  a->on_tap(x, y);
+  return util::Status::ok_status();
+}
+
+void AndroidOs::log(const std::string& tag, const std::string& message) {
+  logcat_.push_back(util::to_string(device_.simulator().now()) + " " + tag +
+                    ": " + message);
+  if (logcat_.size() > kLogcatCapacity) logcat_.pop_front();
+}
+
+std::string AndroidOs::logcat_dump(bool clear) {
+  std::string out;
+  for (const auto& line : logcat_) {
+    out += line;
+    out += "\n";
+  }
+  if (clear) logcat_.clear();
+  return out;
+}
+
+void AndroidOs::put_setting(const std::string& ns, const std::string& key,
+                            const std::string& value) {
+  settings_[ns + "/" + key] = value;
+}
+
+std::string AndroidOs::get_setting(const std::string& ns,
+                                   const std::string& key) const {
+  const auto it = settings_.find(ns + "/" + key);
+  return it == settings_.end() ? "null" : it->second;
+}
+
+std::string AndroidOs::dumpsys(const std::string& service) const {
+  std::ostringstream os;
+  if (service == "battery") {
+    const auto& batt = device_.battery();
+    os << "Current Battery Service state:\n"
+       << "  level: " << static_cast<int>(batt.soc() * 100.0) << "\n"
+       << "  scale: 100\n"
+       << "  voltage: "
+       << static_cast<int>(batt.terminal_voltage(
+              device_.current_ma(device_.simulator().now())) *
+                           1000.0)
+       << "\n"
+       << "  powered: "
+       << (device_.power_source() == PowerSource::kMonitorBypass ? "bypass"
+                                                                 : "battery")
+       << "\n";
+  } else if (service == "cpuinfo") {
+    os << "Load: " << util::format_double(
+              device_.cpu().current_utilization() * 100.0, 1)
+       << "% across " << device_.cpu().cores() << " cores\n";
+    for (const auto& p : device_.processes().processes()) {
+      os << "  " << util::format_double(p.current_demand * 100.0, 1) << "% "
+         << p.pid.str() << "/" << p.name << "\n";
+    }
+  } else if (service == "meminfo") {
+    // Coarse: 300 MB base + 120 MB per running app process.
+    const double used_mb =
+        300.0 + 120.0 * static_cast<double>(device_.processes().count());
+    os << "Total RAM: 3072 MB\nUsed RAM: "
+       << util::format_double(used_mb, 0) << " MB\n";
+  } else {
+    os << "Can't find service: " << service << "\n";
+  }
+  return os.str();
+}
+
+util::Result<std::string> AndroidOs::execute_shell(const std::string& command) {
+  const auto argv = util::split_ws(command);
+  if (argv.empty()) {
+    return util::make_error(util::ErrorCode::kInvalidArgument, "empty command");
+  }
+  auto err = [](const std::string& m) {
+    return util::make_error(util::ErrorCode::kInvalidArgument, m);
+  };
+  const std::string& cmd = argv[0];
+
+  if (cmd == "input") {
+    if (argv.size() < 2) return err("input: missing subcommand");
+    util::Status st = util::Status::ok_status();
+    if (argv[1] == "text" && argv.size() >= 3) {
+      // Everything after "text" is the literal input (shell-quoted upstream).
+      std::string text = command.substr(command.find("text") + 5);
+      st = input_text(std::string{util::trim(text)});
+    } else if (argv[1] == "keyevent" && argv.size() >= 3) {
+      st = input_keyevent(std::stoi(argv[2]));
+    } else if (argv[1] == "swipe" && argv.size() >= 6) {
+      st = input_swipe(std::stoi(argv[2]), std::stoi(argv[3]),
+                       std::stoi(argv[4]), std::stoi(argv[5]));
+    } else if (argv[1] == "tap" && argv.size() >= 4) {
+      st = input_tap(std::stoi(argv[2]), std::stoi(argv[3]));
+    } else {
+      return err("input: bad arguments");
+    }
+    if (!st.ok()) return st.error();
+    return std::string{};
+  }
+  if (cmd == "am") {
+    if (argv.size() >= 3 && argv[1] == "start") {
+      // Accept both "am start <pkg>" and "am start -n <pkg>/.Main".
+      std::string pkg = argv.back();
+      if (const auto slash = pkg.find('/'); slash != std::string::npos) {
+        pkg = pkg.substr(0, slash);
+      }
+      if (auto st = start_activity(pkg); !st.ok()) return st.error();
+      return "Starting: Intent { " + pkg + " }";
+    }
+    if (argv.size() >= 3 && argv[1] == "force-stop") {
+      if (auto st = force_stop(argv[2]); !st.ok()) return st.error();
+      return std::string{};
+    }
+    return err("am: bad arguments");
+  }
+  if (cmd == "pm") {
+    if (argv.size() >= 3 && argv[1] == "list" && argv[2] == "packages") {
+      std::string out;
+      for (const auto& pkg : packages()) out += "package:" + pkg + "\n";
+      return out;
+    }
+    if (argv.size() >= 3 && argv[1] == "clear") {
+      if (auto st = clear_data(argv[2]); !st.ok()) return st.error();
+      return std::string{"Success"};
+    }
+    return err("pm: bad arguments");
+  }
+  if (cmd == "dumpsys") {
+    if (argv.size() < 2) return err("dumpsys: missing service");
+    return dumpsys(argv[1]);
+  }
+  if (cmd == "logcat") {
+    const bool clear = argv.size() >= 2 && argv[1] == "-c";
+    if (clear) {
+      logcat_.clear();
+      return std::string{};
+    }
+    return logcat_dump(false);
+  }
+  if (cmd == "getprop") {
+    if (argv.size() >= 2 && argv[1] == "ro.build.version.sdk") {
+      return std::to_string(api_level());
+    }
+    if (argv.size() >= 2 && argv[1] == "ro.product.model") {
+      return device_.spec().model;
+    }
+    return std::string{};
+  }
+  if (cmd == "settings") {
+    if (argv.size() >= 5 && argv[1] == "put") {
+      put_setting(argv[2], argv[3], argv[4]);
+      return std::string{};
+    }
+    if (argv.size() >= 4 && argv[1] == "get") {
+      return get_setting(argv[2], argv[3]);
+    }
+    return err("settings: bad arguments");
+  }
+  if (cmd == "ls") {
+    const std::string prefix = argv.size() >= 2 ? argv[1] : "/";
+    std::string out;
+    for (const auto& path : list_files(prefix)) out += path + "\n";
+    if (out.empty() && argv.size() >= 2 && !has_file(argv[1])) {
+      return util::make_error(util::ErrorCode::kNotFound,
+                              argv[1] + ": No such file or directory");
+    }
+    return out;
+  }
+  if (cmd == "rm") {
+    if (argv.size() < 2) return err("rm: missing operand");
+    if (!remove_file(argv[1])) {
+      return util::make_error(util::ErrorCode::kNotFound,
+                              argv[1] + ": No such file or directory");
+    }
+    return std::string{};
+  }
+  if (cmd == "stat") {
+    if (argv.size() < 2) return err("stat: missing operand");
+    auto size = file_size(argv[1]);
+    if (!size.ok()) return size.error();
+    return argv[1] + " " + std::to_string(size.value()) + " bytes";
+  }
+  if (cmd == "whoami") {
+    return std::string{rooted() ? "root" : "shell"};
+  }
+  if (cmd == "echo") {
+    return command.size() > 5 ? command.substr(5) : std::string{};
+  }
+  return err("unknown command: " + cmd);
+}
+
+}  // namespace blab::device

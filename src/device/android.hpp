@@ -1,0 +1,79 @@
+// Android OS model: package manager, activity manager, input routing,
+// logcat, dumpsys, settings, and the shell command surface ADB drives.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/app.hpp"
+#include "util/result.hpp"
+
+namespace blab::device {
+
+class AndroidDevice;
+
+class AndroidOs {
+ public:
+  explicit AndroidOs(AndroidDevice& device);
+
+  int api_level() const;
+  bool rooted() const;
+
+  // -- Package manager ------------------------------------------------------
+  util::Status install(std::unique_ptr<App> app);
+  util::Status uninstall(const std::string& package);
+  App* app(const std::string& package);
+  std::vector<std::string> packages() const;
+
+  // -- Activity manager -----------------------------------------------------
+  util::Status start_activity(const std::string& package);
+  util::Status force_stop(const std::string& package);
+  util::Status clear_data(const std::string& package);
+  App* foreground_app();
+  const std::string& foreground_package() const { return foreground_; }
+
+  // -- Input routing --------------------------------------------------------
+  util::Status input_text(const std::string& text);
+  util::Status input_keyevent(int keycode);
+  util::Status input_swipe(int x1, int y1, int x2, int y2);
+  util::Status input_tap(int x, int y);
+
+  // -- Logcat ---------------------------------------------------------------
+  void log(const std::string& tag, const std::string& message);
+  std::string logcat_dump(bool clear = false);
+  std::size_t logcat_lines() const { return logcat_.size(); }
+
+  // -- Settings provider ----------------------------------------------------
+  void put_setting(const std::string& ns, const std::string& key,
+                   const std::string& value);
+  std::string get_setting(const std::string& ns, const std::string& key) const;
+
+  // -- Storage (sdcard) ------------------------------------------------------
+  // Experiments pre-load content on the sdcard (the Fig. 2 mp4); `adb push`
+  // lands here. Only sizes are tracked — contents never matter to power.
+  void put_file(const std::string& path, std::size_t bytes);
+  bool has_file(const std::string& path) const;
+  util::Result<std::size_t> file_size(const std::string& path) const;
+  bool remove_file(const std::string& path);
+  std::vector<std::string> list_files(const std::string& prefix = "/") const;
+
+  // -- dumpsys --------------------------------------------------------------
+  std::string dumpsys(const std::string& service) const;
+
+  /// Execute a shell command line the way `adb shell` would.
+  util::Result<std::string> execute_shell(const std::string& command);
+
+ private:
+  AndroidDevice& device_;
+  std::map<std::string, std::unique_ptr<App>> apps_;
+  std::string foreground_;
+  std::deque<std::string> logcat_;
+  std::map<std::string, std::string> settings_;
+  std::map<std::string, std::size_t> files_;
+  static constexpr std::size_t kLogcatCapacity = 4096;
+};
+
+}  // namespace blab::device

@@ -1,0 +1,53 @@
+// Application base class.
+//
+// Apps are installed into the AndroidOs package table and receive routed
+// input events (text, key, swipe, tap) while in the foreground — the same
+// surface ADB's `input` subcommands and the Bluetooth keyboard drive.
+#pragma once
+
+#include <string>
+
+namespace blab::device {
+
+class AndroidDevice;
+
+/// Android keycodes used by the automation paths.
+inline constexpr int kKeycodeEnter = 66;
+inline constexpr int kKeycodeHome = 3;
+inline constexpr int kKeycodeBack = 4;
+inline constexpr int kKeycodeDpadDown = 20;
+inline constexpr int kKeycodeDpadUp = 19;
+inline constexpr int kKeycodeAppSwitch = 187;
+
+class App {
+ public:
+  App(AndroidDevice& device, std::string package)
+      : device_{device}, package_{std::move(package)} {}
+  virtual ~App() = default;
+  App(const App&) = delete;
+  App& operator=(const App&) = delete;
+
+  const std::string& package() const { return package_; }
+  bool running() const { return running_; }
+
+  virtual void launch();
+  virtual void stop();
+  /// `pm clear` semantics: wipe app data (first-run state, caches).
+  virtual void clear_state() {}
+
+  virtual void on_text(const std::string& text) { (void)text; }
+  virtual void on_key(int keycode) { (void)keycode; }
+  /// Vertical swipe; dy < 0 scrolls content down (finger moves up).
+  virtual void on_swipe(int dy) { (void)dy; }
+  virtual void on_tap(int x, int y) {
+    (void)x;
+    (void)y;
+  }
+
+ protected:
+  AndroidDevice& device_;
+  std::string package_;
+  bool running_ = false;
+};
+
+}  // namespace blab::device

@@ -1,0 +1,262 @@
+#include "device/browser.hpp"
+
+#include <algorithm>
+
+#include "device/android.hpp"
+#include "device/device.hpp"
+#include "util/logging.hpp"
+
+namespace blab::device {
+namespace {
+
+/// A scroll burst holds elevated CPU and screen change for this long —
+/// fling animation plus lazy-content decode dominate the 2 s gap between
+/// the workload's scroll gestures.
+constexpr auto kScrollBurstDuration = util::Duration::millis(1600);
+
+BrowserProfile make_profile(const char* name, const char* package,
+                            double idle, double load, double scroll,
+                            bool ads_blocked, bool lite, bool first_run) {
+  BrowserProfile p;
+  p.name = name;
+  p.package = package;
+  p.idle_cpu = idle;
+  p.load_cpu = load;
+  p.scroll_cpu = scroll;
+  p.blocks_ads = ads_blocked;
+  p.supports_lite_pages = lite;
+  p.needs_first_run_setup = first_run;
+  return p;
+}
+
+}  // namespace
+
+const BrowserProfile& BrowserProfile::chrome() {
+  static const BrowserProfile p = make_profile(
+      "Chrome", "com.android.chrome", 0.080, 0.330, 0.190, false, true, true);
+  return p;
+}
+
+const BrowserProfile& BrowserProfile::firefox() {
+  static const BrowserProfile p = make_profile(
+      "Firefox", "org.mozilla.firefox", 0.100, 0.385, 0.215, false, false,
+      true);
+  return p;
+}
+
+const BrowserProfile& BrowserProfile::edge() {
+  static const BrowserProfile p = make_profile(
+      "Edge", "com.microsoft.emmx", 0.075, 0.300, 0.165, false, false, true);
+  return p;
+}
+
+const BrowserProfile& BrowserProfile::brave() {
+  static const BrowserProfile p = make_profile(
+      "Brave", "com.brave.browser", 0.050, 0.205, 0.105, true, false, true);
+  return p;
+}
+
+const std::vector<BrowserProfile>& BrowserProfile::all() {
+  static const std::vector<BrowserProfile> v = {chrome(), firefox(), edge(),
+                                                brave()};
+  return v;
+}
+
+const BrowserProfile* BrowserProfile::find(const std::string& name) {
+  for (const auto& p : all()) {
+    if (p.name == name || p.package == name) return &p;
+  }
+  return nullptr;
+}
+
+Browser::Browser(AndroidDevice& device, BrowserProfile profile,
+                 const WebCatalog& catalog, std::string web_host)
+    : App{device, profile.package},
+      profile_{std::move(profile)},
+      catalog_{catalog},
+      web_host_{std::move(web_host)} {}
+
+Radio& Browser::data_radio() {
+  // WiFi when up, else cellular — mirrors Android's default route choice.
+  if (device_.wifi().enabled()) return device_.wifi();
+  return device_.cellular();
+}
+
+void Browser::launch() {
+  if (running_) return;
+  running_ = true;
+  pid_ = device_.processes().spawn(package_, profile_.idle_cpu,
+                                   profile_.cpu_jitter, true);
+  device_.screen().set_content_change_rate(0.05);
+  device_.recompute_power();
+  if (!profile_.needs_first_run_setup) first_run_complete_ = true;
+  device_.os().log(profile_.name, first_run_complete_
+                                      ? "launched"
+                                      : "launched (first-run pending)");
+}
+
+void Browser::stop() {
+  if (!running_) return;
+  if (loading_) {
+    flow_.reset();  // abandon the in-flight fetch so no late callback fires
+    fetch_finished(0, true);
+  }
+  running_ = false;
+  device_.processes().kill(pid_);
+  pid_ = Pid{};
+  url_bar_.clear();
+  device_.recompute_power();
+}
+
+void Browser::clear_state() {
+  first_run_complete_ = !profile_.needs_first_run_setup;
+  first_run_taps_ = 0;
+  url_bar_.clear();
+  pages_loaded_ = 0;
+  bytes_fetched_ = 0;
+  page_load_times_.clear();
+}
+
+void Browser::on_text(const std::string& text) { url_bar_ += text; }
+
+void Browser::on_key(int keycode) {
+  if (keycode == kKeycodeEnter && !url_bar_.empty()) {
+    const std::string url = url_bar_;
+    url_bar_.clear();
+    (void)navigate(url);
+  } else if (keycode == kKeycodeDpadDown) {
+    on_swipe(-600);
+  } else if (keycode == kKeycodeDpadUp) {
+    on_swipe(600);
+  }
+}
+
+void Browser::on_tap(int x, int y) {
+  (void)x;
+  (void)y;
+  if (!first_run_complete_) {
+    // Two taps walk the welcome flow: accept terms, then skip sign-in.
+    if (++first_run_taps_ >= 2) {
+      first_run_complete_ = true;
+      device_.os().log(profile_.name, "first-run setup complete");
+    }
+  }
+}
+
+bool Browser::lite_pages_active() const {
+  if (!profile_.supports_lite_pages) return false;
+  const std::string setting =
+      device_.os().get_setting("secure", "chrome_lite_pages");
+  if (setting == "0") return false;
+  if (setting == "1") return true;
+  return WebCatalog::lite_pages_default_on(device_.network_region());
+}
+
+void Browser::set_phase_demand(double demand) {
+  if (pid_.valid()) device_.processes().set_base_demand(pid_, demand);
+  device_.recompute_power();
+}
+
+double Browser::estimate_throughput_mbps() const {
+  auto bw = device_.network().path_bandwidth_mbps(web_host_, device_.host());
+  return bw.ok() ? std::min(bw.value(), 30.0) : 5.0;
+}
+
+util::Status Browser::navigate(const std::string& url) {
+  if (!running_) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            profile_.name + " not running");
+  }
+  if (!first_run_complete_) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "first-run setup not complete");
+  }
+  if (loading_) {
+    return util::make_error(util::ErrorCode::kUnavailable,
+                            "navigation already in progress");
+  }
+  const WebPage* page = catalog_.find(url);
+  WebPage fallback{url, 2000 * 1024, 600 * 1024};
+  if (page == nullptr) page = &fallback;
+  const std::size_t bytes = WebCatalog::page_bytes(
+      *page, device_.network_region(), profile_.blocks_ads,
+      lite_pages_active());
+
+  loading_ = true;
+  load_started_ = device_.simulator().now();
+  device_.os().log(profile_.name, "navigate " + url);
+  device_.screen().set_content_change_rate(0.50);
+  set_phase_demand(profile_.load_cpu);
+  begin_fetch(bytes, true);
+  return util::Status::ok_status();
+}
+
+void Browser::begin_fetch(std::size_t bytes, bool is_page_load) {
+  active_radio_mbps_ = estimate_throughput_mbps();
+  data_radio().begin_activity(active_radio_mbps_);
+  device_.recompute_power();
+  flow_ = std::make_unique<net::Flow>(
+      device_.network(), web_host_, device_.host(), bytes, net::FlowOptions{},
+      [this, bytes, is_page_load](const net::FlowResult&) {
+        fetch_finished(bytes, is_page_load);
+      });
+  flow_->start();
+}
+
+void Browser::fetch_finished(std::size_t bytes, bool is_page_load) {
+  data_radio().end_activity(active_radio_mbps_);
+  active_radio_mbps_ = 0.0;
+  bytes_fetched_ += bytes;
+  if (is_page_load) {
+    loading_ = false;
+    ++pages_loaded_;
+    page_load_times_.push_back(device_.simulator().now() - load_started_);
+    device_.os().log(profile_.name,
+                     "page loaded (" + std::to_string(bytes) + " bytes)");
+    // Render settle: network is done but layout, image decode and JS keep
+    // the engine busy for a while before the page goes quiet.
+    device_.screen().set_content_change_rate(0.35);
+    set_phase_demand(profile_.load_cpu * 0.55);
+    device_.simulator().schedule_after(
+        util::Duration::millis(2500),
+        [this] {
+          if (!running_ || loading_ || scroll_bursts_ > 0) return;
+          device_.screen().set_content_change_rate(0.12);
+          set_phase_demand(profile_.idle_cpu);
+        },
+        "browser.render-settle");
+  }
+  device_.recompute_power();
+}
+
+void Browser::on_swipe(int dy) {
+  if (!running_ || dy == 0) return;
+  ++scroll_bursts_;
+  device_.screen().set_content_change_rate(0.45);
+  set_phase_demand(profile_.scroll_cpu);
+  // Lazy-loaded content trickles in; small enough to skip a full Flow, but it
+  // still counts as radio activity and traffic.
+  const double burst_mbps = 1.0;
+  data_radio().begin_activity(burst_mbps);
+  device_.recompute_power();
+  device_.simulator().schedule_after(
+      kScrollBurstDuration,
+      [this, burst_mbps] {
+        data_radio().end_activity(burst_mbps);
+        if (--scroll_bursts_ > 0) {  // another burst took over
+          device_.recompute_power();
+          return;
+        }
+        if (running_ && !loading_) {
+          device_.screen().set_content_change_rate(0.12);
+          set_phase_demand(profile_.idle_cpu);
+        } else if (running_) {
+          device_.screen().set_content_change_rate(0.50);
+          set_phase_demand(profile_.load_cpu);
+        }
+        device_.recompute_power();
+      },
+      "browser.scroll-settle");
+}
+
+}  // namespace blab::device

@@ -1,0 +1,17 @@
+#include "device/cpu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace blab::device {
+
+void CpuModel::set_utilization(util::TimePoint t, double util) {
+  timeline_.set(t, std::clamp(util, 0.0, 1.0));
+}
+
+double CpuModel::current_ma(const PowerProfile& profile, double util) {
+  util = std::clamp(util, 0.0, 1.0);
+  return profile.cpu_full_load_ma * std::pow(util, profile.cpu_load_exponent);
+}
+
+}  // namespace blab::device

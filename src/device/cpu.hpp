@@ -1,0 +1,35 @@
+// SoC / CPU utilization model.
+//
+// Utilization is the process table's total demand; the model tracks a
+// utilization timeline (for Fig. 4's CPU CDFs) and converts utilization to
+// supply current with a mildly super-linear curve (DVFS: higher residency in
+// high-power states under load).
+#pragma once
+
+#include "device/power_profile.hpp"
+#include "hw/timeline.hpp"
+#include "util/time.hpp"
+
+namespace blab::device {
+
+class CpuModel {
+ public:
+  explicit CpuModel(int cores = 8) : cores_{cores} {}
+
+  int cores() const { return cores_; }
+
+  /// Record the current utilization (fraction of total SoC, [0,1]).
+  void set_utilization(util::TimePoint t, double util);
+  double utilization(util::TimePoint t) const { return timeline_.at(t); }
+  double current_utilization() const { return timeline_.last_value(); }
+  const hw::Timeline& utilization_timeline() const { return timeline_; }
+
+  /// Supply current attributable to the SoC at a given utilization.
+  static double current_ma(const PowerProfile& profile, double util);
+
+ private:
+  int cores_;
+  hw::Timeline timeline_;
+};
+
+}  // namespace blab::device

@@ -1,0 +1,240 @@
+#include "device/device.hpp"
+
+#include <algorithm>
+
+#include "device/android.hpp"
+#include "util/logging.hpp"
+
+namespace blab::device {
+namespace {
+
+/// How often stochastic process demands are redrawn. Short enough to give
+/// measured CDFs realistic spread, long enough to keep event counts low.
+constexpr auto kJitterPeriod = util::Duration::millis(150);
+
+}  // namespace
+
+const char* platform_name(Platform platform) {
+  switch (platform) {
+    case Platform::kAndroid: return "android";
+    case Platform::kIos: return "ios";
+  }
+  return "?";
+}
+
+const char* device_class_name(DeviceClass device_class) {
+  switch (device_class) {
+    case DeviceClass::kPhone: return "phone";
+    case DeviceClass::kTablet: return "tablet";
+    case DeviceClass::kLaptop: return "laptop";
+    case DeviceClass::kIot: return "iot";
+  }
+  return "?";
+}
+
+DeviceSpec DeviceSpec::laptop(std::string serial) {
+  DeviceSpec spec;
+  spec.model = "Ultrabook 13";
+  spec.serial = std::move(serial);
+  spec.device_class = DeviceClass::kLaptop;
+  spec.api_level = 33;  // runs a desktop Linux/Android hybrid in the lab
+  spec.cpu_cores = 4;
+  spec.battery.capacity_mah = 4600.0;  // 3S pack
+  spec.battery.nominal_voltage = 11.4;
+  spec.battery.full_voltage = 12.6;
+  spec.battery.empty_voltage = 9.0;
+  spec.battery.internal_resistance_ohm = 0.15;
+  spec.screen.width = 2560;
+  spec.screen.height = 1600;
+  // Bigger panel and SoC budget; currents stay in the Monsoon's 6 A range.
+  spec.power.idle_ma = 90.0;
+  spec.power.screen_base_ma = 180.0;
+  spec.power.screen_brightness_ma = 260.0;
+  spec.power.cpu_full_load_ma = 2600.0;
+  return spec;
+}
+
+DeviceSpec DeviceSpec::iot_sensor(std::string serial) {
+  DeviceSpec spec;
+  spec.model = "SensorNode v2";
+  spec.serial = std::move(serial);
+  spec.device_class = DeviceClass::kIot;
+  spec.api_level = 0;
+  spec.headless = true;
+  spec.cpu_cores = 1;
+  spec.battery.capacity_mah = 800.0;
+  spec.battery.nominal_voltage = 3.3;
+  spec.battery.full_voltage = 3.6;
+  spec.battery.empty_voltage = 2.8;
+  // Microcontroller-class draw: the measurement is noise-floor bound.
+  spec.power.idle_ma = 1.8;
+  spec.power.screen_base_ma = 0.0;
+  spec.power.screen_brightness_ma = 0.0;
+  spec.power.cpu_full_load_ma = 28.0;
+  spec.power.wifi_idle_ma = 1.1;
+  spec.power.wifi_active_ma = 8.0;
+  spec.power.wifi_per_mbps_ma = 3.0;
+  return spec;
+}
+
+DeviceSpec DeviceSpec::iphone(std::string serial) {
+  DeviceSpec spec;
+  spec.model = "iPhone 8";
+  spec.serial = std::move(serial);
+  spec.platform = Platform::kIos;
+  spec.api_level = 12;  // iOS 12
+  spec.rooted = false;  // no jailbreaks in the lab
+  spec.battery.capacity_mah = 1821.0;
+  spec.cpu_cores = 6;
+  // The A11's efficiency cores idle lower; peak SoC draw is comparable.
+  spec.power.idle_ma = 16.0;
+  spec.power.cpu_full_load_ma = 850.0;
+  return spec;
+}
+
+AndroidDevice::AndroidDevice(sim::Simulator& sim, net::Network& net,
+                             std::string host, DeviceSpec spec,
+                             std::uint64_t seed)
+    : sim_{sim},
+      net_{net},
+      host_{std::move(host)},
+      spec_{std::move(spec)},
+      rng_{seed},
+      battery_{spec_.battery},
+      screen_{spec_.screen},
+      cpu_{spec_.cpu_cores},
+      jitter_{sim, kJitterPeriod, [this] { jitter_tick(); }} {
+  net_.add_host(host_);
+  os_ = std::make_unique<AndroidOs>(*this);
+  last_integration_ = sim_.now();
+}
+
+AndroidDevice::~AndroidDevice() = default;
+
+void AndroidDevice::power_on() {
+  if (powered_) return;
+  powered_ = true;
+  screen_.set_on(!spec_.headless);
+  wifi_.set_enabled(true);
+  bt_.set_enabled(spec_.device_class != DeviceClass::kIot);
+  if (spec_.device_class == DeviceClass::kIot) {
+    // A firmware main loop, not an OS process zoo.
+    processes_.spawn("firmware", 0.05, 0.3);
+  } else {
+    // Baseline system daemons (surfaceflinger, system_server, ...).
+    processes_.spawn("system_server", 0.02, 0.4);
+    processes_.spawn("surfaceflinger", 0.01, 0.3);
+  }
+  last_integration_ = sim_.now();
+  recompute_power();
+  jitter_.start_after(kJitterPeriod);
+  BLAB_INFO("device", spec_.serial << " booted (API " << spec_.api_level
+                                   << ")");
+}
+
+void AndroidDevice::power_off() {
+  if (!powered_) return;
+  integrate_battery();
+  jitter_.stop();
+  powered_ = false;
+  screen_.set_on(false);
+  wifi_.set_enabled(false);
+  bt_.set_enabled(false);
+  cell_.set_enabled(false);
+  decoder_active_ = false;
+  encoder_active_ = false;
+  // Processes die with the OS.
+  while (!processes_.processes().empty()) {
+    processes_.kill(processes_.processes().front().pid);
+  }
+  recompute_power();
+}
+
+void AndroidDevice::set_power_source(PowerSource source) {
+  integrate_battery();
+  source_ = source;
+}
+
+void AndroidDevice::set_usb_charge_ma(double ma) {
+  if (usb_charge_ma_ == ma) return;
+  usb_charge_ma_ = std::max(0.0, ma);
+  recompute_power();
+}
+
+void AndroidDevice::set_decoder_active(bool on) {
+  if (decoder_active_ == on) return;
+  decoder_active_ = on;
+  recompute_power();
+}
+
+void AndroidDevice::set_encoder_active(bool on) {
+  if (encoder_active_ == on) return;
+  encoder_active_ = on;
+  recompute_power();
+}
+
+void AndroidDevice::set_network_region(std::string region) {
+  region_ = std::move(region);
+}
+
+double AndroidDevice::demand_ma() const {
+  if (!powered_) return 0.0;
+  const PowerProfile& p = spec_.power;
+  double ma = p.idle_ma;
+  ma += screen_.current_ma(p);
+  ma += CpuModel::current_ma(p, processes_.total_demand());
+  ma += wifi_.current_ma(p);
+  ma += bt_.current_ma(p);
+  ma += cell_.current_ma(p);
+  if (decoder_active_) ma += p.video_decoder_ma;
+  if (encoder_active_) ma += p.video_encoder_ma;
+  return ma;
+}
+
+void AndroidDevice::recompute_power() {
+  integrate_battery();
+  const double demand = demand_ma();
+  cpu_.set_utilization(sim_.now(), powered_ ? processes_.total_demand() : 0.0);
+  // USB charge current feeds the phone first; only the remainder is drawn
+  // from the supply terminal the monitor measures.
+  const double supply = std::max(0.0, demand - usb_charge_ma_);
+  supply_.set(sim_.now(), supply);
+  screen_on_.set(sim_.now(), powered_ && screen_.is_on() ? 1.0 : 0.0);
+  radio_active_.set(sim_.now(),
+                    powered_ && (wifi_.active() || cell_.active()) ? 1.0 : 0.0);
+  last_demand_ma_ = demand;
+}
+
+void AndroidDevice::integrate_battery() {
+  const util::TimePoint now = sim_.now();
+  if (now > last_integration_ && source_ == PowerSource::kBattery) {
+    const double from_battery = std::max(0.0, last_demand_ma_ - usb_charge_ma_);
+    battery_.discharge(from_battery, now - last_integration_);
+    if (battery_.depleted() && powered_ && from_battery > 0.0) {
+      // A drained pack shuts the phone down — the idle-period USB charging
+      // between experiments exists to prevent exactly this.
+      last_integration_ = now;
+      BLAB_WARN("device", spec_.serial << " battery depleted; shutting down");
+      power_off();
+      return;
+    }
+  }
+  last_integration_ = now;
+}
+
+double AndroidDevice::current_ma(util::TimePoint t) const {
+  return supply_.at(t);
+}
+
+std::vector<std::pair<util::TimePoint, double>>
+AndroidDevice::current_segments(util::TimePoint t0, util::TimePoint t1) const {
+  return supply_.segments(t0, t1);
+}
+
+void AndroidDevice::jitter_tick() {
+  if (!powered_) return;
+  processes_.redraw(rng_);
+  recompute_power();
+}
+
+}  // namespace blab::device

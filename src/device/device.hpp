@@ -1,0 +1,171 @@
+// The Android test device.
+//
+// Aggregates battery, screen, SoC, radios, process table and the OS model,
+// and exposes the device's external supply draw as an hw::Load — exactly the
+// quantity the Monsoon measures when the relay routes the phone to bypass.
+//
+// Power bookkeeping: every component state change (or stochastic CPU redraw)
+// calls recompute_power(), which appends a breakpoint to the supply timeline
+// and to the CPU-utilization timeline. USB charging offsets the supply draw,
+// which is precisely the interference that makes BatteryLab cut USB power
+// during measurements (§3.2).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "device/cpu.hpp"
+#include "device/power_profile.hpp"
+#include "device/process.hpp"
+#include "device/radio.hpp"
+#include "device/screen.hpp"
+#include "hw/battery.hpp"
+#include "hw/load.hpp"
+#include "hw/timeline.hpp"
+#include "net/network.hpp"
+#include "sim/periodic.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace blab::device {
+
+class AndroidOs;
+
+enum class PowerSource { kNone, kBattery, kMonitorBypass };
+
+/// Mobile OS family. BatteryLab focuses on Android "because of ease of
+/// integration and availability of testing tools" (§5) but the platform is
+/// designed for iOS too: no ADB there, mirroring via AirPlay, automation via
+/// XCTest builds or the Bluetooth keyboard (§3.2–3.3).
+enum class Platform { kAndroid, kIos };
+
+const char* platform_name(Platform platform);
+
+/// What kind of battery-powered thing is wired to the relay. §5: "while we
+/// focus on mobile devices there is no fundamental constraint which would
+/// not allow BatteryLab to support laptops or IoT devices."
+enum class DeviceClass { kPhone, kTablet, kLaptop, kIot };
+
+const char* device_class_name(DeviceClass device_class);
+
+struct DeviceSpec {
+  std::string model = "Samsung J7 Duo";
+  std::string serial = "unset";
+  Platform platform = Platform::kAndroid;
+  DeviceClass device_class = DeviceClass::kPhone;
+  int api_level = 26;  ///< Android 8.0 (interpreted as iOS major for kIos)
+  bool rooted = false;
+  bool headless = false;  ///< no display panel (IoT sensors)
+  hw::BatterySpec battery{};
+  ScreenSpec screen{};
+  int cpu_cores = 8;
+  PowerProfile power{};
+
+  /// An iPhone-8-class iOS counterpart of the default Android spec.
+  static DeviceSpec iphone(std::string serial);
+  /// An 11.4 V ultrabook-class laptop — exercises the Monsoon's upper
+  /// voltage range (it tops out at 13.5 V).
+  static DeviceSpec laptop(std::string serial);
+  /// A 3.3 V headless IoT sensor node drawing single-digit milliamps —
+  /// exercises the instrument's noise floor.
+  static DeviceSpec iot_sensor(std::string serial);
+};
+
+class AndroidDevice : public hw::Load {
+ public:
+  AndroidDevice(sim::Simulator& sim, net::Network& net, std::string host,
+                DeviceSpec spec, std::uint64_t seed);
+  ~AndroidDevice() override;
+  AndroidDevice(const AndroidDevice&) = delete;
+  AndroidDevice& operator=(const AndroidDevice&) = delete;
+
+  const DeviceSpec& spec() const { return spec_; }
+  const std::string& host() const { return host_; }
+  const std::string& serial() const { return spec_.serial; }
+  sim::Simulator& simulator() { return sim_; }
+  net::Network& network() { return net_; }
+  util::Rng& rng() { return rng_; }
+
+  hw::Battery& battery() { return battery_; }
+  Screen& screen() { return screen_; }
+  CpuModel& cpu() { return cpu_; }
+  Radio& wifi() { return wifi_; }
+  Radio& bluetooth() { return bt_; }
+  Radio& cellular() { return cell_; }
+  ProcessTable& processes() { return processes_; }
+  AndroidOs& os() { return *os_; }
+
+  void power_on();
+  void power_off();
+  bool powered_on() const { return powered_; }
+
+  /// Which source feeds the phone's voltage terminal (set by relay wiring).
+  void set_power_source(PowerSource source);
+  PowerSource power_source() const { return source_; }
+  /// USB charge current available from the hub port (0 when port is off).
+  void set_usb_charge_ma(double ma);
+  double usb_charge_ma() const { return usb_charge_ma_; }
+
+  /// Hardware codec activity (video playback / scrcpy mirroring).
+  void set_decoder_active(bool on);
+  void set_encoder_active(bool on);
+  bool decoder_active() const { return decoder_active_; }
+  bool encoder_active() const { return encoder_active_; }
+
+  /// Apparent network region for content decisions ("" = vantage point's
+  /// home). Set when the controller tunnels traffic through a VPN exit.
+  void set_network_region(std::string region);
+  const std::string& network_region() const { return region_; }
+
+  /// Total component demand right now (before USB offset), mA.
+  double demand_ma() const;
+  /// Recompute demand and append timeline breakpoints. Call after any
+  /// component state change.
+  void recompute_power();
+
+  // hw::Load — external supply draw (what the Monsoon would measure).
+  double current_ma(util::TimePoint t) const override;
+  std::vector<std::pair<util::TimePoint, double>> current_segments(
+      util::TimePoint t0, util::TimePoint t1) const override;
+
+  const hw::Timeline& supply_timeline() const { return supply_; }
+  /// Resource-counter timelines (what a software estimation agent samples):
+  /// screen power state and data-radio activity as 0/1 signals.
+  const hw::Timeline& screen_on_timeline() const { return screen_on_; }
+  const hw::Timeline& radio_active_timeline() const { return radio_active_; }
+
+ private:
+  void jitter_tick();
+  void integrate_battery();
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  std::string host_;
+  DeviceSpec spec_;
+  util::Rng rng_;
+
+  hw::Battery battery_;
+  Screen screen_;
+  CpuModel cpu_;
+  Radio wifi_{RadioKind::kWifi};
+  Radio bt_{RadioKind::kBluetooth};
+  Radio cell_{RadioKind::kCellular};
+  ProcessTable processes_;
+  std::unique_ptr<AndroidOs> os_;
+
+  bool powered_ = false;
+  PowerSource source_ = PowerSource::kBattery;
+  double usb_charge_ma_ = 0.0;
+  bool decoder_active_ = false;
+  bool encoder_active_ = false;
+  std::string region_;
+
+  hw::Timeline supply_;
+  hw::Timeline screen_on_;
+  hw::Timeline radio_active_;
+  util::TimePoint last_integration_;
+  double last_demand_ma_ = 0.0;
+  sim::PeriodicTask jitter_;
+};
+
+}  // namespace blab::device

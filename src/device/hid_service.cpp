@@ -1,0 +1,48 @@
+#include "device/hid_service.hpp"
+
+#include "device/android.hpp"
+#include "device/device.hpp"
+#include "util/strings.hpp"
+
+namespace blab::device {
+
+BtHidService::BtHidService(AndroidDevice& device)
+    : device_{device}, addr_{device.host(), kBtHidPort} {
+  device_.network().listen(addr_,
+                           [this](const net::Message& m) { on_message(m); });
+}
+
+BtHidService::~BtHidService() { device_.network().unlisten(addr_); }
+
+void BtHidService::on_message(const net::Message& msg) {
+  if (msg.tag != "hid.event" || !device_.powered_on()) return;
+  const auto argv = util::split_ws(msg.payload);
+  if (argv.empty()) return;
+  auto& os = device_.os();
+  util::Status st = util::Status::ok_status();
+  if (argv[0] == "text" && argv.size() >= 2) {
+    st = os.input_text(msg.payload.substr(5));
+  } else if ((argv[0] == "key" || argv[0] == "keyevent") && argv.size() >= 2) {
+    st = os.input_keyevent(std::stoi(argv[1]));
+  } else if (argv[0] == "swipe" && argv.size() >= 2) {
+    st = os.input_swipe(540, 1200, 540, 1200 + std::stoi(argv[1]));
+  } else if (argv[0] == "tap" && argv.size() >= 3) {
+    st = os.input_tap(std::stoi(argv[1]), std::stoi(argv[2]));
+  } else if (argv[0] == "launch" && argv.size() >= 2) {
+    st = os.start_activity(argv[1]);
+  } else {
+    return;
+  }
+  if (st.ok()) ++events_;
+  // Ack regardless of injection outcome — a keyboard cannot know whether a
+  // keystroke "worked"; controller pipelines only time the delivery.
+  net::Message ack;
+  ack.src = addr_;
+  ack.dst = msg.src;
+  ack.tag = "hid.ack";
+  ack.payload = msg.payload;
+  ack.wire_bytes = 48;
+  (void)device_.network().send(std::move(ack));
+}
+
+}  // namespace blab::device

@@ -1,0 +1,39 @@
+// Device-side Bluetooth HID input service (§3.3).
+//
+// When the controller emulates a keyboard, the device receives HID events
+// over the paired Bluetooth link and injects them into the OS input
+// pipeline. This is the only remote-input path available on iOS (no ADB),
+// and the one used on Android for cellular-network experiments. Each
+// injected event is acked back to the sender so pipelines (e.g. the
+// mirroring latency probe) can time the injection.
+#pragma once
+
+#include "net/network.hpp"
+
+namespace blab::device {
+
+class AndroidDevice;
+
+inline constexpr int kBtHidPort = 4666;
+
+/// Accepts "text ..." / "key N" / "swipe DY" / "tap X Y" / "launch PKG"
+/// events on {device, kBtHidPort} and injects them. ("launch" stands in for
+/// the HOME + app-drawer + dpad + ENTER keystroke walk.)
+class BtHidService {
+ public:
+  explicit BtHidService(AndroidDevice& device);
+  ~BtHidService();
+  BtHidService(const BtHidService&) = delete;
+  BtHidService& operator=(const BtHidService&) = delete;
+
+  std::uint64_t events_injected() const { return events_; }
+
+ private:
+  void on_message(const net::Message& msg);
+
+  AndroidDevice& device_;
+  net::Address addr_;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace blab::device

@@ -1,0 +1,81 @@
+#include "device/process.hpp"
+
+#include <algorithm>
+
+namespace blab::device {
+
+Pid ProcessTable::spawn(std::string name, double base_demand,
+                        double jitter_fraction, bool foreground) {
+  Process p;
+  p.pid = ids_.next();
+  p.name = std::move(name);
+  p.base_demand = base_demand;
+  p.jitter_fraction = jitter_fraction;
+  p.current_demand = base_demand;
+  p.foreground = foreground;
+  processes_.push_back(std::move(p));
+  return processes_.back().pid;
+}
+
+bool ProcessTable::kill(Pid pid) {
+  const auto it = std::find_if(processes_.begin(), processes_.end(),
+                               [&](const Process& p) { return p.pid == pid; });
+  if (it == processes_.end()) return false;
+  processes_.erase(it);
+  return true;
+}
+
+int ProcessTable::kill_by_name(const std::string& name) {
+  const auto before = processes_.size();
+  std::erase_if(processes_, [&](const Process& p) { return p.name == name; });
+  return static_cast<int>(before - processes_.size());
+}
+
+Process* ProcessTable::find(Pid pid) {
+  for (auto& p : processes_) {
+    if (p.pid == pid) return &p;
+  }
+  return nullptr;
+}
+
+const Process* ProcessTable::find(Pid pid) const {
+  for (const auto& p : processes_) {
+    if (p.pid == pid) return &p;
+  }
+  return nullptr;
+}
+
+Process* ProcessTable::find_by_name(const std::string& name) {
+  for (auto& p : processes_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+double ProcessTable::total_demand() const {
+  double total = 0.0;
+  for (const auto& p : processes_) total += p.current_demand;
+  return std::min(total, 1.0);
+}
+
+void ProcessTable::redraw(util::Rng& rng) {
+  for (auto& p : processes_) {
+    if (p.jitter_fraction <= 0.0) {
+      p.current_demand = p.base_demand;
+      continue;
+    }
+    const double drawn =
+        rng.normal(p.base_demand, p.base_demand * p.jitter_fraction);
+    p.current_demand = std::clamp(drawn, 0.0, 1.0);
+  }
+}
+
+bool ProcessTable::set_base_demand(Pid pid, double demand) {
+  Process* p = find(pid);
+  if (p == nullptr) return false;
+  p->base_demand = std::clamp(demand, 0.0, 1.0);
+  p->current_demand = p->base_demand;
+  return true;
+}
+
+}  // namespace blab::device

@@ -1,0 +1,57 @@
+// Process table for the Android OS model.
+//
+// Apps and system daemons are processes with a CPU demand (fraction of total
+// SoC capacity). Demands may be stochastic: the device redraws jittered
+// demands on a short period, which is what gives measured CPU/current CDFs
+// their realistic spread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/id.hpp"
+#include "util/rng.hpp"
+
+namespace blab::device {
+
+struct ProcessTag {};
+using Pid = util::Id<ProcessTag>;
+
+struct Process {
+  Pid pid;
+  std::string name;          ///< e.g. "com.android.chrome"
+  double base_demand = 0.0;  ///< mean CPU demand, fraction of SoC [0,1]
+  double jitter_fraction = 0.0;  ///< relative sigma of the redraw
+  double current_demand = 0.0;   ///< latest drawn demand
+  bool foreground = false;
+};
+
+class ProcessTable {
+ public:
+  Pid spawn(std::string name, double base_demand, double jitter_fraction,
+            bool foreground = false);
+  bool kill(Pid pid);
+  /// Kill every process whose name matches exactly; returns count.
+  int kill_by_name(const std::string& name);
+
+  Process* find(Pid pid);
+  const Process* find(Pid pid) const;
+  Process* find_by_name(const std::string& name);
+
+  /// Sum of current demands, clamped to 1.0 (the SoC saturates).
+  double total_demand() const;
+  /// Redraw all jittered demands.
+  void redraw(util::Rng& rng);
+  /// Update a process's mean demand (e.g. page load burst starts/ends).
+  bool set_base_demand(Pid pid, double demand);
+
+  const std::vector<Process>& processes() const { return processes_; }
+  std::size_t count() const { return processes_.size(); }
+
+ private:
+  util::IdAllocator<ProcessTag> ids_;
+  std::vector<Process> processes_;
+};
+
+}  // namespace blab::device

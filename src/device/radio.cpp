@@ -1,0 +1,28 @@
+#include "device/radio.hpp"
+
+namespace blab::device {
+
+const char* radio_kind_name(RadioKind kind) {
+  switch (kind) {
+    case RadioKind::kWifi: return "wifi";
+    case RadioKind::kBluetooth: return "bluetooth";
+    case RadioKind::kCellular: return "cellular";
+  }
+  return "?";
+}
+
+double Radio::current_ma(const PowerProfile& p) const {
+  if (!enabled_) return 0.0;
+  switch (kind_) {
+    case RadioKind::kWifi:
+      return active() ? p.wifi_active_ma + p.wifi_per_mbps_ma * throughput_mbps_
+                      : p.wifi_idle_ma;
+    case RadioKind::kBluetooth:
+      return active() ? p.bt_active_ma : p.bt_idle_ma;
+    case RadioKind::kCellular:
+      return active() ? p.cell_active_ma : p.cell_idle_ma;
+  }
+  return 0.0;
+}
+
+}  // namespace blab::device

@@ -1,0 +1,57 @@
+// Radio models: WiFi, Bluetooth, cellular.
+//
+// Each radio has an idle draw when enabled and an active draw while moving
+// traffic (scaled by throughput for WiFi). Activity is reference-counted so
+// overlapping transfers (page fetch + scrcpy uplink) compose correctly.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+
+#include "device/power_profile.hpp"
+
+namespace blab::device {
+
+enum class RadioKind { kWifi, kBluetooth, kCellular };
+
+const char* radio_kind_name(RadioKind kind);
+
+class Radio {
+ public:
+  explicit Radio(RadioKind kind) : kind_{kind} {}
+
+  RadioKind kind() const { return kind_; }
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) {
+    enabled_ = on;
+    if (!on) {
+      active_refs_ = 0;
+      throughput_mbps_ = 0.0;
+    }
+  }
+
+  /// Begin an activity window contributing `mbps` of traffic.
+  void begin_activity(double mbps) {
+    ++active_refs_;
+    throughput_mbps_ += mbps;
+  }
+  void end_activity(double mbps) {
+    // Tolerates a radio reset (disable) between begin and end.
+    if (active_refs_ == 0) return;
+    --active_refs_;
+    throughput_mbps_ = std::max(0.0, throughput_mbps_ - mbps);
+    if (active_refs_ == 0) throughput_mbps_ = 0.0;
+  }
+  bool active() const { return active_refs_ > 0; }
+  double throughput_mbps() const { return throughput_mbps_; }
+
+  double current_ma(const PowerProfile& p) const;
+
+ private:
+  RadioKind kind_;
+  bool enabled_ = false;
+  int active_refs_ = 0;
+  double throughput_mbps_ = 0.0;
+};
+
+}  // namespace blab::device

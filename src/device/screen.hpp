@@ -1,0 +1,51 @@
+// Display model.
+//
+// Tracks power-relevant state (on/off, brightness) and the *content change
+// rate* — the fraction of the frame that changes per refresh. The change rate
+// drives the scrcpy encoder's CPU cost and output bitrate (§4.2: encoder load
+// rises when screen content changes quickly vs. the static home screen).
+#pragma once
+
+#include <algorithm>
+
+#include "device/power_profile.hpp"
+
+namespace blab::device {
+
+struct ScreenSpec {
+  int width = 1080;
+  int height = 2220;  // J7 Duo-class panel
+  double refresh_hz = 60.0;
+};
+
+class Screen {
+ public:
+  explicit Screen(ScreenSpec spec = {}) : spec_{spec} {}
+
+  const ScreenSpec& spec() const { return spec_; }
+
+  bool is_on() const { return on_; }
+  void set_on(bool on) { on_ = on; }
+  double brightness() const { return brightness_; }
+  void set_brightness(double b) { brightness_ = std::clamp(b, 0.0, 1.0); }
+
+  /// Fraction of pixels changing per frame, [0,1]. Home screen ~0.01,
+  /// scrolling ~0.4, video ~0.6.
+  double content_change_rate() const { return on_ ? change_rate_ : 0.0; }
+  void set_content_change_rate(double rate) {
+    change_rate_ = std::clamp(rate, 0.0, 1.0);
+  }
+
+  double current_ma(const PowerProfile& profile) const {
+    if (!on_) return 0.0;
+    return profile.screen_base_ma + profile.screen_brightness_ma * brightness_;
+  }
+
+ private:
+  ScreenSpec spec_;
+  bool on_ = false;
+  double brightness_ = kDefaultBrightness;
+  double change_rate_ = 0.01;
+};
+
+}  // namespace blab::device

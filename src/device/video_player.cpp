@@ -1,0 +1,64 @@
+#include "device/video_player.hpp"
+
+#include "device/android.hpp"
+#include "device/device.hpp"
+
+namespace blab::device {
+
+VideoPlayerApp::VideoPlayerApp(AndroidDevice& device, std::string package)
+    : App{device, std::move(package)} {}
+
+void VideoPlayerApp::launch() {
+  if (running_) return;
+  running_ = true;
+  pid_ = device_.processes().spawn(package_, 0.02, 0.3, true);
+  device_.screen().set_content_change_rate(0.05);
+  device_.recompute_power();
+}
+
+void VideoPlayerApp::stop() {
+  if (!running_) return;
+  if (playing_) (void)pause();
+  running_ = false;
+  device_.processes().kill(pid_);
+  pid_ = Pid{};
+  device_.recompute_power();
+}
+
+util::Status VideoPlayerApp::play(const std::string& file) {
+  if (!running_) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "player not running");
+  }
+  if (playing_) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "already playing " + file_);
+  }
+  if (!device_.os().has_file(file)) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            file + " not found on sdcard (adb push it first)");
+  }
+  playing_ = true;
+  file_ = file;
+  device_.set_decoder_active(true);
+  device_.processes().set_base_demand(pid_, 0.06);
+  device_.screen().set_content_change_rate(0.60);
+  device_.recompute_power();
+  device_.os().log("VideoPlayer", "playing " + file);
+  return util::Status::ok_status();
+}
+
+util::Status VideoPlayerApp::pause() {
+  if (!playing_) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "not playing");
+  }
+  playing_ = false;
+  device_.set_decoder_active(false);
+  device_.processes().set_base_demand(pid_, 0.02);
+  device_.screen().set_content_change_rate(0.05);
+  device_.recompute_power();
+  return util::Status::ok_status();
+}
+
+}  // namespace blab::device

@@ -1,0 +1,37 @@
+// Local video player app.
+//
+// Fig. 2's accuracy experiment plays an mp4 pre-loaded on the sdcard for five
+// minutes — chosen because continuous frame changes force the mirroring
+// encoder to work constantly. Playback engages the hardware decoder, a small
+// jittered CPU demand, and a high screen content-change rate.
+#pragma once
+
+#include <string>
+
+#include "device/app.hpp"
+#include "device/process.hpp"
+#include "util/result.hpp"
+
+namespace blab::device {
+
+class VideoPlayerApp : public App {
+ public:
+  explicit VideoPlayerApp(AndroidDevice& device,
+                          std::string package = "com.example.videoplayer");
+
+  void launch() override;
+  void stop() override;
+
+  /// Start looped playback of a local file (no network involved).
+  util::Status play(const std::string& file);
+  util::Status pause();
+  bool playing() const { return playing_; }
+  const std::string& current_file() const { return file_; }
+
+ private:
+  Pid pid_;
+  bool playing_ = false;
+  std::string file_;
+};
+
+}  // namespace blab::device

@@ -1,0 +1,62 @@
+#include "device/web_content.hpp"
+
+namespace blab::device {
+namespace {
+
+constexpr std::size_t kKiB = 1024;
+
+}  // namespace
+
+WebCatalog::WebCatalog(std::vector<WebPage> pages) : pages_{std::move(pages)} {}
+
+const WebCatalog& WebCatalog::news_sites() {
+  // Sizes follow HTTP Archive medians for news front pages circa 2019:
+  // ~2-4 MB total with roughly a quarter attributable to ads/trackers.
+  static const WebCatalog catalog{{
+      {"news-a.example", 2200 * kKiB, 700 * kKiB},
+      {"news-b.example", 1800 * kKiB, 640 * kKiB},
+      {"news-c.example", 2600 * kKiB, 820 * kKiB},
+      {"news-d.example", 1500 * kKiB, 520 * kKiB},
+      {"news-e.example", 3100 * kKiB, 940 * kKiB},
+      {"news-f.example", 2000 * kKiB, 610 * kKiB},
+      {"news-g.example", 2400 * kKiB, 760 * kKiB},
+      {"news-h.example", 1700 * kKiB, 560 * kKiB},
+      {"news-i.example", 2900 * kKiB, 880 * kKiB},
+      {"news-j.example", 2100 * kKiB, 680 * kKiB},
+  }};
+  return catalog;
+}
+
+const WebPage* WebCatalog::find(const std::string& url) const {
+  for (const auto& p : pages_) {
+    if (p.url == url) return &p;
+  }
+  return nullptr;
+}
+
+double WebCatalog::ad_region_factor(const std::string& region) {
+  // Calibrated so a non-blocking browser's total bytes drop ~20% in Japan
+  // (ads are ~25% of the page; 0.25 * 0.8 reduction = 20% of total).
+  if (region == "Japan") return 0.20;
+  if (region == "South Africa") return 0.85;
+  if (region == "China") return 0.90;
+  if (region == "Brazil") return 0.95;
+  return 1.0;  // home location and CA, USA serve full-size ads
+}
+
+bool WebCatalog::lite_pages_default_on(const std::string& region) {
+  // §4.3 anecdote: lite pages activated by default in South Africa and Japan.
+  return region == "South Africa" || region == "Japan";
+}
+
+std::size_t WebCatalog::page_bytes(const WebPage& page,
+                                   const std::string& region, bool block_ads,
+                                   bool lite_pages_active) {
+  double content = static_cast<double>(page.content_bytes);
+  double ads = static_cast<double>(page.ads_bytes) * ad_region_factor(region);
+  if (block_ads) ads *= 0.08;  // blockers still fetch some first-party promo
+  if (lite_pages_active) content *= 0.40;
+  return static_cast<std::size_t>(content + ads);
+}
+
+}  // namespace blab::device

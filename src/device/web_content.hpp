@@ -1,0 +1,52 @@
+// Web page catalog for the browser workload (§4.2).
+//
+// The paper drives each browser through "10 popular news websites". Here the
+// catalog carries per-page payload sizes split into editorial content and
+// ads. Ad payloads vary with the client's apparent network location (§4.3:
+// Chrome's traffic dropped ~20% through the Japan VPN because ads served
+// there were systematically smaller), and Chrome's "lite pages" transcoding
+// defaults on in low-bandwidth regions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace blab::device {
+
+struct WebPage {
+  std::string url;
+  std::size_t content_bytes = 0;  ///< editorial payload
+  std::size_t ads_bytes = 0;      ///< ad payload at the reference location
+  /// Extra bytes fetched per scroll step (lazy-loaded content).
+  std::size_t scroll_bytes = 100 * 1024;
+};
+
+class WebCatalog {
+ public:
+  /// The ten news sites used throughout the evaluation.
+  static const WebCatalog& news_sites();
+
+  explicit WebCatalog(std::vector<WebPage> pages);
+
+  const std::vector<WebPage>& pages() const { return pages_; }
+  const WebPage* find(const std::string& url) const;
+
+  /// Multiplier applied to ad payloads for a network region ("" = home).
+  /// Japan serves markedly smaller ads — the Fig. 6 Chrome dip.
+  static double ad_region_factor(const std::string& region);
+  /// Regions where Chrome's lite-pages transcoding defaults to ON.
+  static bool lite_pages_default_on(const std::string& region);
+
+  /// Total bytes a fetch of `page` transfers.
+  ///  - ad blocking drops ~92% of ad bytes (Brave)
+  ///  - lite pages transcode editorial content to ~40% (when supported —
+  ///    §4.3 notes none of the tested pages actually supported it)
+  static std::size_t page_bytes(const WebPage& page, const std::string& region,
+                                bool block_ads, bool lite_pages_active);
+
+ private:
+  std::vector<WebPage> pages_;
+};
+
+}  // namespace blab::device

@@ -1,0 +1,56 @@
+#include "hw/battery.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace blab::hw {
+
+Battery::Battery(BatterySpec spec, double initial_soc)
+    : spec_{spec}, soc_{std::clamp(initial_soc, 0.0, 1.0)} {}
+
+double Battery::open_circuit_voltage() const {
+  // Piecewise Li-ion OCV curve: steep knee below 10%, plateau in the middle,
+  // gentle rise to full. Interpolated over anchor points.
+  struct Anchor {
+    double soc;
+    double frac;  // fraction of (full - empty) above empty
+  };
+  static constexpr Anchor anchors[] = {
+      {0.00, 0.00}, {0.05, 0.30}, {0.10, 0.45}, {0.25, 0.58},
+      {0.50, 0.70}, {0.75, 0.84}, {0.90, 0.93}, {1.00, 1.00},
+  };
+  const double span = spec_.full_voltage - spec_.empty_voltage;
+  for (std::size_t i = 1; i < std::size(anchors); ++i) {
+    if (soc_ <= anchors[i].soc) {
+      const auto& a = anchors[i - 1];
+      const auto& b = anchors[i];
+      const double t = (soc_ - a.soc) / (b.soc - a.soc);
+      return spec_.empty_voltage + span * (a.frac + t * (b.frac - a.frac));
+    }
+  }
+  return spec_.full_voltage;
+}
+
+double Battery::terminal_voltage(double current_ma) const {
+  const double sag = current_ma / 1000.0 * spec_.internal_resistance_ohm;
+  return std::max(0.0, open_circuit_voltage() - sag);
+}
+
+double Battery::discharge(double current_ma, Duration d) {
+  if (current_ma <= 0.0 || d <= Duration::zero()) return 0.0;
+  const double requested_mah = current_ma * d.to_seconds() / 3600.0;
+  const double available = remaining_mah();
+  const double removed = std::min(requested_mah, available);
+  soc_ = std::max(0.0, soc_ - removed / spec_.capacity_mah);
+  total_discharged_mah_ += removed;
+  return removed;
+}
+
+void Battery::charge(double mah) {
+  if (mah <= 0.0) return;
+  soc_ = std::min(1.0, soc_ + mah / spec_.capacity_mah);
+}
+
+void Battery::set_soc(double soc) { soc_ = std::clamp(soc, 0.0, 1.0); }
+
+}  // namespace blab::hw

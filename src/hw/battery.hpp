@@ -1,0 +1,57 @@
+// Lithium-ion battery model.
+//
+// Test devices ship with removable batteries (§3.2 recommends them); the
+// relay board switches the phone between real-battery operation and the
+// "battery bypass" where the Monsoon supplies power. The model tracks state
+// of charge, an open-circuit voltage curve, and integrates discharge.
+#pragma once
+
+#include "util/result.hpp"
+#include "util/time.hpp"
+
+namespace blab::hw {
+
+using util::Duration;
+
+struct BatterySpec {
+  double capacity_mah = 3000.0;   ///< Samsung J7 Duo ships a 3000 mAh pack
+  double nominal_voltage = 3.85;
+  double full_voltage = 4.35;
+  double empty_voltage = 3.40;
+  double internal_resistance_ohm = 0.10;
+  bool removable = true;
+};
+
+class Battery {
+ public:
+  explicit Battery(BatterySpec spec = {}, double initial_soc = 1.0);
+
+  const BatterySpec& spec() const { return spec_; }
+
+  /// State of charge in [0, 1].
+  double soc() const { return soc_; }
+  double remaining_mah() const { return soc_ * spec_.capacity_mah; }
+  bool depleted() const { return soc_ <= 0.0; }
+
+  /// Open-circuit voltage at the current state of charge (monotonic in SoC).
+  double open_circuit_voltage() const;
+  /// Terminal voltage under a load drawing `current_ma` (sag from internal
+  /// resistance).
+  double terminal_voltage(double current_ma) const;
+
+  /// Discharge by a constant current for a duration. Returns the charge
+  /// actually removed (mAh) — less than requested if the battery empties.
+  double discharge(double current_ma, Duration d);
+  /// Recharge (e.g. USB between experiments); clamps at full.
+  void charge(double mah);
+  void set_soc(double soc);
+
+  double total_discharged_mah() const { return total_discharged_mah_; }
+
+ private:
+  BatterySpec spec_;
+  double soc_;
+  double total_discharged_mah_ = 0.0;
+};
+
+}  // namespace blab::hw

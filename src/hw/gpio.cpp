@@ -1,0 +1,59 @@
+#include "hw/gpio.hpp"
+
+namespace blab::hw {
+
+GpioController::GpioController(int pin_count) : pin_count_{pin_count} {}
+
+util::Status GpioController::check_pin(int pin) const {
+  if (pin < 0 || pin >= pin_count_) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "GPIO pin " + std::to_string(pin) +
+                                " out of range");
+  }
+  return util::Status::ok_status();
+}
+
+util::Status GpioController::set_mode(int pin, PinMode mode) {
+  if (auto st = check_pin(pin); !st.ok()) return st;
+  modes_[pin] = mode;
+  levels_.try_emplace(pin, PinLevel::kLow);
+  return util::Status::ok_status();
+}
+
+util::Result<PinMode> GpioController::mode(int pin) const {
+  if (auto st = check_pin(pin); !st.ok()) return st.error();
+  const auto it = modes_.find(pin);
+  return it == modes_.end() ? PinMode::kUnconfigured : it->second;
+}
+
+util::Status GpioController::write(int pin, PinLevel level) {
+  if (auto st = check_pin(pin); !st.ok()) return st;
+  const auto it = modes_.find(pin);
+  if (it == modes_.end() || it->second != PinMode::kOutput) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "GPIO pin " + std::to_string(pin) +
+                                " not configured as output");
+  }
+  levels_[pin] = level;
+  if (const auto lit = listeners_.find(pin); lit != listeners_.end()) {
+    lit->second(pin, level);
+  }
+  return util::Status::ok_status();
+}
+
+util::Result<PinLevel> GpioController::read(int pin) const {
+  if (auto st = check_pin(pin); !st.ok()) return st.error();
+  const auto it = levels_.find(pin);
+  if (it == levels_.end()) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "GPIO pin " + std::to_string(pin) +
+                                " not configured");
+  }
+  return it->second;
+}
+
+void GpioController::on_write(int pin, Listener listener) {
+  listeners_[pin] = std::move(listener);
+}
+
+}  // namespace blab::hw

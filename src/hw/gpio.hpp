@@ -1,0 +1,43 @@
+// Controller GPIO interface (§3.2).
+//
+// The relay board hangs off the Raspberry Pi's GPIO header; software drives
+// relay coils by writing pin levels. Pins must be configured as outputs
+// before writing — misconfiguration is an error, like on real hardware.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "util/result.hpp"
+
+namespace blab::hw {
+
+enum class PinMode { kUnconfigured, kInput, kOutput };
+enum class PinLevel { kLow = 0, kHigh = 1 };
+
+class GpioController {
+ public:
+  explicit GpioController(int pin_count = 40);
+
+  int pin_count() const { return pin_count_; }
+
+  util::Status set_mode(int pin, PinMode mode);
+  util::Result<PinMode> mode(int pin) const;
+
+  util::Status write(int pin, PinLevel level);
+  util::Result<PinLevel> read(int pin) const;
+
+  /// Observe writes to a pin (relay coils subscribe here).
+  using Listener = std::function<void(int pin, PinLevel level)>;
+  void on_write(int pin, Listener listener);
+
+ private:
+  util::Status check_pin(int pin) const;
+
+  int pin_count_;
+  std::unordered_map<int, PinMode> modes_;
+  std::unordered_map<int, PinLevel> levels_;
+  std::unordered_map<int, Listener> listeners_;
+};
+
+}  // namespace blab::hw

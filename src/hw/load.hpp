@@ -1,0 +1,31 @@
+// Electrical load interface.
+//
+// Anything that draws supply current (a test device's power input) exposes
+// its draw as piecewise-constant segments; the relay board forwards and the
+// power monitor samples them.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace blab::hw {
+
+using util::Duration;
+using util::TimePoint;
+
+class Load {
+ public:
+  virtual ~Load() = default;
+
+  /// Instantaneous supply current in mA at time t.
+  virtual double current_ma(TimePoint t) const = 0;
+
+  /// Piecewise segments of supply current over [t0, t1): (start, mA) pairs,
+  /// first entry clamped to t0, each value holding until the next entry.
+  virtual std::vector<std::pair<TimePoint, double>> current_segments(
+      TimePoint t0, TimePoint t1) const = 0;
+};
+
+}  // namespace blab::hw

@@ -1,0 +1,147 @@
+#include "hw/power_monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace blab::hw {
+
+Capture::Capture(TimePoint t0, double sample_hz, double voltage,
+                 std::vector<float> current_ma)
+    : t0_{t0},
+      sample_hz_{sample_hz},
+      voltage_{voltage},
+      current_ma_{std::move(current_ma)} {}
+
+double Capture::mean_current_ma() const {
+  if (current_ma_.empty()) return 0.0;
+  double sum = 0.0;
+  for (float s : current_ma_) sum += s;
+  return sum / static_cast<double>(current_ma_.size());
+}
+
+double Capture::charge_mah() const {
+  // Fixed-rate samples: mean * hours.
+  const double hours = duration().to_seconds() / 3600.0;
+  return mean_current_ma() * hours;
+}
+
+util::Cdf Capture::current_cdf(std::size_t stride) const {
+  util::Cdf cdf;
+  if (stride == 0) stride = 1;
+  for (std::size_t i = 0; i < current_ma_.size(); i += stride) {
+    cdf.add(current_ma_[i]);
+  }
+  return cdf;
+}
+
+PowerMonitor::PowerMonitor(sim::Simulator& sim, util::Rng rng, MonsoonSpec spec)
+    : sim_{sim}, rng_{std::move(rng)}, spec_{spec} {}
+
+void PowerMonitor::set_mains(bool on) {
+  if (mains_ == on) return;
+  mains_ = on;
+  if (!on && capturing_) {
+    BLAB_WARN("monsoon", "mains lost mid-capture; capture aborted");
+    capturing_ = false;
+  }
+  if (!on) voltage_ = 0.0;  // output stage resets on power loss
+}
+
+void PowerMonitor::connect_load(const Load* load) { load_ = load; }
+
+util::Status PowerMonitor::set_voltage(double volts) {
+  if (!mains_) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "monitor has no mains power");
+  }
+  if (volts != 0.0 &&
+      (volts < spec_.min_voltage || volts > spec_.max_voltage)) {
+    return util::make_error(
+        util::ErrorCode::kInvalidArgument,
+        "voltage " + std::to_string(volts) + "V outside [" +
+            std::to_string(spec_.min_voltage) + ", " +
+            std::to_string(spec_.max_voltage) + "]");
+  }
+  voltage_ = volts;
+  return util::Status::ok_status();
+}
+
+util::Status PowerMonitor::start_capture() {
+  if (!ready()) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "monitor not ready (mains + voltage required)");
+  }
+  if (load_ == nullptr) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "no load wired to main channel");
+  }
+  if (capturing_) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "capture already running");
+  }
+  capturing_ = true;
+  capture_start_ = sim_.now();
+  return util::Status::ok_status();
+}
+
+util::Result<Capture> PowerMonitor::stop_capture() {
+  if (!capturing_) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "no capture running");
+  }
+  capturing_ = false;
+  ++captures_taken_;
+  const TimePoint t0 = capture_start_;
+  const TimePoint t1 = sim_.now();
+  const auto n = static_cast<std::size_t>(
+      (t1 - t0).to_seconds() * spec_.sample_hz);
+  std::vector<float> samples;
+  samples.reserve(n);
+
+  const auto segs = load_->current_segments(t0, t1);
+  const double dt = 1.0 / spec_.sample_hz;
+  std::size_t seg = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const TimePoint t =
+        t0 + Duration::seconds(static_cast<double>(i) * dt);
+    while (seg + 1 < segs.size() && segs[seg + 1].first <= t) ++seg;
+    const double truth = segs.empty() ? 0.0 : segs[seg].second;
+    double measured = truth * spec_.gain * gain_correction_ +
+                      rng_.normal(0.0, spec_.noise_sigma_ma);
+    if (measured < 0.0) measured = 0.0;
+    if (measured > spec_.max_current_ma) {
+      measured = spec_.max_current_ma;
+      ++overcurrent_events_;
+    }
+    samples.push_back(static_cast<float>(measured));
+  }
+  return Capture{t0, spec_.sample_hz, voltage_, std::move(samples)};
+}
+
+util::Status PowerMonitor::calibrate_against(double reference_ma,
+                                             Duration window) {
+  if (reference_ma <= 0.0) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "reference current must be positive");
+  }
+  if (capturing_) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "cannot calibrate mid-capture");
+  }
+  if (auto st = start_capture(); !st.ok()) return st;
+  sim_.run_for(window);
+  auto capture = stop_capture();
+  if (!capture.ok()) return capture.error();
+  --captures_taken_;  // calibration sweeps are not user captures
+  const double measured = capture.value().mean_current_ma();
+  if (measured <= 0.0) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "no current flowing through the reference load");
+  }
+  gain_correction_ *= reference_ma / measured;
+  return util::Status::ok_status();
+}
+
+}  // namespace blab::hw

@@ -1,0 +1,54 @@
+#include "hw/power_socket.hpp"
+
+#include "hw/power_monitor.hpp"
+
+namespace blab::hw {
+
+PowerSocket::PowerSocket(net::Network& net, std::string host, int port)
+    : net_{net}, addr_{std::move(host), port} {
+  net_.add_host(addr_.host);
+  net_.listen(addr_, [this](const net::Message& m) { on_message(m); });
+}
+
+PowerSocket::~PowerSocket() { net_.unlisten(addr_); }
+
+void PowerSocket::attach_monitor(PowerMonitor* monitor) {
+  monitor_ = monitor;
+  if (monitor_ != nullptr) monitor_->set_mains(on_);
+}
+
+void PowerSocket::apply(bool on) {
+  if (on_ != on) {
+    on_ = on;
+    ++toggles_;
+    if (monitor_ != nullptr) monitor_->set_mains(on_);
+  }
+}
+
+util::Status PowerSocket::turn_on() {
+  apply(true);
+  return util::Status::ok_status();
+}
+
+util::Status PowerSocket::turn_off() {
+  apply(false);
+  return util::Status::ok_status();
+}
+
+void PowerSocket::on_message(const net::Message& msg) {
+  // Tiny Meross-like protocol: payload "on"/"off"/"get"; reply with state.
+  if (msg.tag != "meross.set" && msg.tag != "meross.get") return;
+  if (msg.tag == "meross.set") {
+    if (msg.payload == "on") apply(true);
+    if (msg.payload == "off") apply(false);
+  }
+  net::Message reply;
+  reply.src = addr_;
+  reply.dst = msg.src;
+  reply.tag = "meross.state";
+  reply.payload = on_ ? "on" : "off";
+  reply.wire_bytes = 96;
+  (void)net_.send(std::move(reply));
+}
+
+}  // namespace blab::hw

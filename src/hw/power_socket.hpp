@@ -1,0 +1,49 @@
+// Meross-style WiFi power socket (§3.2).
+//
+// The controller cannot cut the Monsoon's mains directly, so BatteryLab uses
+// a WiFi smart socket with a small HTTP-ish API. The socket is a network
+// endpoint ("meross.set"/"meross.get" messages) and also callable in-process;
+// toggling it drives the monitor's mains input. A safety job keeps it off
+// between experiments.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "net/network.hpp"
+#include "util/result.hpp"
+
+namespace blab::hw {
+
+class PowerMonitor;
+
+class PowerSocket {
+ public:
+  /// Binds the control endpoint at {host, port}.
+  PowerSocket(net::Network& net, std::string host, int port = 80);
+  ~PowerSocket();
+  PowerSocket(const PowerSocket&) = delete;
+  PowerSocket& operator=(const PowerSocket&) = delete;
+
+  const net::Address& address() const { return addr_; }
+
+  /// Wire the socket's output to a monitor's mains input.
+  void attach_monitor(PowerMonitor* monitor);
+
+  util::Status turn_on();
+  util::Status turn_off();
+  bool is_on() const { return on_; }
+  std::uint64_t toggle_count() const { return toggles_; }
+
+ private:
+  void on_message(const net::Message& msg);
+  void apply(bool on);
+
+  net::Network& net_;
+  net::Address addr_;
+  PowerMonitor* monitor_ = nullptr;
+  bool on_ = false;
+  std::uint64_t toggles_ = 0;
+};
+
+}  // namespace blab::hw

@@ -1,0 +1,153 @@
+#include "hw/relay.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace blab::hw {
+
+const char* relay_position_name(RelayPosition pos) {
+  switch (pos) {
+    case RelayPosition::kBattery: return "battery";
+    case RelayPosition::kBypass: return "bypass";
+  }
+  return "?";
+}
+
+RelayBoard::RelayBoard(sim::Simulator& sim, GpioController& gpio, int channels,
+                       int base_pin, RelayBoardSpec spec)
+    : sim_{sim}, gpio_{gpio}, base_pin_{base_pin}, spec_{spec} {
+  channels_.resize(static_cast<std::size_t>(channels));
+  for (int i = 0; i < channels; ++i) {
+    const int pin = base_pin_ + i;
+    (void)gpio_.set_mode(pin, PinMode::kOutput);
+    gpio_.on_write(pin, [this, i](int, PinLevel level) {
+      // The coil needs actuation time before contacts settle.
+      const RelayPosition target = (level == PinLevel::kHigh)
+                                       ? RelayPosition::kBypass
+                                       : RelayPosition::kBattery;
+      sim_.schedule_after(spec_.switch_time, [this, i, target] {
+        auto& ch = channels_[static_cast<std::size_t>(i)];
+        if (ch.position == target) return;
+        ch.position = target;
+        ch.position_history.set(
+            sim_.now(), target == RelayPosition::kBypass ? 1.0 : 0.0);
+        ++ch.toggles;
+        ch.last_switch = sim_.now();
+        switch_events_.push_back(sim_.now());
+      }, "relay.settle");
+    });
+  }
+}
+
+util::Status RelayBoard::check_channel(int channel) const {
+  if (channel < 0 || channel >= channel_count()) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "relay channel " + std::to_string(channel) +
+                                " out of range");
+  }
+  return util::Status::ok_status();
+}
+
+util::Status RelayBoard::connect_load(int channel, const Load* load) {
+  if (auto st = check_channel(channel); !st.ok()) return st;
+  auto& ch = channels_[static_cast<std::size_t>(channel)];
+  if (ch.load != nullptr) {
+    return util::make_error(util::ErrorCode::kAlreadyExists,
+                            "channel already wired");
+  }
+  ch.load = load;
+  return util::Status::ok_status();
+}
+
+util::Status RelayBoard::disconnect_load(int channel) {
+  if (auto st = check_channel(channel); !st.ok()) return st;
+  channels_[static_cast<std::size_t>(channel)].load = nullptr;
+  return util::Status::ok_status();
+}
+
+util::Status RelayBoard::set_position(int channel, RelayPosition pos) {
+  if (auto st = check_channel(channel); !st.ok()) return st;
+  return gpio_.write(base_pin_ + channel, pos == RelayPosition::kBypass
+                                              ? PinLevel::kHigh
+                                              : PinLevel::kLow);
+}
+
+util::Result<RelayPosition> RelayBoard::position(int channel) const {
+  if (auto st = check_channel(channel); !st.ok()) return st.error();
+  return channels_[static_cast<std::size_t>(channel)].position;
+}
+
+util::Result<std::uint64_t> RelayBoard::toggles(int channel) const {
+  if (auto st = check_channel(channel); !st.ok()) return st.error();
+  return channels_[static_cast<std::size_t>(channel)].toggles;
+}
+
+bool RelayBoard::any_bypass() const {
+  return std::any_of(channels_.begin(), channels_.end(), [](const auto& ch) {
+    return ch.position == RelayPosition::kBypass;
+  });
+}
+
+std::vector<int> RelayBoard::bypass_channels() const {
+  std::vector<int> out;
+  for (int i = 0; i < channel_count(); ++i) {
+    if (channels_[static_cast<std::size_t>(i)].position ==
+        RelayPosition::kBypass) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+double RelayBoard::transient_at(TimePoint t) const {
+  for (auto it = switch_events_.rbegin(); it != switch_events_.rend(); ++it) {
+    if (*it > t) continue;
+    if (t - *it < spec_.transient_duration) return spec_.transient_extra_ma;
+    break;  // events are ordered; older ones are further away
+  }
+  return 0.0;
+}
+
+double RelayBoard::current_ma(TimePoint t) const {
+  double total = 0.0;
+  for (const auto& ch : channels_) {
+    if (ch.bypass_at(t) && ch.load != nullptr) {
+      total += ch.load->current_ma(t) * (1.0 + spec_.contact_loss_fraction);
+    }
+  }
+  return total + transient_at(t);
+}
+
+std::vector<std::pair<TimePoint, double>> RelayBoard::current_segments(
+    TimePoint t0, TimePoint t1) const {
+  // Merge the breakpoints of every bypass channel plus transient windows.
+  std::map<TimePoint, char> cuts;  // value unused; map gives sorted unique keys
+  cuts[t0] = 0;
+  for (const auto& ch : channels_) {
+    if (ch.load == nullptr) continue;
+    // Position flips within the window are cut points via switch_events_;
+    // a channel contributes load breakpoints whenever it spent any time in
+    // bypass during the window.
+    if (!ch.bypass_at(t0) && !ch.bypass_at(t1) && ch.toggles == 0) continue;
+    for (const auto& [t, _] : ch.load->current_segments(t0, t1)) cuts[t] = 0;
+  }
+  for (TimePoint ev : switch_events_) {
+    if (ev >= t1) break;
+    if (ev + spec_.transient_duration > t0) {
+      if (ev >= t0) cuts[ev] = 0;
+      const TimePoint end = ev + spec_.transient_duration;
+      if (end < t1) cuts[end] = 0;
+    }
+  }
+  std::vector<std::pair<TimePoint, double>> out;
+  out.reserve(cuts.size());
+  for (const auto& [t, _] : cuts) {
+    const double v = current_ma(t);
+    if (!out.empty() && out.back().second == v) continue;
+    out.emplace_back(t, v);
+  }
+  if (out.empty()) out.emplace_back(t0, current_ma(t0));
+  return out;
+}
+
+}  // namespace blab::hw

@@ -1,0 +1,75 @@
+#include "hw/timeline.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace blab::hw {
+
+void Timeline::set(TimePoint t, double value) {
+  if (!points_.empty()) {
+    assert(t >= points_.back().first && "timeline breakpoints must be ordered");
+    if (points_.back().first == t) {
+      points_.back().second = value;
+      return;
+    }
+    if (points_.back().second == value) return;  // no-op change
+  }
+  points_.emplace_back(t, value);
+}
+
+double Timeline::at(TimePoint t) const {
+  if (points_.empty() || t < points_.front().first) return 0.0;
+  // Last breakpoint with time <= t.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](TimePoint x, const auto& p) { return x < p.first; });
+  return std::prev(it)->second;
+}
+
+double Timeline::last_value() const {
+  return points_.empty() ? 0.0 : points_.back().second;
+}
+
+std::vector<std::pair<TimePoint, double>> Timeline::segments(
+    TimePoint t0, TimePoint t1) const {
+  std::vector<std::pair<TimePoint, double>> out;
+  if (t1 <= t0) return out;
+  out.emplace_back(t0, at(t0));
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t0,
+      [](TimePoint x, const auto& p) { return x < p.first; });
+  for (; it != points_.end() && it->first < t1; ++it) {
+    if (it->second != out.back().second) out.emplace_back(it->first, it->second);
+  }
+  return out;
+}
+
+double Timeline::mean(TimePoint t0, TimePoint t1) const {
+  if (t1 <= t0) return at(t0);
+  return integral(t0, t1) / (t1 - t0).to_seconds();
+}
+
+double Timeline::integral(TimePoint t0, TimePoint t1) const {
+  if (t1 <= t0) return 0.0;
+  const auto segs = segments(t0, t1);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    const TimePoint end = (i + 1 < segs.size()) ? segs[i + 1].first : t1;
+    acc += segs[i].second * (end - segs[i].first).to_seconds();
+  }
+  return acc;
+}
+
+void Timeline::prune_before(TimePoint t) {
+  if (points_.empty()) return;
+  const double boundary = at(t);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), t,
+      [](const auto& p, TimePoint x) { return p.first < x; });
+  points_.erase(points_.begin(), it);
+  if (points_.empty() || points_.front().first > t) {
+    points_.insert(points_.begin(), {t, boundary});
+  }
+}
+
+}  // namespace blab::hw

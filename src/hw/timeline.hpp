@@ -1,0 +1,48 @@
+// Piecewise-constant signal timeline.
+//
+// Devices publish their current draw as breakpoints (t, value); the power
+// monitor synthesizes 5 kHz samples from the segments lazily. This keeps a
+// 5-minute capture (1.5 M samples) cheap: the simulator only sees events at
+// state *changes*, not at sample boundaries.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace blab::hw {
+
+using util::Duration;
+using util::TimePoint;
+
+class Timeline {
+ public:
+  /// Record a breakpoint: the signal holds `value` from `t` until the next
+  /// breakpoint. Breakpoints must be appended in non-decreasing time order.
+  void set(TimePoint t, double value);
+
+  /// Value at time `t` (0 before the first breakpoint).
+  double at(TimePoint t) const;
+  double last_value() const;
+  bool empty() const { return points_.empty(); }
+  std::size_t breakpoints() const { return points_.size(); }
+
+  /// Segments overlapping [t0, t1): pairs of (segment start clamped to t0,
+  /// value). The final segment extends to t1.
+  std::vector<std::pair<TimePoint, double>> segments(TimePoint t0,
+                                                     TimePoint t1) const;
+
+  /// Time-weighted mean over [t0, t1).
+  double mean(TimePoint t0, TimePoint t1) const;
+  /// Integral of value dt over [t0, t1), in value*seconds.
+  double integral(TimePoint t0, TimePoint t1) const;
+
+  /// Drop breakpoints strictly before `t` (keeping the boundary value).
+  void prune_before(TimePoint t);
+
+ private:
+  std::vector<std::pair<TimePoint, double>> points_;
+};
+
+}  // namespace blab::hw

@@ -1,0 +1,103 @@
+#include "mirror/airplay.hpp"
+
+#include "device/android.hpp"
+#include "util/strings.hpp"
+
+namespace blab::mirror {
+namespace {
+constexpr double kInitialStreamMbps = 0.2;
+}  // namespace
+
+AirPlaySender::AirPlaySender(device::AndroidDevice& device,
+                             std::string sink_host, int sink_port,
+                             EncoderConfig config)
+    : device_{device},
+      sink_host_{std::move(sink_host)},
+      sink_port_{sink_port},
+      config_{config},
+      stream_{device.simulator(), kStreamTick, [this] { stream_tick(); }} {}
+
+AirPlaySender::~AirPlaySender() { stop(); }
+
+util::Status AirPlaySender::start() {
+  if (running_) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "AirPlay already streaming");
+  }
+  if (device_.spec().platform != device::Platform::kIos) {
+    return util::make_error(util::ErrorCode::kUnsupported,
+                            "AirPlay mirroring is the iOS path; Android "
+                            "devices mirror via scrcpy");
+  }
+  if (!device_.powered_on()) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "device is off");
+  }
+  running_ = true;
+  // mediaserverd does the capture + encode work on iOS.
+  pid_ = device_.processes().spawn(
+      "mediaserverd",
+      H264Encoder::device_cpu_demand(device_.screen().content_change_rate()),
+      0.20);
+  device_.set_encoder_active(true);
+  stream_mbps_ = kInitialStreamMbps;
+  device_.wifi().begin_activity(stream_mbps_);
+  device_.recompute_power();
+  stream_.start_after(kStreamTick);
+  device_.os().log("AirPlay", "screen mirroring started");
+  return util::Status::ok_status();
+}
+
+void AirPlaySender::stop() {
+  if (!running_) return;
+  running_ = false;
+  stream_.stop();
+  device_.processes().kill(pid_);
+  pid_ = device::Pid{};
+  device_.set_encoder_active(false);
+  device_.wifi().end_activity(stream_mbps_);
+  device_.recompute_power();
+}
+
+void AirPlaySender::stream_tick() {
+  if (!device_.powered_on()) return;
+  const double change = device_.screen().content_change_rate();
+  if (auto* p = device_.processes().find(pid_)) {
+    p->base_demand = H264Encoder::device_cpu_demand(change);
+  }
+  const double mbps = H264Encoder::output_mbps(config_, change);
+  // The uplink's duty cycle follows the actual stream rate.
+  device_.wifi().end_activity(stream_mbps_);
+  stream_mbps_ = mbps;
+  device_.wifi().begin_activity(stream_mbps_);
+  const auto bytes = static_cast<std::size_t>(
+      mbps * 1e6 / 8.0 * kStreamTick.to_seconds());
+  net::Message frame;
+  frame.src = net::Address{device_.host(), sink_port_};
+  frame.dst = net::Address{sink_host_, sink_port_};
+  frame.tag = "airplay.frame";
+  frame.payload = std::to_string(frames_sent_) + ":" +
+                  util::format_double(change, 3);
+  frame.wire_bytes = bytes + 32;
+  if (device_.network().send(std::move(frame)).ok()) {
+    ++frames_sent_;
+    bytes_sent_ += bytes + 32;
+  }
+  device_.recompute_power();
+}
+
+void AirPlaySender::emit_probe_frame(std::uint64_t probe_id) {
+  if (!running_) return;
+  const double change = device_.screen().content_change_rate();
+  const double mbps = H264Encoder::output_mbps(config_, change);
+  net::Message frame;
+  frame.src = net::Address{device_.host(), sink_port_};
+  frame.dst = net::Address{sink_host_, sink_port_};
+  frame.tag = "scrcpy.frame.probe";  // the session's sink speaks one dialect
+  frame.payload = std::to_string(probe_id);
+  frame.wire_bytes = static_cast<std::size_t>(
+      mbps * 1e6 / 8.0 * kStreamTick.to_seconds()) + 32;
+  (void)device_.network().send(std::move(frame));
+}
+
+}  // namespace blab::mirror

@@ -1,0 +1,59 @@
+// AirPlay screen mirroring — the iOS path (§3.2).
+//
+// "No equivalent software [to scrcpy] exists for iOS, but a similar
+// functionality can be achieved combining AirPlay Screen Mirroring with
+// (virtual) keyboard keys." The sender streams H.264 frames from the device
+// to an AirPlay receiver on the controller; unlike scrcpy there is NO input
+// channel — remote control rides the Bluetooth HID keyboard instead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "device/device.hpp"
+#include "device/process.hpp"
+#include "mirror/encoder.hpp"
+#include "sim/periodic.hpp"
+#include "util/result.hpp"
+
+namespace blab::mirror {
+
+class AirPlaySender {
+ public:
+  AirPlaySender(device::AndroidDevice& device, std::string sink_host,
+                int sink_port, EncoderConfig config = {});
+  ~AirPlaySender();
+  AirPlaySender(const AirPlaySender&) = delete;
+  AirPlaySender& operator=(const AirPlaySender&) = delete;
+
+  /// Fails on non-iOS devices (Android uses scrcpy) and powered-off devices.
+  util::Status start();
+  void stop();
+  bool running() const { return running_; }
+
+  const EncoderConfig& config() const { return config_; }
+  std::uint64_t frames_sent() const { return frames_sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+  /// Emit a probe frame carrying `probe_id` (used by the latency pipeline:
+  /// the visual response to an injected HID event rides the next frame).
+  void emit_probe_frame(std::uint64_t probe_id);
+
+  static constexpr auto kStreamTick = util::Duration::millis(100);
+
+ private:
+  void stream_tick();
+
+  device::AndroidDevice& device_;
+  std::string sink_host_;
+  int sink_port_;
+  EncoderConfig config_;
+  device::Pid pid_;
+  bool running_ = false;
+  sim::PeriodicTask stream_;
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  double stream_mbps_ = 0.0;
+};
+
+}  // namespace blab::mirror

@@ -1,0 +1,31 @@
+// H.264 encoder model for scrcpy mirroring.
+//
+// §4.2 sets scrcpy's encoding rate to 1 Mbps; output volume and encoder CPU
+// both track how quickly the screen content changes (static home screen is
+// nearly free, video playback saturates the rate cap).
+#pragma once
+
+namespace blab::mirror {
+
+struct EncoderConfig {
+  double bitrate_cap_mbps = 1.0;  ///< paper's setting
+  double fps = 60.0;
+  /// Bitrate produced per unit of content change before the cap.
+  double mbps_per_change = 1.8;
+  double keyframe_floor_mbps = 0.08;
+};
+
+class H264Encoder {
+ public:
+  /// Output bitrate (Mbps) at a given content change rate in [0,1].
+  static double output_mbps(const EncoderConfig& cfg, double change_rate);
+
+  /// CPU demand of the device-side scrcpy server process (fraction of SoC)
+  /// at a given change rate. Calibrated to the paper's "+5% device CPU".
+  static double device_cpu_demand(double change_rate);
+
+  /// CPU demand of the controller-side receive/decode path per unit change.
+  static double controller_cpu_demand(double change_rate);
+};
+
+}  // namespace blab::mirror

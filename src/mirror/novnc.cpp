@@ -1,0 +1,81 @@
+#include "mirror/novnc.hpp"
+
+namespace blab::mirror {
+
+NoVncGateway::NoVncGateway(net::Network& net, VncServer& vnc, std::string host,
+                           int port)
+    : net_{net}, vnc_{vnc}, addr_{std::move(host), port} {
+  net_.add_host(addr_.host);
+  net_.listen(addr_, [this](const net::Message& m) { on_message(m); });
+  vnc_token_ = vnc_.subscribe(
+      [this](const FramebufferUpdate& u) { on_update(u); });
+}
+
+NoVncGateway::~NoVncGateway() {
+  vnc_.unsubscribe(vnc_token_);
+  net_.unlisten(addr_);
+}
+
+util::Status NoVncGateway::connect_viewer(const net::Address& viewer,
+                                          const std::string& token) {
+  if (token_required() && token != access_token_) {
+    return util::make_error(util::ErrorCode::kPermissionDenied,
+                            "invalid session token");
+  }
+  if (viewer_.has_value()) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "a viewer is already connected");
+  }
+  viewer_ = viewer;
+  return util::Status::ok_status();
+}
+
+util::Status NoVncGateway::disconnect_viewer() {
+  if (!viewer_.has_value()) {
+    return util::make_error(util::ErrorCode::kNotFound, "no viewer connected");
+  }
+  viewer_.reset();
+  return util::Status::ok_status();
+}
+
+void NoVncGateway::set_input_injector(InputInjector injector) {
+  injector_ = std::move(injector);
+}
+
+void NoVncGateway::on_update(const FramebufferUpdate& update) {
+  if (!viewer_.has_value()) return;
+  const auto bytes = static_cast<std::size_t>(
+      static_cast<double>(update.encoded_bytes) * compression_);
+  net::Message frame;
+  frame.src = addr_;
+  frame.dst = *viewer_;
+  frame.tag = "novnc.frame";
+  frame.payload = std::to_string(update.sequence);
+  frame.wire_bytes = bytes + 16;
+  if (net_.send(std::move(frame)).ok()) {
+    ++frames_relayed_;
+    bytes_to_viewer_ += bytes + 16;
+  }
+}
+
+void NoVncGateway::on_message(const net::Message& msg) {
+  // Browser-side events: "novnc.input" carries an input command from the
+  // interactive area; "novnc.connect"/"novnc.disconnect" manage the viewer.
+  if (msg.tag == "novnc.connect") {
+    // Payload carries the session token (empty for open sessions).
+    (void)connect_viewer(msg.src, msg.payload);
+    return;
+  }
+  if (msg.tag == "novnc.disconnect") {
+    (void)disconnect_viewer();
+    return;
+  }
+  if (msg.tag == "novnc.input") {
+    if (viewer_.has_value() && msg.src == *viewer_ && injector_) {
+      injector_(msg.payload);
+    }
+    return;
+  }
+}
+
+}  // namespace blab::mirror

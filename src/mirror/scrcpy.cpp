@@ -1,0 +1,114 @@
+#include "mirror/scrcpy.hpp"
+
+#include "device/android.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace blab::mirror {
+namespace {
+/// Initial radio activity registered for the uplink; each stream tick
+/// re-registers the encoder's actual output rate.
+constexpr double kInitialStreamMbps = 0.2;
+}  // namespace
+
+ScrcpyServer::ScrcpyServer(device::AndroidDevice& device, std::string sink_host,
+                           int sink_port, EncoderConfig config)
+    : device_{device},
+      sink_host_{std::move(sink_host)},
+      sink_port_{sink_port},
+      config_{config},
+      stream_{device.simulator(), kStreamTick, [this] { stream_tick(); }},
+      control_addr_{device.host(), kScrcpyControlPort} {}
+
+ScrcpyServer::~ScrcpyServer() { stop(); }
+
+util::Status ScrcpyServer::start() {
+  if (running_) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "scrcpy already running");
+  }
+  if (device_.spec().platform != device::Platform::kAndroid) {
+    return util::make_error(util::ErrorCode::kUnsupported,
+                            "scrcpy runs atop ADB and is Android-only; iOS "
+                            "devices mirror via AirPlay (§3.2)");
+  }
+  if (device_.spec().api_level < 21) {
+    return util::make_error(
+        util::ErrorCode::kUnsupported,
+        "device mirroring requires API >= 21 (Android 5.0); device has API " +
+            std::to_string(device_.spec().api_level));
+  }
+  if (!device_.powered_on()) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "device is off");
+  }
+  running_ = true;
+  pid_ = device_.processes().spawn(
+      "scrcpy-server",
+      H264Encoder::device_cpu_demand(device_.screen().content_change_rate()),
+      0.20);
+  device_.set_encoder_active(true);
+  stream_mbps_ = kInitialStreamMbps;
+  device_.wifi().begin_activity(stream_mbps_);
+  device_.network().listen(control_addr_,
+                           [this](const net::Message& m) { on_control(m); });
+  device_.recompute_power();
+  stream_.start_after(kStreamTick);
+  device_.os().log("scrcpy", "server started (bitrate cap " +
+                                 util::format_double(config_.bitrate_cap_mbps,
+                                                     1) +
+                                 " Mbps)");
+  return util::Status::ok_status();
+}
+
+void ScrcpyServer::stop() {
+  if (!running_) return;
+  running_ = false;
+  stream_.stop();
+  device_.network().unlisten(control_addr_);
+  device_.processes().kill(pid_);
+  pid_ = device::Pid{};
+  device_.set_encoder_active(false);
+  device_.wifi().end_activity(stream_mbps_);
+  device_.recompute_power();
+}
+
+void ScrcpyServer::stream_tick() {
+  if (!device_.powered_on()) return;
+  const double change = device_.screen().content_change_rate();
+  // The encoder's CPU share follows what the frame is doing right now.
+  if (auto* p = device_.processes().find(pid_)) {
+    p->base_demand = H264Encoder::device_cpu_demand(change);
+  }
+  const double mbps = H264Encoder::output_mbps(config_, change);
+  // The uplink's duty cycle follows the actual stream rate.
+  device_.wifi().end_activity(stream_mbps_);
+  stream_mbps_ = mbps;
+  device_.wifi().begin_activity(stream_mbps_);
+  const auto bytes = static_cast<std::size_t>(
+      mbps * 1e6 / 8.0 * kStreamTick.to_seconds());
+  net::Message frame;
+  frame.src = net::Address{device_.host(), kScrcpyControlPort + 1};
+  frame.dst = net::Address{sink_host_, sink_port_};
+  frame.tag = "scrcpy.frame";
+  frame.payload = std::to_string(frames_sent_) + ":" +
+                  util::format_double(change, 3);
+  frame.wire_bytes = bytes + 32;
+  if (device_.network().send(std::move(frame)).ok()) {
+    ++frames_sent_;
+    bytes_sent_ += bytes + 32;
+  }
+  device_.recompute_power();
+}
+
+void ScrcpyServer::on_control(const net::Message& msg) {
+  if (msg.tag != "scrcpy.control" || !running_) return;
+  // Payload is an input command in `adb shell input` syntax.
+  auto result = device_.os().execute_shell(msg.payload);
+  if (!result.ok()) {
+    BLAB_WARN("scrcpy", "control injection failed: " << result.error().str());
+  }
+  if (control_hook_) control_hook_(msg.payload);
+}
+
+}  // namespace blab::mirror

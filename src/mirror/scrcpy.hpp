@@ -1,0 +1,67 @@
+// scrcpy server model — the device-side half of mirroring (§3.2).
+//
+// Runs atop ADB (Android >= 5.0 / API 21), captures the screen, encodes
+// H.264 at a capped bitrate and streams frames to the controller over the
+// device's data radio. Also exposes scrcpy's control channel, through which
+// the controller injects taps/swipes/keys during remote sessions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "device/device.hpp"
+#include "device/process.hpp"
+#include "mirror/encoder.hpp"
+#include "sim/periodic.hpp"
+#include "util/result.hpp"
+
+namespace blab::mirror {
+
+inline constexpr int kScrcpyControlPort = 27183;
+
+class ScrcpyServer {
+ public:
+  /// Frames are streamed to {sink_host, sink_port} on the controller.
+  ScrcpyServer(device::AndroidDevice& device, std::string sink_host,
+               int sink_port, EncoderConfig config = {});
+  ~ScrcpyServer();
+  ScrcpyServer(const ScrcpyServer&) = delete;
+  ScrcpyServer& operator=(const ScrcpyServer&) = delete;
+
+  /// Fails on devices below API 21 (§3.2) or when the device is off.
+  util::Status start();
+  void stop();
+  bool running() const { return running_; }
+
+  const EncoderConfig& config() const { return config_; }
+  std::uint64_t frames_sent() const { return frames_sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+  /// Invoked after a control command has been injected into the device;
+  /// the mirroring session uses it to time the visual response pipeline.
+  using ControlHook = std::function<void(const std::string& command)>;
+  void set_control_hook(ControlHook hook) { control_hook_ = std::move(hook); }
+
+  /// Stream tick period — scrcpy batches encoded output on this granularity.
+  static constexpr auto kStreamTick = util::Duration::millis(100);
+
+ private:
+  void stream_tick();
+  void on_control(const net::Message& msg);
+
+  device::AndroidDevice& device_;
+  std::string sink_host_;
+  int sink_port_;
+  EncoderConfig config_;
+  device::Pid pid_;
+  bool running_ = false;
+  sim::PeriodicTask stream_;
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  double stream_mbps_ = 0.0;
+  net::Address control_addr_;
+  ControlHook control_hook_;
+};
+
+}  // namespace blab::mirror

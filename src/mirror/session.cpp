@@ -1,0 +1,287 @@
+#include "mirror/session.hpp"
+
+#include "device/hid_service.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace blab::mirror {
+namespace {
+
+constexpr char kProbeMarker[] = "#probe";
+
+/// Extract a "#probe<id>" marker from an input command, if present.
+std::uint64_t probe_id_of(const std::string& command) {
+  const auto pos = command.rfind(kProbeMarker);
+  if (pos == std::string::npos) return 0;
+  return std::stoull(command.substr(pos + sizeof(kProbeMarker) - 1));
+}
+
+}  // namespace
+
+MirroringSession::MirroringSession(controller::Controller& ctrl,
+                                   device::AndroidDevice& device,
+                                   EncoderConfig encoder,
+                                   MirrorTimings timings)
+    : ctrl_{ctrl},
+      device_{device},
+      encoder_config_{encoder},
+      timings_{timings},
+      rng_{util::fnv1a("mirror-session/" + device.serial())},
+      sink_addr_{ctrl.host(), kFrameSinkPort},
+      hid_addr_{ctrl.host(), kFrameSinkPort + 2} {}
+
+bool MirroringSession::is_ios() const {
+  return device_.spec().platform == device::Platform::kIos;
+}
+
+MirroringSession::~MirroringSession() { stop(); }
+
+util::Duration MirroringSession::jittered(util::Duration mean) {
+  const double k = rng_.normal(1.0, timings_.jitter_fraction);
+  return mean * std::max(0.2, k);
+}
+
+util::Status MirroringSession::start() {
+  if (active_) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "mirroring already active");
+  }
+  if (is_ios()) {
+    // iOS: AirPlay carries frames; input rides the Bluetooth HID keyboard
+    // (§3.2–3.3). Probe timing is anchored on the HID injection ack.
+    airplay_ = std::make_unique<AirPlaySender>(device_, ctrl_.host(),
+                                               kFrameSinkPort,
+                                               encoder_config_);
+    if (auto st = airplay_->start(); !st.ok()) {
+      airplay_.reset();
+      return st;
+    }
+    ctrl_.network().listen(hid_addr_, [this](const net::Message& m) {
+      if (m.tag != "hid.ack") return;
+      const std::uint64_t id = probe_id_of(m.payload);
+      if (id == 0) return;
+      const auto delay =
+          jittered(timings_.app_render) + jittered(timings_.capture_encode);
+      device_.simulator().schedule_after(delay, [this, id] {
+        if (airplay_) airplay_->emit_probe_frame(id);
+      }, "mirror.probe-frame");
+    });
+  } else {
+    scrcpy_ = std::make_unique<ScrcpyServer>(device_, ctrl_.host(),
+                                             kFrameSinkPort, encoder_config_);
+    if (auto st = scrcpy_->start(); !st.ok()) {
+      scrcpy_.reset();
+      return st;
+    }
+    scrcpy_->set_control_hook([this](const std::string& command) {
+      const std::uint64_t id = probe_id_of(command);
+      if (id == 0) return;
+      // The app reacts and redraws, then the changed frame is captured and
+      // encoded; the probe frame then travels the real uplink.
+      const auto delay =
+          jittered(timings_.app_render) + jittered(timings_.capture_encode);
+      device_.simulator().schedule_after(delay, [this, id] {
+        const double change = device_.screen().content_change_rate();
+        const double mbps = H264Encoder::output_mbps(encoder_config_, change);
+        net::Message frame;
+        frame.src = net::Address{device_.host(), kScrcpyControlPort + 1};
+        frame.dst = sink_addr_;
+        frame.tag = "scrcpy.frame.probe";
+        frame.payload = std::to_string(id);
+        frame.wire_bytes = static_cast<std::size_t>(
+            mbps * 1e6 / 8.0 * ScrcpyServer::kStreamTick.to_seconds()) + 32;
+        (void)device_.network().send(std::move(frame));
+      }, "mirror.probe-frame");
+    });
+  }
+
+  ctrl_.network().listen(sink_addr_,
+                         [this](const net::Message& m) { on_frame(m); });
+  novnc_ = std::make_unique<NoVncGateway>(ctrl_.network(), vnc_, ctrl_.host());
+  novnc_->set_input_injector(
+      [this](const std::string& command) { on_input(command); });
+
+  // Controller-side pipeline services; their CPU follows what the mirrored
+  // screen is doing (Fig. 5's load shape).
+  auto change_now = [this] { return device_.screen().content_change_rate(); };
+  controller::ServiceDemand recv;
+  recv.dynamic_cpu = [change_now] {
+    return H264Encoder::controller_cpu_demand(change_now());
+  };
+  recv.cpu_jitter = 0.15;
+  recv.ram_mb = 18.0;
+  ctrl_.resources().register_service("scrcpy-recv", recv);
+
+  controller::ServiceDemand vnc_svc;
+  vnc_svc.dynamic_cpu = [change_now] { return 0.09 + 0.26 * change_now(); };
+  vnc_svc.cpu_jitter = 0.18;
+  vnc_svc.ram_mb = 32.0;
+  // Framebuffer bursts (full-frame updates, keyframes) occasionally peg the
+  // Pi — the paper sees ~10% of samples above 95% CPU.
+  vnc_svc.spike_probability = 0.17;
+  vnc_svc.spike_cpu = 0.38;
+  ctrl_.resources().register_service("vnc", vnc_svc);
+
+  controller::ServiceDemand novnc_svc;
+  novnc_svc.dynamic_cpu = [change_now] { return 0.055 + 0.16 * change_now(); };
+  novnc_svc.cpu_jitter = 0.15;
+  novnc_svc.ram_mb = 24.0;
+  ctrl_.resources().register_service("novnc", novnc_svc);
+
+  active_ = true;
+  BLAB_INFO("mirror", "session started for " << device_.serial());
+  return util::Status::ok_status();
+}
+
+void MirroringSession::stop() {
+  if (!active_) return;
+  active_ = false;
+  ctrl_.resources().unregister_service("scrcpy-recv");
+  ctrl_.resources().unregister_service("vnc");
+  ctrl_.resources().unregister_service("novnc");
+  ctrl_.network().unlisten(sink_addr_);
+  ctrl_.network().unlisten(hid_addr_);
+  novnc_.reset();
+  if (scrcpy_) scrcpy_->stop();
+  scrcpy_.reset();
+  if (airplay_) airplay_->stop();
+  airplay_.reset();
+}
+
+util::Status MirroringSession::attach_viewer(const net::Address& viewer) {
+  if (!active_) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "session not active");
+  }
+  return novnc_->connect_viewer(viewer);
+}
+
+util::Status MirroringSession::detach_viewer() {
+  if (!active_) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "session not active");
+  }
+  return novnc_->disconnect_viewer();
+}
+
+void MirroringSession::on_frame(const net::Message& msg) {
+  if (msg.tag == "scrcpy.frame" || msg.tag == "airplay.frame") {
+    ++frames_received_;
+    bytes_received_ += msg.size();
+    FramebufferUpdate update;
+    update.sequence = vnc_.version() + 1;
+    update.encoded_bytes = msg.size();
+    update.at = ctrl_.simulator().now();
+    vnc_.update(update);
+    return;
+  }
+  if (msg.tag == "scrcpy.frame.probe") {
+    ++frames_received_;
+    bytes_received_ += msg.size();
+    const std::uint64_t id = std::stoull(msg.payload);
+    // VNC processes the update, then the gateway relays it to the viewer.
+    ctrl_.simulator().schedule_after(
+        jittered(timings_.vnc_update),
+        [this, id, bytes = msg.size()] {
+          if (!active_ || !novnc_ || !novnc_->has_viewer()) return;
+          net::Message frame;
+          frame.src = novnc_->address();
+          frame.dst = *novnc_->viewer();
+          frame.tag = "novnc.frame.probe";
+          frame.payload = std::to_string(id);
+          frame.wire_bytes = static_cast<std::size_t>(
+              static_cast<double>(bytes) * NoVncGateway::kCompressionRatio);
+          (void)ctrl_.network().send(std::move(frame));
+        },
+        "mirror.vnc-update");
+    return;
+  }
+}
+
+void MirroringSession::on_input(const std::string& command) {
+  // GUI backend translates the browser event, then the command travels the
+  // real controller→device leg: scrcpy's control socket on Android, the
+  // Bluetooth HID keyboard on iOS ("input tap X Y" → HID "tap X Y").
+  ctrl_.simulator().schedule_after(
+      jittered(timings_.input_processing),
+      [this, command] {
+        if (!active_) return;
+        net::Message control;
+        if (is_ios()) {
+          std::string event = command;
+          if (util::starts_with(event, "input ")) event = event.substr(6);
+          control.src = hid_addr_;
+          control.dst = net::Address{device_.host(), device::kBtHidPort};
+          control.tag = "hid.event";
+          control.payload = event;
+          control.wire_bytes = 48 + event.size();
+        } else {
+          control.src = net::Address{ctrl_.host(), kFrameSinkPort + 1};
+          control.dst = net::Address{device_.host(), kScrcpyControlPort};
+          control.tag = "scrcpy.control";
+          control.payload = command;
+          control.wire_bytes = 96 + command.size();
+        }
+        (void)ctrl_.network().send(std::move(control));
+      },
+      "mirror.input-processing");
+}
+
+void MirroringSession::remote_tap(const net::Address& viewer, int x, int y,
+                                  LatencyCallback on_displayed) {
+  const std::uint64_t id = next_probe_id_++;
+  const util::TimePoint started = ctrl_.simulator().now();
+  auto& net = ctrl_.network();
+
+  if (novnc_ && !novnc_->has_viewer()) (void)novnc_->connect_viewer(viewer);
+
+  // The probe result returns to the viewer's own address.
+  net.listen(viewer, [this, viewer, id, started,
+                      cb = std::move(on_displayed)](const net::Message& m) {
+    if (m.tag != "novnc.frame.probe" || std::stoull(m.payload) != id) {
+      return;  // regular frames keep flowing to the same viewer
+    }
+    ctrl_.network().unlisten(viewer);
+    // Browser still has to decode and paint the frame.
+    const auto render = jittered(timings_.browser_render);
+    ctrl_.simulator().schedule_after(render, [this, started, cb] {
+      cb(ctrl_.simulator().now() - started);
+    }, "mirror.browser-render");
+  });
+
+  net::Message click;
+  click.src = viewer;
+  click.dst = novnc_ ? novnc_->address()
+                     : net::Address{ctrl_.host(), net::kNoVncPort};
+  click.tag = "novnc.input";
+  click.payload = "input tap " + std::to_string(x) + " " + std::to_string(y) +
+                  " " + kProbeMarker + std::to_string(id);
+  click.wire_bytes = 96;
+  (void)net.send(std::move(click));
+}
+
+util::Result<util::Duration> MirroringSession::measure_latency_sync(
+    const net::Address& viewer, int x, int y, util::Duration timeout) {
+  if (!active_) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "session not active");
+  }
+  auto& sim = ctrl_.simulator();
+  bool finished = false;
+  util::Duration latency = util::Duration::zero();
+  remote_tap(viewer, x, y, [&](util::Duration d) {
+    finished = true;
+    latency = d;
+  });
+  const util::TimePoint deadline = sim.now() + timeout;
+  while (!finished && sim.now() < deadline) {
+    if (!sim.step()) break;
+  }
+  if (!finished) {
+    return util::make_error(util::ErrorCode::kTimeout,
+                            "latency probe did not complete");
+  }
+  return latency;
+}
+
+}  // namespace blab::mirror

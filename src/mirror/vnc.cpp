@@ -1,0 +1,27 @@
+#include "mirror/vnc.hpp"
+
+#include <algorithm>
+
+namespace blab::mirror {
+
+void VncServer::update(const FramebufferUpdate& update) {
+  ++version_;
+  ++updates_;
+  latest_ = update;
+  for (const auto& [_, fn] : subscribers_) fn(update);
+}
+
+int VncServer::subscribe(Subscriber fn) {
+  const int token = next_token_++;
+  subscribers_.emplace_back(token, std::move(fn));
+  return token;
+}
+
+void VncServer::unsubscribe(int token) {
+  std::erase_if(subscribers_,
+                [token](const auto& p) { return p.first == token; });
+}
+
+std::size_t VncServer::subscriber_count() const { return subscribers_.size(); }
+
+}  // namespace blab::mirror

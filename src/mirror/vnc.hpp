@@ -1,0 +1,46 @@
+// VNC server on the controller (tigervnc in the paper, §3.2).
+//
+// Holds the session framebuffer state fed by the scrcpy receive path and
+// fans updates out to subscribers (the noVNC gateway). Update processing has
+// a controller CPU cost registered by the mirroring session.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace blab::mirror {
+
+struct FramebufferUpdate {
+  std::uint64_t sequence = 0;
+  std::size_t encoded_bytes = 0;
+  double change_rate = 0.0;
+  util::TimePoint at;
+};
+
+class VncServer {
+ public:
+  using Subscriber = std::function<void(const FramebufferUpdate&)>;
+
+  /// Feed one decoded scrcpy frame into the session framebuffer.
+  void update(const FramebufferUpdate& update);
+
+  int subscribe(Subscriber fn);
+  void unsubscribe(int token);
+  std::size_t subscriber_count() const;
+
+  std::uint64_t version() const { return version_; }
+  std::uint64_t updates_processed() const { return updates_; }
+  const FramebufferUpdate& latest() const { return latest_; }
+
+ private:
+  std::uint64_t version_ = 0;
+  std::uint64_t updates_ = 0;
+  FramebufferUpdate latest_;
+  std::vector<std::pair<int, Subscriber>> subscribers_;
+  int next_token_ = 1;
+};
+
+}  // namespace blab::mirror

@@ -1,0 +1,38 @@
+// Network addressing for the simulated BatteryLab deployment.
+//
+// Hosts are named ("controller.node1", "access-server", "vpn.tokyo"); an
+// Address pairs a host with a port, mirroring the paper's fixed port layout
+// (2222 SSH, 8080 GUI backend, 6081 noVNC).
+#pragma once
+
+#include <compare>
+#include <functional>
+#include <string>
+
+namespace blab::net {
+
+/// Well-known BatteryLab ports (§3.4).
+inline constexpr int kSshPort = 2222;
+inline constexpr int kGuiBackendPort = 8080;
+inline constexpr int kNoVncPort = 6081;
+inline constexpr int kHttpsPort = 443;
+
+struct Address {
+  std::string host;
+  int port = 0;
+
+  auto operator<=>(const Address&) const = default;
+  std::string str() const { return host + ":" + std::to_string(port); }
+};
+
+}  // namespace blab::net
+
+namespace std {
+template <>
+struct hash<blab::net::Address> {
+  size_t operator()(const blab::net::Address& a) const noexcept {
+    return std::hash<std::string>{}(a.host) * 31 ^
+           std::hash<int>{}(a.port);
+  }
+};
+}  // namespace std

@@ -1,0 +1,50 @@
+#include "net/bluetooth.hpp"
+
+namespace blab::net {
+
+BluetoothAdapter::BluetoothAdapter(Network& net, std::string host)
+    : net_{net}, host_{std::move(host)} {
+  net_.add_host(host_);
+}
+
+util::Status BluetoothAdapter::pair(BluetoothAdapter& peer, BtProfile profile) {
+  if (peer.host_ == host_) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "cannot pair with self");
+  }
+  if (pairings_.contains(peer.host_)) {
+    return util::make_error(util::ErrorCode::kAlreadyExists,
+                            "already paired with " + peer.host_);
+  }
+  if (net_.find_link(host_, peer.host_, "bt") == nullptr) {
+    LinkSpec spec;
+    spec.latency = Duration::millis(8);
+    spec.bandwidth_ab_mbps = 1.5;
+    spec.bandwidth_ba_mbps = 1.5;
+    spec.jitter_fraction = 0.25;
+    spec.hop_cost = 6;  // prefer USB and WiFi paths when available
+    net_.add_link(host_, peer.host_, spec, "bt");
+  }
+  pairings_[peer.host_] = BtPairing{peer.host_, profile, true};
+  peer.pairings_[host_] = BtPairing{host_, profile, true};
+  return util::Status::ok_status();
+}
+
+util::Status BluetoothAdapter::unpair(const std::string& peer_host) {
+  if (pairings_.erase(peer_host) == 0) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            "not paired with " + peer_host);
+  }
+  return util::Status::ok_status();
+}
+
+bool BluetoothAdapter::paired_with(const std::string& peer_host) const {
+  return pairings_.contains(peer_host);
+}
+
+const BtPairing* BluetoothAdapter::pairing(const std::string& peer_host) const {
+  const auto it = pairings_.find(peer_host);
+  return it == pairings_.end() ? nullptr : &it->second;
+}
+
+}  // namespace blab::net

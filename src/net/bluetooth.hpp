@@ -1,0 +1,44 @@
+// Bluetooth adapter and pairing model (§3.3).
+//
+// The controller pairs with test devices over Bluetooth for two purposes:
+// ADB-over-Bluetooth (rooted devices only) and the virtual HID keyboard that
+// automates unrooted devices on the cellular network.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "net/network.hpp"
+#include "util/result.hpp"
+
+namespace blab::net {
+
+enum class BtProfile { kSerial, kHid };
+
+struct BtPairing {
+  std::string peer;
+  BtProfile profile = BtProfile::kSerial;
+  bool connected = false;
+};
+
+class BluetoothAdapter {
+ public:
+  BluetoothAdapter(Network& net, std::string host);
+
+  const std::string& host() const { return host_; }
+
+  /// Pair with a peer adapter over a given profile. Creates the (slow) radio
+  /// link on first pairing: ~1.5 Mbps, 8 ms latency — BR/EDR class numbers.
+  util::Status pair(BluetoothAdapter& peer, BtProfile profile);
+  util::Status unpair(const std::string& peer_host);
+  bool paired_with(const std::string& peer_host) const;
+  const BtPairing* pairing(const std::string& peer_host) const;
+  std::size_t pairing_count() const { return pairings_.size(); }
+
+ private:
+  Network& net_;
+  std::string host_;
+  std::unordered_map<std::string, BtPairing> pairings_;
+};
+
+}  // namespace blab::net

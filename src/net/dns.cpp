@@ -1,0 +1,60 @@
+#include "net/dns.hpp"
+
+#include "util/strings.hpp"
+
+namespace blab::net {
+
+DnsRegistry::DnsRegistry(std::string zone) : zone_{std::move(zone)} {}
+
+util::Status DnsRegistry::register_node(const std::string& label,
+                                        const std::string& host) {
+  if (label.empty() || label.find('.') != std::string::npos) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "bad DNS label '" + label + "'");
+  }
+  if (records_.contains(label)) {
+    return util::make_error(util::ErrorCode::kAlreadyExists,
+                            label + "." + zone_ + " already registered");
+  }
+  records_[label] = host;
+  return util::Status::ok_status();
+}
+
+util::Status DnsRegistry::deregister_node(const std::string& label) {
+  if (records_.erase(label) == 0) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            label + "." + zone_ + " not registered");
+  }
+  return util::Status::ok_status();
+}
+
+util::Result<std::string> DnsRegistry::resolve(const std::string& fqdn) const {
+  const std::string suffix = "." + zone_;
+  if (!util::ends_with(fqdn, suffix)) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            fqdn + " outside zone " + zone_);
+  }
+  const std::string label = fqdn.substr(0, fqdn.size() - suffix.size());
+  const auto it = records_.find(label);
+  if (it == records_.end()) {
+    return util::make_error(util::ErrorCode::kNotFound, "NXDOMAIN " + fqdn);
+  }
+  return it->second;
+}
+
+bool DnsRegistry::wildcard_covers(const std::string& fqdn) const {
+  const std::string suffix = "." + zone_;
+  if (!util::ends_with(fqdn, suffix)) return false;
+  const std::string label = fqdn.substr(0, fqdn.size() - suffix.size());
+  // A wildcard covers exactly one label level.
+  return !label.empty() && label.find('.') == std::string::npos;
+}
+
+std::vector<std::string> DnsRegistry::labels() const {
+  std::vector<std::string> out;
+  out.reserve(records_.size());
+  for (const auto& [label, _] : records_) out.push_back(label);
+  return out;
+}
+
+}  // namespace blab::net

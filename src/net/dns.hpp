@@ -1,0 +1,39 @@
+// BatteryLab DNS registry (§3.4).
+//
+// Vantage points get human-readable names under the platform zone
+// (node1.batterylab.dev), served by a Route53-style registry that the access
+// server owns. Wildcard support models the *.batterylab.dev certificate zone.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace blab::net {
+
+class DnsRegistry {
+ public:
+  explicit DnsRegistry(std::string zone = "batterylab.dev");
+
+  const std::string& zone() const { return zone_; }
+
+  /// Register `label`.zone -> host; rejects duplicates and empty labels.
+  util::Status register_node(const std::string& label, const std::string& host);
+  util::Status deregister_node(const std::string& label);
+
+  /// Resolve a fully qualified name ("node1.batterylab.dev").
+  util::Result<std::string> resolve(const std::string& fqdn) const;
+  /// True when `fqdn` is covered by the platform wildcard (*.zone).
+  bool wildcard_covers(const std::string& fqdn) const;
+
+  std::vector<std::string> labels() const;
+  std::string fqdn(const std::string& label) const { return label + "." + zone_; }
+
+ private:
+  std::string zone_;
+  std::unordered_map<std::string, std::string> records_;  // label -> host
+};
+
+}  // namespace blab::net

@@ -1,0 +1,188 @@
+#include "net/flow.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace blab::net {
+namespace {
+
+int next_ephemeral_port() {
+  static std::atomic<int> port{40000};
+  return port++;
+}
+
+}  // namespace
+
+Flow::Flow(Network& net, std::string src_host, std::string dst_host,
+           std::size_t total_bytes, FlowOptions options, Callback on_done)
+    : net_{net},
+      src_host_{std::move(src_host)},
+      dst_host_{std::move(dst_host)},
+      total_bytes_{total_bytes},
+      options_{options},
+      on_done_{std::move(on_done)} {
+  src_addr_ = Address{src_host_, next_ephemeral_port()};
+  dst_addr_ = Address{dst_host_, next_ephemeral_port()};
+  total_segments_ = std::max<std::size_t>(
+      1, (total_bytes_ + options_.segment_bytes - 1) / options_.segment_bytes);
+}
+
+Flow::~Flow() {
+  if (started_flag_ && !done_) {
+    net_.unlisten(src_addr_);
+    net_.unlisten(dst_addr_);
+    if (rto_event_ != sim::kInvalidEvent) net_.simulator().cancel(rto_event_);
+  }
+}
+
+void Flow::start() {
+  started_flag_ = true;
+  started_ = net_.simulator().now();
+  cwnd_ = static_cast<double>(options_.init_cwnd_segments);
+
+  // Receiver: advance the contiguous-receive point, reply with cumulative
+  // acks. The receiver's counter is distinct from the sender's ack state —
+  // many segments are in flight between the two.
+  net_.listen(dst_addr_, [this](const Message& msg) {
+    if (done_) return;
+    const auto seg = static_cast<std::size_t>(std::stoull(msg.payload));
+    if (seg == received_) {
+      ++received_;
+    } else if (seg > received_) {
+      // Out-of-order future segment: dropped (go-back-N receiver), but we
+      // still re-ack so the sender learns the receive point.
+    }
+    Message ack;
+    ack.src = dst_addr_;
+    ack.dst = src_addr_;
+    ack.tag = "flow.ack";
+    ack.payload = std::to_string(received_);
+    ack.wire_bytes = 64;
+    (void)net_.send(std::move(ack));
+  });
+
+  // Sender: advance cumulative ack point, grow window, keep pumping.
+  net_.listen(src_addr_, [this](const Message& msg) {
+    if (done_) return;
+    const auto cum = static_cast<std::size_t>(std::stoull(msg.payload));
+    if (cum > acked_) {
+      const std::size_t newly = cum - acked_;
+      acked_ = cum;
+      retries_ = 0;
+      on_ack(newly);
+    }
+  });
+
+  pump();
+  arm_rto();
+}
+
+void Flow::on_ack(std::size_t acked_segments) {
+  // Slow start: +1 segment of cwnd per acked segment (doubles per RTT).
+  cwnd_ = std::min(cwnd_ + static_cast<double>(acked_segments),
+                   static_cast<double>(options_.max_cwnd_segments));
+  if (acked_ >= total_segments_) {
+    finish(true);
+    return;
+  }
+  pump();
+  arm_rto();
+}
+
+void Flow::pump() {
+  const auto window = static_cast<std::size_t>(cwnd_);
+  while (next_to_send_ < total_segments_ &&
+         next_to_send_ < acked_ + window) {
+    const std::size_t seg = next_to_send_++;
+    const std::size_t bytes =
+        (seg + 1 == total_segments_)
+            ? total_bytes_ - seg * options_.segment_bytes
+            : options_.segment_bytes;
+    Message m;
+    m.src = src_addr_;
+    m.dst = dst_addr_;
+    m.tag = "flow.data";
+    m.payload = std::to_string(seg);
+    m.wire_bytes = std::max<std::size_t>(bytes, 1) + 64;
+    if (auto st = net_.send(std::move(m)); !st.ok()) {
+      finish(false);
+      return;
+    }
+  }
+}
+
+void Flow::arm_rto() {
+  auto& sim = net_.simulator();
+  if (rto_event_ != sim::kInvalidEvent) sim.cancel(rto_event_);
+  rto_event_ = sim.schedule_after(options_.rto, [this] { on_rto(); },
+                                  "flow.rto");
+}
+
+void Flow::on_rto() {
+  rto_event_ = sim::kInvalidEvent;
+  if (done_) return;
+  if (++retries_ > options_.max_retries) {
+    finish(false);
+    return;
+  }
+  ++retransmissions_;
+  // Go-back-N: resume sending from the cumulative ack point with a fresh
+  // (conservative) window.
+  next_to_send_ = acked_;
+  cwnd_ = static_cast<double>(options_.init_cwnd_segments);
+  pump();
+  arm_rto();
+}
+
+void Flow::finish(bool success) {
+  if (done_) return;
+  done_ = true;
+  auto& sim = net_.simulator();
+  if (rto_event_ != sim::kInvalidEvent) {
+    sim.cancel(rto_event_);
+    rto_event_ = sim::kInvalidEvent;
+  }
+  net_.unlisten(src_addr_);
+  net_.unlisten(dst_addr_);
+  result_.success = success;
+  result_.bytes = total_bytes_;
+  result_.elapsed = sim.now() - started_;
+  result_.retransmissions = retransmissions_;
+  if (result_.elapsed > Duration::zero()) {
+    result_.throughput_mbps = static_cast<double>(total_bytes_) * 8.0 /
+                              result_.elapsed.to_seconds() / 1e6;
+  }
+  if (on_done_) on_done_(result_);
+}
+
+Duration Flow::estimate(std::size_t bytes, Duration rtt, double mbps,
+                        const FlowOptions& options) {
+  if (mbps <= 0.0) return Duration::max();
+  const double bdp_segments =
+      mbps * 1e6 / 8.0 * rtt.to_seconds() /
+      static_cast<double>(options.segment_bytes);
+  double cwnd = static_cast<double>(options.init_cwnd_segments);
+  double sent = 0.0;
+  const double total =
+      std::ceil(static_cast<double>(bytes) /
+                static_cast<double>(options.segment_bytes));
+  Duration t = Duration::zero();
+  // Slow-start rounds until the window covers the BDP (or data runs out).
+  while (sent < total && cwnd < bdp_segments) {
+    sent += cwnd;
+    cwnd *= 2.0;
+    t += rtt;
+  }
+  if (sent < total) {
+    const double remaining_bytes =
+        (total - sent) * static_cast<double>(options.segment_bytes);
+    t += Duration::seconds(remaining_bytes * 8.0 / (mbps * 1e6));
+    t += rtt;  // final ack
+  }
+  return t;
+}
+
+}  // namespace blab::net

@@ -1,0 +1,82 @@
+// Reliable bulk-transfer flow (simplified TCP).
+//
+// A Flow moves `total_bytes` from src to dst over the routed path using
+// windowed, ack-clocked segments: slow-start doubling per RTT, cumulative
+// acks, and a fixed retransmission timeout for lossy paths. Throughput
+// converges to the bottleneck link bandwidth; the speedtest (Table 2) and the
+// mirroring upload accounting both ride on this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/network.hpp"
+
+namespace blab::net {
+
+struct FlowOptions {
+  std::size_t segment_bytes = 64 * 1024;
+  std::size_t init_cwnd_segments = 10;
+  std::size_t max_cwnd_segments = 4096;
+  Duration rto = Duration::millis(400);
+  int max_retries = 20;
+};
+
+struct FlowResult {
+  bool success = false;
+  std::size_t bytes = 0;
+  Duration elapsed = Duration::zero();
+  double throughput_mbps = 0.0;
+  int retransmissions = 0;
+};
+
+class Flow {
+ public:
+  using Callback = std::function<void(const FlowResult&)>;
+
+  Flow(Network& net, std::string src_host, std::string dst_host,
+       std::size_t total_bytes, FlowOptions options, Callback on_done);
+  ~Flow();
+  Flow(const Flow&) = delete;
+  Flow& operator=(const Flow&) = delete;
+
+  void start();
+  bool done() const { return done_; }
+  const FlowResult& result() const { return result_; }
+
+  /// Closed-form estimate (no simulation): slow-start rounds + drain time.
+  static Duration estimate(std::size_t bytes, Duration rtt, double mbps,
+                           const FlowOptions& options = {});
+
+ private:
+  void pump();
+  void on_ack(std::size_t acked_segments);
+  void arm_rto();
+  void on_rto();
+  void finish(bool success);
+
+  Network& net_;
+  std::string src_host_;
+  std::string dst_host_;
+  std::size_t total_bytes_;
+  FlowOptions options_;
+  Callback on_done_;
+
+  Address src_addr_;
+  Address dst_addr_;
+  std::size_t total_segments_ = 0;
+  std::size_t next_to_send_ = 0;   ///< sender: next unsent segment index
+  std::size_t acked_ = 0;          ///< sender: cumulative acked segments
+  std::size_t received_ = 0;       ///< receiver: contiguous segments received
+  double cwnd_ = 0.0;              ///< congestion window, segments
+  int retries_ = 0;
+  int retransmissions_ = 0;
+  sim::EventId rto_event_ = sim::kInvalidEvent;
+  util::TimePoint started_;
+  bool started_flag_ = false;
+  bool done_ = false;
+  FlowResult result_;
+};
+
+}  // namespace blab::net

@@ -1,0 +1,91 @@
+// Point-to-point link model: latency, asymmetric bandwidth, jitter, loss,
+// and per-direction serialization (a busy link queues subsequent packets).
+#pragma once
+
+#include <string>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace blab::net {
+
+using util::Duration;
+using util::TimePoint;
+
+struct LinkSpec {
+  Duration latency = Duration::millis(1);
+  double bandwidth_ab_mbps = 100.0;  ///< a -> b direction
+  double bandwidth_ba_mbps = 100.0;  ///< b -> a direction
+  double jitter_fraction = 0.0;      ///< +/- fraction of latency, uniform
+  double loss_rate = 0.0;            ///< probability a packet is dropped
+  /// Routing cost: paths minimize total hop cost, so a slow direct link
+  /// (Bluetooth, cost 3) loses to a two-hop WiFi path (cost 2).
+  int hop_cost = 1;
+
+  static LinkSpec symmetric(Duration latency, double mbps) {
+    LinkSpec spec;
+    spec.latency = latency;
+    spec.bandwidth_ab_mbps = mbps;
+    spec.bandwidth_ba_mbps = mbps;
+    return spec;
+  }
+};
+
+/// Directed transfer outcome computed by the link.
+struct Transit {
+  bool dropped = false;
+  Duration delay = Duration::zero();  ///< queueing + serialization + latency
+};
+
+class Link {
+ public:
+  Link(std::string host_a, std::string host_b, LinkSpec spec,
+       std::string label = {});
+
+  const std::string& host_a() const { return host_a_; }
+  const std::string& host_b() const { return host_b_; }
+  /// Medium label ("usb", "wifi", "bt", ...) distinguishing parallel links
+  /// between the same host pair.
+  const std::string& label() const { return label_; }
+  const LinkSpec& spec() const { return spec_; }
+  void set_spec(const LinkSpec& spec) { spec_ = spec; }
+
+  /// Disabled links carry no traffic and are invisible to routing (e.g. a
+  /// USB port whose power was cut with uhubctl).
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  bool connects(const std::string& x, const std::string& y) const;
+  /// The host on the other end, or empty if `x` is not an endpoint.
+  std::string peer_of(const std::string& x) const;
+
+  /// Compute the delivery delay for `bytes` sent from `from` at time `now`.
+  /// Updates the directional queue so back-to-back sends serialize.
+  Transit send(const std::string& from, std::size_t bytes, TimePoint now,
+               util::Rng& rng);
+
+  double bandwidth_from_mbps(const std::string& from) const;
+
+  std::uint64_t bytes_ab() const { return bytes_ab_; }
+  std::uint64_t bytes_ba() const { return bytes_ba_; }
+  std::uint64_t drops() const { return drops_; }
+
+ private:
+  std::string host_a_;
+  std::string host_b_;
+  LinkSpec spec_;
+  std::string label_;
+  bool enabled_ = true;
+  TimePoint free_ab_ = TimePoint::epoch();
+  TimePoint free_ba_ = TimePoint::epoch();
+  TimePoint last_arrival_ab_ = TimePoint::epoch();
+  TimePoint last_arrival_ba_ = TimePoint::epoch();
+  std::uint64_t bytes_ab_ = 0;
+  std::uint64_t bytes_ba_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+/// Serialization time of `bytes` at `mbps` megabits per second.
+Duration serialization_time(std::size_t bytes, double mbps);
+
+}  // namespace blab::net

@@ -1,0 +1,114 @@
+// Network graph: hosts, links, message routing and delivery.
+//
+// Messages route over the shortest hop path (BFS); each hop adds the link's
+// queueing + serialization + propagation delay. Per-host byte counters feed
+// the paper's traffic accounting (§4.2: 32 MB upload per ~7 min mirroring
+// session). A host may be forced to route via a gateway — that is how VPN
+// tunnels are modeled (§4.3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/address.hpp"
+#include "net/link.hpp"
+#include "sim/simulator.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+
+namespace blab::net {
+
+struct Message {
+  Address src;
+  Address dst;
+  std::string tag;      ///< protocol discriminator, e.g. "ssh.exec"
+  std::string payload;  ///< protocol body (opaque to the network)
+  std::size_t wire_bytes = 0;  ///< size on the wire; defaults to payload size
+  std::uint64_t id = 0;
+
+  std::size_t size() const {
+    return wire_bytes > 0 ? wire_bytes : payload.size() + 64;  // 64B header
+  }
+};
+
+using MessageHandler = std::function<void(const Message&)>;
+
+struct HostStats {
+  std::uint64_t bytes_tx = 0;
+  std::uint64_t bytes_rx = 0;
+  std::uint64_t msgs_tx = 0;
+  std::uint64_t msgs_rx = 0;
+};
+
+class Network {
+ public:
+  explicit Network(sim::Simulator& sim, std::uint64_t seed = 42);
+
+  sim::Simulator& simulator() { return sim_; }
+
+  void add_host(const std::string& name);
+  bool has_host(const std::string& name) const;
+  Link& add_link(const std::string& a, const std::string& b,
+                 const LinkSpec& spec, const std::string& label = {});
+  /// First link between a and b; with a non-empty label, the label must
+  /// match (parallel media between the same host pair are distinct links).
+  Link* find_link(const std::string& a, const std::string& b,
+                  const std::string& label = {});
+
+  /// Bind a handler to an address; replaces any previous binding.
+  void listen(const Address& addr, MessageHandler handler);
+  void unlisten(const Address& addr);
+  bool is_listening(const Address& addr) const;
+
+  /// Route and deliver asynchronously. Fails fast when no path or no
+  /// listener exists; per-packet loss surfaces as a silent drop, like UDP.
+  util::Status send(Message msg);
+
+  /// Force all traffic from `host` through `gateway` (VPN-style). Pass an
+  /// empty gateway to restore direct routing.
+  util::Status set_gateway(const std::string& host, const std::string& gateway);
+  std::string gateway_of(const std::string& host) const;
+
+  /// Shortest path (list of hosts, inclusive) or empty when unreachable.
+  std::vector<std::string> path(const std::string& from,
+                                const std::string& to) const;
+  /// One-way propagation + serialization delay estimate for `bytes` along the
+  /// current path, without mutating link queues.
+  util::Result<Duration> path_delay(const std::string& from,
+                                    const std::string& to,
+                                    std::size_t bytes) const;
+  /// Min bandwidth along the routed path, in Mbps, in the from->to direction.
+  util::Result<double> path_bandwidth_mbps(const std::string& from,
+                                           const std::string& to) const;
+
+  const HostStats& stats(const std::string& host) const;
+  void reset_stats();
+
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  /// Lowest-hop-cost enabled link between adjacent hosts.
+  Link* best_link(const std::string& from, const std::string& to) const;
+  std::vector<std::string> bfs_path(const std::string& from,
+                                    const std::string& to) const;
+  std::vector<std::string> routed_path(const std::string& from,
+                                       const std::string& to) const;
+
+  sim::Simulator& sim_;
+  util::Rng rng_;
+  std::unordered_map<std::string, std::vector<std::size_t>> adjacency_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::unordered_map<Address, MessageHandler> listeners_;
+  std::unordered_map<std::string, std::string> gateways_;
+  mutable std::unordered_map<std::string, HostStats> stats_;
+  std::uint64_t next_msg_id_ = 1;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace blab::net

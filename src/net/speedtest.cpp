@@ -1,0 +1,111 @@
+#include "net/speedtest.hpp"
+
+#include <atomic>
+
+namespace blab::net {
+namespace {
+
+int next_probe_port() {
+  static std::atomic<int> port{52000};
+  return port++;
+}
+
+}  // namespace
+
+SpeedTest::SpeedTest(Network& net, std::string client_host,
+                     std::string server_host, SpeedTestConfig config)
+    : net_{net},
+      client_{std::move(client_host)},
+      server_{std::move(server_host)},
+      config_{config} {}
+
+util::Result<SpeedTestResult> SpeedTest::run() {
+  SpeedTestResult out;
+  auto rtt = measure_rtt_ms();
+  if (!rtt.ok()) return rtt.error();
+  out.rtt_ms = rtt.value();
+
+  auto down = measure_mbps(server_, client_, config_.download_bytes);
+  if (!down.ok()) return down.error();
+  out.download_mbps = down.value();
+
+  auto up = measure_mbps(client_, server_, config_.upload_bytes);
+  if (!up.ok()) return up.error();
+  out.upload_mbps = up.value();
+  return out;
+}
+
+util::Result<double> SpeedTest::measure_rtt_ms() {
+  auto& sim = net_.simulator();
+  const Address client_addr{client_, next_probe_port()};
+  const Address server_addr{server_, next_probe_port()};
+
+  // Echo server.
+  net_.listen(server_addr, [this, client_addr, server_addr](const Message& m) {
+    Message reply;
+    reply.src = server_addr;
+    reply.dst = client_addr;
+    reply.tag = "ping.reply";
+    reply.payload = m.payload;
+    reply.wire_bytes = 64;
+    (void)net_.send(std::move(reply));
+  });
+
+  double total_ms = 0.0;
+  int received = 0;
+  for (int i = 0; i < config_.ping_count; ++i) {
+    util::TimePoint sent = sim.now();
+    bool got = false;
+    net_.listen(client_addr, [&](const Message&) { got = true; });
+    Message probe;
+    probe.src = client_addr;
+    probe.dst = server_addr;
+    probe.tag = "ping";
+    probe.payload = std::to_string(i);
+    probe.wire_bytes = 64;
+    if (auto st = net_.send(std::move(probe)); !st.ok()) {
+      net_.unlisten(client_addr);
+      net_.unlisten(server_addr);
+      return st.error();
+    }
+    const util::TimePoint deadline = sim.now() + Duration::seconds(5);
+    while (!got && sim.now() < deadline) {
+      if (!sim.step()) break;
+    }
+    if (got) {
+      total_ms += (sim.now() - sent).to_millis();
+      ++received;
+    }
+  }
+  net_.unlisten(client_addr);
+  net_.unlisten(server_addr);
+  if (received == 0) {
+    return util::make_error(util::ErrorCode::kTimeout, "all pings lost");
+  }
+  return total_ms / received;
+}
+
+util::Result<double> SpeedTest::measure_mbps(const std::string& from,
+                                             const std::string& to,
+                                             std::size_t bytes) {
+  auto& sim = net_.simulator();
+  bool finished = false;
+  FlowResult flow_result;
+  Flow flow{net_, from, to, bytes, FlowOptions{},
+            [&](const FlowResult& r) {
+              finished = true;
+              flow_result = r;
+            }};
+  flow.start();
+  const util::TimePoint deadline = sim.now() + config_.timeout;
+  while (!finished && sim.now() < deadline) {
+    if (!sim.step()) break;
+  }
+  if (!finished || !flow_result.success) {
+    return util::make_error(util::ErrorCode::kTimeout,
+                            "bulk transfer did not complete");
+  }
+  return flow_result.throughput_mbps;
+}
+
+}  // namespace blab::net

@@ -1,0 +1,48 @@
+// SpeedTest client (Table 2 methodology).
+//
+// Measures RTT with small probes and up/down throughput with bulk Flow
+// transfers between a client host and a speedtest server host. Used to
+// regenerate Table 2 through each VPN tunnel.
+#pragma once
+
+#include <string>
+
+#include "net/flow.hpp"
+#include "net/network.hpp"
+#include "util/result.hpp"
+
+namespace blab::net {
+
+struct SpeedTestConfig {
+  std::size_t download_bytes = 12 * 1024 * 1024;
+  std::size_t upload_bytes = 12 * 1024 * 1024;
+  int ping_count = 8;
+  Duration timeout = Duration::seconds(120);
+};
+
+struct SpeedTestResult {
+  double download_mbps = 0.0;
+  double upload_mbps = 0.0;
+  double rtt_ms = 0.0;
+};
+
+class SpeedTest {
+ public:
+  SpeedTest(Network& net, std::string client_host, std::string server_host,
+            SpeedTestConfig config = {});
+
+  /// Run ping + download + upload, pumping the simulator until done.
+  util::Result<SpeedTestResult> run();
+
+ private:
+  util::Result<double> measure_rtt_ms();
+  util::Result<double> measure_mbps(const std::string& from,
+                                    const std::string& to, std::size_t bytes);
+
+  Network& net_;
+  std::string client_;
+  std::string server_;
+  SpeedTestConfig config_;
+};
+
+}  // namespace blab::net

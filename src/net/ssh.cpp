@@ -1,0 +1,190 @@
+#include "net/ssh.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace blab::net {
+namespace {
+
+constexpr char kExecTag[] = "ssh.exec";
+constexpr char kReplyTag[] = "ssh.reply";
+constexpr char kDeniedTag[] = "ssh.denied";
+
+int next_session_port_global() {
+  static std::atomic<int> port{30000};
+  return port++;
+}
+
+}  // namespace
+
+SshKeyPair SshKeyPair::generate(const std::string& owner) {
+  // Stable, collision-resistant-enough token standing in for key material.
+  const std::uint64_t h = util::fnv1a("ssh-ed25519/" + owner);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return SshKeyPair{owner, "ssh-ed25519 AAAA" + std::string{buf} + " " + owner};
+}
+
+std::string SshKeyPair::fingerprint() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "SHA256:%016llx",
+                static_cast<unsigned long long>(util::fnv1a(public_key)));
+  return buf;
+}
+
+SshServer::SshServer(Network& net, std::string host, int port)
+    : net_{net}, addr_{std::move(host), port} {
+  net_.add_host(addr_.host);
+  net_.listen(addr_, [this](const Message& m) { on_message(m); });
+}
+
+SshServer::~SshServer() { net_.unlisten(addr_); }
+
+void SshServer::authorize_key(const std::string& public_key) {
+  authorized_keys_.insert(public_key);
+}
+
+void SshServer::revoke_key(const std::string& public_key) {
+  authorized_keys_.erase(public_key);
+}
+
+bool SshServer::key_authorized(const std::string& public_key) const {
+  return authorized_keys_.contains(public_key);
+}
+
+void SshServer::whitelist_source(const std::string& host) {
+  whitelist_.insert(host);
+}
+
+void SshServer::clear_whitelist() { whitelist_.clear(); }
+
+void SshServer::set_command_handler(SshCommandHandler handler) {
+  handler_ = std::move(handler);
+}
+
+void SshServer::on_message(const Message& msg) {
+  if (msg.tag != kExecTag) return;
+  auto deny = [&](const std::string& reason) {
+    Message reply;
+    reply.src = addr_;
+    reply.dst = msg.src;
+    reply.tag = kDeniedTag;
+    reply.payload = reason;
+    reply.wire_bytes = 128;
+    (void)net_.send(std::move(reply));
+  };
+  if (!whitelist_.empty() && !whitelist_.contains(msg.src.host)) {
+    ++stats_.rejected_ip;
+    BLAB_WARN("ssh", "rejected connection from non-whitelisted "
+                         << msg.src.host);
+    deny("source not whitelisted");
+    return;
+  }
+  // Payload framing: "<public_key>\x1f<command>".
+  const auto sep = msg.payload.find('\x1f');
+  if (sep == std::string::npos) {
+    deny("malformed exec request");
+    return;
+  }
+  const std::string key = msg.payload.substr(0, sep);
+  const std::string command = msg.payload.substr(sep + 1);
+  if (!authorized_keys_.contains(key)) {
+    ++stats_.rejected_key;
+    BLAB_WARN("ssh", "rejected unauthorized key from " << msg.src.host);
+    deny("publickey denied");
+    return;
+  }
+  ++stats_.accepted;
+  SshCommandResult result;
+  if (handler_) {
+    result = handler_(command);
+  } else {
+    result = SshCommandResult{127, "no command handler"};
+  }
+  Message reply;
+  reply.src = addr_;
+  reply.dst = msg.src;
+  reply.tag = kReplyTag;
+  reply.payload = std::to_string(result.exit_code) + "\x1f" + result.output;
+  reply.wire_bytes = 128 + result.output.size();
+  (void)net_.send(std::move(reply));
+}
+
+SshClient::SshClient(Network& net, std::string host, SshKeyPair key)
+    : net_{net}, host_{std::move(host)}, key_{std::move(key)} {
+  net_.add_host(host_);
+}
+
+void SshClient::exec(const Address& server, const std::string& command,
+                     ExecCallback cb, Duration timeout) {
+  auto& sim = net_.simulator();
+  const Address session{host_, next_session_port_global()};
+  // Shared completion flag so the timeout and the reply race safely.
+  auto done = std::make_shared<bool>(false);
+
+  net_.listen(session, [this, session, cb, done](const Message& m) {
+    if (*done) return;
+    *done = true;
+    net_.unlisten(session);
+    if (m.tag == kDeniedTag) {
+      cb(util::make_error(util::ErrorCode::kPermissionDenied, m.payload));
+      return;
+    }
+    const auto sep = m.payload.find('\x1f');
+    SshCommandResult result;
+    if (sep != std::string::npos) {
+      result.exit_code = std::stoi(m.payload.substr(0, sep));
+      result.output = m.payload.substr(sep + 1);
+    }
+    cb(result);
+  });
+
+  Message msg;
+  msg.src = session;
+  msg.dst = server;
+  msg.tag = kExecTag;
+  msg.payload = key_.public_key + "\x1f" + command;
+  msg.wire_bytes = 256 + command.size();
+  if (auto st = net_.send(std::move(msg)); !st.ok()) {
+    *done = true;
+    net_.unlisten(session);
+    cb(st.error());
+    return;
+  }
+  sim.schedule_after(timeout, [this, session, cb, done] {
+    if (*done) return;
+    *done = true;
+    net_.unlisten(session);
+    cb(util::make_error(util::ErrorCode::kTimeout, "ssh exec timed out"));
+  }, "ssh.timeout");
+}
+
+util::Result<SshCommandResult> SshClient::exec_sync(const Address& server,
+                                                    const std::string& command,
+                                                    Duration timeout) {
+  auto& sim = net_.simulator();
+  bool finished = false;
+  util::Result<SshCommandResult> out =
+      util::make_error(util::ErrorCode::kUnknown, "not run");
+  exec(server, command,
+       [&](util::Result<SshCommandResult> r) {
+         finished = true;
+         out = std::move(r);
+       },
+       timeout);
+  const util::TimePoint deadline = sim.now() + timeout + Duration::seconds(1);
+  while (!finished && sim.now() < deadline) {
+    if (!sim.step()) break;
+  }
+  if (!finished) {
+    return util::make_error(util::ErrorCode::kTimeout, "ssh exec_sync stalled");
+  }
+  return out;
+}
+
+}  // namespace blab::net

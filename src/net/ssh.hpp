@@ -1,0 +1,94 @@
+// SSH channel between the access server and vantage-point controllers (§3.1,
+// §3.4): public-key authentication, source-IP whitelisting, remote command
+// execution with replies.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/network.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+
+namespace blab::net {
+
+/// An Ed25519-flavoured keypair; the "key material" is a stable token derived
+/// from the owner name, which is all authentication needs in simulation.
+struct SshKeyPair {
+  std::string owner;
+  std::string public_key;
+
+  static SshKeyPair generate(const std::string& owner);
+  std::string fingerprint() const;
+};
+
+struct SshExecStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_key = 0;
+  std::uint64_t rejected_ip = 0;
+};
+
+/// Command handler: takes the command line, returns (exit_code, output).
+struct SshCommandResult {
+  int exit_code = 0;
+  std::string output;
+};
+using SshCommandHandler = std::function<SshCommandResult(const std::string&)>;
+
+class SshServer {
+ public:
+  SshServer(Network& net, std::string host, int port = kSshPort);
+  ~SshServer();
+  SshServer(const SshServer&) = delete;
+  SshServer& operator=(const SshServer&) = delete;
+
+  const Address& address() const { return addr_; }
+
+  void authorize_key(const std::string& public_key);
+  void revoke_key(const std::string& public_key);
+  bool key_authorized(const std::string& public_key) const;
+
+  /// IP lockdown: when the whitelist is non-empty, only whitelisted source
+  /// hosts may connect (§3.1 "IP lockdown, security groups").
+  void whitelist_source(const std::string& host);
+  void clear_whitelist();
+
+  void set_command_handler(SshCommandHandler handler);
+  const SshExecStats& stats() const { return stats_; }
+
+ private:
+  void on_message(const Message& msg);
+
+  Network& net_;
+  Address addr_;
+  std::unordered_set<std::string> authorized_keys_;
+  std::unordered_set<std::string> whitelist_;
+  SshCommandHandler handler_;
+  SshExecStats stats_;
+};
+
+class SshClient {
+ public:
+  SshClient(Network& net, std::string host, SshKeyPair key);
+
+  const SshKeyPair& key() const { return key_; }
+
+  /// Asynchronous remote execution.
+  using ExecCallback = std::function<void(util::Result<SshCommandResult>)>;
+  void exec(const Address& server, const std::string& command,
+            ExecCallback cb, Duration timeout = Duration::seconds(30));
+
+  /// Synchronous helper: pumps the simulator until the reply (or timeout).
+  util::Result<SshCommandResult> exec_sync(
+      const Address& server, const std::string& command,
+      Duration timeout = Duration::seconds(30));
+
+ private:
+  Network& net_;
+  std::string host_;
+  SshKeyPair key_;
+};
+
+}  // namespace blab::net

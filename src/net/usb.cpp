@@ -1,0 +1,98 @@
+#include "net/usb.hpp"
+
+#include <stdexcept>
+
+namespace blab::net {
+
+UsbHub::UsbHub(Network& net, std::string hub_host, int ports)
+    : net_{net}, hub_host_{std::move(hub_host)} {
+  if (ports <= 0) throw std::invalid_argument{"UsbHub needs >= 1 port"};
+  net_.add_host(hub_host_);
+  ports_.resize(static_cast<std::size_t>(ports));
+  for (int i = 0; i < ports; ++i) ports_[static_cast<std::size_t>(i)].index = i;
+}
+
+const UsbPort& UsbHub::port(int index) const {
+  return ports_.at(static_cast<std::size_t>(index));
+}
+
+util::Result<int> UsbHub::attach(const std::string& device_host) {
+  if (find_port(device_host) >= 0) {
+    return util::make_error(util::ErrorCode::kAlreadyExists,
+                            device_host + " already attached");
+  }
+  for (auto& p : ports_) {
+    if (!p.occupied()) {
+      p.attached_host = device_host;
+      if (net_.find_link(hub_host_, device_host, "usb") == nullptr) {
+        net_.add_link(hub_host_, device_host,
+                      LinkSpec::symmetric(Duration::micros(100), 480.0),
+                      "usb");
+      }
+      return p.index;
+    }
+  }
+  return util::make_error(util::ErrorCode::kResourceExhausted,
+                          "no vacant USB port");
+}
+
+util::Status UsbHub::detach(const std::string& device_host) {
+  const int idx = find_port(device_host);
+  if (idx < 0) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            device_host + " not attached");
+  }
+  ports_[static_cast<std::size_t>(idx)].attached_host.clear();
+  return util::Status::ok_status();
+}
+
+util::Status UsbHub::set_port_power(int index, bool on) {
+  if (index < 0 || index >= port_count()) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "bad port index " + std::to_string(index));
+  }
+  auto& p = ports_[static_cast<std::size_t>(index)];
+  p.powered = on;
+  // USB 2.0 data requires bus power on this hub: cutting power drops data too,
+  // and the link disappears from routing.
+  p.data_enabled = on;
+  if (p.occupied()) {
+    if (Link* link = net_.find_link(hub_host_, p.attached_host, "usb")) {
+      link->set_enabled(on);
+    }
+  }
+  return util::Status::ok_status();
+}
+
+util::Status UsbHub::set_port_power_for(const std::string& device_host,
+                                        bool on) {
+  const int idx = find_port(device_host);
+  if (idx < 0) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            device_host + " not attached");
+  }
+  return set_port_power(idx, on);
+}
+
+double UsbHub::charge_current_ma(const std::string& device_host) const {
+  const int idx = find_port(device_host);
+  if (idx < 0) return 0.0;
+  const auto& p = ports_[static_cast<std::size_t>(idx)];
+  return p.powered ? kUsbChargeCurrentMa : 0.0;
+}
+
+bool UsbHub::data_path_up(const std::string& device_host) const {
+  const int idx = find_port(device_host);
+  if (idx < 0) return false;
+  const auto& p = ports_[static_cast<std::size_t>(idx)];
+  return p.data_enabled;
+}
+
+int UsbHub::find_port(const std::string& device_host) const {
+  for (const auto& p : ports_) {
+    if (p.attached_host == device_host) return p.index;
+  }
+  return -1;
+}
+
+}  // namespace blab::net

@@ -1,0 +1,59 @@
+// USB hub with per-port power control (§3.2).
+//
+// Each test device hangs off one controller USB port. USB carries both data
+// (ADB) and charge current; the charge current corrupts power-monitor
+// readings, so BatteryLab toggles port power with uhubctl before a
+// measurement. The hub model exposes exactly that control surface.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "util/result.hpp"
+
+namespace blab::net {
+
+/// Nominal USB 2.0 charge current delivered to an attached device (mA).
+inline constexpr double kUsbChargeCurrentMa = 450.0;
+
+struct UsbPort {
+  int index = 0;
+  bool powered = true;
+  bool data_enabled = true;
+  std::string attached_host;  ///< empty when vacant
+
+  bool occupied() const { return !attached_host.empty(); }
+};
+
+class UsbHub {
+ public:
+  UsbHub(Network& net, std::string hub_host, int ports);
+
+  const std::string& host() const { return hub_host_; }
+  int port_count() const { return static_cast<int>(ports_.size()); }
+  const UsbPort& port(int index) const;
+
+  /// Attach a device to a vacant port; creates the USB data link
+  /// (480 Mbps / 100 us — high-speed USB 2.0).
+  util::Result<int> attach(const std::string& device_host);
+  util::Status detach(const std::string& device_host);
+  /// uhubctl-style per-port power toggle.
+  util::Status set_port_power(int index, bool on);
+  util::Status set_port_power_for(const std::string& device_host, bool on);
+
+  /// Charge current currently flowing into `device_host` (mA); zero when the
+  /// port is off or the device not attached. This is the interference term
+  /// Fig. 2's methodology eliminates.
+  double charge_current_ma(const std::string& device_host) const;
+  bool data_path_up(const std::string& device_host) const;
+
+  int find_port(const std::string& device_host) const;  ///< -1 if absent
+
+ private:
+  Network& net_;
+  std::string hub_host_;
+  std::vector<UsbPort> ports_;
+};
+
+}  // namespace blab::net

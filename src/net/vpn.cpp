@@ -1,0 +1,92 @@
+#include "net/vpn.hpp"
+
+#include "util/strings.hpp"
+
+namespace blab::net {
+
+const std::vector<VpnLocation>& proton_vpn_locations() {
+  static const std::vector<VpnLocation> locations = {
+      {"South Africa", "Johannesburg", 3.21, 6.26, 9.77, 222.04},
+      {"China", "Hong Kong", 4.86, 7.64, 7.77, 286.32},
+      {"Japan", "Bunkyo", 2.21, 9.68, 7.76, 239.38},
+      {"Brazil", "Sao Paulo", 8.84, 9.75, 8.82, 235.05},
+      {"CA, USA", "Santa Clara", 7.99, 10.63, 14.87, 215.16},
+  };
+  return locations;
+}
+
+const VpnLocation* find_vpn_location(const std::string& name) {
+  for (const auto& loc : proton_vpn_locations()) {
+    if (loc.country == name || loc.city == name) return &loc;
+  }
+  return nullptr;
+}
+
+VpnProvider::VpnProvider(Network& net, std::string internet_host,
+                         std::vector<VpnLocation> locations)
+    : net_{net},
+      internet_host_{std::move(internet_host)},
+      locations_{std::move(locations)} {
+  net_.add_host(internet_host_);
+  for (const auto& loc : locations_) {
+    // Exit link: the VPN node's own uplink is the throughput bottleneck.
+    // Traffic from the internet toward the client transits internet->vpn at
+    // the *download* rate; client->internet transits vpn->internet at the
+    // *upload* rate. Raw capacity sits a few percent above the measured
+    // speedtest numbers (protocol overhead and slow-start eat the gap).
+    LinkSpec spec;
+    spec.latency = Duration::millis(3);  // speedtest server sits by the node
+    spec.bandwidth_ab_mbps = loc.up_mbps * 1.06;    // vpn -> internet
+    spec.bandwidth_ba_mbps = loc.down_mbps * 1.06;  // internet -> vpn
+    spec.jitter_fraction = 0.05;
+    net_.add_link(loc.node_host(), internet_host_, spec);
+  }
+}
+
+util::Status VpnProvider::connect(const std::string& client_host,
+                                  const std::string& location_name) {
+  const VpnLocation* loc = nullptr;
+  for (const auto& candidate : locations_) {
+    if (candidate.country == location_name || candidate.city == location_name) {
+      loc = &candidate;
+      break;
+    }
+  }
+  if (loc == nullptr) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            "unknown VPN location " + location_name);
+  }
+  // Access leg: the encrypted tunnel from the client to the exit node. It
+  // carries (almost all of) the end-to-end RTT Table 2 reports; capacity is
+  // the client's fast university uplink, so the exit link stays the
+  // bottleneck.
+  if (net_.find_link(client_host, loc->node_host()) == nullptr) {
+    LinkSpec access;
+    access.latency = Duration::millis(
+        static_cast<std::int64_t>(loc->rtt_ms / 2.0) - 3);
+    access.bandwidth_ab_mbps = 200.0;
+    access.bandwidth_ba_mbps = 200.0;
+    access.jitter_fraction = 0.05;
+    net_.add_link(client_host, loc->node_host(), access);
+  }
+  if (auto st = net_.set_gateway(client_host, loc->node_host()); !st.ok()) {
+    return st;
+  }
+  active_[client_host] = loc->country;
+  return util::Status::ok_status();
+}
+
+util::Status VpnProvider::disconnect(const std::string& client_host) {
+  if (active_.erase(client_host) == 0) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            client_host + " has no active tunnel");
+  }
+  return net_.set_gateway(client_host, "");
+}
+
+std::string VpnProvider::active_location(const std::string& client_host) const {
+  const auto it = active_.find(client_host);
+  return it == active_.end() ? std::string{} : it->second;
+}
+
+}  // namespace blab::net

@@ -1,0 +1,58 @@
+// VPN provider and tunnels (§4.3, Table 2).
+//
+// The paper emulates geographic diversity by tunneling the vantage point's
+// traffic through ProtonVPN exit nodes in five countries. Here each exit node
+// is a real host in the network graph with a calibrated link (download /
+// upload bandwidth, latency from Table 2); "connecting" installs a gateway
+// route on the client host.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "util/result.hpp"
+
+namespace blab::net {
+
+struct VpnLocation {
+  std::string country;
+  std::string city;
+  double server_distance_km = 0.0;  ///< speedtest server distance (Table 2)
+  double down_mbps = 0.0;
+  double up_mbps = 0.0;
+  double rtt_ms = 0.0;
+
+  std::string node_host() const { return "vpn." + city; }
+};
+
+/// The five ProtonVPN exit profiles of Table 2 (D/U are *measured* speedtest
+/// numbers; we configure raw link capacity slightly above so a flow-based
+/// speedtest lands near the paper's figures).
+const std::vector<VpnLocation>& proton_vpn_locations();
+/// Lookup by country name ("Japan") or city ("Bunkyo"); nullptr when unknown.
+const VpnLocation* find_vpn_location(const std::string& name);
+
+class VpnProvider {
+ public:
+  /// Builds one exit-node host per location, linked to `internet_host`.
+  VpnProvider(Network& net, std::string internet_host,
+              std::vector<VpnLocation> locations = proton_vpn_locations());
+
+  const std::vector<VpnLocation>& locations() const { return locations_; }
+
+  /// Tunnel all of `client_host`'s traffic through the named location.
+  util::Status connect(const std::string& client_host,
+                       const std::string& location_name);
+  util::Status disconnect(const std::string& client_host);
+  /// Country of the active tunnel, or empty string.
+  std::string active_location(const std::string& client_host) const;
+
+ private:
+  Network& net_;
+  std::string internet_host_;
+  std::vector<VpnLocation> locations_;
+  std::unordered_map<std::string, std::string> active_;  // client -> country
+};
+
+}  // namespace blab::net

@@ -1,0 +1,77 @@
+#include "net/wifi.hpp"
+
+namespace blab::net {
+
+const char* ap_mode_name(ApMode mode) {
+  switch (mode) {
+    case ApMode::kNat: return "NAT";
+    case ApMode::kBridge: return "Bridge";
+  }
+  return "?";
+}
+
+WifiAccessPoint::WifiAccessPoint(Network& net, std::string ap_host,
+                                 std::string uplink_host, ApMode mode)
+    : net_{net},
+      ap_host_{std::move(ap_host)},
+      uplink_host_{std::move(uplink_host)},
+      mode_{mode} {
+  net_.add_host(ap_host_);
+  // When the AP runs on the uplink machine itself (the Pi is the AP, §3.2),
+  // no wired uplink link is needed.
+  if (ap_host_ != uplink_host_ &&
+      net_.find_link(ap_host_, uplink_host_) == nullptr) {
+    net_.add_link(ap_host_, uplink_host_,
+                  LinkSpec::symmetric(Duration::micros(300), 1000.0));
+  }
+}
+
+util::Status WifiAccessPoint::associate(const std::string& station_host,
+                                        double phy_rate_mbps) {
+  if (stations_.contains(station_host)) {
+    return util::make_error(util::ErrorCode::kAlreadyExists,
+                            station_host + " already associated");
+  }
+  if (net_.find_link(ap_host_, station_host, "wifi") == nullptr) {
+    // Effective throughput of 802.11 is roughly half the PHY rate. Hop cost
+    // 2: ADB and mirroring prefer USB while its port is powered (§3.3).
+    LinkSpec spec;
+    spec.latency = Duration::millis(2);
+    spec.bandwidth_ab_mbps = phy_rate_mbps * 0.5;
+    spec.bandwidth_ba_mbps = phy_rate_mbps * 0.5;
+    spec.jitter_fraction = 0.3;
+    spec.hop_cost = 2;
+    net_.add_link(ap_host_, station_host, spec, "wifi");
+  }
+  stations_[station_host] = WifiStationInfo{station_host, true, phy_rate_mbps};
+  return util::Status::ok_status();
+}
+
+util::Status WifiAccessPoint::disassociate(const std::string& station_host) {
+  if (stations_.erase(station_host) == 0) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            station_host + " not associated");
+  }
+  return util::Status::ok_status();
+}
+
+bool WifiAccessPoint::is_associated(const std::string& station_host) const {
+  return stations_.contains(station_host);
+}
+
+void WifiAccessPoint::forward_port(const std::string& station_host, int port) {
+  forwards_.insert(station_host + ":" + std::to_string(port));
+}
+
+bool WifiAccessPoint::inbound_allowed(const std::string& station_host,
+                                      int port) const {
+  if (mode_ == ApMode::kBridge) return is_associated(station_host);
+  return forwards_.contains(station_host + ":" + std::to_string(port));
+}
+
+const WifiStationInfo* WifiAccessPoint::station(const std::string& host) const {
+  const auto it = stations_.find(host);
+  return it == stations_.end() ? nullptr : &it->second;
+}
+
+}  // namespace blab::net

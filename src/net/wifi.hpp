@@ -1,0 +1,62 @@
+// WiFi access point hosted on the vantage-point controller (§3.2).
+//
+// The controller exposes an AP that test devices join; it can run in NAT or
+// Bridge mode. ADB-over-WiFi automation and scrcpy mirroring traffic ride on
+// these links, avoiding the USB charge current that corrupts power readings.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/network.hpp"
+#include "util/result.hpp"
+
+namespace blab::net {
+
+enum class ApMode { kNat, kBridge };
+
+const char* ap_mode_name(ApMode mode);
+
+struct WifiStationInfo {
+  std::string host;
+  bool associated = false;
+  double phy_rate_mbps = 0.0;
+};
+
+class WifiAccessPoint {
+ public:
+  /// `ap_host` is the AP's own network identity; `uplink_host` is the wired
+  /// side (the controller's LAN), connected with an Ethernet-class link.
+  WifiAccessPoint(Network& net, std::string ap_host, std::string uplink_host,
+                  ApMode mode = ApMode::kNat);
+
+  const std::string& host() const { return ap_host_; }
+  ApMode mode() const { return mode_; }
+  void set_mode(ApMode mode) { mode_ = mode; }
+
+  /// Associate a station (test device). The PHY rate defaults to a typical
+  /// 802.11n single-stream rate; latency ~2 ms with light jitter.
+  util::Status associate(const std::string& station_host,
+                         double phy_rate_mbps = 72.0);
+  util::Status disassociate(const std::string& station_host);
+  bool is_associated(const std::string& station_host) const;
+  std::size_t station_count() const { return stations_.size(); }
+
+  /// In NAT mode, inbound connections to stations must have a forwarding
+  /// entry; bridge mode is transparent.
+  void forward_port(const std::string& station_host, int port);
+  bool inbound_allowed(const std::string& station_host, int port) const;
+
+  const WifiStationInfo* station(const std::string& host) const;
+
+ private:
+  Network& net_;
+  std::string ap_host_;
+  std::string uplink_host_;
+  ApMode mode_;
+  std::unordered_map<std::string, WifiStationInfo> stations_;
+  std::unordered_set<std::string> forwards_;  // "host:port"
+};
+
+}  // namespace blab::net

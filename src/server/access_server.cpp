@@ -1,0 +1,124 @@
+#include "server/access_server.hpp"
+
+#include "util/logging.hpp"
+
+namespace blab::server {
+
+AccessServer::AccessServer(sim::Simulator& sim, net::Network& net,
+                           std::string host)
+    : sim_{sim},
+      net_{net},
+      host_{std::move(host)},
+      registry_{dns_},
+      scheduler_{sim, registry_},
+      testers_{users_, &credits_},
+      ssh_key_{net::SshKeyPair::generate("batterylab-access-server")},
+      ssh_client_{net, host_, ssh_key_} {
+  net_.add_host(host_);
+  (void)certs_.issue(sim_.now());
+}
+
+void AccessServer::enable_credit_enforcement(CreditPolicy policy) {
+  credit_policy_ = policy;
+  scheduler_.attach_credits(&credits_, policy);
+}
+
+util::Status AccessServer::onboard_vantage_point(
+    const std::string& label, api::VantagePoint& vp,
+    const std::string& host_owner) {
+  if (auto st = registry_.register_node(label, &vp, host_owner); !st.ok()) {
+    return st;
+  }
+
+  // Reachability: the controller must be on the public network. Give it an
+  // internet-grade link to the access server if none exists yet.
+  if (net_.path(host_, vp.controller_host()).empty()) {
+    net::LinkSpec wan;
+    wan.latency = util::Duration::millis(12);
+    wan.bandwidth_ab_mbps = 500.0;
+    wan.bandwidth_ba_mbps = 500.0;
+    net_.add_link(host_, vp.controller_host(), wan);
+  }
+
+  // §3.4: grant pubkey access and whitelist the access server's address.
+  vp.controller().ssh_server().authorize_key(ssh_key_.public_key);
+  vp.controller().ssh_server().whitelist_source(host_);
+  if (auto st = registry_.mark_key_installed(label); !st.ok()) return st;
+  if (auto st = registry_.mark_ip_whitelisted(label); !st.ok()) return st;
+
+  // Wildcard certificate deployment precedes DNS visibility.
+  if (certs_.needs_renewal(sim_.now())) (void)certs_.issue(sim_.now());
+  if (auto st = certs_.deploy_to(label, sim_.now()); !st.ok()) return st;
+
+  if (auto st = registry_.approve(label); !st.ok()) return st;
+  // Sharing resources earns access (§5).
+  if (credit_policy_.has_value() && !host_owner.empty()) {
+    if (!credits_.has_account(host_owner)) {
+      (void)credits_.open_account(host_owner);
+    }
+    (void)credits_.deposit(host_owner, credit_policy_->hosting_bonus,
+                           "hosting bonus for " + label, sim_.now());
+  }
+  BLAB_INFO("access-server", label << " onboarded -> https://" << label
+                                   << "." << dns_.zone());
+  return util::Status::ok_status();
+}
+
+util::Result<JobId> AccessServer::submit_job(const std::string& token,
+                                             Job job) {
+  if (auto st = users_.authorize(token, Permission::kCreateJob); !st.ok()) {
+    return st.error();
+  }
+  auto user = users_.authenticate(token);
+  job.owner = user.value()->username;
+  return scheduler_.submit(std::move(job));
+}
+
+util::Status AccessServer::approve_pipeline(const std::string& admin_token,
+                                            JobId id) {
+  if (auto st = users_.authorize(admin_token, Permission::kApprovePipeline);
+      !st.ok()) {
+    return st;
+  }
+  return scheduler_.approve_pipeline(id);
+}
+
+util::Result<std::size_t> AccessServer::run_queue(const std::string& token) {
+  if (auto st = users_.authorize(token, Permission::kRunJob); !st.ok()) {
+    return st.error();
+  }
+  return scheduler_.dispatch_pending();
+}
+
+std::size_t AccessServer::schedule_recurring(std::function<Job()> generator,
+                                             util::Duration period) {
+  auto task = std::make_unique<sim::PeriodicTask>(
+      sim_, period, [this, generator = std::move(generator)] {
+        Job job = generator();
+        const JobId id = scheduler_.submit(std::move(job));
+        (void)scheduler_.approve_pipeline(id);  // admin-blessed template
+        (void)scheduler_.dispatch_pending();
+      });
+  task->start();
+  recurring_.push_back(std::move(task));
+  return recurring_.size() - 1;
+}
+
+void AccessServer::stop_recurring(std::size_t handle) {
+  if (handle < recurring_.size() && recurring_[handle] != nullptr) {
+    recurring_[handle]->stop();
+  }
+}
+
+util::Result<net::SshCommandResult> AccessServer::ssh_exec(
+    const std::string& label, const std::string& command) {
+  const NodeRecord* node = registry_.find(label);
+  if (node == nullptr || node->state != NodeState::kApproved) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            label + " is not an approved vantage point");
+  }
+  return ssh_client_.exec_sync(
+      net::Address{node->controller_host, net::kSshPort}, command);
+}
+
+}  // namespace blab::server

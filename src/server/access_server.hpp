@@ -1,0 +1,97 @@
+// The BatteryLab access server (§3.1).
+//
+// Cloud-hosted (AWS in the paper), built atop a Jenkins-style automation
+// core: it owns the user directory and authorization matrix, the vantage
+// point registry with DNS, the wildcard certificate manager, the job
+// scheduler, and the SSH identity used to reach every controller. It also
+// ships the standing maintenance jobs (§3.1): certificate renewal, Monsoon
+// power-down safety, and device factory reset.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "net/dns.hpp"
+#include "net/network.hpp"
+#include "net/ssh.hpp"
+#include "sim/periodic.hpp"
+#include "server/auth.hpp"
+#include "server/certs.hpp"
+#include "server/credits.hpp"
+#include "server/registry.hpp"
+#include "server/scheduler.hpp"
+#include "server/testers.hpp"
+
+namespace blab::server {
+
+class AccessServer {
+ public:
+  AccessServer(sim::Simulator& sim, net::Network& net,
+               std::string host = "access-server.aws");
+
+  const std::string& host() const { return host_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  UserDirectory& users() { return users_; }
+  net::DnsRegistry& dns() { return dns_; }
+  VantagePointRegistry& registry() { return registry_; }
+  CertificateManager& certs() { return certs_; }
+  Scheduler& scheduler() { return scheduler_; }
+  CreditLedger& credits() { return credits_; }
+  TesterPool& testers() { return testers_; }
+  const net::SshKeyPair& ssh_key() const { return ssh_key_; }
+  net::SshClient& ssh_client() { return ssh_client_; }
+
+  /// Turn on credit-gated scheduling (§5). Members who host vantage points
+  /// receive the policy's hosting bonus at approval time.
+  void enable_credit_enforcement(CreditPolicy policy = {});
+  bool credits_enforced() const { return credit_policy_.has_value(); }
+
+  /// Full onboarding per the §3.4 tutorial: register the node, install the
+  /// server's public key and IP whitelist on the controller's sshd, deploy
+  /// the wildcard certificate, approve, and register DNS. `host_owner` is
+  /// the member account contributing the hardware (earns the hosting bonus
+  /// and a share of device-time charges when credits are enforced).
+  util::Status onboard_vantage_point(const std::string& label,
+                                     api::VantagePoint& vp,
+                                     const std::string& host_owner = {});
+
+  /// Authenticated job submission; dispatch still requires an admin's
+  /// pipeline approval.
+  util::Result<JobId> submit_job(const std::string& token, Job job);
+  util::Status approve_pipeline(const std::string& admin_token, JobId id);
+  /// Run the dispatch loop (authorization: any enabled experimenter/admin).
+  util::Result<std::size_t> run_queue(const std::string& token);
+
+  /// Execute a command on a vantage point's controller over SSH.
+  util::Result<net::SshCommandResult> ssh_exec(const std::string& label,
+                                               const std::string& command);
+
+  /// Schedule a recurring (Jenkins-cron-style) job: every `period`, the
+  /// generator's job is submitted pre-approved and dispatched. This is how
+  /// the standing maintenance jobs of §3.1 actually run. Returns a handle
+  /// index usable with stop_recurring.
+  std::size_t schedule_recurring(std::function<Job()> generator,
+                                 util::Duration period);
+  void stop_recurring(std::size_t handle);
+  std::size_t recurring_count() const { return recurring_.size(); }
+
+ private:
+  sim::Simulator& sim_;
+  net::Network& net_;
+  std::string host_;
+  UserDirectory users_;
+  net::DnsRegistry dns_;
+  VantagePointRegistry registry_;
+  CertificateManager certs_;
+  Scheduler scheduler_;
+  CreditLedger credits_;
+  TesterPool testers_;
+  std::optional<CreditPolicy> credit_policy_;
+  net::SshKeyPair ssh_key_;
+  net::SshClient ssh_client_;
+  std::vector<std::unique_ptr<sim::PeriodicTask>> recurring_;
+};
+
+}  // namespace blab::server

@@ -1,0 +1,131 @@
+#include "server/auth.hpp"
+
+#include <cstdio>
+
+#include "util/rng.hpp"
+
+namespace blab::server {
+
+const char* role_name(Role role) {
+  switch (role) {
+    case Role::kAdmin: return "admin";
+    case Role::kExperimenter: return "experimenter";
+    case Role::kTester: return "tester";
+  }
+  return "?";
+}
+
+const char* permission_name(Permission p) {
+  switch (p) {
+    case Permission::kCreateJob: return "create_job";
+    case Permission::kEditJob: return "edit_job";
+    case Permission::kRunJob: return "run_job";
+    case Permission::kApprovePipeline: return "approve_pipeline";
+    case Permission::kManageVantagePoints: return "manage_vantage_points";
+    case Permission::kViewConsole: return "view_console";
+    case Permission::kInteractiveSession: return "interactive_session";
+  }
+  return "?";
+}
+
+AuthorizationMatrix::AuthorizationMatrix() {
+  // Platform defaults. Testers only get the shared interactive session —
+  // they interact with a device page, never with Jenkins itself.
+  for (Permission p :
+       {Permission::kCreateJob, Permission::kEditJob, Permission::kRunJob,
+        Permission::kApprovePipeline, Permission::kManageVantagePoints,
+        Permission::kViewConsole, Permission::kInteractiveSession}) {
+    grant(Role::kAdmin, p);
+  }
+  for (Permission p : {Permission::kCreateJob, Permission::kEditJob,
+                       Permission::kRunJob, Permission::kViewConsole,
+                       Permission::kInteractiveSession}) {
+    grant(Role::kExperimenter, p);
+  }
+  grant(Role::kTester, Permission::kInteractiveSession);
+}
+
+void AuthorizationMatrix::grant(Role role, Permission p) {
+  grants_[static_cast<int>(role)].insert(static_cast<int>(p));
+}
+
+void AuthorizationMatrix::revoke(Role role, Permission p) {
+  const auto it = grants_.find(static_cast<int>(role));
+  if (it != grants_.end()) it->second.erase(static_cast<int>(p));
+}
+
+bool AuthorizationMatrix::allows(Role role, Permission p) const {
+  const auto it = grants_.find(static_cast<int>(role));
+  return it != grants_.end() && it->second.contains(static_cast<int>(p));
+}
+
+UserDirectory::UserDirectory(std::uint64_t seed) : token_counter_{seed} {}
+
+util::Result<std::string> UserDirectory::register_user(
+    const std::string& username, Role role) {
+  if (username.empty()) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "empty username");
+  }
+  if (users_.contains(username)) {
+    return util::make_error(util::ErrorCode::kAlreadyExists,
+                            username + " already registered");
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "tok-%016llx",
+                static_cast<unsigned long long>(
+                    util::fnv1a(username) ^ ++token_counter_ * 0x9E3779B9ULL));
+  User user{username, role, buf, true};
+  tokens_[user.api_token] = username;
+  users_[username] = std::move(user);
+  return std::string{buf};
+}
+
+util::Status UserDirectory::disable_user(const std::string& username) {
+  const auto it = users_.find(username);
+  if (it == users_.end()) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            username + " not registered");
+  }
+  it->second.enabled = false;
+  return util::Status::ok_status();
+}
+
+util::Result<const User*> UserDirectory::authenticate(
+    const std::string& token) const {
+  const auto it = tokens_.find(token);
+  if (it == tokens_.end()) {
+    return util::make_error(util::ErrorCode::kPermissionDenied,
+                            "invalid token");
+  }
+  const User& user = users_.at(it->second);
+  if (!user.enabled) {
+    return util::make_error(util::ErrorCode::kPermissionDenied,
+                            "account disabled");
+  }
+  return &user;
+}
+
+const User* UserDirectory::find(const std::string& username) const {
+  const auto it = users_.find(username);
+  return it == users_.end() ? nullptr : &it->second;
+}
+
+util::Status UserDirectory::authorize(const std::string& token, Permission p,
+                                      bool over_https) const {
+  if (!over_https) {
+    return util::make_error(util::ErrorCode::kPermissionDenied,
+                            "console only reachable over HTTPS");
+  }
+  auto user = authenticate(token);
+  if (!user.ok()) return user.error();
+  if (!matrix_.allows(user.value()->role, p)) {
+    return util::make_error(
+        util::ErrorCode::kPermissionDenied,
+        std::string{role_name(user.value()->role)} + " lacks " +
+            permission_name(p));
+  }
+  return util::Status::ok_status();
+}
+
+}  // namespace blab::server

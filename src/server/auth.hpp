@@ -1,0 +1,79 @@
+// Users, roles and the role-based authorization matrix (§3.1).
+//
+// "Only the experimenters that have been granted access to the platform can
+// create, edit or run jobs and every pipeline change has to be approved by
+// an administrator. This is done via a role-based authorization matrix."
+// The web console is HTTPS-only; API access uses per-user tokens.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/result.hpp"
+
+namespace blab::server {
+
+enum class Role { kAdmin, kExperimenter, kTester };
+
+const char* role_name(Role role);
+
+enum class Permission {
+  kCreateJob,
+  kEditJob,
+  kRunJob,
+  kApprovePipeline,
+  kManageVantagePoints,
+  kViewConsole,
+  kInteractiveSession,  ///< remote-control a mirrored device
+};
+
+const char* permission_name(Permission p);
+
+struct User {
+  std::string username;
+  Role role = Role::kTester;
+  std::string api_token;
+  bool enabled = true;
+};
+
+/// Default matrix: deny unless the role explicitly grants the permission.
+class AuthorizationMatrix {
+ public:
+  AuthorizationMatrix();  ///< installs the platform defaults
+
+  void grant(Role role, Permission p);
+  void revoke(Role role, Permission p);
+  bool allows(Role role, Permission p) const;
+
+ private:
+  std::unordered_map<int, std::unordered_set<int>> grants_;
+};
+
+class UserDirectory {
+ public:
+  explicit UserDirectory(std::uint64_t seed = 7);
+
+  util::Result<std::string> register_user(const std::string& username,
+                                          Role role);  ///< returns API token
+  util::Status disable_user(const std::string& username);
+  util::Result<const User*> authenticate(const std::string& token) const;
+  const User* find(const std::string& username) const;
+  std::size_t user_count() const { return users_.size(); }
+
+  /// Combined check: token valid, user enabled, role allows permission, and
+  /// the transport is HTTPS (the console refuses plain HTTP).
+  util::Status authorize(const std::string& token, Permission p,
+                         bool over_https = true) const;
+
+  AuthorizationMatrix& matrix() { return matrix_; }
+  const AuthorizationMatrix& matrix() const { return matrix_; }
+
+ private:
+  std::unordered_map<std::string, User> users_;  // by username
+  std::unordered_map<std::string, std::string> tokens_;  // token -> username
+  AuthorizationMatrix matrix_;
+  std::uint64_t token_counter_;
+};
+
+}  // namespace blab::server

@@ -1,0 +1,46 @@
+#include "server/certs.hpp"
+
+namespace blab::server {
+
+CertificateManager::CertificateManager(std::string zone)
+    : zone_{std::move(zone)} {}
+
+const Certificate& CertificateManager::issue(util::TimePoint now) {
+  current_.common_name = "*." + zone_;
+  current_.serial = next_serial_++;
+  current_.issued_at = now;
+  current_.expires_at = now + kLifetime;
+  return current_;
+}
+
+bool CertificateManager::needs_renewal(util::TimePoint now) const {
+  if (current_.serial == 0) return true;  // never issued
+  return now >= current_.expires_at - kRenewalMargin;
+}
+
+util::Status CertificateManager::deploy_to(const std::string& node_label,
+                                           util::TimePoint now) {
+  if (current_.serial == 0) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "no certificate issued yet");
+  }
+  if (!current_.valid_at(now)) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "certificate expired; renew first");
+  }
+  deployed_[node_label] = current_.serial;
+  return util::Status::ok_status();
+}
+
+std::uint64_t CertificateManager::deployed_serial(
+    const std::string& node_label) const {
+  const auto it = deployed_.find(node_label);
+  return it == deployed_.end() ? 0 : it->second;
+}
+
+bool CertificateManager::node_current(const std::string& node_label) const {
+  return deployed_serial(node_label) == current_.serial &&
+         current_.serial != 0;
+}
+
+}  // namespace blab::server

@@ -1,0 +1,58 @@
+// Wildcard certificate management (§3.4).
+//
+// BatteryLab serves every vantage point under *.batterylab.dev with a
+// Let's-Encrypt-style wildcard certificate. The access server renews it
+// before expiry and pushes the fresh certificate to each vantage point; one
+// of the standing maintenance jobs drives this.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "util/result.hpp"
+#include "util/time.hpp"
+
+namespace blab::server {
+
+struct Certificate {
+  std::string common_name;  ///< "*.batterylab.dev"
+  std::uint64_t serial = 0;
+  util::TimePoint issued_at;
+  util::TimePoint expires_at;
+
+  bool valid_at(util::TimePoint t) const {
+    return serial != 0 && t >= issued_at && t < expires_at;
+  }
+};
+
+class CertificateManager {
+ public:
+  /// Let's Encrypt issues 90-day certificates; renewal is due at 2/3 life.
+  static constexpr auto kLifetime = util::Duration::seconds(90.0 * 86400.0);
+  static constexpr auto kRenewalMargin = util::Duration::seconds(30.0 * 86400.0);
+
+  explicit CertificateManager(std::string zone = "batterylab.dev");
+
+  const std::string& zone() const { return zone_; }
+  const Certificate& current() const { return current_; }
+
+  /// Issue (or re-issue) the wildcard certificate at time `now`.
+  const Certificate& issue(util::TimePoint now);
+  bool needs_renewal(util::TimePoint now) const;
+
+  /// Record deployment of the current certificate at a vantage point.
+  util::Status deploy_to(const std::string& node_label, util::TimePoint now);
+  /// Serial deployed at a node (0 = never deployed).
+  std::uint64_t deployed_serial(const std::string& node_label) const;
+  bool node_current(const std::string& node_label) const;
+
+  std::size_t deployments() const { return deployed_.size(); }
+
+ private:
+  std::string zone_;
+  Certificate current_;
+  std::uint64_t next_serial_ = 1;
+  std::unordered_map<std::string, std::uint64_t> deployed_;
+};
+
+}  // namespace blab::server

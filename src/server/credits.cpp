@@ -1,0 +1,86 @@
+#include "server/credits.hpp"
+
+namespace blab::server {
+
+util::Status CreditLedger::open_account(const std::string& user,
+                                        double initial) {
+  if (user.empty()) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "empty account name");
+  }
+  if (balances_.contains(user)) {
+    return util::make_error(util::ErrorCode::kAlreadyExists,
+                            user + " already has an account");
+  }
+  balances_[user] = initial;
+  return util::Status::ok_status();
+}
+
+bool CreditLedger::has_account(const std::string& user) const {
+  return balances_.contains(user);
+}
+
+util::Result<double> CreditLedger::balance(const std::string& user) const {
+  const auto it = balances_.find(user);
+  if (it == balances_.end()) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            user + " has no credit account");
+  }
+  return it->second;
+}
+
+util::Status CreditLedger::deposit(const std::string& user, double amount,
+                                   const std::string& reason,
+                                   util::TimePoint at) {
+  if (amount < 0.0) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "negative deposit");
+  }
+  const auto it = balances_.find(user);
+  if (it == balances_.end()) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            user + " has no credit account");
+  }
+  it->second += amount;
+  history_.push_back({user, amount, reason, at});
+  return util::Status::ok_status();
+}
+
+util::Status CreditLedger::charge(const std::string& user, double amount,
+                                  const std::string& reason,
+                                  util::TimePoint at) {
+  if (amount < 0.0) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "negative charge");
+  }
+  const auto it = balances_.find(user);
+  if (it == balances_.end()) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            user + " has no credit account");
+  }
+  if (it->second < amount) {
+    return util::make_error(
+        util::ErrorCode::kResourceExhausted,
+        user + " has " + std::to_string(it->second) + " credits, needs " +
+            std::to_string(amount));
+  }
+  it->second -= amount;
+  history_.push_back({user, -amount, reason, at});
+  return util::Status::ok_status();
+}
+
+bool CreditLedger::can_afford(const std::string& user, double amount) const {
+  const auto it = balances_.find(user);
+  return it != balances_.end() && it->second >= amount;
+}
+
+std::vector<CreditTransaction> CreditLedger::history_of(
+    const std::string& user) const {
+  std::vector<CreditTransaction> out;
+  for (const auto& t : history_) {
+    if (t.account == user) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace blab::server

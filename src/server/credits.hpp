@@ -1,0 +1,59 @@
+// Credit system (§5).
+//
+// "Our vision is an open source and open access platform that users can join
+// by sharing resources. However, we anticipate potential access via a credit
+// system for experimenters lacking the resources for the initial setup."
+//
+// Members earn credits by hosting vantage points (their devices run other
+// people's jobs); experimenters spend credits per device-minute. The ledger
+// records every movement; the scheduler refuses to dispatch jobs whose owner
+// cannot cover the session.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.hpp"
+#include "util/time.hpp"
+
+namespace blab::server {
+
+struct CreditTransaction {
+  std::string account;
+  double amount = 0.0;  ///< positive = deposit, negative = charge
+  std::string reason;
+  util::TimePoint at;
+};
+
+class CreditLedger {
+ public:
+  util::Status open_account(const std::string& user, double initial = 0.0);
+  bool has_account(const std::string& user) const;
+  util::Result<double> balance(const std::string& user) const;
+
+  util::Status deposit(const std::string& user, double amount,
+                       const std::string& reason, util::TimePoint at);
+  /// Fails with kResourceExhausted when the balance cannot cover it.
+  util::Status charge(const std::string& user, double amount,
+                      const std::string& reason, util::TimePoint at);
+  bool can_afford(const std::string& user, double amount) const;
+
+  const std::vector<CreditTransaction>& history() const { return history_; }
+  std::vector<CreditTransaction> history_of(const std::string& user) const;
+
+ private:
+  std::unordered_map<std::string, double> balances_;
+  std::vector<CreditTransaction> history_;
+};
+
+/// Pricing for credit-gated scheduling.
+struct CreditPolicy {
+  double per_device_minute = 1.0;  ///< charged to the job owner
+  double host_share = 0.8;         ///< fraction paid out to the node's host
+  /// Credits granted to a member when one of their vantage points is
+  /// approved (the "join by sharing resources" incentive).
+  double hosting_bonus = 120.0;
+};
+
+}  // namespace blab::server

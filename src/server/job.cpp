@@ -1,0 +1,30 @@
+#include "server/job.hpp"
+
+namespace blab::server {
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kCreated: return "created";
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kSucceeded: return "succeeded";
+    case JobState::kFailed: return "failed";
+    case JobState::kAborted: return "aborted";
+  }
+  return "?";
+}
+
+void JobWorkspace::log(const std::string& line) { logs_.push_back(line); }
+
+void JobWorkspace::store_artifact(const std::string& name,
+                                  std::string content) {
+  artifacts_[name] = std::move(content);
+}
+
+void JobWorkspace::purge() {
+  logs_.clear();
+  artifacts_.clear();
+  purged_ = true;
+}
+
+}  // namespace blab::server

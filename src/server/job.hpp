@@ -1,0 +1,96 @@
+// Jobs: the unit of work experimenters deploy via the access server (§3.1).
+//
+// A job names its owner, target constraints (vantage point, device,
+// connectivity, network location) and a script. Scripts receive a JobContext
+// giving them the BatteryLab API at the assigned vantage point plus a
+// workspace for logs and artifacts ("logs from the power meter ... are made
+// available for several days within the job's workspace").
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/batterylab_api.hpp"
+#include "util/id.hpp"
+#include "util/result.hpp"
+#include "util/time.hpp"
+
+namespace blab::server {
+
+struct JobTag {};
+using JobId = util::Id<JobTag>;
+
+enum class JobState { kCreated, kQueued, kRunning, kSucceeded, kFailed,
+                      kAborted };
+
+const char* job_state_name(JobState state);
+
+enum class Connectivity { kAny, kWifi, kCellular };
+
+struct JobConstraints {
+  std::string node_label;        ///< required vantage point ("" = any)
+  std::string device_serial;     ///< required device ("" = any free device)
+  /// Maintenance jobs operating on the vantage point itself (certificates,
+  /// power-socket safety) need no device assignment.
+  bool needs_device = true;
+  std::string device_model;      ///< e.g. "Samsung J7 Duo" ("" = any)
+  Connectivity connectivity = Connectivity::kAny;
+  std::string network_location;  ///< VPN exit, e.g. "Japan" ("" = home)
+  /// Optional: only start when controller CPU is below this (0 disables).
+  double max_controller_cpu = 0.0;
+};
+
+class JobWorkspace {
+ public:
+  void log(const std::string& line);
+  void store_artifact(const std::string& name, std::string content);
+
+  const std::vector<std::string>& logs() const { return logs_; }
+  const std::map<std::string, std::string>& artifacts() const {
+    return artifacts_;
+  }
+  bool has_artifact(const std::string& name) const {
+    return artifacts_.contains(name);
+  }
+
+  /// Retention sweep (§3.1: logs live "for several days").
+  void purge();
+  bool purged() const { return purged_; }
+
+ private:
+  std::vector<std::string> logs_;
+  std::map<std::string, std::string> artifacts_;
+  bool purged_ = false;
+};
+
+struct JobContext {
+  api::BatteryLabApi* api = nullptr;  ///< the assigned vantage point's API
+  std::string node_label;
+  std::string device_serial;          ///< resolved device assignment
+  JobWorkspace* workspace = nullptr;
+  util::TimePoint deadline;           ///< timed session limit
+};
+
+using JobScript = std::function<util::Status(JobContext&)>;
+
+struct Job {
+  JobId id;
+  std::string owner;
+  std::string name;
+  JobConstraints constraints;
+  JobScript script;
+  JobState state = JobState::kCreated;
+  bool pipeline_approved = false;  ///< admin gate on pipeline changes
+  util::Duration max_duration = util::Duration::minutes(60);
+  JobWorkspace workspace;
+  std::string failure_reason;
+  util::TimePoint queued_at;
+  util::TimePoint started_at;
+  util::TimePoint finished_at;
+  bool overran = false;
+};
+
+}  // namespace blab::server

@@ -1,0 +1,81 @@
+#include "server/maintenance.hpp"
+
+#include "util/strings.hpp"
+
+namespace blab::server {
+
+Job make_cert_renewal_job(AccessServer& server) {
+  Job job;
+  job.name = "maintenance/cert-renewal";
+  job.constraints.needs_device = false;
+  job.script = [&server](JobContext& ctx) -> util::Status {
+    auto& certs = server.certs();
+    const auto now = server.simulator().now();
+    if (certs.needs_renewal(now)) {
+      const auto& cert = certs.issue(now);
+      ctx.workspace->log("issued certificate serial " +
+                         std::to_string(cert.serial));
+    } else {
+      ctx.workspace->log("certificate still fresh");
+    }
+    std::size_t deployed = 0;
+    for (const auto& label : server.registry().approved_labels()) {
+      if (!certs.node_current(label)) {
+        if (auto st = certs.deploy_to(label, now); !st.ok()) return st;
+        ctx.workspace->log("deployed to " + label);
+        ++deployed;
+      }
+    }
+    ctx.workspace->log("deployments: " + std::to_string(deployed));
+    return util::Status::ok_status();
+  };
+  return job;
+}
+
+Job make_monitor_safety_job() {
+  Job job;
+  job.name = "maintenance/monitor-safety";
+  job.constraints.needs_device = false;
+  job.script = [](JobContext& ctx) -> util::Status {
+    if (ctx.api->monitoring()) {
+      ctx.workspace->log("measurement in progress; leaving monitor on");
+      return util::Status::ok_status();
+    }
+    if (ctx.api->monitor_powered()) {
+      if (auto st = ctx.api->power_monitor(); !st.ok()) return st;
+      ctx.workspace->log("monitor was idle and powered; switched off");
+    } else {
+      ctx.workspace->log("monitor already off");
+    }
+    return util::Status::ok_status();
+  };
+  return job;
+}
+
+Job make_factory_reset_job() {
+  Job job;
+  job.name = "maintenance/factory-reset";
+  job.script = [](JobContext& ctx) -> util::Status {
+    auto packages =
+        ctx.api->execute_adb(ctx.device_serial, "pm list packages");
+    if (!packages.ok()) return packages.error();
+    int cleared = 0;
+    for (const auto& line : util::split(packages.value(), '\n')) {
+      if (!util::starts_with(line, "package:")) continue;
+      const std::string pkg{util::trim(line.substr(8))};
+      if (pkg.empty()) continue;
+      (void)ctx.api->execute_adb(ctx.device_serial, "am force-stop " + pkg);
+      if (ctx.api->execute_adb(ctx.device_serial, "pm clear " + pkg).ok()) {
+        ++cleared;
+      }
+    }
+    ctx.workspace->log("cleared " + std::to_string(cleared) + " packages");
+    auto alive = ctx.api->execute_adb(ctx.device_serial, "whoami");
+    if (!alive.ok()) return alive.error();
+    ctx.workspace->log("device responsive as '" + alive.value() + "'");
+    return util::Status::ok_status();
+  };
+  return job;
+}
+
+}  // namespace blab::server

@@ -1,0 +1,29 @@
+// Standing maintenance jobs (§3.1).
+//
+// "We have developed several jobs which manage the vantage points. These
+// jobs span from updating BatteryLab wildcard certificates, to ensure the
+// power meter is not active when not needed (for safety reasons), or to
+// factory reset a device."
+#pragma once
+
+#include <string>
+
+#include "server/access_server.hpp"
+#include "server/job.hpp"
+
+namespace blab::server {
+
+/// Renew the wildcard certificate when due and redeploy it to every approved
+/// vantage point. Targets no device; constraints pin it to `node_label` only
+/// so the scheduler has an assignment to run it under.
+Job make_cert_renewal_job(AccessServer& server);
+
+/// Safety: if no measurement is running, make sure the Monsoon's power
+/// socket is off.
+Job make_monitor_safety_job();
+
+/// Factory reset: force-stop and clear every installed package on the
+/// job's assigned device, then verify it responds over ADB.
+Job make_factory_reset_job();
+
+}  // namespace blab::server

@@ -1,0 +1,115 @@
+#include "server/registry.hpp"
+
+namespace blab::server {
+
+const char* node_state_name(NodeState state) {
+  switch (state) {
+    case NodeState::kPending: return "pending";
+    case NodeState::kApproved: return "approved";
+    case NodeState::kRetired: return "retired";
+  }
+  return "?";
+}
+
+VantagePointRegistry::VantagePointRegistry(net::DnsRegistry& dns)
+    : dns_{dns} {}
+
+util::Status VantagePointRegistry::register_node(const std::string& label,
+                                                 api::VantagePoint* vp,
+                                                 const std::string& owner) {
+  if (vp == nullptr) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "null vantage point");
+  }
+  if (nodes_.contains(label)) {
+    return util::make_error(util::ErrorCode::kAlreadyExists,
+                            label + " already registered");
+  }
+  NodeRecord record;
+  record.label = label;
+  record.controller_host = vp->controller_host();
+  record.host_owner = owner;
+  record.vantage_point = vp;
+  nodes_[label] = record;
+  return util::Status::ok_status();
+}
+
+util::Status VantagePointRegistry::mark_key_installed(
+    const std::string& label) {
+  const auto it = nodes_.find(label);
+  if (it == nodes_.end()) {
+    return util::make_error(util::ErrorCode::kNotFound, label + " unknown");
+  }
+  it->second.ssh_key_installed = true;
+  return util::Status::ok_status();
+}
+
+util::Status VantagePointRegistry::mark_ip_whitelisted(
+    const std::string& label) {
+  const auto it = nodes_.find(label);
+  if (it == nodes_.end()) {
+    return util::make_error(util::ErrorCode::kNotFound, label + " unknown");
+  }
+  it->second.ip_whitelisted = true;
+  return util::Status::ok_status();
+}
+
+util::Status VantagePointRegistry::approve(const std::string& label) {
+  const auto it = nodes_.find(label);
+  if (it == nodes_.end()) {
+    return util::make_error(util::ErrorCode::kNotFound, label + " unknown");
+  }
+  NodeRecord& node = it->second;
+  if (node.state == NodeState::kApproved) {
+    return util::make_error(util::ErrorCode::kAlreadyExists,
+                            label + " already approved");
+  }
+  if (!node.ssh_key_installed || !node.ip_whitelisted) {
+    return util::make_error(
+        util::ErrorCode::kFailedPrecondition,
+        label + " onboarding incomplete (key installed: " +
+            (node.ssh_key_installed ? "yes" : "no") +
+            ", IP whitelisted: " + (node.ip_whitelisted ? "yes" : "no") + ")");
+  }
+  if (auto st = dns_.register_node(label, node.controller_host); !st.ok()) {
+    return st;
+  }
+  node.state = NodeState::kApproved;
+  return util::Status::ok_status();
+}
+
+util::Status VantagePointRegistry::retire(const std::string& label) {
+  const auto it = nodes_.find(label);
+  if (it == nodes_.end()) {
+    return util::make_error(util::ErrorCode::kNotFound, label + " unknown");
+  }
+  if (it->second.state == NodeState::kApproved) {
+    (void)dns_.deregister_node(label);
+  }
+  it->second.state = NodeState::kRetired;
+  return util::Status::ok_status();
+}
+
+const NodeRecord* VantagePointRegistry::find(const std::string& label) const {
+  const auto it = nodes_.find(label);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+api::VantagePoint* VantagePointRegistry::vantage_point(
+    const std::string& label) {
+  const auto it = nodes_.find(label);
+  if (it == nodes_.end() || it->second.state != NodeState::kApproved) {
+    return nullptr;
+  }
+  return it->second.vantage_point;
+}
+
+std::vector<std::string> VantagePointRegistry::approved_labels() const {
+  std::vector<std::string> out;
+  for (const auto& [label, node] : nodes_) {
+    if (node.state == NodeState::kApproved) out.push_back(label);
+  }
+  return out;
+}
+
+}  // namespace blab::server

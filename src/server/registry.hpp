@@ -1,0 +1,59 @@
+// Vantage-point registry and onboarding (§3.4).
+//
+// Joining members follow the tutorial: the node gets a DNS label, the access
+// server's public key is installed on the controller, the node's IP is
+// whitelisted, and an administrator approves it. Only approved nodes are
+// schedulable.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/vantage_point.hpp"
+#include "net/dns.hpp"
+#include "util/result.hpp"
+
+namespace blab::server {
+
+enum class NodeState { kPending, kApproved, kRetired };
+
+const char* node_state_name(NodeState state);
+
+struct NodeRecord {
+  std::string label;            ///< DNS label, e.g. "node1"
+  std::string controller_host;  ///< network identity of the Pi
+  std::string host_owner;       ///< member account that contributed the node
+  NodeState state = NodeState::kPending;
+  bool ssh_key_installed = false;
+  bool ip_whitelisted = false;
+  api::VantagePoint* vantage_point = nullptr;  ///< non-owning
+};
+
+class VantagePointRegistry {
+ public:
+  explicit VantagePointRegistry(net::DnsRegistry& dns);
+
+  /// Step 1 of onboarding: announce the node (state: pending). `owner` is
+  /// the member account contributing the hardware (may be empty).
+  util::Status register_node(const std::string& label, api::VantagePoint* vp,
+                             const std::string& owner = {});
+  /// Step 2: mark the access server's pubkey installed on the controller.
+  util::Status mark_key_installed(const std::string& label);
+  /// Step 3: whitelist the controller's address for SSH.
+  util::Status mark_ip_whitelisted(const std::string& label);
+  /// Step 4: admin approval; registers DNS and makes the node schedulable.
+  util::Status approve(const std::string& label);
+  util::Status retire(const std::string& label);
+
+  const NodeRecord* find(const std::string& label) const;
+  api::VantagePoint* vantage_point(const std::string& label);
+  std::vector<std::string> approved_labels() const;
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  net::DnsRegistry& dns_;
+  std::unordered_map<std::string, NodeRecord> nodes_;
+};
+
+}  // namespace blab::server

@@ -1,0 +1,242 @@
+#include "server/scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace blab::server {
+
+Scheduler::Scheduler(sim::Simulator& sim, VantagePointRegistry& registry)
+    : sim_{sim}, registry_{registry} {}
+
+JobId Scheduler::submit(Job job) {
+  job.id = ids_.next();
+  job.state = JobState::kQueued;
+  job.queued_at = sim_.now();
+  const JobId id = job.id;
+  jobs_.push_back(std::make_unique<Job>(std::move(job)));
+  return id;
+}
+
+util::Status Scheduler::approve_pipeline(JobId id) {
+  Job* job = find(id);
+  if (job == nullptr) {
+    return util::make_error(util::ErrorCode::kNotFound, "unknown job");
+  }
+  job->pipeline_approved = true;
+  return util::Status::ok_status();
+}
+
+util::Status Scheduler::abort(JobId id) {
+  Job* job = find(id);
+  if (job == nullptr) {
+    return util::make_error(util::ErrorCode::kNotFound, "unknown job");
+  }
+  if (job->state != JobState::kQueued) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "only queued jobs can be aborted");
+  }
+  job->state = JobState::kAborted;
+  return util::Status::ok_status();
+}
+
+bool Scheduler::device_matches(api::VantagePoint& vp,
+                               const std::string& serial,
+                               const JobConstraints& constraints) const {
+  if (busy_devices_.contains(serial)) return false;
+  if (!constraints.device_serial.empty() &&
+      constraints.device_serial != serial) {
+    return false;
+  }
+  auto* dev = vp.find_device(serial);
+  if (dev == nullptr || !dev->powered_on()) return false;
+  if (!constraints.device_model.empty() &&
+      dev->spec().model != constraints.device_model) {
+    return false;
+  }
+  switch (constraints.connectivity) {
+    case Connectivity::kAny:
+      break;
+    case Connectivity::kWifi:
+      if (!dev->wifi().enabled()) return false;
+      break;
+    case Connectivity::kCellular:
+      if (!dev->cellular().enabled()) return false;
+      break;
+  }
+  return true;
+}
+
+std::optional<Scheduler::Assignment> Scheduler::match(
+    const JobConstraints& constraints) {
+  for (const auto& label : registry_.approved_labels()) {
+    if (!constraints.node_label.empty() && constraints.node_label != label) {
+      continue;
+    }
+    api::VantagePoint* vp = registry_.vantage_point(label);
+    if (vp == nullptr) continue;
+    if (!constraints.network_location.empty() && vpn_ == nullptr) continue;
+    if (constraints.max_controller_cpu > 0.0 &&
+        vp->controller().resources().cpu_utilization() >
+            constraints.max_controller_cpu) {
+      continue;
+    }
+    if (!constraints.needs_device) return Assignment{label, vp, ""};
+    for (const auto& serial : vp->controller().device_serials()) {
+      if (device_matches(*vp, serial, constraints)) {
+        return Assignment{label, vp, serial};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool Scheduler::owner_can_afford(const Job& job) const {
+  if (ledger_ == nullptr) return true;
+  const double worst_case =
+      job.max_duration.to_seconds() / 60.0 * policy_.per_device_minute;
+  return ledger_->can_afford(job.owner, worst_case);
+}
+
+void Scheduler::settle_credits(const Job& job, const Assignment& assignment) {
+  if (ledger_ == nullptr) return;
+  const double minutes = (job.finished_at - job.started_at).to_seconds() / 60.0;
+  const double cost = std::max(minutes, 1.0) * policy_.per_device_minute;
+  if (auto st = ledger_->charge(job.owner, cost,
+                                "device time on " + assignment.node_label +
+                                    "/" + assignment.device_serial,
+                                sim_.now());
+      !st.ok()) {
+    BLAB_WARN("scheduler", "credit settlement failed: " << st.error().str());
+    return;
+  }
+  const NodeRecord* node = registry_.find(assignment.node_label);
+  if (node != nullptr && !node->host_owner.empty() &&
+      ledger_->has_account(node->host_owner)) {
+    (void)ledger_->deposit(node->host_owner, cost * policy_.host_share,
+                           "hosting share for job " + job.id.str(),
+                           sim_.now());
+  }
+}
+
+std::size_t Scheduler::dispatch_pending() {
+  std::size_t dispatched = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto& job_ptr : jobs_) {
+      Job& job = *job_ptr;
+      if (job.state != JobState::kQueued || !job.pipeline_approved) continue;
+      if (!owner_can_afford(job)) continue;  // stays queued (§5)
+      auto assignment = match(job.constraints);
+      if (!assignment.has_value()) continue;
+      run_job(job, *assignment);
+      ++dispatched;
+      progress = true;
+    }
+  }
+  return dispatched;
+}
+
+void Scheduler::run_job(Job& job, const Assignment& assignment) {
+  job.state = JobState::kRunning;
+  job.started_at = sim_.now();
+  if (!assignment.device_serial.empty()) {
+    busy_devices_.insert(assignment.device_serial);
+  }
+  BLAB_INFO("scheduler", "job " << job.id.str() << " (" << job.name
+                                << ") starts on " << assignment.node_label
+                                << "/" << assignment.device_serial);
+
+  api::BatteryLabApi api{*assignment.vp};
+  auto* dev = assignment.vp->find_device(assignment.device_serial);
+
+  // Network-location constraint: tunnel the controller through the VPN exit
+  // for the duration of the job (§4.3).
+  const std::string& location = job.constraints.network_location;
+  bool vpn_connected = false;
+  if (!location.empty() && vpn_ != nullptr) {
+    const std::string client = assignment.vp->controller_host();
+    if (auto st = vpn_->connect(client, location); st.ok()) {
+      vpn_connected = true;
+      if (dev != nullptr) dev->set_network_region(location);
+    } else {
+      job.state = JobState::kFailed;
+      job.failure_reason = "vpn: " + st.error().str();
+      busy_devices_.erase(assignment.device_serial);
+      return;
+    }
+  }
+
+  JobContext ctx;
+  ctx.api = &api;
+  ctx.node_label = assignment.node_label;
+  ctx.device_serial = assignment.device_serial;
+  ctx.workspace = &job.workspace;
+  ctx.deadline = sim_.now() + job.max_duration;
+
+  util::Status result = job.script ? job.script(ctx)
+                                   : util::Status{util::make_error(
+                                         util::ErrorCode::kInvalidArgument,
+                                         "job has no script")};
+
+  // Safety net: a crashed script must not leave the Monsoon sampling.
+  if (api.monitoring()) (void)api.stop_monitor();
+
+  if (vpn_connected) {
+    (void)vpn_->disconnect(assignment.vp->controller_host());
+    if (dev != nullptr) dev->set_network_region("");
+  }
+
+  job.finished_at = sim_.now();
+  job.overran = job.finished_at > ctx.deadline;
+  if (result.ok()) {
+    job.state = JobState::kSucceeded;
+  } else {
+    job.state = JobState::kFailed;
+    job.failure_reason = result.error().str();
+  }
+  busy_devices_.erase(assignment.device_serial);
+  settle_credits(job, assignment);
+  BLAB_INFO("scheduler", "job " << job.id.str() << " "
+                                << job_state_name(job.state));
+}
+
+Job* Scheduler::find(JobId id) {
+  for (auto& j : jobs_) {
+    if (j->id == id) return j.get();
+  }
+  return nullptr;
+}
+
+const Job* Scheduler::find(JobId id) const {
+  for (const auto& j : jobs_) {
+    if (j->id == id) return j.get();
+  }
+  return nullptr;
+}
+
+std::size_t Scheduler::purge_workspaces(util::Duration ttl) {
+  std::size_t purged = 0;
+  for (auto& job : jobs_) {
+    const bool finished = job->state == JobState::kSucceeded ||
+                          job->state == JobState::kFailed ||
+                          job->state == JobState::kAborted;
+    if (!finished || job->workspace.purged()) continue;
+    if (sim_.now() - job->finished_at >= ttl) {
+      job->workspace.purge();
+      ++purged;
+    }
+  }
+  return purged;
+}
+
+std::vector<JobId> Scheduler::queued() const {
+  std::vector<JobId> out;
+  for (const auto& j : jobs_) {
+    if (j->state == JobState::kQueued) out.push_back(j->id);
+  }
+  return out;
+}
+
+}  // namespace blab::server

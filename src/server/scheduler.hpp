@@ -1,0 +1,87 @@
+// Job scheduler (§3.1).
+//
+// "The access server will then dispatch queued jobs based on experimenter
+// constraints, e.g., target device, connectivity, or network location, and
+// BatteryLab constraints, e.g., one job at the time per device."
+//
+// Jobs run to completion inside dispatch (scripts advance simulated time
+// themselves through the API); the busy-set still guards against double
+// booking for async/maintenance work and is property-tested.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "net/vpn.hpp"
+#include "server/credits.hpp"
+#include "server/job.hpp"
+#include "server/registry.hpp"
+#include "sim/simulator.hpp"
+
+namespace blab::server {
+
+class Scheduler {
+ public:
+  Scheduler(sim::Simulator& sim, VantagePointRegistry& registry);
+
+  /// Optional VPN provider used to satisfy network-location constraints.
+  void attach_vpn(net::VpnProvider* vpn) { vpn_ = vpn; }
+
+  /// Optional credit enforcement (§5): jobs only dispatch when the owner can
+  /// cover the worst-case session (max_duration at the per-minute rate);
+  /// actual usage is charged afterwards, with a share paid to the node host.
+  void attach_credits(CreditLedger* ledger, CreditPolicy policy) {
+    ledger_ = ledger;
+    policy_ = policy;
+  }
+  bool credits_enforced() const { return ledger_ != nullptr; }
+
+  /// Queue a job (must have an approved pipeline to ever dispatch).
+  JobId submit(Job job);
+  util::Status approve_pipeline(JobId id);
+  util::Status abort(JobId id);
+
+  /// Dispatch every queued job whose constraints are satisfiable right now;
+  /// returns the number of jobs run.
+  std::size_t dispatch_pending();
+
+  Job* find(JobId id);
+  const Job* find(JobId id) const;
+  std::vector<JobId> queued() const;
+  std::size_t job_count() const { return jobs_.size(); }
+
+  /// §3.1: power-meter logs live "for several days within the job's
+  /// workspace". Purge workspaces of jobs finished more than `ttl` ago;
+  /// returns how many were cleared. Job metadata survives.
+  std::size_t purge_workspaces(util::Duration ttl);
+  bool device_busy(const std::string& serial) const {
+    return busy_devices_.contains(serial);
+  }
+
+ private:
+  struct Assignment {
+    std::string node_label;
+    api::VantagePoint* vp = nullptr;
+    std::string device_serial;
+  };
+  /// Find a (node, device) satisfying the constraints, or nullopt.
+  std::optional<Assignment> match(const JobConstraints& constraints);
+  bool owner_can_afford(const Job& job) const;
+  void settle_credits(const Job& job, const Assignment& assignment);
+  bool device_matches(api::VantagePoint& vp, const std::string& serial,
+                      const JobConstraints& constraints) const;
+  void run_job(Job& job, const Assignment& assignment);
+
+  sim::Simulator& sim_;
+  VantagePointRegistry& registry_;
+  net::VpnProvider* vpn_ = nullptr;
+  CreditLedger* ledger_ = nullptr;
+  CreditPolicy policy_{};
+  util::IdAllocator<JobTag> ids_;
+  std::vector<std::unique_ptr<Job>> jobs_;
+  std::unordered_set<std::string> busy_devices_;
+};
+
+}  // namespace blab::server

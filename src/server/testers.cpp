@@ -1,0 +1,169 @@
+#include "server/testers.hpp"
+
+#include <cstdio>
+
+#include "util/rng.hpp"
+
+namespace blab::server {
+
+const char* tester_source_name(TesterSource source) {
+  switch (source) {
+    case TesterSource::kVolunteer: return "volunteer";
+    case TesterSource::kMTurk: return "mturk";
+    case TesterSource::kFigureEight: return "figure-eight";
+  }
+  return "?";
+}
+
+TesterPool::TesterPool(UserDirectory& users, CreditLedger* ledger)
+    : users_{users}, ledger_{ledger} {}
+
+util::Result<TaskId> TesterPool::post_task(
+    const std::string& experimenter, const std::string& node_label,
+    const std::string& device_serial, const std::string& instructions,
+    TesterSource source, double reward_credits, util::TimePoint now) {
+  const User* user = users_.find(experimenter);
+  if (user == nullptr || !user->enabled) {
+    return util::make_error(util::ErrorCode::kPermissionDenied,
+                            "unknown experimenter " + experimenter);
+  }
+  if (!users_.matrix().allows(user->role, Permission::kCreateJob)) {
+    return util::make_error(util::ErrorCode::kPermissionDenied,
+                            experimenter + " may not post tester tasks");
+  }
+  if (source != TesterSource::kVolunteer) {
+    if (ledger_ == nullptr) {
+      return util::make_error(util::ErrorCode::kFailedPrecondition,
+                              "paid recruitment requires the credit ledger");
+    }
+    if (reward_credits <= 0.0) {
+      return util::make_error(util::ErrorCode::kInvalidArgument,
+                              "paid tasks need a positive reward");
+    }
+    const double escrow = reward_credits * (1.0 + kRecruitmentFee);
+    if (auto st = ledger_->charge(experimenter, escrow,
+                                  "escrow task on " + device_serial, now);
+        !st.ok()) {
+      return st.error();
+    }
+  }
+
+  TesterTask task;
+  task.id = ids_.next();
+  task.experimenter = experimenter;
+  task.node_label = node_label;
+  task.device_serial = device_serial;
+  task.instructions = instructions;
+  task.source = source;
+  task.reward_credits =
+      source == TesterSource::kVolunteer ? 0.0 : reward_credits;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "invite-%016llx",
+                static_cast<unsigned long long>(
+                    util::fnv1a(experimenter + device_serial) ^
+                    ++token_counter_ * 0x9E3779B97F4A7C15ULL));
+  task.invite_token = buf;
+  invites_[task.invite_token] = task.id;
+  const TaskId id = task.id;
+  tasks_.push_back(std::move(task));
+  return id;
+}
+
+util::Result<const TesterTask*> TesterPool::claim(
+    const std::string& invite_token, const std::string& tester_name) {
+  const auto it = invites_.find(invite_token);
+  if (it == invites_.end()) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            "invalid or expired invite");
+  }
+  for (auto& task : tasks_) {
+    if (task.id != it->second) continue;
+    if (task.state != TaskState::kOpen) {
+      return util::make_error(util::ErrorCode::kFailedPrecondition,
+                              "task already " +
+                                  std::string{task.state == TaskState::kClaimed
+                                                  ? "claimed"
+                                                  : "closed"});
+    }
+    if (users_.find(tester_name) == nullptr) {
+      // New recruits get a tester account (interactive session only).
+      auto token = users_.register_user(tester_name, Role::kTester);
+      if (!token.ok()) return token.error();
+    }
+    task.state = TaskState::kClaimed;
+    task.tester = tester_name;
+    invites_.erase(it);  // invite links are one-time
+    return &task;
+  }
+  return util::make_error(util::ErrorCode::kNotFound, "task vanished");
+}
+
+util::Status TesterPool::complete(TaskId id, const std::string& experimenter,
+                                  util::TimePoint now) {
+  for (auto& task : tasks_) {
+    if (task.id != id) continue;
+    if (task.experimenter != experimenter) {
+      return util::make_error(util::ErrorCode::kPermissionDenied,
+                              "only the posting experimenter may sign off");
+    }
+    if (task.state != TaskState::kClaimed) {
+      return util::make_error(util::ErrorCode::kFailedPrecondition,
+                              "task is not in a claimed state");
+    }
+    task.state = TaskState::kCompleted;
+    if (task.reward_credits > 0.0 && ledger_ != nullptr) {
+      if (!ledger_->has_account(task.tester)) {
+        (void)ledger_->open_account(task.tester);
+      }
+      return ledger_->deposit(task.tester, task.reward_credits,
+                              "tester reward (" +
+                                  std::string{tester_source_name(
+                                      task.source)} +
+                                  ")",
+                              now);
+    }
+    return util::Status::ok_status();
+  }
+  return util::make_error(util::ErrorCode::kNotFound, "unknown task");
+}
+
+util::Status TesterPool::cancel(TaskId id, const std::string& experimenter,
+                                util::TimePoint now) {
+  for (auto& task : tasks_) {
+    if (task.id != id) continue;
+    if (task.experimenter != experimenter) {
+      return util::make_error(util::ErrorCode::kPermissionDenied,
+                              "only the posting experimenter may cancel");
+    }
+    if (task.state != TaskState::kOpen) {
+      return util::make_error(util::ErrorCode::kFailedPrecondition,
+                              "only open tasks can be cancelled");
+    }
+    task.state = TaskState::kCancelled;
+    invites_.erase(task.invite_token);
+    if (task.reward_credits > 0.0 && ledger_ != nullptr) {
+      return ledger_->deposit(
+          task.experimenter, task.reward_credits * (1.0 + kRecruitmentFee),
+          "escrow refund", now);
+    }
+    return util::Status::ok_status();
+  }
+  return util::make_error(util::ErrorCode::kNotFound, "unknown task");
+}
+
+const TesterTask* TesterPool::find(TaskId id) const {
+  for (const auto& task : tasks_) {
+    if (task.id == id) return &task;
+  }
+  return nullptr;
+}
+
+std::vector<TaskId> TesterPool::open_tasks() const {
+  std::vector<TaskId> out;
+  for (const auto& task : tasks_) {
+    if (task.state == TaskState::kOpen) out.push_back(task.id);
+  }
+  return out;
+}
+
+}  // namespace blab::server

@@ -1,0 +1,90 @@
+// Tester recruitment (§3, §5).
+//
+// "Once granted, remote control of the device can be shared with testers,
+// whose task is to manually interact with a device... Testers are either
+// volunteers, recruited via email or social media, or paid, recruited via
+// crowdsourcing websites like Mechanical Turk and Figure Eight."
+//
+// An experimenter posts a task against a device; the pool issues a one-time
+// invite link (the toolbar-less session page of §3.2). A recruited tester
+// claims it, interacts, and on the experimenter's approval is paid from the
+// escrowed reward (for crowdsourced recruits; volunteers are free).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "server/auth.hpp"
+#include "server/credits.hpp"
+#include "util/id.hpp"
+#include "util/time.hpp"
+
+namespace blab::server {
+
+enum class TesterSource { kVolunteer, kMTurk, kFigureEight };
+
+const char* tester_source_name(TesterSource source);
+
+enum class TaskState { kOpen, kClaimed, kCompleted, kCancelled };
+
+struct TesterTaskTag {};
+using TaskId = util::Id<TesterTaskTag>;
+
+struct TesterTask {
+  TaskId id;
+  std::string experimenter;
+  std::string node_label;
+  std::string device_serial;
+  std::string instructions;
+  TesterSource source = TesterSource::kVolunteer;
+  double reward_credits = 0.0;
+  std::string invite_token;  ///< one-time session link
+  TaskState state = TaskState::kOpen;
+  std::string tester;  ///< set on claim
+  bool toolbar_visible = false;  ///< §3.2: usually hidden for testers
+};
+
+class TesterPool {
+ public:
+  /// `ledger` may be null: then only volunteer tasks can be posted.
+  TesterPool(UserDirectory& users, CreditLedger* ledger);
+
+  /// Post a task. Paid sources escrow the reward from the experimenter up
+  /// front (plus the platform's recruitment fee).
+  util::Result<TaskId> post_task(const std::string& experimenter,
+                                 const std::string& node_label,
+                                 const std::string& device_serial,
+                                 const std::string& instructions,
+                                 TesterSource source, double reward_credits,
+                                 util::TimePoint now);
+
+  /// A recruited person claims the invite; they get a tester account if they
+  /// do not have one yet. Returns the task.
+  util::Result<const TesterTask*> claim(const std::string& invite_token,
+                                        const std::string& tester_name);
+
+  /// Experimenter signs off; the tester is paid from escrow.
+  util::Status complete(TaskId id, const std::string& experimenter,
+                        util::TimePoint now);
+  /// Cancel an open task and refund the escrow.
+  util::Status cancel(TaskId id, const std::string& experimenter,
+                      util::TimePoint now);
+
+  const TesterTask* find(TaskId id) const;
+  std::vector<TaskId> open_tasks() const;
+  std::size_t task_count() const { return tasks_.size(); }
+
+  /// Crowdsourcing platform fee on top of the reward (MTurk-style ~20%).
+  static constexpr double kRecruitmentFee = 0.20;
+
+ private:
+  UserDirectory& users_;
+  CreditLedger* ledger_;
+  util::IdAllocator<TesterTaskTag> ids_;
+  std::vector<TesterTask> tasks_;
+  std::unordered_map<std::string, TaskId> invites_;
+  std::uint64_t token_counter_ = 0;
+};
+
+}  // namespace blab::server

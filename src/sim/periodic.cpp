@@ -1,0 +1,44 @@
+#include "sim/periodic.hpp"
+
+#include <cassert>
+
+namespace blab::sim {
+
+PeriodicTask::PeriodicTask(Simulator& sim, Duration period, Tick tick)
+    : sim_{sim}, period_{period}, tick_{std::move(tick)} {
+  assert(period_ > Duration::zero());
+}
+
+PeriodicTask::~PeriodicTask() { stop(); }
+
+void PeriodicTask::start() { start_after(period_); }
+
+void PeriodicTask::start_after(Duration initial_delay) {
+  if (running_) return;
+  running_ = true;
+  arm(initial_delay);
+}
+
+void PeriodicTask::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (pending_ != kInvalidEvent) {
+    sim_.cancel(pending_);
+    pending_ = kInvalidEvent;
+  }
+}
+
+void PeriodicTask::arm(Duration delay) {
+  pending_ = sim_.schedule_after(delay, [this] { fire(); }, "periodic");
+}
+
+void PeriodicTask::fire() {
+  pending_ = kInvalidEvent;
+  if (!running_) return;
+  ++ticks_;
+  tick_();
+  // The tick may have stopped the task; only re-arm if still running.
+  if (running_) arm(period_);
+}
+
+}  // namespace blab::sim

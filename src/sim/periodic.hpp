@@ -1,0 +1,45 @@
+// Periodic task helper on top of the simulator.
+//
+// Used by pollers (Monsoon readout, CPU sampling, speedtest probes). The task
+// re-arms itself after each tick until stopped; stopping from inside the tick
+// callback is allowed.
+#pragma once
+
+#include <functional>
+
+#include "sim/simulator.hpp"
+
+namespace blab::sim {
+
+class PeriodicTask {
+ public:
+  using Tick = std::function<void()>;
+
+  PeriodicTask(Simulator& sim, Duration period, Tick tick);
+  ~PeriodicTask();
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  /// Arm the task; first tick fires one period from now (or `initial_delay`).
+  void start();
+  void start_after(Duration initial_delay);
+  void stop();
+  bool running() const { return running_; }
+
+  Duration period() const { return period_; }
+  void set_period(Duration period) { period_ = period; }
+  std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  void arm(Duration delay);
+  void fire();
+
+  Simulator& sim_;
+  Duration period_;
+  Tick tick_;
+  EventId pending_ = kInvalidEvent;
+  bool running_ = false;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace blab::sim

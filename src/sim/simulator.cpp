@@ -1,0 +1,83 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace blab::sim {
+
+EventId Simulator::schedule_at(TimePoint t, Callback cb, std::string label) {
+  if (t < now_) t = now_;
+  const EventId id = next_id_++;
+  live_.insert(id);
+  queue_.push(Event{t, next_seq_++, id, std::move(cb), std::move(label)});
+  return id;
+}
+
+EventId Simulator::schedule_after(Duration d, Callback cb, std::string label) {
+  if (d.is_negative()) d = Duration::zero();
+  return schedule_at(now_ + d, std::move(cb), std::move(label));
+}
+
+bool Simulator::cancel(EventId id) {
+  // Lazy cancellation: remove from the live set; the queue entry is dropped
+  // when it reaches the top. Returns false for fired/unknown ids.
+  return live_.erase(id) > 0;
+}
+
+bool Simulator::is_pending(EventId id) const { return live_.contains(id); }
+
+bool Simulator::pop_next(Event& out) {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (auto it = live_.find(ev.id); it != live_.end()) {
+      live_.erase(it);
+      out = std::move(ev);
+      return true;
+    }
+    // Cancelled event: skip.
+  }
+  return false;
+}
+
+bool Simulator::step() {
+  Event ev;
+  if (!pop_next(ev)) return false;
+  assert(ev.at >= now_);
+  now_ = ev.at;
+  ++executed_;
+  ev.cb();
+  return true;
+}
+
+std::size_t Simulator::run_until(TimePoint t) {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    Event ev;
+    if (!pop_next(ev)) break;
+    if (ev.at > t) {
+      // Not due yet: reinstate and stop.
+      live_.insert(ev.id);
+      queue_.push(std::move(ev));
+      break;
+    }
+    now_ = ev.at;
+    ++executed_;
+    ++n;
+    ev.cb();
+  }
+  if (t > now_) now_ = t;
+  return n;
+}
+
+std::size_t Simulator::run_all(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  if (n >= max_events) {
+    throw std::runtime_error{
+        "Simulator::run_all exceeded max_events — runaway periodic task?"};
+  }
+  return n;
+}
+
+}  // namespace blab::sim

@@ -1,0 +1,81 @@
+// Discrete-event simulation kernel.
+//
+// Every BatteryLab component (network links, power monitor, controller
+// services, scheduler) is driven by one Simulator instance. Events execute in
+// timestamp order; ties break by scheduling order so runs are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace blab::sim {
+
+using util::Duration;
+using util::TimePoint;
+
+/// Handle for a scheduled event; usable to cancel it before it fires.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `t` (must be >= now).
+  EventId schedule_at(TimePoint t, Callback cb, std::string label = {});
+  /// Schedule `cb` after delay `d` from now (negative delays clamp to now).
+  EventId schedule_after(Duration d, Callback cb, std::string label = {});
+  /// Cancel a pending event; returns false if it already fired or is unknown.
+  bool cancel(EventId id);
+  bool is_pending(EventId id) const;
+
+  /// Execute the next event, if any; returns false when the queue is empty.
+  bool step();
+  /// Run events with timestamp <= t, then advance the clock to exactly t.
+  /// Returns the number of events executed.
+  std::size_t run_until(TimePoint t);
+  std::size_t run_for(Duration d) { return run_until(now_ + d); }
+  /// Drain the whole queue (use with care: periodic tasks never drain).
+  std::size_t run_all(std::size_t max_events = 100'000'000);
+
+  std::size_t pending_events() const { return live_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t seq;
+    EventId id;
+    Callback cb;
+    std::string label;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_next(Event& out);
+
+  TimePoint now_ = TimePoint::epoch();
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> live_;
+  std::uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace blab::sim

@@ -1,0 +1,52 @@
+// Strongly-typed integer identifiers.
+//
+// Each subsystem declares its own tag (DeviceId, JobId, ...) so that ids from
+// different namespaces cannot be accidentally interchanged.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <functional>
+#include <string>
+
+namespace blab::util {
+
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint64_t v) : value_{v} {}
+
+  constexpr std::uint64_t value() const { return value_; }
+  constexpr bool valid() const { return value_ != kInvalid; }
+  static constexpr Id invalid() { return Id{}; }
+
+  constexpr auto operator<=>(const Id&) const = default;
+
+  std::string str() const { return std::to_string(value_); }
+
+ private:
+  static constexpr std::uint64_t kInvalid = 0;
+  std::uint64_t value_ = kInvalid;
+};
+
+/// Monotonic id allocator; ids start at 1 so the default Id{} is never issued.
+template <typename Tag>
+class IdAllocator {
+ public:
+  Id<Tag> next() { return Id<Tag>{next_++}; }
+
+ private:
+  std::uint64_t next_ = 1;
+};
+
+}  // namespace blab::util
+
+namespace std {
+template <typename Tag>
+struct hash<blab::util::Id<Tag>> {
+  size_t operator()(const blab::util::Id<Tag>& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};
+}  // namespace std

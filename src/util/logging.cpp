@@ -1,0 +1,62 @@
+#include "util/logging.hpp"
+
+#include <iostream>
+#include <vector>
+
+namespace blab::util {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, std::string_view component, std::string_view msg) {
+    std::cerr << "[" << log_level_name(level) << "] " << component << ": "
+              << msg << "\n";
+  };
+}
+
+Logger& Logger::global() {
+  static Logger logger;
+  return logger;
+}
+
+LogSink Logger::set_sink(LogSink sink) {
+  std::swap(sink_, sink);
+  return sink;
+}
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string_view msg) {
+  if (enabled(level) && sink_) sink_(level, component, msg);
+}
+
+LogCapture::LogCapture() : previous_level_{Logger::global().level()} {
+  Logger::global().set_level(LogLevel::kDebug);
+  previous_ = Logger::global().set_sink(
+      [this](LogLevel level, std::string_view component, std::string_view msg) {
+        lines_.push_back(std::string{log_level_name(level)} + " " +
+                         std::string{component} + ": " + std::string{msg});
+      });
+}
+
+LogCapture::~LogCapture() {
+  Logger::global().set_sink(previous_);
+  Logger::global().set_level(previous_level_);
+}
+
+bool LogCapture::contains(std::string_view needle) const {
+  for (const auto& line : lines_) {
+    if (line.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace blab::util

@@ -1,0 +1,77 @@
+// Minimal structured logging.
+//
+// The platform components (access server, controller, monitor) log through a
+// global sink that tests can capture and benches can silence.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace blab::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+const char* log_level_name(LogLevel level);
+
+/// Sink receives (level, component, message).
+using LogSink =
+    std::function<void(LogLevel, std::string_view, std::string_view)>;
+
+class Logger {
+ public:
+  static Logger& global();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  /// Replace the sink (default writes to stderr). Returns the previous sink.
+  LogSink set_sink(LogSink sink);
+
+  void log(LogLevel level, std::string_view component, std::string_view msg);
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  LogSink sink_;
+};
+
+/// Scoped capture of log lines, for tests.
+class LogCapture {
+ public:
+  LogCapture();
+  ~LogCapture();
+  LogCapture(const LogCapture&) = delete;
+  LogCapture& operator=(const LogCapture&) = delete;
+
+  const std::vector<std::string>& lines() const { return lines_; }
+  bool contains(std::string_view needle) const;
+
+ private:
+  std::vector<std::string> lines_;
+  LogSink previous_;
+  LogLevel previous_level_;
+};
+
+}  // namespace blab::util
+
+#define BLAB_LOG(level, component, expr)                                   \
+  do {                                                                     \
+    if (::blab::util::Logger::global().enabled(level)) {                   \
+      std::ostringstream blab_log_oss_;                                    \
+      blab_log_oss_ << expr;                                               \
+      ::blab::util::Logger::global().log(level, component,                 \
+                                         blab_log_oss_.str());             \
+    }                                                                      \
+  } while (0)
+
+#define BLAB_DEBUG(component, expr) \
+  BLAB_LOG(::blab::util::LogLevel::kDebug, component, expr)
+#define BLAB_INFO(component, expr) \
+  BLAB_LOG(::blab::util::LogLevel::kInfo, component, expr)
+#define BLAB_WARN(component, expr) \
+  BLAB_LOG(::blab::util::LogLevel::kWarn, component, expr)
+#define BLAB_ERROR(component, expr) \
+  BLAB_LOG(::blab::util::LogLevel::kError, component, expr)

@@ -1,0 +1,118 @@
+// Lightweight Result<T> for recoverable errors.
+//
+// BatteryLab platform operations (scheduling, authorization, device control)
+// fail for ordinary reasons — unauthorized user, busy device, disconnected
+// vantage point. Those are modeled as values, not exceptions; exceptions are
+// reserved for programming errors.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace blab::util {
+
+/// Error category for platform operations.
+enum class ErrorCode {
+  kUnknown,
+  kInvalidArgument,
+  kNotFound,
+  kPermissionDenied,
+  kUnavailable,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kTimeout,
+  kResourceExhausted,
+  kUnsupported,
+};
+
+const char* error_code_name(ErrorCode code);
+
+struct Error {
+  ErrorCode code = ErrorCode::kUnknown;
+  std::string message;
+
+  std::string str() const {
+    return std::string{error_code_name(code)} + ": " + message;
+  }
+};
+
+inline const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kUnknown: return "UNKNOWN";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case ErrorCode::kTimeout: return "TIMEOUT";
+    case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kUnsupported: return "UNSUPPORTED";
+  }
+  return "?";
+}
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_{std::move(value)} {}  // NOLINT: implicit by design
+  Result(Error error) : error_{std::move(error)} {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& take() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  const T* operator->() const { return &value(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  std::optional<Error> error_;
+};
+
+/// Result specialization for operations without a payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_{std::move(error)} {}  // NOLINT
+
+  static Status ok_status() { return Status{}; }
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+  std::string str() const { return ok() ? "OK" : error().str(); }
+
+ private:
+  std::optional<Error> error_;
+};
+
+inline Error make_error(ErrorCode code, std::string message) {
+  return Error{code, std::move(message)};
+}
+
+}  // namespace blab::util

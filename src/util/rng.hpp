@@ -1,0 +1,58 @@
+// Deterministic random number generation.
+//
+// Every experiment in the repo takes an explicit seed; all stochastic behaviour
+// (power-draw jitter, network jitter, page-content variation) flows through a
+// Rng instance so runs are exactly reproducible. The generator is
+// xoshiro256++, seeded via SplitMix64.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace blab::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Derive an independent child stream, e.g. one per device or per service,
+  /// so adding consumers does not perturb other consumers' draws.
+  Rng fork(std::string_view label);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal via Box-Muller (cached pair).
+  double normal();
+  double normal(double mean, double stddev);
+  /// Log-normal with given *linear-space* median and sigma of underlying normal.
+  double lognormal_median(double median, double sigma);
+  /// Exponential with given mean.
+  double exponential(double mean);
+  /// Bernoulli trial.
+  bool chance(double p);
+  /// Pick an index in [0, weights.size()) proportionally to weights.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return items[static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(items.size()) - 1))];
+  }
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// Stable 64-bit FNV-1a hash, used for fork labels and content hashing.
+std::uint64_t fnv1a(std::string_view data);
+
+}  // namespace blab::util

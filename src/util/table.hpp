@@ -1,0 +1,45 @@
+// Text tables and CSV output for benchmark harnesses.
+//
+// Every bench binary prints the same rows/series the paper reports, using
+// TextTable for the console and CsvWriter for machine-readable output.
+#pragma once
+
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace blab::util {
+
+/// Column-aligned console table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Render with a header separator and column padding.
+  void print(std::ostream& os) const;
+  std::string str() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Simple RFC-4180-ish CSV writer (quotes fields containing separators).
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+
+  bool ok() const { return static_cast<bool>(out_); }
+  void write_row(const std::vector<std::string>& fields);
+
+ private:
+  std::ofstream out_;
+};
+
+std::string csv_escape(const std::string& field);
+
+}  // namespace blab::util

@@ -1,0 +1,96 @@
+// Simulated-time types shared by every BatteryLab module.
+//
+// All simulation timestamps are integral microseconds since simulation start.
+// A strong type (rather than a bare int64_t) keeps durations and instants from
+// being mixed up and gives us checked arithmetic helpers.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace blab::util {
+
+/// A duration in simulated time, microsecond resolution.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration micros(std::int64_t us) { return Duration{us}; }
+  static constexpr Duration millis(std::int64_t ms) { return Duration{ms * 1000}; }
+  static constexpr Duration seconds(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e6)};
+  }
+  static constexpr Duration minutes(double m) { return seconds(m * 60.0); }
+  static constexpr Duration zero() { return Duration{0}; }
+  static constexpr Duration max() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t us() const { return us_; }
+  constexpr double to_millis() const { return static_cast<double>(us_) / 1e3; }
+  constexpr double to_seconds() const { return static_cast<double>(us_) / 1e6; }
+
+  constexpr bool is_zero() const { return us_ == 0; }
+  constexpr bool is_negative() const { return us_ < 0; }
+
+  constexpr Duration operator+(Duration o) const { return Duration{us_ + o.us_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{us_ - o.us_}; }
+  constexpr Duration operator*(double k) const {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(us_) * k)};
+  }
+  constexpr Duration operator/(double k) const {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(us_) / k)};
+  }
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(us_) / static_cast<double>(o.us_);
+  }
+  constexpr Duration& operator+=(Duration o) {
+    us_ += o.us_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration o) {
+    us_ -= o.us_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+ private:
+  constexpr explicit Duration(std::int64_t us) : us_{us} {}
+  std::int64_t us_ = 0;
+};
+
+/// An absolute instant in simulated time (microseconds since epoch 0).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  static constexpr TimePoint from_micros(std::int64_t us) { return TimePoint{us}; }
+  static constexpr TimePoint epoch() { return TimePoint{0}; }
+  static constexpr TimePoint max() {
+    return TimePoint{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t us() const { return us_; }
+  constexpr double to_seconds() const { return static_cast<double>(us_) / 1e6; }
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint{us_ + d.us()}; }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint{us_ - d.us()}; }
+  constexpr Duration operator-(TimePoint o) const {
+    return Duration::micros(us_ - o.us_);
+  }
+  constexpr TimePoint& operator+=(Duration d) {
+    us_ += d.us();
+    return *this;
+  }
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+ private:
+  constexpr explicit TimePoint(std::int64_t us) : us_{us} {}
+  std::int64_t us_ = 0;
+};
+
+/// Human-readable rendering, e.g. "3.250s" or "125ms".
+std::string to_string(Duration d);
+std::string to_string(TimePoint t);
+
+}  // namespace blab::util

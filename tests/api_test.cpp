@@ -1,0 +1,252 @@
+// Unit tests for the vantage point and the Table-1 BatteryLab API.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "api/batterylab_api.hpp"
+#include "api/vantage_point.hpp"
+#include "device/android.hpp"
+#include "device/video_player.hpp"
+
+namespace blab::api {
+namespace {
+
+using util::Duration;
+
+class ApiFixture : public ::testing::Test {
+ protected:
+  ApiFixture() : net{sim, 123} {
+    net.add_host("internet");
+    net.add_link("web", "internet",
+                 net::LinkSpec::symmetric(Duration::millis(4), 900.0));
+    vp = std::make_unique<VantagePoint>(sim, net);
+    net.add_link(vp->controller_host(), "internet",
+                 net::LinkSpec::symmetric(Duration::millis(6), 200.0));
+    device::DeviceSpec spec;
+    spec.serial = "J7DUO-1";
+    auto added = vp->add_device(spec);
+    EXPECT_TRUE(added.ok());
+    dev = added.value();
+    api = std::make_unique<BatteryLabApi>(*vp);
+  }
+
+  sim::Simulator sim;
+  net::Network net;
+  std::unique_ptr<VantagePoint> vp;
+  device::AndroidDevice* dev = nullptr;
+  std::unique_ptr<BatteryLabApi> api;
+};
+
+// ------------------------------------------------------- vantage point ----
+
+TEST_F(ApiFixture, AddDeviceWiresEverything) {
+  EXPECT_TRUE(dev->powered_on());
+  EXPECT_EQ(vp->usb_hub().find_port(dev->host()), 0);
+  EXPECT_TRUE(vp->access_point().is_associated(dev->host()));
+  EXPECT_EQ(vp->relay_channel_of("J7DUO-1").value(), 0);
+  EXPECT_EQ(vp->controller().device_count(), 1u);
+  EXPECT_GT(dev->usb_charge_ma(), 0.0) << "USB charges the idle device";
+  // Duplicate serial rejected.
+  device::DeviceSpec dup;
+  dup.serial = "J7DUO-1";
+  EXPECT_FALSE(vp->add_device(dup).ok());
+}
+
+TEST_F(ApiFixture, RelayChannelsExhaust) {
+  for (int i = 2; i <= 4; ++i) {
+    device::DeviceSpec spec;
+    spec.serial = "DEV" + std::to_string(i);
+    EXPECT_TRUE(vp->add_device(spec).ok()) << i;
+  }
+  device::DeviceSpec fifth;
+  fifth.serial = "DEV5";
+  const auto r = vp->add_device(fifth);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, util::ErrorCode::kResourceExhausted);
+}
+
+TEST_F(ApiFixture, SwitchToBypassWithoutMonitorBrownsOut) {
+  const auto st = vp->switch_power("J7DUO-1", hw::RelayPosition::kBypass);
+  EXPECT_FALSE(st.ok());
+  EXPECT_FALSE(dev->powered_on()) << "no supply on the bypass rail";
+  // Recovery: back to battery and reboot.
+  ASSERT_TRUE(vp->switch_power("J7DUO-1", hw::RelayPosition::kBattery).ok());
+  dev->power_on();
+  EXPECT_TRUE(dev->powered_on());
+}
+
+// ------------------------------------------------------------- table 1 ----
+
+TEST_F(ApiFixture, ListDevices) {
+  EXPECT_EQ(api->list_devices(), std::vector<std::string>{"J7DUO-1"});
+}
+
+TEST_F(ApiFixture, PowerMonitorToggles) {
+  EXPECT_FALSE(api->monitor_powered());
+  ASSERT_TRUE(api->power_monitor().ok());
+  EXPECT_TRUE(api->monitor_powered());
+  ASSERT_TRUE(api->power_monitor().ok());
+  EXPECT_FALSE(api->monitor_powered());
+}
+
+TEST_F(ApiFixture, SetVoltageNeedsPower) {
+  EXPECT_FALSE(api->set_voltage(3.85).ok());
+  ASSERT_TRUE(api->power_monitor().ok());
+  EXPECT_TRUE(api->set_voltage(3.85).ok());
+  EXPECT_FALSE(api->set_voltage(99.0).ok());
+}
+
+TEST_F(ApiFixture, StartStopMonitorLifecycle) {
+  ASSERT_TRUE(api->power_monitor().ok());
+  ASSERT_TRUE(api->set_voltage(3.85).ok());
+  ASSERT_TRUE(api->start_monitor("J7DUO-1").ok());
+  EXPECT_TRUE(api->monitoring());
+  // USB was cut for hygiene.
+  EXPECT_EQ(vp->usb_hub().charge_current_ma(dev->host()), 0.0);
+  EXPECT_EQ(dev->power_source(), device::PowerSource::kMonitorBypass);
+  // One at a time.
+  EXPECT_FALSE(api->start_monitor("J7DUO-1").ok());
+
+  sim.run_for(Duration::seconds(10));
+  auto capture = api->stop_monitor();
+  ASSERT_TRUE(capture.ok());
+  EXPECT_NEAR(capture.value().duration().to_seconds(), 10.0, 0.1);
+  EXPECT_GT(capture.value().mean_current_ma(), 50.0);
+  // Everything restored.
+  EXPECT_FALSE(api->monitoring());
+  EXPECT_GT(vp->usb_hub().charge_current_ma(dev->host()), 0.0);
+  EXPECT_EQ(dev->power_source(), device::PowerSource::kBattery);
+  EXPECT_FALSE(api->stop_monitor().ok()) << "nothing to stop";
+}
+
+TEST_F(ApiFixture, StartMonitorUnknownDevice) {
+  EXPECT_FALSE(api->start_monitor("GHOST").ok());
+}
+
+TEST_F(ApiFixture, StartMonitorWithoutMonitorPowerRestoresState) {
+  const auto st = api->start_monitor("J7DUO-1");
+  EXPECT_FALSE(st.ok());
+  EXPECT_FALSE(api->monitoring());
+  // Device must be back on battery + USB restored after the failed attempt.
+  EXPECT_GT(vp->usb_hub().charge_current_ma(dev->host()), 0.0);
+}
+
+TEST_F(ApiFixture, AutoStopAfterDuration) {
+  ASSERT_TRUE(api->power_monitor().ok());
+  ASSERT_TRUE(api->set_voltage(3.85).ok());
+  ASSERT_TRUE(api->start_monitor("J7DUO-1", Duration::seconds(5)).ok());
+  sim.run_for(Duration::seconds(6));
+  EXPECT_FALSE(api->monitoring()) << "auto-stop fired";
+  EXPECT_FALSE(vp->monitor().capturing());
+}
+
+TEST_F(ApiFixture, RunMonitorMeasuresVideoPlayback) {
+  auto player = std::make_unique<device::VideoPlayerApp>(*dev);
+  device::VideoPlayerApp* p = player.get();
+  ASSERT_TRUE(dev->os().install(std::move(player)).ok());
+  ASSERT_TRUE(dev->os().start_activity(p->package()).ok());
+  ASSERT_TRUE(p->play("/sdcard/video.mp4").ok());
+  ASSERT_TRUE(api->power_monitor().ok());
+  ASSERT_TRUE(api->set_voltage(3.85).ok());
+  auto capture = api->run_monitor("J7DUO-1", Duration::seconds(30));
+  ASSERT_TRUE(capture.ok());
+  // Fig. 2 anchor: local video playback draws ~160 mA median.
+  EXPECT_NEAR(capture.value().current_cdf(25).median(), 165.0, 20.0);
+}
+
+TEST_F(ApiFixture, BattSwitchTogglesRelay) {
+  ASSERT_TRUE(api->power_monitor().ok());
+  ASSERT_TRUE(api->set_voltage(3.85).ok());
+  ASSERT_TRUE(api->batt_switch("J7DUO-1").ok());
+  sim.run_for(Duration::millis(50));
+  EXPECT_EQ(vp->relay().position(0).value(), hw::RelayPosition::kBypass);
+  ASSERT_TRUE(api->batt_switch("J7DUO-1").ok());
+  sim.run_for(Duration::millis(50));
+  EXPECT_EQ(vp->relay().position(0).value(), hw::RelayPosition::kBattery);
+}
+
+TEST_F(ApiFixture, ExecuteAdbPrefersUsbThenWifi) {
+  auto out = api->execute_adb("J7DUO-1", "whoami");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), "shell");
+  // During a measurement USB is off; the API must fall back to WiFi.
+  ASSERT_TRUE(api->power_monitor().ok());
+  ASSERT_TRUE(api->set_voltage(3.85).ok());
+  ASSERT_TRUE(api->start_monitor("J7DUO-1").ok());
+  auto during = api->execute_adb("J7DUO-1", "dumpsys battery");
+  ASSERT_TRUE(during.ok());
+  EXPECT_NE(during.value().find("bypass"), std::string::npos)
+      << "dumpsys sees the bypass power source";
+  (void)api->stop_monitor();
+}
+
+TEST_F(ApiFixture, DeviceMirroringApi) {
+  EXPECT_FALSE(api->mirroring_active("J7DUO-1"));
+  ASSERT_TRUE(api->device_mirroring("J7DUO-1").ok());
+  EXPECT_TRUE(api->mirroring_active("J7DUO-1"));
+  EXPECT_FALSE(api->device_mirroring("J7DUO-1", true).ok())
+      << "already mirroring";
+  ASSERT_TRUE(api->device_mirroring("J7DUO-1", false).ok());
+  EXPECT_FALSE(api->mirroring_active("J7DUO-1"));
+  EXPECT_FALSE(api->device_mirroring("GHOST").ok());
+}
+
+TEST_F(ApiFixture, MeasurementSeesMirroringOverhead) {
+  ASSERT_TRUE(api->power_monitor().ok());
+  ASSERT_TRUE(api->set_voltage(3.85).ok());
+  auto plain = api->run_monitor("J7DUO-1", Duration::seconds(10));
+  ASSERT_TRUE(plain.ok());
+
+  ASSERT_TRUE(api->device_mirroring("J7DUO-1").ok());
+  auto mirrored = api->run_monitor("J7DUO-1", Duration::seconds(10));
+  ASSERT_TRUE(mirrored.ok());
+  ASSERT_TRUE(api->device_mirroring("J7DUO-1", false).ok());
+
+  EXPECT_GT(mirrored.value().mean_current_ma(),
+            plain.value().mean_current_ma() + 20.0)
+      << "scrcpy + encoder + radio cost must be visible";
+}
+
+// ---------------------------------------------------------------- rest ----
+
+TEST_F(ApiFixture, RestEndpointsMirrorTableOne) {
+  api->bind_rest_endpoints();
+  auto& rest = vp->rest();
+  for (const char* endpoint :
+       {"list_devices", "device_mirroring", "power_monitor", "set_voltage",
+        "start_monitor", "stop_monitor", "batt_switch", "execute_adb"}) {
+    EXPECT_TRUE(rest.has_endpoint(endpoint)) << endpoint;
+  }
+
+  auto devices = rest.call("list_devices", "");
+  ASSERT_TRUE(devices.ok());
+  EXPECT_EQ(devices.value(), "J7DUO-1");
+
+  EXPECT_TRUE(rest.call("power_monitor", "").ok());
+  EXPECT_TRUE(rest.call("set_voltage", "voltage_val=3.85").ok());
+  EXPECT_FALSE(rest.call("set_voltage", "").ok()) << "missing parameter";
+  EXPECT_TRUE(rest.call("start_monitor", "device_id=J7DUO-1").ok());
+  sim.run_for(Duration::seconds(2));
+  auto stopped = rest.call("stop_monitor", "");
+  ASSERT_TRUE(stopped.ok());
+  EXPECT_NE(stopped.value().find("samples="), std::string::npos);
+  EXPECT_NE(stopped.value().find("mean_ma="), std::string::npos);
+
+  auto adb = rest.call("execute_adb", "device_id=J7DUO-1&command=whoami");
+  ASSERT_TRUE(adb.ok());
+  EXPECT_EQ(adb.value(), "shell");
+  EXPECT_FALSE(rest.call("execute_adb", "device_id=J7DUO-1").ok());
+}
+
+TEST_F(ApiFixture, RestMonitorWithDuration) {
+  api->bind_rest_endpoints();
+  ASSERT_TRUE(vp->rest().call("power_monitor", "").ok());
+  ASSERT_TRUE(vp->rest().call("set_voltage", "voltage_val=3.85").ok());
+  ASSERT_TRUE(
+      vp->rest().call("start_monitor", "device_id=J7DUO-1&duration=3").ok());
+  sim.run_for(Duration::seconds(4));
+  EXPECT_FALSE(api->monitoring()) << "duration parameter auto-stops";
+}
+
+}  // namespace
+}  // namespace blab::api

@@ -1,0 +1,289 @@
+// Unit tests for automation channels (ADB / UI-test / BT keyboard), the
+// script runner, and the §4.2 browser workload driver.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "automation/browser_workload.hpp"
+#include "automation/bt_hid.hpp"
+#include "automation/channels.hpp"
+#include "automation/script.hpp"
+#include "device/android.hpp"
+#include "device/browser.hpp"
+
+namespace blab::automation {
+namespace {
+
+using util::Duration;
+
+class AutomationFixture : public ::testing::Test {
+ protected:
+  AutomationFixture() : net{sim, 55} {
+    net.add_host("internet");
+    net.add_link("web", "internet",
+                 net::LinkSpec::symmetric(Duration::millis(4), 900.0));
+    vp = std::make_unique<api::VantagePoint>(sim, net);
+    net.add_link(vp->controller_host(), "internet",
+                 net::LinkSpec::symmetric(Duration::millis(6), 200.0));
+    device::DeviceSpec spec;
+    spec.serial = "J7DUO-1";
+    auto added = vp->add_device(spec);
+    EXPECT_TRUE(added.ok());
+    dev = added.value();
+    api = std::make_unique<api::BatteryLabApi>(*vp);
+  }
+
+  device::Browser* install_browser(const device::BrowserProfile& profile) {
+    auto browser = std::make_unique<device::Browser>(*dev, profile);
+    device::Browser* ptr = browser.get();
+    EXPECT_TRUE(dev->os().install(std::move(browser)).ok());
+    return ptr;
+  }
+
+  sim::Simulator sim;
+  net::Network net;
+  std::unique_ptr<api::VantagePoint> vp;
+  device::AndroidDevice* dev = nullptr;
+  std::unique_ptr<api::BatteryLabApi> api;
+};
+
+// ------------------------------------------------------------ channels ----
+
+TEST_F(AutomationFixture, AdbChannelDrivesDevice) {
+  device::Browser* b = install_browser(device::BrowserProfile::brave());
+  AdbChannel channel{*api, "J7DUO-1"};
+  ASSERT_TRUE(channel.launch_app(b->package()).ok());
+  EXPECT_TRUE(b->running());
+  ASSERT_TRUE(channel.tap(540, 1700).ok());
+  ASSERT_TRUE(channel.tap(540, 1700).ok());
+  EXPECT_TRUE(b->first_run_complete());
+  ASSERT_TRUE(channel.text("news-a.example").ok());
+  ASSERT_TRUE(channel.key(device::kKeycodeEnter).ok());
+  EXPECT_TRUE(b->page_loading());
+  ASSERT_TRUE(channel.stop_app(b->package()).ok());
+  EXPECT_FALSE(b->running());
+  EXPECT_TRUE(channel.supports_app_management());
+}
+
+TEST_F(AutomationFixture, UiTestChannelNeedsNoNetwork) {
+  device::Browser* b = install_browser(device::BrowserProfile::edge());
+  UiTestChannel channel{*dev};
+  const auto tx_before = net.stats(vp->controller_host()).msgs_tx;
+  ASSERT_TRUE(channel.launch_app(b->package()).ok());
+  ASSERT_TRUE(channel.tap(1, 1).ok());
+  ASSERT_TRUE(channel.tap(1, 1).ok());
+  ASSERT_TRUE(channel.swipe(-500).ok());
+  EXPECT_EQ(net.stats(vp->controller_host()).msgs_tx, tx_before)
+      << "instrumented builds need no channel to the Pi (§3.3)";
+}
+
+TEST_F(AutomationFixture, BtKeyboardRequiresHidPairing) {
+  BtHidService hid{*dev};
+  BtKeyboardChannel channel{net, vp->controller().bluetooth(), *dev};
+  EXPECT_FALSE(channel.ready().ok()) << "not paired yet";
+  net::BluetoothAdapter dev_bt{net, dev->host()};
+  ASSERT_TRUE(
+      vp->controller().bluetooth().pair(dev_bt, net::BtProfile::kHid).ok());
+  EXPECT_TRUE(channel.ready().ok());
+}
+
+TEST_F(AutomationFixture, BtKeyboardInjectsOverRadio) {
+  device::Browser* b = install_browser(device::BrowserProfile::brave());
+  BtHidService hid{*dev};
+  net::BluetoothAdapter dev_bt{net, dev->host()};
+  ASSERT_TRUE(
+      vp->controller().bluetooth().pair(dev_bt, net::BtProfile::kHid).ok());
+  BtKeyboardChannel channel{net, vp->controller().bluetooth(), *dev};
+
+  ASSERT_TRUE(channel.launch_app(b->package()).ok());
+  sim.run_for(Duration::millis(200));
+  EXPECT_TRUE(b->running());
+  ASSERT_TRUE(channel.tap(0, 0).ok());
+  ASSERT_TRUE(channel.tap(0, 0).ok());
+  sim.run_for(Duration::millis(200));
+  EXPECT_TRUE(b->first_run_complete());
+  ASSERT_TRUE(channel.text("news-b.example").ok());
+  ASSERT_TRUE(channel.key(device::kKeycodeEnter).ok());
+  sim.run_for(Duration::seconds(8));
+  EXPECT_EQ(b->pages_loaded(), 1u);
+  EXPECT_GT(hid.events_injected(), 3u);
+}
+
+TEST_F(AutomationFixture, BtKeyboardCannotManageAppState) {
+  BtKeyboardChannel channel{net, vp->controller().bluetooth(), *dev};
+  EXPECT_FALSE(channel.supports_app_management());
+  const auto st = channel.clear_app("com.foo");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, util::ErrorCode::kUnsupported);
+  EXPECT_FALSE(channel.stop_app("com.foo").ok());
+}
+
+// -------------------------------------------------------------- script ----
+
+TEST_F(AutomationFixture, ScriptBuilderAccumulatesSteps) {
+  Script s;
+  s.launch("com.foo")
+      .then(Duration::millis(500))
+      .type("url")
+      .press_enter()
+      .then(Duration::seconds(6))
+      .swipe(-600)
+      .wait(Duration::seconds(1))
+      .stop("com.foo");
+  EXPECT_EQ(s.size(), 6u);
+  EXPECT_EQ(s.steps()[0].delay_after, Duration::millis(500));
+  EXPECT_EQ(s.steps()[2].a, device::kKeycodeEnter);
+}
+
+TEST_F(AutomationFixture, ScriptRunnerAdvancesSimTime) {
+  device::Browser* b = install_browser(device::BrowserProfile::brave());
+  AdbChannel channel{*api, "J7DUO-1"};
+  Script s;
+  s.launch(b->package())
+      .then(Duration::millis(500))
+      .tap(0, 0)
+      .tap(0, 0)
+      .type("news-a.example")
+      .press_enter()
+      .then(Duration::seconds(6));
+  const auto t0 = sim.now();
+  auto stats = run_script(sim, channel, s);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().steps_executed, 5u);
+  EXPECT_EQ(stats.value().steps_failed, 0u);
+  EXPECT_GE((sim.now() - t0).to_seconds(), 6.5);
+  EXPECT_EQ(b->pages_loaded(), 1u);
+}
+
+TEST_F(AutomationFixture, ScriptStopsOnErrorByDefault) {
+  AdbChannel channel{*api, "J7DUO-1"};
+  Script s;
+  s.launch("com.not.installed").wait(Duration::seconds(1));
+  auto stats = run_script(sim, channel, s);
+  EXPECT_FALSE(stats.ok());
+}
+
+TEST_F(AutomationFixture, ScriptContinuesWhenAskedTo) {
+  AdbChannel channel{*api, "J7DUO-1"};
+  Script s;
+  s.launch("com.not.installed").wait(Duration::millis(10));
+  auto stats = run_script(sim, channel, s, /*stop_on_error=*/false);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().steps_failed, 1u);
+  EXPECT_EQ(stats.value().steps_executed, 2u);
+}
+
+// ---------------------------------------------------- browser workload ----
+
+TEST_F(AutomationFixture, PageScriptShape) {
+  BrowserWorkloadOptions options;
+  options.scrolls_per_page = 4;
+  const Script s = build_browser_page_script("news-a.example", options);
+  // type + enter + 4 swipes.
+  EXPECT_EQ(s.size(), 6u);
+  EXPECT_EQ(s.steps()[1].delay_after, options.page_wait);
+}
+
+TEST_F(AutomationFixture, WorkloadProducesCaptureAndStats) {
+  BrowserWorkloadOptions options;
+  options.pages = 2;
+  options.scrolls_per_page = 2;
+  auto run = run_browser_energy_test(*api, "J7DUO-1",
+                                     device::BrowserProfile::brave(), options);
+  ASSERT_TRUE(run.ok()) << run.error().str();
+  const auto& r = run.value();
+  EXPECT_EQ(r.browser, "Brave");
+  EXPECT_EQ(r.pages_loaded, 2u);
+  EXPECT_GT(r.capture.sample_count(), 50'000u);
+  EXPECT_GT(r.mean_current_ma, 100.0);
+  EXPECT_LT(r.mean_current_ma, 500.0);
+  EXPECT_GT(r.discharge_mah, 0.0);
+  EXPECT_GT(r.bytes_fetched, 2u * 1024 * 1024);
+  EXPECT_GT(r.device_cpu.count(), 50u);
+  EXPECT_GT(r.controller_cpu.count(), 50u);
+  // Monitor restored to idle state afterwards.
+  EXPECT_FALSE(vp->monitor().capturing());
+  EXPECT_FALSE(api->monitoring());
+}
+
+TEST_F(AutomationFixture, WorkloadMirroringCostsEnergyAndCpu) {
+  BrowserWorkloadOptions base;
+  base.pages = 2;
+  base.scrolls_per_page = 2;
+  auto plain = run_browser_energy_test(
+      *api, "J7DUO-1", device::BrowserProfile::chrome(), base);
+  ASSERT_TRUE(plain.ok()) << plain.error().str();
+
+  BrowserWorkloadOptions mirrored = base;
+  mirrored.mirroring = true;
+  auto with_mirror = run_browser_energy_test(
+      *api, "J7DUO-1", device::BrowserProfile::chrome(), mirrored);
+  ASSERT_TRUE(with_mirror.ok()) << with_mirror.error().str();
+
+  EXPECT_GT(with_mirror.value().mean_current_ma,
+            plain.value().mean_current_ma + 20.0);
+  // §4.2: mirroring adds ~5% device CPU.
+  EXPECT_NEAR(with_mirror.value().device_cpu.median() -
+                  plain.value().device_cpu.median(),
+              0.05, 0.035);
+  // Controller load rises a lot (§4.2: ~25% -> ~75% median).
+  EXPECT_GT(with_mirror.value().controller_cpu.median(),
+            plain.value().controller_cpu.median() + 0.25);
+  EXPECT_FALSE(api->mirroring_active("J7DUO-1")) << "session closed after run";
+}
+
+TEST_F(AutomationFixture, WorkloadUnknownDeviceFails) {
+  auto run = run_browser_energy_test(*api, "GHOST",
+                                     device::BrowserProfile::brave(), {});
+  EXPECT_FALSE(run.ok());
+}
+
+TEST_F(AutomationFixture, SampleTimelineCdfCountsPeriods) {
+  hw::Timeline tl;
+  tl.set(util::TimePoint::epoch(), 0.25);
+  const auto cdf = sample_timeline_cdf(
+      tl, util::TimePoint::epoch(),
+      util::TimePoint::epoch() + Duration::seconds(10),
+      Duration::millis(100));
+  EXPECT_EQ(cdf.count(), 100u);
+  EXPECT_DOUBLE_EQ(cdf.median(), 0.25);
+}
+
+// Property sweep: every browser profile completes the workload and the
+// capture duration follows pages * (wait + scrolls * gap) within slack.
+class WorkloadSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WorkloadSweep, AllBrowsersComplete) {
+  sim::Simulator sim;
+  net::Network net{sim, 77};
+  net.add_host("internet");
+  net.add_link("web", "internet",
+               net::LinkSpec::symmetric(Duration::millis(4), 900.0));
+  api::VantagePoint vp{sim, net};
+  net.add_link(vp.controller_host(), "internet",
+               net::LinkSpec::symmetric(Duration::millis(6), 200.0));
+  device::DeviceSpec spec;
+  spec.serial = "SWEEP";
+  ASSERT_TRUE(vp.add_device(spec).ok());
+  api::BatteryLabApi api{vp};
+
+  BrowserWorkloadOptions options;
+  options.pages = 2;
+  options.scrolls_per_page = 3;
+  const auto* profile = device::BrowserProfile::find(GetParam());
+  ASSERT_NE(profile, nullptr);
+  auto run = run_browser_energy_test(api, "SWEEP", *profile, options);
+  ASSERT_TRUE(run.ok()) << run.error().str();
+  const double expected_s =
+      2.0 * (0.5 + options.page_wait.to_seconds() +
+             3.0 * options.scroll_gap.to_seconds());
+  EXPECT_NEAR(run.value().elapsed.to_seconds(), expected_s, 3.0);
+  EXPECT_EQ(run.value().pages_loaded, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Browsers, WorkloadSweep,
+                         ::testing::Values("Chrome", "Firefox", "Edge",
+                                           "Brave"));
+
+}  // namespace
+}  // namespace blab::automation

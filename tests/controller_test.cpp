@@ -1,0 +1,220 @@
+// Unit tests for the Raspberry Pi controller: resource model, Monsoon
+// poller service, device registry, REST backend.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "controller/controller.hpp"
+#include "controller/monsoon_poller.hpp"
+#include "controller/rest_backend.hpp"
+#include "hw/power_monitor.hpp"
+#include "util/stats.hpp"
+
+namespace blab::controller {
+namespace {
+
+using util::Duration;
+
+// ----------------------------------------------------------- resources ----
+
+class ResourcesTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+  ResourceModel res{sim, util::Rng{9}};
+};
+
+TEST_F(ResourcesTest, BaseLoadOnly) {
+  EXPECT_NEAR(res.cpu_utilization(), res.spec().base_cpu, 1e-9);
+  EXPECT_NEAR(res.ram_used_mb(), res.spec().base_ram_mb, 1e-9);
+}
+
+TEST_F(ResourcesTest, StaticServiceAddsLoad) {
+  ServiceDemand svc;
+  svc.cpu = 0.24;
+  svc.ram_mb = 18.0;
+  res.register_service("poller", svc);
+  EXPECT_NEAR(res.cpu_utilization(), res.spec().base_cpu + 0.24, 1e-9);
+  EXPECT_NEAR(res.ram_used_mb(), res.spec().base_ram_mb + 18.0, 1e-9);
+  res.unregister_service("poller");
+  EXPECT_FALSE(res.has_service("poller"));
+  EXPECT_NEAR(res.cpu_utilization(), res.spec().base_cpu, 1e-9);
+}
+
+TEST_F(ResourcesTest, DynamicServiceFollowsCallback) {
+  double knob = 0.1;
+  ServiceDemand svc;
+  svc.dynamic_cpu = [&knob] { return knob; };
+  res.register_service("dyn", svc);
+  EXPECT_NEAR(res.cpu_utilization(), res.spec().base_cpu + 0.1, 1e-9);
+  knob = 0.6;
+  EXPECT_NEAR(res.cpu_utilization(), res.spec().base_cpu + 0.6, 1e-9);
+}
+
+TEST_F(ResourcesTest, CpuClampsAtFullSaturation) {
+  ServiceDemand heavy;
+  heavy.cpu = 0.9;
+  res.register_service("a", heavy);
+  res.register_service("b", heavy);
+  EXPECT_DOUBLE_EQ(res.cpu_utilization(), 1.0);
+}
+
+TEST_F(ResourcesTest, JitterSpreadsSamples) {
+  ServiceDemand svc;
+  svc.cpu = 0.5;
+  svc.cpu_jitter = 0.1;
+  res.register_service("jittery", svc);
+  util::RunningStats stats;
+  for (int i = 0; i < 2000; ++i) stats.add(res.cpu_utilization());
+  EXPECT_NEAR(stats.mean(), 0.52, 0.01);
+  EXPECT_GT(stats.stddev(), 0.02);
+}
+
+TEST_F(ResourcesTest, SamplingBuildsTimeline) {
+  ServiceDemand svc;
+  svc.cpu = 0.3;
+  res.register_service("svc", svc);
+  res.start_sampling(Duration::millis(100));
+  sim.run_for(Duration::seconds(5));
+  res.stop_sampling();
+  const auto& tl = res.cpu_timeline();
+  EXPECT_GE(tl.breakpoints(), 1u);
+  EXPECT_NEAR(tl.at(sim.now()), 0.32, 0.01);
+}
+
+// -------------------------------------------------------------- poller ----
+
+TEST(MonsoonPollerTest, RegistersLoadWhileActive) {
+  sim::Simulator sim;
+  ResourceModel res{sim, util::Rng{1}};
+  hw::PowerMonitor monitor{sim, util::Rng{2}};
+  // A trivial constant load on the monitor's channel.
+  class Dummy : public hw::Load {
+   public:
+    double current_ma(util::TimePoint) const override { return 100.0; }
+    std::vector<std::pair<util::TimePoint, double>> current_segments(
+        util::TimePoint t0, util::TimePoint) const override {
+      return {{t0, 100.0}};
+    }
+  } load;
+  monitor.set_mains(true);
+  ASSERT_TRUE(monitor.set_voltage(3.85).ok());
+  monitor.connect_load(&load);
+
+  MonsoonPoller poller{res, monitor};
+  EXPECT_FALSE(poller.stop().ok()) << "not started";
+  ASSERT_TRUE(poller.start().ok());
+  EXPECT_FALSE(poller.start().ok()) << "double start";
+  // §4.2: Monsoon polling costs ~25% Pi CPU.
+  EXPECT_NEAR(res.cpu_utilization(), 0.26, 0.04);
+  sim.run_for(Duration::seconds(2));
+  auto capture = poller.stop();
+  ASSERT_TRUE(capture.ok());
+  EXPECT_EQ(capture.value().sample_count(), 10000u);
+  EXPECT_NEAR(res.cpu_utilization(), res.spec().base_cpu, 1e-9)
+      << "polling load released";
+}
+
+// ---------------------------------------------------------- controller ----
+
+TEST(ControllerTest, DeviceRegistry) {
+  sim::Simulator sim;
+  net::Network net{sim};
+  Controller ctrl{sim, net, "ctrl.node1", 7};
+  device::DeviceSpec spec;
+  spec.serial = "X1";
+  device::AndroidDevice dev{sim, net, "dev.X1", spec, 1};
+  ASSERT_TRUE(ctrl.register_device(&dev).ok());
+  EXPECT_FALSE(ctrl.register_device(&dev).ok()) << "duplicate serial";
+  EXPECT_FALSE(ctrl.register_device(nullptr).ok());
+  EXPECT_EQ(ctrl.device_count(), 1u);
+  EXPECT_EQ(ctrl.find_device("X1"), &dev);
+  EXPECT_EQ(ctrl.find_device_by_host("dev.X1"), &dev);
+  EXPECT_EQ(ctrl.find_device("nope"), nullptr);
+  ASSERT_TRUE(ctrl.deregister_device("X1").ok());
+  EXPECT_FALSE(ctrl.deregister_device("X1").ok());
+}
+
+TEST(ControllerTest, OwnsSshServerOnPort2222) {
+  sim::Simulator sim;
+  net::Network net{sim};
+  Controller ctrl{sim, net, "ctrl.node1", 7};
+  EXPECT_EQ(ctrl.ssh_server().address().port, net::kSshPort);
+  EXPECT_EQ(ctrl.ssh_server().address().host, "ctrl.node1");
+}
+
+// ---------------------------------------------------------------- rest ----
+
+class RestTest : public ::testing::Test {
+ protected:
+  RestTest() : net{sim, 4}, rest{net, "ctrl.node1"} {
+    rest.register_endpoint("echo", [](const std::string& q) {
+      return util::Result<std::string>{"echo:" + q};
+    });
+    rest.register_endpoint("fail", [](const std::string&) {
+      return util::Result<std::string>{util::make_error(
+          util::ErrorCode::kInvalidArgument, "bad request")};
+    });
+  }
+  sim::Simulator sim;
+  net::Network net;
+  RestBackend rest;
+};
+
+TEST_F(RestTest, InProcessCall) {
+  auto r = rest.call("echo", "a=1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "echo:a=1");
+  EXPECT_FALSE(rest.call("missing", "").ok());
+  EXPECT_FALSE(rest.call("fail", "").ok());
+  // "missing" never reached a handler; "echo" and "fail" did.
+  EXPECT_EQ(rest.requests_served(), 2u);
+}
+
+TEST_F(RestTest, EndpointListing) {
+  EXPECT_TRUE(rest.has_endpoint("echo"));
+  EXPECT_FALSE(rest.has_endpoint("nope"));
+  EXPECT_EQ(rest.endpoints().size(), 2u);
+}
+
+TEST_F(RestTest, NetworkAjaxRoundTrip) {
+  net.add_link("browser", "ctrl.node1",
+               net::LinkSpec::symmetric(Duration::millis(2), 50.0));
+  std::string reply;
+  net.listen({"browser", 9100},
+             [&](const net::Message& m) { reply = m.payload; });
+  net::Message call;
+  call.src = {"browser", 9100};
+  call.dst = rest.address();
+  call.tag = "rest.call";
+  call.payload = "echo?device_id=J7";
+  ASSERT_TRUE(net.send(std::move(call)).ok());
+  sim.run_for(Duration::seconds(1));
+  EXPECT_EQ(reply, "200\x1f" "echo:device_id=J7");
+}
+
+TEST_F(RestTest, NetworkErrorsGet400) {
+  net.add_link("browser", "ctrl.node1",
+               net::LinkSpec::symmetric(Duration::millis(2), 50.0));
+  std::string reply;
+  net.listen({"browser", 9100},
+             [&](const net::Message& m) { reply = m.payload; });
+  net::Message call;
+  call.src = {"browser", 9100};
+  call.dst = rest.address();
+  call.tag = "rest.call";
+  call.payload = "fail?x=1";
+  ASSERT_TRUE(net.send(std::move(call)).ok());
+  sim.run_for(Duration::seconds(1));
+  EXPECT_EQ(reply.substr(0, 3), "400");
+}
+
+TEST(ParseQueryTest, SplitsPairs) {
+  const auto q = parse_query("device_id=J7&duration=300&flag");
+  EXPECT_EQ(q.at("device_id"), "J7");
+  EXPECT_EQ(q.at("duration"), "300");
+  EXPECT_EQ(q.at("flag"), "");
+  EXPECT_TRUE(parse_query("").empty());
+}
+
+}  // namespace
+}  // namespace blab::controller

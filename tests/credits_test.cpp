@@ -1,0 +1,262 @@
+// Tests for the credit system and tester recruitment (§3, §5).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "server/access_server.hpp"
+#include "server/credits.hpp"
+#include "server/testers.hpp"
+
+namespace blab::server {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+// -------------------------------------------------------------- ledger ----
+
+TEST(CreditLedgerTest, OpenDepositChargeBalance) {
+  CreditLedger ledger;
+  ASSERT_TRUE(ledger.open_account("alice", 10.0).ok());
+  EXPECT_FALSE(ledger.open_account("alice").ok());
+  EXPECT_FALSE(ledger.open_account("").ok());
+  EXPECT_DOUBLE_EQ(ledger.balance("alice").value(), 10.0);
+  ASSERT_TRUE(ledger.deposit("alice", 5.0, "gift", TimePoint::epoch()).ok());
+  ASSERT_TRUE(ledger.charge("alice", 12.0, "usage", TimePoint::epoch()).ok());
+  EXPECT_DOUBLE_EQ(ledger.balance("alice").value(), 3.0);
+  EXPECT_EQ(ledger.history_of("alice").size(), 2u);
+}
+
+TEST(CreditLedgerTest, OverdraftRefused) {
+  CreditLedger ledger;
+  ASSERT_TRUE(ledger.open_account("bob", 5.0).ok());
+  const auto st = ledger.charge("bob", 6.0, "too much", TimePoint::epoch());
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, util::ErrorCode::kResourceExhausted);
+  EXPECT_DOUBLE_EQ(ledger.balance("bob").value(), 5.0) << "charge atomic";
+  EXPECT_TRUE(ledger.can_afford("bob", 5.0));
+  EXPECT_FALSE(ledger.can_afford("bob", 5.01));
+}
+
+TEST(CreditLedgerTest, UnknownAccountsRejected) {
+  CreditLedger ledger;
+  EXPECT_FALSE(ledger.balance("ghost").ok());
+  EXPECT_FALSE(ledger.deposit("ghost", 1.0, "x", TimePoint::epoch()).ok());
+  EXPECT_FALSE(ledger.charge("ghost", 1.0, "x", TimePoint::epoch()).ok());
+  EXPECT_FALSE(ledger.can_afford("ghost", 0.0));
+}
+
+TEST(CreditLedgerTest, NegativeAmountsRejected) {
+  CreditLedger ledger;
+  ASSERT_TRUE(ledger.open_account("alice").ok());
+  EXPECT_FALSE(ledger.deposit("alice", -1.0, "x", TimePoint::epoch()).ok());
+  EXPECT_FALSE(ledger.charge("alice", -1.0, "x", TimePoint::epoch()).ok());
+}
+
+// --------------------------------------------------------- tester pool ----
+
+class TesterPoolTest : public ::testing::Test {
+ protected:
+  TesterPoolTest() : pool{users, &ledger} {
+    (void)users.register_user("alice", Role::kExperimenter);
+    (void)ledger.open_account("alice", 100.0);
+  }
+  UserDirectory users;
+  CreditLedger ledger;
+  TesterPool pool;
+  TimePoint now = TimePoint::epoch();
+};
+
+TEST_F(TesterPoolTest, VolunteerTaskIsFree) {
+  auto id = pool.post_task("alice", "node1", "J7DUO-1",
+                           "search for three items", TesterSource::kVolunteer,
+                           0.0, now);
+  ASSERT_TRUE(id.ok());
+  EXPECT_DOUBLE_EQ(ledger.balance("alice").value(), 100.0);
+  const TesterTask* task = pool.find(id.value());
+  ASSERT_NE(task, nullptr);
+  EXPECT_EQ(task->state, TaskState::kOpen);
+  EXPECT_FALSE(task->toolbar_visible) << "toolbar hidden for testers (§3.2)";
+  EXPECT_FALSE(task->invite_token.empty());
+}
+
+TEST_F(TesterPoolTest, PaidTaskEscrowsRewardPlusFee) {
+  auto id = pool.post_task("alice", "node1", "J7DUO-1", "shop around",
+                           TesterSource::kMTurk, 10.0, now);
+  ASSERT_TRUE(id.ok());
+  EXPECT_DOUBLE_EQ(ledger.balance("alice").value(), 100.0 - 12.0);
+}
+
+TEST_F(TesterPoolTest, PaidTaskNeedsFunds) {
+  auto id = pool.post_task("alice", "node1", "J7DUO-1", "expensive",
+                           TesterSource::kFigureEight, 1000.0, now);
+  ASSERT_FALSE(id.ok());
+  EXPECT_EQ(id.error().code, util::ErrorCode::kResourceExhausted);
+  EXPECT_DOUBLE_EQ(ledger.balance("alice").value(), 100.0);
+}
+
+TEST_F(TesterPoolTest, ClaimCreatesTesterAccountAndBurnsInvite) {
+  auto id = pool.post_task("alice", "node1", "J7DUO-1", "scroll a lot",
+                           TesterSource::kMTurk, 10.0, now);
+  ASSERT_TRUE(id.ok());
+  const std::string invite = pool.find(id.value())->invite_token;
+
+  auto claimed = pool.claim(invite, "turker-417");
+  ASSERT_TRUE(claimed.ok());
+  EXPECT_EQ(claimed.value()->state, TaskState::kClaimed);
+  const User* tester = users.find("turker-417");
+  ASSERT_NE(tester, nullptr);
+  EXPECT_EQ(tester->role, Role::kTester);
+  // One-time link: a second claim fails.
+  EXPECT_FALSE(pool.claim(invite, "freeloader").ok());
+  EXPECT_FALSE(pool.claim("invite-bogus", "nobody").ok());
+}
+
+TEST_F(TesterPoolTest, CompletionPaysTheTester) {
+  auto id = pool.post_task("alice", "node1", "J7DUO-1", "watch a video",
+                           TesterSource::kFigureEight, 20.0, now);
+  ASSERT_TRUE(id.ok());
+  auto claimed = pool.claim(pool.find(id.value())->invite_token, "annotator");
+  ASSERT_TRUE(claimed.ok());
+  // Only the poster can sign off.
+  EXPECT_FALSE(pool.complete(id.value(), "mallory", now).ok());
+  ASSERT_TRUE(pool.complete(id.value(), "alice", now).ok());
+  EXPECT_DOUBLE_EQ(ledger.balance("annotator").value(), 20.0);
+  EXPECT_EQ(pool.find(id.value())->state, TaskState::kCompleted);
+  EXPECT_FALSE(pool.complete(id.value(), "alice", now).ok())
+      << "double completion";
+}
+
+TEST_F(TesterPoolTest, CancelRefundsEscrow) {
+  auto id = pool.post_task("alice", "node1", "J7DUO-1", "never mind",
+                           TesterSource::kMTurk, 10.0, now);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(pool.cancel(id.value(), "alice", now).ok());
+  EXPECT_DOUBLE_EQ(ledger.balance("alice").value(), 100.0);
+  EXPECT_FALSE(pool.claim(pool.find(id.value())->invite_token, "x").ok());
+  EXPECT_FALSE(pool.cancel(id.value(), "alice", now).ok());
+}
+
+TEST_F(TesterPoolTest, TestersCannotPostTasks) {
+  (void)users.register_user("tess", Role::kTester);
+  auto id = pool.post_task("tess", "node1", "J7DUO-1", "recursive testers",
+                           TesterSource::kVolunteer, 0.0, now);
+  ASSERT_FALSE(id.ok());
+  EXPECT_EQ(id.error().code, util::ErrorCode::kPermissionDenied);
+}
+
+TEST_F(TesterPoolTest, OpenTaskListing) {
+  EXPECT_TRUE(pool.open_tasks().empty());
+  auto a = pool.post_task("alice", "node1", "J7DUO-1", "a",
+                          TesterSource::kVolunteer, 0.0, now);
+  auto b = pool.post_task("alice", "node1", "J7DUO-1", "b",
+                          TesterSource::kVolunteer, 0.0, now);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(pool.open_tasks().size(), 2u);
+  (void)pool.claim(pool.find(a.value())->invite_token, "t1");
+  EXPECT_EQ(pool.open_tasks().size(), 1u);
+}
+
+// --------------------------------------- credit-gated scheduling (§5) ----
+
+class CreditSchedulingTest : public ::testing::Test {
+ protected:
+  CreditSchedulingTest() : net{sim, 31}, server{sim, net} {
+    net.add_host("internet");
+    net.add_link("web", "internet",
+                 net::LinkSpec::symmetric(Duration::millis(4), 900.0));
+    vp = std::make_unique<api::VantagePoint>(sim, net);
+    net.add_link(vp->controller_host(), "internet",
+                 net::LinkSpec::symmetric(Duration::millis(6), 200.0));
+    device::DeviceSpec spec;
+    spec.serial = "J7DUO-1";
+    EXPECT_TRUE(vp->add_device(spec).ok());
+
+    server.enable_credit_enforcement();
+    (void)server.users().register_user("hoster", Role::kExperimenter);
+    EXPECT_TRUE(server.onboard_vantage_point("node1", *vp, "hoster").ok());
+    admin = server.users().register_user("root", Role::kAdmin).value();
+    alice = server.users().register_user("alice", Role::kExperimenter).value();
+  }
+
+  Job timed_job(Duration runtime, Duration max_duration) {
+    Job job;
+    job.name = "timed";
+    job.max_duration = max_duration;
+    job.script = [runtime](JobContext& ctx) {
+      ctx.api->vantage_point().simulator().run_for(runtime);
+      return util::Status::ok_status();
+    };
+    return job;
+  }
+
+  sim::Simulator sim;
+  net::Network net;
+  AccessServer server;
+  std::unique_ptr<api::VantagePoint> vp;
+  std::string admin, alice;
+};
+
+TEST_F(CreditSchedulingTest, HostingEarnsTheBonus) {
+  EXPECT_DOUBLE_EQ(server.credits().balance("hoster").value(),
+                   CreditPolicy{}.hosting_bonus);
+}
+
+TEST_F(CreditSchedulingTest, BrokeExperimenterStaysQueued) {
+  (void)server.credits().open_account("alice", 1.0);
+  auto id = server.submit_job(alice,
+                              timed_job(Duration::minutes(5),
+                                        Duration::minutes(10)));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(server.approve_pipeline(admin, id.value()).ok());
+  EXPECT_EQ(server.run_queue(alice).value(), 0u);
+  EXPECT_EQ(server.scheduler().find(id.value())->state, JobState::kQueued);
+
+  // Funding the account unblocks the same job.
+  ASSERT_TRUE(server.credits()
+                  .deposit("alice", 50.0, "grant", sim.now())
+                  .ok());
+  EXPECT_EQ(server.run_queue(alice).value(), 1u);
+}
+
+TEST_F(CreditSchedulingTest, UsageChargedAndHostPaid) {
+  (void)server.credits().open_account("alice", 50.0);
+  const double host_before = server.credits().balance("hoster").value();
+  auto id = server.submit_job(alice, timed_job(Duration::minutes(5),
+                                               Duration::minutes(10)));
+  ASSERT_TRUE(server.approve_pipeline(admin, id.value()).ok());
+  EXPECT_EQ(server.run_queue(alice).value(), 1u);
+  // 5 device-minutes at the default 1 credit/min.
+  EXPECT_NEAR(server.credits().balance("alice").value(), 45.0, 0.1);
+  EXPECT_NEAR(server.credits().balance("hoster").value(),
+              host_before + 5.0 * CreditPolicy{}.host_share, 0.1);
+}
+
+TEST_F(CreditSchedulingTest, WithoutEnforcementNobodyPays) {
+  sim::Simulator sim2;
+  net::Network net2{sim2, 32};
+  net2.add_host("internet");
+  AccessServer free_server{sim2, net2};
+  api::VantagePointConfig config;
+  config.name = "noden";
+  api::VantagePoint vp2{sim2, net2, config};
+  net2.add_link(vp2.controller_host(), "internet",
+                net::LinkSpec::symmetric(Duration::millis(6), 200.0));
+  device::DeviceSpec spec;
+  spec.serial = "FREE-1";
+  ASSERT_TRUE(vp2.add_device(spec).ok());
+  ASSERT_TRUE(free_server.onboard_vantage_point("noden", vp2).ok());
+  const auto admin2 =
+      free_server.users().register_user("root", Role::kAdmin).value();
+  const auto bob =
+      free_server.users().register_user("bob", Role::kExperimenter).value();
+  Job job;
+  job.script = [](JobContext&) { return util::Status::ok_status(); };
+  auto id = free_server.submit_job(bob, std::move(job));
+  ASSERT_TRUE(free_server.approve_pipeline(admin2, id.value()).ok());
+  EXPECT_EQ(free_server.run_queue(bob).value(), 1u)
+      << "no ledger attached, no credit gate";
+}
+
+}  // namespace
+}  // namespace blab::server

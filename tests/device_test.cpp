@@ -1,0 +1,659 @@
+// Unit tests for the device substrate: process table, CPU model, screen,
+// radios, Android OS + shell surface, the device power pipeline, the web
+// catalog, browsers, video player, and ADB.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "device/adb.hpp"
+#include "device/android.hpp"
+#include "device/browser.hpp"
+#include "device/device.hpp"
+#include "device/video_player.hpp"
+#include "device/web_content.hpp"
+#include "util/stats.hpp"
+#include "net/usb.hpp"
+#include "net/wifi.hpp"
+
+namespace blab::device {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+// ------------------------------------------------------------- process ----
+
+TEST(ProcessTableTest, SpawnKillLookup) {
+  ProcessTable table;
+  const Pid a = table.spawn("com.foo", 0.1, 0.0);
+  const Pid b = table.spawn("com.bar", 0.2, 0.0);
+  EXPECT_EQ(table.count(), 2u);
+  EXPECT_NE(a, b);
+  EXPECT_NE(table.find(a), nullptr);
+  EXPECT_EQ(table.find_by_name("com.bar")->pid, b);
+  EXPECT_TRUE(table.kill(a));
+  EXPECT_FALSE(table.kill(a));
+  EXPECT_EQ(table.count(), 1u);
+}
+
+TEST(ProcessTableTest, TotalDemandClampsAtOne) {
+  ProcessTable table;
+  table.spawn("a", 0.7, 0.0);
+  table.spawn("b", 0.8, 0.0);
+  EXPECT_DOUBLE_EQ(table.total_demand(), 1.0);
+}
+
+TEST(ProcessTableTest, RedrawJittersAroundBase) {
+  ProcessTable table;
+  const Pid p = table.spawn("a", 0.3, 0.2);
+  util::Rng rng{5};
+  util::RunningStats stats;
+  for (int i = 0; i < 2000; ++i) {
+    table.redraw(rng);
+    stats.add(table.find(p)->current_demand);
+  }
+  EXPECT_NEAR(stats.mean(), 0.3, 0.01);
+  EXPECT_GT(stats.stddev(), 0.03);
+  EXPECT_GE(stats.min(), 0.0);
+}
+
+TEST(ProcessTableTest, ZeroJitterIsDeterministic) {
+  ProcessTable table;
+  const Pid p = table.spawn("a", 0.25, 0.0);
+  util::Rng rng{5};
+  table.redraw(rng);
+  EXPECT_DOUBLE_EQ(table.find(p)->current_demand, 0.25);
+}
+
+TEST(ProcessTableTest, KillByName) {
+  ProcessTable table;
+  table.spawn("dup", 0.1, 0.0);
+  table.spawn("dup", 0.1, 0.0);
+  table.spawn("other", 0.1, 0.0);
+  EXPECT_EQ(table.kill_by_name("dup"), 2);
+  EXPECT_EQ(table.count(), 1u);
+}
+
+// ----------------------------------------------------------------- cpu ----
+
+TEST(CpuModelTest, CurrentSuperLinearInUtil) {
+  PowerProfile p;
+  const double at20 = CpuModel::current_ma(p, 0.20);
+  const double at40 = CpuModel::current_ma(p, 0.40);
+  EXPECT_GT(at40, 2.0 * at20) << "DVFS makes high load disproportionately "
+                                 "expensive";
+  EXPECT_DOUBLE_EQ(CpuModel::current_ma(p, 0.0), 0.0);
+  EXPECT_NEAR(CpuModel::current_ma(p, 1.0), p.cpu_full_load_ma, 1e-9);
+}
+
+TEST(CpuModelTest, UtilizationTimelineRecords) {
+  CpuModel cpu;
+  cpu.set_utilization(TimePoint::epoch(), 0.1);
+  cpu.set_utilization(TimePoint::epoch() + Duration::seconds(1), 0.5);
+  EXPECT_DOUBLE_EQ(
+      cpu.utilization(TimePoint::epoch() + Duration::millis(500)), 0.1);
+  EXPECT_DOUBLE_EQ(cpu.current_utilization(), 0.5);
+}
+
+// -------------------------------------------------------------- screen ----
+
+TEST(ScreenTest, PowerScalesWithBrightness) {
+  PowerProfile p;
+  Screen screen;
+  EXPECT_EQ(screen.current_ma(p), 0.0) << "screen off draws nothing";
+  screen.set_on(true);
+  screen.set_brightness(0.0);
+  const double dim = screen.current_ma(p);
+  screen.set_brightness(1.0);
+  const double bright = screen.current_ma(p);
+  EXPECT_DOUBLE_EQ(dim, p.screen_base_ma);
+  EXPECT_DOUBLE_EQ(bright, p.screen_base_ma + p.screen_brightness_ma);
+}
+
+TEST(ScreenTest, ChangeRateZeroWhenOff) {
+  Screen screen;
+  screen.set_content_change_rate(0.6);
+  EXPECT_EQ(screen.content_change_rate(), 0.0);
+  screen.set_on(true);
+  EXPECT_DOUBLE_EQ(screen.content_change_rate(), 0.6);
+}
+
+// --------------------------------------------------------------- radio ----
+
+TEST(RadioTest, WifiDrawScalesWithThroughput) {
+  PowerProfile p;
+  Radio wifi{RadioKind::kWifi};
+  EXPECT_EQ(wifi.current_ma(p), 0.0) << "disabled radio draws nothing";
+  wifi.set_enabled(true);
+  EXPECT_DOUBLE_EQ(wifi.current_ma(p), p.wifi_idle_ma);
+  wifi.begin_activity(10.0);
+  EXPECT_DOUBLE_EQ(wifi.current_ma(p),
+                   p.wifi_active_ma + 10.0 * p.wifi_per_mbps_ma);
+  wifi.end_activity(10.0);
+  EXPECT_DOUBLE_EQ(wifi.current_ma(p), p.wifi_idle_ma);
+}
+
+TEST(RadioTest, OverlappingActivityRefCounts) {
+  PowerProfile p;
+  Radio wifi{RadioKind::kWifi};
+  wifi.set_enabled(true);
+  wifi.begin_activity(5.0);
+  wifi.begin_activity(3.0);
+  EXPECT_DOUBLE_EQ(wifi.throughput_mbps(), 8.0);
+  wifi.end_activity(5.0);
+  EXPECT_TRUE(wifi.active());
+  wifi.end_activity(3.0);
+  EXPECT_FALSE(wifi.active());
+  EXPECT_DOUBLE_EQ(wifi.throughput_mbps(), 0.0);
+}
+
+TEST(RadioTest, DisableResetsActivity) {
+  PowerProfile p;
+  Radio bt{RadioKind::kBluetooth};
+  bt.set_enabled(true);
+  bt.begin_activity(0.5);
+  bt.set_enabled(false);
+  EXPECT_FALSE(bt.active());
+  bt.end_activity(0.5);  // must not underflow
+  EXPECT_FALSE(bt.active());
+}
+
+TEST(RadioTest, CellularCostsMoreThanWifi) {
+  PowerProfile p;
+  Radio wifi{RadioKind::kWifi};
+  Radio cell{RadioKind::kCellular};
+  wifi.set_enabled(true);
+  cell.set_enabled(true);
+  wifi.begin_activity(5.0);
+  cell.begin_activity(5.0);
+  EXPECT_GT(cell.current_ma(p), wifi.current_ma(p));
+}
+
+// ----------------------------------------------------- device fixture ----
+
+class DeviceTest : public ::testing::Test {
+ protected:
+  DeviceTest() : net{sim, 3} {
+    DeviceSpec spec;
+    spec.serial = "TEST1";
+    dev = std::make_unique<AndroidDevice>(sim, net, "dev.TEST1", spec, 77);
+  }
+  sim::Simulator sim;
+  net::Network net;
+  std::unique_ptr<AndroidDevice> dev;
+};
+
+TEST_F(DeviceTest, OffDeviceDrawsNothing) {
+  EXPECT_EQ(dev->demand_ma(), 0.0);
+  dev->recompute_power();
+  EXPECT_EQ(dev->current_ma(sim.now()), 0.0);
+}
+
+TEST_F(DeviceTest, BootRaisesBaseline) {
+  dev->power_on();
+  EXPECT_TRUE(dev->powered_on());
+  const double ma = dev->demand_ma();
+  // idle + screen-on + system processes + radios idle.
+  EXPECT_GT(ma, 80.0);
+  EXPECT_LT(ma, 200.0);
+  EXPECT_GT(dev->processes().count(), 0u);
+}
+
+TEST_F(DeviceTest, PowerOffTearsEverythingDown) {
+  dev->power_on();
+  dev->power_off();
+  EXPECT_FALSE(dev->powered_on());
+  EXPECT_EQ(dev->processes().count(), 0u);
+  EXPECT_EQ(dev->demand_ma(), 0.0);
+  EXPECT_FALSE(dev->wifi().enabled());
+}
+
+TEST_F(DeviceTest, UsbChargeOffsetsSupplyDraw) {
+  dev->power_on();
+  sim.run_for(Duration::millis(10));
+  const double demand = dev->demand_ma();
+  dev->set_usb_charge_ma(net::kUsbChargeCurrentMa);
+  // Demand exceeds typical idle? The J7's idle demand is < 450 mA, so the
+  // supply draw should clamp to zero — exactly the interference the paper
+  // avoids by cutting USB power.
+  ASSERT_LT(demand, net::kUsbChargeCurrentMa);
+  EXPECT_EQ(dev->current_ma(sim.now()), 0.0);
+  dev->set_usb_charge_ma(0.0);
+  EXPECT_NEAR(dev->current_ma(sim.now()), dev->demand_ma(), 1e-9);
+}
+
+TEST_F(DeviceTest, SupplyTimelineTracksStateChanges) {
+  dev->power_on();
+  sim.run_for(Duration::seconds(1));
+  const double before = dev->current_ma(sim.now());
+  dev->set_decoder_active(true);
+  const double after = dev->current_ma(sim.now());
+  EXPECT_NEAR(after - before, dev->spec().power.video_decoder_ma, 1e-9);
+  // The past is not rewritten.
+  EXPECT_NEAR(dev->current_ma(sim.now() - Duration::millis(500)), before,
+              35.0);
+}
+
+TEST_F(DeviceTest, BatteryDrainsOnlyOnBatteryPower) {
+  dev->power_on();
+  const double soc0 = dev->battery().soc();
+  sim.run_for(Duration::minutes(10));
+  dev->recompute_power();
+  const double soc1 = dev->battery().soc();
+  EXPECT_LT(soc1, soc0);
+
+  dev->set_power_source(PowerSource::kMonitorBypass);
+  sim.run_for(Duration::minutes(10));
+  dev->recompute_power();
+  EXPECT_DOUBLE_EQ(dev->battery().soc(), soc1)
+      << "bypass means the Monsoon powers the phone";
+}
+
+TEST_F(DeviceTest, JitterCreatesCpuVariance) {
+  dev->power_on();
+  dev->processes().spawn("busy", 0.3, 0.4);
+  util::RunningStats stats;
+  for (int i = 0; i < 200; ++i) {
+    sim.run_for(Duration::millis(150));
+    stats.add(dev->cpu().current_utilization());
+  }
+  EXPECT_GT(stats.stddev(), 0.02);
+  EXPECT_NEAR(stats.mean(), 0.33, 0.05);
+}
+
+// ---------------------------------------------------------- android os ----
+
+class OsTest : public DeviceTest {
+ protected:
+  void SetUp() override {
+    dev->power_on();
+    ASSERT_TRUE(dev->os()
+                    .install(std::make_unique<Browser>(
+                        *dev, BrowserProfile::brave()))
+                    .ok());
+  }
+};
+
+TEST_F(OsTest, InstallStartStop) {
+  auto& os = dev->os();
+  EXPECT_NE(os.app("com.brave.browser"), nullptr);
+  EXPECT_FALSE(os.install(std::make_unique<Browser>(
+                              *dev, BrowserProfile::brave()))
+                   .ok())
+      << "duplicate install";
+  ASSERT_TRUE(os.start_activity("com.brave.browser").ok());
+  EXPECT_EQ(os.foreground_package(), "com.brave.browser");
+  EXPECT_TRUE(os.app("com.brave.browser")->running());
+  ASSERT_TRUE(os.force_stop("com.brave.browser").ok());
+  EXPECT_TRUE(os.foreground_package().empty());
+}
+
+TEST_F(OsTest, StartUnknownPackageFails) {
+  EXPECT_FALSE(dev->os().start_activity("com.nope").ok());
+}
+
+TEST_F(OsTest, InputRequiresForegroundApp) {
+  EXPECT_FALSE(dev->os().input_text("x").ok());
+  ASSERT_TRUE(dev->os().start_activity("com.brave.browser").ok());
+  EXPECT_TRUE(dev->os().input_text("x").ok());
+}
+
+TEST_F(OsTest, HomeKeyClearsForeground) {
+  ASSERT_TRUE(dev->os().start_activity("com.brave.browser").ok());
+  ASSERT_TRUE(dev->os().input_keyevent(kKeycodeHome).ok());
+  EXPECT_TRUE(dev->os().foreground_package().empty());
+}
+
+TEST_F(OsTest, ShellAmPmCommands) {
+  auto& os = dev->os();
+  auto out = os.execute_shell("pm list packages");
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out.value().find("package:com.brave.browser"), std::string::npos);
+
+  EXPECT_TRUE(os.execute_shell("am start com.brave.browser").ok());
+  EXPECT_EQ(os.foreground_package(), "com.brave.browser");
+  EXPECT_TRUE(os.execute_shell("am force-stop com.brave.browser").ok());
+  EXPECT_TRUE(os.execute_shell("pm clear com.brave.browser").ok());
+}
+
+TEST_F(OsTest, ShellInputCommands) {
+  auto& os = dev->os();
+  ASSERT_TRUE(os.execute_shell("am start com.brave.browser").ok());
+  EXPECT_TRUE(os.execute_shell("input text hello").ok());
+  EXPECT_TRUE(os.execute_shell("input keyevent 66").ok());
+  EXPECT_TRUE(os.execute_shell("input swipe 540 1200 540 600").ok());
+  EXPECT_TRUE(os.execute_shell("input tap 100 200").ok());
+  EXPECT_FALSE(os.execute_shell("input bogus").ok());
+}
+
+TEST_F(OsTest, ShellDumpsysAndProps) {
+  auto& os = dev->os();
+  auto batt = os.execute_shell("dumpsys battery");
+  ASSERT_TRUE(batt.ok());
+  EXPECT_NE(batt.value().find("level: 100"), std::string::npos);
+  auto cpu = os.execute_shell("dumpsys cpuinfo");
+  ASSERT_TRUE(cpu.ok());
+  EXPECT_NE(cpu.value().find("Load:"), std::string::npos);
+  auto sdk = os.execute_shell("getprop ro.build.version.sdk");
+  ASSERT_TRUE(sdk.ok());
+  EXPECT_EQ(sdk.value(), "26");
+  EXPECT_EQ(os.execute_shell("whoami").value(), "shell");
+}
+
+TEST_F(OsTest, LogcatBufferAndClear) {
+  auto& os = dev->os();
+  os.log("TestTag", "event-42");
+  auto dump = os.execute_shell("logcat");
+  ASSERT_TRUE(dump.ok());
+  EXPECT_NE(dump.value().find("event-42"), std::string::npos);
+  ASSERT_TRUE(os.execute_shell("logcat -c").ok());
+  EXPECT_EQ(os.logcat_lines(), 0u);
+}
+
+TEST_F(OsTest, SettingsRoundTrip) {
+  auto& os = dev->os();
+  ASSERT_TRUE(os.execute_shell("settings put secure foo 1").ok());
+  EXPECT_EQ(os.execute_shell("settings get secure foo").value(), "1");
+  EXPECT_EQ(os.execute_shell("settings get secure missing").value(), "null");
+}
+
+TEST_F(OsTest, UnknownCommandRejected) {
+  EXPECT_FALSE(dev->os().execute_shell("rm -rf /").ok());
+  EXPECT_FALSE(dev->os().execute_shell("").ok());
+}
+
+// --------------------------------------------------------- web catalog ----
+
+TEST(WebCatalogTest, TenNewsSites) {
+  const auto& catalog = WebCatalog::news_sites();
+  EXPECT_EQ(catalog.pages().size(), 10u);
+  EXPECT_NE(catalog.find("news-a.example"), nullptr);
+  EXPECT_EQ(catalog.find("nope.example"), nullptr);
+}
+
+TEST(WebCatalogTest, AdBlockingCutsBytes) {
+  const auto& page = WebCatalog::news_sites().pages()[0];
+  const auto full = WebCatalog::page_bytes(page, "", false, false);
+  const auto blocked = WebCatalog::page_bytes(page, "", true, false);
+  EXPECT_LT(blocked, full);
+  EXPECT_GT(blocked, page.content_bytes);  // some promo survives
+}
+
+TEST(WebCatalogTest, JapanServesSmallerAdsAbout20Percent) {
+  // §4.3: Chrome's traffic dropped ~20% through the Japan VPN.
+  const auto& catalog = WebCatalog::news_sites();
+  std::size_t home = 0, japan = 0;
+  for (const auto& page : catalog.pages()) {
+    home += WebCatalog::page_bytes(page, "", false, false);
+    japan += WebCatalog::page_bytes(page, "Japan", false, false);
+  }
+  const double drop = 1.0 - static_cast<double>(japan) / home;
+  EXPECT_NEAR(drop, 0.20, 0.04);
+}
+
+TEST(WebCatalogTest, LitePagesDefaultRegions) {
+  EXPECT_TRUE(WebCatalog::lite_pages_default_on("South Africa"));
+  EXPECT_TRUE(WebCatalog::lite_pages_default_on("Japan"));
+  EXPECT_FALSE(WebCatalog::lite_pages_default_on(""));
+  EXPECT_FALSE(WebCatalog::lite_pages_default_on("CA, USA"));
+}
+
+TEST(WebCatalogTest, LitePagesShrinkContent) {
+  const auto& page = WebCatalog::news_sites().pages()[0];
+  const auto normal = WebCatalog::page_bytes(page, "", false, false);
+  const auto lite = WebCatalog::page_bytes(page, "", false, true);
+  EXPECT_LT(lite, normal);
+}
+
+// ------------------------------------------------------------- browser ----
+
+class BrowserTest : public ::testing::Test {
+ protected:
+  BrowserTest() : net{sim, 9} {
+    net.add_host("web");
+    DeviceSpec spec;
+    spec.serial = "B1";
+    dev = std::make_unique<AndroidDevice>(sim, net, "dev.B1", spec, 3);
+    net.add_link("web", "dev.B1",
+                 net::LinkSpec::symmetric(Duration::millis(10), 40.0));
+    dev->power_on();
+  }
+
+  /// Install + launch + complete first-run, like the workload's setup phase.
+  Browser* install(const BrowserProfile& profile) {
+    auto browser = std::make_unique<Browser>(*dev, profile);
+    Browser* ptr = browser.get();
+    EXPECT_TRUE(dev->os().install(std::move(browser)).ok());
+    EXPECT_TRUE(dev->os().start_activity(profile.package).ok());
+    ptr->on_tap(540, 1700);
+    ptr->on_tap(540, 1700);
+    return ptr;
+  }
+
+  sim::Simulator sim;
+  net::Network net;
+  std::unique_ptr<AndroidDevice> dev;
+};
+
+TEST_F(BrowserTest, ProfilesExistAndDiffer) {
+  ASSERT_EQ(BrowserProfile::all().size(), 4u);
+  EXPECT_TRUE(BrowserProfile::brave().blocks_ads);
+  EXPECT_FALSE(BrowserProfile::chrome().blocks_ads);
+  EXPECT_TRUE(BrowserProfile::chrome().supports_lite_pages);
+  EXPECT_LT(BrowserProfile::brave().load_cpu,
+            BrowserProfile::firefox().load_cpu);
+  EXPECT_NE(BrowserProfile::find("Chrome"), nullptr);
+  EXPECT_NE(BrowserProfile::find("org.mozilla.firefox"), nullptr);
+  EXPECT_EQ(BrowserProfile::find("NetscapeNavigator"), nullptr);
+}
+
+TEST_F(BrowserTest, FirstRunGatesNavigation) {
+  auto browser = std::make_unique<Browser>(*dev, BrowserProfile::chrome());
+  Browser* b = browser.get();
+  ASSERT_TRUE(dev->os().install(std::move(browser)).ok());
+  ASSERT_TRUE(dev->os().start_activity(b->package()).ok());
+  EXPECT_FALSE(b->first_run_complete());
+  EXPECT_FALSE(b->navigate("news-a.example").ok());
+  b->on_tap(540, 1700);
+  b->on_tap(540, 1700);
+  EXPECT_TRUE(b->first_run_complete());
+  EXPECT_TRUE(b->navigate("news-a.example").ok());
+}
+
+TEST_F(BrowserTest, PageLoadMovesBytesAndRaisesCpu) {
+  Browser* b = install(BrowserProfile::chrome());
+  b->on_tap(0, 0);
+  b->on_tap(0, 0);
+  const double idle_util = dev->processes().total_demand();
+  ASSERT_TRUE(b->navigate("news-a.example").ok());
+  EXPECT_TRUE(b->page_loading());
+  EXPECT_GT(dev->processes().total_demand(), idle_util);
+  EXPECT_TRUE(dev->wifi().active());
+  sim.run_for(Duration::seconds(10));
+  EXPECT_FALSE(b->page_loading());
+  EXPECT_EQ(b->pages_loaded(), 1u);
+  EXPECT_GT(b->bytes_fetched(), 2000u * 1024);
+  EXPECT_FALSE(dev->wifi().active());
+  ASSERT_EQ(b->page_load_times().size(), 1u);
+  EXPECT_GT(b->page_load_times()[0], Duration::millis(300));
+  EXPECT_LT(b->page_load_times()[0], Duration::seconds(6));
+}
+
+TEST_F(BrowserTest, UrlBarTypeAndEnterNavigates) {
+  Browser* b = install(BrowserProfile::brave());
+  b->on_text("news-b.example");
+  b->on_key(kKeycodeEnter);
+  EXPECT_TRUE(b->page_loading());
+  sim.run_for(Duration::seconds(10));
+  EXPECT_EQ(b->pages_loaded(), 1u);
+}
+
+TEST_F(BrowserTest, AdBlockingFetchesLess) {
+  Browser* brave = install(BrowserProfile::brave());
+  ASSERT_TRUE(brave->navigate("news-a.example").ok());
+  sim.run_for(Duration::seconds(10));
+  const auto brave_bytes = brave->bytes_fetched();
+  (void)dev->os().force_stop(brave->package());
+
+  Browser* chrome = install(BrowserProfile::chrome());
+  chrome->on_tap(0, 0);
+  chrome->on_tap(0, 0);
+  ASSERT_TRUE(chrome->navigate("news-a.example").ok());
+  sim.run_for(Duration::seconds(10));
+  EXPECT_GT(chrome->bytes_fetched(), brave_bytes);
+}
+
+TEST_F(BrowserTest, ScrollBurstsRaiseAndSettle) {
+  Browser* b = install(BrowserProfile::brave());
+  ASSERT_TRUE(b->navigate("news-a.example").ok());
+  sim.run_for(Duration::seconds(10));
+  const double idle = dev->processes().total_demand();
+  b->on_swipe(-600);
+  EXPECT_GT(dev->processes().total_demand(), idle);
+  sim.run_for(Duration::seconds(2));
+  EXPECT_NEAR(dev->processes().total_demand(), idle, 0.15);
+}
+
+TEST_F(BrowserTest, LitePagesRespectSettingAndRegion) {
+  Browser* b = install(BrowserProfile::chrome());
+  EXPECT_FALSE(b->lite_pages_active()) << "home region defaults off";
+  dev->set_network_region("Japan");
+  EXPECT_TRUE(b->lite_pages_active()) << "Japan defaults on (§4.3)";
+  dev->os().put_setting("secure", "chrome_lite_pages", "0");
+  EXPECT_FALSE(b->lite_pages_active()) << "explicit off wins";
+  dev->set_network_region("");
+  dev->os().put_setting("secure", "chrome_lite_pages", "1");
+  EXPECT_TRUE(b->lite_pages_active()) << "explicit on wins";
+  Browser* brave = install(BrowserProfile::brave());
+  EXPECT_FALSE(brave->lite_pages_active()) << "unsupported engine";
+}
+
+TEST_F(BrowserTest, NavigationWhileLoadingRejected) {
+  Browser* b = install(BrowserProfile::brave());
+  ASSERT_TRUE(b->navigate("news-a.example").ok());
+  EXPECT_FALSE(b->navigate("news-b.example").ok());
+}
+
+TEST_F(BrowserTest, ClearStateResetsFirstRun) {
+  Browser* b = install(BrowserProfile::chrome());
+  b->on_tap(0, 0);
+  b->on_tap(0, 0);
+  ASSERT_TRUE(b->first_run_complete());
+  ASSERT_TRUE(dev->os().clear_data(b->package()).ok());
+  EXPECT_FALSE(b->first_run_complete());
+  EXPECT_EQ(b->pages_loaded(), 0u);
+}
+
+// -------------------------------------------------------- video player ----
+
+TEST_F(BrowserTest, VideoPlayerEngagesDecoder) {
+  auto player = std::make_unique<VideoPlayerApp>(*dev);
+  VideoPlayerApp* p = player.get();
+  ASSERT_TRUE(dev->os().install(std::move(player)).ok());
+  ASSERT_TRUE(dev->os().start_activity(p->package()).ok());
+  EXPECT_FALSE(dev->decoder_active());
+  const double before = dev->demand_ma();
+  ASSERT_TRUE(p->play("/sdcard/video.mp4").ok());
+  EXPECT_TRUE(dev->decoder_active());
+  EXPECT_GT(dev->demand_ma(), before);
+  EXPECT_DOUBLE_EQ(dev->screen().content_change_rate(), 0.60);
+  EXPECT_FALSE(p->play("/sdcard/other.mp4").ok()) << "already playing";
+  ASSERT_TRUE(p->pause().ok());
+  EXPECT_FALSE(dev->decoder_active());
+  EXPECT_FALSE(p->pause().ok());
+}
+
+// ----------------------------------------------------------------- adb ----
+
+class AdbTest : public ::testing::Test {
+ protected:
+  AdbTest() : net{sim, 21} {
+    DeviceSpec spec;
+    spec.serial = "A1";
+    dev = std::make_unique<AndroidDevice>(sim, net, "dev.A1", spec, 5);
+    daemon = std::make_unique<AdbDaemon>(*dev);
+    hub = std::make_unique<net::UsbHub>(net, "ctrl", 2);
+    ap = std::make_unique<net::WifiAccessPoint>(net, "ctrl", "ctrl");
+    EXPECT_TRUE(hub->attach("dev.A1").ok());
+    EXPECT_TRUE(ap->associate("dev.A1").ok());
+    client = std::make_unique<AdbClient>(net, "ctrl");
+    dev->power_on();
+  }
+  sim::Simulator sim;
+  net::Network net;
+  std::unique_ptr<AndroidDevice> dev;
+  std::unique_ptr<AdbDaemon> daemon;
+  std::unique_ptr<net::UsbHub> hub;
+  std::unique_ptr<net::WifiAccessPoint> ap;
+  std::unique_ptr<AdbClient> client;
+};
+
+TEST_F(AdbTest, ShellOverUsb) {
+  auto out = client->shell_sync("dev.A1", AdbTransport::kUsb, "whoami");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), "shell");
+  EXPECT_EQ(daemon->commands_served(), 1u);
+}
+
+TEST_F(AdbTest, ShellOverWifi) {
+  auto out = client->shell_sync("dev.A1", AdbTransport::kWifi,
+                                "getprop ro.product.model");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), "Samsung J7 Duo");
+}
+
+TEST_F(AdbTest, WifiNeedsTcpipEnabled) {
+  daemon->set_tcpip_enabled(false);
+  auto out = client->shell_sync("dev.A1", AdbTransport::kWifi, "whoami");
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(daemon->commands_rejected(), 1u);
+}
+
+TEST_F(AdbTest, BluetoothNeedsRoot) {
+  auto out = client->shell_sync("dev.A1", AdbTransport::kBluetooth, "whoami");
+  EXPECT_FALSE(out.ok()) << "unrooted device must reject ADB-over-BT (§3.3)";
+}
+
+TEST_F(AdbTest, RootedDeviceAllowsBluetooth) {
+  DeviceSpec spec;
+  spec.serial = "ROOT1";
+  spec.rooted = true;
+  AndroidDevice rooted{sim, net, "dev.ROOT1", spec, 6};
+  AdbDaemon rooted_daemon{rooted};
+  net.add_link("ctrl", "dev.ROOT1",
+               net::LinkSpec::symmetric(Duration::millis(8), 1.5), "bt");
+  rooted.power_on();
+  auto out = client->shell_sync("dev.ROOT1", AdbTransport::kBluetooth,
+                                "whoami");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), "root");
+}
+
+TEST_F(AdbTest, OfflineDeviceRejects) {
+  dev->power_off();
+  auto out = client->shell_sync("dev.A1", AdbTransport::kUsb, "whoami");
+  EXPECT_FALSE(out.ok());
+}
+
+TEST_F(AdbTest, ShellErrorPropagates) {
+  auto out = client->shell_sync("dev.A1", AdbTransport::kUsb, "frobnicate");
+  ASSERT_FALSE(out.ok());
+  EXPECT_NE(out.error().message.find("unknown command"), std::string::npos);
+}
+
+TEST_F(AdbTest, UsbCutFallsBackWhenClientRetriesOverWifi) {
+  ASSERT_TRUE(hub->set_port_power_for("dev.A1", false).ok());
+  auto usb = client->shell_sync("dev.A1", AdbTransport::kUsb, "whoami");
+  EXPECT_FALSE(usb.ok()) << "no data path over a powered-off port";
+  auto wifi = client->shell_sync("dev.A1", AdbTransport::kWifi, "whoami");
+  EXPECT_TRUE(wifi.ok());
+}
+
+TEST(AdbTransportTest, Names) {
+  EXPECT_STREQ(adb_transport_name(AdbTransport::kUsb), "usb");
+  EXPECT_STREQ(adb_transport_name(AdbTransport::kWifi), "wifi");
+  EXPECT_STREQ(adb_transport_name(AdbTransport::kBluetooth), "bt");
+}
+
+}  // namespace
+}  // namespace blab::device

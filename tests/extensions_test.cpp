@@ -1,0 +1,311 @@
+// Tests for the §5 extensions: laptop / IoT device classes, the GUI toolbar
+// model, and recurring (cron-style) maintenance jobs.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "api/batterylab_api.hpp"
+#include "controller/toolbar.hpp"
+#include "device/android.hpp"
+#include "device/video_player.hpp"
+#include "server/access_server.hpp"
+#include "server/maintenance.hpp"
+#include "util/stats.hpp"
+
+namespace blab {
+namespace {
+
+using util::Duration;
+
+class ExtensionFixture : public ::testing::Test {
+ protected:
+  ExtensionFixture() : net{sim, 616} {
+    net.add_host("internet");
+    net.add_link("web", "internet",
+                 net::LinkSpec::symmetric(Duration::millis(4), 900.0));
+    vp = std::make_unique<api::VantagePoint>(sim, net);
+    net.add_link(vp->controller_host(), "internet",
+                 net::LinkSpec::symmetric(Duration::millis(6), 200.0));
+    api = std::make_unique<api::BatteryLabApi>(*vp);
+  }
+  sim::Simulator sim;
+  net::Network net;
+  std::unique_ptr<api::VantagePoint> vp;
+  std::unique_ptr<api::BatteryLabApi> api;
+};
+
+// ------------------------------------------------------- device classes ----
+
+TEST(DeviceClassTest, FactorySpecs) {
+  const auto laptop = device::DeviceSpec::laptop("L1");
+  EXPECT_EQ(laptop.device_class, device::DeviceClass::kLaptop);
+  EXPECT_GT(laptop.battery.nominal_voltage, 9.0);
+  EXPECT_FALSE(laptop.headless);
+
+  const auto iot = device::DeviceSpec::iot_sensor("S1");
+  EXPECT_EQ(iot.device_class, device::DeviceClass::kIot);
+  EXPECT_TRUE(iot.headless);
+  EXPECT_LT(iot.power.idle_ma, 5.0);
+
+  EXPECT_STREQ(device::device_class_name(device::DeviceClass::kLaptop),
+               "laptop");
+  EXPECT_STREQ(device::device_class_name(device::DeviceClass::kIot), "iot");
+}
+
+TEST_F(ExtensionFixture, LaptopMeasuresAtPackVoltage) {
+  auto added = vp->add_device(device::DeviceSpec::laptop("LAPTOP-1"));
+  ASSERT_TRUE(added.ok());
+  auto* laptop = added.value();
+  EXPECT_TRUE(laptop->powered_on());
+  // An 11.4 V pack sits inside the Monsoon's 0.8–13.5 V range; 14 V would
+  // not (and a real 4S pack would need a different instrument).
+  ASSERT_TRUE(api->power_monitor().ok());
+  EXPECT_FALSE(api->set_voltage(14.0).ok());
+  ASSERT_TRUE(api->set_voltage(11.4).ok());
+  auto capture = api->run_monitor("LAPTOP-1", Duration::seconds(10));
+  ASSERT_TRUE(capture.ok());
+  // Screen-on idle laptop: hundreds of mA, well inside the 6 A limit.
+  EXPECT_GT(capture.value().mean_current_ma(), 200.0);
+  EXPECT_LT(capture.value().mean_current_ma(), 1200.0);
+  EXPECT_NEAR(capture.value().voltage(), 11.4, 1e-9);
+  EXPECT_GT(capture.value().energy_mwh(), 0.0);
+}
+
+TEST_F(ExtensionFixture, IotSensorBootsHeadlessAndSips) {
+  auto added = vp->add_device(device::DeviceSpec::iot_sensor("SENSOR-1"));
+  ASSERT_TRUE(added.ok());
+  auto* sensor = added.value();
+  EXPECT_FALSE(sensor->screen().is_on()) << "headless node has no panel";
+  EXPECT_FALSE(sensor->bluetooth().enabled());
+  EXPECT_NE(sensor->processes().find_by_name("firmware"), nullptr);
+  EXPECT_LT(sensor->demand_ma(), 15.0);
+}
+
+TEST_F(ExtensionFixture, IotMeasurementIsNoiseFloorBound) {
+  ASSERT_TRUE(vp->add_device(device::DeviceSpec::iot_sensor("SENSOR-1")).ok());
+  ASSERT_TRUE(api->power_monitor().ok());
+  ASSERT_TRUE(api->set_voltage(3.3).ok());
+  auto capture = api->run_monitor("SENSOR-1", Duration::seconds(10));
+  ASSERT_TRUE(capture.ok());
+  const auto cdf = capture.value().current_cdf(5);
+  // Single-digit mA true draw; the ±0.9 mA front-end noise is a large
+  // relative effect — the reason milliohm-class instruments matter here.
+  EXPECT_LT(cdf.mean(), 15.0);
+  const double spread = cdf.quantile(0.9) - cdf.quantile(0.1);
+  EXPECT_GT(spread / cdf.mean(), 0.15);
+}
+
+TEST_F(ExtensionFixture, MixedClassesShareOneVantagePoint) {
+  ASSERT_TRUE(vp->add_device(device::DeviceSpec{}.iphone("IPHONE8-1")).ok());
+  device::DeviceSpec phone;
+  phone.serial = "J7DUO-1";
+  ASSERT_TRUE(vp->add_device(phone).ok());
+  ASSERT_TRUE(vp->add_device(device::DeviceSpec::laptop("LAPTOP-1")).ok());
+  ASSERT_TRUE(vp->add_device(device::DeviceSpec::iot_sensor("SENSOR-1")).ok());
+  EXPECT_EQ(api->list_devices().size(), 4u);
+  // Relay channels are exhausted now (default 4).
+  device::DeviceSpec fifth;
+  fifth.serial = "ONE-TOO-MANY";
+  EXPECT_FALSE(vp->add_device(fifth).ok());
+}
+
+// --------------------------------------------------------------- toolbar ----
+
+TEST_F(ExtensionFixture, ToolbarMirrorsTableOneSubset) {
+  device::DeviceSpec phone;
+  phone.serial = "J7DUO-1";
+  ASSERT_TRUE(vp->add_device(phone).ok());
+  api->bind_rest_endpoints();
+  controller::Toolbar toolbar{vp->rest()};
+  ASSERT_EQ(toolbar.buttons().size(), 8u);
+  EXPECT_TRUE(toolbar.has_button("Start monitor"));
+  EXPECT_FALSE(toolbar.has_button("Self destruct"));
+
+  auto devices = toolbar.click("Devices");
+  ASSERT_TRUE(devices.ok());
+  EXPECT_EQ(devices.value(), "J7DUO-1");
+
+  ASSERT_TRUE(toolbar.click("Monitor power").ok());
+  ASSERT_TRUE(toolbar.click("Set voltage", "voltage_val=3.85").ok());
+  ASSERT_TRUE(toolbar.click("Start monitor", "device_id=J7DUO-1").ok());
+  sim.run_for(Duration::seconds(1));
+  auto stopped = toolbar.click("Stop monitor");
+  ASSERT_TRUE(stopped.ok());
+  EXPECT_NE(stopped.value().find("samples="), std::string::npos);
+  EXPECT_FALSE(toolbar.click("Warp drive").ok());
+  EXPECT_EQ(toolbar.clicks(), 5u);
+}
+
+// ------------------------------------------------------ sdcard + push -----
+
+TEST_F(ExtensionFixture, SdcardShipsWithTheTestVideo) {
+  device::DeviceSpec phone;
+  phone.serial = "J7DUO-1";
+  auto* dev = vp->add_device(phone).value();
+  EXPECT_TRUE(dev->os().has_file("/sdcard/video.mp4"));
+  auto size = dev->os().file_size("/sdcard/video.mp4");
+  ASSERT_TRUE(size.ok());
+  EXPECT_GT(size.value(), 10u * 1024 * 1024);
+  EXPECT_FALSE(dev->os().file_size("/sdcard/nope.bin").ok());
+}
+
+TEST_F(ExtensionFixture, ShellFileCommands) {
+  device::DeviceSpec phone;
+  phone.serial = "J7DUO-1";
+  auto* dev = vp->add_device(phone).value();
+  auto& os = dev->os();
+  auto ls = os.execute_shell("ls /sdcard");
+  ASSERT_TRUE(ls.ok());
+  EXPECT_NE(ls.value().find("/sdcard/video.mp4"), std::string::npos);
+  auto stat = os.execute_shell("stat /sdcard/video.mp4");
+  ASSERT_TRUE(stat.ok());
+  EXPECT_NE(stat.value().find("bytes"), std::string::npos);
+  ASSERT_TRUE(os.execute_shell("rm /sdcard/video.mp4").ok());
+  EXPECT_FALSE(os.execute_shell("rm /sdcard/video.mp4").ok());
+  EXPECT_FALSE(os.has_file("/sdcard/video.mp4"));
+}
+
+TEST_F(ExtensionFixture, AdbPushTransfersFileOverTransport) {
+  device::DeviceSpec phone;
+  phone.serial = "J7DUO-1";
+  auto* dev = vp->add_device(phone).value();
+  auto& adb = vp->controller().adb();
+  const std::size_t mb16 = 16 * 1024 * 1024;
+  const auto t0 = sim.now();
+  ASSERT_TRUE(adb.push_sync(dev->host(), device::AdbTransport::kUsb,
+                            "/sdcard/test.mp4", mb16)
+                  .ok());
+  const auto usb_elapsed = sim.now() - t0;
+  EXPECT_TRUE(dev->os().has_file("/sdcard/test.mp4"));
+  EXPECT_EQ(dev->os().file_size("/sdcard/test.mp4").value(), mb16);
+  // USB at 480 Mbps moves 16 MB in ~0.27 s.
+  EXPECT_LT(usb_elapsed, Duration::seconds(1));
+
+  // The same push over WiFi (36 Mbps effective) takes seconds.
+  const auto t1 = sim.now();
+  ASSERT_TRUE(vp->usb_hub().set_port_power_for(dev->host(), false).ok());
+  ASSERT_TRUE(adb.push_sync(dev->host(), device::AdbTransport::kWifi,
+                            "/sdcard/test2.mp4", mb16,
+                            Duration::seconds(120))
+                  .ok());
+  EXPECT_GT(sim.now() - t1, Duration::seconds(2));
+  EXPECT_GT(sim.now() - t1, usb_elapsed * 5.0);
+
+  // USB push with the port off fails fast.
+  EXPECT_FALSE(adb.push_sync(dev->host(), device::AdbTransport::kUsb,
+                             "/sdcard/test3.mp4", 1024)
+                   .ok());
+}
+
+TEST_F(ExtensionFixture, VideoPlayerNeedsTheFileOnSdcard) {
+  device::DeviceSpec phone;
+  phone.serial = "J7DUO-1";
+  auto* dev = vp->add_device(phone).value();
+  auto player = std::make_unique<device::VideoPlayerApp>(*dev);
+  auto* p = player.get();
+  ASSERT_TRUE(dev->os().install(std::move(player)).ok());
+  ASSERT_TRUE(dev->os().start_activity(p->package()).ok());
+  EXPECT_FALSE(p->play("/sdcard/missing.mp4").ok());
+  EXPECT_TRUE(p->play("/sdcard/video.mp4").ok());
+}
+
+// ------------------------------------------------- session token gating ----
+
+TEST_F(ExtensionFixture, SharedSessionRequiresInviteToken) {
+  device::DeviceSpec phone;
+  phone.serial = "J7DUO-1";
+  ASSERT_TRUE(vp->add_device(phone).ok());
+  auto session = vp->start_mirroring("J7DUO-1");
+  ASSERT_TRUE(session.ok());
+  auto& gateway = session.value()->novnc();
+  gateway.set_access_token("invite-SECRET");
+  ASSERT_TRUE(gateway.token_required());
+
+  EXPECT_FALSE(gateway.connect_viewer({"stranger", 1}, "").ok());
+  EXPECT_FALSE(gateway.connect_viewer({"stranger", 1}, "wrong").ok());
+  EXPECT_TRUE(gateway.connect_viewer({"tester", 2}, "invite-SECRET").ok());
+
+  // Network-path connects carry the token in the payload.
+  ASSERT_TRUE(gateway.disconnect_viewer().ok());
+  net.add_link("tester", vp->controller_host(),
+               net::LinkSpec::symmetric(Duration::millis(5), 50.0));
+  net::Message join;
+  join.src = {"tester", 9};
+  join.dst = gateway.address();
+  join.tag = "novnc.connect";
+  join.payload = "invite-SECRET";
+  ASSERT_TRUE(net.send(std::move(join)).ok());
+  sim.run_for(Duration::seconds(1));
+  EXPECT_TRUE(gateway.has_viewer());
+}
+
+// ------------------------------------------------------- recurring jobs ----
+
+TEST(RecurringJobTest, MonitorSafetySweepsTheFleet) {
+  sim::Simulator sim;
+  net::Network net{sim, 77};
+  net.add_host("internet");
+  server::AccessServer server{sim, net};
+  api::VantagePoint vp{sim, net};
+  net.add_link(vp.controller_host(), "internet",
+               net::LinkSpec::symmetric(Duration::millis(6), 200.0));
+  device::DeviceSpec phone;
+  phone.serial = "J7DUO-1";
+  ASSERT_TRUE(vp.add_device(phone).ok());
+  ASSERT_TRUE(server.onboard_vantage_point("node1", vp).ok());
+
+  const auto handle = server.schedule_recurring(
+      [] { return server::make_monitor_safety_job(); },
+      Duration::minutes(30));
+  EXPECT_EQ(server.recurring_count(), 1u);
+
+  // Someone leaves the Monsoon on; within one period the sweep kills it.
+  ASSERT_TRUE(vp.power_socket().turn_on().ok());
+  sim.run_for(Duration::minutes(31));
+  EXPECT_FALSE(vp.power_socket().is_on());
+
+  // It keeps sweeping.
+  ASSERT_TRUE(vp.power_socket().turn_on().ok());
+  sim.run_for(Duration::minutes(31));
+  EXPECT_FALSE(vp.power_socket().is_on());
+
+  // Until stopped.
+  server.stop_recurring(handle);
+  ASSERT_TRUE(vp.power_socket().turn_on().ok());
+  sim.run_for(Duration::minutes(62));
+  EXPECT_TRUE(vp.power_socket().is_on());
+}
+
+TEST(RecurringJobTest, CertRenewalKeepsFleetCurrentOverMonths) {
+  sim::Simulator sim;
+  net::Network net{sim, 78};
+  net.add_host("internet");
+  server::AccessServer server{sim, net};
+  api::VantagePoint vp{sim, net};
+  net.add_link(vp.controller_host(), "internet",
+               net::LinkSpec::symmetric(Duration::millis(6), 200.0));
+  device::DeviceSpec phone;
+  phone.serial = "J7DUO-1";
+  ASSERT_TRUE(vp.add_device(phone).ok());
+  ASSERT_TRUE(server.onboard_vantage_point("node1", vp).ok());
+
+  // Power the phone down for the long fast-forward: its 150 ms power-jitter
+  // task would otherwise dominate a 75-day simulation.
+  vp.find_device("J7DUO-1")->power_off();
+
+  server.schedule_recurring(
+      [&server] { return server::make_cert_renewal_job(server); },
+      Duration::seconds(86400.0));  // daily
+
+  const auto first_serial = server.certs().current().serial;
+  // Fast-forward 75 days: past the 60-day renewal point.
+  sim.run_for(Duration::seconds(75.0 * 86400.0));
+  EXPECT_GT(server.certs().current().serial, first_serial)
+      << "certificate must have been renewed";
+  EXPECT_TRUE(server.certs().node_current("node1"))
+      << "fresh cert must have been redeployed";
+  EXPECT_TRUE(server.certs().current().valid_at(sim.now()));
+}
+
+}  // namespace
+}  // namespace blab

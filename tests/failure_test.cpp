@@ -1,0 +1,219 @@
+// Failure injection and robustness tests: the platform must degrade the way
+// real hardware does — brown-outs, lost mains, lossy control links, dropped
+// WiFi — and recover cleanly. Plus trace export/import round-trips.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "analysis/trace_io.hpp"
+#include "api/batterylab_api.hpp"
+#include "device/android.hpp"
+#include "device/video_player.hpp"
+#include "net/ssh.hpp"
+#include "util/stats.hpp"
+
+namespace blab {
+namespace {
+
+using util::Duration;
+
+class FailureFixture : public ::testing::Test {
+ protected:
+  FailureFixture() : net{sim, 4242} {
+    net.add_host("internet");
+    net.add_link("web", "internet",
+                 net::LinkSpec::symmetric(Duration::millis(4), 900.0));
+    vp = std::make_unique<api::VantagePoint>(sim, net);
+    net.add_link(vp->controller_host(), "internet",
+                 net::LinkSpec::symmetric(Duration::millis(6), 200.0));
+    device::DeviceSpec spec;
+    spec.serial = "J7DUO-1";
+    dev = vp->add_device(spec).value();
+    api = std::make_unique<api::BatteryLabApi>(*vp);
+  }
+
+  sim::Simulator sim;
+  net::Network net;
+  std::unique_ptr<api::VantagePoint> vp;
+  device::AndroidDevice* dev = nullptr;
+  std::unique_ptr<api::BatteryLabApi> api;
+};
+
+// ----------------------------------------------------------- brown-outs ----
+
+TEST_F(FailureFixture, BatteryDepletionShutsTheDeviceDown) {
+  // Give the phone a nearly-dead pack and cut USB charging.
+  dev->battery().set_soc(0.002);  // ~6 mAh left
+  ASSERT_TRUE(vp->usb_hub().set_port_power_for(dev->host(), false).ok());
+  vp->refresh_usb_power();
+  // Idle draw ~100+ mA drains 6 mAh within a few minutes.
+  sim.run_for(Duration::minutes(10));
+  dev->recompute_power();
+  EXPECT_FALSE(dev->powered_on()) << "drained pack must shut the phone down";
+  EXPECT_TRUE(dev->battery().depleted());
+
+  // Recovery: restore USB charge, let it charge, boot.
+  ASSERT_TRUE(vp->usb_hub().set_port_power_for(dev->host(), true).ok());
+  vp->refresh_usb_power();
+  dev->battery().charge(500.0);
+  dev->power_on();
+  EXPECT_TRUE(dev->powered_on());
+}
+
+TEST_F(FailureFixture, UsbChargingPreventsDepletion) {
+  dev->battery().set_soc(0.002);
+  // USB port stays powered: the 450 mA charge covers the idle draw.
+  sim.run_for(Duration::minutes(10));
+  dev->recompute_power();
+  EXPECT_TRUE(dev->powered_on());
+}
+
+TEST_F(FailureFixture, MainsLossMidMeasurementIsSurfacedAndRecoverable) {
+  ASSERT_TRUE(api->power_monitor().ok());
+  ASSERT_TRUE(api->set_voltage(3.85).ok());
+  ASSERT_TRUE(api->start_monitor("J7DUO-1").ok());
+  sim.run_for(Duration::seconds(5));
+  // Someone (or a buggy safety job) cuts the Monsoon's socket mid-capture.
+  ASSERT_TRUE(vp->power_socket().turn_off().ok());
+  EXPECT_FALSE(vp->monitor().capturing());
+  auto capture = api->stop_monitor();
+  EXPECT_FALSE(capture.ok()) << "the aborted capture is not silently empty";
+  // stop_monitor still restored battery + USB for the device.
+  EXPECT_EQ(dev->power_source(), device::PowerSource::kBattery);
+  EXPECT_GT(vp->usb_hub().charge_current_ma(dev->host()), 0.0);
+  // And the next measurement works after power returns.
+  ASSERT_TRUE(vp->power_socket().turn_on().ok());
+  ASSERT_TRUE(api->set_voltage(3.85).ok());
+  auto retry = api->run_monitor("J7DUO-1", Duration::seconds(2));
+  EXPECT_TRUE(retry.ok());
+}
+
+// ------------------------------------------------------ degraded links ----
+
+TEST_F(FailureFixture, WifiDisassociationBreaksMeasurementAutomation) {
+  ASSERT_TRUE(api->power_monitor().ok());
+  ASSERT_TRUE(api->set_voltage(3.85).ok());
+  ASSERT_TRUE(api->start_monitor("J7DUO-1").ok());
+  // During the measurement USB is down; now WiFi drops too.
+  net::Link* wifi = net.find_link(vp->controller_host(), dev->host(), "wifi");
+  ASSERT_NE(wifi, nullptr);
+  wifi->set_enabled(false);
+  auto out = api->execute_adb("J7DUO-1", "whoami");
+  EXPECT_FALSE(out.ok()) << "no transport should mean an error, not a hang";
+  wifi->set_enabled(true);
+  auto retry = api->execute_adb("J7DUO-1", "whoami");
+  EXPECT_TRUE(retry.ok());
+  (void)api->stop_monitor();
+}
+
+TEST_F(FailureFixture, SshOverLossyLinkEventuallyTimesOutCleanly) {
+  net::SshServer server{net, "lossy-server"};
+  const auto key = net::SshKeyPair::generate("alice");
+  server.authorize_key(key.public_key);
+  net::LinkSpec awful = net::LinkSpec::symmetric(Duration::millis(20), 10.0);
+  awful.loss_rate = 1.0;  // blackhole
+  net.add_link("lossy-server", "client-host", awful);
+  net::SshClient client{net, "client-host", key};
+  auto result = client.exec_sync(server.address(), "uptime",
+                                 Duration::seconds(3));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, util::ErrorCode::kTimeout);
+}
+
+// ------------------------------------------------- capture artifacts -----
+
+TEST_F(FailureFixture, RelaySwitchMidCaptureShowsTransient) {
+  // Direct-wire a second load scenario: capture while flipping the OTHER
+  // channel; the board-level transient bleeds into the measurement.
+  device::DeviceSpec second;
+  second.serial = "J7DUO-2";
+  ASSERT_TRUE(vp->add_device(second).ok());
+  // Cut device 2's USB so its full draw lands on the supply rail.
+  ASSERT_TRUE(vp->usb_hub().set_port_power_for("dev.J7DUO-2", false).ok());
+  vp->refresh_usb_power();
+  ASSERT_TRUE(api->power_monitor().ok());
+  ASSERT_TRUE(api->set_voltage(3.85).ok());
+  ASSERT_TRUE(api->start_monitor("J7DUO-1").ok());
+  sim.run_for(Duration::seconds(2));
+  const auto idle_ma = dev->demand_ma();
+  // Flip device 2's relay to bypass mid-capture: its draw joins the channel.
+  ASSERT_TRUE(vp->switch_power("J7DUO-2", hw::RelayPosition::kBypass).ok());
+  sim.run_for(Duration::seconds(2));
+  auto capture = api->stop_monitor();
+  ASSERT_TRUE(capture.ok());
+  const auto cdf = capture.value().current_cdf();
+  // Second half of the capture carries both devices.
+  EXPECT_GT(cdf.max(), idle_ma * 1.5);
+}
+
+// ------------------------------------------------------------ trace IO ----
+
+TEST_F(FailureFixture, CaptureCsvRoundTrip) {
+  auto player = std::make_unique<device::VideoPlayerApp>(*dev);
+  auto* p = player.get();
+  ASSERT_TRUE(dev->os().install(std::move(player)).ok());
+  ASSERT_TRUE(dev->os().start_activity(p->package()).ok());
+  ASSERT_TRUE(p->play("/sdcard/video.mp4").ok());
+  ASSERT_TRUE(api->power_monitor().ok());
+  ASSERT_TRUE(api->set_voltage(3.85).ok());
+  auto capture = api->run_monitor("J7DUO-1", Duration::seconds(2));
+  ASSERT_TRUE(capture.ok());
+
+  std::stringstream ss;
+  analysis::write_capture_csv(capture.value(), ss);
+  auto loaded = analysis::read_capture_csv_stream(ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().str();
+  EXPECT_EQ(loaded.value().sample_count(), capture.value().sample_count());
+  EXPECT_NEAR(loaded.value().sample_hz(), capture.value().sample_hz(), 1.0);
+  EXPECT_NEAR(loaded.value().mean_current_ma(),
+              capture.value().mean_current_ma(), 0.01);
+  EXPECT_NEAR(loaded.value().voltage(), 3.85, 0.01);
+}
+
+TEST_F(FailureFixture, CaptureCsvStrideDecimates) {
+  ASSERT_TRUE(api->power_monitor().ok());
+  ASSERT_TRUE(api->set_voltage(3.85).ok());
+  auto capture = api->run_monitor("J7DUO-1", Duration::seconds(1));
+  ASSERT_TRUE(capture.ok());
+  std::stringstream ss;
+  analysis::write_capture_csv(capture.value(), ss, /*stride=*/10);
+  auto loaded = analysis::read_capture_csv_stream(ss);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().sample_count(),
+            capture.value().sample_count() / 10);
+  EXPECT_NEAR(loaded.value().sample_hz(), 500.0, 1.0);
+}
+
+TEST(TraceIoTest, MalformedCsvRejected) {
+  {
+    std::stringstream ss{"nonsense\n1,2,3\n"};
+    EXPECT_FALSE(analysis::read_capture_csv_stream(ss).ok());
+  }
+  {
+    std::stringstream ss{"time_s,current_mA,voltage\n0.0,abc,3.85\n"};
+    EXPECT_FALSE(analysis::read_capture_csv_stream(ss).ok());
+  }
+  {
+    std::stringstream ss{"time_s,current_mA,voltage\n0.0,1.0\n"};
+    EXPECT_FALSE(analysis::read_capture_csv_stream(ss).ok());
+  }
+  {
+    std::stringstream ss{"time_s,current_mA,voltage\n"};
+    EXPECT_FALSE(analysis::read_capture_csv_stream(ss).ok())
+        << "empty capture";
+  }
+  EXPECT_FALSE(analysis::read_capture_csv("/nonexistent/file.csv").ok());
+}
+
+TEST(TraceIoTest, SummaryMentionsKeyNumbers) {
+  hw::Capture capture{util::TimePoint::epoch(), 5000.0, 3.85,
+                      std::vector<float>(5000, 160.0f)};
+  const std::string summary = analysis::capture_summary(capture);
+  EXPECT_NE(summary.find("5000 samples"), std::string::npos);
+  EXPECT_NE(summary.find("160.0 mA"), std::string::npos);
+  EXPECT_NE(summary.find("3.85 V"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace blab

@@ -1,0 +1,516 @@
+// Unit tests for the hardware substrate: battery, timelines, GPIO, relay
+// board, Monsoon power monitor, WiFi power socket.
+#include <gtest/gtest.h>
+
+#include "hw/battery.hpp"
+#include "hw/gpio.hpp"
+#include "hw/power_monitor.hpp"
+#include "hw/power_socket.hpp"
+#include "hw/relay.hpp"
+#include "hw/timeline.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace blab::hw {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+TimePoint at_ms(std::int64_t ms) {
+  return TimePoint::epoch() + Duration::millis(ms);
+}
+
+// ------------------------------------------------------------- battery ----
+
+TEST(BatteryTest, StartsFullAndDischarges) {
+  Battery batt;
+  EXPECT_DOUBLE_EQ(batt.soc(), 1.0);
+  // 300 mA for one hour = 300 mAh out of 3000.
+  const double removed = batt.discharge(300.0, Duration::seconds(3600));
+  EXPECT_NEAR(removed, 300.0, 1e-9);
+  EXPECT_NEAR(batt.soc(), 0.9, 1e-9);
+  EXPECT_NEAR(batt.remaining_mah(), 2700.0, 1e-6);
+}
+
+TEST(BatteryTest, CannotDischargeBelowEmpty) {
+  BatterySpec spec;
+  spec.capacity_mah = 10.0;
+  Battery batt{spec};
+  const double removed = batt.discharge(1000.0, Duration::seconds(3600));
+  EXPECT_NEAR(removed, 10.0, 1e-9);
+  EXPECT_TRUE(batt.depleted());
+  EXPECT_EQ(batt.discharge(100.0, Duration::seconds(10)), 0.0);
+}
+
+TEST(BatteryTest, VoltageMonotonicInSoc) {
+  Battery batt;
+  double prev = -1.0;
+  for (double soc = 0.0; soc <= 1.0; soc += 0.01) {
+    batt.set_soc(soc);
+    const double v = batt.open_circuit_voltage();
+    EXPECT_GE(v, prev) << "OCV must be monotone at soc=" << soc;
+    prev = v;
+  }
+  batt.set_soc(1.0);
+  EXPECT_DOUBLE_EQ(batt.open_circuit_voltage(), batt.spec().full_voltage);
+  batt.set_soc(0.0);
+  EXPECT_DOUBLE_EQ(batt.open_circuit_voltage(), batt.spec().empty_voltage);
+}
+
+TEST(BatteryTest, TerminalVoltageSagsUnderLoad) {
+  Battery batt;
+  const double open = batt.terminal_voltage(0.0);
+  const double loaded = batt.terminal_voltage(1000.0);
+  EXPECT_NEAR(open - loaded, batt.spec().internal_resistance_ohm, 1e-9);
+}
+
+TEST(BatteryTest, ChargeClampsAtFull) {
+  Battery batt{{}, 0.5};
+  batt.charge(10000.0);
+  EXPECT_DOUBLE_EQ(batt.soc(), 1.0);
+}
+
+TEST(BatteryTest, TotalDischargedAccumulates) {
+  Battery batt;
+  batt.discharge(100.0, Duration::seconds(3600));
+  batt.discharge(200.0, Duration::seconds(1800));
+  EXPECT_NEAR(batt.total_discharged_mah(), 200.0, 1e-9);
+}
+
+// Property: discharge is monotone for any load pattern.
+class BatteryDischargeSweep : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(BatteryDischargeSweep, SocNeverIncreasesUnderLoad) {
+  util::Rng rng{GetParam()};
+  Battery batt;
+  double prev_soc = batt.soc();
+  for (int i = 0; i < 200; ++i) {
+    batt.discharge(rng.uniform(0.0, 2000.0),
+                   Duration::millis(rng.uniform_int(1, 60000)));
+    EXPECT_LE(batt.soc(), prev_soc);
+    prev_soc = batt.soc();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatteryDischargeSweep,
+                         ::testing::Values(1, 7, 21, 99));
+
+// ------------------------------------------------------------ timeline ----
+
+TEST(TimelineTest, AtReturnsLatestBreakpoint) {
+  Timeline tl;
+  EXPECT_EQ(tl.at(at_ms(100)), 0.0);
+  tl.set(at_ms(0), 10.0);
+  tl.set(at_ms(100), 20.0);
+  EXPECT_EQ(tl.at(at_ms(0)), 10.0);
+  EXPECT_EQ(tl.at(at_ms(50)), 10.0);
+  EXPECT_EQ(tl.at(at_ms(100)), 20.0);
+  EXPECT_EQ(tl.at(at_ms(5000)), 20.0);
+  EXPECT_EQ(tl.last_value(), 20.0);
+}
+
+TEST(TimelineTest, DuplicateValueCollapses) {
+  Timeline tl;
+  tl.set(at_ms(0), 5.0);
+  tl.set(at_ms(10), 5.0);
+  EXPECT_EQ(tl.breakpoints(), 1u);
+  tl.set(at_ms(10), 6.0);
+  EXPECT_EQ(tl.breakpoints(), 2u);
+  tl.set(at_ms(10), 7.0);  // same-timestamp overwrite
+  EXPECT_EQ(tl.breakpoints(), 2u);
+  EXPECT_EQ(tl.at(at_ms(10)), 7.0);
+}
+
+TEST(TimelineTest, SegmentsClampToWindow) {
+  Timeline tl;
+  tl.set(at_ms(0), 1.0);
+  tl.set(at_ms(100), 2.0);
+  tl.set(at_ms(200), 3.0);
+  const auto segs = tl.segments(at_ms(50), at_ms(150));
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].first, at_ms(50));
+  EXPECT_EQ(segs[0].second, 1.0);
+  EXPECT_EQ(segs[1].first, at_ms(100));
+  EXPECT_EQ(segs[1].second, 2.0);
+}
+
+TEST(TimelineTest, IntegralAndMean) {
+  Timeline tl;
+  tl.set(at_ms(0), 100.0);
+  tl.set(at_ms(500), 200.0);
+  // 0.5s at 100 + 0.5s at 200 = 150 value-seconds over 1s.
+  EXPECT_NEAR(tl.integral(at_ms(0), at_ms(1000)), 150.0, 1e-9);
+  EXPECT_NEAR(tl.mean(at_ms(0), at_ms(1000)), 150.0, 1e-9);
+}
+
+TEST(TimelineTest, PruneKeepsBoundaryValue) {
+  Timeline tl;
+  tl.set(at_ms(0), 1.0);
+  tl.set(at_ms(100), 2.0);
+  tl.set(at_ms(200), 3.0);
+  tl.prune_before(at_ms(150));
+  EXPECT_EQ(tl.at(at_ms(150)), 2.0);
+  EXPECT_EQ(tl.at(at_ms(250)), 3.0);
+}
+
+// ---------------------------------------------------------------- gpio ----
+
+TEST(GpioTest, WriteRequiresOutputMode) {
+  GpioController gpio;
+  EXPECT_FALSE(gpio.write(5, PinLevel::kHigh).ok());
+  ASSERT_TRUE(gpio.set_mode(5, PinMode::kOutput).ok());
+  EXPECT_TRUE(gpio.write(5, PinLevel::kHigh).ok());
+  auto level = gpio.read(5);
+  ASSERT_TRUE(level.ok());
+  EXPECT_EQ(level.value(), PinLevel::kHigh);
+}
+
+TEST(GpioTest, PinRangeChecked) {
+  GpioController gpio{4};
+  EXPECT_FALSE(gpio.set_mode(4, PinMode::kOutput).ok());
+  EXPECT_FALSE(gpio.set_mode(-1, PinMode::kOutput).ok());
+  EXPECT_FALSE(gpio.read(17).ok());
+}
+
+TEST(GpioTest, ListenersObserveWrites) {
+  GpioController gpio;
+  ASSERT_TRUE(gpio.set_mode(3, PinMode::kOutput).ok());
+  int calls = 0;
+  PinLevel seen = PinLevel::kLow;
+  gpio.on_write(3, [&](int, PinLevel level) {
+    ++calls;
+    seen = level;
+  });
+  ASSERT_TRUE(gpio.write(3, PinLevel::kHigh).ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen, PinLevel::kHigh);
+}
+
+// --------------------------------------------------------------- relay ----
+
+/// Constant test load.
+class ConstantLoad : public Load {
+ public:
+  explicit ConstantLoad(double ma) : ma_{ma} {}
+  double current_ma(TimePoint) const override { return ma_; }
+  std::vector<std::pair<TimePoint, double>> current_segments(
+      TimePoint t0, TimePoint) const override {
+    return {{t0, ma_}};
+  }
+
+ private:
+  double ma_;
+};
+
+class RelayTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+  GpioController gpio;
+  RelayBoard relay{sim, gpio, 4, 17};
+};
+
+TEST_F(RelayTest, DefaultsToBatteryPosition) {
+  for (int ch = 0; ch < 4; ++ch) {
+    auto pos = relay.position(ch);
+    ASSERT_TRUE(pos.ok());
+    EXPECT_EQ(pos.value(), RelayPosition::kBattery);
+  }
+  EXPECT_FALSE(relay.any_bypass());
+}
+
+TEST_F(RelayTest, SwitchTakesActuationTime) {
+  ASSERT_TRUE(relay.set_position(1, RelayPosition::kBypass).ok());
+  EXPECT_EQ(relay.position(1).value(), RelayPosition::kBattery)
+      << "contacts must not settle instantaneously";
+  sim.run_for(relay.spec().switch_time);
+  EXPECT_EQ(relay.position(1).value(), RelayPosition::kBypass);
+  EXPECT_EQ(relay.toggles(1).value(), 1u);
+}
+
+TEST_F(RelayTest, ChannelIsExclusive) {
+  // SPDT by construction: bypass channels are exactly the non-battery ones.
+  ASSERT_TRUE(relay.set_position(0, RelayPosition::kBypass).ok());
+  ASSERT_TRUE(relay.set_position(2, RelayPosition::kBypass).ok());
+  sim.run_for(relay.spec().switch_time);
+  const auto bypass = relay.bypass_channels();
+  EXPECT_EQ(bypass, (std::vector<int>{0, 2}));
+  for (int ch : bypass) {
+    EXPECT_NE(relay.position(ch).value(), RelayPosition::kBattery);
+  }
+}
+
+TEST_F(RelayTest, MeasuresOnlyBypassChannels) {
+  ConstantLoad load_a{100.0};
+  ConstantLoad load_b{200.0};
+  ASSERT_TRUE(relay.connect_load(0, &load_a).ok());
+  ASSERT_TRUE(relay.connect_load(1, &load_b).ok());
+  sim.run_for(Duration::seconds(1));
+  EXPECT_EQ(relay.current_ma(sim.now()), 0.0);
+
+  ASSERT_TRUE(relay.set_position(1, RelayPosition::kBypass).ok());
+  sim.run_for(Duration::seconds(1));
+  const double loss = relay.spec().contact_loss_fraction;
+  EXPECT_NEAR(relay.current_ma(sim.now()), 200.0 * (1.0 + loss), 1e-9);
+
+  ASSERT_TRUE(relay.set_position(0, RelayPosition::kBypass).ok());
+  sim.run_for(Duration::seconds(1));
+  EXPECT_NEAR(relay.current_ma(sim.now()), 300.0 * (1.0 + loss), 1e-9);
+}
+
+TEST_F(RelayTest, SwitchingTransientDecays) {
+  ConstantLoad load{100.0};
+  ASSERT_TRUE(relay.connect_load(0, &load).ok());
+  ASSERT_TRUE(relay.set_position(0, RelayPosition::kBypass).ok());
+  sim.run_for(relay.spec().switch_time);
+  const TimePoint settled = sim.now();
+  const double loss = relay.spec().contact_loss_fraction;
+  // Right after settling: transient extra visible.
+  EXPECT_GT(relay.current_ma(settled), 100.0 * (1.0 + loss));
+  // After the transient window: clean reading.
+  sim.run_for(relay.spec().transient_duration + Duration::millis(1));
+  EXPECT_NEAR(relay.current_ma(sim.now()), 100.0 * (1.0 + loss), 1e-9);
+}
+
+TEST_F(RelayTest, ChannelValidation) {
+  EXPECT_FALSE(relay.set_position(-1, RelayPosition::kBypass).ok());
+  EXPECT_FALSE(relay.set_position(4, RelayPosition::kBypass).ok());
+  ConstantLoad load{1.0};
+  ASSERT_TRUE(relay.connect_load(3, &load).ok());
+  EXPECT_FALSE(relay.connect_load(3, &load).ok()) << "channel already wired";
+  ASSERT_TRUE(relay.disconnect_load(3).ok());
+  EXPECT_TRUE(relay.connect_load(3, &load).ok());
+}
+
+TEST_F(RelayTest, SegmentsMergeLoadBreakpoints) {
+  ConstantLoad load{150.0};
+  ASSERT_TRUE(relay.connect_load(0, &load).ok());
+  ASSERT_TRUE(relay.set_position(0, RelayPosition::kBypass).ok());
+  sim.run_for(Duration::seconds(2));
+  const auto segs = relay.current_segments(TimePoint::epoch(), sim.now());
+  ASSERT_GE(segs.size(), 2u);  // off, transient, steady
+  EXPECT_EQ(segs.front().second, 0.0);
+}
+
+// ------------------------------------------------------- power monitor ----
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+  PowerMonitor monitor{sim, util::Rng{42}};
+  ConstantLoad load{160.0};
+};
+
+TEST_F(MonitorTest, RequiresMainsAndVoltage) {
+  EXPECT_FALSE(monitor.set_voltage(3.85).ok()) << "no mains";
+  monitor.set_mains(true);
+  EXPECT_FALSE(monitor.start_capture().ok()) << "no voltage programmed";
+  ASSERT_TRUE(monitor.set_voltage(3.85).ok());
+  EXPECT_FALSE(monitor.start_capture().ok()) << "no load wired";
+  monitor.connect_load(&load);
+  EXPECT_TRUE(monitor.start_capture().ok());
+}
+
+TEST_F(MonitorTest, VoltageRangeEnforced) {
+  monitor.set_mains(true);
+  EXPECT_FALSE(monitor.set_voltage(0.5).ok());
+  EXPECT_FALSE(monitor.set_voltage(14.0).ok());
+  EXPECT_TRUE(monitor.set_voltage(0.8).ok());
+  EXPECT_TRUE(monitor.set_voltage(13.5).ok());
+}
+
+TEST_F(MonitorTest, CaptureSamplesAtFiveKhz) {
+  monitor.set_mains(true);
+  ASSERT_TRUE(monitor.set_voltage(3.85).ok());
+  monitor.connect_load(&load);
+  ASSERT_TRUE(monitor.start_capture().ok());
+  sim.run_for(Duration::seconds(2));
+  auto capture = monitor.stop_capture();
+  ASSERT_TRUE(capture.ok());
+  EXPECT_EQ(capture.value().sample_count(), 10000u);
+  EXPECT_NEAR(capture.value().duration().to_seconds(), 2.0, 1e-6);
+}
+
+TEST_F(MonitorTest, MeasurementTracksLoadWithinNoise) {
+  monitor.set_mains(true);
+  ASSERT_TRUE(monitor.set_voltage(3.85).ok());
+  monitor.connect_load(&load);
+  ASSERT_TRUE(monitor.start_capture().ok());
+  sim.run_for(Duration::seconds(5));
+  auto capture = monitor.stop_capture();
+  ASSERT_TRUE(capture.ok());
+  // gain 1.001 on a 160 mA load, noise sigma < 1 mA.
+  EXPECT_NEAR(capture.value().mean_current_ma(), 160.16, 0.3);
+  const auto cdf = capture.value().current_cdf(5);
+  EXPECT_NEAR(cdf.median(), 160.16, 0.4);
+  EXPECT_LT(cdf.quantile(0.99) - cdf.quantile(0.01), 6.0);
+}
+
+TEST_F(MonitorTest, ChargeIntegration) {
+  monitor.set_mains(true);
+  ASSERT_TRUE(monitor.set_voltage(4.0).ok());
+  monitor.connect_load(&load);
+  ASSERT_TRUE(monitor.start_capture().ok());
+  sim.run_for(Duration::seconds(3600));
+  auto capture = monitor.stop_capture();
+  ASSERT_TRUE(capture.ok());
+  // 160 mA for 1 h = 160 mAh (x gain), energy = mAh * V.
+  EXPECT_NEAR(capture.value().charge_mah(), 160.16, 0.5);
+  EXPECT_NEAR(capture.value().energy_mwh(),
+              capture.value().charge_mah() * 4.0, 1e-6);
+}
+
+TEST_F(MonitorTest, MainsLossAbortsCapture) {
+  monitor.set_mains(true);
+  ASSERT_TRUE(monitor.set_voltage(3.85).ok());
+  monitor.connect_load(&load);
+  ASSERT_TRUE(monitor.start_capture().ok());
+  monitor.set_mains(false);
+  EXPECT_FALSE(monitor.capturing());
+  EXPECT_FALSE(monitor.stop_capture().ok());
+  EXPECT_EQ(monitor.voltage(), 0.0) << "output stage resets on power loss";
+}
+
+TEST_F(MonitorTest, DoubleStartRejected) {
+  monitor.set_mains(true);
+  ASSERT_TRUE(monitor.set_voltage(3.85).ok());
+  monitor.connect_load(&load);
+  ASSERT_TRUE(monitor.start_capture().ok());
+  EXPECT_FALSE(monitor.start_capture().ok());
+}
+
+TEST_F(MonitorTest, OvercurrentClampsAndCounts) {
+  ConstantLoad hot{8000.0};  // above the 6 A limit
+  monitor.set_mains(true);
+  ASSERT_TRUE(monitor.set_voltage(3.85).ok());
+  monitor.connect_load(&hot);
+  ASSERT_TRUE(monitor.start_capture().ok());
+  sim.run_for(Duration::millis(100));
+  auto capture = monitor.stop_capture();
+  ASSERT_TRUE(capture.ok());
+  EXPECT_GT(monitor.overcurrent_events(), 0u);
+  for (float s : capture.value().samples_ma()) {
+    EXPECT_LE(s, monitor.spec().max_current_ma);
+  }
+}
+
+// Property sweep: capture mean matches the load level across magnitudes.
+class MonitorAccuracySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MonitorAccuracySweep, MeanWithinTolerance) {
+  sim::Simulator sim;
+  PowerMonitor monitor{sim, util::Rng{7}};
+  ConstantLoad load{GetParam()};
+  monitor.set_mains(true);
+  ASSERT_TRUE(monitor.set_voltage(3.85).ok());
+  monitor.connect_load(&load);
+  ASSERT_TRUE(monitor.start_capture().ok());
+  sim.run_for(Duration::seconds(2));
+  auto capture = monitor.stop_capture();
+  ASSERT_TRUE(capture.ok());
+  EXPECT_NEAR(capture.value().mean_current_ma(),
+              GetParam() * monitor.spec().gain, 0.35);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, MonitorAccuracySweep,
+                         ::testing::Values(5.0, 40.0, 160.0, 220.0, 800.0,
+                                           2500.0));
+
+TEST_F(MonitorTest, CalibrationCorrectsGainError) {
+  MonsoonSpec sloppy;
+  sloppy.gain = 1.02;  // 2% factory miscalibration
+  sim::Simulator local_sim;
+  PowerMonitor sloppy_monitor{local_sim, util::Rng{9}, sloppy};
+  ConstantLoad reference{500.0};  // precision reference load
+  sloppy_monitor.set_mains(true);
+  ASSERT_TRUE(sloppy_monitor.set_voltage(3.85).ok());
+  sloppy_monitor.connect_load(&reference);
+
+  // Before calibration: the 2% error shows.
+  ASSERT_TRUE(sloppy_monitor.start_capture().ok());
+  local_sim.run_for(Duration::seconds(2));
+  auto raw = sloppy_monitor.stop_capture();
+  ASSERT_TRUE(raw.ok());
+  EXPECT_NEAR(raw.value().mean_current_ma(), 510.0, 1.0);
+
+  ASSERT_TRUE(sloppy_monitor.calibrate_against(500.0).ok());
+  EXPECT_NEAR(sloppy_monitor.gain_correction(), 1.0 / 1.02, 0.002);
+
+  ASSERT_TRUE(sloppy_monitor.start_capture().ok());
+  local_sim.run_for(Duration::seconds(2));
+  auto corrected = sloppy_monitor.stop_capture();
+  ASSERT_TRUE(corrected.ok());
+  EXPECT_NEAR(corrected.value().mean_current_ma(), 500.0, 0.6);
+  EXPECT_EQ(sloppy_monitor.captures_taken(), 2u)
+      << "the calibration sweep is not a user capture";
+
+  sloppy_monitor.reset_calibration();
+  EXPECT_DOUBLE_EQ(sloppy_monitor.gain_correction(), 1.0);
+}
+
+TEST_F(MonitorTest, CalibrationRejectsBadInputs) {
+  monitor.set_mains(true);
+  ASSERT_TRUE(monitor.set_voltage(3.85).ok());
+  monitor.connect_load(&load);
+  EXPECT_FALSE(monitor.calibrate_against(-5.0).ok());
+  ASSERT_TRUE(monitor.start_capture().ok());
+  EXPECT_FALSE(monitor.calibrate_against(100.0).ok()) << "mid-capture";
+}
+
+// -------------------------------------------------------- power socket ----
+
+TEST(PowerSocketTest, DrivesMonitorMains) {
+  sim::Simulator sim;
+  net::Network net{sim};
+  PowerMonitor monitor{sim, util::Rng{1}};
+  PowerSocket socket{net, "socket.node1"};
+  socket.attach_monitor(&monitor);
+  EXPECT_FALSE(monitor.has_mains());
+  ASSERT_TRUE(socket.turn_on().ok());
+  EXPECT_TRUE(monitor.has_mains());
+  ASSERT_TRUE(socket.turn_off().ok());
+  EXPECT_FALSE(monitor.has_mains());
+  EXPECT_EQ(socket.toggle_count(), 2u);
+}
+
+TEST(PowerSocketTest, NetworkControlProtocol) {
+  sim::Simulator sim;
+  net::Network net{sim};
+  PowerSocket socket{net, "socket.node1"};
+  net.add_link("ctrl", "socket.node1",
+               net::LinkSpec::symmetric(Duration::millis(3), 20.0));
+  std::string state;
+  net.listen({"ctrl", 9000}, [&](const net::Message& m) { state = m.payload; });
+  net::Message m;
+  m.src = {"ctrl", 9000};
+  m.dst = socket.address();
+  m.tag = "meross.set";
+  m.payload = "on";
+  ASSERT_TRUE(net.send(std::move(m)).ok());
+  sim.run_all();
+  EXPECT_TRUE(socket.is_on());
+  EXPECT_EQ(state, "on");
+
+  net::Message off;
+  off.src = {"ctrl", 9000};
+  off.dst = socket.address();
+  off.tag = "meross.set";
+  off.payload = "off";
+  ASSERT_TRUE(net.send(std::move(off)).ok());
+  sim.run_all();
+  EXPECT_FALSE(socket.is_on());
+  EXPECT_EQ(state, "off");
+}
+
+TEST(PowerSocketTest, RedundantCommandsDoNotToggle) {
+  sim::Simulator sim;
+  net::Network net{sim};
+  PowerSocket socket{net, "socket.node1"};
+  ASSERT_TRUE(socket.turn_on().ok());
+  ASSERT_TRUE(socket.turn_on().ok());
+  EXPECT_EQ(socket.toggle_count(), 1u);
+}
+
+}  // namespace
+}  // namespace blab::hw

@@ -1,0 +1,356 @@
+// End-to-end integration tests: the full pipeline from experimenter job
+// submission through scheduling, SSH, automation, measurement and artifact
+// retrieval — plus cross-cutting properties (determinism, multi-node).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "automation/browser_workload.hpp"
+#include "device/android.hpp"
+#include "device/browser.hpp"
+#include "server/access_server.hpp"
+#include "server/maintenance.hpp"
+#include "util/strings.hpp"
+
+namespace blab {
+namespace {
+
+using util::Duration;
+
+/// A whole BatteryLab deployment in one object.
+struct Deployment {
+  explicit Deployment(std::uint64_t seed = 20191113)
+      : seed{seed}, net{sim, seed}, server{sim, net}, vpn{net, "internet"} {
+    net.add_host("internet");
+    net.add_link("web", "internet",
+                 net::LinkSpec::symmetric(Duration::millis(4), 900.0));
+    server.scheduler().attach_vpn(&vpn);
+  }
+
+  api::VantagePoint& add_node(const std::string& label,
+                              const std::string& serial) {
+    api::VantagePointConfig config;
+    config.name = label;
+    config.seed = seed ^ util::fnv1a(label);
+    auto vp = std::make_unique<api::VantagePoint>(sim, net, config);
+    net.add_link(vp->controller_host(), "internet",
+                 net::LinkSpec::symmetric(Duration::millis(6), 200.0));
+    device::DeviceSpec spec;
+    spec.serial = serial;
+    EXPECT_TRUE(vp->add_device(spec).ok());
+    EXPECT_TRUE(server.onboard_vantage_point(label, *vp).ok());
+    nodes.push_back(std::move(vp));
+    return *nodes.back();
+  }
+
+  std::uint64_t seed;
+  sim::Simulator sim;
+  net::Network net;
+  server::AccessServer server;
+  net::VpnProvider vpn;
+  std::vector<std::unique_ptr<api::VantagePoint>> nodes;
+};
+
+TEST(IntegrationTest, FullJobPipelineEndToEnd) {
+  Deployment d;
+  d.add_node("node1", "J7DUO-1");
+  const auto admin = d.server.users().register_user("root", server::Role::kAdmin);
+  const auto alice =
+      d.server.users().register_user("alice", server::Role::kExperimenter);
+  ASSERT_TRUE(admin.ok() && alice.ok());
+
+  // Alice deploys the §4.2 experiment as a job.
+  server::Job job;
+  job.name = "brave-energy";
+  job.constraints.device_serial = "J7DUO-1";
+  job.script = [](server::JobContext& ctx) -> util::Status {
+    automation::BrowserWorkloadOptions options;
+    options.pages = 2;
+    options.scrolls_per_page = 2;
+    auto run = automation::run_browser_energy_test(
+        *ctx.api, ctx.device_serial, device::BrowserProfile::brave(), options);
+    if (!run.ok()) return run.error();
+    ctx.workspace->log("mean_ma=" +
+                       util::format_double(run.value().mean_current_ma, 2));
+    ctx.workspace->store_artifact(
+        "discharge_mah",
+        util::format_double(run.value().discharge_mah, 4));
+    return util::Status::ok_status();
+  };
+  auto id = d.server.submit_job(alice.value(), std::move(job));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(d.server.approve_pipeline(admin.value(), id.value()).ok());
+  auto ran = d.server.run_queue(alice.value());
+  ASSERT_TRUE(ran.ok());
+  EXPECT_EQ(ran.value(), 1u);
+
+  const server::Job* done = d.server.scheduler().find(id.value());
+  ASSERT_NE(done, nullptr);
+  EXPECT_EQ(done->state, server::JobState::kSucceeded);
+  EXPECT_TRUE(done->workspace.has_artifact("discharge_mah"));
+  EXPECT_FALSE(done->workspace.logs().empty());
+  const double mah =
+      std::stod(done->workspace.artifacts().at("discharge_mah"));
+  EXPECT_GT(mah, 0.5);
+  EXPECT_LT(mah, 20.0);
+}
+
+TEST(IntegrationTest, VpnJobChangesTrafficShape) {
+  // Chrome through the Japan exit fetches ~20% fewer bytes (§4.3 / Fig. 6).
+  Deployment d;
+  d.add_node("node1", "J7DUO-1");
+  const auto admin = d.server.users().register_user("root", server::Role::kAdmin);
+  const auto alice =
+      d.server.users().register_user("alice", server::Role::kExperimenter);
+
+  std::uint64_t bytes_home = 0, bytes_japan = 0;
+  auto make_job = [&](const std::string& location, std::uint64_t* sink) {
+    server::Job job;
+    job.name = "chrome-" + (location.empty() ? "home" : location);
+    job.constraints.network_location = location;
+    job.script = [sink](server::JobContext& ctx) -> util::Status {
+      automation::BrowserWorkloadOptions options;
+      options.pages = 3;
+      options.scrolls_per_page = 1;
+      auto run = automation::run_browser_energy_test(
+          *ctx.api, ctx.device_serial, device::BrowserProfile::chrome(),
+          options);
+      if (!run.ok()) return run.error();
+      *sink = run.value().bytes_fetched;
+      return util::Status::ok_status();
+    };
+    auto id = d.server.submit_job(alice.value(), std::move(job));
+    EXPECT_TRUE(id.ok());
+    EXPECT_TRUE(d.server.approve_pipeline(admin.value(), id.value()).ok());
+  };
+  make_job("", &bytes_home);
+  make_job("Japan", &bytes_japan);
+  EXPECT_EQ(d.server.run_queue(alice.value()).value(), 2u);
+
+  ASSERT_GT(bytes_home, 0u);
+  ASSERT_GT(bytes_japan, 0u);
+  const double drop =
+      1.0 - static_cast<double>(bytes_japan) / static_cast<double>(bytes_home);
+  EXPECT_NEAR(drop, 0.20, 0.05);
+}
+
+TEST(IntegrationTest, TwoVantagePointsScheduleIndependently) {
+  Deployment d;
+  d.add_node("node1", "PHONE-A");
+  d.add_node("node2", "PHONE-B");
+  const auto admin = d.server.users().register_user("root", server::Role::kAdmin);
+  const auto alice =
+      d.server.users().register_user("alice", server::Role::kExperimenter);
+
+  std::vector<std::string> placements;
+  for (const char* target : {"node2", "node1", ""}) {
+    server::Job job;
+    job.name = std::string{"placed-"} + target;
+    job.constraints.node_label = target;
+    job.script = [&placements](server::JobContext& ctx) {
+      placements.push_back(ctx.node_label + "/" + ctx.device_serial);
+      return util::Status::ok_status();
+    };
+    auto id = d.server.submit_job(alice.value(), std::move(job));
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(d.server.approve_pipeline(admin.value(), id.value()).ok());
+  }
+  EXPECT_EQ(d.server.run_queue(alice.value()).value(), 3u);
+  ASSERT_EQ(placements.size(), 3u);
+  EXPECT_EQ(placements[0], "node2/PHONE-B");
+  EXPECT_EQ(placements[1], "node1/PHONE-A");
+  // The unconstrained job landed somewhere valid.
+  EXPECT_TRUE(placements[2] == "node1/PHONE-A" ||
+              placements[2] == "node2/PHONE-B");
+}
+
+TEST(IntegrationTest, SshDrivenMaintenanceAcrossNodes) {
+  Deployment d;
+  auto& vp1 = d.add_node("node1", "PHONE-A");
+  auto& vp2 = d.add_node("node2", "PHONE-B");
+  // Wire the controllers' command handlers to a tiny shell.
+  for (auto* vp : {&vp1, &vp2}) {
+    vp->controller().ssh_server().set_command_handler(
+        [vp](const std::string& cmd) {
+          if (cmd == "hostname") return net::SshCommandResult{0, vp->name()};
+          return net::SshCommandResult{127, "unknown"};
+        });
+  }
+  auto r1 = d.server.ssh_exec("node1", "hostname");
+  auto r2 = d.server.ssh_exec("node2", "hostname");
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1.value().output, "node1");
+  EXPECT_EQ(r2.value().output, "node2");
+}
+
+TEST(IntegrationTest, MeasurementIsDeterministicForSameSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    Deployment d{seed};
+    auto& vp = d.add_node("node1", "J7DUO-1");
+    api::BatteryLabApi api{vp};
+    EXPECT_TRUE(api.power_monitor().ok());
+    EXPECT_TRUE(api.set_voltage(3.85).ok());
+    auto capture = api.run_monitor("J7DUO-1", Duration::seconds(5));
+    EXPECT_TRUE(capture.ok());
+    return capture.value().mean_current_ma();
+  };
+  const double a = run_once(42);
+  const double b = run_once(42);
+  const double c = run_once(43);
+  EXPECT_DOUBLE_EQ(a, b) << "same seed, same electrons";
+  EXPECT_NE(a, c);
+}
+
+TEST(IntegrationTest, ConcurrentMeasurementAndMirroringOnTwoDevices) {
+  Deployment d;
+  auto& vp = d.add_node("node1", "PHONE-A");
+  device::DeviceSpec second;
+  second.serial = "PHONE-B";
+  ASSERT_TRUE(vp.add_device(second).ok());
+  api::BatteryLabApi api{vp};
+
+  // Mirror device B while measuring device A: the relay isolates channels.
+  ASSERT_TRUE(api.device_mirroring("PHONE-B").ok());
+  ASSERT_TRUE(api.power_monitor().ok());
+  ASSERT_TRUE(api.set_voltage(3.85).ok());
+  ASSERT_TRUE(api.start_monitor("PHONE-A").ok());
+  d.sim.run_for(Duration::seconds(5));
+  auto capture = api.stop_monitor();
+  ASSERT_TRUE(capture.ok());
+  // Only PHONE-A's draw is measured: an idle phone, not idle + mirroring.
+  auto* b = vp.find_device("PHONE-B");
+  EXPECT_TRUE(b->encoder_active());
+  EXPECT_NEAR(capture.value().mean_current_ma(),
+              vp.find_device("PHONE-A")->demand_ma(), 40.0);
+  ASSERT_TRUE(api.device_mirroring("PHONE-B", false).ok());
+}
+
+TEST(IntegrationTest, BrownOutRecoveryViaMaintenance) {
+  Deployment d;
+  auto& vp = d.add_node("node1", "J7DUO-1");
+  api::BatteryLabApi api{vp};
+  // Operator error: flipping to bypass with the monitor off.
+  EXPECT_FALSE(vp.switch_power("J7DUO-1", hw::RelayPosition::kBypass).ok());
+  EXPECT_FALSE(vp.find_device("J7DUO-1")->powered_on());
+  // Recovery path: relay back to battery, reboot, verify over ADB.
+  ASSERT_TRUE(vp.switch_power("J7DUO-1", hw::RelayPosition::kBattery).ok());
+  vp.find_device("J7DUO-1")->power_on();
+  auto out = api.execute_adb("J7DUO-1", "whoami");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), "shell");
+}
+
+TEST(IntegrationTest, TesterInviteGatesTheSharedSession) {
+  // End-to-end §3 story: experimenter posts a paid task, the invite token
+  // gates the noVNC session, the recruited tester connects and interacts,
+  // the experimenter signs off, the tester gets paid.
+  Deployment d;
+  auto& vp = d.add_node("node1", "J7DUO-1");
+  d.server.enable_credit_enforcement();
+  (void)d.server.users().register_user("alice", server::Role::kExperimenter);
+  (void)d.server.credits().open_account("alice", 50.0);
+
+  auto task = d.server.testers().post_task(
+      "alice", "node1", "J7DUO-1", "scroll through a news site",
+      server::TesterSource::kMTurk, 8.0, d.sim.now());
+  ASSERT_TRUE(task.ok());
+  const std::string invite = d.server.testers().find(task.value())->invite_token;
+
+  // Experimenter starts mirroring with the invite as the session token and
+  // hides the toolbar (§3.2).
+  api::BatteryLabApi api{vp};
+  ASSERT_TRUE(api.device_mirroring("J7DUO-1").ok());
+  auto* session = vp.mirroring("J7DUO-1");
+  session->novnc().set_access_token(invite);
+  session->novnc().set_toolbar_visible(false);
+
+  // The tester claims the task and joins with the token.
+  auto claimed = d.server.testers().claim(invite, "turker-1");
+  ASSERT_TRUE(claimed.ok());
+  d.net.add_link("tester-laptop", vp.controller_host(),
+                 net::LinkSpec::symmetric(Duration::millis(25), 30.0));
+  d.net.listen({"tester-laptop", 7000}, [](const net::Message&) {});
+  EXPECT_FALSE(
+      session->novnc().connect_viewer({"crasher", 1}, "stolen").ok());
+  ASSERT_TRUE(
+      session->novnc().connect_viewer({"tester-laptop", 7000}, invite).ok());
+
+  // They interact; the latency probe doubles as "the session works".
+  auto latency =
+      session->measure_latency_sync({"tester-laptop", 7000}, 540, 900);
+  ASSERT_TRUE(latency.ok());
+  EXPECT_GT(latency.value(), Duration::seconds(1));
+
+  ASSERT_TRUE(
+      d.server.testers().complete(task.value(), "alice", d.sim.now()).ok());
+  EXPECT_DOUBLE_EQ(d.server.credits().balance("turker-1").value(), 8.0);
+  (void)api.device_mirroring("J7DUO-1", false);
+}
+
+TEST(IntegrationTest, IosJobSchedulesLikeAnyOther) {
+  Deployment d;
+  auto& vp = d.add_node("node1", "PHONE-A");
+  ASSERT_TRUE(vp.add_device(device::DeviceSpec::iphone("IPHONE8-1")).ok());
+  const auto admin = d.server.users().register_user("root", server::Role::kAdmin);
+  const auto alice =
+      d.server.users().register_user("alice", server::Role::kExperimenter);
+
+  double iphone_ma = 0.0;
+  server::Job job;
+  job.name = "iphone-idle-power";
+  job.constraints.device_model = "iPhone 8";
+  job.script = [&iphone_ma](server::JobContext& ctx) -> util::Status {
+    // No ADB on iOS: the measurement path alone.
+    if (ctx.api->execute_adb(ctx.device_serial, "whoami").ok()) {
+      return util::make_error(util::ErrorCode::kUnknown,
+                              "ADB should not exist on an iPhone");
+    }
+    if (auto st = ctx.api->power_monitor(); !st.ok()) return st;
+    if (auto st = ctx.api->set_voltage(3.8); !st.ok()) return st;
+    auto capture = ctx.api->run_monitor(ctx.device_serial,
+                                        Duration::seconds(10));
+    if (!capture.ok()) return capture.error();
+    iphone_ma = capture.value().mean_current_ma();
+    return util::Status::ok_status();
+  };
+  auto id = d.server.submit_job(alice.value(), std::move(job));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(d.server.approve_pipeline(admin.value(), id.value()).ok());
+  EXPECT_EQ(d.server.run_queue(alice.value()).value(), 1u);
+  const server::Job* done = d.server.scheduler().find(id.value());
+  EXPECT_EQ(done->state, server::JobState::kSucceeded)
+      << done->failure_reason;
+  EXPECT_GT(iphone_ma, 30.0);
+}
+
+TEST(IntegrationTest, UploadTrafficAccountedDuringMirroring) {
+  // §4.2: ~32 MB upload for a ~7 min mirrored test (50 MB upper bound at
+  // 1 Mbps before noVNC compression). Scaled here: 1 minute of video.
+  Deployment d;
+  auto& vp = d.add_node("node1", "J7DUO-1");
+  auto* dev = vp.find_device("J7DUO-1");
+  api::BatteryLabApi api{vp};
+
+  // A co-located viewer watches the session.
+  d.net.add_link("viewer", vp.controller_host(),
+                 net::LinkSpec::symmetric(Duration::micros(500), 100.0));
+  d.net.listen({"viewer", 7200}, [](const net::Message&) {});
+  ASSERT_TRUE(api.device_mirroring("J7DUO-1").ok());
+  ASSERT_TRUE(
+      vp.mirroring("J7DUO-1")->attach_viewer({"viewer", 7200}).ok());
+  dev->screen().set_content_change_rate(0.6);  // video-like content
+  d.net.reset_stats();
+  d.sim.run_for(Duration::seconds(60));
+
+  const double uplink_mb =
+      static_cast<double>(d.net.stats("viewer").bytes_rx) / 1e6;
+  // 1 Mbps * 60 s / 8 = 7.5 MB raw; ~0.61 compression -> ~4.6 MB.
+  EXPECT_NEAR(uplink_mb, 4.6, 1.2);
+  const double device_mb =
+      static_cast<double>(vp.mirroring("J7DUO-1")->bytes_received()) / 1e6;
+  EXPECT_NEAR(device_mb, 7.5, 1.5);
+  ASSERT_TRUE(api.device_mirroring("J7DUO-1", false).ok());
+}
+
+}  // namespace
+}  // namespace blab

@@ -1,0 +1,203 @@
+// Tests for the iOS device path (§3.2–3.3, §5): no ADB, AirPlay mirroring,
+// Bluetooth-keyboard / UI-test automation only.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "api/batterylab_api.hpp"
+#include "automation/bt_hid.hpp"
+#include "automation/channels.hpp"
+#include "device/android.hpp"
+#include "device/browser.hpp"
+#include "mirror/airplay.hpp"
+#include "mirror/session.hpp"
+#include "util/stats.hpp"
+
+namespace blab {
+namespace {
+
+using util::Duration;
+
+class IosFixture : public ::testing::Test {
+ protected:
+  IosFixture() : net{sim, 909} {
+    net.add_host("internet");
+    net.add_link("web", "internet",
+                 net::LinkSpec::symmetric(Duration::millis(4), 900.0));
+    vp = std::make_unique<api::VantagePoint>(sim, net);
+    net.add_link(vp->controller_host(), "internet",
+                 net::LinkSpec::symmetric(Duration::millis(6), 200.0));
+    auto added = vp->add_device(device::DeviceSpec::iphone("IPHONE8-1"));
+    EXPECT_TRUE(added.ok());
+    dev = added.value();
+    api = std::make_unique<api::BatteryLabApi>(*vp);
+  }
+
+  sim::Simulator sim;
+  net::Network net;
+  std::unique_ptr<api::VantagePoint> vp;
+  device::AndroidDevice* dev = nullptr;
+  std::unique_ptr<api::BatteryLabApi> api;
+};
+
+TEST_F(IosFixture, IphoneSpecIsIos) {
+  EXPECT_EQ(dev->spec().platform, device::Platform::kIos);
+  EXPECT_EQ(dev->spec().model, "iPhone 8");
+  EXPECT_FALSE(dev->spec().rooted);
+  EXPECT_STREQ(device::platform_name(dev->spec().platform), "ios");
+  EXPECT_STREQ(device::platform_name(device::Platform::kAndroid), "android");
+}
+
+TEST_F(IosFixture, AdbUnavailable) {
+  const auto out = api->execute_adb("IPHONE8-1", "whoami");
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error().code, util::ErrorCode::kUnsupported);
+}
+
+TEST_F(IosFixture, ScrcpyRefusesIos) {
+  mirror::ScrcpyServer server{*dev, vp->controller_host(),
+                              mirror::kFrameSinkPort};
+  const auto st = server.start();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, util::ErrorCode::kUnsupported);
+}
+
+TEST_F(IosFixture, AirPlayRefusesAndroid) {
+  device::DeviceSpec android;
+  android.serial = "DROID";
+  auto added = vp->add_device(android);
+  ASSERT_TRUE(added.ok());
+  mirror::AirPlaySender sender{*added.value(), vp->controller_host(),
+                               mirror::kFrameSinkPort};
+  EXPECT_FALSE(sender.start().ok());
+}
+
+TEST_F(IosFixture, AirPlayStreamsFrames) {
+  mirror::AirPlaySender sender{*dev, vp->controller_host(),
+                               mirror::kFrameSinkPort};
+  std::uint64_t frames = 0;
+  net.listen({vp->controller_host(), mirror::kFrameSinkPort},
+             [&](const net::Message& m) {
+               if (m.tag == "airplay.frame") ++frames;
+             });
+  ASSERT_TRUE(sender.start().ok());
+  EXPECT_TRUE(dev->encoder_active());
+  EXPECT_NE(dev->processes().find_by_name("mediaserverd"), nullptr);
+  sim.run_for(Duration::seconds(2));
+  EXPECT_NEAR(static_cast<double>(frames), 20.0, 2.0);
+  sender.stop();
+  EXPECT_FALSE(dev->encoder_active());
+  EXPECT_EQ(dev->processes().find_by_name("mediaserverd"), nullptr);
+}
+
+TEST_F(IosFixture, MirroringSessionUsesAirPlay) {
+  auto session = vp->start_mirroring("IPHONE8-1");
+  ASSERT_TRUE(session.ok()) << session.error().str();
+  EXPECT_TRUE(session.value()->is_ios());
+  EXPECT_NE(session.value()->airplay(), nullptr);
+  EXPECT_EQ(session.value()->scrcpy(), nullptr);
+  dev->screen().set_content_change_rate(0.6);
+  sim.run_for(Duration::seconds(2));
+  EXPECT_GT(session.value()->frames_received(), 10u);
+  EXPECT_TRUE(vp->stop_mirroring("IPHONE8-1").ok());
+}
+
+TEST_F(IosFixture, RemoteInputRidesHidKeyboard) {
+  // Install an app and drive it through the noVNC → HID path.
+  auto browser = std::make_unique<device::Browser>(
+      *dev, device::BrowserProfile::brave());  // engine stand-in on iOS
+  auto* b = browser.get();
+  ASSERT_TRUE(dev->os().install(std::move(browser)).ok());
+  ASSERT_TRUE(dev->os().start_activity(b->package()).ok());
+  b->on_tap(0, 0);
+  b->on_tap(0, 0);
+
+  auto session = vp->start_mirroring("IPHONE8-1");
+  ASSERT_TRUE(session.ok());
+  net.add_link("viewer", vp->controller_host(),
+               net::LinkSpec::symmetric(Duration::micros(500), 100.0));
+  net.listen({"viewer", 7400}, [](const net::Message&) {});
+  ASSERT_TRUE(session.value()->attach_viewer({"viewer", 7400}).ok());
+
+  auto send_input = [&](const std::string& command) {
+    net::Message input;
+    input.src = {"viewer", 7400};
+    input.dst = session.value()->novnc().address();
+    input.tag = "novnc.input";
+    input.payload = command;
+    input.wire_bytes = 96;
+    ASSERT_TRUE(net.send(std::move(input)).ok());
+    sim.run_for(Duration::millis(700));
+  };
+  send_input("input text news-a.example");
+  send_input("input keyevent 66");
+  sim.run_for(Duration::seconds(8));
+  EXPECT_EQ(b->pages_loaded(), 1u)
+      << "HID-injected URL + enter must navigate";
+}
+
+TEST_F(IosFixture, LatencyProbeWorksOverAirPlay) {
+  auto session = vp->start_mirroring("IPHONE8-1");
+  ASSERT_TRUE(session.ok());
+  net.add_link("viewer", vp->controller_host(),
+               net::LinkSpec::symmetric(Duration::micros(500), 100.0));
+  net.listen({"viewer", 7500}, [](const net::Message&) {});
+  ASSERT_TRUE(session.value()->attach_viewer({"viewer", 7500}).ok());
+  util::RunningStats stats;
+  for (int i = 0; i < 10; ++i) {
+    auto latency =
+        session.value()->measure_latency_sync({"viewer", 7500}, 200, 400);
+    ASSERT_TRUE(latency.ok()) << latency.error().str();
+    stats.add(latency.value().to_seconds());
+    sim.run_for(Duration::seconds(1));
+  }
+  // Same pipeline structure as Android, so the same ballpark.
+  EXPECT_NEAR(stats.mean(), 1.44, 0.30);
+}
+
+TEST_F(IosFixture, MeasurementWorksWithoutAdb) {
+  // The Table-1 measurement path has no ADB dependency.
+  ASSERT_TRUE(api->power_monitor().ok());
+  ASSERT_TRUE(api->set_voltage(3.8).ok());
+  auto capture = api->run_monitor("IPHONE8-1", Duration::seconds(10));
+  ASSERT_TRUE(capture.ok()) << capture.error().str();
+  EXPECT_GT(capture.value().mean_current_ma(), 30.0);
+  EXPECT_EQ(capture.value().sample_count(), 50000u);
+}
+
+TEST_F(IosFixture, BtKeyboardChannelDrivesIphone) {
+  net::BluetoothAdapter dev_bt{net, dev->host()};
+  ASSERT_TRUE(
+      vp->controller().bluetooth().pair(dev_bt, net::BtProfile::kHid).ok());
+  automation::BtKeyboardChannel channel{net, vp->controller().bluetooth(),
+                                        *dev};
+  ASSERT_TRUE(channel.ready().ok());
+  auto browser = std::make_unique<device::Browser>(
+      *dev, device::BrowserProfile::brave());
+  auto* b = browser.get();
+  ASSERT_TRUE(dev->os().install(std::move(browser)).ok());
+  ASSERT_TRUE(channel.launch_app(b->package()).ok());
+  sim.run_for(Duration::millis(300));
+  EXPECT_TRUE(b->running());
+  // App-state management must stay unsupported over HID, on iOS too.
+  EXPECT_FALSE(channel.clear_app(b->package()).ok());
+}
+
+TEST_F(IosFixture, UiTestChannelWorksOnIos) {
+  // XCTest-style instrumented builds drive the app directly (§3.3).
+  auto browser = std::make_unique<device::Browser>(
+      *dev, device::BrowserProfile::brave());
+  auto* b = browser.get();
+  ASSERT_TRUE(dev->os().install(std::move(browser)).ok());
+  automation::UiTestChannel channel{*dev};
+  ASSERT_TRUE(channel.launch_app(b->package()).ok());
+  ASSERT_TRUE(channel.tap(1, 1).ok());
+  ASSERT_TRUE(channel.tap(1, 1).ok());
+  ASSERT_TRUE(channel.text("news-b.example").ok());
+  ASSERT_TRUE(channel.key(device::kKeycodeEnter).ok());
+  sim.run_for(Duration::seconds(8));
+  EXPECT_EQ(b->pages_loaded(), 1u);
+}
+
+}  // namespace
+}  // namespace blab

@@ -1,0 +1,307 @@
+// Unit tests for device mirroring: encoder model, scrcpy server, VNC,
+// noVNC gateway, full sessions and the latency probe.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "controller/controller.hpp"
+#include "device/android.hpp"
+#include "device/video_player.hpp"
+#include "mirror/encoder.hpp"
+#include "mirror/novnc.hpp"
+#include "mirror/scrcpy.hpp"
+#include "mirror/session.hpp"
+#include "mirror/vnc.hpp"
+#include "net/wifi.hpp"
+#include "util/stats.hpp"
+
+namespace blab::mirror {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+// ------------------------------------------------------------- encoder ----
+
+TEST(EncoderTest, OutputCappedAtConfiguredBitrate) {
+  EncoderConfig cfg;  // 1 Mbps cap, the paper's setting
+  EXPECT_LE(H264Encoder::output_mbps(cfg, 1.0), 1.0);
+  EXPECT_LE(H264Encoder::output_mbps(cfg, 0.6), 1.0);
+  EXPECT_LT(H264Encoder::output_mbps(cfg, 0.0), 0.15)
+      << "static screen costs little";
+}
+
+TEST(EncoderTest, OutputMonotoneInChangeRate) {
+  EncoderConfig cfg;
+  cfg.bitrate_cap_mbps = 100.0;  // effectively uncapped
+  double prev = -1.0;
+  for (double c = 0.0; c <= 1.0; c += 0.05) {
+    const double mbps = H264Encoder::output_mbps(cfg, c);
+    EXPECT_GE(mbps, prev);
+    prev = mbps;
+  }
+}
+
+TEST(EncoderTest, DeviceCpuAroundFivePercent) {
+  // Averaged over a browsing mix (idle/scroll/load), the scrcpy server
+  // should cost about 5% device CPU (§4.2).
+  const double avg = (H264Encoder::device_cpu_demand(0.05) +
+                      H264Encoder::device_cpu_demand(0.40) +
+                      H264Encoder::device_cpu_demand(0.50)) /
+                     3.0;
+  EXPECT_NEAR(avg, 0.05, 0.01);
+}
+
+// ----------------------------------------------------------------- vnc ----
+
+TEST(VncTest, UpdatesFanOutToSubscribers) {
+  VncServer vnc;
+  int calls = 0;
+  std::uint64_t last_seq = 0;
+  const int token = vnc.subscribe([&](const FramebufferUpdate& u) {
+    ++calls;
+    last_seq = u.sequence;
+  });
+  vnc.update({1, 1000, 0.5, TimePoint::epoch()});
+  vnc.update({2, 900, 0.4, TimePoint::epoch()});
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(last_seq, 2u);
+  EXPECT_EQ(vnc.version(), 2u);
+  vnc.unsubscribe(token);
+  vnc.update({3, 100, 0.1, TimePoint::epoch()});
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(vnc.subscriber_count(), 0u);
+}
+
+// ------------------------------------------------------ session fixture ----
+
+class MirrorFixture : public ::testing::Test {
+ protected:
+  MirrorFixture() : net{sim, 33} {
+    ctrl = std::make_unique<controller::Controller>(sim, net, "ctrl", 1);
+    ap = std::make_unique<net::WifiAccessPoint>(net, "ctrl", "ctrl");
+    device::DeviceSpec spec;
+    spec.serial = "M1";
+    dev = std::make_unique<device::AndroidDevice>(sim, net, "dev.M1", spec, 2);
+    EXPECT_TRUE(ap->associate("dev.M1").ok());
+    dev->power_on();
+    // Viewer: the experimenter's browser, co-located (1 ms RTT like §4.2).
+    net.add_link("viewer", "ctrl",
+                 net::LinkSpec::symmetric(Duration::micros(500), 100.0));
+  }
+  sim::Simulator sim;
+  net::Network net;
+  std::unique_ptr<controller::Controller> ctrl;
+  std::unique_ptr<net::WifiAccessPoint> ap;
+  std::unique_ptr<device::AndroidDevice> dev;
+};
+
+// -------------------------------------------------------------- scrcpy ----
+
+TEST_F(MirrorFixture, ScrcpyRequiresApi21) {
+  device::DeviceSpec old_spec;
+  old_spec.serial = "OLD";
+  old_spec.api_level = 19;  // KitKat
+  device::AndroidDevice old_dev{sim, net, "dev.OLD", old_spec, 4};
+  old_dev.power_on();
+  ScrcpyServer server{old_dev, "ctrl", kFrameSinkPort};
+  const auto st = server.start();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, util::ErrorCode::kUnsupported);
+}
+
+TEST_F(MirrorFixture, ScrcpyRequiresPoweredDevice) {
+  dev->power_off();
+  ScrcpyServer server{*dev, "ctrl", kFrameSinkPort};
+  EXPECT_FALSE(server.start().ok());
+}
+
+TEST_F(MirrorFixture, ScrcpyStreamsFramesAndRaisesPower) {
+  const double before = dev->demand_ma();
+  ScrcpyServer server{*dev, "ctrl", kFrameSinkPort};
+  std::uint64_t frames = 0;
+  net.listen({"ctrl", kFrameSinkPort}, [&](const net::Message& m) {
+    if (m.tag == "scrcpy.frame") ++frames;
+  });
+  ASSERT_TRUE(server.start());
+  EXPECT_TRUE(dev->encoder_active());
+  EXPECT_GT(dev->demand_ma(), before);
+  sim.run_for(Duration::seconds(2));
+  EXPECT_NEAR(static_cast<double>(frames), 20.0, 2.0);
+  // The last frame may still be in flight at the window edge.
+  EXPECT_GE(server.frames_sent(), frames);
+  EXPECT_LE(server.frames_sent(), frames + 1);
+  server.stop();
+  EXPECT_FALSE(dev->encoder_active());
+  const auto at_stop = server.frames_sent();
+  sim.run_for(Duration::seconds(1));
+  EXPECT_EQ(server.frames_sent(), at_stop) << "no frames after stop";
+}
+
+TEST_F(MirrorFixture, ScrcpyBytesTrackContentChange) {
+  ScrcpyServer server{*dev, "ctrl", kFrameSinkPort};
+  net.listen({"ctrl", kFrameSinkPort}, [](const net::Message&) {});
+  ASSERT_TRUE(server.start());
+  dev->screen().set_content_change_rate(0.02);
+  sim.run_for(Duration::seconds(2));
+  const auto quiet_bytes = server.bytes_sent();
+  dev->screen().set_content_change_rate(0.60);
+  sim.run_for(Duration::seconds(2));
+  const auto busy_bytes = server.bytes_sent() - quiet_bytes;
+  EXPECT_GT(busy_bytes, quiet_bytes * 3);
+}
+
+TEST_F(MirrorFixture, ScrcpyControlInjectsInput) {
+  auto player = std::make_unique<device::VideoPlayerApp>(*dev);
+  ASSERT_TRUE(dev->os().install(std::move(player)).ok());
+  ASSERT_TRUE(dev->os().start_activity("com.example.videoplayer").ok());
+  ScrcpyServer server{*dev, "ctrl", kFrameSinkPort};
+  net.listen({"ctrl", kFrameSinkPort}, [](const net::Message&) {});
+  ASSERT_TRUE(server.start());
+  std::string hooked;
+  server.set_control_hook([&](const std::string& cmd) { hooked = cmd; });
+  net::Message control;
+  control.src = {"ctrl", 999};
+  control.dst = {"dev.M1", kScrcpyControlPort};
+  control.tag = "scrcpy.control";
+  control.payload = "input keyevent 3";
+  ASSERT_TRUE(net.send(std::move(control)).ok());
+  sim.run_for(Duration::seconds(1));
+  EXPECT_EQ(hooked, "input keyevent 3");
+  EXPECT_TRUE(dev->os().foreground_package().empty())
+      << "HOME key must have been injected";
+}
+
+// --------------------------------------------------------------- novnc ----
+
+TEST_F(MirrorFixture, NoVncRelaysCompressedFramesToViewer) {
+  VncServer vnc;
+  NoVncGateway gateway{net, vnc, "ctrl"};
+  ASSERT_TRUE(gateway.connect_viewer({"viewer", 7000}).ok());
+  EXPECT_FALSE(gateway.connect_viewer({"viewer", 7001}).ok())
+      << "one viewer at a time";
+  std::size_t got_bytes = 0;
+  net.listen({"viewer", 7000},
+             [&](const net::Message& m) { got_bytes = m.size(); });
+  vnc.update({1, 10000, 0.5, sim.now()});
+  sim.run_for(Duration::seconds(1));
+  EXPECT_EQ(gateway.frames_relayed(), 1u);
+  EXPECT_LT(got_bytes, 10000u * 0.7) << "noVNC compresses (§4.2)";
+  ASSERT_TRUE(gateway.disconnect_viewer().ok());
+  vnc.update({2, 10000, 0.5, sim.now()});
+  sim.run_for(Duration::seconds(1));
+  EXPECT_EQ(gateway.frames_relayed(), 1u) << "no viewer, no relay";
+}
+
+TEST_F(MirrorFixture, NoVncInputOnlyFromConnectedViewer) {
+  VncServer vnc;
+  NoVncGateway gateway{net, vnc, "ctrl"};
+  std::string injected;
+  gateway.set_input_injector([&](const std::string& cmd) { injected = cmd; });
+  ASSERT_TRUE(gateway.connect_viewer({"viewer", 7000}).ok());
+
+  net::Message evil;
+  evil.src = {"viewer", 7999};  // different port = different client
+  evil.dst = gateway.address();
+  evil.tag = "novnc.input";
+  evil.payload = "input tap 1 1";
+  ASSERT_TRUE(net.send(std::move(evil)).ok());
+  sim.run_for(Duration::seconds(1));
+  EXPECT_TRUE(injected.empty()) << "input from non-viewer must be dropped";
+
+  net::Message ok;
+  ok.src = {"viewer", 7000};
+  ok.dst = gateway.address();
+  ok.tag = "novnc.input";
+  ok.payload = "input tap 2 2";
+  ASSERT_TRUE(net.send(std::move(ok)).ok());
+  sim.run_for(Duration::seconds(1));
+  EXPECT_EQ(injected, "input tap 2 2");
+}
+
+TEST_F(MirrorFixture, ToolbarVisibilityToggle) {
+  VncServer vnc;
+  NoVncGateway gateway{net, vnc, "ctrl"};
+  EXPECT_TRUE(gateway.toolbar_visible());
+  gateway.set_toolbar_visible(false);  // experimenter hides it for testers
+  EXPECT_FALSE(gateway.toolbar_visible());
+}
+
+// ------------------------------------------------------------- session ----
+
+TEST_F(MirrorFixture, SessionRegistersControllerServices) {
+  MirroringSession session{*ctrl, *dev};
+  auto& res = ctrl->resources();
+  const double idle_cpu = res.cpu_utilization();
+  ASSERT_TRUE(session.start().ok());
+  EXPECT_TRUE(res.has_service("scrcpy-recv"));
+  EXPECT_TRUE(res.has_service("vnc"));
+  EXPECT_TRUE(res.has_service("novnc"));
+  EXPECT_GT(res.cpu_utilization(), idle_cpu);
+  session.stop();
+  EXPECT_FALSE(res.has_service("vnc"));
+}
+
+TEST_F(MirrorFixture, SessionDoubleStartRejected) {
+  MirroringSession session{*ctrl, *dev};
+  ASSERT_TRUE(session.start().ok());
+  EXPECT_FALSE(session.start().ok());
+}
+
+TEST_F(MirrorFixture, SessionReceivesStream) {
+  MirroringSession session{*ctrl, *dev};
+  ASSERT_TRUE(session.start().ok());
+  dev->screen().set_content_change_rate(0.6);
+  sim.run_for(Duration::seconds(3));
+  EXPECT_GT(session.frames_received(), 20u);
+  EXPECT_GT(session.bytes_received(), 100'000u);
+  EXPECT_GT(session.vnc().version(), 20u);
+}
+
+TEST_F(MirrorFixture, SessionMemoryFootprintMatchesPaper) {
+  // §4.2: mirroring adds ~6% of the Pi's 1 GB; total stays under 20%.
+  auto& res = ctrl->resources();
+  const double before_mb = res.ram_used_mb();
+  MirroringSession session{*ctrl, *dev};
+  ASSERT_TRUE(session.start().ok());
+  const double delta_fraction = (res.ram_used_mb() - before_mb) / 1024.0;
+  EXPECT_NEAR(delta_fraction, 0.06, 0.04);
+  EXPECT_LT(res.ram_fraction(), 0.20);
+}
+
+TEST_F(MirrorFixture, LatencyProbeLandsNearPaperValue) {
+  // §4.2: 1.44 ± 0.12 s over 40 co-located trials.
+  auto player = std::make_unique<device::VideoPlayerApp>(*dev);
+  ASSERT_TRUE(dev->os().install(std::move(player)).ok());
+  ASSERT_TRUE(dev->os().start_activity("com.example.videoplayer").ok());
+  MirroringSession session{*ctrl, *dev};
+  ASSERT_TRUE(session.start().ok());
+  ASSERT_TRUE(session.attach_viewer({"viewer", 7100}).ok());
+  util::RunningStats stats;
+  for (int i = 0; i < 40; ++i) {
+    auto latency = session.measure_latency_sync({"viewer", 7100}, 540, 900);
+    ASSERT_TRUE(latency.ok()) << latency.error().str();
+    stats.add(latency.value().to_seconds());
+    sim.run_for(Duration::seconds(1));
+  }
+  EXPECT_NEAR(stats.mean(), 1.44, 0.15);
+  EXPECT_NEAR(stats.stddev(), 0.12, 0.09);
+}
+
+TEST_F(MirrorFixture, LatencyProbeFailsWhenInactive) {
+  MirroringSession session{*ctrl, *dev};
+  EXPECT_FALSE(session.measure_latency_sync({"viewer", 7100}, 1, 1).ok());
+}
+
+TEST_F(MirrorFixture, StopTearsDownDeviceSide) {
+  MirroringSession session{*ctrl, *dev};
+  ASSERT_TRUE(session.start().ok());
+  EXPECT_NE(dev->processes().find_by_name("scrcpy-server"), nullptr);
+  EXPECT_TRUE(dev->encoder_active());
+  session.stop();
+  EXPECT_EQ(dev->processes().find_by_name("scrcpy-server"), nullptr);
+  EXPECT_FALSE(dev->encoder_active());
+}
+
+}  // namespace
+}  // namespace blab::mirror

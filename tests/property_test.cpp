@@ -1,0 +1,299 @@
+// Cross-module property tests: invariants that must hold under randomized
+// workloads, seeds and topologies — the glue-level correctness the per-module
+// suites cannot see.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "api/batterylab_api.hpp"
+#include "device/android.hpp"
+#include "device/browser.hpp"
+#include "hw/relay.hpp"
+#include "server/access_server.hpp"
+#include "util/stats.hpp"
+
+namespace blab {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+// ---------------------------------------------------------------------------
+// Property 1: the Monsoon's sampled capture agrees with the analytic
+// integral of the device's supply timeline — sampling introduces noise but
+// no bias, for arbitrary stochastic workloads.
+// ---------------------------------------------------------------------------
+
+class CaptureEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CaptureEquivalence, SampledMeanMatchesTimelineIntegral) {
+  sim::Simulator sim;
+  net::Network net{sim, GetParam()};
+  net.add_host("internet");
+  net.add_link("web", "internet",
+               net::LinkSpec::symmetric(Duration::millis(4), 900.0));
+  api::VantagePointConfig config;
+  config.seed = GetParam();
+  api::VantagePoint vp{sim, net, config};
+  net.add_link(vp.controller_host(), "internet",
+               net::LinkSpec::symmetric(Duration::millis(6), 200.0));
+  device::DeviceSpec spec;
+  spec.serial = "P1";
+  auto* dev = vp.add_device(spec).value();
+  api::BatteryLabApi api{vp};
+  ASSERT_TRUE(api.power_monitor().ok());
+  ASSERT_TRUE(api.set_voltage(3.85).ok());
+
+  // A random process zoo makes the supply timeline jagged.
+  util::Rng rng{GetParam() ^ 0xABCDEF};
+  for (int i = 0; i < 5; ++i) {
+    dev->processes().spawn("p" + std::to_string(i), rng.uniform(0.01, 0.15),
+                           rng.uniform(0.0, 0.5));
+  }
+  dev->recompute_power();
+
+  ASSERT_TRUE(api.start_monitor("P1").ok());
+  const TimePoint t0 = sim.now();
+  sim.run_for(Duration::seconds(20));
+  const TimePoint t1 = sim.now();
+  auto capture = api.stop_monitor();
+  ASSERT_TRUE(capture.ok());
+
+  const double timeline_mean = dev->supply_timeline().mean(t0, t1);
+  const double gain = vp.monitor().spec().gain;
+  const double loss = vp.relay().spec().contact_loss_fraction;
+  EXPECT_NEAR(capture.value().mean_current_ma(),
+              timeline_mean * gain * (1.0 + loss),
+              timeline_mean * 0.01 + 0.3)
+      << "sampling must be unbiased relative to the analytic timeline";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CaptureEquivalence,
+                         ::testing::Values(1, 17, 291, 4242, 99991));
+
+// ---------------------------------------------------------------------------
+// Property 2: the relay board's output equals the sum of bypass-side device
+// draws (x contact loss), for arbitrary switch patterns — channels never
+// leak into each other.
+// ---------------------------------------------------------------------------
+
+class RelayIsolation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RelayIsolation, BoardCurrentIsExactlyTheBypassSum) {
+  sim::Simulator sim;
+  net::Network net{sim, GetParam()};
+  api::VantagePointConfig config;
+  config.seed = GetParam();
+  config.relay_channels = 4;
+  api::VantagePoint vp{sim, net, config};
+  std::vector<device::AndroidDevice*> devices;
+  for (int i = 0; i < 4; ++i) {
+    device::DeviceSpec spec;
+    spec.serial = "D" + std::to_string(i);
+    auto added = vp.add_device(spec);
+    ASSERT_TRUE(added.ok());
+    devices.push_back(added.value());
+  }
+  // Power the monitor so bypass switches do not brown devices out.
+  ASSERT_TRUE(vp.power_socket().turn_on().ok());
+  ASSERT_TRUE(vp.monitor().set_voltage(3.85).ok());
+
+  util::Rng rng{GetParam()};
+  for (int round = 0; round < 8; ++round) {
+    // Random switch pattern.
+    std::vector<bool> bypass(4);
+    for (int i = 0; i < 4; ++i) {
+      bypass[static_cast<std::size_t>(i)] = rng.chance(0.5);
+      ASSERT_TRUE(vp.switch_power("D" + std::to_string(i),
+                                  bypass[static_cast<std::size_t>(i)]
+                                      ? hw::RelayPosition::kBypass
+                                      : hw::RelayPosition::kBattery)
+                      .ok());
+    }
+    // Let contacts settle and transients decay.
+    sim.run_for(Duration::millis(50));
+    const double loss = vp.relay().spec().contact_loss_fraction;
+    double expected = 0.0;
+    for (int i = 0; i < 4; ++i) {
+      if (bypass[static_cast<std::size_t>(i)]) {
+        expected +=
+            devices[static_cast<std::size_t>(i)]->current_ma(sim.now()) *
+            (1.0 + loss);
+      }
+    }
+    EXPECT_NEAR(vp.relay().current_ma(sim.now()), expected, 1e-6)
+        << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelayIsolation,
+                         ::testing::Values(3, 77, 1312, 90210));
+
+// ---------------------------------------------------------------------------
+// Property 3: scheduler safety under randomized job mixes — every submitted,
+// approved, satisfiable job eventually runs exactly once; no device is ever
+// double-booked; queued jobs stay queued.
+// ---------------------------------------------------------------------------
+
+class SchedulerFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerFuzz, EveryRunnableJobRunsExactlyOnce) {
+  sim::Simulator sim;
+  net::Network net{sim, GetParam()};
+  net.add_host("internet");
+  server::AccessServer server{sim, net};
+  api::VantagePointConfig config;
+  config.seed = GetParam();
+  api::VantagePoint vp{sim, net, config};
+  net.add_link(vp.controller_host(), "internet",
+               net::LinkSpec::symmetric(Duration::millis(6), 200.0));
+  for (const char* serial : {"A", "B", "C"}) {
+    device::DeviceSpec spec;
+    spec.serial = serial;
+    ASSERT_TRUE(vp.add_device(spec).ok());
+  }
+  ASSERT_TRUE(server.onboard_vantage_point("node1", vp).ok());
+  const auto admin =
+      server.users().register_user("root", server::Role::kAdmin);
+  const auto alice =
+      server.users().register_user("alice", server::Role::kExperimenter);
+
+  util::Rng rng{GetParam()};
+  std::unordered_map<std::string, int> run_counts;
+  int expected_runs = 0;
+  int expected_queued = 0;
+  std::vector<server::JobId> ids;
+  for (int i = 0; i < 25; ++i) {
+    server::Job job;
+    job.name = "fuzz-" + std::to_string(i);
+    const int dice = static_cast<int>(rng.uniform_int(0, 3));
+    if (dice == 0) job.constraints.device_serial = "A";
+    if (dice == 1) job.constraints.device_serial = "GHOST";  // unsatisfiable
+    if (dice == 2) job.constraints.device_model = "Samsung J7 Duo";
+    const bool satisfiable = dice != 1;
+    const std::string name = job.name;
+    job.script = [&run_counts, &server, name](server::JobContext& ctx) {
+      ++run_counts[name];
+      // One job at a time per device (§3.1): our own device must be busy,
+      // and at most 1 job (this one) may hold it.
+      EXPECT_TRUE(server.scheduler().device_busy(ctx.device_serial));
+      return util::Status::ok_status();
+    };
+    auto id = server.submit_job(alice.value(), std::move(job));
+    ASSERT_TRUE(id.ok());
+    const bool approved = rng.chance(0.8);
+    if (approved) {
+      ASSERT_TRUE(server.approve_pipeline(admin.value(), id.value()).ok());
+    }
+    if (approved && satisfiable) {
+      ++expected_runs;
+    } else {
+      ++expected_queued;
+    }
+    ids.push_back(id.value());
+  }
+  auto ran = server.run_queue(alice.value());
+  ASSERT_TRUE(ran.ok());
+  EXPECT_EQ(ran.value(), static_cast<std::size_t>(expected_runs));
+  // Re-running the queue must not re-run anything.
+  EXPECT_EQ(server.run_queue(alice.value()).value(), 0u);
+  for (const auto& [name, count] : run_counts) {
+    EXPECT_EQ(count, 1) << name << " ran more than once";
+  }
+  int queued = 0;
+  for (const auto id : ids) {
+    if (server.scheduler().find(id)->state == server::JobState::kQueued) {
+      ++queued;
+    }
+  }
+  EXPECT_EQ(queued, expected_queued);
+  for (const char* serial : {"A", "B", "C"}) {
+    EXPECT_FALSE(server.scheduler().device_busy(serial));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerFuzz,
+                         ::testing::Values(11, 222, 3333, 44444));
+
+// ---------------------------------------------------------------------------
+// Property 4: energy conservation — the battery's charge loss over an
+// unmeasured interval equals the integral of the supply timeline.
+// ---------------------------------------------------------------------------
+
+class BatteryConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatteryConservation, DischargeEqualsTimelineIntegral) {
+  sim::Simulator sim;
+  net::Network net{sim, GetParam()};
+  device::DeviceSpec spec;
+  spec.serial = "B1";
+  device::AndroidDevice dev{sim, net, "dev.B1", spec, GetParam()};
+  dev.power_on();
+  util::Rng rng{GetParam() ^ 0x5555};
+  for (int i = 0; i < 3; ++i) {
+    dev.processes().spawn("w" + std::to_string(i), rng.uniform(0.02, 0.2),
+                          rng.uniform(0.0, 0.4));
+  }
+  dev.recompute_power();
+  const TimePoint t0 = sim.now();
+  const double mah0 = dev.battery().remaining_mah();
+  sim.run_for(Duration::minutes(rng.uniform(2.0, 15.0)));
+  dev.recompute_power();  // flush the integration
+  const TimePoint t1 = sim.now();
+  const double drained = mah0 - dev.battery().remaining_mah();
+  const double integral_mah =
+      dev.supply_timeline().integral(t0, t1) / 3600.0;
+  EXPECT_NEAR(drained, integral_mah, integral_mah * 0.01 + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatteryConservation,
+                         ::testing::Values(5, 50, 500, 5000));
+
+// ---------------------------------------------------------------------------
+// Property 5: measurement determinism — identical seeds give bit-identical
+// captures across completely reconstructed deployments, regardless of the
+// workload mix.
+// ---------------------------------------------------------------------------
+
+class DeterminismSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeterminismSweep, CapturesAreBitIdentical) {
+  auto run = [](std::uint64_t seed) {
+    sim::Simulator sim;
+    net::Network net{sim, seed};
+    net.add_host("internet");
+    net.add_link("web", "internet",
+                 net::LinkSpec::symmetric(Duration::millis(4), 900.0));
+    api::VantagePointConfig config;
+    config.seed = seed;
+    api::VantagePoint vp{sim, net, config};
+    net.add_link(vp.controller_host(), "internet",
+                 net::LinkSpec::symmetric(Duration::millis(6), 200.0));
+    device::DeviceSpec spec;
+    spec.serial = "D1";
+    auto* dev = vp.add_device(spec).value();
+    auto browser = std::make_unique<device::Browser>(
+        *dev, device::BrowserProfile::chrome());
+    auto* b = browser.get();
+    (void)dev->os().install(std::move(browser));
+    (void)dev->os().start_activity(b->package());
+    b->on_tap(0, 0);
+    b->on_tap(0, 0);
+    (void)b->navigate("news-a.example");
+    api::BatteryLabApi api{vp};
+    (void)api.power_monitor();
+    (void)api.set_voltage(3.85);
+    auto capture = api.run_monitor("D1", Duration::seconds(8));
+    return capture.value().samples_ma();
+  };
+  const auto a = run(GetParam());
+  const auto b = run(GetParam());
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a, b) << "same seed must give the same samples, bit for bit";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismSweep,
+                         ::testing::Values(7, 1984, 20191113));
+
+}  // namespace
+}  // namespace blab

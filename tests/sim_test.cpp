@@ -1,0 +1,226 @@
+// Unit tests for the discrete-event kernel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/periodic.hpp"
+#include "sim/simulator.hpp"
+
+namespace blab::sim {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+TEST(SimulatorTest, StartsAtEpoch) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), TimePoint::epoch());
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, ExecutesInTimestampOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(Duration::millis(30), [&] { order.push_back(3); });
+  sim.schedule_after(Duration::millis(10), [&] { order.push_back(1); });
+  sim.schedule_after(Duration::millis(20), [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), TimePoint::epoch() + Duration::millis(30));
+}
+
+TEST(SimulatorTest, TiesBreakByScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  const auto t = Duration::millis(5);
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_after(t, [&order, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTime) {
+  Simulator sim;
+  TimePoint seen;
+  sim.schedule_after(Duration::seconds(2), [&] { seen = sim.now(); });
+  sim.run_all();
+  EXPECT_EQ(seen, TimePoint::epoch() + Duration::seconds(2));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(Duration::millis(10), [&] { ++fired; });
+  sim.schedule_after(Duration::millis(50), [&] { ++fired; });
+  const auto n = sim.run_until(TimePoint::epoch() + Duration::millis(20));
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), TimePoint::epoch() + Duration::millis(20));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_all();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, RunForIsRelative) {
+  Simulator sim;
+  sim.run_for(Duration::seconds(1));
+  sim.run_for(Duration::seconds(2));
+  EXPECT_EQ(sim.now(), TimePoint::epoch() + Duration::seconds(3));
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_after(Duration::millis(5), [&] {
+    fired = true;
+  });
+  EXPECT_TRUE(sim.is_pending(id));
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.is_pending(id));
+  EXPECT_FALSE(sim.cancel(id)) << "double cancel must fail";
+  sim.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelOfFiredEventFails) {
+  Simulator sim;
+  const EventId id = sim.schedule_after(Duration::millis(1), [] {});
+  sim.run_all();
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_FALSE(sim.is_pending(id));
+}
+
+TEST(SimulatorTest, EventsScheduledFromCallbacksRun) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) {
+      sim.schedule_after(Duration::millis(1), recurse);
+    }
+  };
+  sim.schedule_after(Duration::millis(1), recurse);
+  sim.run_all();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), TimePoint::epoch() + Duration::millis(5));
+}
+
+TEST(SimulatorTest, PastSchedulingClampsToNow) {
+  Simulator sim;
+  sim.run_for(Duration::seconds(5));
+  bool fired = false;
+  sim.schedule_at(TimePoint::epoch() + Duration::seconds(1), [&] {
+    fired = true;
+  });
+  sim.step();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), TimePoint::epoch() + Duration::seconds(5));
+}
+
+TEST(SimulatorTest, RunAllThrowsOnRunaway) {
+  Simulator sim;
+  std::function<void()> forever = [&] {
+    sim.schedule_after(Duration::millis(1), forever);
+  };
+  sim.schedule_after(Duration::millis(1), forever);
+  EXPECT_THROW(sim.run_all(1000), std::runtime_error);
+}
+
+TEST(SimulatorTest, ExecutedEventCounter) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_after(Duration::millis(i), [] {});
+  sim.run_all();
+  EXPECT_EQ(sim.executed_events(), 7u);
+}
+
+// ------------------------------------------------------------ periodic ----
+
+TEST(PeriodicTaskTest, TicksAtPeriod) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTask task{sim, Duration::millis(100), [&] { ++ticks; }};
+  task.start();
+  sim.run_for(Duration::millis(1000));
+  EXPECT_EQ(ticks, 10);
+  EXPECT_EQ(task.ticks(), 10u);
+}
+
+TEST(PeriodicTaskTest, StartAfterInitialDelay) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTask task{sim, Duration::millis(100), [&] { ++ticks; }};
+  task.start_after(Duration::millis(500));
+  sim.run_for(Duration::millis(450));
+  EXPECT_EQ(ticks, 0);
+  sim.run_for(Duration::millis(100));
+  EXPECT_EQ(ticks, 1);
+}
+
+TEST(PeriodicTaskTest, StopHalts) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTask task{sim, Duration::millis(10), [&] { ++ticks; }};
+  task.start();
+  sim.run_for(Duration::millis(35));
+  task.stop();
+  EXPECT_FALSE(task.running());
+  sim.run_for(Duration::millis(100));
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(PeriodicTaskTest, SelfStopInsideTickDoesNotRearm) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTask* handle = nullptr;
+  PeriodicTask task{sim, Duration::millis(10), [&] {
+    if (++ticks == 3) handle->stop();
+  }};
+  handle = &task;
+  task.start();
+  sim.run_for(Duration::millis(200));
+  EXPECT_EQ(ticks, 3);
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTaskTest, RestartAfterStop) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTask task{sim, Duration::millis(10), [&] { ++ticks; }};
+  task.start();
+  sim.run_for(Duration::millis(25));
+  task.stop();
+  task.start();
+  sim.run_for(Duration::millis(25));
+  EXPECT_EQ(ticks, 4);
+}
+
+TEST(PeriodicTaskTest, DestructionCancelsCleanly) {
+  Simulator sim;
+  int ticks = 0;
+  {
+    PeriodicTask task{sim, Duration::millis(10), [&] { ++ticks; }};
+    task.start();
+    sim.run_for(Duration::millis(15));
+  }
+  sim.run_for(Duration::millis(100));  // must not crash on dangling events
+  EXPECT_EQ(ticks, 1);
+}
+
+// Property: N periodic tasks with co-prime periods fire the right counts.
+class PeriodicSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PeriodicSweep, TickCountMatchesPeriod) {
+  Simulator sim;
+  const int period_ms = GetParam();
+  int ticks = 0;
+  PeriodicTask task{sim, Duration::millis(period_ms), [&] { ++ticks; }};
+  task.start();
+  sim.run_for(Duration::seconds(3));
+  EXPECT_EQ(ticks, 3000 / period_ms);
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, PeriodicSweep,
+                         ::testing::Values(1, 3, 7, 20, 50, 125, 300, 1000));
+
+}  // namespace
+}  // namespace blab::sim
