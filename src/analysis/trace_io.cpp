@@ -1,5 +1,6 @@
 #include "analysis/trace_io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -42,6 +43,7 @@ util::Result<hw::Capture> read_capture_csv_stream(std::istream& is) {
   double voltage = 0.0;
   double first_t = 0.0;
   double second_t = 0.0;
+  double prev_t = 0.0;
   std::size_t row = 0;
   while (std::getline(is, line)) {
     if (util::trim(line).empty()) continue;
@@ -52,10 +54,23 @@ util::Result<hw::Capture> read_capture_csv_stream(std::istream& is) {
     }
     try {
       const double t = std::stod(fields[0]);
-      samples.push_back(static_cast<float>(std::stod(fields[1])));
-      voltage = std::stod(fields[2]);
+      const double current = std::stod(fields[1]);
+      const double v = std::stod(fields[2]);
+      if (!std::isfinite(t) || !std::isfinite(current) || !std::isfinite(v)) {
+        return util::make_error(
+            util::ErrorCode::kInvalidArgument,
+            "non-finite value in row " + std::to_string(row));
+      }
+      if (row > 0 && t <= prev_t) {
+        return util::make_error(
+            util::ErrorCode::kInvalidArgument,
+            "out-of-order timestamp in row " + std::to_string(row));
+      }
+      samples.push_back(static_cast<float>(current));
+      voltage = v;
       if (row == 0) first_t = t;
       if (row == 1) second_t = t;
+      prev_t = t;
     } catch (const std::exception&) {
       return util::make_error(util::ErrorCode::kInvalidArgument,
                               "unparseable row " + std::to_string(row));

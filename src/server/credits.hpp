@@ -42,6 +42,12 @@ class CreditLedger {
   const std::vector<CreditTransaction>& history() const { return history_; }
   std::vector<CreditTransaction> history_of(const std::string& user) const;
 
+  /// Oracle accessor (deterministic simulation testing): every balance, for
+  /// the ledger non-negativity invariant.
+  const std::unordered_map<std::string, double>& balances() const {
+    return balances_;
+  }
+
  private:
   std::unordered_map<std::string, double> balances_;
   std::vector<CreditTransaction> history_;

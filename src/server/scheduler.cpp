@@ -163,6 +163,7 @@ void Scheduler::run_job(Job& job, const Assignment& assignment) {
     } else {
       job.state = JobState::kFailed;
       job.failure_reason = "vpn: " + st.error().str();
+      job.finished_at = sim_.now();
       busy_devices_.erase(assignment.device_serial);
       return;
     }
@@ -229,6 +230,17 @@ std::size_t Scheduler::purge_workspaces(util::Duration ttl) {
     }
   }
   return purged;
+}
+
+std::vector<const Job*> Scheduler::all_jobs() const {
+  std::vector<const Job*> out;
+  out.reserve(jobs_.size());
+  for (const auto& j : jobs_) out.push_back(j.get());
+  return out;
+}
+
+std::vector<std::string> Scheduler::busy_serials() const {
+  return {busy_devices_.begin(), busy_devices_.end()};
 }
 
 std::vector<JobId> Scheduler::queued() const {

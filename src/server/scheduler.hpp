@@ -52,6 +52,11 @@ class Scheduler {
   std::vector<JobId> queued() const;
   std::size_t job_count() const { return jobs_.size(); }
 
+  /// Oracle accessors (deterministic simulation testing): snapshot of every
+  /// job and of the devices currently held by running jobs.
+  std::vector<const Job*> all_jobs() const;
+  std::vector<std::string> busy_serials() const;
+
   /// §3.1: power-meter logs live "for several days within the job's
   /// workspace". Purge workspaces of jobs finished more than `ttl` ago;
   /// returns how many were cleared. Job metadata survives.

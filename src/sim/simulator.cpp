@@ -1,7 +1,6 @@
 #include "sim/simulator.hpp"
 
 #include <cassert>
-#include <stdexcept>
 
 namespace blab::sim {
 
@@ -46,6 +45,7 @@ bool Simulator::step() {
   assert(ev.at >= now_);
   now_ = ev.at;
   ++executed_;
+  if (trace_) trace_(ev.at, ev.seq, ev.label);
   ev.cb();
   return true;
 }
@@ -64,6 +64,7 @@ std::size_t Simulator::run_until(TimePoint t) {
     now_ = ev.at;
     ++executed_;
     ++n;
+    if (trace_) trace_(ev.at, ev.seq, ev.label);
     ev.cb();
   }
   if (t > now_) now_ = t;
@@ -71,12 +72,10 @@ std::size_t Simulator::run_until(TimePoint t) {
 }
 
 std::size_t Simulator::run_all(std::size_t max_events) {
+  hit_cap_ = false;
   std::size_t n = 0;
   while (n < max_events && step()) ++n;
-  if (n >= max_events) {
-    throw std::runtime_error{
-        "Simulator::run_all exceeded max_events — runaway periodic task?"};
-  }
+  hit_cap_ = n >= max_events && !live_.empty();
   return n;
 }
 

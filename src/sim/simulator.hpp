@@ -26,6 +26,11 @@ inline constexpr EventId kInvalidEvent = 0;
 class Simulator {
  public:
   using Callback = std::function<void()>;
+  /// Observer invoked for every executed event: (timestamp, sequence number,
+  /// label). Drives the deterministic-simulation-testing trace recorder; an
+  /// empty hook costs one branch per event.
+  using TraceHook =
+      std::function<void(TimePoint, std::uint64_t, const std::string&)>;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -48,7 +53,15 @@ class Simulator {
   std::size_t run_until(TimePoint t);
   std::size_t run_for(Duration d) { return run_until(now_ + d); }
   /// Drain the whole queue (use with care: periodic tasks never drain).
+  /// Stops after `max_events`; check hit_cap() to distinguish a drained
+  /// queue from a tripped cap (a self-rescheduling task never drains).
   std::size_t run_all(std::size_t max_events = 100'000'000);
+  /// True when the last run_all stopped at its cap with events still pending.
+  bool hit_cap() const { return hit_cap_; }
+
+  /// Install (or clear, with nullptr) the per-event execution observer.
+  void set_trace_hook(TraceHook hook) { trace_ = std::move(hook); }
+  bool has_trace_hook() const { return static_cast<bool>(trace_); }
 
   std::size_t pending_events() const { return live_.size(); }
   std::uint64_t executed_events() const { return executed_; }
@@ -76,6 +89,8 @@ class Simulator {
   std::uint64_t next_seq_ = 1;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
+  bool hit_cap_ = false;
+  TraceHook trace_;
 };
 
 }  // namespace blab::sim

@@ -1,0 +1,60 @@
+// Deterministic-simulation-testing harness.
+//
+// Builds a whole BatteryLab deployment from a ScenarioSpec — access server,
+// vantage points, device zoo, VPN — schedules the spec's fault events on the
+// simulator clock, drives the job stream through the real submit/approve/
+// dispatch pipeline, and runs the invariant oracles after every step. A
+// TraceRecorder shadows the run: every executed simulator event plus every
+// scenario-level observation (captures, balances, job-state counts) folds
+// into one rolling digest, so two runs of the same seed must produce the
+// same 64-bit value or `replay_check` can name the first divergent event.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "testing/oracles.hpp"
+#include "testing/scenario.hpp"
+#include "testing/trace.hpp"
+
+namespace blab::testing {
+
+struct ScenarioResult {
+  std::uint64_t seed = 0;
+  std::string description;        ///< one-line scenario summary
+  std::uint64_t digest = 0;       ///< rolling trace digest at scenario end
+  std::string digest_hex;
+  std::uint64_t events_executed = 0;
+  std::size_t jobs_submitted = 0;
+  std::size_t jobs_dispatched = 0;
+  std::size_t captures = 0;       ///< completed measurements
+  std::size_t faults_injected = 0;
+  std::vector<OracleFinding> violations;
+  std::vector<TraceEventRecord> trace;
+
+  bool ok() const { return violations.empty(); }
+  /// Failure-message payload: the seed plus every oracle finding.
+  std::string violation_summary() const;
+};
+
+/// Run one fully-specified scenario through a fresh deployment.
+ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// Generate the scenario for `seed` and run it.
+ScenarioResult run_scenario(std::uint64_t seed);
+
+/// Outcome of running one seed twice from scratch and diffing the traces.
+struct ReplayReport {
+  std::uint64_t seed = 0;
+  bool deterministic = false;
+  Divergence divergence;  ///< meaningful when !deterministic
+  ScenarioResult first;
+  ScenarioResult second;
+
+  std::string describe() const;
+};
+
+ReplayReport replay_check(std::uint64_t seed);
+
+}  // namespace blab::testing

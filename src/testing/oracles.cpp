@@ -1,0 +1,192 @@
+#include "testing/oracles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace blab::testing {
+
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+/// Time-weighted mean of piecewise-constant segments over [t0, t1).
+double segments_mean(const std::vector<std::pair<TimePoint, double>>& segs,
+                     TimePoint t0, TimePoint t1) {
+  if (segs.empty() || t1 <= t0) return 0.0;
+  double integral = 0.0;
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    const TimePoint start = std::max(segs[i].first, t0);
+    const TimePoint end = i + 1 < segs.size() ? segs[i + 1].first : t1;
+    if (end <= start) continue;
+    integral += segs[i].second * (end - start).to_seconds();
+  }
+  return integral / (t1 - t0).to_seconds();
+}
+
+class ClockMonotonicityOracle : public InvariantOracle {
+ public:
+  const char* name() const override { return "clock-monotonicity"; }
+
+  void check(const OracleContext& ctx,
+             std::vector<OracleFinding>& out) override {
+    const TimePoint now = ctx.sim->now();
+    const std::uint64_t executed = ctx.sim->executed_events();
+    if (now < last_now_) {
+      out.push_back({name(), "simulator clock moved backwards: " +
+                                 util::to_string(last_now_) + " -> " +
+                                 util::to_string(now)});
+    }
+    if (executed < last_executed_) {
+      out.push_back({name(), "executed-event counter decreased"});
+    }
+    last_now_ = now;
+    last_executed_ = executed;
+  }
+
+ private:
+  TimePoint last_now_ = TimePoint::epoch();
+  std::uint64_t last_executed_ = 0;
+};
+
+class SchedulerSafetyOracle : public InvariantOracle {
+ public:
+  const char* name() const override { return "scheduler-safety"; }
+
+  void check(const OracleContext& ctx,
+             std::vector<OracleFinding>& out) override {
+    const auto& scheduler = ctx.server->scheduler();
+    // Jobs run to completion inside dispatch, so between steps no device may
+    // still be held — a leak here is a stuck busy-set entry.
+    for (const auto& serial : scheduler.busy_serials()) {
+      out.push_back({name(), "device still busy between steps: " + serial});
+      if (std::find(ctx.registered_serials.begin(),
+                    ctx.registered_serials.end(),
+                    serial) == ctx.registered_serials.end()) {
+        out.push_back({name(), "busy set names unregistered device: " +
+                                   serial});
+      }
+    }
+    for (const server::Job* job : scheduler.all_jobs()) {
+      const bool ran = job->state == server::JobState::kRunning ||
+                       job->state == server::JobState::kSucceeded ||
+                       job->state == server::JobState::kFailed;
+      if (ran && !job->pipeline_approved) {
+        out.push_back({name(), "unapproved job dispatched: " + job->name});
+      }
+      if (job->state == server::JobState::kRunning) {
+        out.push_back({name(), "job still running between steps: " +
+                                   job->name});
+      }
+      const bool finished = job->state == server::JobState::kSucceeded ||
+                            job->state == server::JobState::kFailed;
+      if (finished && job->finished_at < job->started_at) {
+        out.push_back({name(), "job finished before it started: " +
+                                   job->name});
+      }
+    }
+  }
+};
+
+class CreditLedgerOracle : public InvariantOracle {
+ public:
+  const char* name() const override { return "credit-ledger"; }
+
+  void check(const OracleContext& ctx,
+             std::vector<OracleFinding>& out) override {
+    for (const auto& [account, balance] : ctx.server->credits().balances()) {
+      if (balance < -1e-9) {
+        out.push_back({name(), "negative balance for " + account + ": " +
+                                   util::format_double(balance, 4)});
+      }
+    }
+  }
+};
+
+class EnergyConservationOracle : public InvariantOracle {
+ public:
+  const char* name() const override { return "energy-conservation"; }
+
+  void check(const OracleContext& ctx,
+             std::vector<OracleFinding>& out) override {
+    // Each capture is validated once, as it appears.
+    for (; checked_ < ctx.captures.size(); ++checked_) {
+      const CaptureRecord& rec = ctx.captures[checked_];
+      api::VantagePoint* vp = ctx.nodes[rec.node];
+      const auto segs = vp->relay().current_segments(rec.t0, rec.t1);
+      const double analytic = segments_mean(segs, rec.t0, rec.t1);
+      const auto& spec = vp->monitor().spec();
+      const double expected =
+          analytic * spec.gain * vp->monitor().gain_correction();
+      const double sampled = rec.capture.mean_current_ma();
+      // 1% models sampling quantization; 0.5 mA absorbs calibration noise
+      // including the clamp-at-zero bias on near-idle channels.
+      const double tolerance = expected * 0.01 + 0.5;
+      if (std::abs(sampled - expected) > tolerance) {
+        out.push_back(
+            {name(),
+             "capture on node " + std::to_string(rec.node) + " [" +
+                 util::to_string(rec.t0) + ", " + util::to_string(rec.t1) +
+                 "): sampled mean " + util::format_double(sampled, 3) +
+                 " mA vs analytic " + util::format_double(expected, 3) +
+                 " mA (tolerance " + util::format_double(tolerance, 3) +
+                 ")"});
+      }
+    }
+  }
+
+ private:
+  std::size_t checked_ = 0;
+};
+
+class BatterySanityOracle : public InvariantOracle {
+ public:
+  const char* name() const override { return "battery-sanity"; }
+
+  void check(const OracleContext& ctx,
+             std::vector<OracleFinding>& out) override {
+    for (std::size_t n = 0; n < ctx.nodes.size(); ++n) {
+      for (const auto& serial : ctx.registered_serials) {
+        auto* dev = ctx.nodes[n]->find_device(serial);
+        if (dev == nullptr) continue;  // serial lives on another node
+        const double mah = dev->battery().remaining_mah();
+        if (mah < -1e-6) {
+          out.push_back({name(), serial + " pack holds negative charge: " +
+                                     util::format_double(mah, 4) + " mAh"});
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+OracleRegistry::OracleRegistry() {
+  add(std::make_unique<ClockMonotonicityOracle>());
+  add(std::make_unique<SchedulerSafetyOracle>());
+  add(std::make_unique<CreditLedgerOracle>());
+  add(std::make_unique<EnergyConservationOracle>());
+  add(std::make_unique<BatterySanityOracle>());
+}
+
+void OracleRegistry::add(std::unique_ptr<InvariantOracle> oracle) {
+  oracles_.push_back(std::move(oracle));
+}
+
+std::vector<std::string> OracleRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(oracles_.size());
+  for (const auto& oracle : oracles_) out.emplace_back(oracle->name());
+  return out;
+}
+
+std::vector<OracleFinding> OracleRegistry::run(const OracleContext& ctx) {
+  std::vector<OracleFinding> findings;
+  for (const auto& oracle : oracles_) oracle->check(ctx, findings);
+  return findings;
+}
+
+}  // namespace blab::testing

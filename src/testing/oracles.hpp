@@ -1,0 +1,80 @@
+// Cross-layer invariant oracles.
+//
+// After every scenario step the harness runs a registry of checks over the
+// whole deployment. Each oracle encodes a property no sequence of valid
+// operations — including the fuzzer's fault schedules — may break:
+//
+//   clock-monotonicity   simulated time and the executed-event counter never
+//                        move backwards
+//   scheduler-safety     busy devices are registered devices, the busy set is
+//                        empty between steps (jobs run to completion inside
+//                        dispatch), nothing unapproved ever ran, and finished
+//                        jobs have sane start/finish stamps
+//   credit-ledger        no account balance ever goes negative (§5 gating)
+//   energy-conservation  every completed capture's sampled mean agrees with
+//                        the analytic integral of the relay-board segments it
+//                        measured (generalizes property_test Property 1)
+//   battery-sanity       no device's pack holds negative charge
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/vantage_point.hpp"
+#include "hw/power_monitor.hpp"
+#include "server/access_server.hpp"
+#include "util/time.hpp"
+
+namespace blab::testing {
+
+/// A capture completed by a scenario job, queued for the energy oracle.
+struct CaptureRecord {
+  std::size_t node = 0;  ///< index into OracleContext::nodes
+  util::TimePoint t0;
+  util::TimePoint t1;
+  hw::Capture capture;
+};
+
+/// Everything the oracles may inspect. The harness owns the referenced
+/// objects; oracles never mutate the deployment.
+struct OracleContext {
+  sim::Simulator* sim = nullptr;
+  server::AccessServer* server = nullptr;
+  std::vector<api::VantagePoint*> nodes;
+  std::vector<std::string> registered_serials;
+  std::vector<CaptureRecord> captures;  ///< appended by measurement jobs
+};
+
+struct OracleFinding {
+  std::string oracle;
+  std::string detail;
+};
+
+class InvariantOracle {
+ public:
+  virtual ~InvariantOracle() = default;
+  virtual const char* name() const = 0;
+  /// Append a finding per violation. Oracles may keep state between calls
+  /// (e.g. the last observed clock) — one registry instance per scenario run.
+  virtual void check(const OracleContext& ctx,
+                     std::vector<OracleFinding>& out) = 0;
+};
+
+class OracleRegistry {
+ public:
+  /// Constructs with the default cross-layer oracle set.
+  OracleRegistry();
+
+  void add(std::unique_ptr<InvariantOracle> oracle);
+  std::size_t size() const { return oracles_.size(); }
+  std::vector<std::string> names() const;
+
+  /// Run every oracle; returns all findings from this sweep.
+  std::vector<OracleFinding> run(const OracleContext& ctx);
+
+ private:
+  std::vector<std::unique_ptr<InvariantOracle>> oracles_;
+};
+
+}  // namespace blab::testing

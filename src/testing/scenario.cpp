@@ -1,0 +1,244 @@
+#include "testing/scenario.hpp"
+
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace blab::testing {
+
+const char* device_kind_name(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kPhone: return "phone";
+    case DeviceKind::kIphone: return "iphone";
+    case DeviceKind::kLaptop: return "laptop";
+    case DeviceKind::kIotSensor: return "iot";
+  }
+  return "?";
+}
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kRelayFlap: return "relay-flap";
+    case FaultKind::kMainsLoss: return "mains-loss";
+    case FaultKind::kMainsRestore: return "mains-restore";
+    case FaultKind::kWifiDrop: return "wifi-drop";
+    case FaultKind::kWifiRestore: return "wifi-restore";
+    case FaultKind::kVpnConnect: return "vpn-connect";
+    case FaultKind::kVpnDisconnect: return "vpn-disconnect";
+    case FaultKind::kUsbPowerCycle: return "usb-power-cycle";
+  }
+  return "?";
+}
+
+const char* job_kind_name(JobKind kind) {
+  switch (kind) {
+    case JobKind::kIdle: return "idle";
+    case JobKind::kMeasure: return "measure";
+    case JobKind::kAdb: return "adb";
+    case JobKind::kVideo: return "video";
+    case JobKind::kMirror: return "mirror";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The VPN exits the fuzzer draws from (Table 2 country names).
+const std::vector<std::string>& vpn_pool() {
+  static const std::vector<std::string> pool{"Japan", "Italy", "Brazil"};
+  return pool;
+}
+
+DeviceGenSpec generate_device(util::Rng& rng, std::size_t node_index,
+                              std::size_t device_index) {
+  DeviceGenSpec dev;
+  // Phones dominate the zoo like they do the paper's testbed; the exotic
+  // classes keep the voltage range and the noise floor honest.
+  const double dice = rng.uniform();
+  if (dice < 0.65) {
+    dev.kind = DeviceKind::kPhone;
+  } else if (dice < 0.80) {
+    dev.kind = DeviceKind::kIphone;
+  } else if (dice < 0.90) {
+    dev.kind = DeviceKind::kLaptop;
+  } else {
+    dev.kind = DeviceKind::kIotSensor;
+  }
+  std::ostringstream serial;
+  serial << "FZ" << node_index << "-" << device_index << "-"
+         << device_kind_name(dev.kind);
+  dev.serial = serial.str();
+  const int procs = static_cast<int>(rng.uniform_int(0, 4));
+  for (int p = 0; p < procs; ++p) {
+    dev.processes.push_back(ProcessSpec{
+        "proc" + std::to_string(p), rng.uniform(0.01, 0.15),
+        rng.uniform(0.0, 0.4)});
+  }
+  return dev;
+}
+
+}  // namespace
+
+ScenarioSpec generate_scenario(std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.seed = seed;
+  util::Rng rng{seed};
+
+  // ---- topology: 1-8 vantage points, varied WAN links -----------------
+  util::Rng topo = rng.fork("topology");
+  const int node_count = static_cast<int>(topo.uniform_int(1, 8));
+  for (int n = 0; n < node_count; ++n) {
+    NodeGenSpec node;
+    node.label = "fz-node" + std::to_string(n);
+    node.wan_latency_ms = topo.uniform(2.0, 40.0);
+    node.wan_mbps = topo.uniform(20.0, 500.0);
+    const int devices = static_cast<int>(topo.uniform_int(1, 3));
+    for (int d = 0; d < devices; ++d) {
+      node.devices.push_back(
+          generate_device(topo, static_cast<std::size_t>(n),
+                          static_cast<std::size_t>(d)));
+    }
+    spec.nodes.push_back(std::move(node));
+  }
+
+  // ---- schedule shape -------------------------------------------------
+  util::Rng shape = rng.fork("shape");
+  spec.steps = static_cast<int>(shape.uniform_int(3, 6));
+  spec.step_length =
+      util::Duration::seconds(shape.uniform(2.0, 5.0));
+  spec.enforce_credits = shape.chance(0.5);
+  spec.experimenters = static_cast<std::size_t>(shape.uniform_int(1, 3));
+  for (std::size_t e = 0; e < spec.experimenters; ++e) {
+    // Some owners are nearly broke so credit gating actually gates.
+    spec.initial_credits.push_back(shape.chance(0.25)
+                                       ? shape.uniform(0.0, 1.0)
+                                       : shape.uniform(30.0, 200.0));
+  }
+  const util::Duration horizon = spec.step_length * spec.steps;
+
+  // ---- fault schedule -------------------------------------------------
+  util::Rng faults = rng.fork("faults");
+  const int fault_count = static_cast<int>(faults.uniform_int(2, 8));
+  for (int f = 0; f < fault_count; ++f) {
+    FaultSpec fault;
+    const double dice = faults.uniform();
+    if (dice < 0.2) {
+      fault.kind = FaultKind::kRelayFlap;
+    } else if (dice < 0.4) {
+      fault.kind = FaultKind::kMainsLoss;
+    } else if (dice < 0.6) {
+      fault.kind = FaultKind::kWifiDrop;
+    } else if (dice < 0.8) {
+      fault.kind = FaultKind::kVpnConnect;
+    } else {
+      fault.kind = FaultKind::kUsbPowerCycle;
+    }
+    fault.at = horizon * faults.uniform(0.05, 0.85);
+    fault.node = static_cast<std::size_t>(
+        faults.uniform_int(0, static_cast<std::int64_t>(spec.nodes.size()) - 1));
+    fault.device = static_cast<std::size_t>(faults.uniform_int(
+        0,
+        static_cast<std::int64_t>(spec.nodes[fault.node].devices.size()) - 1));
+    if (fault.kind == FaultKind::kVpnConnect) {
+      fault.location = faults.pick(vpn_pool());
+    }
+    spec.faults.push_back(fault);
+    // Transient faults heal after a random fraction of a step, so recovery
+    // paths get exercised too.
+    const util::Duration heal =
+        fault.at + spec.step_length * faults.uniform(0.3, 1.5);
+    switch (fault.kind) {
+      case FaultKind::kMainsLoss:
+        spec.faults.push_back(
+            FaultSpec{FaultKind::kMainsRestore, heal, fault.node, 0, {}});
+        break;
+      case FaultKind::kWifiDrop:
+        spec.faults.push_back(FaultSpec{FaultKind::kWifiRestore, heal,
+                                        fault.node, fault.device, {}});
+        break;
+      case FaultKind::kVpnConnect:
+        spec.faults.push_back(
+            FaultSpec{FaultKind::kVpnDisconnect, heal, fault.node, 0, {}});
+        break;
+      default:
+        break;
+    }
+  }
+
+  // ---- job stream -----------------------------------------------------
+  util::Rng jobs = rng.fork("jobs");
+  const int job_count = static_cast<int>(jobs.uniform_int(4, 12));
+  for (int j = 0; j < job_count; ++j) {
+    JobGenSpec job;
+    const double kind_dice = jobs.uniform();
+    if (kind_dice < 0.30) {
+      job.kind = JobKind::kMeasure;
+    } else if (kind_dice < 0.50) {
+      job.kind = JobKind::kAdb;
+    } else if (kind_dice < 0.65) {
+      job.kind = JobKind::kVideo;
+    } else if (kind_dice < 0.80) {
+      job.kind = JobKind::kMirror;
+    } else {
+      job.kind = JobKind::kIdle;
+    }
+    job.name = "fz-job" + std::to_string(j) + "-" + job_kind_name(job.kind);
+    job.submit_step = static_cast<int>(jobs.uniform_int(0, spec.steps - 1));
+    job.approved = jobs.chance(0.8);
+    job.owner = static_cast<std::size_t>(jobs.uniform_int(
+        0, static_cast<std::int64_t>(spec.experimenters) - 1));
+    job.node = static_cast<std::size_t>(
+        jobs.uniform_int(0, static_cast<std::int64_t>(spec.nodes.size()) - 1));
+    job.device = static_cast<std::size_t>(jobs.uniform_int(
+        0, static_cast<std::int64_t>(spec.nodes[job.node].devices.size()) - 1));
+    job.measure_duration = util::Duration::seconds(jobs.uniform(1.0, 3.0));
+    const double shape_dice = jobs.uniform();
+    if (shape_dice < 0.35) {
+      job.shape = ConstraintShape::kNone;
+    } else if (shape_dice < 0.55) {
+      job.shape = ConstraintShape::kPinSerial;
+    } else if (shape_dice < 0.65) {
+      job.shape = ConstraintShape::kGhostSerial;
+    } else if (shape_dice < 0.75) {
+      job.shape = ConstraintShape::kModel;
+    } else if (shape_dice < 0.90) {
+      job.shape = ConstraintShape::kPinNode;
+    } else {
+      job.shape = ConstraintShape::kVpnLocation;
+      job.location = jobs.pick(vpn_pool());
+    }
+    spec.jobs.push_back(std::move(job));
+  }
+
+  return spec;
+}
+
+std::string describe(const ScenarioSpec& spec) {
+  std::size_t devices = 0;
+  for (const auto& node : spec.nodes) devices += node.devices.size();
+  std::ostringstream os;
+  os << "scenario seed=" << spec.seed << ": " << spec.nodes.size()
+     << " nodes, " << devices << " devices, " << spec.jobs.size() << " jobs, "
+     << spec.faults.size() << " faults, " << spec.steps << " steps x "
+     << util::to_string(spec.step_length)
+     << (spec.enforce_credits ? ", credits enforced" : "");
+  return os.str();
+}
+
+std::vector<std::uint64_t> default_corpus(std::size_t n) {
+  // SplitMix64 walk from a fixed base: appending to the corpus never changes
+  // existing seeds, so golden digests stay pinned as the corpus grows.
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(n);
+  std::uint64_t state = 0x20191113BA77E27AULL;  // HotNets'19 + battery
+  for (std::size_t i = 0; i < n; ++i) {
+    state += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    seeds.push_back(z ^ (z >> 31));
+  }
+  return seeds;
+}
+
+}  // namespace blab::testing

@@ -1,0 +1,121 @@
+// Seed-driven scenario fuzzer.
+//
+// A scenario is everything the deterministic-simulation-testing harness needs
+// to build and exercise a whole BatteryLab deployment: a topology of vantage
+// points with varied WAN links, a zoo of devices (phones, iPhones, laptops,
+// IoT sensors) with randomized process mixes, a fault schedule (relay flaps,
+// mains loss, WiFi drops, VPN churn, USB power cycles), and a stream of jobs
+// with randomized constraints and credit funding. Every decision is made here,
+// at generation time, from the seed alone — the harness replays the spec
+// mechanically, so two runs of one spec must be event-for-event identical.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace blab::testing {
+
+struct ProcessSpec {
+  std::string name;
+  double demand = 0.0;  ///< base CPU demand contribution in [0, 1]
+  double jitter = 0.0;  ///< relative sigma of the demand redraw
+};
+
+enum class DeviceKind { kPhone, kIphone, kLaptop, kIotSensor };
+
+const char* device_kind_name(DeviceKind kind);
+
+struct DeviceGenSpec {
+  DeviceKind kind = DeviceKind::kPhone;
+  std::string serial;
+  std::vector<ProcessSpec> processes;
+};
+
+struct NodeGenSpec {
+  std::string label;
+  double wan_latency_ms = 6.0;
+  double wan_mbps = 200.0;
+  std::vector<DeviceGenSpec> devices;
+};
+
+enum class FaultKind {
+  kRelayFlap,      ///< flip a device's relay channel bypass<->battery
+  kMainsLoss,      ///< cut the node's WiFi power socket
+  kMainsRestore,   ///< restore mains and reprogram the monitor
+  kWifiDrop,       ///< disable the controller<->device WiFi link
+  kWifiRestore,
+  kVpnConnect,     ///< tunnel the controller through a VPN exit
+  kVpnDisconnect,
+  kUsbPowerCycle,  ///< drop then restore a device's USB hub port
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kRelayFlap;
+  util::Duration at;       ///< absolute offset from scenario start
+  std::size_t node = 0;    ///< index into ScenarioSpec::nodes
+  std::size_t device = 0;  ///< index into the node's devices (when relevant)
+  std::string location;    ///< VPN exit for kVpnConnect
+};
+
+enum class JobKind {
+  kIdle,     ///< logs and advances time only
+  kMeasure,  ///< full power-measurement pipeline (start/stop monitor)
+  kAdb,      ///< automation over ADB (skipped transparently on iOS)
+  kVideo,    ///< video playback under measurement
+  kMirror,   ///< mirroring session on/off
+};
+
+const char* job_kind_name(JobKind kind);
+
+/// Constraint shapes the fuzzer mixes: satisfiable ones must eventually run,
+/// impossible ones must stay queued forever.
+enum class ConstraintShape {
+  kNone,         ///< any free device
+  kPinSerial,    ///< a real serial in the topology
+  kGhostSerial,  ///< a serial that exists nowhere (never dispatches)
+  kModel,        ///< device-model constraint
+  kPinNode,      ///< a real node label
+  kVpnLocation,  ///< requires a network location (VPN attached)
+};
+
+struct JobGenSpec {
+  JobKind kind = JobKind::kIdle;
+  std::string name;
+  int submit_step = 0;    ///< scenario step at which the job is submitted
+  bool approved = true;   ///< admin approves the pipeline before dispatch
+  ConstraintShape shape = ConstraintShape::kNone;
+  std::size_t node = 0;   ///< target node index for pin shapes
+  std::size_t device = 0; ///< target device index for pin shapes
+  std::string location;   ///< VPN exit for kVpnLocation
+  std::size_t owner = 0;  ///< experimenter index
+  util::Duration measure_duration = util::Duration::seconds(2);
+};
+
+struct ScenarioSpec {
+  std::uint64_t seed = 0;
+  std::vector<NodeGenSpec> nodes;
+  std::vector<FaultSpec> faults;
+  std::vector<JobGenSpec> jobs;
+  bool enforce_credits = false;
+  std::size_t experimenters = 1;
+  std::vector<double> initial_credits;  ///< one balance per experimenter
+  int steps = 4;
+  util::Duration step_length = util::Duration::seconds(4);
+};
+
+/// Generate a scenario from a seed. Pure: the same seed always yields the
+/// same spec, and the spec fully determines the harness run.
+ScenarioSpec generate_scenario(std::uint64_t seed);
+
+/// One-line description for logs and failure messages.
+std::string describe(const ScenarioSpec& spec);
+
+/// The fixed CI corpus: the first `n` seeds every `ctest -L dst` run fuzzes.
+std::vector<std::uint64_t> default_corpus(std::size_t n);
+
+}  // namespace blab::testing

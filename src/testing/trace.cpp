@@ -1,0 +1,94 @@
+#include "testing/trace.hpp"
+
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace blab::testing {
+
+namespace {
+
+// SplitMix64-style mixing keeps the rolling digest sensitive to ordering,
+// not just content.
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 27;
+  return h;
+}
+
+std::string render(const TraceEventRecord& ev) {
+  std::ostringstream os;
+  os << "t=" << ev.at.us() << "us seq=" << ev.seq << " label=\""
+     << (ev.label.empty() ? "<unlabeled>" : ev.label) << "\"";
+  return os.str();
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(sim::Simulator& sim) : sim_{sim} {
+  sim_.set_trace_hook(
+      [this](util::TimePoint at, std::uint64_t seq, const std::string& label) {
+        record(at, seq, label);
+      });
+}
+
+TraceRecorder::~TraceRecorder() { sim_.set_trace_hook(nullptr); }
+
+void TraceRecorder::record(util::TimePoint at, std::uint64_t seq,
+                           std::string_view label) {
+  digest_ = mix(digest_, static_cast<std::uint64_t>(at.us()));
+  digest_ = mix(digest_, seq);
+  digest_ = mix(digest_, util::fnv1a(label));
+  events_.push_back(
+      TraceEventRecord{at, seq, std::string{label}, digest_});
+}
+
+void TraceRecorder::note(std::string_view label) {
+  record(sim_.now(), 0, label);
+}
+
+std::string TraceRecorder::digest_hex() const {
+  std::ostringstream os;
+  os << std::hex;
+  os.width(16);
+  os.fill('0');
+  os << digest_;
+  return os.str();
+}
+
+Divergence first_divergence(const std::vector<TraceEventRecord>& a,
+                            const std::vector<TraceEventRecord>& b) {
+  Divergence out;
+  const std::size_t common = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (a[i].at != b[i].at || a[i].seq != b[i].seq ||
+        a[i].label != b[i].label) {
+      out.diverged = true;
+      out.index = i;
+      out.first = render(a[i]);
+      out.second = render(b[i]);
+      return out;
+    }
+  }
+  if (a.size() != b.size()) {
+    out.diverged = true;
+    out.index = common;
+    out.first = common < a.size() ? render(a[common])
+                                  : "<trace ended after " +
+                                        std::to_string(a.size()) + " events>";
+    out.second = common < b.size() ? render(b[common])
+                                   : "<trace ended after " +
+                                         std::to_string(b.size()) + " events>";
+  }
+  return out;
+}
+
+std::string Divergence::describe() const {
+  if (!diverged) return "traces identical";
+  return "first divergence at event " + std::to_string(index) + ": run A " +
+         first + " vs run B " + second;
+}
+
+}  // namespace blab::testing

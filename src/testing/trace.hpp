@@ -1,0 +1,70 @@
+// Event-trace recording and divergence diffing.
+//
+// Determinism is the property the whole reproduction rests on: every run is a
+// pure function of (seed, scenario). The TraceRecorder attaches to a
+// Simulator's trace hook and folds every executed event — timestamp, sequence
+// number, label — into a rolling digest, plus any scenario-level notes the
+// harness injects (step boundaries, capture stats, ledger balances). Running
+// the same scenario twice and diffing the recorded traces turns "it should be
+// deterministic" into a failing test that names the first divergent event.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/time.hpp"
+
+namespace blab::testing {
+
+struct TraceEventRecord {
+  util::TimePoint at;
+  std::uint64_t seq = 0;       ///< simulator sequence number (0 for notes)
+  std::string label;
+  std::uint64_t digest = 0;    ///< rolling digest *after* this event
+};
+
+class TraceRecorder {
+ public:
+  /// Installs itself as `sim`'s trace hook; restores on destruction.
+  explicit TraceRecorder(sim::Simulator& sim);
+  ~TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Fold a scenario-level mark into the digest (step boundaries, oracle
+  /// checkpoints, capture statistics). Recorded like an event, seq 0.
+  void note(std::string_view label);
+
+  const std::vector<TraceEventRecord>& events() const { return events_; }
+  std::uint64_t digest() const { return digest_; }
+  /// Digest rendered as fixed-width hex, the form pinned by golden tests.
+  std::string digest_hex() const;
+
+ private:
+  void record(util::TimePoint at, std::uint64_t seq, std::string_view label);
+
+  sim::Simulator& sim_;
+  std::vector<TraceEventRecord> events_;
+  std::uint64_t digest_ = 0x6261747465727921ULL;  // arbitrary nonzero start
+};
+
+/// Where two recorded traces first disagree.
+struct Divergence {
+  bool diverged = false;
+  std::size_t index = 0;  ///< first differing event index
+  std::string first;      ///< rendering of run A's event at `index`
+  std::string second;     ///< rendering of run B's event at `index`
+
+  /// Human-readable one-liner for test failure messages.
+  std::string describe() const;
+};
+
+/// Compare two traces event by event; identifies the first event where the
+/// (timestamp, seq, label) triple differs, or a length mismatch.
+Divergence first_divergence(const std::vector<TraceEventRecord>& a,
+                            const std::vector<TraceEventRecord>& b);
+
+}  // namespace blab::testing

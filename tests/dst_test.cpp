@@ -1,0 +1,284 @@
+// Deterministic simulation testing (DST): seed-driven fuzzed scenarios run
+// through the real access-server/scheduler/API stack, checked by invariant
+// oracles after every step, and replayed from the same seed to prove the
+// whole deployment is a pure function of (seed, scenario).
+//
+// To reproduce a failure locally, take the seed from the test name or the
+// failure message and call blab::testing::replay_check(seed) — the report
+// names the first divergent event. See DESIGN.md, "Deterministic simulation
+// testing".
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/trace_io.hpp"
+#include "testing/harness.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace dst = blab::testing;
+
+namespace {
+
+using blab::util::Duration;
+using blab::util::TimePoint;
+
+// ------------------------------------------------------------------------
+// The fuzz corpus: every seed builds a random deployment, survives its fault
+// schedule with all oracles green, and replays byte-identically.
+// ------------------------------------------------------------------------
+
+class FuzzedScenario : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzedScenario, OraclesHoldAndReplayIsByteIdentical) {
+  const dst::ReplayReport report = dst::replay_check(GetParam());
+  EXPECT_TRUE(report.first.ok()) << report.first.violation_summary();
+  EXPECT_TRUE(report.second.ok()) << report.second.violation_summary();
+  EXPECT_TRUE(report.deterministic) << report.describe();
+  EXPECT_EQ(report.first.digest_hex, report.second.digest_hex)
+      << report.describe();
+  EXPECT_GT(report.first.events_executed, 0u)
+      << "scenario ran no simulator events: " << report.first.description;
+}
+
+INSTANTIATE_TEST_SUITE_P(DstCorpus, FuzzedScenario,
+                         ::testing::ValuesIn(dst::default_corpus(25)));
+
+// ------------------------------------------------------------------------
+// Seed stability: the first five corpus seeds' digests are pinned in-repo.
+// A diff here means some component consumed randomness or ordered events
+// differently than it did when the golden values were recorded — that is a
+// behavior change even if every oracle still passes. If the change is
+// intentional, re-run this test and copy the printed digests over the
+// pinned ones (see DESIGN.md).
+// ------------------------------------------------------------------------
+
+TEST(DstGolden, FirstFiveCorpusSeedDigestsArePinned) {
+  const auto seeds = dst::default_corpus(5);
+  const std::vector<std::string> pinned = {
+      "9164cb1510896bb5",
+      "ab45a4e7ac1e2773",
+      "a243b83ed629aa51",
+      "2ee996291e785b4e",
+      "418363e5156f26fc",
+  };
+  ASSERT_EQ(seeds.size(), pinned.size());
+  std::size_t captures = 0, faults = 0, dispatched = 0;
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const dst::ScenarioResult result = dst::run_scenario(seeds[i]);
+    EXPECT_TRUE(result.ok()) << result.violation_summary();
+    EXPECT_EQ(result.digest_hex, pinned[i])
+        << "seed " << seeds[i] << " (" << result.description
+        << ") drifted from its golden digest";
+    captures += result.captures;
+    faults += result.faults_injected;
+    dispatched += result.jobs_dispatched;
+  }
+  // The pinned prefix must actually exercise the platform, not idle through.
+  EXPECT_GT(dispatched, 0u);
+  EXPECT_GT(faults, 0u);
+  EXPECT_GT(captures, 0u);
+}
+
+// ------------------------------------------------------------------------
+// Scenario generator properties.
+// ------------------------------------------------------------------------
+
+TEST(ScenarioGen, SameSeedYieldsSameSpec) {
+  const auto a = dst::generate_scenario(42);
+  const auto b = dst::generate_scenario(42);
+  EXPECT_EQ(dst::describe(a), dst::describe(b));
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].name, b.jobs[i].name);
+    EXPECT_EQ(a.jobs[i].submit_step, b.jobs[i].submit_step);
+    EXPECT_EQ(a.jobs[i].shape, b.jobs[i].shape);
+  }
+}
+
+TEST(ScenarioGen, CorpusGrowthPreservesExistingSeeds) {
+  const auto small = dst::default_corpus(5);
+  const auto large = dst::default_corpus(25);
+  ASSERT_GE(large.size(), small.size());
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    EXPECT_EQ(small[i], large[i]) << "corpus seed " << i << " changed";
+  }
+}
+
+TEST(ScenarioGen, GeneratedSpecsRespectDocumentedBounds) {
+  for (std::uint64_t seed : dst::default_corpus(10)) {
+    const auto spec = dst::generate_scenario(seed);
+    EXPECT_GE(spec.nodes.size(), 1u);
+    EXPECT_LE(spec.nodes.size(), 8u);
+    for (const auto& node : spec.nodes) {
+      EXPECT_GE(node.devices.size(), 1u);
+      EXPECT_LE(node.devices.size(), 3u);
+    }
+    EXPECT_GE(spec.steps, 3);
+    EXPECT_LE(spec.steps, 6);
+    EXPECT_GE(spec.jobs.size(), 4u);
+    EXPECT_EQ(spec.initial_credits.size(), spec.experimenters);
+    for (const auto& job : spec.jobs) {
+      EXPECT_LT(job.submit_step, spec.steps);
+      EXPECT_LT(job.node, spec.nodes.size());
+    }
+    for (const auto& fault : spec.faults) {
+      EXPECT_LT(fault.node, spec.nodes.size());
+    }
+  }
+}
+
+// ------------------------------------------------------------------------
+// Trace recorder and divergence differ.
+// ------------------------------------------------------------------------
+
+TEST(TraceDiff, IdenticalTracesDoNotDiverge) {
+  std::vector<dst::TraceEventRecord> a{
+      {TimePoint::epoch(), 1, "boot", 0},
+      {TimePoint::epoch() + Duration::millis(5), 2, "poll", 0}};
+  const auto d = dst::first_divergence(a, a);
+  EXPECT_FALSE(d.diverged);
+  EXPECT_EQ(d.describe(), "traces identical");
+}
+
+TEST(TraceDiff, PinpointsFirstDifferingEvent) {
+  std::vector<dst::TraceEventRecord> a{
+      {TimePoint::epoch(), 1, "boot", 0},
+      {TimePoint::epoch() + Duration::millis(5), 2, "poll", 0}};
+  std::vector<dst::TraceEventRecord> b = a;
+  b[1].label = "tick";
+  const auto d = dst::first_divergence(a, b);
+  ASSERT_TRUE(d.diverged);
+  EXPECT_EQ(d.index, 1u);
+  EXPECT_NE(d.describe().find("poll"), std::string::npos);
+  EXPECT_NE(d.describe().find("tick"), std::string::npos);
+}
+
+TEST(TraceDiff, ReportsLengthMismatch) {
+  std::vector<dst::TraceEventRecord> a{{TimePoint::epoch(), 1, "boot", 0}};
+  std::vector<dst::TraceEventRecord> b;
+  const auto d = dst::first_divergence(a, b);
+  ASSERT_TRUE(d.diverged);
+  EXPECT_EQ(d.index, 0u);
+  EXPECT_NE(d.second.find("ended after 0 events"), std::string::npos);
+}
+
+TEST(TraceRecorder, NotesFoldIntoTheDigest) {
+  blab::sim::Simulator sim;
+  dst::TraceRecorder rec{sim};
+  const std::uint64_t before = rec.digest();
+  rec.note("checkpoint");
+  EXPECT_NE(rec.digest(), before);
+  ASSERT_EQ(rec.events().size(), 1u);
+  EXPECT_EQ(rec.events()[0].label, "checkpoint");
+  EXPECT_EQ(rec.events()[0].seq, 0u);
+}
+
+TEST(TraceRecorder, DetachesFromSimulatorOnDestruction) {
+  blab::sim::Simulator sim;
+  {
+    dst::TraceRecorder rec{sim};
+    EXPECT_TRUE(sim.has_trace_hook());
+  }
+  EXPECT_FALSE(sim.has_trace_hook());
+}
+
+// ------------------------------------------------------------------------
+// trace_io round-trip fuzz: export -> import -> export must be
+// byte-identical, and malformed streams must be rejected, not mangled.
+// ------------------------------------------------------------------------
+
+TEST(TraceIoFuzz, ExportImportExportIsByteIdentical) {
+  blab::util::Rng rng{0xD57C55ULL};
+  // Rates whose sample period is exact at the CSV's 6-decimal resolution.
+  const std::vector<double> rates{200.0, 500.0, 1000.0, 2000.0, 5000.0};
+  for (int round = 0; round < 30; ++round) {
+    const double hz = rng.pick(rates);
+    const auto n = static_cast<std::size_t>(rng.uniform_int(2, 400));
+    std::vector<float> samples;
+    samples.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      samples.push_back(static_cast<float>(rng.uniform(0.0, 6000.0)));
+    }
+    const blab::hw::Capture original{TimePoint::epoch(), hz,
+                                     rng.uniform(3.3, 11.4), samples};
+    std::ostringstream first;
+    blab::analysis::write_capture_csv(original, first);
+    std::istringstream in{first.str()};
+    auto imported = blab::analysis::read_capture_csv_stream(in);
+    ASSERT_TRUE(imported.ok()) << "round " << round;
+    EXPECT_EQ(imported.value().sample_count(), n);
+    EXPECT_DOUBLE_EQ(imported.value().sample_hz(), hz);
+    std::ostringstream second;
+    blab::analysis::write_capture_csv(imported.value(), second);
+    EXPECT_EQ(first.str(), second.str())
+        << "round " << round << " (hz=" << hz << ", n=" << n
+        << ") did not round-trip byte-identically";
+  }
+}
+
+TEST(TraceIoFuzz, RejectsTruncatedStream) {
+  const std::string csv =
+      "time_s,current_mA,voltage\n"
+      "0.000000,100.000,3.850\n"
+      "0.000200,101.2";  // final row cut mid-field: only two columns
+  std::istringstream in{csv};
+  const auto result = blab::analysis::read_capture_csv_stream(in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, blab::util::ErrorCode::kInvalidArgument);
+}
+
+TEST(TraceIoFuzz, RejectsNaNSample) {
+  const std::string csv =
+      "time_s,current_mA,voltage\n"
+      "0.000000,100.000,3.850\n"
+      "0.000200,nan,3.850\n";
+  std::istringstream in{csv};
+  const auto result = blab::analysis::read_capture_csv_stream(in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, blab::util::ErrorCode::kInvalidArgument);
+}
+
+TEST(TraceIoFuzz, RejectsOutOfOrderTimestamps) {
+  const std::string csv =
+      "time_s,current_mA,voltage\n"
+      "0.000000,100.000,3.850\n"
+      "0.000400,101.000,3.850\n"
+      "0.000200,102.000,3.850\n";
+  std::istringstream in{csv};
+  const auto result = blab::analysis::read_capture_csv_stream(in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, blab::util::ErrorCode::kInvalidArgument);
+}
+
+TEST(TraceIoFuzz, RejectsDuplicateTimestamps) {
+  const std::string csv =
+      "time_s,current_mA,voltage\n"
+      "0.000000,100.000,3.850\n"
+      "0.000000,101.000,3.850\n";
+  std::istringstream in{csv};
+  const auto result = blab::analysis::read_capture_csv_stream(in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, blab::util::ErrorCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------------------------
+// Oracle registry surface.
+// ------------------------------------------------------------------------
+
+TEST(Oracles, DefaultRegistryCoversTheDocumentedInvariants) {
+  dst::OracleRegistry registry;
+  const auto names = registry.names();
+  const std::vector<std::string> expected{
+      "clock-monotonicity", "scheduler-safety", "credit-ledger",
+      "energy-conservation", "battery-sanity"};
+  for (const auto& name : expected) {
+    EXPECT_NE(std::find(names.begin(), names.end(), name), names.end())
+        << "missing oracle: " << name;
+  }
+}
+
+}  // namespace

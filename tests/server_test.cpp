@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <optional>
 
 #include "device/android.hpp"
 #include "device/browser.hpp"
@@ -451,6 +452,84 @@ TEST_F(SchedulerFixture, WorkspaceRetentionPurgesOldJobs) {
   EXPECT_EQ(server.scheduler().purge_workspaces(
                 Duration::seconds(4.0 * 86400.0)),
             0u);
+}
+
+TEST_F(SchedulerFixture, WorkspaceRetentionTtlBoundaryIsInclusive) {
+  // A job that finished *exactly* ttl ago is purged: the sweep uses
+  // age >= ttl, and this pins that boundary.
+  auto id = server.submit_job(exp_token, trivial_job("boundary"));
+  ASSERT_TRUE(server.approve_pipeline(admin_token, id.value()).ok());
+  EXPECT_EQ(server.run_queue(exp_token).value(), 1u);
+  const TimePoint finished =
+      server.scheduler().find(id.value())->finished_at;
+
+  const Duration ttl = Duration::seconds(3.0 * 86400.0);
+  // One microsecond shy of the TTL: survives.
+  sim.run_until(finished + ttl - Duration::micros(1));
+  EXPECT_EQ(server.scheduler().purge_workspaces(ttl), 0u);
+  EXPECT_FALSE(server.scheduler().find(id.value())->workspace.purged());
+  // Exactly at the TTL: purged.
+  sim.run_until(finished + ttl);
+  EXPECT_EQ(server.scheduler().purge_workspaces(ttl), 1u);
+  EXPECT_TRUE(server.scheduler().find(id.value())->workspace.purged());
+}
+
+TEST_F(SchedulerFixture, AbortRejectsRunningJob) {
+  // Jobs run to completion inside dispatch, so the only vantage from which
+  // a running job is observable is its own script.
+  std::optional<JobId> self;
+  util::Status abort_status = util::Status::ok_status();
+  bool busy_during = false;
+  Job job;
+  job.name = "self-abort";
+  job.script = [&](JobContext& ctx) {
+    busy_during = server.scheduler().device_busy(ctx.device_serial);
+    abort_status = server.scheduler().abort(*self);
+    return util::Status::ok_status();
+  };
+  auto id = server.submit_job(exp_token, std::move(job));
+  ASSERT_TRUE(id.ok());
+  self = id.value();
+  ASSERT_TRUE(server.approve_pipeline(admin_token, id.value()).ok());
+  EXPECT_EQ(server.run_queue(exp_token).value(), 1u);
+  EXPECT_TRUE(busy_during);
+  EXPECT_FALSE(abort_status.ok()) << "running jobs cannot be aborted";
+  EXPECT_EQ(abort_status.error().code,
+            util::ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(server.scheduler().find(id.value())->state,
+            JobState::kSucceeded)
+      << "the rejected abort left the run undisturbed";
+}
+
+TEST_F(SchedulerFixture, AbortRejectsFinishedJob) {
+  auto id = server.submit_job(exp_token, trivial_job("done"));
+  ASSERT_TRUE(server.approve_pipeline(admin_token, id.value()).ok());
+  EXPECT_EQ(server.run_queue(exp_token).value(), 1u);
+  const auto st = server.scheduler().abort(id.value());
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, util::ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(server.scheduler().find(id.value())->state,
+            JobState::kSucceeded);
+}
+
+TEST_F(SchedulerFixture, AbortedJobFreesItsDevice) {
+  // Abort a queued job pinned to the only device, then verify the device is
+  // not held: a follow-up job on the same serial dispatches immediately.
+  Job pinned = trivial_job("condemned");
+  pinned.constraints.device_serial = "J7DUO-1";
+  auto id = server.submit_job(exp_token, std::move(pinned));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(server.scheduler().abort(id.value()).ok());
+  EXPECT_FALSE(server.scheduler().device_busy("J7DUO-1"));
+
+  Job successor = trivial_job("successor");
+  successor.constraints.device_serial = "J7DUO-1";
+  auto next = server.submit_job(exp_token, std::move(successor));
+  ASSERT_TRUE(server.approve_pipeline(admin_token, next.value()).ok());
+  EXPECT_EQ(server.run_queue(exp_token).value(), 1u);
+  EXPECT_EQ(server.scheduler().find(next.value())->state,
+            JobState::kSucceeded);
+  EXPECT_FALSE(server.scheduler().device_busy("J7DUO-1"));
 }
 
 // --------------------------------------------------------- maintenance ----

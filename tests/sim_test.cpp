@@ -117,13 +117,62 @@ TEST(SimulatorTest, PastSchedulingClampsToNow) {
   EXPECT_EQ(sim.now(), TimePoint::epoch() + Duration::seconds(5));
 }
 
-TEST(SimulatorTest, RunAllThrowsOnRunaway) {
+TEST(SimulatorTest, RunAllReportsTrippedCap) {
   Simulator sim;
   std::function<void()> forever = [&] {
     sim.schedule_after(Duration::millis(1), forever);
   };
   sim.schedule_after(Duration::millis(1), forever);
-  EXPECT_THROW(sim.run_all(1000), std::runtime_error);
+  EXPECT_EQ(sim.run_all(1000), 1000u);
+  EXPECT_TRUE(sim.hit_cap()) << "runaway task must be distinguishable";
+  EXPECT_EQ(sim.pending_events(), 1u) << "the rescheduled event is pending";
+}
+
+TEST(SimulatorTest, RunAllDrainedQueueClearsHitCap) {
+  Simulator sim;
+  std::function<void()> forever = [&] {
+    sim.schedule_after(Duration::millis(1), forever);
+  };
+  sim.schedule_after(Duration::millis(1), forever);
+  EXPECT_EQ(sim.run_all(10), 10u);
+  ASSERT_TRUE(sim.hit_cap());
+  // Drop the runaway chain: the next drain empties cleanly.
+  for (int i = 0; i < 3; ++i) sim.schedule_after(Duration::millis(1), [] {});
+  sim.run_until(sim.now());  // no-op; the chain event is still pending
+  forever = [] {};           // break the self-rescheduling cycle
+  sim.run_all(100);
+  EXPECT_FALSE(sim.hit_cap()) << "a drained queue must not report a cap trip";
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, PeriodicTaskTripsRunAllCap) {
+  // Regression: a self-rescheduling periodic task never drains; callers of
+  // run_all must see hit_cap() rather than mistaking the cap for a drain.
+  Simulator sim;
+  PeriodicTask poller{sim, Duration::millis(10), [] {}};
+  poller.start();
+  EXPECT_EQ(sim.run_all(500), 500u);
+  EXPECT_TRUE(sim.hit_cap());
+  poller.stop();
+  sim.run_all();
+  EXPECT_FALSE(sim.hit_cap()) << "stopped task drains; cap flag resets";
+}
+
+TEST(SimulatorTest, TraceHookSeesEveryExecutedEvent) {
+  Simulator sim;
+  std::vector<std::string> labels;
+  sim.set_trace_hook([&](TimePoint, std::uint64_t, const std::string& label) {
+    labels.push_back(label);
+  });
+  sim.schedule_after(Duration::millis(2), [] {}, "second");
+  sim.schedule_after(Duration::millis(1), [] {}, "first");
+  sim.schedule_after(Duration::millis(3), [] {}, "third");
+  sim.run_for(Duration::millis(2));  // run_until path
+  sim.run_all();                     // step path
+  EXPECT_EQ(labels,
+            (std::vector<std::string>{"first", "second", "third"}));
+  sim.set_trace_hook(nullptr);
+  EXPECT_FALSE(sim.has_trace_hook());
 }
 
 TEST(SimulatorTest, ExecutedEventCounter) {
