@@ -13,6 +13,7 @@
 #include "device/android.hpp"
 #include "device/video_player.hpp"
 #include "net/vpn.hpp"
+#include "store/capture_store.hpp"
 #include "util/logging.hpp"
 
 namespace blab::bench {
@@ -41,6 +42,8 @@ struct Testbed {
     if (!added.ok()) throw std::runtime_error{added.error().str()};
     device = added.value();
     api = std::make_unique<api::BatteryLabApi>(*vp);
+    // Every stop_monitor lands in the store; benches query tiers from it.
+    api->attach_capture_store(&store, "bench");
   }
 
   /// Install the video player and start looped local playback (Fig. 2).
@@ -61,6 +64,7 @@ struct Testbed {
 
   sim::Simulator sim;
   net::Network net;
+  store::CaptureStore store;
   std::unique_ptr<api::VantagePoint> vp;
   device::AndroidDevice* device = nullptr;
   std::unique_ptr<api::BatteryLabApi> api;

@@ -21,6 +21,7 @@ constexpr int kRepetitions = 5;
 
 struct Cell {
   util::RunningStats discharge_mah;
+  util::RunningStats energy_mwh;  ///< from the capture store's footers
 };
 
 Cell run_browser(const device::BrowserProfile& profile, bool mirroring) {
@@ -34,6 +35,11 @@ Cell run_browser(const device::BrowserProfile& profile, bool mirroring) {
                                                    profile, options);
     if (!run.ok()) throw std::runtime_error{run.error().str()};
     cell.discharge_mah.add(run.value().discharge_mah);
+    // Cross-check against the archived capture: integrated energy served
+    // from chunk footers, no raw decode.
+    auto energy = tb.store.energy_mwh(*tb.api->last_capture_id());
+    if (!energy.ok()) throw std::runtime_error{energy.error().str()};
+    cell.energy_mwh.add(energy.value());
   }
   return cell;
 }
@@ -51,6 +57,7 @@ int main() {
     std::string browser;
     double plain = 0.0;
     double mirrored = 0.0;
+    double plain_mwh = 0.0;
   };
   std::vector<Row> rows;
   for (const char* name : {"Brave", "Chrome", "Edge", "Firefox"}) {
@@ -63,7 +70,8 @@ int main() {
                 mirrored.discharge_mah.mean(),
                 mirrored.discharge_mah.stddev());
     rows.push_back({name, plain.discharge_mah.mean(),
-                    mirrored.discharge_mah.mean()});
+                    mirrored.discharge_mah.mean(),
+                    plain.energy_mwh.mean()});
   }
   fig.print(std::cout);
   fig.write_csv("fig3_browser_energy.csv");
@@ -72,6 +80,11 @@ int main() {
   for (const auto& r : rows) {
     std::cout << "  " << r.browser << ": +"
               << util::format_double(r.mirrored - r.plain, 2) << " mAh\n";
+  }
+  std::cout << "\nstore-backed energy (chunk footers, no raw decode):\n";
+  for (const auto& r : rows) {
+    std::cout << "  " << r.browser << ": "
+              << util::format_double(r.plain_mwh, 2) << " mWh\n";
   }
   auto by = [&](const std::string& name) {
     for (const auto& r : rows) {

@@ -89,10 +89,14 @@ int main() {
   }
   std::cout << "\n\n";
 
-  // Standing fleet hygiene (§3.1) runs on a cron.
+  // Standing fleet hygiene (§3.1) runs on a cron: monitor safety plus
+  // capture-store retention (raw samples age out first, summaries later).
   server.schedule_recurring(
       [] { return server::make_monitor_safety_job(); },
       util::Duration::minutes(30));
+  server.schedule_recurring(
+      [&server] { return server::make_capture_retention_job(server); },
+      server.capture_store().policy().raw_ttl);
 
   // ---- A measurement campaign across the fleet --------------------------
   // Imperial's researcher measures Brave on every *phone* in the platform;
@@ -141,6 +145,22 @@ int main() {
             << util::format_double(server.credits().balance(alice).value(), 1)
             << " (earns hosting share back when others use the London "
                "node)\n\n";
+
+  // ---- The archive: campaign captures land in the capture store ----------
+  auto& store = server.capture_store();
+  std::cout << "capture store holds " << store.size() << " captures across "
+            << store.workspaces().size() << " job workspaces:\n";
+  for (const auto& [serial, job_id] : campaign) {
+    for (const auto& cid : store.list(job_id.str())) {
+      std::cout << "  " << cid.str() << " (" << serial << "): "
+                << util::format_double(store.mean_ma(cid).value(), 1)
+                << " mA mean, "
+                << util::format_double(store.energy_mwh(cid).value(), 2)
+                << " mWh — served from chunk footers ("
+                << store.stats().raw_chunk_decodes << " raw decodes)\n";
+    }
+  }
+  std::cout << "\n";
 
   // ---- Crowdsourced usability task on the Princeton phone ---------------
   auto task = server.testers().post_task(

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Sanitizer lane: build with ASan+UBSan (BLAB_SANITIZE=ON) and run the DST
+# and capture-store suites, then the store throughput bench. DST digests must
+# come out identical under sanitizers — instrumentation that changes behavior
+# is itself a bug.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-asan}"
+export ASAN_OPTIONS="${ASAN_OPTIONS:-strict_string_checks=1:detect_stack_use_after_return=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+
+cmake -S . -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DBLAB_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target blab_dst store_test failure_test store_throughput
+ctest --test-dir "$BUILD_DIR" -L 'dst|store' --output-on-failure
+"$BUILD_DIR"/bench/store_throughput

@@ -13,6 +13,15 @@ void CdfFigure::add_series(std::string label, util::Cdf cdf) {
   series_.push_back({std::move(label), std::move(cdf)});
 }
 
+bool CdfFigure::add_series_from_store(std::string label,
+                                      store::CaptureStore& store,
+                                      const store::CaptureId& id) {
+  auto cdf = store.percentiles(id);
+  if (!cdf.ok()) return false;
+  series_.push_back({std::move(label), std::move(cdf.value())});
+  return true;
+}
+
 std::vector<double> CdfFigure::default_quantiles() {
   return {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99};
 }

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "store/capture_store.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -25,6 +26,10 @@ class CdfFigure {
   CdfFigure(std::string title, std::string x_label);
 
   void add_series(std::string label, util::Cdf cdf);
+  /// Series from an archived capture's downsample tiers (never decodes raw
+  /// chunks); false if the capture is gone from the store.
+  bool add_series_from_store(std::string label, store::CaptureStore& store,
+                             const store::CaptureId& id);
   const std::vector<CdfSeries>& series() const { return series_; }
 
   /// Console rendering with the given quantiles (default deciles + extremes).

@@ -12,6 +12,17 @@ void write_capture_csv(const hw::Capture& capture, std::ostream& os,
                        std::size_t stride) {
   if (stride == 0) stride = 1;
   os << "time_s,current_mA,voltage\n";
+  if (stride > 1) {
+    // Decimated export: record the effective rate explicitly. Rounded row
+    // timestamps cannot recover it exactly (0.000732421875 s prints as
+    // 0.000732), and without the marker a re-import would silently claim a
+    // slightly wrong rate — which skews charge/energy integrals.
+    os << "# effective_hz="
+       << util::format_double(capture.sample_hz() / static_cast<double>(stride),
+                              6)
+       << " source_hz=" << util::format_double(capture.sample_hz(), 6)
+       << " stride=" << stride << '\n';
+  }
   const auto& samples = capture.samples_ma();
   const double dt = 1.0 / capture.sample_hz();
   for (std::size_t i = 0; i < samples.size(); i += stride) {
@@ -44,9 +55,25 @@ util::Result<hw::Capture> read_capture_csv_stream(std::istream& is) {
   double first_t = 0.0;
   double second_t = 0.0;
   double prev_t = 0.0;
+  double marker_hz = 0.0;
   std::size_t row = 0;
   while (std::getline(is, line)) {
-    if (util::trim(line).empty()) continue;
+    const std::string trimmed{util::trim(line)};
+    if (trimmed.empty()) continue;
+    if (trimmed.front() == '#') {
+      // Metadata comment; pick up the effective-rate marker if present.
+      for (const auto& token : util::split(trimmed.substr(1), ' ')) {
+        if (util::starts_with(token, "effective_hz=")) {
+          try {
+            marker_hz = std::stod(std::string{token.substr(13)});
+          } catch (const std::exception&) {
+            return util::make_error(util::ErrorCode::kInvalidArgument,
+                                    "bad effective_hz marker: " + trimmed);
+          }
+        }
+      }
+      continue;
+    }
     const auto fields = util::split(line, ',');
     if (fields.size() != 3) {
       return util::make_error(util::ErrorCode::kInvalidArgument,
@@ -86,7 +113,12 @@ util::Result<hw::Capture> read_capture_csv_stream(std::istream& is) {
     return util::make_error(util::ErrorCode::kInvalidArgument,
                             "non-monotonic timestamps");
   }
-  return hw::Capture{util::TimePoint::epoch(), 1.0 / dt, voltage,
+  if (marker_hz < 0.0 || !std::isfinite(marker_hz)) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "bad effective_hz marker");
+  }
+  const double hz = marker_hz > 0.0 ? marker_hz : 1.0 / dt;
+  return hw::Capture{util::TimePoint::epoch(), hz, voltage,
                      std::move(samples)};
 }
 
@@ -97,6 +129,40 @@ util::Result<hw::Capture> read_capture_csv(const std::string& path) {
                             "cannot open " + path);
   }
   return read_capture_csv_stream(in);
+}
+
+void write_capture_chunked(const hw::Capture& capture, std::ostream& os) {
+  const std::string bytes = store::ChunkedCapture::encode(capture).serialize();
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+util::Status write_capture_chunked(const hw::Capture& capture,
+                                   const std::string& path) {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) {
+    return util::make_error(util::ErrorCode::kUnavailable,
+                            "cannot open " + path + " for writing");
+  }
+  write_capture_chunked(capture, out);
+  return util::Status::ok_status();
+}
+
+util::Result<hw::Capture> read_capture_chunked_stream(std::istream& is) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string bytes = buffer.str();
+  auto chunked = store::ChunkedCapture::deserialize(bytes);
+  if (!chunked.ok()) return chunked.error();
+  return chunked.value().decode();
+}
+
+util::Result<hw::Capture> read_capture_chunked(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            "cannot open " + path);
+  }
+  return read_capture_chunked_stream(in);
 }
 
 std::string capture_summary(const hw::Capture& capture) {

@@ -110,7 +110,19 @@ util::Result<hw::Capture> BatteryLabApi::stop_monitor() {
     (void)vp_.usb_hub().set_port_power_for(dev->host(), true);
   }
   vp_.refresh_usb_power();
+  if (capture.ok() && capture_store_ != nullptr) {
+    last_capture_id_ = capture_store_->append(store_workspace_, device_id,
+                                              capture.value(),
+                                              vp_.simulator().now());
+  }
   return capture;
+}
+
+void BatteryLabApi::attach_capture_store(store::CaptureStore* store,
+                                         std::string workspace) {
+  capture_store_ = store;
+  store_workspace_ = std::move(workspace);
+  last_capture_id_.reset();
 }
 
 util::Result<hw::Capture> BatteryLabApi::run_monitor(

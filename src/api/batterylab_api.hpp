@@ -22,6 +22,7 @@
 
 #include "api/vantage_point.hpp"
 #include "hw/power_monitor.hpp"
+#include "store/capture_store.hpp"
 #include "util/result.hpp"
 
 namespace blab::api {
@@ -69,6 +70,14 @@ class BatteryLabApi {
   /// Register the GUI toolbar's REST endpoints (§3.2) against the backend.
   void bind_rest_endpoints();
 
+  /// Archive every successful stop_monitor capture into `store` under
+  /// `workspace` (the dispatching job's id). nullptr detaches.
+  void attach_capture_store(store::CaptureStore* store, std::string workspace);
+  /// Id of the most recently archived capture, if any.
+  std::optional<store::CaptureId> last_capture_id() const {
+    return last_capture_id_;
+  }
+
   VantagePoint& vantage_point() { return vp_; }
 
  private:
@@ -77,6 +86,9 @@ class BatteryLabApi {
   VantagePoint& vp_;
   std::optional<std::string> monitored_device_;
   sim::EventId auto_stop_ = sim::kInvalidEvent;
+  store::CaptureStore* capture_store_ = nullptr;
+  std::string store_workspace_;
+  std::optional<store::CaptureId> last_capture_id_;
 };
 
 }  // namespace blab::api

@@ -16,6 +16,7 @@ AccessServer::AccessServer(sim::Simulator& sim, net::Network& net,
       ssh_client_{net, host_, ssh_key_} {
   net_.add_host(host_);
   (void)certs_.issue(sim_.now());
+  scheduler_.attach_capture_store(&capture_store_);
 }
 
 void AccessServer::enable_credit_enforcement(CreditPolicy policy) {

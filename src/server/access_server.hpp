@@ -22,6 +22,7 @@
 #include "server/registry.hpp"
 #include "server/scheduler.hpp"
 #include "server/testers.hpp"
+#include "store/capture_store.hpp"
 
 namespace blab::server {
 
@@ -39,6 +40,7 @@ class AccessServer {
   CertificateManager& certs() { return certs_; }
   Scheduler& scheduler() { return scheduler_; }
   CreditLedger& credits() { return credits_; }
+  store::CaptureStore& capture_store() { return capture_store_; }
   TesterPool& testers() { return testers_; }
   const net::SshKeyPair& ssh_key() const { return ssh_key_; }
   net::SshClient& ssh_client() { return ssh_client_; }
@@ -86,6 +88,7 @@ class AccessServer {
   VantagePointRegistry registry_;
   CertificateManager certs_;
   Scheduler scheduler_;
+  store::CaptureStore capture_store_;
   CreditLedger credits_;
   TesterPool testers_;
   std::optional<CreditPolicy> credit_policy_;

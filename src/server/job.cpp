@@ -21,6 +21,10 @@ void JobWorkspace::store_artifact(const std::string& name,
   artifacts_[name] = std::move(content);
 }
 
+void JobWorkspace::record_capture(const store::CaptureId& id) {
+  captures_.push_back(id);
+}
+
 void JobWorkspace::purge() {
   logs_.clear();
   artifacts_.clear();

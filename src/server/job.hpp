@@ -47,6 +47,8 @@ class JobWorkspace {
  public:
   void log(const std::string& line);
   void store_artifact(const std::string& name, std::string content);
+  /// Link a capture archived in the platform's CaptureStore to this job.
+  void record_capture(const store::CaptureId& id);
 
   const std::vector<std::string>& logs() const { return logs_; }
   const std::map<std::string, std::string>& artifacts() const {
@@ -55,14 +57,17 @@ class JobWorkspace {
   bool has_artifact(const std::string& name) const {
     return artifacts_.contains(name);
   }
+  const std::vector<store::CaptureId>& captures() const { return captures_; }
 
-  /// Retention sweep (§3.1: logs live "for several days").
+  /// Retention sweep (§3.1: logs live "for several days"). Capture ids
+  /// survive the purge — the store's summary tiers outlive raw workspaces.
   void purge();
   bool purged() const { return purged_; }
 
  private:
   std::vector<std::string> logs_;
   std::map<std::string, std::string> artifacts_;
+  std::vector<store::CaptureId> captures_;
   bool purged_ = false;
 };
 

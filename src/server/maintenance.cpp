@@ -78,4 +78,23 @@ Job make_factory_reset_job() {
   return job;
 }
 
+Job make_capture_retention_job(AccessServer& server) {
+  Job job;
+  job.name = "maintenance/capture-retention";
+  job.constraints.needs_device = false;
+  job.script = [&server](JobContext& ctx) -> util::Status {
+    auto& store = server.capture_store();
+    const auto now = server.simulator().now();
+    const std::size_t touched = store.run_retention(now);
+    const std::size_t workspaces =
+        server.scheduler().purge_workspaces(store.policy().summary_ttl);
+    ctx.workspace->log("retention touched " + std::to_string(touched) +
+                       " captures, purged " + std::to_string(workspaces) +
+                       " workspaces; " + std::to_string(store.size()) +
+                       " records remain");
+    return util::Status::ok_status();
+  };
+  return job;
+}
+
 }  // namespace blab::server

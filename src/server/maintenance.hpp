@@ -26,4 +26,9 @@ Job make_monitor_safety_job();
 /// job's assigned device, then verify it responds over ADB.
 Job make_factory_reset_job();
 
+/// Capture retention sweep: apply the CaptureStore's TTL policy (raw chunk
+/// payloads expire first, summary tiers later) and age out job workspaces
+/// that outlived the store's summary TTL.
+Job make_capture_retention_job(AccessServer& server);
+
 }  // namespace blab::server

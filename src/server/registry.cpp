@@ -1,5 +1,7 @@
 #include "server/registry.hpp"
 
+#include <algorithm>
+
 namespace blab::server {
 
 const char* node_state_name(NodeState state) {
@@ -109,6 +111,14 @@ std::vector<std::string> VantagePointRegistry::approved_labels() const {
   for (const auto& [label, node] : nodes_) {
     if (node.state == NodeState::kApproved) out.push_back(label);
   }
+  return out;
+}
+
+std::vector<std::string> VantagePointRegistry::all_labels() const {
+  std::vector<std::string> out;
+  out.reserve(nodes_.size());
+  for (const auto& [label, node] : nodes_) out.push_back(label);
+  std::sort(out.begin(), out.end());
   return out;
 }
 

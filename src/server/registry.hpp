@@ -49,6 +49,8 @@ class VantagePointRegistry {
   const NodeRecord* find(const std::string& label) const;
   api::VantagePoint* vantage_point(const std::string& label);
   std::vector<std::string> approved_labels() const;
+  /// Every registered label regardless of state, sorted (oracle sweeps).
+  std::vector<std::string> all_labels() const;
   std::size_t node_count() const { return nodes_.size(); }
 
  private:

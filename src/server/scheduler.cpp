@@ -149,6 +149,9 @@ void Scheduler::run_job(Job& job, const Assignment& assignment) {
                                 << "/" << assignment.device_serial);
 
   api::BatteryLabApi api{*assignment.vp};
+  if (capture_store_ != nullptr) {
+    api.attach_capture_store(capture_store_, job.id.str());
+  }
   auto* dev = assignment.vp->find_device(assignment.device_serial);
 
   // Network-location constraint: tunnel the controller through the VPN exit
@@ -183,6 +186,19 @@ void Scheduler::run_job(Job& job, const Assignment& assignment) {
 
   // Safety net: a crashed script must not leave the Monsoon sampling.
   if (api.monitoring()) (void)api.stop_monitor();
+  // Session hygiene: no mirroring session survives device release — a
+  // script that forgot to deactivate mirroring must not leak the stream to
+  // the next experimenter on this device.
+  if (!assignment.device_serial.empty() &&
+      assignment.vp->mirroring(assignment.device_serial) != nullptr) {
+    (void)assignment.vp->stop_mirroring(assignment.device_serial);
+  }
+  // Archived captures become part of the job's workspace record.
+  if (capture_store_ != nullptr) {
+    for (const auto& cid : capture_store_->list(job.id.str())) {
+      job.workspace.record_capture(cid);
+    }
+  }
 
   if (vpn_connected) {
     (void)vpn_->disconnect(assignment.vp->controller_host());
@@ -226,6 +242,9 @@ std::size_t Scheduler::purge_workspaces(util::Duration ttl) {
     if (!finished || job->workspace.purged()) continue;
     if (sim_.now() - job->finished_at >= ttl) {
       job->workspace.purge();
+      if (capture_store_ != nullptr) {
+        (void)capture_store_->drop_workspace_raw(job->id.str());
+      }
       ++purged;
     }
   }

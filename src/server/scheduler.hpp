@@ -19,6 +19,7 @@
 #include "server/job.hpp"
 #include "server/registry.hpp"
 #include "sim/simulator.hpp"
+#include "store/capture_store.hpp"
 
 namespace blab::server {
 
@@ -37,6 +38,14 @@ class Scheduler {
     policy_ = policy;
   }
   bool credits_enforced() const { return ledger_ != nullptr; }
+
+  /// Optional capture store: every stop_monitor capture taken by a job's
+  /// script is archived under the job id's workspace, and workspace purges
+  /// drop the store's raw tier for that job too.
+  void attach_capture_store(store::CaptureStore* store) {
+    capture_store_ = store;
+  }
+  store::CaptureStore* capture_store() { return capture_store_; }
 
   /// Queue a job (must have an approved pipeline to ever dispatch).
   JobId submit(Job job);
@@ -82,6 +91,7 @@ class Scheduler {
   sim::Simulator& sim_;
   VantagePointRegistry& registry_;
   net::VpnProvider* vpn_ = nullptr;
+  store::CaptureStore* capture_store_ = nullptr;
   CreditLedger* ledger_ = nullptr;
   CreditPolicy policy_{};
   util::IdAllocator<JobTag> ids_;

@@ -1,0 +1,300 @@
+#include "store/capture_store.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace blab::store {
+namespace {
+
+util::Error not_found(const CaptureId& id) {
+  return util::make_error(util::ErrorCode::kNotFound,
+                          "no capture " + id.str());
+}
+
+}  // namespace
+
+CaptureId CaptureStore::append(const std::string& workspace, std::string name,
+                               const hw::Capture& capture,
+                               util::TimePoint now) {
+  CaptureId id{workspace, next_seq_++};
+  Record record;
+  record.name = std::move(name);
+  record.stored_at = now;
+  record.capture = ChunkedCapture::encode(capture);
+  records_.emplace(id, std::move(record));
+  ++stats_.captures_appended;
+  return id;
+}
+
+bool CaptureStore::contains(const CaptureId& id) const {
+  return records_.contains(id);
+}
+
+const ChunkedCapture* CaptureStore::find(const CaptureId& id) const {
+  const Record* record = find_record(id);
+  return record != nullptr ? &record->capture : nullptr;
+}
+
+std::optional<std::string> CaptureStore::name_of(const CaptureId& id) const {
+  const Record* record = find_record(id);
+  if (record == nullptr) return std::nullopt;
+  return record->name;
+}
+
+std::vector<CaptureId> CaptureStore::list(const std::string& workspace) const {
+  std::vector<CaptureId> ids;
+  for (const auto& [id, record] : records_) {
+    if (id.workspace == workspace) ids.push_back(id);
+  }
+  return ids;
+}
+
+std::vector<std::string> CaptureStore::workspaces() const {
+  std::vector<std::string> names;
+  for (const auto& [id, record] : records_) {
+    if (names.empty() || names.back() != id.workspace) {
+      names.push_back(id.workspace);
+    }
+  }
+  // CaptureId ordering is (workspace, seq), so names is already sorted but
+  // may repeat across interleaved appends only if sequences interleave —
+  // they cannot, map order guarantees grouping. Dedup defensively anyway.
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+const CaptureStore::Record* CaptureStore::find_record(
+    const CaptureId& id) const {
+  const auto it = records_.find(id);
+  return it != records_.end() ? &it->second : nullptr;
+}
+
+util::Result<std::vector<float>> CaptureStore::chunk_samples(
+    const CaptureId& id, const Record& record, std::size_t chunk) {
+  const CacheKey key{id, chunk};
+  if (const auto it = cache_index_.find(key); it != cache_index_.end()) {
+    ++stats_.cache_hits;
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+    return it->second->samples;
+  }
+  auto samples = record.capture.decode_chunk(chunk);
+  if (!samples.ok()) return samples;
+  ++stats_.raw_chunk_decodes;
+  cache_lru_.push_front(CacheEntry{key, samples.value()});
+  cache_index_[key] = cache_lru_.begin();
+  while (cache_lru_.size() > cache_capacity_) {
+    cache_index_.erase(cache_lru_.back().key);
+    cache_lru_.pop_back();
+    ++stats_.cache_evictions;
+  }
+  return samples;
+}
+
+void CaptureStore::evict_capture(const CaptureId& id) {
+  for (auto it = cache_lru_.begin(); it != cache_lru_.end();) {
+    if (it->key.id == id) {
+      cache_index_.erase(it->key);
+      it = cache_lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+util::Result<hw::Capture> CaptureStore::range(const CaptureId& id,
+                                              util::TimePoint t0,
+                                              util::TimePoint t1) {
+  const Record* record = find_record(id);
+  if (record == nullptr) return not_found(id);
+  const ChunkedCapture& cc = record->capture;
+  if (!cc.raw_available()) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "raw samples for " + id.str() +
+                                " purged by retention; summaries remain");
+  }
+  if (t1 < t0) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "range end precedes start");
+  }
+  // Clamp [t0, t1) to the capture and convert to sample indices.
+  const double hz = cc.sample_hz();
+  const auto to_index = [&](util::TimePoint t) -> std::size_t {
+    if (t <= cc.start()) return 0;
+    const double offset = (t - cc.start()).to_seconds() * hz;
+    const auto index = static_cast<std::size_t>(std::ceil(offset));
+    return std::min(index, cc.sample_count());
+  };
+  const std::size_t first = to_index(t0);
+  const std::size_t last = to_index(t1);
+
+  std::vector<float> samples;
+  samples.reserve(last - first);
+  const std::size_t per_chunk = cc.chunk_samples();
+  for (std::size_t chunk = first / per_chunk;
+       chunk * per_chunk < last && chunk < cc.chunk_count(); ++chunk) {
+    auto decoded = chunk_samples(id, *record, chunk);
+    if (!decoded.ok()) return decoded.error();
+    const std::size_t base = chunk * per_chunk;
+    const std::size_t begin = std::max(first, base) - base;
+    const std::size_t end = std::min(last - base, decoded.value().size());
+    samples.insert(samples.end(), decoded.value().begin() + begin,
+                   decoded.value().begin() + end);
+  }
+  return hw::Capture{cc.start() + util::Duration::seconds(
+                                      static_cast<double>(first) / hz),
+                     hz, cc.voltage(), std::move(samples)};
+}
+
+util::Result<std::vector<AggregateBucket>> CaptureStore::aggregate(
+    const CaptureId& id, util::Duration window) {
+  const Record* record = find_record(id);
+  if (record == nullptr) return not_found(id);
+  if (window <= util::Duration::zero()) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "aggregate window must be positive");
+  }
+  const ChunkedCapture& cc = record->capture;
+  ++stats_.tier_queries;
+
+  std::vector<AggregateBucket> buckets;
+  if (cc.sample_count() == 0) return buckets;
+
+  // Whole-capture window: answer straight from chunk footers.
+  if (window >= cc.duration()) {
+    AggregateBucket bucket;
+    bucket.t_begin = cc.start();
+    bucket.t_end = cc.start() + cc.duration();
+    bucket.samples = cc.sample_count();
+    bucket.mean_ma = cc.mean_ma();
+    bucket.min_ma = cc.min_ma();
+    bucket.max_ma = cc.max_ma();
+    buckets.push_back(bucket);
+    return buckets;
+  }
+
+  // Coarsest tier whose bucket period still resolves the window.
+  const Tier* chosen = nullptr;
+  for (const auto& tier : cc.tiers()) {
+    const auto bucket_period = util::Duration::seconds(1.0 / tier.rate_hz);
+    if (bucket_period <= window) chosen = &tier;
+  }
+  if (chosen == nullptr) {
+    return util::make_error(
+        util::ErrorCode::kUnsupported,
+        "window finer than finest tier; use range() on raw samples");
+  }
+
+  const std::size_t group = std::max<std::size_t>(
+      1, static_cast<std::size_t>(window.to_seconds() * chosen->rate_hz));
+  const std::size_t raw_per_out = group * chosen->factor;
+  for (std::size_t b = 0; b < chosen->buckets(); b += group) {
+    const std::size_t end = std::min(b + group, chosen->buckets());
+    AggregateBucket bucket;
+    const std::size_t raw_begin = b * chosen->factor;
+    const std::size_t raw_end =
+        std::min(raw_begin + raw_per_out, cc.sample_count());
+    bucket.t_begin =
+        cc.start() + util::Duration::seconds(static_cast<double>(raw_begin) /
+                                             cc.sample_hz());
+    bucket.t_end =
+        cc.start() + util::Duration::seconds(static_cast<double>(raw_end) /
+                                             cc.sample_hz());
+    bucket.samples = raw_end - raw_begin;
+    bucket.min_ma = chosen->min_ma[b];
+    bucket.max_ma = chosen->max_ma[b];
+    // Weight tier means by their raw sample counts (tail bucket is short).
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = b; i < end; ++i) {
+      const std::size_t tier_begin = i * chosen->factor;
+      const std::size_t tier_end =
+          std::min(tier_begin + chosen->factor, cc.sample_count());
+      const std::size_t count = tier_end - tier_begin;
+      sum += static_cast<double>(chosen->mean_ma[i]) *
+             static_cast<double>(count);
+      n += count;
+      bucket.min_ma = std::min(bucket.min_ma,
+                               static_cast<double>(chosen->min_ma[i]));
+      bucket.max_ma = std::max(bucket.max_ma,
+                               static_cast<double>(chosen->max_ma[i]));
+    }
+    bucket.mean_ma = n > 0 ? sum / static_cast<double>(n) : 0.0;
+    buckets.push_back(bucket);
+  }
+  return buckets;
+}
+
+util::Result<util::Cdf> CaptureStore::percentiles(const CaptureId& id) {
+  const Record* record = find_record(id);
+  if (record == nullptr) return not_found(id);
+  const ChunkedCapture& cc = record->capture;
+  ++stats_.tier_queries;
+  util::Cdf cdf;
+  const Tier* tier = cc.finest_tier();
+  if (tier != nullptr) {
+    for (float v : tier->mean_ma) cdf.add(static_cast<double>(v));
+    return cdf;
+  }
+  // Short captures may have no tier (fewer samples than the finest factor);
+  // footers still give one point per chunk.
+  for (std::size_t chunk = 0; chunk < cc.chunk_count(); ++chunk) {
+    const ChunkFooter& footer = cc.footer(chunk);
+    if (footer.count > 0) {
+      cdf.add(footer.sum_ma / static_cast<double>(footer.count));
+    }
+  }
+  return cdf;
+}
+
+util::Result<double> CaptureStore::energy_mwh(const CaptureId& id) {
+  const Record* record = find_record(id);
+  if (record == nullptr) return not_found(id);
+  ++stats_.tier_queries;
+  return record->capture.energy_mwh();
+}
+
+util::Result<double> CaptureStore::mean_ma(const CaptureId& id) {
+  const Record* record = find_record(id);
+  if (record == nullptr) return not_found(id);
+  ++stats_.tier_queries;
+  return record->capture.mean_ma();
+}
+
+std::size_t CaptureStore::run_retention(util::TimePoint now) {
+  std::size_t touched = 0;
+  for (auto it = records_.begin(); it != records_.end();) {
+    Record& record = it->second;
+    const util::Duration age = now - record.stored_at;
+    if (age >= policy_.summary_ttl) {
+      evict_capture(it->first);
+      it = records_.erase(it);
+      ++stats_.record_purges;
+      ++touched;
+      continue;
+    }
+    if (age >= policy_.raw_ttl && record.capture.raw_available()) {
+      evict_capture(it->first);
+      record.capture.drop_raw();
+      ++stats_.raw_purges;
+      ++touched;
+    }
+    ++it;
+  }
+  return touched;
+}
+
+std::size_t CaptureStore::drop_workspace_raw(const std::string& workspace) {
+  std::size_t touched = 0;
+  for (auto& [id, record] : records_) {
+    if (id.workspace != workspace || !record.capture.raw_available()) {
+      continue;
+    }
+    evict_capture(id);
+    record.capture.drop_raw();
+    ++stats_.raw_purges;
+    ++touched;
+  }
+  return touched;
+}
+
+}  // namespace blab::store

@@ -1,0 +1,149 @@
+// CaptureStore: the storage/query tier job workspaces sit on top of.
+//
+// Per-job workspaces of ChunkedCapture records, TTL-tiered retention (raw
+// chunk payloads expire first; footer/tier summaries persist until the
+// summary TTL), an LRU cache of decoded chunks shared across readers, and a
+// query API that answers from the coarsest tier adequate for the request.
+// Deterministic: iteration orders are sorted, eviction is strict LRU, and no
+// operation consumes randomness — safe to run inside DST scenarios.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hw/power_monitor.hpp"
+#include "store/chunked_capture.hpp"
+#include "util/result.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace blab::store {
+
+/// Stable handle to one stored capture: workspace + per-store sequence.
+struct CaptureId {
+  std::string workspace;
+  std::uint64_t seq = 0;
+
+  bool operator==(const CaptureId&) const = default;
+  auto operator<=>(const CaptureId&) const = default;
+  std::string str() const { return workspace + "#" + std::to_string(seq); }
+};
+
+/// One `aggregate()` window: [t_begin, t_end) reduced to mean/min/max.
+struct AggregateBucket {
+  util::TimePoint t_begin;
+  util::TimePoint t_end;
+  std::size_t samples = 0;
+  double mean_ma = 0.0;
+  double min_ma = 0.0;
+  double max_ma = 0.0;
+};
+
+struct RetentionPolicy {
+  /// Raw chunk payloads older than this are purged; summaries remain.
+  util::Duration raw_ttl = util::Duration::minutes(30);
+  /// Whole records (footers + tiers) older than this are dropped.
+  util::Duration summary_ttl = util::Duration::minutes(240);
+};
+
+struct StoreStats {
+  std::uint64_t captures_appended = 0;
+  std::uint64_t raw_chunk_decodes = 0;  ///< cache misses that decoded a chunk
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t raw_purges = 0;     ///< records whose raw tier was dropped
+  std::uint64_t record_purges = 0;  ///< records dropped entirely
+  std::uint64_t tier_queries = 0;   ///< queries served from tiers/footers
+};
+
+class CaptureStore {
+ public:
+  static constexpr std::size_t kDefaultCacheChunks = 64;
+
+  explicit CaptureStore(RetentionPolicy policy = {},
+                        std::size_t cache_chunks = kDefaultCacheChunks)
+      : policy_{policy}, cache_capacity_{cache_chunks} {}
+
+  // -- ingest ------------------------------------------------------------
+  /// Encode and archive a capture into `workspace`. `now` stamps the record
+  /// for retention (simulated time; the store holds no simulator reference).
+  CaptureId append(const std::string& workspace, std::string name,
+                   const hw::Capture& capture, util::TimePoint now);
+
+  // -- lookup ------------------------------------------------------------
+  bool contains(const CaptureId& id) const;
+  const ChunkedCapture* find(const CaptureId& id) const;
+  std::optional<std::string> name_of(const CaptureId& id) const;
+  /// Ids in `workspace`, ascending by sequence.
+  std::vector<CaptureId> list(const std::string& workspace) const;
+  /// All workspaces with at least one record, sorted.
+  std::vector<std::string> workspaces() const;
+  std::size_t size() const { return records_.size(); }
+
+  // -- queries -----------------------------------------------------------
+  /// Raw samples in [t0, t1) — sample-exact, decoded chunk-by-chunk via the
+  /// LRU cache. Fails if the raw tier was purged.
+  util::Result<hw::Capture> range(const CaptureId& id, util::TimePoint t0,
+                                  util::TimePoint t1);
+  /// Windowed mean/min/max over the whole capture, served from the coarsest
+  /// tier whose buckets are no wider than `window` (footers if window spans
+  /// the capture). Never decodes raw chunks.
+  util::Result<std::vector<AggregateBucket>> aggregate(const CaptureId& id,
+                                                       util::Duration window);
+  /// Current distribution from the finest surviving tier's bucket means.
+  /// Never decodes raw chunks.
+  util::Result<util::Cdf> percentiles(const CaptureId& id);
+  /// Integrated energy in mWh, from chunk footers alone.
+  util::Result<double> energy_mwh(const CaptureId& id);
+  /// Mean current in mA, from chunk footers alone.
+  util::Result<double> mean_ma(const CaptureId& id);
+
+  // -- retention ---------------------------------------------------------
+  const RetentionPolicy& policy() const { return policy_; }
+  /// Apply TTLs as of `now`. Returns the number of records touched (raw
+  /// purged + records dropped). Wired into server/maintenance.
+  std::size_t run_retention(util::TimePoint now);
+  /// Purge raw payloads for every record in `workspace` (job workspace
+  /// purge); summaries persist until their own TTL.
+  std::size_t drop_workspace_raw(const std::string& workspace);
+
+  const StoreStats& stats() const { return stats_; }
+
+ private:
+  struct Record {
+    std::string name;
+    util::TimePoint stored_at;
+    ChunkedCapture capture;
+  };
+  struct CacheKey {
+    CaptureId id;
+    std::size_t chunk = 0;
+    auto operator<=>(const CacheKey&) const = default;
+  };
+  struct CacheEntry {
+    CacheKey key;
+    std::vector<float> samples;
+  };
+
+  const Record* find_record(const CaptureId& id) const;
+  /// Decoded samples for one chunk, through the LRU cache.
+  util::Result<std::vector<float>> chunk_samples(const CaptureId& id,
+                                                 const Record& record,
+                                                 std::size_t chunk);
+  void evict_capture(const CaptureId& id);
+
+  RetentionPolicy policy_;
+  std::size_t cache_capacity_;
+  std::uint64_t next_seq_ = 1;
+  // std::map keeps workspace/sequence iteration deterministic.
+  std::map<CaptureId, Record> records_;
+  std::list<CacheEntry> cache_lru_;  // front = most recent
+  std::map<CacheKey, std::list<CacheEntry>::iterator> cache_index_;
+  StoreStats stats_;
+};
+
+}  // namespace blab::store

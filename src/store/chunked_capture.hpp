@@ -1,0 +1,119 @@
+// Chunked columnar representation of one hw::Capture.
+//
+// Fixed-size sample chunks (timestamps implicit from the sample rate), each
+// delta+zigzag+varint encoded with a min/max/sum footer, plus a ladder of
+// downsample tiers (raw 5 kHz -> 50 Hz -> 1 Hz) built once at encode time.
+// Footers and tiers answer summary and distribution queries without touching
+// raw chunk bytes, and survive raw-tier retention purges.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hw/power_monitor.hpp"
+#include "util/result.hpp"
+#include "util/time.hpp"
+
+namespace blab::store {
+
+struct ChunkFooter {
+  std::uint32_t count = 0;
+  float min_ma = 0.0f;
+  float max_ma = 0.0f;
+  double sum_ma = 0.0;  ///< exact running sum of the chunk's samples
+};
+
+struct EncodedChunk {
+  ChunkFooter footer;
+  std::string bytes;  ///< codec payload; empty once the raw tier is purged
+};
+
+/// One downsample tier: consecutive windows of `factor` raw samples reduced
+/// to (mean, min, max). The final window may be partial; its sample count is
+/// derivable from the capture's total.
+struct Tier {
+  std::size_t factor = 1;   ///< raw samples per bucket
+  double rate_hz = 0.0;     ///< effective bucket rate (sample_hz / factor)
+  std::vector<float> mean_ma;
+  std::vector<float> min_ma;
+  std::vector<float> max_ma;
+
+  std::size_t buckets() const { return mean_ma.size(); }
+};
+
+class ChunkedCapture {
+ public:
+  static constexpr std::size_t kDefaultChunkSamples = 4096;
+  /// Tier ladder targets; rates at or above the raw rate are skipped.
+  static constexpr double kTierRatesHz[] = {50.0, 1.0};
+
+  ChunkedCapture() = default;
+
+  /// Encode a capture. Deterministic: the same capture always yields the
+  /// same chunk bytes (byte-identical re-encode).
+  static ChunkedCapture encode(const hw::Capture& capture,
+                               std::size_t chunk_samples =
+                                   kDefaultChunkSamples);
+
+  // -- header ------------------------------------------------------------
+  util::TimePoint start() const { return t0_; }
+  double sample_hz() const { return sample_hz_; }
+  double voltage() const { return voltage_; }
+  std::size_t sample_count() const { return sample_count_; }
+  std::size_t chunk_samples() const { return chunk_samples_; }
+  util::Duration duration() const {
+    return util::Duration::seconds(static_cast<double>(sample_count_) /
+                                   sample_hz_);
+  }
+
+  // -- raw chunks --------------------------------------------------------
+  std::size_t chunk_count() const { return chunks_.size(); }
+  const ChunkFooter& footer(std::size_t chunk) const {
+    return chunks_[chunk].footer;
+  }
+  bool raw_available() const { return raw_available_; }
+  util::Result<std::vector<float>> decode_chunk(std::size_t chunk) const;
+  /// Retention: drop raw chunk payloads; footers and tiers persist.
+  void drop_raw();
+
+  // -- footer summaries (never decode raw) -------------------------------
+  double sum_ma() const;
+  double mean_ma() const;
+  double min_ma() const;
+  double max_ma() const;
+  double charge_mah() const;
+  double energy_mwh() const { return charge_mah() * voltage_; }
+
+  // -- tiers -------------------------------------------------------------
+  /// Ordered finest to coarsest.
+  const std::vector<Tier>& tiers() const { return tiers_; }
+  /// Coarsest tier with at least `min_buckets` buckets (nullptr if none).
+  const Tier* coarsest_tier_with(std::size_t min_buckets) const;
+  const Tier* finest_tier() const {
+    return tiers_.empty() ? nullptr : &tiers_.front();
+  }
+
+  /// Lossless reconstruction; fails once the raw tier has been purged.
+  util::Result<hw::Capture> decode() const;
+
+  /// Encoded footprint: chunk payloads + footers + tiers (what a disk file
+  /// would hold; compare against CSV size for the compression ratio).
+  std::size_t byte_size() const;
+
+  std::string serialize() const;
+  static util::Result<ChunkedCapture> deserialize(std::string_view bytes);
+
+ private:
+  util::TimePoint t0_;
+  double sample_hz_ = 5000.0;
+  double voltage_ = 0.0;
+  std::size_t sample_count_ = 0;
+  std::size_t chunk_samples_ = kDefaultChunkSamples;
+  bool raw_available_ = true;
+  std::vector<EncodedChunk> chunks_;
+  std::vector<Tier> tiers_;
+};
+
+}  // namespace blab::store

@@ -1,5 +1,7 @@
 #include "testing/harness.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -90,6 +92,41 @@ util::Status run_measure(RunState* rs, server::JobContext& ctx,
       util::format_double(capture.mean_current_ma(), 6));
   ctx.workspace->store_artifact(
       "mean_ma", util::format_double(capture.mean_current_ma(), 3));
+  // The scheduler archived this capture into the platform store; its
+  // footer-served summary must match the sequential mean (only last-ulp
+  // float-summation differences are tolerated), and its chunks must decode
+  // back to the exact sample count. Folding the stored mean into the digest
+  // makes replay sensitive to the whole encode/summarize path.
+  store::CaptureStore* cs = rs->server->scheduler().capture_store();
+  const auto cid = ctx.api->last_capture_id();
+  if (cs != nullptr && cid.has_value()) {
+    const auto stored = cs->mean_ma(*cid);
+    const double mean = capture.mean_current_ma();
+    if (!stored.ok() ||
+        std::abs(stored.value() - mean) >
+            1e-6 * std::max(1.0, std::abs(mean))) {
+      rs->violations->push_back(
+          {"capture-store",
+           "archived summary diverges from capture " + cid->str() + ": " +
+               (stored.ok() ? util::format_double(stored.value(), 6)
+                            : stored.error().str()) +
+               " vs " + util::format_double(mean, 6)});
+    }
+    const store::ChunkedCapture* archived = cs->find(*cid);
+    if (archived == nullptr ||
+        archived->sample_count() != capture.sample_count()) {
+      rs->violations->push_back(
+          {"capture-store", "archived sample count diverges for " +
+                                cid->str()});
+    }
+    rs->recorder->note("store " + cid->str() + " chunks=" +
+                       std::to_string(archived != nullptr
+                                          ? archived->chunk_count()
+                                          : 0) +
+                       " mean=" +
+                       util::format_double(stored.ok() ? stored.value() : -1.0,
+                                           6));
+  }
   return util::Status::ok_status();
 }
 
@@ -248,6 +285,20 @@ void schedule_faults(const ScenarioSpec& spec, RunState* rs) {
         sim->schedule_after(f.at, [rs, vp] {
           ++rs->faults_fired;
           (void)rs->vpn->disconnect(vp->controller_host());
+        }, label);
+        break;
+      case FaultKind::kNodeRetire:
+        sim->schedule_after(f.at, [rs, node_label = node.label] {
+          ++rs->faults_fired;
+          (void)rs->server->registry().retire(node_label);
+        }, label);
+        break;
+      case FaultKind::kNodeReonboard:
+        // Onboarding flags (key, whitelist) persist through retirement, so
+        // re-approval alone restores the node and its DNS record.
+        sim->schedule_after(f.at, [rs, node_label = node.label] {
+          ++rs->faults_fired;
+          (void)rs->server->registry().approve(node_label);
         }, label);
         break;
       case FaultKind::kUsbPowerCycle:

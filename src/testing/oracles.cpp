@@ -162,6 +162,68 @@ class BatterySanityOracle : public InvariantOracle {
   }
 };
 
+class MirroringLifecycleOracle : public InvariantOracle {
+ public:
+  const char* name() const override { return "mirroring-lifecycle"; }
+
+  void check(const OracleContext& ctx,
+             std::vector<OracleFinding>& out) override {
+    // Between steps every job has released its device, so no mirroring
+    // stream may still be running on a device nobody holds — a leak here
+    // would hand the next experimenter a live view of the previous session.
+    const auto& scheduler = ctx.server->scheduler();
+    for (std::size_t n = 0; n < ctx.nodes.size(); ++n) {
+      for (const auto& serial : ctx.registered_serials) {
+        auto* session = ctx.nodes[n]->mirroring(serial);
+        if (session != nullptr && session->active() &&
+            !scheduler.device_busy(serial)) {
+          out.push_back({name(), "mirroring session outlived device release: " +
+                                     serial + " on node " + std::to_string(n)});
+        }
+      }
+    }
+  }
+};
+
+class DnsCertConsistencyOracle : public InvariantOracle {
+ public:
+  const char* name() const override { return "dns-cert-consistency"; }
+
+  void check(const OracleContext& ctx,
+             std::vector<OracleFinding>& out) override {
+    const auto& registry = ctx.server->registry();
+    const auto& dns = ctx.server->dns();
+    const auto& certs = ctx.server->certs();
+    for (const auto& label : registry.all_labels()) {
+      const server::NodeRecord* node = registry.find(label);
+      const auto resolved = dns.resolve(dns.fqdn(label));
+      if (node->state == server::NodeState::kApproved) {
+        if (!resolved.ok()) {
+          out.push_back({name(), "approved node has no DNS record: " + label});
+        } else if (resolved.value() != node->controller_host) {
+          out.push_back({name(), label + " resolves to " + resolved.value() +
+                                     ", expected " + node->controller_host});
+        }
+        if (!dns.wildcard_covers(dns.fqdn(label))) {
+          out.push_back({name(), "wildcard does not cover " + label});
+        }
+        const std::uint64_t deployed = certs.deployed_serial(label);
+        if (deployed == 0) {
+          out.push_back({name(), "approved node never got a certificate: " +
+                                     label});
+        } else if (deployed > certs.current().serial) {
+          out.push_back({name(), label + " holds serial from the future: " +
+                                     std::to_string(deployed)});
+        }
+      } else if (resolved.ok()) {
+        out.push_back({name(), std::string{"non-approved node ("} +
+                                   server::node_state_name(node->state) +
+                                   ") still resolves: " + label});
+      }
+    }
+  }
+};
+
 }  // namespace
 
 OracleRegistry::OracleRegistry() {
@@ -170,6 +232,8 @@ OracleRegistry::OracleRegistry() {
   add(std::make_unique<CreditLedgerOracle>());
   add(std::make_unique<EnergyConservationOracle>());
   add(std::make_unique<BatterySanityOracle>());
+  add(std::make_unique<MirroringLifecycleOracle>());
+  add(std::make_unique<DnsCertConsistencyOracle>());
 }
 
 void OracleRegistry::add(std::unique_ptr<InvariantOracle> oracle) {

@@ -15,6 +15,12 @@
 //                        the analytic integral of the relay-board segments it
 //                        measured (generalizes property_test Property 1)
 //   battery-sanity       no device's pack holds negative charge
+//   mirroring-lifecycle  no mirroring session survives its job's device
+//                        release — between steps every stream is torn down
+//   dns-cert-consistency approved nodes resolve in DNS to their controller,
+//                        are covered by the wildcard certificate and hold a
+//                        deployed serial; non-approved nodes never resolve
+//                        (holds across retire/re-onboard churn)
 #pragma once
 
 #include <memory>

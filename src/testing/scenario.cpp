@@ -26,6 +26,8 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kVpnConnect: return "vpn-connect";
     case FaultKind::kVpnDisconnect: return "vpn-disconnect";
     case FaultKind::kUsbPowerCycle: return "usb-power-cycle";
+    case FaultKind::kNodeRetire: return "node-retire";
+    case FaultKind::kNodeReonboard: return "node-reonboard";
   }
   return "?";
 }
@@ -208,6 +210,27 @@ ScenarioSpec generate_scenario(std::uint64_t seed) {
       job.location = jobs.pick(vpn_pool());
     }
     spec.jobs.push_back(std::move(job));
+  }
+
+  // ---- onboarding churn -----------------------------------------------
+  // Retire/re-onboard cycles exercise the DNS/certificate-consistency
+  // oracle. A dedicated fork keeps the topology/shape/fault/job draws of
+  // every pre-churn seed byte-identical.
+  util::Rng churn = rng.fork("churn");
+  const int churn_count = static_cast<int>(churn.uniform_int(0, 2));
+  for (int c = 0; c < churn_count; ++c) {
+    FaultSpec retire;
+    retire.kind = FaultKind::kNodeRetire;
+    retire.at = horizon * churn.uniform(0.10, 0.70);
+    retire.node = static_cast<std::size_t>(churn.uniform_int(
+        0, static_cast<std::int64_t>(spec.nodes.size()) - 1));
+    spec.faults.push_back(retire);
+    if (churn.chance(0.75)) {
+      spec.faults.push_back(FaultSpec{
+          FaultKind::kNodeReonboard,
+          retire.at + spec.step_length * churn.uniform(0.2, 1.0),
+          retire.node, 0, {}});
+    }
   }
 
   return spec;

@@ -50,6 +50,8 @@ enum class FaultKind {
   kVpnConnect,     ///< tunnel the controller through a VPN exit
   kVpnDisconnect,
   kUsbPowerCycle,  ///< drop then restore a device's USB hub port
+  kNodeRetire,     ///< retire a vantage point from the registry (DNS gone)
+  kNodeReonboard,  ///< re-approve a retired node (DNS re-registered)
 };
 
 const char* fault_kind_name(FaultKind kind);

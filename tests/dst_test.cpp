@@ -45,7 +45,7 @@ TEST_P(FuzzedScenario, OraclesHoldAndReplayIsByteIdentical) {
 }
 
 INSTANTIATE_TEST_SUITE_P(DstCorpus, FuzzedScenario,
-                         ::testing::ValuesIn(dst::default_corpus(25)));
+                         ::testing::ValuesIn(dst::default_corpus(40)));
 
 // ------------------------------------------------------------------------
 // Seed stability: the first five corpus seeds' digests are pinned in-repo.
@@ -59,11 +59,11 @@ INSTANTIATE_TEST_SUITE_P(DstCorpus, FuzzedScenario,
 TEST(DstGolden, FirstFiveCorpusSeedDigestsArePinned) {
   const auto seeds = dst::default_corpus(5);
   const std::vector<std::string> pinned = {
-      "9164cb1510896bb5",
-      "ab45a4e7ac1e2773",
-      "a243b83ed629aa51",
+      "dc8d8868461604be",
+      "3092e196eab268d5",
+      "de7e7886923eb85c",
       "2ee996291e785b4e",
-      "418363e5156f26fc",
+      "587571a4d65fc668",
   };
   ASSERT_EQ(seeds.size(), pinned.size());
   std::size_t captures = 0, faults = 0, dispatched = 0;
@@ -101,7 +101,7 @@ TEST(ScenarioGen, SameSeedYieldsSameSpec) {
 
 TEST(ScenarioGen, CorpusGrowthPreservesExistingSeeds) {
   const auto small = dst::default_corpus(5);
-  const auto large = dst::default_corpus(25);
+  const auto large = dst::default_corpus(40);
   ASSERT_GE(large.size(), small.size());
   for (std::size_t i = 0; i < small.size(); ++i) {
     EXPECT_EQ(small[i], large[i]) << "corpus seed " << i << " changed";
@@ -274,7 +274,8 @@ TEST(Oracles, DefaultRegistryCoversTheDocumentedInvariants) {
   const auto names = registry.names();
   const std::vector<std::string> expected{
       "clock-monotonicity", "scheduler-safety", "credit-ledger",
-      "energy-conservation", "battery-sanity"};
+      "energy-conservation", "battery-sanity", "mirroring-lifecycle",
+      "dns-cert-consistency"};
   for (const auto& name : expected) {
     EXPECT_NE(std::find(names.begin(), names.end(), name), names.end())
         << "missing oracle: " << name;

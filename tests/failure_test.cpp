@@ -185,6 +185,47 @@ TEST_F(FailureFixture, CaptureCsvStrideDecimates) {
   EXPECT_NEAR(loaded.value().sample_hz(), 500.0, 1.0);
 }
 
+TEST(TraceIoTest, StrideMarkerRecoversExactRate) {
+  // 4800 Hz decimated by 7 leaves an effective rate of 685.714286 Hz whose
+  // sample period (0.00145833... s) does not survive the CSV's 6-decimal
+  // timestamps — recovering the rate from row spacing alone would drift to
+  // ~685.87 Hz. The "# effective_hz=" marker the writer emits for strided
+  // exports keeps the recovery exact.
+  std::vector<float> samples(4800);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    samples[i] = 100.0f + static_cast<float>(i % 17);
+  }
+  const hw::Capture original{util::TimePoint::epoch(), 4800.0, 3.85,
+                             std::move(samples)};
+  std::stringstream ss;
+  analysis::write_capture_csv(original, ss, /*stride=*/7);
+  EXPECT_NE(ss.str().find("# effective_hz=685.714286"), std::string::npos)
+      << "strided export is missing the rate marker";
+  auto loaded = analysis::read_capture_csv_stream(ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  EXPECT_EQ(loaded.value().sample_count(), 686u);  // ceil(4800 / 7)
+  EXPECT_DOUBLE_EQ(loaded.value().sample_hz(), 685.714286);
+}
+
+TEST(TraceIoTest, MalformedRateMarkerRejected) {
+  {
+    std::stringstream ss{
+        "time_s,current_mA,voltage\n"
+        "# effective_hz=abc source_hz=4800 stride=7\n"
+        "0.000000,100.000,3.850\n"
+        "0.001458,101.000,3.850\n"};
+    EXPECT_FALSE(analysis::read_capture_csv_stream(ss).ok());
+  }
+  {
+    std::stringstream ss{
+        "time_s,current_mA,voltage\n"
+        "# effective_hz=-500.0 source_hz=4800 stride=7\n"
+        "0.000000,100.000,3.850\n"
+        "0.001458,101.000,3.850\n"};
+    EXPECT_FALSE(analysis::read_capture_csv_stream(ss).ok());
+  }
+}
+
 TEST(TraceIoTest, MalformedCsvRejected) {
   {
     std::stringstream ss{"nonsense\n1,2,3\n"};

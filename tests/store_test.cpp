@@ -1,0 +1,472 @@
+// Chunked capture store: codec losslessness, tier ladder edges, retention
+// TTLs, LRU cache behavior, and the query API's footer/tier fast paths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/trace_io.hpp"
+#include "hw/power_monitor.hpp"
+#include "store/capture_store.hpp"
+#include "store/chunked_capture.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using blab::hw::Capture;
+using blab::store::CaptureId;
+using blab::store::CaptureStore;
+using blab::store::ChunkedCapture;
+using blab::store::RetentionPolicy;
+using blab::util::Duration;
+using blab::util::ErrorCode;
+using blab::util::TimePoint;
+
+/// A bounded random walk around `base` mA — realistic capture content where
+/// consecutive samples are close, like a real Monsoon trace.
+std::vector<float> walk_samples(std::uint64_t seed, std::size_t n,
+                                double base = 300.0) {
+  blab::util::Rng rng{seed};
+  std::vector<float> samples;
+  samples.reserve(n);
+  double v = base;
+  for (std::size_t i = 0; i < n; ++i) {
+    v = std::clamp(v + rng.uniform(-8.0, 8.0), 5.0, 4500.0);
+    samples.push_back(static_cast<float>(v));
+  }
+  return samples;
+}
+
+Capture make_capture(std::uint64_t seed, std::size_t n, double hz = 5000.0,
+                     double voltage = 3.85) {
+  return Capture{TimePoint::epoch(), hz, voltage, walk_samples(seed, n)};
+}
+
+// ------------------------------------------------------------------------
+// Chunk codec and footers.
+// ------------------------------------------------------------------------
+
+TEST(ChunkedCapture, RoundTripIsLossless) {
+  for (std::size_t n : {1u, 2u, 4095u, 4096u, 4097u, 10000u}) {
+    const Capture original = make_capture(n, n);
+    const ChunkedCapture cc = ChunkedCapture::encode(original);
+    auto decoded = cc.decode();
+    ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+    ASSERT_EQ(decoded.value().sample_count(), n);
+    EXPECT_EQ(decoded.value().samples_ma(), original.samples_ma())
+        << "n=" << n << " did not round-trip bit-exactly";
+    EXPECT_EQ(decoded.value().start(), original.start());
+    EXPECT_DOUBLE_EQ(decoded.value().sample_hz(), original.sample_hz());
+    EXPECT_DOUBLE_EQ(decoded.value().voltage(), original.voltage());
+  }
+}
+
+TEST(ChunkedCapture, EmptyCaptureIsRepresentable) {
+  const Capture empty{TimePoint::epoch(), 5000.0, 3.85, {}};
+  const ChunkedCapture cc = ChunkedCapture::encode(empty);
+  EXPECT_EQ(cc.sample_count(), 0u);
+  EXPECT_EQ(cc.chunk_count(), 0u);
+  EXPECT_TRUE(cc.tiers().empty());
+  EXPECT_DOUBLE_EQ(cc.mean_ma(), 0.0);
+  EXPECT_DOUBLE_EQ(cc.energy_mwh(), 0.0);
+  auto decoded = cc.decode();
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().sample_count(), 0u);
+  auto reloaded = ChunkedCapture::deserialize(cc.serialize());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.error().message;
+  EXPECT_EQ(reloaded.value().sample_count(), 0u);
+}
+
+TEST(ChunkedCapture, SingleSampleTailChunk) {
+  const Capture original = make_capture(9, 9);
+  const ChunkedCapture cc = ChunkedCapture::encode(original, 4);
+  ASSERT_EQ(cc.chunk_count(), 3u);
+  EXPECT_EQ(cc.footer(0).count, 4u);
+  EXPECT_EQ(cc.footer(1).count, 4u);
+  EXPECT_EQ(cc.footer(2).count, 1u);
+  auto tail = cc.decode_chunk(2);
+  ASSERT_TRUE(tail.ok());
+  ASSERT_EQ(tail.value().size(), 1u);
+  EXPECT_EQ(tail.value()[0], original.samples_ma()[8]);
+  EXPECT_EQ(cc.footer(2).min_ma, original.samples_ma()[8]);
+  EXPECT_EQ(cc.footer(2).max_ma, original.samples_ma()[8]);
+}
+
+TEST(ChunkedCapture, FooterSummariesMatchSequentialScan) {
+  const Capture original = make_capture(77, 10000);
+  const ChunkedCapture cc = ChunkedCapture::encode(original);
+  double sum = 0.0;
+  float lo = original.samples_ma()[0];
+  float hi = lo;
+  for (float v : original.samples_ma()) {
+    sum += static_cast<double>(v);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double mean = sum / 10000.0;
+  // Chunk partial sums re-associate the addition; last-ulp drift only.
+  EXPECT_NEAR(cc.mean_ma(), mean, 1e-6 * std::abs(mean));
+  EXPECT_EQ(cc.min_ma(), static_cast<double>(lo));
+  EXPECT_EQ(cc.max_ma(), static_cast<double>(hi));
+  EXPECT_NEAR(cc.energy_mwh(), original.energy_mwh(),
+              1e-6 * std::abs(original.energy_mwh()));
+}
+
+// ------------------------------------------------------------------------
+// Tier ladder.
+// ------------------------------------------------------------------------
+
+TEST(ChunkedCapture, TierLadderAtExactBoundaries) {
+  // 10000 samples at 5 kHz: 50 Hz tier = factor 100 -> 100 buckets,
+  // 1 Hz tier = factor 5000 -> 2 buckets, no partial tail anywhere.
+  const ChunkedCapture cc = ChunkedCapture::encode(make_capture(1, 10000));
+  ASSERT_EQ(cc.tiers().size(), 2u);
+  EXPECT_EQ(cc.tiers()[0].factor, 100u);
+  EXPECT_DOUBLE_EQ(cc.tiers()[0].rate_hz, 50.0);
+  EXPECT_EQ(cc.tiers()[0].buckets(), 100u);
+  EXPECT_EQ(cc.tiers()[1].factor, 5000u);
+  EXPECT_DOUBLE_EQ(cc.tiers()[1].rate_hz, 1.0);
+  EXPECT_EQ(cc.tiers()[1].buckets(), 2u);
+}
+
+TEST(ChunkedCapture, TierPartialTailBucket) {
+  // One sample past the boundary adds a one-sample bucket to every tier.
+  const Capture original = make_capture(2, 10001);
+  const ChunkedCapture cc = ChunkedCapture::encode(original);
+  ASSERT_EQ(cc.tiers().size(), 2u);
+  EXPECT_EQ(cc.tiers()[0].buckets(), 101u);
+  EXPECT_EQ(cc.tiers()[1].buckets(), 3u);
+  const float last = original.samples_ma()[10000];
+  EXPECT_EQ(cc.tiers()[0].mean_ma.back(), last);
+  EXPECT_EQ(cc.tiers()[0].min_ma.back(), last);
+  EXPECT_EQ(cc.tiers()[0].max_ma.back(), last);
+}
+
+TEST(ChunkedCapture, TiersAtOrAboveRawRateAreSkipped) {
+  // At 50 Hz raw, the 50 Hz target is redundant; only 1 Hz survives.
+  const ChunkedCapture at50 =
+      ChunkedCapture::encode(make_capture(3, 500, /*hz=*/50.0));
+  ASSERT_EQ(at50.tiers().size(), 1u);
+  EXPECT_EQ(at50.tiers()[0].factor, 50u);
+  EXPECT_DOUBLE_EQ(at50.tiers()[0].rate_hz, 1.0);
+  // At 1 Hz raw there is nothing left to downsample.
+  const ChunkedCapture at1 =
+      ChunkedCapture::encode(make_capture(4, 10, /*hz=*/1.0));
+  EXPECT_TRUE(at1.tiers().empty());
+  EXPECT_EQ(at1.finest_tier(), nullptr);
+}
+
+TEST(ChunkedCapture, TierMeansAgreeWithRawWindows) {
+  const Capture original = make_capture(5, 10000);
+  const ChunkedCapture cc = ChunkedCapture::encode(original);
+  const auto& tier = cc.tiers()[0];  // 50 Hz, factor 100
+  for (std::size_t b : {0u, 37u, 99u}) {
+    double sum = 0.0;
+    for (std::size_t i = b * 100; i < (b + 1) * 100; ++i) {
+      sum += static_cast<double>(original.samples_ma()[i]);
+    }
+    EXPECT_NEAR(tier.mean_ma[b], sum / 100.0, 1e-3) << "bucket " << b;
+  }
+}
+
+// ------------------------------------------------------------------------
+// Serialization.
+// ------------------------------------------------------------------------
+
+TEST(ChunkedCapture, ReencodeIsByteIdentical) {
+  const Capture original = make_capture(6, 9001);
+  const std::string first = ChunkedCapture::encode(original).serialize();
+  const std::string second = ChunkedCapture::encode(original).serialize();
+  EXPECT_EQ(first, second);
+}
+
+TEST(ChunkedCapture, SerializeDeserializeRoundTrip) {
+  const Capture original = make_capture(7, 8193);
+  const ChunkedCapture cc = ChunkedCapture::encode(original);
+  auto reloaded = ChunkedCapture::deserialize(cc.serialize());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.error().message;
+  const ChunkedCapture& rc = reloaded.value();
+  EXPECT_EQ(rc.sample_count(), cc.sample_count());
+  EXPECT_EQ(rc.chunk_count(), cc.chunk_count());
+  EXPECT_EQ(rc.tiers().size(), cc.tiers().size());
+  EXPECT_EQ(rc.serialize(), cc.serialize());
+  auto decoded = rc.decode();
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().samples_ma(), original.samples_ma());
+}
+
+TEST(ChunkedCapture, PurgedRawSurvivesSerialization) {
+  ChunkedCapture cc = ChunkedCapture::encode(make_capture(8, 9000));
+  const double mean = cc.mean_ma();
+  cc.drop_raw();
+  auto reloaded = ChunkedCapture::deserialize(cc.serialize());
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_FALSE(reloaded.value().raw_available());
+  EXPECT_DOUBLE_EQ(reloaded.value().mean_ma(), mean);
+  EXPECT_EQ(reloaded.value().decode().error().code,
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST(ChunkedCapture, DeserializeRejectsMalformedBytes) {
+  const std::string good = ChunkedCapture::encode(make_capture(9, 5000))
+                               .serialize();
+  EXPECT_FALSE(ChunkedCapture::deserialize("").ok());
+  EXPECT_FALSE(ChunkedCapture::deserialize("XXXX" + good.substr(4)).ok());
+  EXPECT_FALSE(
+      ChunkedCapture::deserialize(std::string_view{good}.substr(
+          0, good.size() / 2)).ok());
+  EXPECT_FALSE(ChunkedCapture::deserialize(good + std::string(1, '\0')).ok());
+}
+
+TEST(ChunkedCapture, CompressionBeatsCsvByFourX) {
+  const Capture original = make_capture(10, 25000);
+  const ChunkedCapture cc = ChunkedCapture::encode(original);
+  std::ostringstream csv;
+  blab::analysis::write_capture_csv(original, csv);
+  EXPECT_LE(cc.byte_size() * 4, csv.str().size())
+      << "chunked " << cc.byte_size() << " B vs CSV " << csv.str().size()
+      << " B";
+}
+
+TEST(TraceIo, ChunkedAdaptersRoundTrip) {
+  const Capture original = make_capture(11, 6000);
+  std::ostringstream os;
+  blab::analysis::write_capture_chunked(original, os);
+  std::istringstream is{os.str()};
+  auto reloaded = blab::analysis::read_capture_chunked_stream(is);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.error().message;
+  EXPECT_EQ(reloaded.value().samples_ma(), original.samples_ma());
+  EXPECT_DOUBLE_EQ(reloaded.value().sample_hz(), original.sample_hz());
+  EXPECT_DOUBLE_EQ(reloaded.value().voltage(), original.voltage());
+  EXPECT_EQ(reloaded.value().start(), original.start());
+}
+
+// ------------------------------------------------------------------------
+// CaptureStore: lookup and queries.
+// ------------------------------------------------------------------------
+
+TEST(CaptureStore, WorkspacesAndListingsAreSorted) {
+  CaptureStore store;
+  const auto b1 = store.append("job-b", "m0", make_capture(20, 100),
+                               TimePoint::epoch());
+  const auto a1 = store.append("job-a", "m1", make_capture(21, 100),
+                               TimePoint::epoch());
+  const auto a2 = store.append("job-a", "m2", make_capture(22, 100),
+                               TimePoint::epoch());
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.workspaces(),
+            (std::vector<std::string>{"job-a", "job-b"}));
+  EXPECT_EQ(store.list("job-a"), (std::vector<CaptureId>{a1, a2}));
+  EXPECT_EQ(store.list("job-b"), (std::vector<CaptureId>{b1}));
+  EXPECT_LT(a1.seq, a2.seq);
+  EXPECT_EQ(store.name_of(a2), "m2");
+  EXPECT_FALSE(store.contains(CaptureId{"job-c", 99}));
+  EXPECT_EQ(store.mean_ma(CaptureId{"job-c", 99}).error().code,
+            ErrorCode::kNotFound);
+}
+
+TEST(CaptureStore, RangeReturnsExactSubrange) {
+  CaptureStore store;
+  const Capture original = make_capture(23, 10000);  // 2 s at 5 kHz
+  const auto id =
+      store.append("job", "m", original, TimePoint::epoch());
+  auto slice = store.range(id, TimePoint::epoch() + Duration::seconds(0.25),
+                           TimePoint::epoch() + Duration::seconds(0.5));
+  ASSERT_TRUE(slice.ok()) << slice.error().message;
+  ASSERT_EQ(slice.value().sample_count(), 1250u);
+  for (std::size_t i = 0; i < 1250; ++i) {
+    ASSERT_EQ(slice.value().samples_ma()[i], original.samples_ma()[1250 + i])
+        << "sample " << i;
+  }
+  EXPECT_EQ(slice.value().start(),
+            TimePoint::epoch() + Duration::seconds(0.25));
+  // Out-of-bounds clamps; inverted range is an error.
+  auto whole = store.range(id, TimePoint::epoch() - Duration::seconds(5),
+                           TimePoint::epoch() + Duration::seconds(99));
+  ASSERT_TRUE(whole.ok());
+  EXPECT_EQ(whole.value().samples_ma(), original.samples_ma());
+  EXPECT_EQ(store.range(id, TimePoint::epoch() + Duration::seconds(1),
+                        TimePoint::epoch()).error().code,
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(CaptureStore, SummaryQueriesNeverDecodeRawChunks) {
+  CaptureStore store;
+  const Capture original = make_capture(24, 10000);
+  const auto id = store.append("job", "m", original, TimePoint::epoch());
+
+  auto whole = store.aggregate(id, Duration::seconds(60));
+  ASSERT_TRUE(whole.ok());
+  ASSERT_EQ(whole.value().size(), 1u);
+  EXPECT_NEAR(whole.value()[0].mean_ma, original.mean_current_ma(),
+              1e-6 * original.mean_current_ma());
+  EXPECT_EQ(whole.value()[0].samples, 10000u);
+
+  auto cdf = store.percentiles(id);
+  ASSERT_TRUE(cdf.ok());
+  EXPECT_EQ(cdf.value().count(), 100u);  // 50 Hz tier bucket means
+
+  auto energy = store.energy_mwh(id);
+  ASSERT_TRUE(energy.ok());
+  EXPECT_NEAR(energy.value(), original.energy_mwh(),
+              1e-6 * original.energy_mwh());
+
+  // The acceptance bar: summaries come from footers/tiers alone.
+  EXPECT_EQ(store.stats().raw_chunk_decodes, 0u);
+  EXPECT_EQ(store.stats().tier_queries, 3u);  // aggregate + cdf + energy
+  EXPECT_TRUE(store.mean_ma(id).ok());
+  EXPECT_EQ(store.stats().tier_queries, 4u);
+  EXPECT_EQ(store.stats().raw_chunk_decodes, 0u);
+}
+
+TEST(CaptureStore, WindowedAggregateMatchesRawMeans) {
+  CaptureStore store;
+  const Capture original = make_capture(25, 10000);  // 2 s at 5 kHz
+  const auto id = store.append("job", "m", original, TimePoint::epoch());
+  auto buckets = store.aggregate(id, Duration::seconds(0.1));
+  ASSERT_TRUE(buckets.ok()) << buckets.error().message;
+  ASSERT_EQ(buckets.value().size(), 20u);  // 2 s / 100 ms
+  for (std::size_t b : {0u, 7u, 19u}) {
+    double sum = 0.0;
+    for (std::size_t i = b * 500; i < (b + 1) * 500; ++i) {
+      sum += static_cast<double>(original.samples_ma()[i]);
+    }
+    EXPECT_NEAR(buckets.value()[b].mean_ma, sum / 500.0, 1e-2)
+        << "bucket " << b;
+    EXPECT_EQ(buckets.value()[b].samples, 500u);
+  }
+  EXPECT_EQ(store.stats().raw_chunk_decodes, 0u);
+}
+
+TEST(CaptureStore, WindowFinerThanFinestTierIsUnsupported) {
+  CaptureStore store;
+  const auto id =
+      store.append("job", "m", make_capture(26, 10000), TimePoint::epoch());
+  // 1 ms windows need the raw 5 kHz stream, not the 50 Hz tier.
+  auto result = store.aggregate(id, Duration::millis(1));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kUnsupported);
+  EXPECT_EQ(store.aggregate(id, Duration::zero()).error().code,
+            ErrorCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------------------------
+// Retention.
+// ------------------------------------------------------------------------
+
+TEST(CaptureStore, TtlPurgesRawFirstThenSummaries) {
+  RetentionPolicy policy;
+  policy.raw_ttl = Duration::minutes(30);
+  policy.summary_ttl = Duration::minutes(240);
+  CaptureStore store{policy};
+  const Capture original = make_capture(27, 10000);
+  const auto id = store.append("job", "m", original, TimePoint::epoch());
+
+  // Mid-life: a raw query works, then retention crosses the raw TTL and the
+  // same query degrades to an explicit precondition failure while every
+  // summary keeps answering.
+  ASSERT_TRUE(store.range(id, TimePoint::epoch(),
+                          TimePoint::epoch() + Duration::seconds(1)).ok());
+  EXPECT_EQ(store.run_retention(TimePoint::epoch() + Duration::minutes(29)),
+            0u);
+  EXPECT_EQ(store.run_retention(TimePoint::epoch() + Duration::minutes(31)),
+            1u);
+  EXPECT_EQ(store.stats().raw_purges, 1u);
+  auto range = store.range(id, TimePoint::epoch(),
+                           TimePoint::epoch() + Duration::seconds(1));
+  ASSERT_FALSE(range.ok());
+  EXPECT_EQ(range.error().code, ErrorCode::kFailedPrecondition);
+  EXPECT_TRUE(store.contains(id));
+  EXPECT_TRUE(store.percentiles(id).ok());
+  EXPECT_NEAR(store.mean_ma(id).value(), original.mean_current_ma(),
+              1e-6 * original.mean_current_ma());
+  ASSERT_TRUE(store.aggregate(id, Duration::seconds(0.1)).ok());
+
+  // A second raw purge pass is a no-op; the summary TTL erases the record.
+  EXPECT_EQ(store.run_retention(TimePoint::epoch() + Duration::minutes(60)),
+            0u);
+  EXPECT_EQ(store.run_retention(TimePoint::epoch() + Duration::minutes(241)),
+            1u);
+  EXPECT_EQ(store.stats().record_purges, 1u);
+  EXPECT_FALSE(store.contains(id));
+  EXPECT_EQ(store.percentiles(id).error().code, ErrorCode::kNotFound);
+}
+
+TEST(CaptureStore, WorkspacePurgeLeavesOtherJobsRaw) {
+  CaptureStore store;
+  const auto a =
+      store.append("job-a", "m", make_capture(28, 9000), TimePoint::epoch());
+  const auto b =
+      store.append("job-b", "m", make_capture(29, 9000), TimePoint::epoch());
+  EXPECT_EQ(store.drop_workspace_raw("job-a"), 1u);
+  EXPECT_EQ(store.range(a, TimePoint::epoch(),
+                        TimePoint::epoch() + Duration::seconds(1))
+                .error()
+                .code,
+            ErrorCode::kFailedPrecondition);
+  EXPECT_TRUE(store.range(b, TimePoint::epoch(),
+                          TimePoint::epoch() + Duration::seconds(1)).ok());
+  // Repeat purge finds nothing left to drop.
+  EXPECT_EQ(store.drop_workspace_raw("job-a"), 0u);
+}
+
+// ------------------------------------------------------------------------
+// LRU cache.
+// ------------------------------------------------------------------------
+
+TEST(CaptureStore, LruEvictsUnderInterleavedReaders) {
+  // Two 3-chunk captures sharing a 2-chunk cache: interleaved readers force
+  // evictions but never wrong data.
+  CaptureStore store{RetentionPolicy{}, /*cache_chunks=*/2};
+  const Capture ca = make_capture(30, 10000);
+  const Capture cb = make_capture(31, 10000);
+  const auto a = store.append("job-a", "m", ca, TimePoint::epoch());
+  const auto b = store.append("job-b", "m", cb, TimePoint::epoch());
+  for (int round = 0; round < 3; ++round) {
+    for (double t0 : {0.0, 0.9, 1.8}) {
+      auto sa = store.range(a, TimePoint::epoch() + Duration::seconds(t0),
+                            TimePoint::epoch() + Duration::seconds(t0 + 0.1));
+      auto sb = store.range(b, TimePoint::epoch() + Duration::seconds(t0),
+                            TimePoint::epoch() + Duration::seconds(t0 + 0.1));
+      ASSERT_TRUE(sa.ok());
+      ASSERT_TRUE(sb.ok());
+      const auto first = static_cast<std::size_t>(std::ceil(t0 * 5000.0));
+      ASSERT_FALSE(sa.value().samples_ma().empty());
+      EXPECT_EQ(sa.value().samples_ma()[0], ca.samples_ma()[first]);
+      EXPECT_EQ(sb.value().samples_ma()[0], cb.samples_ma()[first]);
+    }
+  }
+  EXPECT_GT(store.stats().cache_evictions, 0u);
+  EXPECT_GT(store.stats().raw_chunk_decodes, store.stats().cache_evictions);
+}
+
+TEST(CaptureStore, RepeatedReadsHitTheCache) {
+  CaptureStore store;
+  const auto id =
+      store.append("job", "m", make_capture(32, 5000), TimePoint::epoch());
+  const auto t1 = TimePoint::epoch() + Duration::seconds(1);
+  ASSERT_TRUE(store.range(id, TimePoint::epoch(), t1).ok());
+  const auto decodes = store.stats().raw_chunk_decodes;
+  EXPECT_GT(decodes, 0u);
+  ASSERT_TRUE(store.range(id, TimePoint::epoch(), t1).ok());
+  EXPECT_EQ(store.stats().raw_chunk_decodes, decodes);
+  EXPECT_GT(store.stats().cache_hits, 0u);
+}
+
+TEST(CaptureStore, ReencodeInStoreIsDeterministic) {
+  // Appending the same capture into two stores yields byte-identical
+  // archives — the property DST leans on for digest stability.
+  const Capture original = make_capture(33, 9001);
+  CaptureStore s1;
+  CaptureStore s2;
+  const auto id1 = s1.append("job", "m", original, TimePoint::epoch());
+  const auto id2 = s2.append("job", "m", original, TimePoint::epoch());
+  ASSERT_NE(s1.find(id1), nullptr);
+  ASSERT_NE(s2.find(id2), nullptr);
+  EXPECT_EQ(s1.find(id1)->serialize(), s2.find(id2)->serialize());
+}
+
+}  // namespace
