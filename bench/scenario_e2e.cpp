@@ -1,0 +1,111 @@
+// End-to-end DST scenario bench: drives whole fuzzed deployments (access
+// server + vantage points + device zoo + faults + oracles) through the
+// worker-pool corpus runner and reports scenario and simulator-event
+// throughput. This is the macro companion to micro_core's kernel benches —
+// it exercises the schedule/cancel/fire hot path under the real platform
+// workload instead of empty callbacks.
+//
+// Usage: scenario_e2e [--jobs=N] [--seeds=N] [--rounds=N]
+//   --jobs=N    worker-pool width (0 = hardware concurrency, default 1 so
+//               the pinned baseline measures single-thread kernel speed)
+//   --seeds=N   corpus size per round (default 16)
+//   --rounds=N  repetitions; the best round is reported (default 3)
+//
+// Emits one JSON object on stdout so ci_bench.sh can fold the numbers into
+// BENCH_core.json; exits non-zero if any scenario trips an oracle or runs
+// zero events (a perf number from a broken run would be meaningless).
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string_view>
+#include <vector>
+
+#include "testing/harness.hpp"
+#include "testing/scenario.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+using namespace blab;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void emit(std::ostream& os, const char* key, double value, bool last = false) {
+  os << "  \"" << key << "\": " << util::format_double(value, 3)
+     << (last ? "\n" : ",\n");
+}
+
+unsigned long flag_value(std::string_view arg, std::string_view name) {
+  return std::strtoul(arg.substr(name.size()).data(), nullptr, 10);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned jobs = 1;
+  std::size_t n_seeds = 16;
+  int rounds = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = static_cast<unsigned>(flag_value(arg, "--jobs="));
+    } else if (arg.rfind("--seeds=", 0) == 0) {
+      n_seeds = flag_value(arg, "--seeds=");
+    } else if (arg.rfind("--rounds=", 0) == 0) {
+      rounds = static_cast<int>(flag_value(arg, "--rounds="));
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return 2;
+    }
+  }
+  util::Logger::global().set_level(util::LogLevel::kOff);
+
+  const auto seeds = testing::default_corpus(n_seeds);
+  double best_s = 1e300;
+  std::uint64_t events = 0;
+  std::size_t captures = 0;
+  std::size_t violations = 0;
+  for (int r = 0; r < rounds; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results = testing::run_corpus(seeds, jobs);
+    const double wall = seconds_since(t0);
+    events = 0;
+    captures = 0;
+    violations = 0;
+    for (const auto& result : results) {
+      events += result.events_executed;
+      captures += result.captures;
+      violations += result.violations.size();
+    }
+    if (wall < best_s) best_s = wall;
+  }
+
+  std::cout << "{\n";
+  emit(std::cout, "scenarios", static_cast<double>(seeds.size()));
+  emit(std::cout, "jobs", static_cast<double>(jobs));
+  emit(std::cout, "rounds", static_cast<double>(rounds));
+  emit(std::cout, "best_wall_s", best_s);
+  emit(std::cout, "scenarios_per_s",
+       static_cast<double>(seeds.size()) / best_s);
+  emit(std::cout, "events_executed", static_cast<double>(events));
+  emit(std::cout, "events_per_s", static_cast<double>(events) / best_s);
+  emit(std::cout, "captures", static_cast<double>(captures));
+  emit(std::cout, "oracle_violations", static_cast<double>(violations),
+       /*last=*/true);
+  std::cout << "}\n";
+
+  if (violations != 0) {
+    std::cerr << "FAIL: " << violations << " oracle violation(s) during the "
+              << "bench corpus; perf numbers from a broken run are invalid\n";
+    return 1;
+  }
+  if (events == 0) {
+    std::cerr << "FAIL: bench corpus executed zero simulator events\n";
+    return 1;
+  }
+  return 0;
+}

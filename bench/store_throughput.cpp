@@ -13,7 +13,9 @@
 #include <vector>
 
 #include "analysis/trace_io.hpp"
+#include "hw/load.hpp"
 #include "hw/power_monitor.hpp"
+#include "sim/simulator.hpp"
 #include "store/capture_store.hpp"
 #include "store/chunked_capture.hpp"
 #include "util/rng.hpp"
@@ -47,6 +49,54 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 void emit(std::ostream& os, const char* key, double value, bool last = false) {
   os << "  \"" << key << "\": " << util::format_double(value, 3)
      << (last ? "\n" : ",\n");
+}
+
+/// Kernel dispatch rate: schedule-and-drain kSamples empty events, best of
+/// kRounds. The store ingests captures produced by simulator-driven
+/// measurements, so event throughput bounds end-to-end ingest.
+double sim_events_per_s() {
+  double best_s = 1e9;
+  for (int r = 0; r < kRounds; ++r) {
+    sim::Simulator sim;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < kSamples; ++i) {
+      sim.schedule_after(util::Duration::micros(static_cast<std::int64_t>(i)),
+                         [] {});
+    }
+    if (sim.run_all() != kSamples) throw std::runtime_error{"events lost"};
+    best_s = std::min(best_s, seconds_since(t0));
+  }
+  return static_cast<double>(kSamples) / best_s;
+}
+
+/// Capture synthesis rate: 60 s of 5 kHz Monsoon samples from a constant
+/// load, best of kRounds — the producer side of every store append.
+double synth_samples_per_s() {
+  class SteadyLoad : public hw::Load {
+   public:
+    double current_ma(util::TimePoint) const override { return 350.0; }
+    std::vector<std::pair<util::TimePoint, double>> current_segments(
+        util::TimePoint t0, util::TimePoint) const override {
+      return {{t0, 350.0}};
+    }
+  } load;
+  double best_s = 1e9;
+  for (int r = 0; r < kRounds; ++r) {
+    sim::Simulator sim;
+    hw::PowerMonitor monitor{sim, util::Rng{20191113}};
+    monitor.set_mains(true);
+    (void)monitor.set_voltage(3.85);
+    monitor.connect_load(&load);
+    (void)monitor.start_capture();
+    sim.run_for(util::Duration::seconds(60));
+    const auto t0 = std::chrono::steady_clock::now();
+    auto capture = monitor.stop_capture();
+    best_s = std::min(best_s, seconds_since(t0));
+    if (!capture.ok() || capture.value().sample_count() != kSamples) {
+      throw std::runtime_error{"synthesis produced the wrong sample count"};
+    }
+  }
+  return static_cast<double>(kSamples) / best_s;
 }
 
 }  // namespace
@@ -122,7 +172,10 @@ int main() {
   emit(std::cout, "cdf_points", static_cast<double>(cdf_points));
   emit(std::cout, "aggregate_buckets_1s", static_cast<double>(agg_buckets));
   emit(std::cout, "energy_mwh", energy);
-  emit(std::cout, "mean_ma", mean, /*last=*/true);
+  emit(std::cout, "mean_ma", mean);
+  emit(std::cout, "sim_events_per_s", sim_events_per_s());
+  emit(std::cout, "synth_samples_per_s", synth_samples_per_s(),
+       /*last=*/true);
   std::cout << "}\n";
 
   if (ratio < 4.0) {

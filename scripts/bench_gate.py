@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the core hot-path benchmarks.
+
+Reads the pinned baseline (BENCH_core.json at the repo root), the fresh
+measurement JSONs produced by scripts/ci_bench.sh (google-benchmark output
+from micro_core, plus the scenario_e2e and store_throughput emitters), writes
+a merged BENCH_core.json artifact with the current rates next to the pinned
+ones, and exits non-zero if any gated throughput falls below
+floor_fraction * baseline (default 0.7, i.e. a >30% regression).
+
+Rates are throughputs (items/s, events/s, samples/s): bigger is better, so
+the gate is one-sided — a faster run never fails, it just shows up in the
+artifact as an improvement to consider re-pinning.
+
+Usage:
+  bench_gate.py --baseline BENCH_core.json --micro micro.json \
+      --e2e e2e.json --store store.json --out artifact.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def median_items_per_second(micro):
+    """google-benchmark JSON -> {bench name: median items_per_second}."""
+    out = {}
+    for entry in micro.get("benchmarks", []):
+        # Benches that never call SetItemsProcessed carry no items_per_second
+        # and are not part of the gate.
+        if "items_per_second" not in entry:
+            continue
+        # With --benchmark_report_aggregates_only the run_name field holds
+        # the plain bench name and aggregate_name tags mean/median/stddev.
+        if entry.get("aggregate_name") == "median":
+            out[entry["run_name"]] = entry["items_per_second"]
+        elif "aggregate_name" not in entry:
+            # Repetition-less runs: single entry per bench, no aggregates.
+            out[entry["name"]] = entry["items_per_second"]
+    return out
+
+
+def collect_current(micro, e2e, store):
+    rates = {}
+    for name, value in median_items_per_second(micro).items():
+        rates[f"{name}_items_per_s"] = value
+    rates["scenario_e2e_events_per_s"] = e2e["events_per_s"]
+    rates["scenario_e2e_scenarios_per_s"] = e2e["scenarios_per_s"]
+    rates["store_sim_events_per_s"] = store["sim_events_per_s"]
+    rates["store_synth_samples_per_s"] = store["synth_samples_per_s"]
+    return rates
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--micro", required=True)
+    parser.add_argument("--e2e", required=True)
+    parser.add_argument("--store", required=True)
+    parser.add_argument("--out", required=True)
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.micro) as f:
+        micro = json.load(f)
+    with open(args.e2e) as f:
+        e2e = json.load(f)
+    with open(args.store) as f:
+        store = json.load(f)
+
+    floor = baseline.get("floor_fraction", 0.7)
+    current = collect_current(micro, e2e, store)
+
+    failures = []
+    report = []
+    for name, pinned in sorted(baseline["metrics"].items()):
+        pinned_rate = pinned["baseline"]
+        got = current.get(name)
+        if got is None:
+            failures.append(f"{name}: no measurement produced")
+            continue
+        ratio = got / pinned_rate
+        status = "ok" if ratio >= floor else "REGRESSION"
+        report.append((name, pinned_rate, got, ratio, status))
+        if ratio < floor:
+            failures.append(
+                f"{name}: {got:.3e} is {ratio:.2f}x of the pinned "
+                f"{pinned_rate:.3e} (floor {floor:.2f}x)"
+            )
+
+    width = max(len(r[0]) for r in report) if report else 0
+    for name, pinned_rate, got, ratio, status in report:
+        print(
+            f"{name:<{width}}  pinned {pinned_rate:>11.3e}/s  "
+            f"now {got:>11.3e}/s  {ratio:5.2f}x  {status}"
+        )
+
+    artifact = {
+        "schema": baseline.get("schema", "blab-bench-core-v1"),
+        "floor_fraction": floor,
+        "note": baseline.get("note", ""),
+        "metrics": {
+            name: dict(pinned, current=current.get(name))
+            for name, pinned in baseline["metrics"].items()
+        },
+    }
+    with open(args.out, "w") as f:
+        json.dump(artifact, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.out}")
+
+    if failures:
+        print("\nperf gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nperf gate passed: all rates >= {floor:.2f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

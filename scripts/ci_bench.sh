@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Bench-smoke lane: Release build of the core hot-path benches, JSON output,
+# and the perf-regression gate against the pinned BENCH_core.json baseline.
+# The merged artifact (pinned + current rates) lands in
+# $BUILD_DIR/BENCH_core.json for CI to upload.
+#
+# Absolute rates vary across CI machines, so the gate floor is deliberately
+# loose (>30% regression fails); the pinned baseline documents the reference
+# machine alongside the numbers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-bench}"
+
+cmake -S . -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target micro_core scenario_e2e store_throughput
+
+"$BUILD_DIR"/bench/micro_core \
+  --benchmark_format=json \
+  --benchmark_repetitions=5 \
+  --benchmark_report_aggregates_only=true \
+  > "$BUILD_DIR/bench_micro.json"
+"$BUILD_DIR"/bench/scenario_e2e --jobs=1 --seeds=24 --rounds=5 \
+  > "$BUILD_DIR/bench_e2e.json"
+"$BUILD_DIR"/bench/store_throughput > "$BUILD_DIR/bench_store.json"
+
+python3 scripts/bench_gate.py \
+  --baseline BENCH_core.json \
+  --micro "$BUILD_DIR/bench_micro.json" \
+  --e2e "$BUILD_DIR/bench_e2e.json" \
+  --store "$BUILD_DIR/bench_store.json" \
+  --out "$BUILD_DIR/BENCH_core.json"

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <span>
 
 #include "util/logging.hpp"
 
@@ -14,11 +16,52 @@ Capture::Capture(TimePoint t0, double sample_hz, double voltage,
       voltage_{voltage},
       current_ma_{std::move(current_ma)} {}
 
+Capture::Capture(TimePoint t0, double sample_hz, double voltage,
+                 std::vector<float> current_ma, CaptureStats stats)
+    : t0_{t0},
+      sample_hz_{sample_hz},
+      voltage_{voltage},
+      current_ma_{std::move(current_ma)},
+      stats_{stats},
+      stats_valid_{true} {}
+
+void Capture::ensure_stats() const {
+  if (stats_valid_) return;
+  stats_ = CaptureStats{};
+  if (!current_ma_.empty()) {
+    util::KahanSum sum;
+    float lo = current_ma_.front();
+    float hi = current_ma_.front();
+    for (float s : current_ma_) {
+      sum.add(static_cast<double>(s));
+      if (s < lo) lo = s;
+      if (s > hi) hi = s;
+    }
+    stats_.mean_ma = sum.value() / static_cast<double>(current_ma_.size());
+    stats_.min_ma = static_cast<double>(lo);
+    stats_.max_ma = static_cast<double>(hi);
+  }
+  stats_valid_ = true;
+}
+
 double Capture::mean_current_ma() const {
-  if (current_ma_.empty()) return 0.0;
-  double sum = 0.0;
-  for (float s : current_ma_) sum += s;
-  return sum / static_cast<double>(current_ma_.size());
+  ensure_stats();
+  return stats_.mean_ma;
+}
+
+double Capture::min_current_ma() const {
+  ensure_stats();
+  return stats_.min_ma;
+}
+
+double Capture::max_current_ma() const {
+  ensure_stats();
+  return stats_.max_ma;
+}
+
+const CaptureStats& Capture::stats() const {
+  ensure_stats();
+  return stats_;
 }
 
 double Capture::charge_mah() const {
@@ -30,6 +73,7 @@ double Capture::charge_mah() const {
 util::Cdf Capture::current_cdf(std::size_t stride) const {
   util::Cdf cdf;
   if (stride == 0) stride = 1;
+  cdf.reserve((current_ma_.size() + stride - 1) / stride);
   for (std::size_t i = 0; i < current_ma_.size(); i += stride) {
     cdf.add(current_ma_[i]);
   }
@@ -97,27 +141,81 @@ util::Result<Capture> PowerMonitor::stop_capture() {
   const TimePoint t1 = sim_.now();
   const auto n = static_cast<std::size_t>(
       (t1 - t0).to_seconds() * spec_.sample_hz);
-  std::vector<float> samples;
-  samples.reserve(n);
+  std::vector<float> samples(n);
 
+  // Block-wise synthesis. Three fused stages per block: (1) the timeline
+  // segment walk fills the true current run by run instead of re-checking
+  // the segment boundary per sample, (2) fill_normal batches the noise draws
+  // (bit-identical to the scalar per-sample sequence), (3) one combine pass
+  // applies clamps and accumulates mean/min/max for the capture stats.
   const auto segs = load_->current_segments(t0, t1);
   const double dt = 1.0 / spec_.sample_hz;
+  // Exactly the per-sample timestamp the scalar loop used; segment
+  // attribution at breakpoint boundaries must not move by even one sample.
+  const auto sample_time_us = [&](std::size_t i) {
+    return (t0 + Duration::seconds(static_cast<double>(i) * dt)).us();
+  };
+
+  constexpr std::size_t kBlock = 2048;
+  double base[kBlock];
+  double noise[kBlock];
+  util::KahanSum mean_sum;
+  float lo = std::numeric_limits<float>::infinity();
+  float hi = -std::numeric_limits<float>::infinity();
   std::size_t seg = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const TimePoint t =
-        t0 + Duration::seconds(static_cast<double>(i) * dt);
-    while (seg + 1 < segs.size() && segs[seg + 1].first <= t) ++seg;
-    const double truth = segs.empty() ? 0.0 : segs[seg].second;
-    double measured = truth * spec_.gain * gain_correction_ +
-                      rng_.normal(0.0, spec_.noise_sigma_ma);
-    if (measured < 0.0) measured = 0.0;
-    if (measured > spec_.max_current_ma) {
-      measured = spec_.max_current_ma;
-      ++overcurrent_events_;
+  for (std::size_t start = 0; start < n; start += kBlock) {
+    const std::size_t len = std::min(kBlock, n - start);
+    const std::size_t block_end = start + len;
+    std::size_t i = start;
+    while (i < block_end) {
+      const std::int64_t t_us = sample_time_us(i);
+      while (seg + 1 < segs.size() && segs[seg + 1].first.us() <= t_us) ++seg;
+      std::size_t run_end = block_end;
+      if (seg + 1 < segs.size()) {
+        // First sample index at/after the next breakpoint, by binary search
+        // over the exact sample timestamps.
+        const std::int64_t boundary = segs[seg + 1].first.us();
+        std::size_t lo_i = i + 1;
+        std::size_t hi_i = block_end;
+        while (lo_i < hi_i) {
+          const std::size_t mid = lo_i + (hi_i - lo_i) / 2;
+          if (sample_time_us(mid) < boundary) {
+            lo_i = mid + 1;
+          } else {
+            hi_i = mid;
+          }
+        }
+        run_end = lo_i;
+      }
+      const double v = segs.empty()
+                           ? 0.0
+                           : segs[seg].second * spec_.gain * gain_correction_;
+      for (std::size_t k = i; k < run_end; ++k) base[k - start] = v;
+      i = run_end;
     }
-    samples.push_back(static_cast<float>(measured));
+    rng_.fill_normal(std::span<double>{noise, len}, 0.0, spec_.noise_sigma_ma);
+    for (std::size_t k = 0; k < len; ++k) {
+      double measured = base[k] + noise[k];
+      if (measured < 0.0) measured = 0.0;
+      if (measured > spec_.max_current_ma) {
+        measured = spec_.max_current_ma;
+        ++overcurrent_events_;
+      }
+      const float s = static_cast<float>(measured);
+      samples[start + k] = s;
+      mean_sum.add(static_cast<double>(s));
+      if (s < lo) lo = s;
+      if (s > hi) hi = s;
+    }
   }
-  return Capture{t0, spec_.sample_hz, voltage_, std::move(samples)};
+
+  CaptureStats stats;
+  if (n > 0) {
+    stats.mean_ma = mean_sum.value() / static_cast<double>(n);
+    stats.min_ma = static_cast<double>(lo);
+    stats.max_ma = static_cast<double>(hi);
+  }
+  return Capture{t0, spec_.sample_hz, voltage_, std::move(samples), stats};
 }
 
 util::Status PowerMonitor::calibrate_against(double reference_ma,

@@ -4,8 +4,11 @@
 // paper's instrument. The monitor samples whatever Load is wired to its main
 // channel (the device directly, or the relay board output). Samples are
 // synthesized lazily from the load's piecewise segments at capture-stop time,
-// with per-sample calibration noise, so a 5-minute capture costs one pass
-// over 1.5 M floats rather than 1.5 M simulator events.
+// block by block: the segment walk runs per block rather than per sample,
+// noise comes from Rng::fill_normal in batches (same draw order as the scalar
+// path), and mean/min/max accumulate in the same fused pass. A 5-minute
+// capture costs one pass over 1.5 M floats rather than 1.5 M simulator
+// events.
 #pragma once
 
 #include <cstdint>
@@ -30,12 +33,26 @@ struct MonsoonSpec {
   double gain = 1.001;
 };
 
+/// Summary statistics over a capture's samples. The synthesis loop fuses
+/// their accumulation into the pass that produces the samples; captures built
+/// from raw vectors compute them lazily (compensated summation either way,
+/// so both paths agree bit for bit).
+struct CaptureStats {
+  double mean_ma = 0.0;
+  double min_ma = 0.0;
+  double max_ma = 0.0;
+};
+
 /// A finished capture: fixed-rate samples starting at `t0`.
 class Capture {
  public:
   Capture() = default;
   Capture(TimePoint t0, double sample_hz, double voltage,
           std::vector<float> current_ma);
+  /// Synthesis path: stats accumulated in the same pass that produced the
+  /// samples, so summary queries never re-walk the sample vector.
+  Capture(TimePoint t0, double sample_hz, double voltage,
+          std::vector<float> current_ma, CaptureStats stats);
 
   TimePoint start() const { return t0_; }
   double sample_hz() const { return sample_hz_; }
@@ -51,6 +68,9 @@ class Capture {
   }
 
   double mean_current_ma() const;
+  double min_current_ma() const;
+  double max_current_ma() const;
+  const CaptureStats& stats() const;
   /// Integrated charge over the capture, in mAh.
   double charge_mah() const;
   /// Integrated energy at the capture voltage, in mWh.
@@ -59,10 +79,14 @@ class Capture {
   util::Cdf current_cdf(std::size_t stride = 1) const;
 
  private:
+  void ensure_stats() const;
+
   TimePoint t0_;
   double sample_hz_ = 5000.0;
   double voltage_ = 0.0;
   std::vector<float> current_ma_;
+  mutable CaptureStats stats_;
+  mutable bool stats_valid_ = false;
 };
 
 class PowerMonitor {

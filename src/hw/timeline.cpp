@@ -34,10 +34,16 @@ std::vector<std::pair<TimePoint, double>> Timeline::segments(
     TimePoint t0, TimePoint t1) const {
   std::vector<std::pair<TimePoint, double>> out;
   if (t1 <= t0) return out;
-  out.emplace_back(t0, at(t0));
+  // One bound search serves both the t0 boundary value and the walk start;
+  // reserve the worst case (every remaining breakpoint is a value change).
   auto it = std::upper_bound(
       points_.begin(), points_.end(), t0,
       [](TimePoint x, const auto& p) { return x < p.first; });
+  out.reserve(1 + static_cast<std::size_t>(points_.end() - it));
+  const double boundary = (points_.empty() || t0 < points_.front().first)
+                              ? 0.0
+                              : std::prev(it)->second;
+  out.emplace_back(t0, boundary);
   for (; it != points_.end() && it->first < t1; ++it) {
     if (it->second != out.back().second) out.emplace_back(it->first, it->second);
   }

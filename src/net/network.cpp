@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <queue>
 
 #include "util/logging.hpp"
 

@@ -1,0 +1,126 @@
+// Small-buffer-optimized, move-only callback for the event arena.
+//
+// std::function heap-allocates once a capture list outgrows ~16 bytes, and
+// nearly every scheduled callback in the platform captures more than that
+// (component pointers, serials, labels). InlineCallback keeps captures up to
+// kInlineBytes in the event slot itself, so the common schedule/fire cycle
+// performs zero allocations; oversized callables fall back to one heap box.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace blab::sim {
+
+class InlineCallback {
+ public:
+  /// Sized so an arena Slot (buffer + ops pointer + generation/liveness) is
+  /// exactly one 64-byte cache line: every capture list in the simulator's
+  /// hot paths (component pointers, a couple of scalars, one moved string)
+  /// fits, and the rare fat fault-injection lambda takes the heap box.
+  static constexpr std::size_t kInlineBytes = 48;
+  /// Captures needing stricter alignment (vector types, long double) than a
+  /// pointer also take the heap box; requiring only 8-byte alignment keeps
+  /// the Slot free of padding.
+  static constexpr std::size_t kInlineAlign = 8;
+
+  InlineCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, InlineCallback> &&
+                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  InlineCallback(F&& fn) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(fn));
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { move_from(other); }
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+  ~InlineCallback() { reset(); }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-construct the callable into `dst` and destroy the `src` copy.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename F>
+  static constexpr bool kFitsInline =
+      sizeof(F) <= kInlineBytes && alignof(F) <= kInlineAlign &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  template <typename F>
+  struct InlineModel {
+    static F* self(void* s) { return std::launder(reinterpret_cast<F*>(s)); }
+    static void invoke(void* s) { (*self(s))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      F* from = self(src);
+      ::new (dst) F(std::move(*from));
+      from->~F();
+    }
+    static void destroy(void* s) noexcept { self(s)->~F(); }
+    static constexpr Ops kOps{&invoke, &relocate, &destroy};
+  };
+
+  template <typename F>
+  struct HeapModel {
+    static F* self(const void* s) {
+      return *std::launder(
+          reinterpret_cast<F* const*>(const_cast<void*>(s)));
+    }
+    static void invoke(void* s) { (*self(s))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) F*(self(src));  // pointer itself is trivially movable
+    }
+    static void destroy(void* s) noexcept { delete self(s); }
+    static constexpr Ops kOps{&invoke, &relocate, &destroy};
+  };
+
+  template <typename F>
+  void emplace(F&& fn) {
+    using D = std::remove_cvref_t<F>;
+    if constexpr (kFitsInline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      ops_ = &InlineModel<D>::kOps;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(fn)));
+      ops_ = &HeapModel<D>::kOps;
+    }
+  }
+
+  void move_from(InlineCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(kInlineAlign) std::byte storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace blab::sim

@@ -1,71 +1,133 @@
 #include "sim/simulator.hpp"
 
 #include <cassert>
+#include <utility>
+
+#include "util/logging.hpp"
 
 namespace blab::sim {
 
-EventId Simulator::schedule_at(TimePoint t, Callback cb, std::string label) {
-  if (t < now_) t = now_;
-  const EventId id = next_id_++;
-  live_.insert(id);
-  queue_.push(Event{t, next_seq_++, id, std::move(cb), std::move(label)});
-  return id;
+EventId Simulator::schedule_impl(TimePoint t, InlineCallback cb,
+                                 std::string label) {
+  std::uint32_t index;
+  if (!free_slots_.empty()) {
+    index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    index = slot_count_;
+    if ((index & kChunkMask) == 0) {
+      // Default-init, not make_unique's value-init: zeroing every slot's
+      // 112-byte callback buffer would double the cost of growing the arena.
+      chunks_.emplace_back(new Slot[kChunkSize]);
+    }
+    ++slot_count_;
+  }
+  const std::uint64_t seq = next_seq_++;
+  const auto tag = static_cast<std::uint32_t>(seq);
+  Slot& slot = slot_ref(index);
+  slot.in_use = true;
+  slot.tag = tag;
+  slot.cb = std::move(cb);
+  // Untraced runs drop the label here: trace_info_ stays empty and the
+  // caller's temporary dies without ever being copied into the arena.
+  if (trace_) {
+    if (trace_info_.size() <= index) trace_info_.resize(index + 1);
+    trace_info_[index] = TraceInfo{seq, std::move(label)};
+  }
+  heap_push(HeapEntry{t.us(), tag, index});
+  ++live_count_;
+  return make_id(index, tag);
 }
 
-EventId Simulator::schedule_after(Duration d, Callback cb, std::string label) {
-  if (d.is_negative()) d = Duration::zero();
-  return schedule_at(now_ + d, std::move(cb), std::move(label));
+Simulator::Slot* Simulator::find_live(EventId id) {
+  if (id == kInvalidEvent) return nullptr;
+  const auto raw = static_cast<std::uint32_t>(id & 0xFFFFFFFFull);
+  if (raw == 0 || raw > slot_count_) return nullptr;
+  Slot& slot = slot_ref(raw - 1);
+  const auto tag = static_cast<std::uint32_t>(id >> 32);
+  if (!slot.in_use || slot.tag != tag) return nullptr;
+  return &slot;
+}
+
+const Simulator::Slot* Simulator::find_live(EventId id) const {
+  return const_cast<Simulator*>(this)->find_live(id);
+}
+
+void Simulator::release_slot(Slot& slot, std::uint32_t index) {
+  // No tag bump needed: the next occupancy brings a fresh sequence-derived
+  // tag, and a not-in-use slot already fails every handle/entry check.
+  slot.cb.reset();
+  if (index < trace_info_.size()) trace_info_[index].label.clear();
+  slot.in_use = false;
+  free_slots_.push_back(index);
+  --live_count_;
 }
 
 bool Simulator::cancel(EventId id) {
-  // Lazy cancellation: remove from the live set; the queue entry is dropped
-  // when it reaches the top. Returns false for fired/unknown ids.
-  return live_.erase(id) > 0;
+  // Lazy cancellation: free the slot and bump its generation; the heap entry
+  // is dropped when it reaches the top. Returns false for fired/unknown ids.
+  Slot* slot = find_live(id);
+  if (slot == nullptr) return false;
+  release_slot(*slot, SimulatorTestAccess::slot_index(id));
+  ++stale_entries_;  // its heap entry is dropped when it surfaces
+  return true;
 }
 
-bool Simulator::is_pending(EventId id) const { return live_.contains(id); }
+bool Simulator::is_pending(EventId id) const {
+  return find_live(id) != nullptr;
+}
 
-bool Simulator::pop_next(Event& out) {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (auto it = live_.find(ev.id); it != live_.end()) {
-      live_.erase(it);
-      out = std::move(ev);
-      return true;
-    }
-    // Cancelled event: skip.
+bool Simulator::settle_top() {
+  // Every stale entry comes from a cancel(); while none are outstanding the
+  // top needs no validation at all.
+  if (stale_entries_ == 0) return !heap_.empty();
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    const Slot& slot = slot_ref(top.slot);
+    if (slot.in_use && slot.tag == top.seq32) return true;
+    heap_pop();  // cancelled slot: drop the stale entry
+    --stale_entries_;
   }
   return false;
 }
 
-bool Simulator::step() {
-  Event ev;
-  if (!pop_next(ev)) return false;
-  assert(ev.at >= now_);
-  now_ = ev.at;
+void Simulator::fire_top() {
+  const HeapEntry top = heap_.front();
+  heap_pop();
+  Slot& slot = slot_ref(top.slot);
+  assert(top.at_us >= now_.us());
+  now_ = TimePoint::from_micros(top.at_us);
   ++executed_;
-  if (trace_) trace_(ev.at, ev.seq, ev.label);
-  ev.cb();
+  // Invalidate the handle before invoking (cancel()/is_pending() on the
+  // firing event see it as gone), but keep the slot OFF the free list until
+  // the callback returns. Chunked storage means the slot cannot move, so the
+  // callback runs in place — no buffer relocation per event — even when it
+  // reentrantly schedules, cancels, or grows the arena.
+  slot.in_use = false;
+  --live_count_;
+  if (trace_) {
+    // Move the info out first: a hook that schedules could resize the array.
+    TraceInfo info;
+    if (top.slot < trace_info_.size()) info = std::move(trace_info_[top.slot]);
+    trace_(now_, info.seq, info.label);
+  }
+  slot.cb();
+  slot.cb.reset();
+  if (top.slot < trace_info_.size()) trace_info_[top.slot].label.clear();
+  free_slots_.push_back(top.slot);
+}
+
+bool Simulator::step() {
+  if (!settle_top()) return false;
+  fire_top();
   return true;
 }
 
 std::size_t Simulator::run_until(TimePoint t) {
   std::size_t n = 0;
-  while (!queue_.empty()) {
-    Event ev;
-    if (!pop_next(ev)) break;
-    if (ev.at > t) {
-      // Not due yet: reinstate and stop.
-      live_.insert(ev.id);
-      queue_.push(std::move(ev));
-      break;
-    }
-    now_ = ev.at;
-    ++executed_;
+  while (settle_top() && heap_.front().at_us <= t.us()) {
+    fire_top();
     ++n;
-    if (trace_) trace_(ev.at, ev.seq, ev.label);
-    ev.cb();
   }
   if (t > now_) now_ = t;
   return n;
@@ -75,8 +137,53 @@ std::size_t Simulator::run_all(std::size_t max_events) {
   hit_cap_ = false;
   std::size_t n = 0;
   while (n < max_events && step()) ++n;
-  hit_cap_ = n >= max_events && !live_.empty();
+  hit_cap_ = n >= max_events && live_count_ > 0;
   return n;
+}
+
+void Simulator::heap_push(HeapEntry entry) {
+  heap_.push_back(entry);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!entry_less(entry, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+void Simulator::heap_pop() {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first_child = (i << 2) + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t end = first_child + 4 < n ? first_child + 4 : n;
+    for (std::size_t c = first_child + 1; c < end; ++c) {
+      if (entry_less(heap_[c], heap_[best])) best = c;
+    }
+    if (!entry_less(heap_[best], last)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last;
+}
+
+void Simulator::note_clamped(TimePoint t, const std::string& label) {
+  // Documented contract: past timestamps clamp to now(). Surface each
+  // mis-ordered call site once, and only when someone is listening at debug
+  // level, so the bookkeeping set cannot grow in production runs.
+  if (!util::Logger::global().enabled(util::LogLevel::kDebug)) return;
+  if (!clamp_logged_.insert(label).second) return;
+  BLAB_DEBUG("sim", "schedule_at past timestamp "
+                        << util::to_string(t) << " clamped to now="
+                        << util::to_string(now_) << " (label '" << label
+                        << "')");
 }
 
 }  // namespace blab::sim

@@ -3,15 +3,26 @@
 // Every BatteryLab component (network links, power monitor, controller
 // services, scheduler) is driven by one Simulator instance. Events execute in
 // timestamp order; ties break by scheduling order so runs are deterministic.
+//
+// Hot-path design (see DESIGN.md §8): pending events live in a pooled arena
+// of recycled slots holding a small-buffer-optimized callback, so the common
+// schedule/fire cycle allocates nothing. Slots are stored in fixed-size
+// chunks that never relocate, which keeps arena growth cheap (no slot moves)
+// and lets callbacks fire in place. The priority queue is a 4-ary heap of
+// 24-byte POD entries (timestamp, sequence, slot, generation) — callbacks
+// and labels never move during heap sifts. Cancellation is lazy: cancelling
+// bumps the slot's generation counter and stale heap entries are skipped when
+// they surface, replacing the old per-event hash-set membership test.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "util/time.hpp"
 
 namespace blab::sim {
@@ -20,11 +31,18 @@ using util::Duration;
 using util::TimePoint;
 
 /// Handle for a scheduled event; usable to cancel it before it fires.
+/// Encodes (arena slot, occupancy tag); never 0 for a real event. The tag is
+/// the low 32 bits of the event's global sequence number, so every occupancy
+/// of a slot carries a fresh tag. Handles are only meaningful against the
+/// Simulator that issued them, and a stale handle can alias a newer event
+/// only if the same slot is re-occupied exactly 2^32 sequence numbers later.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
 class Simulator {
  public:
+  /// Legacy callback alias; schedule_at/schedule_after accept any callable
+  /// and store it allocation-free when it fits InlineCallback's buffer.
   using Callback = std::function<void()>;
   /// Observer invoked for every executed event: (timestamp, sequence number,
   /// label). Drives the deterministic-simulation-testing trace recorder; an
@@ -38,10 +56,34 @@ class Simulator {
 
   TimePoint now() const { return now_; }
 
-  /// Schedule `cb` at absolute time `t` (must be >= now).
-  EventId schedule_at(TimePoint t, Callback cb, std::string label = {});
-  /// Schedule `cb` after delay `d` from now (negative delays clamp to now).
-  EventId schedule_after(Duration d, Callback cb, std::string label = {});
+  /// Schedule `fn` at absolute time `t`.
+  ///
+  /// Contract: a `t` earlier than now() is CLAMPED to now() — the event still
+  /// fires, at the current instant, in scheduling order among its peers. The
+  /// clamp is silent except for one debug-level log line per distinct label
+  /// (so a DST fault schedule that mis-orders its timestamps is visible
+  /// without flooding the log).
+  ///
+  /// The label is kept only while a trace hook is installed; untraced runs
+  /// drop it immediately and pay no label storage cost.
+  template <typename F>
+  EventId schedule_at(TimePoint t, F&& fn, std::string label = {}) {
+    if (t < now_) {
+      note_clamped(t, label);
+      t = now_;
+    }
+    return schedule_impl(t, InlineCallback(std::forward<F>(fn)),
+                         std::move(label));
+  }
+
+  /// Schedule `fn` after delay `d` from now (negative delays clamp to now).
+  template <typename F>
+  EventId schedule_after(Duration d, F&& fn, std::string label = {}) {
+    if (d.is_negative()) d = Duration::zero();
+    return schedule_impl(now_ + d, InlineCallback(std::forward<F>(fn)),
+                         std::move(label));
+  }
+
   /// Cancel a pending event; returns false if it already fired or is unknown.
   bool cancel(EventId id);
   bool is_pending(EventId id) const;
@@ -60,37 +102,120 @@ class Simulator {
   bool hit_cap() const { return hit_cap_; }
 
   /// Install (or clear, with nullptr) the per-event execution observer.
+  /// Install it before scheduling: labels of events scheduled while no hook
+  /// was present have already been dropped and trace as "".
   void set_trace_hook(TraceHook hook) { trace_ = std::move(hook); }
   bool has_trace_hook() const { return static_cast<bool>(trace_); }
 
-  std::size_t pending_events() const { return live_.size(); }
+  std::size_t pending_events() const { return live_count_; }
   std::uint64_t executed_events() const { return executed_; }
 
  private:
-  struct Event {
-    TimePoint at;
-    std::uint64_t seq;
-    EventId id;
-    Callback cb;
-    std::string label;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
+  friend struct SimulatorTestAccess;
 
-  bool pop_next(Event& out);
+  /// One arena slot, exactly one cache line: the inline callback plus the
+  /// liveness word. Timestamp, sequence number and label are NOT duplicated
+  /// here — timestamp and sequence ride in the heap entry that fires the
+  /// slot, and (sequence, label) for traced runs live in the `trace_info_`
+  /// side array. `tag` is the low 32 bits of the occupying event's sequence
+  /// number; it changes on every occupancy, invalidating stale handles and
+  /// stale heap entries.
+  struct Slot {
+    InlineCallback cb;
+    std::uint32_t tag = 0;
+    bool in_use = false;
+  };
+  static_assert(sizeof(Slot) <= 64, "Slot outgrew a cache line");
+
+  /// Heap entries are 16-byte PODs so sifts move minimal memory and never
+  /// touch callbacks or labels. Ties in at_us break by seq32, the low 32
+  /// bits of the sequence number: exact (FIFO) as long as two same-instant
+  /// events are scheduled fewer than 2^32 sequence numbers apart, which is
+  /// the same aliasing horizon the event handles already accept.
+  struct HeapEntry {
+    std::int64_t at_us;
+    std::uint32_t seq32;
+    std::uint32_t slot;
+  };
+  static_assert(sizeof(HeapEntry) == 16, "HeapEntry should stay 16 bytes");
+
+  static bool entry_less(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at_us != b.at_us) return a.at_us < b.at_us;
+    return a.seq32 < b.seq32;
+  }
+  static EventId make_id(std::uint32_t slot, std::uint32_t tag) {
+    return (static_cast<EventId>(tag) << 32) | (static_cast<EventId>(slot) + 1);
+  }
+
+  /// Slots live in fixed-size chunks so growing the arena never relocates a
+  /// live slot: callbacks can run in place and references survive reentrant
+  /// scheduling from inside a firing callback.
+  static constexpr std::uint32_t kChunkShift = 8;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+  static constexpr std::uint32_t kChunkMask = kChunkSize - 1;
+
+  Slot& slot_ref(std::uint32_t index) {
+    return chunks_[index >> kChunkShift][index & kChunkMask];
+  }
+  const Slot& slot_ref(std::uint32_t index) const {
+    return chunks_[index >> kChunkShift][index & kChunkMask];
+  }
+
+  EventId schedule_impl(TimePoint t, InlineCallback cb, std::string label);
+  /// Slot for a live (scheduled, uncancelled, unfired) id, else nullptr.
+  Slot* find_live(EventId id);
+  const Slot* find_live(EventId id) const;
+  /// Return a slot to the free list: clears callback/label, bumps generation.
+  void release_slot(Slot& slot, std::uint32_t index);
+  /// Pop cancelled/stale heap entries until the top is live. False if empty.
+  bool settle_top();
+  /// Execute the top heap entry (must be live, i.e. settle_top() was true).
+  void fire_top();
+  void heap_push(HeapEntry entry);
+  void heap_pop();
+  void note_clamped(TimePoint t, const std::string& label);
 
   TimePoint now_ = TimePoint::epoch();
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> live_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint32_t slot_count_ = 0;
+  std::vector<std::uint32_t> free_slots_;
+  /// Per-slot trace metadata (full 64-bit sequence number and label), written
+  /// only while a trace hook is installed. Untraced runs never touch (or
+  /// size) this array.
+  struct TraceInfo {
+    std::uint64_t seq = 0;
+    std::string label;
+  };
+  std::vector<TraceInfo> trace_info_;
+  std::vector<HeapEntry> heap_;
+  std::size_t live_count_ = 0;
+  /// Heap entries orphaned by cancel(); when zero, the heap top is live by
+  /// construction and settle_top() skips slot validation.
+  std::size_t stale_entries_ = 0;
   std::uint64_t next_seq_ = 1;
-  EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
   bool hit_cap_ = false;
   TraceHook trace_;
+  std::unordered_set<std::string> clamp_logged_;
+};
+
+/// Test-only backdoor: lets kernel tests jump the global sequence counter to
+/// the edge of the 32-bit tag space, so tag-wraparound behaviour is testable
+/// without performing 2^32 schedule/cancel cycles.
+struct SimulatorTestAccess {
+  static std::uint32_t slot_index(EventId id) {
+    return static_cast<std::uint32_t>(id & 0xFFFFFFFFull) - 1;
+  }
+  static std::uint32_t tag(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+  static void set_next_seq(Simulator& sim, std::uint64_t seq) {
+    sim.next_seq_ = seq;
+  }
+  static std::uint64_t next_seq(const Simulator& sim) { return sim.next_seq_; }
+  static bool slot_in_use(const Simulator& sim, std::uint32_t slot) {
+    return sim.slot_ref(slot).in_use;
+  }
 };
 
 }  // namespace blab::sim

@@ -1,10 +1,12 @@
 #include "testing/harness.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <map>
 #include <memory>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "device/android.hpp"
@@ -318,6 +320,36 @@ void schedule_faults(const ScenarioSpec& spec, RunState* rs) {
   }
 }
 
+/// Worker-pool map over a seed corpus. Results land at the index of their
+/// seed, so the output order is deterministic no matter how many workers run
+/// or which finishes first; the atomic claim index is the only coordination.
+template <typename Result, typename Fn>
+std::vector<Result> pooled_map(const std::vector<std::uint64_t>& seeds,
+                               unsigned jobs, Fn fn) {
+  std::vector<Result> results(seeds.size());
+  if (jobs == 0) jobs = std::thread::hardware_concurrency();
+  if (jobs == 0) jobs = 1;
+  jobs = static_cast<unsigned>(
+      std::min<std::size_t>(jobs, seeds.size()));
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < seeds.size(); ++i) results[i] = fn(seeds[i]);
+    return results;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= seeds.size()) return;
+      results[i] = fn(seeds[i]);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (unsigned w = 0; w < jobs; ++w) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
 std::string job_state_counts(const server::Scheduler& scheduler) {
   std::size_t queued = 0, running = 0, ok = 0, failed = 0, aborted = 0;
   for (const server::Job* job : scheduler.all_jobs()) {
@@ -473,6 +505,12 @@ ScenarioResult run_scenario(std::uint64_t seed) {
   return run_scenario(generate_scenario(seed));
 }
 
+std::vector<ScenarioResult> run_corpus(const std::vector<std::uint64_t>& seeds,
+                                       unsigned jobs) {
+  return pooled_map<ScenarioResult>(
+      seeds, jobs, [](std::uint64_t seed) { return run_scenario(seed); });
+}
+
 std::string ScenarioResult::violation_summary() const {
   std::ostringstream os;
   os << "seed " << seed << " (" << description << "): "
@@ -494,6 +532,12 @@ ReplayReport replay_check(std::uint64_t seed) {
   report.deterministic = !report.divergence.diverged &&
                          report.first.digest == report.second.digest;
   return report;
+}
+
+std::vector<ReplayReport> run_replay_corpus(
+    const std::vector<std::uint64_t>& seeds, unsigned jobs) {
+  return pooled_map<ReplayReport>(
+      seeds, jobs, [](std::uint64_t seed) { return replay_check(seed); });
 }
 
 std::string ReplayReport::describe() const {

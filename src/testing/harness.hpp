@@ -44,6 +44,19 @@ ScenarioResult run_scenario(const ScenarioSpec& spec);
 /// Generate the scenario for `seed` and run it.
 ScenarioResult run_scenario(std::uint64_t seed);
 
+/// Run every seed's scenario on a pool of worker threads.
+///
+/// `jobs == 0` means std::thread::hardware_concurrency(); any value is
+/// clamped to the corpus size, and `jobs <= 1` runs inline with no threads.
+/// Each scenario builds its own simulator/deployment, so runs are fully
+/// independent; workers claim seeds through an atomic index and write into a
+/// pre-sized result vector, so `result[i]` always corresponds to `seeds[i]`
+/// and the output is byte-identical to a serial run regardless of the job
+/// count or completion order. The only shared state is the global log sink:
+/// warning lines from concurrent scenarios may interleave on stderr.
+std::vector<ScenarioResult> run_corpus(const std::vector<std::uint64_t>& seeds,
+                                       unsigned jobs = 0);
+
 /// Outcome of running one seed twice from scratch and diffing the traces.
 struct ReplayReport {
   std::uint64_t seed = 0;
@@ -56,5 +69,11 @@ struct ReplayReport {
 };
 
 ReplayReport replay_check(std::uint64_t seed);
+
+/// replay_check() across a corpus, on a worker pool. Same jobs semantics and
+/// ordering guarantee as run_corpus: `result[i]` is always `seeds[i]`'s
+/// report, independent of the job count.
+std::vector<ReplayReport> run_replay_corpus(
+    const std::vector<std::uint64_t>& seeds, unsigned jobs = 0);
 
 }  // namespace blab::testing

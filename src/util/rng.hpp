@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -31,6 +32,13 @@ class Rng {
   /// Standard normal via Box-Muller (cached pair).
   double normal();
   double normal(double mean, double stddev);
+  /// Fill `out` with normal(mean, stddev) draws. Guaranteed to produce the
+  /// exact scalar sequence: fill_normal over n values consumes the generator
+  /// and the Box-Muller pair cache identically to n calls of
+  /// normal(mean, stddev), bit for bit — block-wise capture synthesis must
+  /// not perturb DST golden digests or the fig2 CDFs. The win is mechanical:
+  /// one call per block, with the generator state kept in registers.
+  void fill_normal(std::span<double> out, double mean, double stddev);
   /// Log-normal with given *linear-space* median and sigma of underlying normal.
   double lognormal_median(double median, double sigma);
   /// Exponential with given mean.

@@ -5,11 +5,34 @@
 // mean +/- stddev bars.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <string>
 #include <vector>
 
 namespace blab::util {
+
+/// Compensated (Kahan–Neumaier) summation. Multi-hour captures accumulate
+/// tens of millions of float samples; a naive accumulator loses low-order
+/// bits long before that, a compensated one stays within one ulp of the
+/// exact sum regardless of length.
+class KahanSum {
+ public:
+  void add(double x) {
+    const double t = sum_ + x;
+    if (std::abs(sum_) >= std::abs(x)) {
+      compensation_ += (sum_ - t) + x;
+    } else {
+      compensation_ += (x - t) + sum_;
+    }
+    sum_ = t;
+  }
+  double value() const { return sum_ + compensation_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
 
 /// Welford-style running mean/variance plus min/max.
 class RunningStats {
@@ -41,6 +64,8 @@ class Cdf {
 
   void add(double x);
   void add_all(const std::vector<double>& xs);
+  /// Pre-size the sample buffer when the count is known (capture CDFs).
+  void reserve(std::size_t n) { samples_.reserve(n); }
 
   std::size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }

@@ -3,15 +3,20 @@
 // oracles after every step, and replayed from the same seed to prove the
 // whole deployment is a pure function of (seed, scenario).
 //
-// To reproduce a failure locally, take the seed from the test name or the
-// failure message and call blab::testing::replay_check(seed) — the report
-// names the first divergent event. See DESIGN.md, "Deterministic simulation
-// testing".
+// To reproduce a failure locally, take the seed from the failure message and
+// call blab::testing::replay_check(seed) — the report names the first
+// divergent event. See DESIGN.md, "Deterministic simulation testing".
+//
+// This binary has a custom main: `blab_dst --jobs=N` (or BLAB_DST_JOBS=N)
+// sets the worker count for the corpus tests below; 0 (the default) means
+// one worker per hardware thread.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/trace_io.hpp"
@@ -26,26 +31,54 @@ namespace {
 using blab::util::Duration;
 using blab::util::TimePoint;
 
+/// Worker count for corpus tests; set by main() from --jobs=N or
+/// BLAB_DST_JOBS. 0 = hardware concurrency (run_corpus's default).
+unsigned g_corpus_jobs = 0;
+
 // ------------------------------------------------------------------------
 // The fuzz corpus: every seed builds a random deployment, survives its fault
-// schedule with all oracles green, and replays byte-identically.
+// schedule with all oracles green, and replays byte-identically. The whole
+// corpus runs through one worker pool instead of 40 separate gtest
+// instances, so `ctest -L dst` pays one process start-up and the seeds run
+// `--jobs` wide.
 // ------------------------------------------------------------------------
 
-class FuzzedScenario : public ::testing::TestWithParam<std::uint64_t> {};
-
-TEST_P(FuzzedScenario, OraclesHoldAndReplayIsByteIdentical) {
-  const dst::ReplayReport report = dst::replay_check(GetParam());
-  EXPECT_TRUE(report.first.ok()) << report.first.violation_summary();
-  EXPECT_TRUE(report.second.ok()) << report.second.violation_summary();
-  EXPECT_TRUE(report.deterministic) << report.describe();
-  EXPECT_EQ(report.first.digest_hex, report.second.digest_hex)
-      << report.describe();
-  EXPECT_GT(report.first.events_executed, 0u)
-      << "scenario ran no simulator events: " << report.first.description;
+TEST(DstCorpus, OraclesHoldAndReplayIsByteIdentical) {
+  const auto seeds = dst::default_corpus(40);
+  const auto reports = dst::run_replay_corpus(seeds, g_corpus_jobs);
+  ASSERT_EQ(reports.size(), seeds.size());
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const dst::ReplayReport& report = reports[i];
+    ASSERT_EQ(report.seed, seeds[i]);
+    EXPECT_TRUE(report.first.ok()) << report.first.violation_summary();
+    EXPECT_TRUE(report.second.ok()) << report.second.violation_summary();
+    EXPECT_TRUE(report.deterministic) << report.describe();
+    EXPECT_EQ(report.first.digest_hex, report.second.digest_hex)
+        << report.describe();
+    EXPECT_GT(report.first.events_executed, 0u)
+        << "seed " << report.seed
+        << " ran no simulator events: " << report.first.description;
+  }
 }
 
-INSTANTIATE_TEST_SUITE_P(DstCorpus, FuzzedScenario,
-                         ::testing::ValuesIn(dst::default_corpus(40)));
+// The pool must be invisible in the results: the same corpus run serially
+// and with several workers yields byte-identical per-seed digests, in the
+// same order. This is the determinism contract `--jobs` rides on.
+TEST(DstCorpus, ParallelRunMatchesSerialPerSeed) {
+  const auto seeds = dst::default_corpus(8);
+  const auto serial = dst::run_corpus(seeds, 1);
+  const auto parallel = dst::run_corpus(seeds, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].seed, parallel[i].seed) << "result order diverged";
+    EXPECT_EQ(serial[i].digest_hex, parallel[i].digest_hex)
+        << "seed " << seeds[i] << " digest depends on the worker count";
+    EXPECT_EQ(serial[i].events_executed, parallel[i].events_executed)
+        << "seed " << seeds[i];
+    EXPECT_EQ(serial[i].trace.size(), parallel[i].trace.size())
+        << "seed " << seeds[i];
+  }
+}
 
 // ------------------------------------------------------------------------
 // Seed stability: the first five corpus seeds' digests are pinned in-repo.
@@ -283,3 +316,19 @@ TEST(Oracles, DefaultRegistryCoversTheDocumentedInvariants) {
 }
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);  // consumes gtest's own flags
+  if (const char* env = std::getenv("BLAB_DST_JOBS")) {
+    g_corpus_jobs = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    constexpr std::string_view kJobs = "--jobs=";
+    if (arg.rfind(kJobs, 0) == 0) {
+      g_corpus_jobs = static_cast<unsigned>(
+          std::strtoul(arg.substr(kJobs.size()).data(), nullptr, 10));
+    }
+  }
+  return RUN_ALL_TESTS();
+}

@@ -2,6 +2,9 @@
 // board, Monsoon power monitor, WiFi power socket.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "hw/battery.hpp"
 #include "hw/gpio.hpp"
 #include "hw/power_monitor.hpp"
@@ -393,6 +396,90 @@ TEST_F(MonitorTest, OvercurrentClampsAndCounts) {
   for (float s : capture.value().samples_ma()) {
     EXPECT_LE(s, monitor.spec().max_current_ma);
   }
+}
+
+TEST_F(MonitorTest, FusedCaptureStatsMatchLazyRecomputation) {
+  // The synthesis pass accumulates mean/min/max while it writes the samples;
+  // a Capture rebuilt from the same raw vector computes them lazily. Both
+  // use the same compensated summation, so they must agree bit for bit.
+  monitor.set_mains(true);
+  ASSERT_TRUE(monitor.set_voltage(3.85).ok());
+  monitor.connect_load(&load);
+  ASSERT_TRUE(monitor.start_capture().ok());
+  sim.run_for(Duration::seconds(3));
+  auto capture = monitor.stop_capture();
+  ASSERT_TRUE(capture.ok());
+  const Capture& fused = capture.value();
+  const Capture lazy{fused.start(), fused.sample_hz(), fused.voltage(),
+                     fused.samples_ma()};
+  EXPECT_EQ(fused.mean_current_ma(), lazy.mean_current_ma());
+  EXPECT_EQ(fused.min_current_ma(), lazy.min_current_ma());
+  EXPECT_EQ(fused.max_current_ma(), lazy.max_current_ma());
+  // And the extrema actually bracket the sample set.
+  const auto& samples = fused.samples_ma();
+  const auto [lo, hi] = std::minmax_element(samples.begin(), samples.end());
+  EXPECT_EQ(fused.min_current_ma(), static_cast<double>(*lo));
+  EXPECT_EQ(fused.max_current_ma(), static_cast<double>(*hi));
+}
+
+TEST_F(MonitorTest, EmptyCaptureHasZeroStats) {
+  monitor.set_mains(true);
+  ASSERT_TRUE(monitor.set_voltage(3.85).ok());
+  monitor.connect_load(&load);
+  ASSERT_TRUE(monitor.start_capture().ok());
+  auto capture = monitor.stop_capture();  // zero elapsed time, zero samples
+  ASSERT_TRUE(capture.ok());
+  EXPECT_EQ(capture.value().sample_count(), 0u);
+  EXPECT_EQ(capture.value().mean_current_ma(), 0.0);
+  EXPECT_EQ(capture.value().min_current_ma(), 0.0);
+  EXPECT_EQ(capture.value().max_current_ma(), 0.0);
+}
+
+TEST_F(MonitorTest, CaptureTracksSegmentBoundariesOfABurstyLoad) {
+  // A load that steps between levels exercises the per-block segment walk:
+  // every sample must take its value from the segment its timestamp lands
+  // in, with the noise floor the only deviation.
+  class SteppingLoad : public Load {
+   public:
+    double current_ma(TimePoint t) const override {
+      return (t.us() / Duration::millis(150).us()) % 2 == 0 ? 50.0 : 950.0;
+    }
+    std::vector<std::pair<TimePoint, double>> current_segments(
+        TimePoint t0, TimePoint t1) const override {
+      std::vector<std::pair<TimePoint, double>> out;
+      out.emplace_back(t0, current_ma(t0));
+      for (TimePoint t = t0 + Duration::millis(150); t < t1;
+           t += Duration::millis(150)) {
+        out.emplace_back(t, current_ma(t));
+      }
+      return out;
+    }
+  } bursty;
+  monitor.set_mains(true);
+  ASSERT_TRUE(monitor.set_voltage(3.85).ok());
+  monitor.connect_load(&bursty);
+  ASSERT_TRUE(monitor.start_capture().ok());
+  sim.run_for(Duration::seconds(3));
+  auto capture = monitor.stop_capture();
+  ASSERT_TRUE(capture.ok());
+  const auto& samples = capture.value().samples_ma();
+  ASSERT_EQ(samples.size(), 15000u);
+  const auto segs = bursty.current_segments(
+      capture.value().start(),
+      capture.value().start() + capture.value().duration());
+  ASSERT_GE(segs.size(), 2u);
+  std::size_t seg = 0;
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const TimePoint t = capture.value().time_of(i);
+    while (seg + 1 < segs.size() && segs[seg + 1].first <= t) ++seg;
+    const double expected = segs[seg].second * monitor.spec().gain;
+    if (std::abs(samples[i] - expected) > 6.0 * monitor.spec().noise_sigma_ma) {
+      ++mismatches;
+    }
+  }
+  EXPECT_EQ(mismatches, 0u)
+      << "samples drifted off their timeline segment value";
 }
 
 // Property sweep: capture mean matches the load level across magnitudes.

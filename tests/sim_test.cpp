@@ -1,10 +1,12 @@
 // Unit tests for the discrete-event kernel.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "sim/periodic.hpp"
 #include "sim/simulator.hpp"
+#include "util/logging.hpp"
 
 namespace blab::sim {
 namespace {
@@ -180,6 +182,136 @@ TEST(SimulatorTest, ExecutedEventCounter) {
   for (int i = 0; i < 7; ++i) sim.schedule_after(Duration::millis(i), [] {});
   sim.run_all();
   EXPECT_EQ(sim.executed_events(), 7u);
+}
+
+// ------------------------------------------- arena / lazy-deletion edges ----
+
+TEST(SimulatorTest, CancelFromInsideOwnCallbackIsNoOp) {
+  // By the time a callback runs its handle is already invalid, so
+  // self-cancellation must fail cleanly rather than corrupt the slot the
+  // callback is still executing from.
+  Simulator sim;
+  EventId self = kInvalidEvent;
+  bool cancel_result = true;
+  self = sim.schedule_after(Duration::millis(1), [&] {
+    cancel_result = sim.cancel(self);
+  });
+  sim.run_all();
+  EXPECT_FALSE(cancel_result);
+  EXPECT_FALSE(sim.is_pending(self));
+}
+
+TEST(SimulatorTest, RescheduleInsideCallbackDoesNotReuseFiringSlot) {
+  // The firing slot stays off the free list until its callback returns, so a
+  // reentrant schedule must land in a different slot: the new event's captures
+  // cannot overwrite the closure that is still running.
+  Simulator sim;
+  std::vector<int> order;
+  EventId inner = kInvalidEvent;
+  const EventId outer = sim.schedule_after(Duration::millis(1), [&] {
+    inner = sim.schedule_after(Duration::millis(1), [&] {
+      order.push_back(2);
+    });
+    order.push_back(1);
+  });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_NE(SimulatorTestAccess::slot_index(inner),
+            SimulatorTestAccess::slot_index(outer))
+      << "reentrant schedule reused the slot whose callback was running";
+}
+
+TEST(SimulatorTest, CancelledSlotIsRecycledWithFreshTag) {
+  Simulator sim;
+  const EventId first = sim.schedule_after(Duration::millis(5), [] {});
+  ASSERT_TRUE(sim.cancel(first));
+  // The freed slot is recycled immediately; the stale handle must not see
+  // the new occupant.
+  bool fired = false;
+  const EventId second = sim.schedule_after(Duration::millis(5), [&] {
+    fired = true;
+  });
+  ASSERT_EQ(SimulatorTestAccess::slot_index(second),
+            SimulatorTestAccess::slot_index(first))
+      << "free list should hand back the cancelled slot";
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(sim.is_pending(first));
+  EXPECT_FALSE(sim.cancel(first)) << "stale handle must not cancel the reuser";
+  EXPECT_TRUE(sim.is_pending(second));
+  sim.run_all();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, TagWraparoundKeepsRecycledHandlesDistinct) {
+  // Jump the global sequence counter to the edge of the 32-bit tag space:
+  // occupancy tags wrap 0xFFFFFFFF -> 0 across the boundary, and handles for
+  // successive occupancies of the same slot must stay distinct and correct.
+  Simulator sim;
+  SimulatorTestAccess::set_next_seq(sim, 0xFFFFFFFFull);
+  const EventId before = sim.schedule_after(Duration::millis(1), [] {});
+  EXPECT_EQ(SimulatorTestAccess::tag(before), 0xFFFFFFFFu);
+  ASSERT_TRUE(sim.cancel(before));
+  // Reuses the slot with the wrapped tag 0.
+  bool fired = false;
+  const EventId after = sim.schedule_after(Duration::millis(1), [&] {
+    fired = true;
+  });
+  EXPECT_EQ(SimulatorTestAccess::tag(after), 0u);
+  ASSERT_EQ(SimulatorTestAccess::slot_index(after),
+            SimulatorTestAccess::slot_index(before));
+  EXPECT_NE(before, after);
+  EXPECT_FALSE(sim.is_pending(before));
+  EXPECT_FALSE(sim.cancel(before));
+  EXPECT_TRUE(sim.is_pending(after));
+  sim.run_all();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.executed_events(), 1u) << "cancelled event must not fire";
+}
+
+TEST(SimulatorTest, ManyCancelledEventsAreSkippedLazily) {
+  // Interleave live and cancelled events so fire-time settling has to drop
+  // stale heap entries between real ones.
+  Simulator sim;
+  std::vector<int> fired;
+  std::vector<EventId> doomed;
+  for (int i = 0; i < 100; ++i) {
+    if (i % 2 == 0) {
+      sim.schedule_after(Duration::millis(i), [&fired, i] {
+        fired.push_back(i);
+      });
+    } else {
+      doomed.push_back(sim.schedule_after(Duration::millis(i), [] {
+        FAIL() << "cancelled event fired";
+      }));
+    }
+  }
+  for (EventId id : doomed) EXPECT_TRUE(sim.cancel(id));
+  EXPECT_EQ(sim.pending_events(), 50u);
+  sim.run_all();
+  ASSERT_EQ(fired.size(), 50u);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  EXPECT_EQ(sim.executed_events(), 50u);
+}
+
+TEST(SimulatorTest, PastClampLogsAtDebugOncePerLabel) {
+  util::LogCapture capture;  // raises the level to debug
+  Simulator sim;
+  sim.run_for(Duration::seconds(2));
+  const TimePoint past = TimePoint::epoch() + Duration::seconds(1);
+  sim.schedule_at(past, [] {}, "replayed-fault");
+  sim.schedule_at(past, [] {}, "replayed-fault");  // same label: no new line
+  sim.schedule_at(past, [] {}, "other-site");
+  const auto clamp_lines = [&] {
+    return std::count_if(capture.lines().begin(), capture.lines().end(),
+                         [](const std::string& line) {
+                           return line.find("clamped") != std::string::npos;
+                         });
+  };
+  EXPECT_EQ(clamp_lines(), 2) << "one debug line per distinct label";
+  EXPECT_TRUE(capture.contains("replayed-fault"));
+  EXPECT_TRUE(capture.contains("other-site"));
+  sim.run_all();
+  EXPECT_EQ(sim.executed_events(), 3u) << "clamped events still fire";
 }
 
 // ------------------------------------------------------------ periodic ----
