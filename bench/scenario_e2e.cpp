@@ -5,21 +5,26 @@
 // it exercises the schedule/cancel/fire hot path under the real platform
 // workload instead of empty callbacks.
 //
-// Usage: scenario_e2e [--jobs=N] [--seeds=N] [--rounds=N]
-//   --jobs=N    worker-pool width (0 = hardware concurrency, default 1 so
-//               the pinned baseline measures single-thread kernel speed)
-//   --seeds=N   corpus size per round (default 16)
-//   --rounds=N  repetitions; the best round is reported (default 3)
+// Usage: scenario_e2e [--jobs=N] [--seeds=N] [--rounds=N] [--metrics-out=P]
+//   --jobs=N         worker-pool width (0 = hardware concurrency, default 1
+//                    so the pinned baseline measures single-thread speed)
+//   --seeds=N        corpus size per round (default 16)
+//   --rounds=N       repetitions; the best round is reported (default 3)
+//   --metrics-out=P  write the corpus-merged telemetry snapshot (Prometheus
+//                    text) to P — the per-run metrics artifact ci_bench.sh
+//                    archives next to BENCH_core.json
 //
 // Emits one JSON object on stdout so ci_bench.sh can fold the numbers into
 // BENCH_core.json; exits non-zero if any scenario trips an oracle or runs
 // zero events (a perf number from a broken run would be meaningless).
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string_view>
 #include <vector>
 
+#include "obs/export.hpp"
 #include "testing/harness.hpp"
 #include "testing/scenario.hpp"
 #include "util/logging.hpp"
@@ -49,6 +54,7 @@ int main(int argc, char** argv) {
   unsigned jobs = 1;
   std::size_t n_seeds = 16;
   int rounds = 3;
+  std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg.rfind("--jobs=", 0) == 0) {
@@ -57,6 +63,8 @@ int main(int argc, char** argv) {
       n_seeds = flag_value(arg, "--seeds=");
     } else if (arg.rfind("--rounds=", 0) == 0) {
       rounds = static_cast<int>(flag_value(arg, "--rounds="));
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(sizeof("--metrics-out=") - 1);
     } else {
       std::cerr << "unknown flag: " << arg << "\n";
       return 2;
@@ -69,6 +77,7 @@ int main(int argc, char** argv) {
   std::uint64_t events = 0;
   std::size_t captures = 0;
   std::size_t violations = 0;
+  obs::MetricsSnapshot merged;
   for (int r = 0; r < rounds; ++r) {
     const auto t0 = std::chrono::steady_clock::now();
     const auto results = testing::run_corpus(seeds, jobs);
@@ -76,12 +85,27 @@ int main(int argc, char** argv) {
     events = 0;
     captures = 0;
     violations = 0;
+    std::vector<obs::MetricsSnapshot> snaps;
+    snaps.reserve(results.size());
     for (const auto& result : results) {
       events += result.events_executed;
       captures += result.captures;
       violations += result.violations.size();
+      snaps.push_back(result.metrics);
     }
+    // Every round runs the identical corpus, so the merged snapshot is the
+    // same whichever round produced it; keep the last.
+    merged = obs::merge_snapshots(snaps);
     if (wall < best_s) best_s = wall;
+  }
+
+  if (!metrics_out.empty()) {
+    std::ofstream out{metrics_out};
+    if (!out) {
+      std::cerr << "cannot write metrics artifact: " << metrics_out << "\n";
+      return 2;
+    }
+    out << obs::encode_prometheus(merged);
   }
 
   std::cout << "{\n";

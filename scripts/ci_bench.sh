@@ -22,6 +22,7 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --benchmark_report_aggregates_only=true \
   > "$BUILD_DIR/bench_micro.json"
 "$BUILD_DIR"/bench/scenario_e2e --jobs=1 --seeds=24 --rounds=5 \
+  --metrics-out="$BUILD_DIR/BENCH_metrics.prom" \
   > "$BUILD_DIR/bench_e2e.json"
 "$BUILD_DIR"/bench/store_throughput > "$BUILD_DIR/bench_store.json"
 
@@ -31,3 +32,12 @@ python3 scripts/bench_gate.py \
   --e2e "$BUILD_DIR/bench_e2e.json" \
   --store "$BUILD_DIR/bench_store.json" \
   --out "$BUILD_DIR/BENCH_core.json"
+
+# Telemetry drift report: the bench corpus is deterministic, so its merged
+# counter snapshot only moves when the workload itself changes. Informational
+# for now — the artifact ($BUILD_DIR/BENCH_metrics.prom) uploads alongside
+# BENCH_core.json either way.
+python3 scripts/metrics_diff.py \
+  --baseline BENCH_metrics.prom \
+  --current "$BUILD_DIR/BENCH_metrics.prom" \
+  --threshold 10

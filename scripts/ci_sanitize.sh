@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Sanitizer lane: build with ASan+UBSan (BLAB_SANITIZE=ON) and run the DST
-# and capture-store suites, then the store throughput bench. DST digests must
-# come out identical under sanitizers — instrumentation that changes behavior
-# is itself a bug.
+# Sanitizer lane: build with ASan+UBSan (BLAB_SANITIZE=ON) and run the DST,
+# capture-store and telemetry suites, then the store throughput bench. DST
+# digests must come out identical under sanitizers — instrumentation that
+# changes behavior is itself a bug. The obs suite rides along because its
+# concurrency smokes (pooled corpus, multi-thread logging/counters) are
+# exactly what sanitizers are for.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,6 +14,6 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 
 cmake -S . -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DBLAB_SANITIZE=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target blab_dst store_test failure_test store_throughput
-ctest --test-dir "$BUILD_DIR" -L 'dst|store' --output-on-failure
+  --target blab_dst store_test failure_test obs_test store_throughput
+ctest --test-dir "$BUILD_DIR" -L 'dst|store|obs' --output-on-failure
 "$BUILD_DIR"/bench/store_throughput

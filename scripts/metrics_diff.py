@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Diff two Prometheus-text telemetry snapshots from scenario_e2e.
+
+Compares the counter series of a bench run's metrics artifact against the
+pinned baseline and flags any counter whose value moved by more than the
+threshold (percent). The scenario corpus is deterministic, so counters are
+expected to be *identical* run-to-run on the same source tree; a drift means
+the workload itself changed (new events, different retries, altered job
+mix) — exactly the kind of silent behavioural shift a wall-clock-only gate
+misses.
+
+Informational by default (exit 0, report on stdout); --strict exits 1 when
+any counter exceeds the threshold. Gauges and histogram buckets are ignored:
+gauges are point-in-time residue and bucket placement is a tuning choice,
+while counters are the event ledger.
+
+Usage:
+  metrics_diff.py --baseline BENCH_metrics.prom --current out.prom \
+      [--threshold 10] [--strict]
+"""
+
+import argparse
+import sys
+
+
+def parse_counters(path):
+    """Return {series_key: value} for counter-typed series in a prom file."""
+    types = {}
+    values = {}
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split()
+                if len(parts) >= 4:
+                    types[parts[2]] = parts[3]
+                continue
+            if line.startswith("#"):
+                continue
+            # "name{labels} value" or "name value"; value is the last token.
+            key, _, value = line.rpartition(" ")
+            if not key:
+                continue
+            name = key.split("{", 1)[0]
+            if types.get(name) != "counter":
+                continue
+            try:
+                values[key] = float(value)
+            except ValueError:
+                continue
+    return values
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="flag counters that moved more than this percent")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit 1 if any counter exceeds the threshold")
+    args = ap.parse_args()
+
+    base = parse_counters(args.baseline)
+    cur = parse_counters(args.current)
+
+    flagged = []
+    info = []
+    for key in sorted(set(base) | set(cur)):
+        b = base.get(key)
+        c = cur.get(key)
+        if b is None:
+            info.append(f"  new counter: {key} = {c:g}")
+            continue
+        if c is None:
+            flagged.append(f"  counter vanished: {key} (baseline {b:g})")
+            continue
+        if b == c:
+            continue
+        pct = abs(c - b) / b * 100.0 if b != 0 else float("inf")
+        line = f"  {key}: {b:g} -> {c:g} ({pct:+.1f}%)"
+        if pct > args.threshold:
+            flagged.append(line)
+        else:
+            info.append(line)
+
+    print(f"metrics_diff: {len(base)} baseline / {len(cur)} current counter "
+          f"series, threshold {args.threshold:g}%")
+    if info:
+        print(f"within threshold ({len(info)}):")
+        for line in info:
+            print(line)
+    if flagged:
+        print(f"FLAGGED — moved more than {args.threshold:g}% "
+              f"({len(flagged)}):")
+        for line in flagged:
+            print(line)
+        if args.strict:
+            return 1
+        print("(informational: pass --strict to fail the lane on this)")
+    else:
+        print("no counters above threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,7 @@
 #include "controller/rest_backend.hpp"
 
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "util/strings.hpp"
 
 namespace blab::controller {
@@ -8,6 +10,21 @@ RestBackend::RestBackend(net::Network& net, std::string host, int port)
     : net_{net}, addr_{std::move(host), port} {
   net_.add_host(addr_.host);
   net_.listen(addr_, [this](const net::Message& m) { on_message(m); });
+  requests_counter_ =
+      &net_.simulator().metrics().counter("blab_rest_requests_total");
+  // Built-in observability surface: GET /metrics serves the deployment's
+  // registry (Prometheus text by default, "?format=json" for the JSON
+  // snapshot). Registered here so every backend exposes it without the
+  // vantage point having to wire anything.
+  register_endpoint("metrics", [this](const std::string& query) {
+    auto snap = net_.simulator().metrics().snapshot();
+    const auto params = parse_query(query);
+    const auto format = params.find("format");
+    if (format != params.end() && format->second == "json") {
+      return util::Result<std::string>{obs::encode_json(snap)};
+    }
+    return util::Result<std::string>{obs::encode_prometheus(snap)};
+  });
 }
 
 RestBackend::~RestBackend() { net_.unlisten(addr_); }
@@ -36,6 +53,7 @@ util::Result<std::string> RestBackend::call(const std::string& name,
                             "no endpoint /" + name);
   }
   ++requests_;
+  requests_counter_->inc();
   return it->second(query);
 }
 

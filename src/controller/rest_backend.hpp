@@ -13,6 +13,10 @@
 #include "net/network.hpp"
 #include "util/result.hpp"
 
+namespace blab::obs {
+class Counter;
+}  // namespace blab::obs
+
 namespace blab::controller {
 
 /// Handler receives the query string (e.g. "device_id=J7DUO1") and returns
@@ -48,6 +52,7 @@ class RestBackend {
   net::Address addr_;
   std::map<std::string, RestHandler> handlers_;
   std::uint64_t requests_ = 0;
+  obs::Counter* requests_counter_ = nullptr;
 };
 
 /// Parse "k1=v1&k2=v2" into a map (no URL decoding needed in simulation).

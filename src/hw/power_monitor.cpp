@@ -5,6 +5,8 @@
 #include <limits>
 #include <span>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/logging.hpp"
 
 namespace blab::hw {
@@ -81,7 +83,24 @@ util::Cdf Capture::current_cdf(std::size_t stride) const {
 }
 
 PowerMonitor::PowerMonitor(sim::Simulator& sim, util::Rng rng, MonsoonSpec spec)
-    : sim_{sim}, rng_{std::move(rng)}, spec_{spec} {}
+    : sim_{sim}, rng_{std::move(rng)}, spec_{spec} {
+  obs::MetricsRegistry& m = sim_.metrics();
+  metrics_.samples = &m.counter("blab_monsoon_samples_synthesized_total");
+  metrics_.captures = &m.counter("blab_monsoon_captures_total");
+  metrics_.captures_aborted = &m.counter("blab_monsoon_captures_aborted_total");
+  metrics_.overcurrent_clamps =
+      &m.counter("blab_monsoon_clamp_events_total", {{"kind", "overcurrent"}});
+  metrics_.negative_clamps =
+      &m.counter("blab_monsoon_clamp_events_total", {{"kind", "negative"}});
+  metrics_.calibrations = &m.counter("blab_monsoon_calibrations_total");
+  metrics_.calibration_resets =
+      &m.counter("blab_monsoon_calibration_resets_total");
+}
+
+void PowerMonitor::reset_calibration() {
+  gain_correction_ = 1.0;
+  if (metrics_.calibration_resets != nullptr) metrics_.calibration_resets->inc();
+}
 
 void PowerMonitor::set_mains(bool on) {
   if (mains_ == on) return;
@@ -89,6 +108,7 @@ void PowerMonitor::set_mains(bool on) {
   if (!on && capturing_) {
     BLAB_WARN("monsoon", "mains lost mid-capture; capture aborted");
     capturing_ = false;
+    metrics_.captures_aborted->inc();
   }
   if (!on) voltage_ = 0.0;  // output stage resets on power loss
 }
@@ -136,7 +156,10 @@ util::Result<Capture> PowerMonitor::stop_capture() {
                             "no capture running");
   }
   capturing_ = false;
+  obs::ScopedSpan span{&sim_.tracer(), "monsoon", "synthesize_capture"};
   ++captures_taken_;
+  const std::uint64_t oc_before = overcurrent_events_;
+  const std::uint64_t neg_before = negative_clamp_events_;
   const TimePoint t0 = capture_start_;
   const TimePoint t1 = sim_.now();
   const auto n = static_cast<std::size_t>(
@@ -196,7 +219,10 @@ util::Result<Capture> PowerMonitor::stop_capture() {
     rng_.fill_normal(std::span<double>{noise, len}, 0.0, spec_.noise_sigma_ma);
     for (std::size_t k = 0; k < len; ++k) {
       double measured = base[k] + noise[k];
-      if (measured < 0.0) measured = 0.0;
+      if (measured < 0.0) {
+        measured = 0.0;
+        ++negative_clamp_events_;
+      }
       if (measured > spec_.max_current_ma) {
         measured = spec_.max_current_ma;
         ++overcurrent_events_;
@@ -214,6 +240,14 @@ util::Result<Capture> PowerMonitor::stop_capture() {
     stats.mean_ma = mean_sum.value() / static_cast<double>(n);
     stats.min_ma = static_cast<double>(lo);
     stats.max_ma = static_cast<double>(hi);
+  }
+  metrics_.captures->inc();
+  metrics_.samples->inc(n);
+  if (overcurrent_events_ > oc_before) {
+    metrics_.overcurrent_clamps->inc(overcurrent_events_ - oc_before);
+  }
+  if (negative_clamp_events_ > neg_before) {
+    metrics_.negative_clamps->inc(negative_clamp_events_ - neg_before);
   }
   return Capture{t0, spec_.sample_hz, voltage_, std::move(samples), stats};
 }
@@ -239,6 +273,7 @@ util::Status PowerMonitor::calibrate_against(double reference_ma,
                             "no current flowing through the reference load");
   }
   gain_correction_ *= reference_ma / measured;
+  metrics_.calibrations->inc();
   return util::Status::ok_status();
 }
 

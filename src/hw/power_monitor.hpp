@@ -20,6 +20,10 @@
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
+namespace blab::obs {
+class Counter;
+}  // namespace blab::obs
+
 namespace blab::hw {
 
 struct MonsoonSpec {
@@ -121,9 +125,12 @@ class PowerMonitor {
   util::Status calibrate_against(double reference_ma,
                                  Duration window = Duration::seconds(2));
   double gain_correction() const { return gain_correction_; }
-  void reset_calibration() { gain_correction_ = 1.0; }
+  void reset_calibration();
 
   std::uint64_t overcurrent_events() const { return overcurrent_events_; }
+  std::uint64_t negative_clamp_events() const {
+    return negative_clamp_events_;
+  }
   std::uint64_t captures_taken() const { return captures_taken_; }
 
  private:
@@ -137,7 +144,21 @@ class PowerMonitor {
   TimePoint capture_start_;
   double gain_correction_ = 1.0;
   std::uint64_t overcurrent_events_ = 0;
+  std::uint64_t negative_clamp_events_ = 0;
   std::uint64_t captures_taken_ = 0;
+  /// Registry instruments, resolved once against sim_.metrics(). The
+  /// synthesis hot loop accumulates into locals and publishes once per
+  /// capture, so instrumenting costs nothing per sample.
+  struct Metrics {
+    obs::Counter* samples = nullptr;
+    obs::Counter* captures = nullptr;
+    obs::Counter* captures_aborted = nullptr;
+    obs::Counter* overcurrent_clamps = nullptr;
+    obs::Counter* negative_clamps = nullptr;
+    obs::Counter* calibrations = nullptr;
+    obs::Counter* calibration_resets = nullptr;
+  };
+  Metrics metrics_;
 };
 
 }  // namespace blab::hw

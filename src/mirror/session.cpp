@@ -1,6 +1,7 @@
 #include "mirror/session.hpp"
 
 #include "device/hid_service.hpp"
+#include "obs/metrics.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 
@@ -28,7 +29,15 @@ MirroringSession::MirroringSession(controller::Controller& ctrl,
       timings_{timings},
       rng_{util::fnv1a("mirror-session/" + device.serial())},
       sink_addr_{ctrl.host(), kFrameSinkPort},
-      hid_addr_{ctrl.host(), kFrameSinkPort + 2} {}
+      hid_addr_{ctrl.host(), kFrameSinkPort + 2} {
+  obs::MetricsRegistry& m = ctrl_.simulator().metrics();
+  metrics_.sessions_started = &m.counter("blab_mirror_sessions_started_total");
+  metrics_.sessions_stopped = &m.counter("blab_mirror_sessions_stopped_total");
+  metrics_.frames = &m.counter("blab_mirror_frames_total");
+  metrics_.bytes = &m.counter("blab_mirror_bytes_total");
+  metrics_.session_seconds = &m.histogram(
+      "blab_mirror_session_seconds", {1.0, 10.0, 60.0, 300.0, 900.0, 3600.0});
+}
 
 bool MirroringSession::is_ios() const {
   return device_.spec().platform == device::Platform::kIos;
@@ -129,13 +138,18 @@ util::Status MirroringSession::start() {
   ctrl_.resources().register_service("novnc", novnc_svc);
 
   active_ = true;
-  BLAB_INFO("mirror", "session started for " << device_.serial());
+  started_at_ = ctrl_.simulator().now();
+  metrics_.sessions_started->inc();
+  BLAB_INFO_KV("mirror", "session started", {"device", device_.serial()});
   return util::Status::ok_status();
 }
 
 void MirroringSession::stop() {
   if (!active_) return;
   active_ = false;
+  metrics_.sessions_stopped->inc();
+  metrics_.session_seconds->observe(
+      (ctrl_.simulator().now() - started_at_).to_seconds());
   ctrl_.resources().unregister_service("scrcpy-recv");
   ctrl_.resources().unregister_service("vnc");
   ctrl_.resources().unregister_service("novnc");
@@ -168,6 +182,8 @@ void MirroringSession::on_frame(const net::Message& msg) {
   if (msg.tag == "scrcpy.frame" || msg.tag == "airplay.frame") {
     ++frames_received_;
     bytes_received_ += msg.size();
+    metrics_.frames->inc();
+    metrics_.bytes->inc(msg.size());
     FramebufferUpdate update;
     update.sequence = vnc_.version() + 1;
     update.encoded_bytes = msg.size();
@@ -178,6 +194,8 @@ void MirroringSession::on_frame(const net::Message& msg) {
   if (msg.tag == "scrcpy.frame.probe") {
     ++frames_received_;
     bytes_received_ += msg.size();
+    metrics_.frames->inc();
+    metrics_.bytes->inc(msg.size());
     const std::uint64_t id = std::stoull(msg.payload);
     // VNC processes the update, then the gateway relays it to the viewer.
     ctrl_.simulator().schedule_after(

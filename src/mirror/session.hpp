@@ -24,6 +24,11 @@
 #include "mirror/vnc.hpp"
 #include "util/result.hpp"
 
+namespace blab::obs {
+class Counter;
+class Histogram;
+}  // namespace blab::obs
+
 namespace blab::mirror {
 
 struct MirrorTimings {
@@ -101,6 +106,17 @@ class MirroringSession {
   bool active_ = false;
   std::uint64_t frames_received_ = 0;
   std::uint64_t bytes_received_ = 0;
+  util::TimePoint started_at_;
+
+  /// Registry instruments (ctrl_.simulator().metrics()), cached once.
+  struct Metrics {
+    obs::Counter* sessions_started = nullptr;
+    obs::Counter* sessions_stopped = nullptr;
+    obs::Counter* frames = nullptr;
+    obs::Counter* bytes = nullptr;
+    obs::Histogram* session_seconds = nullptr;
+  };
+  Metrics metrics_;
 
   std::uint64_t next_probe_id_ = 1;
 };

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/logging.hpp"
 
 namespace blab::net {
@@ -41,6 +42,7 @@ Flow::~Flow() {
 void Flow::start() {
   started_flag_ = true;
   started_ = net_.simulator().now();
+  net_.simulator().metrics().counter("blab_net_flows_started_total").inc();
   cwnd_ = static_cast<double>(options_.init_cwnd_segments);
 
   // Receiver: advance the contiguous-receive point, reply with cumulative
@@ -154,6 +156,14 @@ void Flow::finish(bool success) {
   if (result_.elapsed > Duration::zero()) {
     result_.throughput_mbps = static_cast<double>(total_bytes_) * 8.0 /
                               result_.elapsed.to_seconds() / 1e6;
+  }
+  obs::MetricsRegistry& m = net_.simulator().metrics();
+  m.counter("blab_net_flows_completed_total",
+            {{"result", success ? "success" : "failure"}})
+      .inc();
+  if (retransmissions_ > 0) {
+    m.counter("blab_net_flow_retransmissions_total")
+        .inc(static_cast<std::uint64_t>(retransmissions_));
   }
   if (on_done_) on_done_(result_);
 }

@@ -4,12 +4,18 @@
 #include <deque>
 #include <queue>
 
+#include "obs/metrics.hpp"
 #include "util/logging.hpp"
 
 namespace blab::net {
 
 Network::Network(sim::Simulator& sim, std::uint64_t seed)
-    : sim_{sim}, rng_{seed} {}
+    : sim_{sim}, rng_{seed} {
+  obs::MetricsRegistry& m = sim_.metrics();
+  metrics_.delivered = &m.counter("blab_net_messages_delivered_total");
+  metrics_.dropped = &m.counter("blab_net_messages_dropped_total");
+  metrics_.bytes_delivered = &m.counter("blab_net_bytes_delivered_total");
+}
 
 void Network::add_host(const std::string& name) {
   adjacency_.try_emplace(name);
@@ -154,6 +160,7 @@ util::Status Network::send(Message msg) {
     const Transit transit = link->send(route[i], bytes, sim_.now() + total, rng_);
     if (transit.dropped) {
       ++dropped_;
+      metrics_.dropped->inc();
       return util::Status::ok_status();  // lost in transit, like UDP
     }
     total += transit.delay;
@@ -169,6 +176,8 @@ util::Status Network::send(Message msg) {
     rx.bytes_rx += bytes;
     ++rx.msgs_rx;
     ++delivered_;
+    metrics_.delivered->inc();
+    metrics_.bytes_delivered->inc(bytes);
     // Copy before invoking: handlers may unlisten (destroy) themselves.
     const MessageHandler handler = it->second;
     handler(msg);

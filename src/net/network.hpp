@@ -20,6 +20,10 @@
 #include "util/result.hpp"
 #include "util/rng.hpp"
 
+namespace blab::obs {
+class Counter;
+}  // namespace blab::obs
+
 namespace blab::net {
 
 struct Message {
@@ -109,6 +113,13 @@ class Network {
   std::uint64_t next_msg_id_ = 1;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  /// Registry instruments (sim_.metrics()), cached at construction.
+  struct Metrics {
+    obs::Counter* delivered = nullptr;
+    obs::Counter* dropped = nullptr;
+    obs::Counter* bytes_delivered = nullptr;
+  };
+  Metrics metrics_;
 };
 
 }  // namespace blab::net

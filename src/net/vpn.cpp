@@ -1,5 +1,6 @@
 #include "net/vpn.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/strings.hpp"
 
 namespace blab::net {
@@ -73,6 +74,9 @@ util::Status VpnProvider::connect(const std::string& client_host,
     return st;
   }
   active_[client_host] = loc->country;
+  obs::MetricsRegistry& m = net_.simulator().metrics();
+  m.counter("blab_vpn_connects_total", {{"country", loc->country}}).inc();
+  m.gauge("blab_vpn_active_tunnels").set(static_cast<double>(active_.size()));
   return util::Status::ok_status();
 }
 
@@ -81,6 +85,9 @@ util::Status VpnProvider::disconnect(const std::string& client_host) {
     return util::make_error(util::ErrorCode::kNotFound,
                             client_host + " has no active tunnel");
   }
+  obs::MetricsRegistry& m = net_.simulator().metrics();
+  m.counter("blab_vpn_disconnects_total").inc();
+  m.gauge("blab_vpn_active_tunnels").set(static_cast<double>(active_.size()));
   return net_.set_gateway(client_host, "");
 }
 

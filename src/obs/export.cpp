@@ -1,0 +1,199 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+
+#include "util/strings.hpp"
+
+namespace blab::obs {
+namespace {
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+std::string render_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool sep = false;
+  for (const Label& l : labels) {
+    if (sep) out += ',';
+    sep = true;
+    out += l.key;
+    out += "=\"";
+    out += l.value;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string render_labels_with(const Labels& labels, std::string_view key,
+                               std::string_view value) {
+  std::string out = "{";
+  bool sep = false;
+  for (const Label& l : labels) {
+    if (sep) out += ',';
+    sep = true;
+    out += l.key;
+    out += "=\"";
+    out += l.value;
+    out += '"';
+  }
+  if (sep) out += ',';
+  out += std::string{key} + "=\"" + std::string{value} + "\"";
+  out += '}';
+  return out;
+}
+
+std::string json_string(std::string_view s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string format_metric_value(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  return util::format_double(v, 6);
+}
+
+std::string encode_prometheus(const MetricsSnapshot& snap) {
+  std::string out;
+  std::string last_name;
+  for (const SeriesSnapshot& s : snap.series) {
+    if (s.name != last_name) {
+      out += "# TYPE " + s.name + " " + kind_name(s.kind) + "\n";
+      last_name = s.name;
+    }
+    switch (s.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        out += s.name + render_labels(s.labels) + " " +
+               format_metric_value(s.value) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+          cumulative += s.buckets[i];
+          out += s.name + "_bucket" +
+                 render_labels_with(s.labels, "le",
+                                    format_metric_value(s.bounds[i])) +
+                 " " + std::to_string(cumulative) + "\n";
+        }
+        cumulative += s.buckets.empty() ? 0 : s.buckets.back();
+        out += s.name + "_bucket" +
+               render_labels_with(s.labels, "le", "+Inf") + " " +
+               std::to_string(cumulative) + "\n";
+        out += s.name + "_sum" + render_labels(s.labels) + " " +
+               format_metric_value(s.sum) + "\n";
+        out += s.name + "_count" + render_labels(s.labels) + " " +
+               std::to_string(s.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string encode_json(const MetricsSnapshot& snap) {
+  std::string out = "{\"series\":[";
+  bool sep = false;
+  for (const SeriesSnapshot& s : snap.series) {
+    if (sep) out += ',';
+    sep = true;
+    out += "{\"name\":" + json_string(s.name) + ",\"kind\":\"" +
+           kind_name(s.kind) + "\",\"labels\":{";
+    bool lsep = false;
+    for (const Label& l : s.labels) {
+      if (lsep) out += ',';
+      lsep = true;
+      out += json_string(l.key) + ":" + json_string(l.value);
+    }
+    out += "}";
+    switch (s.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        out += ",\"value\":" + format_metric_value(s.value);
+        break;
+      case MetricKind::kHistogram: {
+        out += ",\"bounds\":[";
+        for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+          if (i > 0) out += ',';
+          out += format_metric_value(s.bounds[i]);
+        }
+        out += "],\"buckets\":[";
+        for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+          if (i > 0) out += ',';
+          out += std::to_string(s.buckets[i]);
+        }
+        out += "],\"count\":" + std::to_string(s.count) +
+               ",\"sum\":" + format_metric_value(s.sum);
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& snaps) {
+  // Keyed map keeps the merged output in the same sorted order as a
+  // registry snapshot.
+  std::map<std::string, SeriesSnapshot> merged;
+  for (const MetricsSnapshot& snap : snaps) {
+    for (const SeriesSnapshot& s : snap.series) {
+      const std::string key = series_key(s.name, s.labels);
+      auto it = merged.find(key);
+      if (it == merged.end()) {
+        merged.emplace(key, s);
+        continue;
+      }
+      SeriesSnapshot& dst = it->second;
+      if (dst.kind != s.kind) continue;  // mismatched; keep first
+      switch (s.kind) {
+        case MetricKind::kCounter: dst.value += s.value; break;
+        case MetricKind::kGauge:
+          if (s.value != 0.0) dst.value = s.value;
+          break;
+        case MetricKind::kHistogram:
+          if (dst.bounds == s.bounds) {
+            for (std::size_t i = 0; i < dst.buckets.size(); ++i) {
+              dst.buckets[i] += s.buckets[i];
+            }
+            dst.count += s.count;
+            dst.sum += s.sum;
+          }
+          break;
+      }
+    }
+  }
+  MetricsSnapshot out;
+  out.series.reserve(merged.size());
+  for (auto& [key, s] : merged) out.series.push_back(std::move(s));
+  return out;
+}
+
+}  // namespace blab::obs

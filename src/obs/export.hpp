@@ -1,0 +1,32 @@
+// Snapshot encoders: Prometheus text exposition and a JSON document.
+//
+// Both encoders are deterministic given a snapshot: series arrive sorted
+// from MetricsRegistry::snapshot() and numbers are formatted with a fixed
+// rule (integral values print as integers, everything else with six decimal
+// places), so byte-identical snapshots encode to byte-identical text — the
+// property the DST determinism check asserts on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace blab::obs {
+
+/// Prometheus text exposition format v0.0.4: `# TYPE` lines, cumulative
+/// `le`-bucketed histograms with `_bucket`/`_sum`/`_count`.
+std::string encode_prometheus(const MetricsSnapshot& snap);
+
+/// One JSON object: {"series":[{"name":..,"labels":{..},"kind":..,..}]}.
+std::string encode_json(const MetricsSnapshot& snap);
+
+/// Sum counters and histogram buckets across snapshots; gauges keep the
+/// last non-default value seen. Used to fold a corpus of per-seed snapshots
+/// into one bench artifact.
+MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& snaps);
+
+/// Deterministic number rendering shared by both encoders.
+std::string format_metric_value(double v);
+
+}  // namespace blab::obs

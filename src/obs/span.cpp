@@ -1,0 +1,54 @@
+#include "obs/span.hpp"
+
+#include <utility>
+
+namespace blab::obs {
+
+Tracer::Tracer(std::function<std::int64_t()> clock, std::size_t max_spans)
+    : clock_{std::move(clock)}, max_spans_{max_spans} {}
+
+std::uint64_t Tracer::begin(std::string_view component, std::string_view name) {
+  Open o;
+  o.record.id = next_id_++;
+  o.record.parent = open_.empty() ? 0 : open_.back().record.id;
+  o.record.depth = static_cast<std::uint32_t>(open_.size());
+  o.record.component = std::string{component};
+  o.record.name = std::string{name};
+  o.record.start_us = clock_();
+  open_.push_back(std::move(o));
+  return open_.back().record.id;
+}
+
+void Tracer::end(std::uint64_t id) {
+  const std::int64_t now = clock_();
+  while (!open_.empty()) {
+    Open o = std::move(open_.back());
+    open_.pop_back();
+    const bool match = o.record.id == id;
+    o.record.end_us = now;
+    if (finished_.size() < max_spans_) {
+      finished_.push_back(std::move(o.record));
+    } else {
+      ++dropped_;
+    }
+    if (match) return;
+  }
+}
+
+void Tracer::clear() {
+  open_.clear();
+  finished_.clear();
+  dropped_ = 0;
+  next_id_ = 1;
+}
+
+void Tracer::write_jsonl(std::ostream& out) const {
+  for (const SpanRecord& s : finished_) {
+    out << "{\"id\":" << s.id << ",\"parent\":" << s.parent
+        << ",\"depth\":" << s.depth << ",\"component\":\"" << s.component
+        << "\",\"name\":\"" << s.name << "\",\"start_us\":" << s.start_us
+        << ",\"end_us\":" << s.end_us << "}\n";
+  }
+}
+
+}  // namespace blab::obs

@@ -1,0 +1,94 @@
+// Sim-time component spans.
+//
+// A span is a named, nested interval of simulated time attributed to a
+// component ("scheduler", "store", ...). Spans are stamped from the owning
+// Simulator's clock (injected as a plain microseconds callback so obs does
+// not depend on sim), never from the wall clock — a traced DST run produces
+// the same spans every time.
+//
+// Usage:
+//   obs::ScopedSpan span{&sim.tracer(), "scheduler", "run_job"};
+//   ... do work; nested ScopedSpans become children ...
+//
+// The tracer keeps a bounded in-memory buffer of finished spans (newest
+// dropped past the cap, with a counter) and can export them as JSONL for
+// offline inspection.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace blab::obs {
+
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  ///< 0 = root
+  std::uint32_t depth = 0;
+  std::string component;
+  std::string name;
+  std::int64_t start_us = 0;
+  std::int64_t end_us = 0;
+
+  std::int64_t duration_us() const { return end_us - start_us; }
+};
+
+class Tracer {
+ public:
+  /// `clock` returns the current simulated time in microseconds.
+  explicit Tracer(std::function<std::int64_t()> clock,
+                  std::size_t max_spans = 65536);
+
+  /// Open a span; returns its id. Nests under the currently open span.
+  std::uint64_t begin(std::string_view component, std::string_view name);
+  /// Close the most recently opened span with this id (spans close LIFO;
+  /// closing out of order closes everything above it too).
+  void end(std::uint64_t id);
+
+  const std::vector<SpanRecord>& spans() const { return finished_; }
+  std::size_t open_depth() const { return open_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+  void clear();
+
+  /// One JSON object per line: {"id":..,"parent":..,"depth":..,
+  /// "component":"..","name":"..","start_us":..,"end_us":..}
+  void write_jsonl(std::ostream& out) const;
+
+ private:
+  struct Open {
+    SpanRecord record;
+  };
+
+  std::function<std::int64_t()> clock_;
+  std::size_t max_spans_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t dropped_ = 0;
+  std::vector<Open> open_;
+  std::vector<SpanRecord> finished_;
+};
+
+/// RAII span. Tolerates a null tracer (spans become no-ops), so call sites
+/// do not need to guard on telemetry being wired up.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, std::string_view component, std::string_view name)
+      : tracer_{tracer} {
+    if (tracer_ != nullptr) id_ = tracer_->begin(component, name);
+  }
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) tracer_->end(id_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  std::uint64_t id() const { return id_; }
+
+ private:
+  Tracer* tracer_;
+  std::uint64_t id_ = 0;
+};
+
+}  // namespace blab::obs

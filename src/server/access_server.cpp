@@ -1,5 +1,7 @@
 #include "server/access_server.hpp"
 
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "util/logging.hpp"
 
 namespace blab::server {
@@ -17,6 +19,11 @@ AccessServer::AccessServer(sim::Simulator& sim, net::Network& net,
   net_.add_host(host_);
   (void)certs_.issue(sim_.now());
   scheduler_.attach_capture_store(&capture_store_);
+  capture_store_.attach_metrics(&sim_.metrics());
+}
+
+std::string AccessServer::metrics_text() const {
+  return obs::encode_prometheus(sim_.metrics().snapshot());
 }
 
 void AccessServer::enable_credit_enforcement(CreditPolicy policy) {

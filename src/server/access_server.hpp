@@ -70,6 +70,10 @@ class AccessServer {
   util::Result<net::SshCommandResult> ssh_exec(const std::string& label,
                                                const std::string& command);
 
+  /// Prometheus text dump of this deployment's metrics registry — the
+  /// operator-facing equivalent of the controller's GET /metrics.
+  std::string metrics_text() const;
+
   /// Schedule a recurring (Jenkins-cron-style) job: every `period`, the
   /// generator's job is submitted pre-approved and dispatched. This is how
   /// the standing maintenance jobs of §3.1 actually run. Returns a handle

@@ -2,12 +2,31 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/logging.hpp"
 
 namespace blab::server {
 
 Scheduler::Scheduler(sim::Simulator& sim, VantagePointRegistry& registry)
-    : sim_{sim}, registry_{registry} {}
+    : sim_{sim}, registry_{registry} {
+  obs::MetricsRegistry& m = sim_.metrics();
+  metrics_.submitted = &m.counter("blab_scheduler_jobs_submitted_total");
+  metrics_.dispatched = &m.counter("blab_scheduler_jobs_dispatched_total");
+  metrics_.succeeded = &m.counter("blab_scheduler_jobs_finished_total",
+                                  {{"result", "succeeded"}});
+  metrics_.failed = &m.counter("blab_scheduler_jobs_finished_total",
+                               {{"result", "failed"}});
+  metrics_.aborted = &m.counter("blab_scheduler_jobs_aborted_total");
+  metrics_.queue_depth = &m.gauge("blab_scheduler_queue_depth");
+  metrics_.running = &m.gauge("blab_scheduler_jobs_running");
+  metrics_.queue_wait = &m.histogram(
+      "blab_scheduler_queue_wait_seconds",
+      {0.1, 1.0, 5.0, 15.0, 60.0, 300.0, 900.0});
+  metrics_.run_duration = &m.histogram(
+      "blab_scheduler_run_duration_seconds",
+      {1.0, 5.0, 15.0, 60.0, 120.0, 300.0, 600.0});
+}
 
 JobId Scheduler::submit(Job job) {
   job.id = ids_.next();
@@ -15,6 +34,8 @@ JobId Scheduler::submit(Job job) {
   job.queued_at = sim_.now();
   const JobId id = job.id;
   jobs_.push_back(std::make_unique<Job>(std::move(job)));
+  metrics_.submitted->inc();
+  metrics_.queue_depth->add(1.0);
   return id;
 }
 
@@ -37,6 +58,8 @@ util::Status Scheduler::abort(JobId id) {
                             "only queued jobs can be aborted");
   }
   job->state = JobState::kAborted;
+  metrics_.aborted->inc();
+  metrics_.queue_depth->add(-1.0);
   return util::Status::ok_status();
 }
 
@@ -138,15 +161,31 @@ std::size_t Scheduler::dispatch_pending() {
   return dispatched;
 }
 
+void Scheduler::note_finished(const Job& job) {
+  metrics_.running->add(-1.0);
+  (job.state == JobState::kSucceeded ? metrics_.succeeded : metrics_.failed)
+      ->inc();
+  metrics_.run_duration->observe(
+      (job.finished_at - job.started_at).to_seconds());
+}
+
 void Scheduler::run_job(Job& job, const Assignment& assignment) {
+  obs::ScopedSpan span{&sim_.tracer(), "scheduler", "run_job"};
   job.state = JobState::kRunning;
   job.started_at = sim_.now();
+  metrics_.dispatched->inc();
+  metrics_.queue_depth->add(-1.0);
+  metrics_.running->add(1.0);
+  metrics_.queue_wait->observe((job.started_at - job.queued_at).to_seconds());
+  sim_.metrics()
+      .counter("blab_scheduler_node_jobs_total", {{"vp", assignment.node_label}})
+      .inc();
   if (!assignment.device_serial.empty()) {
     busy_devices_.insert(assignment.device_serial);
   }
-  BLAB_INFO("scheduler", "job " << job.id.str() << " (" << job.name
-                                << ") starts on " << assignment.node_label
-                                << "/" << assignment.device_serial);
+  BLAB_INFO_KV("scheduler", "job starts", {"job", job.id.str()},
+               {"name", job.name}, {"vp", assignment.node_label},
+               {"device", assignment.device_serial});
 
   api::BatteryLabApi api{*assignment.vp};
   if (capture_store_ != nullptr) {
@@ -168,6 +207,7 @@ void Scheduler::run_job(Job& job, const Assignment& assignment) {
       job.failure_reason = "vpn: " + st.error().str();
       job.finished_at = sim_.now();
       busy_devices_.erase(assignment.device_serial);
+      note_finished(job);
       return;
     }
   }
@@ -214,9 +254,10 @@ void Scheduler::run_job(Job& job, const Assignment& assignment) {
     job.failure_reason = result.error().str();
   }
   busy_devices_.erase(assignment.device_serial);
+  note_finished(job);
   settle_credits(job, assignment);
-  BLAB_INFO("scheduler", "job " << job.id.str() << " "
-                                << job_state_name(job.state));
+  BLAB_INFO_KV("scheduler", "job finished", {"job", job.id.str()},
+               {"state", job_state_name(job.state)});
 }
 
 Job* Scheduler::find(JobId id) {

@@ -21,6 +21,12 @@
 #include "sim/simulator.hpp"
 #include "store/capture_store.hpp"
 
+namespace blab::obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace blab::obs
+
 namespace blab::server {
 
 class Scheduler {
@@ -87,8 +93,23 @@ class Scheduler {
   bool device_matches(api::VantagePoint& vp, const std::string& serial,
                       const JobConstraints& constraints) const;
   void run_job(Job& job, const Assignment& assignment);
+  void note_finished(const Job& job);
 
   sim::Simulator& sim_;
+  /// Instruments resolved once against sim_.metrics(); hot paths hit the
+  /// cached pointers without touching the registry lock.
+  struct Metrics {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* dispatched = nullptr;
+    obs::Counter* succeeded = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Counter* aborted = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Gauge* running = nullptr;
+    obs::Histogram* queue_wait = nullptr;   ///< seconds queued -> running
+    obs::Histogram* run_duration = nullptr; ///< seconds running -> finished
+  };
+  Metrics metrics_;
   VantagePointRegistry& registry_;
   net::VpnProvider* vpn_ = nullptr;
   store::CaptureStore* capture_store_ = nullptr;

@@ -3,9 +3,37 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/logging.hpp"
 
 namespace blab::sim {
+
+Simulator::Simulator()
+    : metrics_{std::make_unique<obs::MetricsRegistry>()},
+      tracer_{std::make_unique<obs::Tracer>([this] { return now_.us(); })} {
+  // Kernel self-metrics ride a snapshot-time collector instead of hot-path
+  // increments: the kernel keeps plain members, and snapshot() publishes the
+  // delta since the previous snapshot into the registry counters.
+  metrics_->add_collector([this] {
+    obs::MetricsRegistry& m = *metrics_;
+    m.counter("blab_sim_events_dispatched_total")
+        .inc(executed_ - published_.dispatched);
+    published_.dispatched = executed_;
+    m.counter("blab_sim_lazy_cancel_skips_total")
+        .inc(stale_skipped_ - published_.stale_skipped);
+    published_.stale_skipped = stale_skipped_;
+    m.counter("blab_sim_past_clamp_events_total")
+        .inc(clamp_events_ - published_.clamps);
+    published_.clamps = clamp_events_;
+    m.gauge("blab_sim_heap_high_water").set(
+        static_cast<double>(heap_high_water_));
+    m.gauge("blab_sim_pending_events").set(static_cast<double>(live_count_));
+    m.gauge("blab_sim_now_seconds").set(static_cast<double>(now_.us()) / 1e6);
+  });
+}
+
+Simulator::~Simulator() = default;
 
 EventId Simulator::schedule_impl(TimePoint t, InlineCallback cb,
                                  std::string label) {
@@ -87,6 +115,7 @@ bool Simulator::settle_top() {
     if (slot.in_use && slot.tag == top.seq32) return true;
     heap_pop();  // cancelled slot: drop the stale entry
     --stale_entries_;
+    ++stale_skipped_;
   }
   return false;
 }
@@ -143,6 +172,7 @@ std::size_t Simulator::run_all(std::size_t max_events) {
 
 void Simulator::heap_push(HeapEntry entry) {
   heap_.push_back(entry);
+  if (heap_.size() > heap_high_water_) heap_high_water_ = heap_.size();
   std::size_t i = heap_.size() - 1;
   while (i > 0) {
     const std::size_t parent = (i - 1) >> 2;
@@ -175,11 +205,13 @@ void Simulator::heap_pop() {
 }
 
 void Simulator::note_clamped(TimePoint t, const std::string& label) {
+  ++clamp_events_;
   // Documented contract: past timestamps clamp to now(). Surface each
-  // mis-ordered call site once, and only when someone is listening at debug
-  // level, so the bookkeeping set cannot grow in production runs.
+  // mis-ordered call site once (OncePerKey rate limiter), and only when
+  // someone is listening at debug level, so the bookkeeping set cannot grow
+  // in production runs.
   if (!util::Logger::global().enabled(util::LogLevel::kDebug)) return;
-  if (!clamp_logged_.insert(label).second) return;
+  if (!clamp_logged_.first(label)) return;
   BLAB_DEBUG("sim", "schedule_at past timestamp "
                         << util::to_string(t) << " clamped to now="
                         << util::to_string(now_) << " (label '" << label

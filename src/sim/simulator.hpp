@@ -19,11 +19,16 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/callback.hpp"
+#include "util/logging.hpp"
 #include "util/time.hpp"
+
+namespace blab::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace blab::obs
 
 namespace blab::sim {
 
@@ -50,11 +55,22 @@ class Simulator {
   using TraceHook =
       std::function<void(TimePoint, std::uint64_t, const std::string&)>;
 
-  Simulator() = default;
+  Simulator();
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   TimePoint now() const { return now_; }
+
+  /// Per-deployment telemetry. Every component holding a Simulator& reaches
+  /// its instruments through here, which keeps a pooled DST corpus run
+  /// (one Simulator per worker) free of cross-scenario interference. The
+  /// kernel publishes its own series (events dispatched, lazy-cancel skips,
+  /// heap high-water, past-t clamps) via a snapshot-time collector, so the
+  /// event hot path carries no extra atomic traffic.
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+  /// Sim-time span tracer, stamped from now().
+  obs::Tracer& tracer() { return *tracer_; }
 
   /// Schedule `fn` at absolute time `t`.
   ///
@@ -196,7 +212,23 @@ class Simulator {
   std::uint64_t executed_ = 0;
   bool hit_cap_ = false;
   TraceHook trace_;
-  std::unordered_set<std::string> clamp_logged_;
+  util::OncePerKey clamp_logged_;
+
+  // Kernel self-metrics, published by a collector at snapshot time.
+  std::uint64_t stale_skipped_ = 0;
+  std::uint64_t clamp_events_ = 0;
+  std::size_t heap_high_water_ = 0;
+  /// Collector bookkeeping: counters already pushed into the registry, so
+  /// repeated snapshots publish only the delta.
+  struct PublishedKernelStats {
+    std::uint64_t dispatched = 0;
+    std::uint64_t stale_skipped = 0;
+    std::uint64_t clamps = 0;
+  };
+  PublishedKernelStats published_;
+
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::Tracer> tracer_;
 };
 
 /// Test-only backdoor: lets kernel tests jump the global sequence counter to

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace blab::store {
 namespace {
 
@@ -13,6 +15,48 @@ util::Error not_found(const CaptureId& id) {
 
 }  // namespace
 
+void CaptureStore::bump(obs::Counter* c, std::uint64_t n) {
+  if (c != nullptr && n > 0) c->inc(n);
+}
+
+void CaptureStore::sync_record_gauge() {
+  if (metrics_.records != nullptr) {
+    metrics_.records->set(static_cast<double>(records_.size()));
+  }
+}
+
+void CaptureStore::attach_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = Metrics{};
+    return;
+  }
+  obs::MetricsRegistry& m = *registry;
+  metrics_.appended = &m.counter("blab_store_captures_appended_total");
+  metrics_.chunks_written = &m.counter("blab_store_chunks_written_total");
+  metrics_.bytes_raw = &m.counter("blab_store_bytes_raw_total");
+  metrics_.bytes_encoded = &m.counter("blab_store_bytes_encoded_total");
+  metrics_.decodes = &m.counter("blab_store_chunk_decodes_total");
+  metrics_.cache_hits = &m.counter("blab_store_cache_hits_total");
+  metrics_.cache_evictions = &m.counter("blab_store_cache_evictions_total");
+  metrics_.raw_purges = &m.counter("blab_store_raw_purges_total");
+  metrics_.record_purges = &m.counter("blab_store_record_purges_total");
+  metrics_.tier_queries = &m.counter("blab_store_tier_queries_total");
+  metrics_.records = &m.gauge("blab_store_records");
+  // A store attached mid-life publishes what it has accumulated so far, so
+  // the registry never under-reports relative to StoreStats.
+  bump(metrics_.appended, stats_.captures_appended);
+  bump(metrics_.chunks_written, stats_.chunks_written);
+  bump(metrics_.bytes_raw, stats_.bytes_raw);
+  bump(metrics_.bytes_encoded, stats_.bytes_encoded);
+  bump(metrics_.decodes, stats_.raw_chunk_decodes);
+  bump(metrics_.cache_hits, stats_.cache_hits);
+  bump(metrics_.cache_evictions, stats_.cache_evictions);
+  bump(metrics_.raw_purges, stats_.raw_purges);
+  bump(metrics_.record_purges, stats_.record_purges);
+  bump(metrics_.tier_queries, stats_.tier_queries);
+  sync_record_gauge();
+}
+
 CaptureId CaptureStore::append(const std::string& workspace, std::string name,
                                const hw::Capture& capture,
                                util::TimePoint now) {
@@ -21,8 +65,20 @@ CaptureId CaptureStore::append(const std::string& workspace, std::string name,
   record.name = std::move(name);
   record.stored_at = now;
   record.capture = ChunkedCapture::encode(capture);
+  const std::uint64_t chunks = record.capture.chunk_count();
+  const std::uint64_t raw_bytes =
+      static_cast<std::uint64_t>(capture.sample_count()) * sizeof(float);
+  const std::uint64_t encoded_bytes = record.capture.byte_size();
   records_.emplace(id, std::move(record));
   ++stats_.captures_appended;
+  stats_.chunks_written += chunks;
+  stats_.bytes_raw += raw_bytes;
+  stats_.bytes_encoded += encoded_bytes;
+  bump(metrics_.appended);
+  bump(metrics_.chunks_written, chunks);
+  bump(metrics_.bytes_raw, raw_bytes);
+  bump(metrics_.bytes_encoded, encoded_bytes);
+  sync_record_gauge();
   return id;
 }
 
@@ -74,18 +130,21 @@ util::Result<std::vector<float>> CaptureStore::chunk_samples(
   const CacheKey key{id, chunk};
   if (const auto it = cache_index_.find(key); it != cache_index_.end()) {
     ++stats_.cache_hits;
+    bump(metrics_.cache_hits);
     cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
     return it->second->samples;
   }
   auto samples = record.capture.decode_chunk(chunk);
   if (!samples.ok()) return samples;
   ++stats_.raw_chunk_decodes;
+  bump(metrics_.decodes);
   cache_lru_.push_front(CacheEntry{key, samples.value()});
   cache_index_[key] = cache_lru_.begin();
   while (cache_lru_.size() > cache_capacity_) {
     cache_index_.erase(cache_lru_.back().key);
     cache_lru_.pop_back();
     ++stats_.cache_evictions;
+    bump(metrics_.cache_evictions);
   }
   return samples;
 }
@@ -155,6 +214,7 @@ util::Result<std::vector<AggregateBucket>> CaptureStore::aggregate(
   }
   const ChunkedCapture& cc = record->capture;
   ++stats_.tier_queries;
+  bump(metrics_.tier_queries);
 
   std::vector<AggregateBucket> buckets;
   if (cc.sample_count() == 0) return buckets;
@@ -229,6 +289,7 @@ util::Result<util::Cdf> CaptureStore::percentiles(const CaptureId& id) {
   if (record == nullptr) return not_found(id);
   const ChunkedCapture& cc = record->capture;
   ++stats_.tier_queries;
+  bump(metrics_.tier_queries);
   util::Cdf cdf;
   const Tier* tier = cc.finest_tier();
   if (tier != nullptr) {
@@ -250,6 +311,7 @@ util::Result<double> CaptureStore::energy_mwh(const CaptureId& id) {
   const Record* record = find_record(id);
   if (record == nullptr) return not_found(id);
   ++stats_.tier_queries;
+  bump(metrics_.tier_queries);
   return record->capture.energy_mwh();
 }
 
@@ -257,6 +319,7 @@ util::Result<double> CaptureStore::mean_ma(const CaptureId& id) {
   const Record* record = find_record(id);
   if (record == nullptr) return not_found(id);
   ++stats_.tier_queries;
+  bump(metrics_.tier_queries);
   return record->capture.mean_ma();
 }
 
@@ -269,6 +332,7 @@ std::size_t CaptureStore::run_retention(util::TimePoint now) {
       evict_capture(it->first);
       it = records_.erase(it);
       ++stats_.record_purges;
+      bump(metrics_.record_purges);
       ++touched;
       continue;
     }
@@ -276,10 +340,12 @@ std::size_t CaptureStore::run_retention(util::TimePoint now) {
       evict_capture(it->first);
       record.capture.drop_raw();
       ++stats_.raw_purges;
+      bump(metrics_.raw_purges);
       ++touched;
     }
     ++it;
   }
+  sync_record_gauge();
   return touched;
 }
 
@@ -292,6 +358,7 @@ std::size_t CaptureStore::drop_workspace_raw(const std::string& workspace) {
     evict_capture(id);
     record.capture.drop_raw();
     ++stats_.raw_purges;
+    bump(metrics_.raw_purges);
     ++touched;
   }
   return touched;

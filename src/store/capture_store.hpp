@@ -21,6 +21,12 @@
 #include "util/stats.hpp"
 #include "util/time.hpp"
 
+namespace blab::obs {
+class Counter;
+class Gauge;
+class MetricsRegistry;
+}  // namespace blab::obs
+
 namespace blab::store {
 
 /// Stable handle to one stored capture: workspace + per-store sequence.
@@ -52,6 +58,9 @@ struct RetentionPolicy {
 
 struct StoreStats {
   std::uint64_t captures_appended = 0;
+  std::uint64_t chunks_written = 0;
+  std::uint64_t bytes_raw = 0;      ///< float32 payload before encoding
+  std::uint64_t bytes_encoded = 0;  ///< columnar payload after encoding
   std::uint64_t raw_chunk_decodes = 0;  ///< cache misses that decoded a chunk
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_evictions = 0;
@@ -113,6 +122,13 @@ class CaptureStore {
 
   const StoreStats& stats() const { return stats_; }
 
+  /// Mirror StoreStats into a metrics registry (normally the owning
+  /// deployment's Simulator registry). Null-safe: detached stores keep
+  /// updating only their local StoreStats. The registry must outlive the
+  /// store's last mutation — true for deployments, where the Simulator is
+  /// constructed first and destroyed last.
+  void attach_metrics(obs::MetricsRegistry* registry);
+
  private:
   struct Record {
     std::string name;
@@ -129,6 +145,23 @@ class CaptureStore {
     std::vector<float> samples;
   };
 
+  /// Cached registry instruments; all null until attach_metrics().
+  struct Metrics {
+    obs::Counter* appended = nullptr;
+    obs::Counter* chunks_written = nullptr;
+    obs::Counter* bytes_raw = nullptr;
+    obs::Counter* bytes_encoded = nullptr;
+    obs::Counter* decodes = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_evictions = nullptr;
+    obs::Counter* raw_purges = nullptr;
+    obs::Counter* record_purges = nullptr;
+    obs::Counter* tier_queries = nullptr;
+    obs::Gauge* records = nullptr;
+  };
+  static void bump(obs::Counter* c, std::uint64_t n = 1);
+  void sync_record_gauge();
+
   const Record* find_record(const CaptureId& id) const;
   /// Decoded samples for one chunk, through the LRU cache.
   util::Result<std::vector<float>> chunk_samples(const CaptureId& id,
@@ -144,6 +177,7 @@ class CaptureStore {
   std::list<CacheEntry> cache_lru_;  // front = most recent
   std::map<CacheKey, std::list<CacheEntry>::iterator> cache_index_;
   StoreStats stats_;
+  Metrics metrics_;
 };
 
 }  // namespace blab::store

@@ -13,6 +13,7 @@
 #include "device/device.hpp"
 #include "device/video_player.hpp"
 #include "net/vpn.hpp"
+#include "obs/export.hpp"
 #include "server/access_server.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
@@ -495,6 +496,8 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   result.events_executed = sim.executed_events();
   result.captures = ctx.captures.size();
   result.faults_injected = state.faults_fired;
+  result.metrics = sim.metrics().snapshot();
+  result.metrics_text = obs::encode_prometheus(result.metrics);
   result.digest = recorder.digest();
   result.digest_hex = recorder.digest_hex();
   result.trace = recorder.events();

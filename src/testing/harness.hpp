@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "testing/oracles.hpp"
 #include "testing/scenario.hpp"
 #include "testing/trace.hpp"
@@ -32,6 +33,11 @@ struct ScenarioResult {
   std::size_t faults_injected = 0;
   std::vector<OracleFinding> violations;
   std::vector<TraceEventRecord> trace;
+  /// Registry snapshot at scenario end. Deliberately NOT folded into the
+  /// digest (the digests are pinned), but two runs of the same seed must
+  /// still render byte-identical `metrics_text`.
+  obs::MetricsSnapshot metrics;
+  std::string metrics_text;  ///< Prometheus rendering of `metrics`
 
   bool ok() const { return violations.empty(); }
   /// Failure-message payload: the seed plus every oracle finding.

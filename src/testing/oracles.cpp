@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "util/strings.hpp"
 
 namespace blab::testing {
@@ -224,6 +225,69 @@ class DnsCertConsistencyOracle : public InvariantOracle {
   }
 };
 
+class MetricAccountingOracle : public InvariantOracle {
+ public:
+  const char* name() const override { return "metric-accounting"; }
+
+  void check(const OracleContext& ctx,
+             std::vector<OracleFinding>& out) override {
+    // Telemetry must agree with ground truth: every submitted job is in
+    // exactly one of {queued, running, succeeded, failed, aborted}, and the
+    // registry's counters/gauges track those transitions exactly. A drift
+    // here means an instrument site was skipped (or double-hit) on some
+    // code path the fuzzer found.
+    const obs::MetricsSnapshot snap = ctx.sim->metrics().snapshot();
+    const double submitted =
+        snap.value_or("blab_scheduler_jobs_submitted_total");
+    const double queued = snap.value_or("blab_scheduler_queue_depth");
+    const double running = snap.value_or("blab_scheduler_jobs_running");
+    const double succeeded = snap.value_or(
+        "blab_scheduler_jobs_finished_total", {{"result", "succeeded"}});
+    const double failed = snap.value_or(
+        "blab_scheduler_jobs_finished_total", {{"result", "failed"}});
+    const double aborted = snap.value_or("blab_scheduler_jobs_aborted_total");
+
+    const double accounted = queued + running + succeeded + failed + aborted;
+    if (submitted != accounted) {
+      out.push_back(
+          {name(), "job conservation broken: submitted=" +
+                       util::format_double(submitted, 0) + " but queued+" +
+                       "running+finished+aborted=" +
+                       util::format_double(accounted, 0)});
+    }
+
+    // Cross-check each series against the scheduler's actual job states.
+    std::size_t s_queued = 0, s_running = 0, s_ok = 0, s_failed = 0,
+                s_aborted = 0;
+    const auto& scheduler = ctx.server->scheduler();
+    for (const server::Job* job : scheduler.all_jobs()) {
+      switch (job->state) {
+        case server::JobState::kCreated:
+        case server::JobState::kQueued: ++s_queued; break;
+        case server::JobState::kRunning: ++s_running; break;
+        case server::JobState::kSucceeded: ++s_ok; break;
+        case server::JobState::kFailed: ++s_failed; break;
+        case server::JobState::kAborted: ++s_aborted; break;
+      }
+    }
+    const auto expect = [&](const char* what, double metric,
+                            std::size_t truth) {
+      if (metric != static_cast<double>(truth)) {
+        out.push_back({name(), std::string{what} + " metric says " +
+                                   util::format_double(metric, 0) +
+                                   ", scheduler holds " +
+                                   std::to_string(truth)});
+      }
+    };
+    expect("submitted", submitted, scheduler.all_jobs().size());
+    expect("queue-depth", queued, s_queued);
+    expect("running", running, s_running);
+    expect("succeeded", succeeded, s_ok);
+    expect("failed", failed, s_failed);
+    expect("aborted", aborted, s_aborted);
+  }
+};
+
 }  // namespace
 
 OracleRegistry::OracleRegistry() {
@@ -234,6 +298,7 @@ OracleRegistry::OracleRegistry() {
   add(std::make_unique<BatterySanityOracle>());
   add(std::make_unique<MirroringLifecycleOracle>());
   add(std::make_unique<DnsCertConsistencyOracle>());
+  add(std::make_unique<MetricAccountingOracle>());
 }
 
 void OracleRegistry::add(std::unique_ptr<InvariantOracle> oracle) {

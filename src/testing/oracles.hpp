@@ -21,6 +21,10 @@
 //                        are covered by the wildcard certificate and hold a
 //                        deployed serial; non-approved nodes never resolve
 //                        (holds across retire/re-onboard churn)
+//   metric-accounting    the telemetry registry agrees with ground truth:
+//                        jobs_submitted == queued + running + finished +
+//                        aborted, and each series matches the scheduler's
+//                        actual job-state counts
 #pragma once
 
 #include <memory>

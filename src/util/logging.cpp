@@ -1,6 +1,7 @@
 #include "util/logging.hpp"
 
 #include <iostream>
+#include <utility>
 #include <vector>
 
 namespace blab::util {
@@ -16,11 +17,27 @@ const char* log_level_name(LogLevel level) {
   return "?";
 }
 
+std::string LogRecord::flat() const {
+  std::string out{message};
+  if (fields != nullptr) {
+    for (const LogField& f : *fields) {
+      out += ' ';
+      out += f.key;
+      out += '=';
+      out += f.value;
+    }
+  }
+  return out;
+}
+
 Logger::Logger() {
-  sink_ = [](LogLevel level, std::string_view component, std::string_view msg) {
+  auto entry = std::make_shared<SinkEntry>();
+  entry->legacy = [](LogLevel level, std::string_view component,
+                     std::string_view msg) {
     std::cerr << "[" << log_level_name(level) << "] " << component << ": "
               << msg << "\n";
   };
+  sink_ = std::move(entry);
 }
 
 Logger& Logger::global() {
@@ -28,35 +45,120 @@ Logger& Logger::global() {
   return logger;
 }
 
+std::shared_ptr<const Logger::SinkEntry> Logger::entry() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return sink_;
+}
+
+std::shared_ptr<const Logger::SinkEntry> Logger::swap_entry(
+    std::shared_ptr<const SinkEntry> next) {
+  std::lock_guard<std::mutex> lock{mu_};
+  std::swap(sink_, next);
+  return next;
+}
+
 LogSink Logger::set_sink(LogSink sink) {
-  std::swap(sink_, sink);
-  return sink;
+  auto entry = std::make_shared<SinkEntry>();
+  entry->legacy = std::move(sink);
+  auto previous = swap_entry(std::move(entry));
+  return previous != nullptr ? previous->legacy : LogSink{};
+}
+
+void Logger::set_record_sink(RecordSink sink) {
+  auto entry = std::make_shared<SinkEntry>();
+  entry->record = std::move(sink);
+  swap_entry(std::move(entry));
 }
 
 void Logger::log(LogLevel level, std::string_view component,
                  std::string_view msg) {
-  if (enabled(level) && sink_) sink_(level, component, msg);
+  if (!enabled(level)) return;
+  auto sink = entry();
+  if (sink == nullptr) return;
+  if (sink->record) {
+    LogRecord rec{level, component, msg, nullptr};
+    sink->record(rec);
+  } else if (sink->legacy) {
+    sink->legacy(level, component, msg);
+  }
+}
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string_view msg, const LogFields& fields) {
+  if (!enabled(level)) return;
+  auto sink = entry();
+  if (sink == nullptr) return;
+  LogRecord rec{level, component, msg, &fields};
+  if (sink->record) {
+    sink->record(rec);
+  } else if (sink->legacy) {
+    sink->legacy(level, component, rec.flat());
+  }
 }
 
 LogCapture::LogCapture() : previous_level_{Logger::global().level()} {
   Logger::global().set_level(LogLevel::kDebug);
-  previous_ = Logger::global().set_sink(
-      [this](LogLevel level, std::string_view component, std::string_view msg) {
-        lines_.push_back(std::string{log_level_name(level)} + " " +
-                         std::string{component} + ": " + std::string{msg});
-      });
+  auto entry = std::make_shared<Logger::SinkEntry>();
+  entry->record = [this](const LogRecord& rec) {
+    Entry e;
+    e.line = std::string{log_level_name(rec.level)} + " " +
+             std::string{rec.component} + ": " + rec.flat();
+    if (rec.fields != nullptr) e.fields = *rec.fields;
+    std::lock_guard<std::mutex> lock{mu_};
+    entries_.push_back(std::move(e));
+  };
+  previous_ = Logger::global().swap_entry(std::move(entry));
 }
 
 LogCapture::~LogCapture() {
-  Logger::global().set_sink(previous_);
+  Logger::global().swap_entry(previous_);
   Logger::global().set_level(previous_level_);
 }
 
+std::vector<std::string> LogCapture::lines() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.line);
+  return out;
+}
+
+std::size_t LogCapture::size() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return entries_.size();
+}
+
 bool LogCapture::contains(std::string_view needle) const {
-  for (const auto& line : lines_) {
-    if (line.find(needle) != std::string::npos) return true;
+  std::lock_guard<std::mutex> lock{mu_};
+  for (const Entry& e : entries_) {
+    if (e.line.find(needle) != std::string::npos) return true;
   }
   return false;
+}
+
+bool LogCapture::has_field(std::string_view key, std::string_view value) const {
+  std::lock_guard<std::mutex> lock{mu_};
+  for (const Entry& e : entries_) {
+    for (const LogField& f : e.fields) {
+      if (f.key == key && f.value == value) return true;
+    }
+  }
+  return false;
+}
+
+bool OncePerKey::first(std::string_view key) {
+  std::lock_guard<std::mutex> lock{mu_};
+  return seen_.emplace(key).second;
+}
+
+std::size_t OncePerKey::seen() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return seen_.size();
+}
+
+void OncePerKey::reset() {
+  std::lock_guard<std::mutex> lock{mu_};
+  seen_.clear();
 }
 
 }  // namespace blab::util

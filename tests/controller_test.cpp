@@ -173,7 +173,9 @@ TEST_F(RestTest, InProcessCall) {
 TEST_F(RestTest, EndpointListing) {
   EXPECT_TRUE(rest.has_endpoint("echo"));
   EXPECT_FALSE(rest.has_endpoint("nope"));
-  EXPECT_EQ(rest.endpoints().size(), 2u);
+  // "echo", "status", plus the built-in "metrics" endpoint.
+  EXPECT_TRUE(rest.has_endpoint("metrics"));
+  EXPECT_EQ(rest.endpoints().size(), 3u);
 }
 
 TEST_F(RestTest, NetworkAjaxRoundTrip) {

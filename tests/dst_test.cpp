@@ -77,6 +77,10 @@ TEST(DstCorpus, ParallelRunMatchesSerialPerSeed) {
         << "seed " << seeds[i];
     EXPECT_EQ(serial[i].trace.size(), parallel[i].trace.size())
         << "seed " << seeds[i];
+    EXPECT_EQ(serial[i].metrics_text, parallel[i].metrics_text)
+        << "seed " << seeds[i]
+        << " telemetry snapshot depends on the worker count";
+    EXPECT_FALSE(serial[i].metrics_text.empty()) << "seed " << seeds[i];
   }
 }
 
@@ -308,7 +312,7 @@ TEST(Oracles, DefaultRegistryCoversTheDocumentedInvariants) {
   const std::vector<std::string> expected{
       "clock-monotonicity", "scheduler-safety", "credit-ledger",
       "energy-conservation", "battery-sanity", "mirroring-lifecycle",
-      "dns-cert-consistency"};
+      "dns-cert-consistency", "metric-accounting"};
   for (const auto& name : expected) {
     EXPECT_NE(std::find(names.begin(), names.end(), name), names.end())
         << "missing oracle: " << name;

@@ -1,0 +1,342 @@
+// Telemetry layer tests: the metrics registry and encoders, sim-time spans,
+// the structured/thread-safe logger, and the end-to-end determinism
+// contract — two DST runs of the same seed must render byte-identical
+// Prometheus snapshots, serially or on a 4-wide worker pool, and the
+// controller's GET /metrics must serve the live registry.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "controller/rest_backend.hpp"
+#include "net/network.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "sim/simulator.hpp"
+#include "testing/harness.hpp"
+#include "testing/scenario.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+using namespace blab;
+namespace dst = blab::testing;
+using obs::Labels;
+
+// ------------------------------------------------------------ registry ----
+
+TEST(MetricsRegistry, CountersAndGaugesAccumulate) {
+  obs::MetricsRegistry registry;
+  obs::Counter& c = registry.counter("blab_test_ticks_total");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  // Same (name, labels) resolves to the same instrument.
+  registry.counter("blab_test_ticks_total").inc();
+  EXPECT_EQ(c.value(), 6u);
+
+  obs::Gauge& g = registry.gauge("blab_test_depth");
+  g.set(3.0);
+  g.add(-1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+
+  const auto snap = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snap.value_or("blab_test_ticks_total"), 6.0);
+  EXPECT_DOUBLE_EQ(snap.value_or("blab_test_depth"), 1.5);
+  EXPECT_DOUBLE_EQ(snap.value_or("blab_no_such_series", {}, -7.0), -7.0);
+}
+
+TEST(MetricsRegistry, LabelOrderDoesNotSplitSeries) {
+  obs::MetricsRegistry registry;
+  registry.counter("blab_test_total", {{"b", "2"}, {"a", "1"}}).inc();
+  registry.counter("blab_test_total", {{"a", "1"}, {"b", "2"}}).inc();
+  EXPECT_EQ(registry.series_count(), 1u);
+  const auto snap = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snap.value_or("blab_test_total", {{"a", "1"}, {"b", "2"}}),
+                   2.0);
+}
+
+TEST(MetricsRegistry, HistogramBoundaryEdgesAreLeInclusive) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h =
+      registry.histogram("blab_test_latency_seconds", {1.0, 2.0});
+  h.observe(1.0);   // exactly on a bound: le="1" bucket
+  h.observe(1.001); // just past: le="2"
+  h.observe(2.0);   // exactly on the last finite bound: le="2"
+  h.observe(9.0);   // overflow: +Inf
+  h.observe(-1.0);  // below every bound: first bucket
+  ASSERT_EQ(h.bucket_count(), 3u);
+  EXPECT_EQ(h.bucket(0), 2u);  // {1.0, -1.0}
+  EXPECT_EQ(h.bucket(1), 2u);  // {1.001, 2.0}
+  EXPECT_EQ(h.bucket(2), 1u);  // {9.0}
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.0 + 1.001 + 2.0 + 9.0 - 1.0);
+}
+
+TEST(MetricsRegistry, HistogramIgnoresNaNAndSortsBounds) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h =
+      registry.histogram("blab_test_h", {5.0, 1.0, 5.0});  // unsorted + dup
+  EXPECT_EQ(h.bounds(), (std::vector<double>{1.0, 5.0}));
+  h.observe(std::nan(""));
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(MetricsRegistry, KindMismatchIsSurvivable) {
+  util::LogCapture capture;
+  obs::MetricsRegistry registry;
+  registry.counter("blab_test_total").inc(3);
+  // Asking for the same series under a different kind must not corrupt the
+  // original: the caller gets a detached dummy and an error is logged.
+  obs::Gauge& wrong = registry.gauge("blab_test_total");
+  wrong.set(99.0);
+  EXPECT_DOUBLE_EQ(registry.snapshot().value_or("blab_test_total"), 3.0);
+  EXPECT_TRUE(capture.contains("blab_test_total"));
+}
+
+TEST(MetricsRegistry, CardinalityWarningFiresOncePerName) {
+  util::LogCapture capture;
+  obs::MetricsRegistry registry;
+  const std::size_t n = obs::MetricsRegistry::kSeriesWarnCardinality + 8;
+  for (std::size_t i = 0; i < n; ++i) {
+    registry.counter("blab_test_exploding_total",
+                     {{"id", std::to_string(i)}})
+        .inc();
+  }
+  EXPECT_EQ(registry.series_count(), n);
+  const auto lines = capture.lines();
+  const auto warns = std::count_if(
+      lines.begin(), lines.end(), [](const std::string& line) {
+        return line.find("blab_test_exploding_total") != std::string::npos &&
+               line.find("label combinations") != std::string::npos;
+      });
+  EXPECT_EQ(warns, 1) << "cardinality warning must fire exactly once";
+  // The registry keeps serving series past the ceiling.
+  EXPECT_DOUBLE_EQ(registry.snapshot().value_or("blab_test_exploding_total",
+                                                {{"id", "0"}}),
+                   1.0);
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsAreLossless) {
+  obs::MetricsRegistry registry;
+  obs::Counter& c = registry.counter("blab_test_hits_total");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+// ------------------------------------------------------------ encoders ----
+
+TEST(Encoders, PrometheusGolden) {
+  obs::MetricsRegistry registry;
+  registry.counter("blab_jobs_total", {{"result", "ok"}}).inc(3);
+  registry.gauge("blab_depth").set(2.5);
+  obs::Histogram& h = registry.histogram("blab_wait_seconds", {1.0, 5.0});
+  h.observe(0.5);
+  h.observe(4.0);
+  h.observe(30.0);
+  const std::string expected =
+      "# TYPE blab_depth gauge\n"
+      "blab_depth 2.500000\n"
+      "# TYPE blab_jobs_total counter\n"
+      "blab_jobs_total{result=\"ok\"} 3\n"
+      "# TYPE blab_wait_seconds histogram\n"
+      "blab_wait_seconds_bucket{le=\"1\"} 1\n"
+      "blab_wait_seconds_bucket{le=\"5\"} 2\n"
+      "blab_wait_seconds_bucket{le=\"+Inf\"} 3\n"
+      "blab_wait_seconds_sum 34.500000\n"
+      "blab_wait_seconds_count 3\n";
+  EXPECT_EQ(obs::encode_prometheus(registry.snapshot()), expected);
+}
+
+TEST(Encoders, JsonHoldsEverySeries) {
+  obs::MetricsRegistry registry;
+  registry.counter("blab_a_total").inc();
+  registry.gauge("blab_b").set(1.0);
+  const std::string json = obs::encode_json(registry.snapshot());
+  EXPECT_EQ(json.rfind("{\"series\":[", 0), 0u) << json;
+  EXPECT_NE(json.find("\"blab_a_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"blab_b\""), std::string::npos);
+}
+
+TEST(Encoders, MergeSumsCountersAndHistograms) {
+  obs::MetricsRegistry a, b;
+  a.counter("blab_x_total").inc(2);
+  b.counter("blab_x_total").inc(5);
+  a.histogram("blab_h", {1.0}).observe(0.5);
+  b.histogram("blab_h", {1.0}).observe(3.0);
+  const auto merged = obs::merge_snapshots({a.snapshot(), b.snapshot()});
+  EXPECT_DOUBLE_EQ(merged.value_or("blab_x_total"), 7.0);
+  const obs::SeriesSnapshot* h = merged.find("blab_h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 2u);
+  EXPECT_EQ(h->buckets[0] + h->buckets[1], 2u);
+}
+
+// ------------------------------------------------------------ spans ------
+
+TEST(Spans, NestAndCloseLifoOnSimClock) {
+  std::int64_t now_us = 0;
+  obs::Tracer tracer{[&] { return now_us; }};
+  {
+    obs::ScopedSpan outer{&tracer, "scheduler", "dispatch"};
+    now_us = 100;
+    {
+      obs::ScopedSpan inner{&tracer, "scheduler", "run_job"};
+      now_us = 250;
+    }
+    now_us = 400;
+  }
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  const obs::SpanRecord& inner = tracer.spans()[0];
+  const obs::SpanRecord& outer = tracer.spans()[1];
+  EXPECT_EQ(inner.name, "run_job");
+  EXPECT_EQ(inner.depth, 1u);
+  EXPECT_EQ(inner.parent, outer.id);
+  EXPECT_EQ(inner.duration_us(), 150);
+  EXPECT_EQ(outer.depth, 0u);
+  EXPECT_EQ(outer.duration_us(), 400);
+  EXPECT_EQ(tracer.open_depth(), 0u);
+
+  std::ostringstream jsonl;
+  tracer.write_jsonl(jsonl);
+  EXPECT_NE(jsonl.str().find("\"name\":\"run_job\""), std::string::npos);
+  EXPECT_NE(jsonl.str().find("\"component\":\"scheduler\""),
+            std::string::npos);
+}
+
+TEST(Spans, NullTracerIsANoOp) {
+  obs::ScopedSpan span{nullptr, "x", "y"};  // must not crash
+}
+
+// ------------------------------------------------------------ logging ----
+
+TEST(Logging, StructuredFieldsReachTheSink) {
+  util::LogCapture capture;
+  BLAB_INFO_KV("scheduler", "job started", {"job", "job-7"},
+               {"vp", "turin-pi"});
+  ASSERT_EQ(capture.size(), 1u);
+  EXPECT_TRUE(capture.has_field("job", "job-7"));
+  EXPECT_TRUE(capture.has_field("vp", "turin-pi"));
+  EXPECT_FALSE(capture.has_field("job", "job-8"));
+  // The flat rendering keeps key=value pairs greppable.
+  EXPECT_TRUE(capture.contains("job=job-7"));
+}
+
+TEST(Logging, PlainStreamFormStillWorks) {
+  util::LogCapture capture;
+  BLAB_INFO("net", "delivered " << 3 << " messages");
+  EXPECT_TRUE(capture.contains("delivered 3 messages"));
+}
+
+TEST(Logging, ConcurrentLoggingUnderCaptureIsSafe) {
+  util::LogCapture capture;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        BLAB_INFO_KV("pool", "tick", {"worker", std::to_string(t)});
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(capture.size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+TEST(Logging, OncePerKeySuppressesRepeats) {
+  util::OncePerKey once;
+  EXPECT_TRUE(once.first("a"));
+  EXPECT_FALSE(once.first("a"));
+  EXPECT_TRUE(once.first("b"));
+  EXPECT_EQ(once.seen(), 2u);
+  once.reset();
+  EXPECT_TRUE(once.first("a"));
+}
+
+// ------------------------------------------------------- determinism -----
+
+// Acceptance: two from-scratch runs of the same seed must render
+// byte-identical Prometheus snapshots — telemetry is part of the replay
+// contract, not an observer effect.
+TEST(DstMetrics, SameSeedRendersByteIdenticalSnapshots) {
+  const auto seeds = dst::default_corpus(3);
+  for (std::uint64_t seed : seeds) {
+    const auto spec = dst::generate_scenario(seed);
+    const auto first = dst::run_scenario(spec);
+    const auto second = dst::run_scenario(spec);
+    ASSERT_FALSE(first.metrics_text.empty()) << "seed " << seed;
+    EXPECT_EQ(first.metrics_text, second.metrics_text)
+        << "seed " << seed << " telemetry is not deterministic";
+  }
+}
+
+// Acceptance: a real scenario run's snapshot carries series from every
+// instrumented layer — scheduler, capture store, power monitor, and the
+// simulator kernel itself.
+TEST(DstMetrics, ScenarioSnapshotCoversAllInstrumentedLayers) {
+  const auto result = dst::run_scenario(dst::default_corpus(1)[0]);
+  EXPECT_TRUE(result.ok()) << result.violation_summary();
+  for (const char* series :
+       {"blab_scheduler_jobs_submitted_total", "blab_store_records",
+        "blab_monsoon_samples_synthesized_total",
+        "blab_sim_events_dispatched_total", "blab_sim_pending_events"}) {
+    EXPECT_NE(result.metrics_text.find(series), std::string::npos)
+        << "snapshot is missing " << series;
+  }
+  EXPECT_GT(result.metrics.value_or("blab_sim_events_dispatched_total"), 0.0);
+}
+
+// Concurrency smoke: the pooled corpus runner with 4 workers keeps every
+// oracle green (including metric-accounting) and still produces non-empty
+// per-seed snapshots.
+TEST(DstMetrics, PooledCorpusKeepsOraclesGreen) {
+  const auto seeds = dst::default_corpus(8);
+  const auto results = dst::run_corpus(seeds, 4);
+  ASSERT_EQ(results.size(), seeds.size());
+  for (const auto& result : results) {
+    EXPECT_TRUE(result.ok()) << result.violation_summary();
+    EXPECT_FALSE(result.metrics_text.empty()) << "seed " << result.seed;
+  }
+}
+
+// ------------------------------------------------------------ REST -------
+
+TEST(RestMetrics, MetricsEndpointServesTheLiveRegistry) {
+  sim::Simulator sim;
+  net::Network net{sim, 0x0B5ULL};
+  controller::RestBackend rest{net, "ctrl.node1"};
+  sim.schedule_after(util::Duration::millis(10), [] {}, "warmup");
+  sim.run_all();
+
+  auto prom = rest.call("metrics", "");
+  ASSERT_TRUE(prom.ok());
+  EXPECT_NE(prom.value().find("# TYPE blab_sim_events_dispatched_total "
+                              "counter"),
+            std::string::npos);
+  EXPECT_NE(prom.value().find("blab_rest_requests_total"), std::string::npos);
+
+  auto json = rest.call("metrics", "format=json");
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(json.value().rfind("{\"series\":[", 0), 0u);
+  // The JSON call observed the counter bumped by the first call.
+  EXPECT_NE(json.value().find("\"blab_rest_requests_total\""),
+            std::string::npos);
+  EXPECT_EQ(rest.requests_served(), 2u);
+}
+
+}  // namespace

@@ -302,7 +302,8 @@ TEST(SimulatorTest, PastClampLogsAtDebugOncePerLabel) {
   sim.schedule_at(past, [] {}, "replayed-fault");  // same label: no new line
   sim.schedule_at(past, [] {}, "other-site");
   const auto clamp_lines = [&] {
-    return std::count_if(capture.lines().begin(), capture.lines().end(),
+    const auto lines = capture.lines();  // lines() returns a copy
+    return std::count_if(lines.begin(), lines.end(),
                          [](const std::string& line) {
                            return line.find("clamped") != std::string::npos;
                          });
