@@ -6,6 +6,7 @@
 // workload instead of empty callbacks.
 //
 // Usage: scenario_e2e [--jobs=N] [--seeds=N] [--rounds=N] [--metrics-out=P]
+//                     [--trace-out=P]
 //   --jobs=N         worker-pool width (0 = hardware concurrency, default 1
 //                    so the pinned baseline measures single-thread speed)
 //   --seeds=N        corpus size per round (default 16)
@@ -13,15 +14,19 @@
 //   --metrics-out=P  write the corpus-merged telemetry snapshot (Prometheus
 //                    text) to P — the per-run metrics artifact ci_bench.sh
 //                    archives next to BENCH_core.json
+//   --trace-out=P    write the corpus-merged span set as Chrome trace-event
+//                    JSON (one Perfetto process per seed) to P
 //
 // Emits one JSON object on stdout so ci_bench.sh can fold the numbers into
 // BENCH_core.json; exits non-zero if any scenario trips an oracle or runs
 // zero events (a perf number from a broken run would be meaningless).
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "obs/export.hpp"
@@ -55,6 +60,7 @@ int main(int argc, char** argv) {
   std::size_t n_seeds = 16;
   int rounds = 3;
   std::string metrics_out;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg.rfind("--jobs=", 0) == 0) {
@@ -65,6 +71,8 @@ int main(int argc, char** argv) {
       rounds = static_cast<int>(flag_value(arg, "--rounds="));
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       metrics_out = arg.substr(sizeof("--metrics-out=") - 1);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(sizeof("--trace-out=") - 1);
     } else {
       std::cerr << "unknown flag: " << arg << "\n";
       return 2;
@@ -78,6 +86,7 @@ int main(int argc, char** argv) {
   std::size_t captures = 0;
   std::size_t violations = 0;
   obs::MetricsSnapshot merged;
+  std::string merged_trace;
   for (int r = 0; r < rounds; ++r) {
     const auto t0 = std::chrono::steady_clock::now();
     const auto results = testing::run_corpus(seeds, jobs);
@@ -96,6 +105,15 @@ int main(int argc, char** argv) {
     // Every round runs the identical corpus, so the merged snapshot is the
     // same whichever round produced it; keep the last.
     merged = obs::merge_snapshots(snaps);
+    if (!trace_out.empty()) {
+      std::vector<std::pair<std::uint64_t, const std::vector<obs::SpanRecord>*>>
+          per_seed;
+      per_seed.reserve(results.size());
+      for (const auto& result : results) {
+        per_seed.emplace_back(result.seed, &result.spans);
+      }
+      merged_trace = obs::encode_trace_json_corpus(per_seed);
+    }
     if (wall < best_s) best_s = wall;
   }
 
@@ -106,6 +124,14 @@ int main(int argc, char** argv) {
       return 2;
     }
     out << obs::encode_prometheus(merged);
+  }
+  if (!trace_out.empty()) {
+    std::ofstream out{trace_out};
+    if (!out) {
+      std::cerr << "cannot write trace artifact: " << trace_out << "\n";
+      return 2;
+    }
+    out << merged_trace;
   }
 
   std::cout << "{\n";

@@ -23,6 +23,7 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
   > "$BUILD_DIR/bench_micro.json"
 "$BUILD_DIR"/bench/scenario_e2e --jobs=1 --seeds=24 --rounds=5 \
   --metrics-out="$BUILD_DIR/BENCH_metrics.prom" \
+  --trace-out="$BUILD_DIR/BENCH_trace.json" \
   > "$BUILD_DIR/bench_e2e.json"
 "$BUILD_DIR"/bench/store_throughput > "$BUILD_DIR/bench_store.json"
 
@@ -33,11 +34,21 @@ python3 scripts/bench_gate.py \
   --store "$BUILD_DIR/bench_store.json" \
   --out "$BUILD_DIR/BENCH_core.json"
 
-# Telemetry drift report: the bench corpus is deterministic, so its merged
-# counter snapshot only moves when the workload itself changes. Informational
-# for now — the artifact ($BUILD_DIR/BENCH_metrics.prom) uploads alongside
-# BENCH_core.json either way.
+# Telemetry drift gate: the bench corpus is deterministic, so its merged
+# counter snapshot only moves when the workload itself changes — --strict
+# fails the lane on any counter drifting past the threshold. Series with a
+# legitimate reason to move get an --allow prefix (with a comment saying
+# why) instead of loosening the gate. The artifacts
+# ($BUILD_DIR/BENCH_metrics.prom, $BUILD_DIR/BENCH_trace.json) upload
+# alongside BENCH_core.json either way.
+#
+# Allowlist:
+#   blab_sim_lazy_cancel_skips_total — lazy-cancel skip counts depend on
+#     heap interleaving, which is sensitive to event arena sizing tweaks
+#     that do not change the workload itself.
 python3 scripts/metrics_diff.py \
   --baseline BENCH_metrics.prom \
   --current "$BUILD_DIR/BENCH_metrics.prom" \
-  --threshold 10
+  --threshold 10 \
+  --strict \
+  --allow blab_sim_lazy_cancel_skips_total

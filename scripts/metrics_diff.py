@@ -16,7 +16,11 @@ while counters are the event ledger.
 
 Usage:
   metrics_diff.py --baseline BENCH_metrics.prom --current out.prom \
-      [--threshold 10] [--strict]
+      [--threshold 10] [--strict] [--allow PREFIX ...]
+
+--allow demotes matching series (prefix match on the series key) from
+flagged to informational — the escape hatch for counters that are known to
+move when the workload legitimately changes under --strict.
 """
 
 import argparse
@@ -39,6 +43,9 @@ def parse_counters(path):
                 continue
             if line.startswith("#"):
                 continue
+            # OpenMetrics exemplars trail the value as " # {...} v"; strip
+            # the suffix so the value really is the last token.
+            line = line.split(" # ", 1)[0].rstrip()
             # "name{labels} value" or "name value"; value is the last token.
             key, _, value = line.rpartition(" ")
             if not key:
@@ -61,6 +68,10 @@ def main():
                     help="flag counters that moved more than this percent")
     ap.add_argument("--strict", action="store_true",
                     help="exit 1 if any counter exceeds the threshold")
+    ap.add_argument("--allow", action="append", default=[],
+                    metavar="PREFIX",
+                    help="series-key prefix to demote from flagged to "
+                         "informational (repeatable)")
     args = ap.parse_args()
 
     base = parse_counters(args.baseline)
@@ -68,6 +79,10 @@ def main():
 
     flagged = []
     info = []
+
+    def allowed(key):
+        return any(key.startswith(prefix) for prefix in args.allow)
+
     for key in sorted(set(base) | set(cur)):
         b = base.get(key)
         c = cur.get(key)
@@ -75,13 +90,14 @@ def main():
             info.append(f"  new counter: {key} = {c:g}")
             continue
         if c is None:
-            flagged.append(f"  counter vanished: {key} (baseline {b:g})")
+            line = f"  counter vanished: {key} (baseline {b:g})"
+            (info if allowed(key) else flagged).append(line)
             continue
         if b == c:
             continue
         pct = abs(c - b) / b * 100.0 if b != 0 else float("inf")
         line = f"  {key}: {b:g} -> {c:g} ({pct:+.1f}%)"
-        if pct > args.threshold:
+        if pct > args.threshold and not allowed(key):
             flagged.append(line)
         else:
             info.append(line)

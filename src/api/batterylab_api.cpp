@@ -1,6 +1,7 @@
 #include "api/batterylab_api.hpp"
 
 #include "controller/rest_backend.hpp"
+#include "obs/span.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 
@@ -22,6 +23,11 @@ std::vector<std::string> BatteryLabApi::list_devices() const {
 
 util::Status BatteryLabApi::device_mirroring(const std::string& device_id,
                                              bool on) {
+  // No ScopedSpan here: the mirroring session opens its own detached span
+  // parented at the tracer's current context, and that session outlives this
+  // call. Wrapping the toggle in a short api span would make it the session's
+  // parent and the session would escape its interval; parenting directly
+  // under the caller (run_job) keeps the trace tree well-nested.
   if (auto st = require_device(device_id); !st.ok()) return st;
   if (on) {
     auto r = vp_.start_mirroring(device_id);
@@ -50,6 +56,12 @@ util::Status BatteryLabApi::set_voltage(double voltage) {
 
 util::Status BatteryLabApi::start_monitor(
     const std::string& device_id, std::optional<util::Duration> duration) {
+  // Auto-stop fires as a sim event long after this frame is gone, so it
+  // carries the context of the caller (e.g. the job's run_job span), captured
+  // before this function's own span opens.
+  const obs::TraceContext caller_ctx = vp_.simulator().tracer().current();
+  obs::ScopedSpan span{&vp_.simulator().tracer(), "api", "start_monitor"};
+  span.attr("device", device_id);
   if (auto st = require_device(device_id); !st.ok()) return st;
   if (monitored_device_.has_value()) {
     return util::make_error(util::ErrorCode::kFailedPrecondition,
@@ -81,9 +93,11 @@ util::Status BatteryLabApi::start_monitor(
   }
   monitored_device_ = device_id;
   if (duration.has_value()) {
-    auto_stop_ = vp_.simulator().schedule_after(*duration, [this] {
+    auto_stop_ = vp_.simulator().schedule_after(*duration, [this, caller_ctx] {
       auto_stop_ = sim::kInvalidEvent;
       if (monitored_device_.has_value()) {
+        obs::ScopedSpan stop_span{&vp_.simulator().tracer(), "api",
+                                  "auto_stop", caller_ctx};
         BLAB_INFO("api", "auto-stopping measurement");
         (void)stop_monitor();
       }
@@ -99,11 +113,17 @@ util::Result<hw::Capture> BatteryLabApi::stop_monitor() {
   }
   const std::string device_id = *monitored_device_;
   monitored_device_.reset();
+  obs::ScopedSpan span{&vp_.simulator().tracer(), "api", "stop_monitor"};
+  span.attr("device", device_id);
   if (auto_stop_ != sim::kInvalidEvent) {
     vp_.simulator().cancel(auto_stop_);
     auto_stop_ = sim::kInvalidEvent;
   }
   auto capture = vp_.poller().stop();
+  if (capture.ok()) {
+    span.attr("samples",
+              static_cast<std::int64_t>(capture.value().sample_count()));
+  }
   // Restore battery operation and USB charging for the idle period.
   (void)vp_.switch_power(device_id, hw::RelayPosition::kBattery);
   if (auto* dev = vp_.find_device(device_id)) {
@@ -146,6 +166,8 @@ util::Status BatteryLabApi::batt_switch(const std::string& device_id) {
 
 util::Result<std::string> BatteryLabApi::execute_adb(
     const std::string& device_id, const std::string& command) {
+  obs::ScopedSpan span{&vp_.simulator().tracer(), "api", "execute_adb"};
+  span.attr("device", device_id);
   if (auto st = require_device(device_id); !st.ok()) return st.error();
   auto* dev = vp_.find_device(device_id);
   // Table 1 offers execute_adb "if available" — there is no adbd on iOS.

@@ -1,5 +1,7 @@
 #include "controller/rest_backend.hpp"
 
+#include <cstdlib>
+
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "util/strings.hpp"
@@ -24,6 +26,33 @@ RestBackend::RestBackend(net::Network& net, std::string host, int port)
       return util::Result<std::string>{obs::encode_json(snap)};
     }
     return util::Result<std::string>{obs::encode_prometheus(snap)};
+  });
+  // Trace surface: GET /traces lists every finished trace; "?job_id=<id>"
+  // (or "?trace_id=<n>") returns that trace as Chrome trace-event JSON,
+  // loadable directly in Perfetto. Exemplars in /metrics name the same trace
+  // ids, so an outlier histogram bucket resolves to a concrete span tree.
+  register_endpoint("traces", [this](const std::string& query) {
+    obs::Tracer& tracer = net_.simulator().tracer();
+    const auto params = parse_query(query);
+    const auto job = params.find("job_id");
+    const auto tid = params.find("trace_id");
+    if (job == params.end() && tid == params.end()) {
+      return util::Result<std::string>{obs::encode_trace_list_json(tracer)};
+    }
+    std::uint64_t trace = 0;
+    if (tid != params.end()) {
+      trace = std::strtoull(tid->second.c_str(), nullptr, 10);
+    } else {
+      trace = tracer.find_trace_by_root_attr("job", job->second);
+    }
+    const auto spans = tracer.spans_in(trace);
+    if (trace == 0 || spans.empty()) {
+      const std::string wanted =
+          job != params.end() ? "job " + job->second : "trace " + tid->second;
+      return util::Result<std::string>{util::make_error(
+          util::ErrorCode::kNotFound, "no trace for " + wanted)};
+    }
+    return util::Result<std::string>{obs::encode_trace_json(spans)};
   });
 }
 

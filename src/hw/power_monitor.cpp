@@ -249,6 +249,12 @@ util::Result<Capture> PowerMonitor::stop_capture() {
   if (negative_clamp_events_ > neg_before) {
     metrics_.negative_clamps->inc(negative_clamp_events_ - neg_before);
   }
+  span.attr("samples", static_cast<std::int64_t>(n));
+  span.attr("bytes", static_cast<std::int64_t>(n * sizeof(float)));
+  span.attr("overcurrent_clamps",
+            static_cast<std::int64_t>(overcurrent_events_ - oc_before));
+  span.attr("negative_clamps",
+            static_cast<std::int64_t>(negative_clamp_events_ - neg_before));
   return Capture{t0, spec_.sample_hz, voltage_, std::move(samples), stats};
 }
 

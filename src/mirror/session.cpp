@@ -43,6 +43,21 @@ bool MirroringSession::is_ios() const {
   return device_.spec().platform == device::Platform::kIos;
 }
 
+obs::Tracer& MirroringSession::tracer() { return ctrl_.simulator().tracer(); }
+
+obs::TraceContext MirroringSession::probe_ctx(std::uint64_t probe_id) {
+  const auto it = probe_spans_.find(probe_id);
+  if (it == probe_spans_.end()) return {};
+  return tracer().context_of(it->second);
+}
+
+void MirroringSession::finish_probe_span(std::uint64_t probe_id) {
+  const auto it = probe_spans_.find(probe_id);
+  if (it == probe_spans_.end()) return;
+  tracer().end(it->second);
+  probe_spans_.erase(it);
+}
+
 MirroringSession::~MirroringSession() { stop(); }
 
 util::Duration MirroringSession::jittered(util::Duration mean) {
@@ -69,9 +84,12 @@ util::Status MirroringSession::start() {
       if (m.tag != "hid.ack") return;
       const std::uint64_t id = probe_id_of(m.payload);
       if (id == 0) return;
+      const std::uint64_t frame_span =
+          tracer().begin_detached("mirror", "probe_frame", probe_ctx(id));
       const auto delay =
           jittered(timings_.app_render) + jittered(timings_.capture_encode);
-      device_.simulator().schedule_after(delay, [this, id] {
+      device_.simulator().schedule_after(delay, [this, id, frame_span] {
+        tracer().end(frame_span);
         if (airplay_) airplay_->emit_probe_frame(id);
       }, "mirror.probe-frame");
     });
@@ -85,11 +103,13 @@ util::Status MirroringSession::start() {
     scrcpy_->set_control_hook([this](const std::string& command) {
       const std::uint64_t id = probe_id_of(command);
       if (id == 0) return;
+      const std::uint64_t frame_span =
+          tracer().begin_detached("mirror", "probe_frame", probe_ctx(id));
       // The app reacts and redraws, then the changed frame is captured and
       // encoded; the probe frame then travels the real uplink.
       const auto delay =
           jittered(timings_.app_render) + jittered(timings_.capture_encode);
-      device_.simulator().schedule_after(delay, [this, id] {
+      device_.simulator().schedule_after(delay, [this, id, frame_span] {
         const double change = device_.screen().content_change_rate();
         const double mbps = H264Encoder::output_mbps(encoder_config_, change);
         net::Message frame;
@@ -99,6 +119,9 @@ util::Status MirroringSession::start() {
         frame.payload = std::to_string(id);
         frame.wire_bytes = static_cast<std::size_t>(
             mbps * 1e6 / 8.0 * ScrcpyServer::kStreamTick.to_seconds()) + 32;
+        tracer().set_attr(frame_span, "bytes",
+                          static_cast<std::int64_t>(frame.wire_bytes));
+        tracer().end(frame_span);
         (void)device_.network().send(std::move(frame));
       }, "mirror.probe-frame");
     });
@@ -139,6 +162,12 @@ util::Status MirroringSession::start() {
 
   active_ = true;
   started_at_ = ctrl_.simulator().now();
+  // The session outlives this call by design, so its span is detached; when
+  // started from inside a job it joins the job's trace via the open run_job
+  // span's context.
+  session_span_ = tracer().begin_detached("mirror", "session",
+                                          tracer().current());
+  tracer().set_attr(session_span_, "device", device_.serial());
   metrics_.sessions_started->inc();
   BLAB_INFO_KV("mirror", "session started", {"device", device_.serial()});
   return util::Status::ok_status();
@@ -149,7 +178,18 @@ void MirroringSession::stop() {
   active_ = false;
   metrics_.sessions_stopped->inc();
   metrics_.session_seconds->observe(
-      (ctrl_.simulator().now() - started_at_).to_seconds());
+      (ctrl_.simulator().now() - started_at_).to_seconds(),
+      obs::Exemplar{tracer().context_of(session_span_).trace,
+                    ctrl_.simulator().now().us()});
+  // Abandoned probes (viewer gone, timeout) must not leave spans open.
+  for (const auto& [id, span] : probe_spans_) tracer().end(span);
+  probe_spans_.clear();
+  tracer().set_attr(session_span_, "frames",
+                    static_cast<std::int64_t>(frames_received_));
+  tracer().set_attr(session_span_, "bytes",
+                    static_cast<std::int64_t>(bytes_received_));
+  tracer().end(session_span_);
+  session_span_ = 0;
   ctrl_.resources().unregister_service("scrcpy-recv");
   ctrl_.resources().unregister_service("vnc");
   ctrl_.resources().unregister_service("novnc");
@@ -197,10 +237,15 @@ void MirroringSession::on_frame(const net::Message& msg) {
     metrics_.frames->inc();
     metrics_.bytes->inc(msg.size());
     const std::uint64_t id = std::stoull(msg.payload);
+    const std::uint64_t update_span =
+        tracer().begin_detached("mirror", "vnc_update", probe_ctx(id));
+    tracer().set_attr(update_span, "bytes",
+                      static_cast<std::int64_t>(msg.size()));
     // VNC processes the update, then the gateway relays it to the viewer.
     ctrl_.simulator().schedule_after(
         jittered(timings_.vnc_update),
-        [this, id, bytes = msg.size()] {
+        [this, id, update_span, bytes = msg.size()] {
+          tracer().end(update_span);
           if (!active_ || !novnc_ || !novnc_->has_viewer()) return;
           net::Message frame;
           frame.src = novnc_->address();
@@ -220,9 +265,14 @@ void MirroringSession::on_input(const std::string& command) {
   // GUI backend translates the browser event, then the command travels the
   // real controller→device leg: scrcpy's control socket on Android, the
   // Bluetooth HID keyboard on iOS ("input tap X Y" → HID "tap X Y").
+  const std::uint64_t input_span = tracer().begin_detached(
+      "mirror", "input_processing", probe_ctx(probe_id_of(command)));
+  tracer().set_attr(input_span, "bytes",
+                    static_cast<std::int64_t>(command.size()));
   ctrl_.simulator().schedule_after(
       jittered(timings_.input_processing),
-      [this, command] {
+      [this, command, input_span] {
+        tracer().end(input_span);
         if (!active_) return;
         net::Message control;
         if (is_ios()) {
@@ -251,6 +301,18 @@ void MirroringSession::remote_tap(const net::Address& viewer, int x, int y,
   const util::TimePoint started = ctrl_.simulator().now();
   auto& net = ctrl_.network();
 
+  // One detached span per probe, covering click injection through browser
+  // paint; each pipeline stage parents under it. Inside a job the probe
+  // joins the job's trace, otherwise it hangs off the session span.
+  obs::TraceContext parent = tracer().current();
+  if (!parent.valid()) parent = tracer().context_of(session_span_);
+  const std::uint64_t probe_span =
+      tracer().begin_detached("mirror", "probe", parent);
+  tracer().set_attr(probe_span, "probe", static_cast<std::int64_t>(id));
+  tracer().set_attr(probe_span, "x", static_cast<std::int64_t>(x));
+  tracer().set_attr(probe_span, "y", static_cast<std::int64_t>(y));
+  probe_spans_.emplace(id, probe_span);
+
   if (novnc_ && !novnc_->has_viewer()) (void)novnc_->connect_viewer(viewer);
 
   // The probe result returns to the viewer's own address.
@@ -261,8 +323,15 @@ void MirroringSession::remote_tap(const net::Address& viewer, int x, int y,
     }
     ctrl_.network().unlisten(viewer);
     // Browser still has to decode and paint the frame.
+    const std::uint64_t render_span = tracer().begin_detached(
+        "mirror", "browser_render", probe_ctx(id));
+    tracer().set_attr(render_span, "bytes",
+                      static_cast<std::int64_t>(m.size()));
     const auto render = jittered(timings_.browser_render);
-    ctrl_.simulator().schedule_after(render, [this, started, cb] {
+    ctrl_.simulator().schedule_after(render, [this, id, render_span, started,
+                                              cb] {
+      tracer().end(render_span);
+      finish_probe_span(id);
       cb(ctrl_.simulator().now() - started);
     }, "mirror.browser-render");
   });

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 
 #include "controller/controller.hpp"
@@ -22,6 +23,7 @@
 #include "mirror/novnc.hpp"
 #include "mirror/scrcpy.hpp"
 #include "mirror/vnc.hpp"
+#include "obs/span.hpp"
 #include "util/result.hpp"
 
 namespace blab::obs {
@@ -90,6 +92,11 @@ class MirroringSession {
   void on_frame(const net::Message& msg);
   void on_input(const std::string& command);
   util::Duration jittered(util::Duration mean);
+  obs::Tracer& tracer();
+  /// Context of an in-flight latency probe's span ({0,0} when unknown), so
+  /// per-stage spans parent under their probe.
+  obs::TraceContext probe_ctx(std::uint64_t probe_id);
+  void finish_probe_span(std::uint64_t probe_id);
 
   controller::Controller& ctrl_;
   device::AndroidDevice& device_;
@@ -119,6 +126,12 @@ class MirroringSession {
   Metrics metrics_;
 
   std::uint64_t next_probe_id_ = 1;
+  /// Detached mirror/session span covering start() -> stop().
+  std::uint64_t session_span_ = 0;
+  /// In-flight latency probes: probe id -> detached mirror/probe span. The
+  /// probe path hops across sim events (input -> device -> vnc -> browser),
+  /// so each stage parents under this span via probe_ctx().
+  std::map<std::uint64_t, std::uint64_t> probe_spans_;
 };
 
 }  // namespace blab::mirror

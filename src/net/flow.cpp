@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/logging.hpp"
 
 namespace blab::net {
@@ -36,12 +37,18 @@ Flow::~Flow() {
     net_.unlisten(src_addr_);
     net_.unlisten(dst_addr_);
     if (rto_event_ != sim::kInvalidEvent) net_.simulator().cancel(rto_event_);
+    net_.simulator().tracer().end(span_);
   }
 }
 
 void Flow::start() {
   started_flag_ = true;
   started_ = net_.simulator().now();
+  obs::Tracer& tracer = net_.simulator().tracer();
+  span_ = tracer.begin_detached("net", "flow", tracer.current());
+  tracer.set_attr(span_, "src", src_host_);
+  tracer.set_attr(span_, "dst", dst_host_);
+  tracer.set_attr(span_, "bytes", static_cast<std::int64_t>(total_bytes_));
   net_.simulator().metrics().counter("blab_net_flows_started_total").inc();
   cwnd_ = static_cast<double>(options_.init_cwnd_segments);
 
@@ -165,6 +172,12 @@ void Flow::finish(bool success) {
     m.counter("blab_net_flow_retransmissions_total")
         .inc(static_cast<std::uint64_t>(retransmissions_));
   }
+  obs::Tracer& tracer = sim.tracer();
+  tracer.set_attr(span_, "success", static_cast<std::int64_t>(success ? 1 : 0));
+  tracer.set_attr(span_, "retransmissions",
+                  static_cast<std::int64_t>(retransmissions_));
+  tracer.end(span_);
+  span_ = 0;
   if (on_done_) on_done_(result_);
 }
 

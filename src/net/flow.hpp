@@ -77,6 +77,9 @@ class Flow {
   bool started_flag_ = false;
   bool done_ = false;
   FlowResult result_;
+  /// Detached net/flow span covering start -> finish; the transfer spans
+  /// many sim events, so it cannot live on the tracer's LIFO stack.
+  std::uint64_t span_ = 0;
 };
 
 }  // namespace blab::net

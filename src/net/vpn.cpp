@@ -1,6 +1,7 @@
 #include "net/vpn.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/strings.hpp"
 
 namespace blab::net {
@@ -46,6 +47,9 @@ VpnProvider::VpnProvider(Network& net, std::string internet_host,
 
 util::Status VpnProvider::connect(const std::string& client_host,
                                   const std::string& location_name) {
+  obs::ScopedSpan span{&net_.simulator().tracer(), "net", "vpn_connect"};
+  span.attr("client", client_host);
+  span.attr("location", location_name);
   const VpnLocation* loc = nullptr;
   for (const auto& candidate : locations_) {
     if (candidate.country == location_name || candidate.city == location_name) {
@@ -81,6 +85,8 @@ util::Status VpnProvider::connect(const std::string& client_host,
 }
 
 util::Status VpnProvider::disconnect(const std::string& client_host) {
+  obs::ScopedSpan span{&net_.simulator().tracer(), "net", "vpn_disconnect"};
+  span.attr("client", client_host);
   if (active_.erase(client_host) == 0) {
     return util::make_error(util::ErrorCode::kNotFound,
                             client_host + " has no active tunnel");

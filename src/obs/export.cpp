@@ -68,6 +68,41 @@ std::string json_string(std::string_view s) {
   return out;
 }
 
+/// JSON-safe double: NaN/Inf have no JSON literal, so render as strings.
+std::string json_number(double v) {
+  if (std::isnan(v) || std::isinf(v)) return json_string(format_metric_value(v));
+  return format_metric_value(v);
+}
+
+std::string exemplar_suffix(const Exemplar& ex) {
+  return " # {trace_id=\"" + std::to_string(ex.trace) + "\",ts_us=\"" +
+         std::to_string(ex.ts_us) + "\"} " + format_metric_value(ex.value);
+}
+
+void append_trace_event(std::string& out, const SpanRecord& s, int pid,
+                        bool& sep) {
+  if (sep) out += ',';
+  sep = true;
+  out += "{\"name\":" + json_string(s.name) +
+         ",\"cat\":" + json_string(s.component) +
+         ",\"ph\":\"X\",\"ts\":" + std::to_string(s.start_us) +
+         ",\"dur\":" + std::to_string(s.duration_us()) +
+         ",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":" + std::to_string(s.trace) +
+         ",\"args\":{\"span\":" + std::to_string(s.id) +
+         ",\"parent\":" + std::to_string(s.parent) +
+         ",\"trace\":" + std::to_string(s.trace);
+  for (const SpanAttr& a : s.attrs) {
+    out += ',' + json_string(a.key) + ':';
+    switch (a.kind) {
+      case SpanAttr::Kind::kInt: out += std::to_string(a.i); break;
+      case SpanAttr::Kind::kDouble: out += json_number(a.d); break;
+      case SpanAttr::Kind::kString: out += json_string(a.s); break;
+    }
+  }
+  out += "}}";
+}
+
 }  // namespace
 
 std::string format_metric_value(double v) {
@@ -94,18 +129,23 @@ std::string encode_prometheus(const MetricsSnapshot& snap) {
                format_metric_value(s.value) + "\n";
         break;
       case MetricKind::kHistogram: {
+        const auto bucket_exemplar = [&](std::size_t i) -> std::string {
+          if (i >= s.exemplars.size() || !s.exemplars[i].valid()) return "";
+          return exemplar_suffix(s.exemplars[i]);
+        };
         std::uint64_t cumulative = 0;
         for (std::size_t i = 0; i < s.bounds.size(); ++i) {
           cumulative += s.buckets[i];
           out += s.name + "_bucket" +
                  render_labels_with(s.labels, "le",
                                     format_metric_value(s.bounds[i])) +
-                 " " + std::to_string(cumulative) + "\n";
+                 " " + std::to_string(cumulative) + bucket_exemplar(i) + "\n";
         }
         cumulative += s.buckets.empty() ? 0 : s.buckets.back();
         out += s.name + "_bucket" +
                render_labels_with(s.labels, "le", "+Inf") + " " +
-               std::to_string(cumulative) + "\n";
+               std::to_string(cumulative) +
+               bucket_exemplar(s.bounds.size()) + "\n";
         out += s.name + "_sum" + render_labels(s.labels) + " " +
                format_metric_value(s.sum) + "\n";
         out += s.name + "_count" + render_labels(s.labels) + " " +
@@ -150,6 +190,20 @@ std::string encode_json(const MetricsSnapshot& snap) {
         }
         out += "],\"count\":" + std::to_string(s.count) +
                ",\"sum\":" + format_metric_value(s.sum);
+        if (!s.exemplars.empty()) {
+          out += ",\"exemplars\":[";
+          bool esep = false;
+          for (std::size_t i = 0; i < s.exemplars.size(); ++i) {
+            if (!s.exemplars[i].valid()) continue;
+            if (esep) out += ',';
+            esep = true;
+            out += "{\"bucket\":" + std::to_string(i) +
+                   ",\"trace_id\":" + std::to_string(s.exemplars[i].trace) +
+                   ",\"ts_us\":" + std::to_string(s.exemplars[i].ts_us) +
+                   ",\"value\":" + json_number(s.exemplars[i].value) + "}";
+          }
+          out += "]";
+        }
         break;
       }
     }
@@ -183,6 +237,21 @@ MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& snaps) {
             for (std::size_t i = 0; i < dst.buckets.size(); ++i) {
               dst.buckets[i] += s.buckets[i];
             }
+            if (!s.exemplars.empty()) {
+              if (dst.exemplars.empty()) {
+                dst.exemplars = s.exemplars;
+              } else {
+                // Per bucket, the latest sim timestamp wins; ties keep the
+                // earlier snapshot's exemplar so merge order stays stable.
+                for (std::size_t i = 0; i < dst.exemplars.size(); ++i) {
+                  if (s.exemplars[i].valid() &&
+                      (!dst.exemplars[i].valid() ||
+                       s.exemplars[i].ts_us > dst.exemplars[i].ts_us)) {
+                    dst.exemplars[i] = s.exemplars[i];
+                  }
+                }
+              }
+            }
             dst.count += s.count;
             dst.sum += s.sum;
           }
@@ -193,6 +262,74 @@ MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& snaps) {
   MetricsSnapshot out;
   out.series.reserve(merged.size());
   for (auto& [key, s] : merged) out.series.push_back(std::move(s));
+  return out;
+}
+
+std::string encode_trace_json(const std::vector<SpanRecord>& spans) {
+  std::string out = "{\"traceEvents\":[";
+  bool sep = false;
+  for (const SpanRecord& s : spans) append_trace_event(out, s, 1, sep);
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+std::string encode_trace_json(const std::vector<const SpanRecord*>& spans) {
+  std::string out = "{\"traceEvents\":[";
+  bool sep = false;
+  for (const SpanRecord* s : spans) {
+    if (s != nullptr) append_trace_event(out, *s, 1, sep);
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+std::string encode_trace_list_json(const Tracer& tracer) {
+  std::string out = "{\"traces\":[";
+  bool sep = false;
+  for (std::uint64_t trace : tracer.trace_ids()) {
+    const auto spans = tracer.spans_in(trace);
+    const SpanRecord* root = nullptr;
+    std::int64_t start = 0;
+    std::int64_t end = 0;
+    bool first = true;
+    for (const SpanRecord* s : spans) {
+      if (s->parent == 0 && root == nullptr) root = s;
+      start = first ? s->start_us : std::min(start, s->start_us);
+      end = first ? s->end_us : std::max(end, s->end_us);
+      first = false;
+    }
+    if (sep) out += ',';
+    sep = true;
+    out += "{\"trace_id\":" + std::to_string(trace) + ",\"root\":" +
+           json_string(root != nullptr ? root->name : "") + ",\"component\":" +
+           json_string(root != nullptr ? root->component : "") + ",\"job\":" +
+           json_string(root != nullptr ? root->attr_str("job") : "") +
+           ",\"spans\":" + std::to_string(spans.size()) +
+           ",\"open\":" + std::to_string(tracer.open_in_trace(trace)) +
+           ",\"start_us\":" + std::to_string(start) +
+           ",\"end_us\":" + std::to_string(end) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string encode_trace_json_corpus(
+    const std::vector<std::pair<std::uint64_t, const std::vector<SpanRecord>*>>&
+        per_seed) {
+  std::string out = "{\"traceEvents\":[";
+  bool sep = false;
+  int pid = 0;
+  for (const auto& [seed, spans] : per_seed) {
+    ++pid;
+    if (sep) out += ',';
+    sep = true;
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+           std::to_string(pid) + ",\"args\":{\"name\":\"seed " +
+           std::to_string(seed) + "\"}}";
+    if (spans == nullptr) continue;
+    for (const SpanRecord& s : *spans) append_trace_event(out, s, pid, sep);
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
   return out;
 }
 

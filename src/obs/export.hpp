@@ -7,15 +7,20 @@
 // property the DST determinism check asserts on.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace blab::obs {
 
 /// Prometheus text exposition format v0.0.4: `# TYPE` lines, cumulative
-/// `le`-bucketed histograms with `_bucket`/`_sum`/`_count`.
+/// `le`-bucketed histograms with `_bucket`/`_sum`/`_count`. Buckets that
+/// hold an exemplar render an OpenMetrics-style ` # {trace_id=..,ts_us=..}
+/// value` suffix linking the outlier to its trace.
 std::string encode_prometheus(const MetricsSnapshot& snap);
 
 /// One JSON object: {"series":[{"name":..,"labels":{..},"kind":..,..}]}.
@@ -28,5 +33,24 @@ MetricsSnapshot merge_snapshots(const std::vector<MetricsSnapshot>& snaps);
 
 /// Deterministic number rendering shared by both encoders.
 std::string format_metric_value(double v);
+
+/// Chrome trace-event JSON (Perfetto-loadable): one complete ("ph":"X")
+/// event per finished span, ts/dur in microseconds, tid = trace id so each
+/// job's causal tree renders as its own track. Deterministic: events are
+/// emitted in the order given (a tracer's finish order).
+std::string encode_trace_json(const std::vector<SpanRecord>& spans);
+std::string encode_trace_json(const std::vector<const SpanRecord*>& spans);
+
+/// Summary of every indexed trace in a tracer: {"traces":[{"trace_id":..,
+/// "root":..,"component":..,"job":..,"spans":..,"start_us":..,"end_us":..}]}.
+/// `job` is the root span's "job" attribute ("" for non-job traces).
+std::string encode_trace_list_json(const Tracer& tracer);
+
+/// Fold per-seed span sets into one Perfetto document: each seed becomes a
+/// process (pid = position + 1, named "seed <seed>" via metadata events), so
+/// a corpus run loads as one inspectable timeline.
+std::string encode_trace_json_corpus(
+    const std::vector<std::pair<std::uint64_t, const std::vector<SpanRecord>*>>&
+        per_seed);
 
 }  // namespace blab::obs

@@ -56,16 +56,55 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_{std::move(bounds)} {
   for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
 }
 
+std::size_t Histogram::bucket_index(double v) const {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
 void Histogram::observe(double v) {
   if (std::isnan(v)) return;
-  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
-  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
-  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  counts_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   double cur = sum_.load(std::memory_order_relaxed);
   while (!sum_.compare_exchange_weak(cur, cur + v,
                                      std::memory_order_relaxed)) {
   }
+}
+
+void Histogram::observe(double v, const Exemplar& ex) {
+  if (std::isnan(v)) return;
+  const std::size_t idx = bucket_index(v);
+  // Attach when the observation sits in the upper (1 - q) tail of what the
+  // histogram has seen so far: the fraction of prior observations in buckets
+  // strictly below this one reaches the quantile. The first observation
+  // always qualifies (an empty histogram has no bulk to compare against).
+  const std::uint64_t total = count_.load(std::memory_order_relaxed);
+  std::uint64_t below = 0;
+  for (std::size_t i = 0; i < idx; ++i) {
+    below += counts_[i].load(std::memory_order_relaxed);
+  }
+  const bool attach =
+      total == 0 || static_cast<double>(below) >=
+                        exemplar_quantile_ * static_cast<double>(total);
+  observe(v);
+  if (!attach || !ex.valid()) return;
+  std::lock_guard<std::mutex> lock{ex_mu_};
+  if (exemplars_ == nullptr) {
+    exemplars_ = std::make_unique<Exemplar[]>(bucket_count());
+  }
+  Exemplar stamped = ex;
+  stamped.value = v;
+  exemplars_[idx] = stamped;
+}
+
+void Histogram::set_exemplar_quantile(double q) {
+  exemplar_quantile_ = std::clamp(q, 0.0, 1.0);
+}
+
+Exemplar Histogram::exemplar(std::size_t i) const {
+  std::lock_guard<std::mutex> lock{ex_mu_};
+  if (exemplars_ == nullptr || i >= bucket_count()) return {};
+  return exemplars_[i];
 }
 
 const SeriesSnapshot* MetricsSnapshot::find(std::string_view name,
@@ -175,9 +214,14 @@ MetricsSnapshot MetricsRegistry::snapshot() {
       case MetricKind::kHistogram: {
         out.bounds = s.histogram->bounds();
         out.buckets.resize(s.histogram->bucket_count());
+        bool any_exemplar = false;
+        std::vector<Exemplar> exemplars(out.buckets.size());
         for (std::size_t i = 0; i < out.buckets.size(); ++i) {
           out.buckets[i] = s.histogram->bucket(i);
+          exemplars[i] = s.histogram->exemplar(i);
+          any_exemplar = any_exemplar || exemplars[i].valid();
         }
+        if (any_exemplar) out.exemplars = std::move(exemplars);
         out.count = s.histogram->count();
         out.sum = s.histogram->sum();
         break;

@@ -71,6 +71,18 @@ class Gauge {
   std::atomic<double> v_{0.0};
 };
 
+/// Trace reference attached to a histogram observation: the trace that
+/// produced the value and the sim timestamp it was observed at. trace 0
+/// means "no exemplar".
+struct Exemplar {
+  std::uint64_t trace = 0;
+  std::int64_t ts_us = 0;
+  double value = 0.0;
+
+  bool valid() const { return trace != 0; }
+  bool operator==(const Exemplar&) const = default;
+};
+
 /// Fixed-boundary histogram. `bounds` are ascending inclusive upper bounds
 /// (Prometheus `le` semantics); an implicit +Inf bucket catches the rest.
 /// Buckets are stored non-cumulative; the text encoder accumulates.
@@ -79,6 +91,19 @@ class Histogram {
   explicit Histogram(std::vector<double> bounds);
 
   void observe(double v);
+  /// Observe and, when the value is an outlier, keep `ex` as that bucket's
+  /// exemplar. An observation qualifies when the histogram is empty or the
+  /// fraction of prior observations in buckets strictly below its own is at
+  /// least the exemplar quantile — so exemplars point at the slow tail, not
+  /// the bulk. The latest qualifying exemplar per bucket wins.
+  void observe(double v, const Exemplar& ex);
+
+  /// Quantile threshold for exemplar attachment (default 0.90). Values
+  /// outside [0, 1] are clamped.
+  void set_exemplar_quantile(double q);
+  double exemplar_quantile() const { return exemplar_quantile_; }
+  /// Exemplar of bucket i; !valid() when the bucket has none yet.
+  Exemplar exemplar(std::size_t i) const;
 
   const std::vector<double>& bounds() const { return bounds_; }
   std::size_t bucket_count() const { return bounds_.size() + 1; }
@@ -89,10 +114,17 @@ class Histogram {
   double sum() const { return sum_.load(std::memory_order_relaxed); }
 
  private:
+  std::size_t bucket_index(double v) const;
+
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  double exemplar_quantile_ = 0.90;
+  // Exemplars are cold (outliers only) and carry two fields, so a small
+  // mutex beats widening the hot-path atomics.
+  mutable std::mutex ex_mu_;
+  std::unique_ptr<Exemplar[]> exemplars_;
 };
 
 enum class MetricKind { kCounter, kGauge, kHistogram };
@@ -105,6 +137,7 @@ struct SeriesSnapshot {
   double value = 0.0;                  ///< counter / gauge
   std::vector<double> bounds;          ///< histogram upper bounds
   std::vector<std::uint64_t> buckets;  ///< non-cumulative, +Inf last
+  std::vector<Exemplar> exemplars;     ///< per bucket; empty when none set
   std::uint64_t count = 0;
   double sum = 0.0;
 };

@@ -3,51 +3,280 @@
 #include <utility>
 
 namespace blab::obs {
+namespace {
+
+void append_json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::string_view SpanRecord::attr_str(std::string_view key) const {
+  for (const SpanAttr& a : attrs) {
+    if (a.key == key && a.kind == SpanAttr::Kind::kString) return a.s;
+  }
+  return {};
+}
 
 Tracer::Tracer(std::function<std::int64_t()> clock, std::size_t max_spans)
     : clock_{std::move(clock)}, max_spans_{max_spans} {}
 
-std::uint64_t Tracer::begin(std::string_view component, std::string_view name) {
+SpanRecord Tracer::make_record(std::string_view component,
+                               std::string_view name, TraceContext ctx,
+                               bool inherit_stack) {
+  SpanRecord rec;
+  rec.id = next_id_++;
+  if (ctx.valid()) {
+    rec.trace = ctx.trace;
+    rec.parent = ctx.span;
+  } else if (inherit_stack && !open_.empty()) {
+    rec.trace = open_.back().record.trace;
+    rec.parent = open_.back().record.id;
+  } else {
+    rec.trace = next_trace_++;
+    rec.parent = 0;
+  }
+  rec.component = std::string{component};
+  rec.name = std::string{name};
+  rec.start_us = clock_();
+  return rec;
+}
+
+std::uint64_t Tracer::begin(std::string_view component, std::string_view name,
+                            TraceContext ctx) {
   Open o;
-  o.record.id = next_id_++;
-  o.record.parent = open_.empty() ? 0 : open_.back().record.id;
+  o.record = make_record(component, name, ctx, /*inherit_stack=*/true);
   o.record.depth = static_cast<std::uint32_t>(open_.size());
-  o.record.component = std::string{component};
-  o.record.name = std::string{name};
-  o.record.start_us = clock_();
   open_.push_back(std::move(o));
   return open_.back().record.id;
 }
 
+std::uint64_t Tracer::begin_detached(std::string_view component,
+                                     std::string_view name, TraceContext ctx) {
+  SpanRecord rec = make_record(component, name, ctx, /*inherit_stack=*/false);
+  const std::uint64_t id = rec.id;
+  detached_.emplace(id, std::move(rec));
+  return id;
+}
+
+void Tracer::finish_record(SpanRecord&& record, std::int64_t now) {
+  record.end_us = now;
+  if (finished_.size() >= max_spans_) {
+    ++dropped_;
+    return;
+  }
+  auto it = trace_index_.find(record.trace);
+  if (it == trace_index_.end() && trace_index_.size() < kMaxIndexedTraces) {
+    it = trace_index_.emplace(record.trace, std::vector<std::uint32_t>{}).first;
+  }
+  if (it != trace_index_.end() &&
+      it->second.size() < kMaxIndexedSpansPerTrace) {
+    it->second.push_back(static_cast<std::uint32_t>(finished_.size()));
+  } else {
+    ++index_dropped_;
+  }
+  finished_.push_back(std::move(record));
+}
+
 void Tracer::end(std::uint64_t id) {
+  if (id == 0) return;  // null handle (e.g. ScopedSpan over a null tracer)
   const std::int64_t now = clock_();
-  while (!open_.empty()) {
+  auto det = detached_.find(id);
+  if (det != detached_.end()) {
+    SpanRecord rec = std::move(det->second);
+    detached_.erase(det);
+    finish_record(std::move(rec), now);
+    return;
+  }
+  std::size_t pos = open_.size();
+  for (std::size_t i = open_.size(); i-- > 0;) {
+    if (open_[i].record.id == id) {
+      pos = i;
+      break;
+    }
+  }
+  if (pos == open_.size()) {
+    ++end_mismatches_;
+    if (misuse_once_.first("unmatched-end")) {
+      BLAB_WARN_KV("obs", "span end without a matching open span; ignored",
+                   {{"span_id", std::to_string(id)}});
+    }
+    return;
+  }
+  if (pos + 1 != open_.size()) {
+    ++end_mismatches_;
+    if (misuse_once_.first("out-of-order-end")) {
+      BLAB_WARN_KV("obs",
+                   "span ended out of order; closing spans left open above it",
+                   {{"span_id", std::to_string(id)},
+                    {"leaked", std::to_string(open_.size() - pos - 1)}});
+    }
+  }
+  while (open_.size() > pos) {
     Open o = std::move(open_.back());
     open_.pop_back();
-    const bool match = o.record.id == id;
-    o.record.end_us = now;
-    if (finished_.size() < max_spans_) {
-      finished_.push_back(std::move(o.record));
-    } else {
-      ++dropped_;
-    }
-    if (match) return;
+    finish_record(std::move(o.record), now);
   }
+}
+
+TraceContext Tracer::current() const {
+  if (open_.empty()) return {};
+  return TraceContext{open_.back().record.trace, open_.back().record.id};
+}
+
+TraceContext Tracer::context_of(std::uint64_t id) const {
+  for (std::size_t i = open_.size(); i-- > 0;) {
+    if (open_[i].record.id == id) {
+      return TraceContext{open_[i].record.trace, id};
+    }
+  }
+  auto det = detached_.find(id);
+  if (det != detached_.end()) return TraceContext{det->second.trace, id};
+  return {};
+}
+
+SpanRecord* Tracer::find_open(std::uint64_t id) {
+  for (std::size_t i = open_.size(); i-- > 0;) {
+    if (open_[i].record.id == id) return &open_[i].record;
+  }
+  auto det = detached_.find(id);
+  if (det != detached_.end()) return &det->second;
+  return nullptr;
+}
+
+void Tracer::set_attr(std::uint64_t id, std::string_view key,
+                      std::int64_t value) {
+  SpanRecord* rec = find_open(id);
+  if (rec == nullptr || rec->attrs.size() >= kMaxAttrsPerSpan) return;
+  SpanAttr a;
+  a.key = std::string{key};
+  a.kind = SpanAttr::Kind::kInt;
+  a.i = value;
+  rec->attrs.push_back(std::move(a));
+}
+
+void Tracer::set_attr(std::uint64_t id, std::string_view key, double value) {
+  SpanRecord* rec = find_open(id);
+  if (rec == nullptr || rec->attrs.size() >= kMaxAttrsPerSpan) return;
+  SpanAttr a;
+  a.key = std::string{key};
+  a.kind = SpanAttr::Kind::kDouble;
+  a.d = value;
+  rec->attrs.push_back(std::move(a));
+}
+
+void Tracer::set_attr(std::uint64_t id, std::string_view key,
+                      std::string_view value) {
+  SpanRecord* rec = find_open(id);
+  if (rec == nullptr || rec->attrs.size() >= kMaxAttrsPerSpan) return;
+  SpanAttr a;
+  a.key = std::string{key};
+  a.kind = SpanAttr::Kind::kString;
+  a.s = std::string{value};
+  rec->attrs.push_back(std::move(a));
+}
+
+std::vector<std::uint64_t> Tracer::trace_ids() const {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(trace_index_.size());
+  for (const auto& [trace, indices] : trace_index_) {
+    if (!indices.empty()) ids.push_back(trace);
+  }
+  return ids;
+}
+
+std::vector<const SpanRecord*> Tracer::spans_in(std::uint64_t trace) const {
+  std::vector<const SpanRecord*> out;
+  auto it = trace_index_.find(trace);
+  if (it == trace_index_.end()) return out;
+  out.reserve(it->second.size());
+  for (std::uint32_t idx : it->second) out.push_back(&finished_[idx]);
+  return out;
+}
+
+std::size_t Tracer::open_in_trace(std::uint64_t trace) const {
+  std::size_t n = 0;
+  for (const Open& o : open_) {
+    if (o.record.trace == trace) ++n;
+  }
+  for (const auto& [id, rec] : detached_) {
+    if (rec.trace == trace) ++n;
+  }
+  return n;
+}
+
+std::uint64_t Tracer::find_trace_by_root_attr(std::string_view key,
+                                              std::string_view value) const {
+  for (const auto& [trace, indices] : trace_index_) {
+    for (std::uint32_t idx : indices) {
+      const SpanRecord& rec = finished_[idx];
+      if (rec.parent == 0 && rec.attr_str(key) == value) return trace;
+    }
+  }
+  return 0;
 }
 
 void Tracer::clear() {
   open_.clear();
+  detached_.clear();
   finished_.clear();
+  trace_index_.clear();
   dropped_ = 0;
+  end_mismatches_ = 0;
+  index_dropped_ = 0;
   next_id_ = 1;
+  next_trace_ = 1;
+  misuse_once_.reset();
 }
 
 void Tracer::write_jsonl(std::ostream& out) const {
   for (const SpanRecord& s : finished_) {
     out << "{\"id\":" << s.id << ",\"parent\":" << s.parent
-        << ",\"depth\":" << s.depth << ",\"component\":\"" << s.component
-        << "\",\"name\":\"" << s.name << "\",\"start_us\":" << s.start_us
-        << ",\"end_us\":" << s.end_us << "}\n";
+        << ",\"trace\":" << s.trace << ",\"depth\":" << s.depth
+        << ",\"component\":\"" << s.component << "\",\"name\":\"" << s.name
+        << "\",\"start_us\":" << s.start_us << ",\"end_us\":" << s.end_us;
+    if (!s.attrs.empty()) {
+      out << ",\"attrs\":{";
+      bool first = true;
+      for (const SpanAttr& a : s.attrs) {
+        if (!first) out << ',';
+        first = false;
+        append_json_string(out, a.key);
+        out << ':';
+        switch (a.kind) {
+          case SpanAttr::Kind::kInt:
+            out << a.i;
+            break;
+          case SpanAttr::Kind::kDouble:
+            out << a.d;
+            break;
+          case SpanAttr::Kind::kString:
+            append_json_string(out, a.s);
+            break;
+        }
+      }
+      out << '}';
+    }
+    out << "}\n";
   }
 }
 

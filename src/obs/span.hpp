@@ -1,4 +1,4 @@
-// Sim-time component spans.
+// Sim-time component spans with causal trace propagation.
 //
 // A span is a named, nested interval of simulated time attributed to a
 // component ("scheduler", "store", ...). Spans are stamped from the owning
@@ -6,55 +6,144 @@
 // not depend on sim), never from the wall clock — a traced DST run produces
 // the same spans every time.
 //
-// Usage:
-//   obs::ScopedSpan span{&sim.tracer(), "scheduler", "run_job"};
-//   ... do work; nested ScopedSpans become children ...
+// Every span belongs to a trace: a causal tree rooted at one top-level
+// operation (typically a scheduler job). Synchronous nesting is implicit —
+// a ScopedSpan opened while another is open becomes its child and joins its
+// trace. Asynchronous work (sim event callbacks, flows, mirroring probes)
+// carries an explicit TraceContext captured where the work was scheduled:
+//
+//   obs::ScopedSpan span{&sim.tracer(), "scheduler", "run_job",
+//                        obs::TraceContext{job.trace_id, job.root_span}};
+//   span.attr("device", serial);
+//
+// Spans that outlive the caller's scope (job roots, in-flight flows) are
+// opened detached via begin_detached() and closed by id; they never sit on
+// the LIFO stack, so unrelated synchronous spans can open and close freely
+// while they are in flight.
 //
 // The tracer keeps a bounded in-memory buffer of finished spans (newest
-// dropped past the cap, with a counter) and can export them as JSONL for
-// offline inspection.
+// dropped past the cap, with a counter), a bounded per-trace index for
+// O(trace) lookup, and can export as JSONL or (via obs/export) Chrome
+// trace-event JSON for Perfetto.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <ostream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "util/logging.hpp"
+
 namespace blab::obs {
+
+/// Causal position handed to asynchronous work: the trace it belongs to and
+/// the span that caused it. A default-constructed context is "no context":
+/// the receiving span starts a fresh trace.
+struct TraceContext {
+  std::uint64_t trace = 0;
+  std::uint64_t span = 0;
+
+  bool valid() const { return trace != 0; }
+};
+
+/// One typed key/value attached to a span (sample counts, byte totals,
+/// device serials). Kept as a tagged struct rather than a variant so the
+/// record stays trivially copyable-ish and cheap to render.
+struct SpanAttr {
+  enum class Kind : std::uint8_t { kInt, kDouble, kString };
+
+  std::string key;
+  Kind kind = Kind::kInt;
+  std::int64_t i = 0;
+  double d = 0.0;
+  std::string s;
+};
 
 struct SpanRecord {
   std::uint64_t id = 0;
-  std::uint64_t parent = 0;  ///< 0 = root
+  std::uint64_t parent = 0;  ///< 0 = root of its trace
+  std::uint64_t trace = 0;   ///< trace (causal tree) this span belongs to
   std::uint32_t depth = 0;
   std::string component;
   std::string name;
   std::int64_t start_us = 0;
   std::int64_t end_us = 0;
+  std::vector<SpanAttr> attrs;
 
   std::int64_t duration_us() const { return end_us - start_us; }
+  /// String attribute lookup ("" when absent or not a string).
+  std::string_view attr_str(std::string_view key) const;
 };
 
 class Tracer {
  public:
+  /// Hard ceiling on attributes per span; extras are silently ignored.
+  static constexpr std::size_t kMaxAttrsPerSpan = 16;
+  /// Bounds on the per-trace index (the span buffer itself is bounded by
+  /// max_spans). Traces past the cap still record spans, just unindexed.
+  static constexpr std::size_t kMaxIndexedTraces = 1024;
+  static constexpr std::size_t kMaxIndexedSpansPerTrace = 4096;
+
   /// `clock` returns the current simulated time in microseconds.
   explicit Tracer(std::function<std::int64_t()> clock,
                   std::size_t max_spans = 65536);
 
-  /// Open a span; returns its id. Nests under the currently open span.
-  std::uint64_t begin(std::string_view component, std::string_view name);
-  /// Close the most recently opened span with this id (spans close LIFO;
-  /// closing out of order closes everything above it too).
+  /// Open a span; returns its id. With a valid context the span joins that
+  /// trace as a child of ctx.span; otherwise it nests under the currently
+  /// open span, or roots a fresh trace when the stack is empty.
+  std::uint64_t begin(std::string_view component, std::string_view name,
+                      TraceContext ctx = {});
+  /// Open a span that is NOT on the LIFO stack: it can stay open across
+  /// arbitrary synchronous spans and sim events until end(id). With a valid
+  /// context it joins that trace; otherwise it roots a fresh trace (detached
+  /// spans never inherit from the stack — they outlive it).
+  std::uint64_t begin_detached(std::string_view component,
+                               std::string_view name, TraceContext ctx = {});
+  /// Close a span by id. Tolerates misuse: id 0, an already-closed or
+  /// unknown id, and out-of-order ends are each logged once per kind and
+  /// counted in end_mismatches() instead of corrupting the buffer. An
+  /// out-of-order end still closes the (leaked) spans opened above it.
   void end(std::uint64_t id);
+
+  /// Context of the innermost open stack span ({0,0} when idle). Capture
+  /// this BEFORE scheduling async work so the callback's span parents here.
+  TraceContext current() const;
+  /// Context of a specific open span (stack or detached); {0,0} if unknown.
+  TraceContext context_of(std::uint64_t id) const;
+
+  /// Attach a typed attribute to an open span. No-op on unknown ids or past
+  /// the per-span cap.
+  void set_attr(std::uint64_t id, std::string_view key, std::int64_t value);
+  void set_attr(std::uint64_t id, std::string_view key, double value);
+  void set_attr(std::uint64_t id, std::string_view key,
+                std::string_view value);
 
   const std::vector<SpanRecord>& spans() const { return finished_; }
   std::size_t open_depth() const { return open_.size(); }
+  /// Open spans including detached ones.
+  std::size_t open_total() const { return open_.size() + detached_.size(); }
   std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t end_mismatches() const { return end_mismatches_; }
+  std::uint64_t index_dropped() const { return index_dropped_; }
+
+  /// All trace ids with at least one finished, indexed span (ascending).
+  std::vector<std::uint64_t> trace_ids() const;
+  /// Finished spans of one trace, in finish order. Empty for unknown ids.
+  std::vector<const SpanRecord*> spans_in(std::uint64_t trace) const;
+  /// Count of still-open spans (stack + detached) in a trace.
+  std::size_t open_in_trace(std::uint64_t trace) const;
+  /// First trace (ascending id) whose root span carries the given string
+  /// attribute value; 0 when none matches.
+  std::uint64_t find_trace_by_root_attr(std::string_view key,
+                                        std::string_view value) const;
+
   void clear();
 
-  /// One JSON object per line: {"id":..,"parent":..,"depth":..,
-  /// "component":"..","name":"..","start_us":..,"end_us":..}
+  /// One JSON object per line: {"id":..,"parent":..,"trace":..,"depth":..,
+  /// "component":"..","name":"..","start_us":..,"end_us":..,"attrs":{..}}
   void write_jsonl(std::ostream& out) const;
 
  private:
@@ -62,21 +151,34 @@ class Tracer {
     SpanRecord record;
   };
 
+  SpanRecord make_record(std::string_view component, std::string_view name,
+                         TraceContext ctx, bool inherit_stack);
+  void finish_record(SpanRecord&& record, std::int64_t now);
+  SpanRecord* find_open(std::uint64_t id);
+
   std::function<std::int64_t()> clock_;
   std::size_t max_spans_;
   std::uint64_t next_id_ = 1;
+  std::uint64_t next_trace_ = 1;
   std::uint64_t dropped_ = 0;
+  std::uint64_t end_mismatches_ = 0;
+  std::uint64_t index_dropped_ = 0;
   std::vector<Open> open_;
+  std::map<std::uint64_t, SpanRecord> detached_;
   std::vector<SpanRecord> finished_;
+  /// trace id -> indices into finished_, in finish order.
+  std::map<std::uint64_t, std::vector<std::uint32_t>> trace_index_;
+  util::OncePerKey misuse_once_;
 };
 
 /// RAII span. Tolerates a null tracer (spans become no-ops), so call sites
 /// do not need to guard on telemetry being wired up.
 class ScopedSpan {
  public:
-  ScopedSpan(Tracer* tracer, std::string_view component, std::string_view name)
+  ScopedSpan(Tracer* tracer, std::string_view component, std::string_view name,
+             TraceContext ctx = {})
       : tracer_{tracer} {
-    if (tracer_ != nullptr) id_ = tracer_->begin(component, name);
+    if (tracer_ != nullptr) id_ = tracer_->begin(component, name, ctx);
   }
   ~ScopedSpan() {
     if (tracer_ != nullptr) tracer_->end(id_);
@@ -85,6 +187,20 @@ class ScopedSpan {
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
   std::uint64_t id() const { return id_; }
+  /// Context for child work scheduled from inside this span.
+  TraceContext context() const {
+    return tracer_ == nullptr ? TraceContext{} : tracer_->context_of(id_);
+  }
+
+  void attr(std::string_view key, std::int64_t value) {
+    if (tracer_ != nullptr) tracer_->set_attr(id_, key, value);
+  }
+  void attr(std::string_view key, double value) {
+    if (tracer_ != nullptr) tracer_->set_attr(id_, key, value);
+  }
+  void attr(std::string_view key, std::string_view value) {
+    if (tracer_ != nullptr) tracer_->set_attr(id_, key, value);
+  }
 
  private:
   Tracer* tracer_;

@@ -20,6 +20,7 @@ AccessServer::AccessServer(sim::Simulator& sim, net::Network& net,
   (void)certs_.issue(sim_.now());
   scheduler_.attach_capture_store(&capture_store_);
   capture_store_.attach_metrics(&sim_.metrics());
+  capture_store_.attach_tracer(&sim_.tracer());
 }
 
 std::string AccessServer::metrics_text() const {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "api/batterylab_api.hpp"
+#include "obs/span.hpp"
 #include "util/id.hpp"
 #include "util/result.hpp"
 #include "util/time.hpp"
@@ -77,6 +78,9 @@ struct JobContext {
   std::string device_serial;          ///< resolved device assignment
   JobWorkspace* workspace = nullptr;
   util::TimePoint deadline;           ///< timed session limit
+  /// Causal position of the job's run_job span; scripts scheduling async
+  /// work can hand this to ScopedSpan/begin_detached so it joins the trace.
+  obs::TraceContext trace;
 };
 
 using JobScript = std::function<util::Status(JobContext&)>;
@@ -96,6 +100,10 @@ struct Job {
   util::TimePoint started_at;
   util::TimePoint finished_at;
   bool overran = false;
+  /// Causal trace rooted at submit; every span this job causes (dispatch,
+  /// automation, capture, archival) lives in this tree. 0 until submitted.
+  std::uint64_t trace_id = 0;
+  std::uint64_t root_span = 0;  ///< detached root, closed when the job ends
 };
 
 }  // namespace blab::server

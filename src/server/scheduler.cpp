@@ -32,6 +32,15 @@ JobId Scheduler::submit(Job job) {
   job.id = ids_.next();
   job.state = JobState::kQueued;
   job.queued_at = sim_.now();
+  // Root the job's causal trace here: everything the job causes — dispatch,
+  // automation, captures, archival — parents under this detached span, which
+  // stays open until the job reaches a terminal state.
+  obs::Tracer& tracer = sim_.tracer();
+  job.root_span = tracer.begin_detached("scheduler", "job");
+  job.trace_id = tracer.context_of(job.root_span).trace;
+  tracer.set_attr(job.root_span, "job", job.id.str());
+  tracer.set_attr(job.root_span, "name", job.name);
+  tracer.set_attr(job.root_span, "owner", job.owner);
   const JobId id = job.id;
   jobs_.push_back(std::make_unique<Job>(std::move(job)));
   metrics_.submitted->inc();
@@ -58,6 +67,8 @@ util::Status Scheduler::abort(JobId id) {
                             "only queued jobs can be aborted");
   }
   job->state = JobState::kAborted;
+  sim_.tracer().set_attr(job->root_span, "state", "aborted");
+  sim_.tracer().end(job->root_span);
   metrics_.aborted->inc();
   metrics_.queue_depth->add(-1.0);
   return util::Status::ok_status();
@@ -166,17 +177,36 @@ void Scheduler::note_finished(const Job& job) {
   (job.state == JobState::kSucceeded ? metrics_.succeeded : metrics_.failed)
       ->inc();
   metrics_.run_duration->observe(
-      (job.finished_at - job.started_at).to_seconds());
+      (job.finished_at - job.started_at).to_seconds(),
+      obs::Exemplar{job.trace_id, sim_.now().us()});
 }
 
 void Scheduler::run_job(Job& job, const Assignment& assignment) {
-  obs::ScopedSpan span{&sim_.tracer(), "scheduler", "run_job"};
+  {
+    obs::ScopedSpan span{&sim_.tracer(), "scheduler", "run_job",
+                         obs::TraceContext{job.trace_id, job.root_span}};
+    span.attr("job", job.id.str());
+    span.attr("vp", assignment.node_label);
+    if (!assignment.device_serial.empty()) {
+      span.attr("device", assignment.device_serial);
+    }
+    execute_job(job, assignment, span.id());
+  }
+  // The root closes only after run_job and every child span has; closing it
+  // inside the scope above would make the parent end before its children.
+  sim_.tracer().set_attr(job.root_span, "state", job_state_name(job.state));
+  sim_.tracer().end(job.root_span);
+}
+
+void Scheduler::execute_job(Job& job, const Assignment& assignment,
+                            std::uint64_t span_id) {
   job.state = JobState::kRunning;
   job.started_at = sim_.now();
   metrics_.dispatched->inc();
   metrics_.queue_depth->add(-1.0);
   metrics_.running->add(1.0);
-  metrics_.queue_wait->observe((job.started_at - job.queued_at).to_seconds());
+  metrics_.queue_wait->observe((job.started_at - job.queued_at).to_seconds(),
+                               obs::Exemplar{job.trace_id, sim_.now().us()});
   sim_.metrics()
       .counter("blab_scheduler_node_jobs_total", {{"vp", assignment.node_label}})
       .inc();
@@ -218,6 +248,7 @@ void Scheduler::run_job(Job& job, const Assignment& assignment) {
   ctx.device_serial = assignment.device_serial;
   ctx.workspace = &job.workspace;
   ctx.deadline = sim_.now() + job.max_duration;
+  ctx.trace = obs::TraceContext{job.trace_id, span_id};
 
   util::Status result = job.script ? job.script(ctx)
                                    : util::Status{util::make_error(

@@ -93,6 +93,8 @@ class Scheduler {
   bool device_matches(api::VantagePoint& vp, const std::string& serial,
                       const JobConstraints& constraints) const;
   void run_job(Job& job, const Assignment& assignment);
+  void execute_job(Job& job, const Assignment& assignment,
+                   std::uint64_t span_id);
   void note_finished(const Job& job);
 
   sim::Simulator& sim_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace blab::store {
 namespace {
@@ -61,6 +62,7 @@ CaptureId CaptureStore::append(const std::string& workspace, std::string name,
                                const hw::Capture& capture,
                                util::TimePoint now) {
   CaptureId id{workspace, next_seq_++};
+  obs::ScopedSpan span{tracer_, "store", "append_capture"};
   Record record;
   record.name = std::move(name);
   record.stored_at = now;
@@ -69,6 +71,11 @@ CaptureId CaptureStore::append(const std::string& workspace, std::string name,
   const std::uint64_t raw_bytes =
       static_cast<std::uint64_t>(capture.sample_count()) * sizeof(float);
   const std::uint64_t encoded_bytes = record.capture.byte_size();
+  span.attr("workspace", workspace);
+  span.attr("samples", static_cast<std::int64_t>(capture.sample_count()));
+  span.attr("chunks", static_cast<std::int64_t>(chunks));
+  span.attr("bytes_raw", static_cast<std::int64_t>(raw_bytes));
+  span.attr("bytes_encoded", static_cast<std::int64_t>(encoded_bytes));
   records_.emplace(id, std::move(record));
   ++stats_.captures_appended;
   stats_.chunks_written += chunks;

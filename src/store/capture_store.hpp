@@ -25,6 +25,7 @@ namespace blab::obs {
 class Counter;
 class Gauge;
 class MetricsRegistry;
+class Tracer;
 }  // namespace blab::obs
 
 namespace blab::store {
@@ -129,6 +130,11 @@ class CaptureStore {
   /// constructed first and destroyed last.
   void attach_metrics(obs::MetricsRegistry* registry);
 
+  /// Span coverage for archival: appends open a `store/append_capture` span
+  /// (joining the caller's trace — e.g. a job's stop_monitor) annotated with
+  /// chunk and byte counts. Null-safe like attach_metrics.
+  void attach_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct Record {
     std::string name;
@@ -178,6 +184,7 @@ class CaptureStore {
   std::map<CacheKey, std::list<CacheEntry>::iterator> cache_index_;
   StoreStats stats_;
   Metrics metrics_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace blab::store

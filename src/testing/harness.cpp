@@ -498,6 +498,8 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   result.faults_injected = state.faults_fired;
   result.metrics = sim.metrics().snapshot();
   result.metrics_text = obs::encode_prometheus(result.metrics);
+  result.spans = sim.tracer().spans();
+  result.trace_json = obs::encode_trace_json(result.spans);
   result.digest = recorder.digest();
   result.digest_hex = recorder.digest_hex();
   result.trace = recorder.events();

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "testing/oracles.hpp"
 #include "testing/scenario.hpp"
 #include "testing/trace.hpp"
@@ -38,6 +39,11 @@ struct ScenarioResult {
   /// still render byte-identical `metrics_text`.
   obs::MetricsSnapshot metrics;
   std::string metrics_text;  ///< Prometheus rendering of `metrics`
+  /// Finished spans at scenario end plus their Perfetto rendering. Like the
+  /// metrics snapshot these are NOT in the digest, but serial and pooled
+  /// runs of the same seed must produce byte-identical `trace_json`.
+  std::vector<obs::SpanRecord> spans;
+  std::string trace_json;
 
   bool ok() const { return violations.empty(); }
   /// Failure-message payload: the seed plus every oracle finding.

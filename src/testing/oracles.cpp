@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <sstream>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/strings.hpp"
 
 namespace blab::testing {
@@ -288,6 +290,82 @@ class MetricAccountingOracle : public InvariantOracle {
   }
 };
 
+class TraceIntegrityOracle : public InvariantOracle {
+ public:
+  const char* name() const override { return "trace-integrity"; }
+
+  void check(const OracleContext& ctx,
+             std::vector<OracleFinding>& out) override {
+    // Every job must yield one well-formed causal trace: a single root span,
+    // every span reachable from it, children contained in their parents'
+    // intervals, no spans left open once the job reaches a terminal state,
+    // and no trace shared between jobs.
+    const obs::Tracer& tracer = ctx.sim->tracer();
+    std::map<std::uint64_t, std::string> trace_owner;
+    for (const server::Job* job : ctx.server->scheduler().all_jobs()) {
+      if (job->trace_id == 0) {
+        out.push_back({name(), "job " + job->id.str() + " has no trace"});
+        continue;
+      }
+      const auto [it, inserted] =
+          trace_owner.emplace(job->trace_id, job->id.str());
+      if (!inserted) {
+        out.push_back({name(), "trace " + std::to_string(job->trace_id) +
+                                   " shared by jobs " + it->second + " and " +
+                                   job->id.str()});
+        continue;
+      }
+      const bool terminal = job->state == server::JobState::kSucceeded ||
+                            job->state == server::JobState::kFailed ||
+                            job->state == server::JobState::kAborted;
+      if (!terminal) continue;  // root still legitimately open
+
+      const std::string where =
+          " (job " + job->id.str() + ", trace " +
+          std::to_string(job->trace_id) + ")";
+      if (const std::size_t open = tracer.open_in_trace(job->trace_id);
+          open != 0) {
+        out.push_back({name(), std::to_string(open) +
+                                   " span(s) still open after job finished" +
+                                   where});
+      }
+      const auto spans = tracer.spans_in(job->trace_id);
+      if (spans.empty()) {
+        out.push_back({name(), "finished job has no spans" + where});
+        continue;
+      }
+      std::map<std::uint64_t, const obs::SpanRecord*> by_id;
+      std::size_t roots = 0;
+      for (const obs::SpanRecord* s : spans) {
+        by_id.emplace(s->id, s);
+        if (s->parent == 0) ++roots;
+      }
+      if (roots != 1) {
+        out.push_back({name(), std::to_string(roots) +
+                                   " root spans, expected exactly 1" + where});
+      }
+      for (const obs::SpanRecord* s : spans) {
+        if (s->parent == 0) continue;
+        const auto parent = by_id.find(s->parent);
+        if (parent == by_id.end()) {
+          out.push_back({name(), "span " + std::to_string(s->id) + " (" +
+                                     s->component + "/" + s->name +
+                                     ") unreachable: parent " +
+                                     std::to_string(s->parent) +
+                                     " not in trace" + where});
+          continue;
+        }
+        const obs::SpanRecord* p = parent->second;
+        if (s->start_us < p->start_us || s->end_us > p->end_us) {
+          out.push_back({name(), "span " + std::to_string(s->id) + " (" +
+                                     s->component + "/" + s->name +
+                                     ") escapes its parent interval" + where});
+        }
+      }
+    }
+  }
+};
+
 }  // namespace
 
 OracleRegistry::OracleRegistry() {
@@ -299,6 +377,7 @@ OracleRegistry::OracleRegistry() {
   add(std::make_unique<MirroringLifecycleOracle>());
   add(std::make_unique<DnsCertConsistencyOracle>());
   add(std::make_unique<MetricAccountingOracle>());
+  add(std::make_unique<TraceIntegrityOracle>());
 }
 
 void OracleRegistry::add(std::unique_ptr<InvariantOracle> oracle) {

@@ -173,9 +173,10 @@ TEST_F(RestTest, InProcessCall) {
 TEST_F(RestTest, EndpointListing) {
   EXPECT_TRUE(rest.has_endpoint("echo"));
   EXPECT_FALSE(rest.has_endpoint("nope"));
-  // "echo", "status", plus the built-in "metrics" endpoint.
+  // "echo", "status", plus the built-in "metrics" and "traces" endpoints.
   EXPECT_TRUE(rest.has_endpoint("metrics"));
-  EXPECT_EQ(rest.endpoints().size(), 3u);
+  EXPECT_TRUE(rest.has_endpoint("traces"));
+  EXPECT_EQ(rest.endpoints().size(), 4u);
 }
 
 TEST_F(RestTest, NetworkAjaxRoundTrip) {

@@ -81,6 +81,10 @@ TEST(DstCorpus, ParallelRunMatchesSerialPerSeed) {
         << "seed " << seeds[i]
         << " telemetry snapshot depends on the worker count";
     EXPECT_FALSE(serial[i].metrics_text.empty()) << "seed " << seeds[i];
+    EXPECT_EQ(serial[i].trace_json, parallel[i].trace_json)
+        << "seed " << seeds[i]
+        << " Perfetto trace output depends on the worker count";
+    EXPECT_FALSE(serial[i].trace_json.empty()) << "seed " << seeds[i];
   }
 }
 
@@ -312,7 +316,7 @@ TEST(Oracles, DefaultRegistryCoversTheDocumentedInvariants) {
   const std::vector<std::string> expected{
       "clock-monotonicity", "scheduler-safety", "credit-ledger",
       "energy-conservation", "battery-sanity", "mirroring-lifecycle",
-      "dns-cert-consistency", "metric-accounting"};
+      "dns-cert-consistency", "metric-accounting", "trace-integrity"};
   for (const auto& name : expected) {
     EXPECT_NE(std::find(names.begin(), names.end(), name), names.end())
         << "missing oracle: " << name;

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -185,6 +186,134 @@ TEST(Encoders, MergeSumsCountersAndHistograms) {
   EXPECT_EQ(h->buckets[0] + h->buckets[1], 2u);
 }
 
+// Pinned Chrome trace-event rendering: ph X events with args carrying span,
+// parent, trace, and typed attributes. A diff here breaks Perfetto loading.
+TEST(Encoders, PerfettoTraceGolden) {
+  std::int64_t now_us = 0;
+  obs::Tracer tracer{[&] { return now_us; }};
+  const std::uint64_t root = tracer.begin_detached("scheduler", "job");
+  tracer.set_attr(root, "job", std::string_view{"job-1"});
+  {
+    obs::ScopedSpan run{&tracer, "scheduler", "run_job",
+                        tracer.context_of(root)};
+    run.attr("samples", std::int64_t{25});
+    now_us = 150;
+  }
+  now_us = 200;
+  tracer.end(root);
+  const std::string expected =
+      "{\"traceEvents\":["
+      "{\"name\":\"run_job\",\"cat\":\"scheduler\",\"ph\":\"X\",\"ts\":0,"
+      "\"dur\":150,\"pid\":1,\"tid\":1,\"args\":{\"span\":2,\"parent\":1,"
+      "\"trace\":1,\"samples\":25}},"
+      "{\"name\":\"job\",\"cat\":\"scheduler\",\"ph\":\"X\",\"ts\":0,"
+      "\"dur\":200,\"pid\":1,\"tid\":1,\"args\":{\"span\":1,\"parent\":0,"
+      "\"trace\":1,\"job\":\"job-1\"}}"
+      "],\"displayTimeUnit\":\"ms\"}";
+  EXPECT_EQ(obs::encode_trace_json(tracer.spans()), expected);
+
+  // The pointer overload renders identically.
+  EXPECT_EQ(obs::encode_trace_json(tracer.spans_in(1)), expected);
+
+  const std::string list = obs::encode_trace_list_json(tracer);
+  EXPECT_EQ(list.rfind("{\"traces\":[", 0), 0u) << list;
+  EXPECT_NE(list.find("\"trace_id\":1"), std::string::npos);
+  EXPECT_NE(list.find("\"job\":\"job-1\""), std::string::npos);
+  EXPECT_NE(list.find("\"spans\":2"), std::string::npos);
+}
+
+TEST(Encoders, CorpusTraceNamesOneProcessPerSeed) {
+  std::int64_t now_us = 0;
+  obs::Tracer tracer{[&] { return now_us; }};
+  { obs::ScopedSpan s{&tracer, "scheduler", "run_job"}; }
+  const std::vector<obs::SpanRecord> spans = tracer.spans();
+  const std::string doc =
+      obs::encode_trace_json_corpus({{7, &spans}, {9, nullptr}});
+  EXPECT_EQ(doc.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(doc.find("\"name\":\"seed 7\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"seed 9\""), std::string::npos);
+  EXPECT_NE(doc.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"run_job\""), std::string::npos);
+}
+
+// ---------------------------------------------------------- exemplars ----
+
+// First observation always attaches; afterwards only tail values (fraction
+// of prior mass strictly below the value's own bucket >= the quantile) do.
+TEST(MetricsRegistry, ExemplarAttachesAboveTheQuantile) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h = registry.histogram("blab_wait_seconds", {1.0, 5.0});
+  h.observe(0.5, obs::Exemplar{1, 10});  // empty histogram: attaches
+  ASSERT_TRUE(h.exemplar(0).valid());
+  EXPECT_EQ(h.exemplar(0).trace, 1u);
+  EXPECT_DOUBLE_EQ(h.exemplar(0).value, 0.5);
+
+  for (int i = 0; i < 8; ++i) h.observe(0.5);
+  // All 9 prior observations sit below the +Inf bucket: 9/9 >= 0.9, attach.
+  h.observe(30.0, obs::Exemplar{2, 20});
+  ASSERT_TRUE(h.exemplar(2).valid());
+  EXPECT_EQ(h.exemplar(2).trace, 2u);
+
+  // A bulk value (nothing below its bucket) does not displace the exemplar.
+  h.observe(0.4, obs::Exemplar{3, 30});
+  EXPECT_EQ(h.exemplar(0).trace, 1u);
+}
+
+TEST(MetricsRegistry, ExemplarQuantileIsConfigurable) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h = registry.histogram("blab_lat_seconds", {1.0});
+  h.set_exemplar_quantile(0.5);
+  h.observe(0.5);
+  h.observe(0.5);
+  h.observe(2.0, obs::Exemplar{5, 100});  // 2/2 below >= 0.5: attaches
+  EXPECT_EQ(h.exemplar(1).trace, 5u);
+  h.observe(0.3, obs::Exemplar{6, 200});  // 0/3 below < 0.5: rejected
+  EXPECT_FALSE(h.exemplar(0).valid());
+
+  h.set_exemplar_quantile(0.0);  // admit everything; latest wins
+  h.observe(0.3, obs::Exemplar{7, 300});
+  EXPECT_EQ(h.exemplar(0).trace, 7u);
+  h.observe(2.5, obs::Exemplar{8, 400});
+  EXPECT_EQ(h.exemplar(1).trace, 8u);
+}
+
+TEST(Encoders, PrometheusRendersExemplarSuffixes) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h = registry.histogram("blab_wait_seconds", {1.0, 5.0});
+  h.observe(0.5, obs::Exemplar{7, 123});
+  h.observe(30.0, obs::Exemplar{9, 456});
+  const std::string text = obs::encode_prometheus(registry.snapshot());
+  EXPECT_NE(text.find("blab_wait_seconds_bucket{le=\"1\"} 1"
+                      " # {trace_id=\"7\",ts_us=\"123\"} 0.500000"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("le=\"+Inf\"} 2 # {trace_id=\"9\",ts_us=\"456\"} 30"),
+            std::string::npos)
+      << text;
+  // The middle bucket holds no exemplar and renders the plain form.
+  EXPECT_NE(text.find("blab_wait_seconds_bucket{le=\"5\"} 1\n"),
+            std::string::npos)
+      << text;
+
+  const std::string json = obs::encode_json(registry.snapshot());
+  EXPECT_NE(json.find("\"exemplars\":[{\"bucket\":0,\"trace_id\":7,"
+                      "\"ts_us\":123,"),
+            std::string::npos)
+      << json;
+}
+
+TEST(Encoders, MergeKeepsTheLatestExemplarPerBucket) {
+  obs::MetricsRegistry a, b;
+  a.histogram("blab_h", {1.0}).observe(0.5, obs::Exemplar{1, 100});
+  b.histogram("blab_h", {1.0}).observe(0.5, obs::Exemplar{2, 200});
+  const auto merged = obs::merge_snapshots({a.snapshot(), b.snapshot()});
+  const obs::SeriesSnapshot* h = merged.find("blab_h");
+  ASSERT_NE(h, nullptr);
+  ASSERT_FALSE(h->exemplars.empty());
+  EXPECT_EQ(h->exemplars[0].trace, 2u);  // greater sim timestamp wins
+  EXPECT_EQ(h->exemplars[0].ts_us, 200);
+}
+
 // ------------------------------------------------------------ spans ------
 
 TEST(Spans, NestAndCloseLifoOnSimClock) {
@@ -219,6 +348,101 @@ TEST(Spans, NestAndCloseLifoOnSimClock) {
 
 TEST(Spans, NullTracerIsANoOp) {
   obs::ScopedSpan span{nullptr, "x", "y"};  // must not crash
+}
+
+// A detached root span plus an explicit TraceContext tie synchronous and
+// asynchronous children into one causal tree — the propagation pattern the
+// scheduler/API/net layers use for every job.
+TEST(Spans, ContextPropagationJoinsDetachedWorkToOneTrace) {
+  std::int64_t now_us = 0;
+  obs::Tracer tracer{[&] { return now_us; }};
+  const std::uint64_t root = tracer.begin_detached("scheduler", "job");
+  tracer.set_attr(root, "job", std::string_view{"job-1"});
+  const obs::TraceContext ctx = tracer.context_of(root);
+  ASSERT_TRUE(ctx.valid());
+  {
+    obs::ScopedSpan run{&tracer, "scheduler", "run_job", ctx};
+    now_us = 50;
+    obs::ScopedSpan api{&tracer, "api", "start_monitor"};  // stack-inherited
+    now_us = 80;
+  }
+  // Async work opened after the stack unwound, carrying the captured ctx.
+  const std::uint64_t flow = tracer.begin_detached("net", "flow", ctx);
+  EXPECT_EQ(tracer.open_in_trace(ctx.trace), 2u);  // root + flow
+  now_us = 120;
+  tracer.end(flow);
+  tracer.end(root);
+
+  const auto spans = tracer.spans_in(ctx.trace);
+  ASSERT_EQ(spans.size(), 4u);
+  std::size_t roots = 0;
+  for (const obs::SpanRecord* s : spans) {
+    EXPECT_EQ(s->trace, ctx.trace);
+    if (s->parent == 0) ++roots;
+  }
+  EXPECT_EQ(roots, 1u);
+  EXPECT_EQ(tracer.find_trace_by_root_attr("job", "job-1"), ctx.trace);
+  EXPECT_EQ(tracer.find_trace_by_root_attr("job", "job-2"), 0u);
+  ASSERT_EQ(tracer.trace_ids().size(), 1u);
+  EXPECT_EQ(tracer.open_in_trace(ctx.trace), 0u);
+}
+
+// Satellite: end() tolerates double ends, unknown ids, and out-of-order
+// ends — each counted, each warned exactly once, never corrupting the stack.
+TEST(Spans, EndToleratesDoubleUnknownAndOutOfOrderEnds) {
+  util::LogCapture capture;
+  std::int64_t now_us = 0;
+  obs::Tracer tracer{[&] { return now_us; }};
+
+  tracer.end(0);  // null handle: silent no-op
+  EXPECT_EQ(tracer.end_mismatches(), 0u);
+
+  tracer.end(999);  // unknown id
+  EXPECT_EQ(tracer.end_mismatches(), 1u);
+
+  const std::uint64_t outer = tracer.begin("x", "outer");
+  (void)tracer.begin("x", "inner");
+  tracer.end(outer);  // out of order: also closes the leaked inner span
+  EXPECT_EQ(tracer.open_depth(), 0u);
+  EXPECT_EQ(tracer.spans().size(), 2u);
+  EXPECT_EQ(tracer.end_mismatches(), 2u);
+
+  const std::uint64_t flow = tracer.begin_detached("x", "flow");
+  tracer.end(flow);
+  tracer.end(flow);  // double end
+  EXPECT_EQ(tracer.end_mismatches(), 3u);
+  EXPECT_EQ(tracer.spans().size(), 3u);
+
+  // One warning per misuse kind, not per occurrence.
+  EXPECT_TRUE(capture.contains("span end without a matching open span"));
+  EXPECT_TRUE(capture.contains("span ended out of order"));
+  EXPECT_EQ(capture.size(), 2u);
+  tracer.end(999);
+  EXPECT_EQ(capture.size(), 2u);
+  EXPECT_EQ(tracer.end_mismatches(), 4u);
+}
+
+// Spans still open when run_all trips its event cap must not crash the
+// tracer, and remain closable afterwards.
+TEST(Spans, OpenSpansSurviveTheSimulatorEventCap) {
+  sim::Simulator sim;
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_after(
+        util::Duration::millis(i + 1),
+        [&sim, &ids] {
+          ids.push_back(sim.tracer().begin_detached("test", "pending"));
+        },
+        "open-span");
+  }
+  sim.run_all(5);
+  ASSERT_TRUE(sim.hit_cap());
+  ASSERT_EQ(ids.size(), 5u);
+  EXPECT_EQ(sim.tracer().open_total(), 5u);
+  for (std::uint64_t id : ids) sim.tracer().end(id);
+  EXPECT_EQ(sim.tracer().open_total(), 0u);
+  EXPECT_EQ(sim.tracer().spans().size(), ids.size());
+  EXPECT_EQ(sim.tracer().end_mismatches(), 0u);
 }
 
 // ------------------------------------------------------------ logging ----
@@ -337,6 +561,65 @@ TEST(RestMetrics, MetricsEndpointServesTheLiveRegistry) {
   EXPECT_NE(json.value().find("\"blab_rest_requests_total\""),
             std::string::npos);
   EXPECT_EQ(rest.requests_served(), 2u);
+}
+
+TEST(RestTraces, TracesEndpointResolvesJobIdsAndTraceIds) {
+  sim::Simulator sim;
+  net::Network net{sim, 0x0B5ULL};
+  controller::RestBackend rest{net, "ctrl.node1"};
+  obs::Tracer& tracer = sim.tracer();
+  const std::uint64_t root = tracer.begin_detached("scheduler", "job");
+  tracer.set_attr(root, "job", std::string_view{"job-1"});
+  const obs::TraceContext ctx = tracer.context_of(root);
+  { obs::ScopedSpan run{&tracer, "scheduler", "run_job", ctx}; }
+  tracer.end(root);
+
+  auto list = rest.call("traces", "");
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list.value().rfind("{\"traces\":[", 0), 0u) << list.value();
+  EXPECT_NE(list.value().find("\"job\":\"job-1\""), std::string::npos);
+
+  auto by_job = rest.call("traces", "job_id=job-1");
+  ASSERT_TRUE(by_job.ok());
+  EXPECT_EQ(by_job.value().rfind("{\"traceEvents\":[", 0), 0u)
+      << by_job.value();
+  EXPECT_NE(by_job.value().find("\"name\":\"run_job\""), std::string::npos);
+  EXPECT_NE(by_job.value().find("\"name\":\"job\""), std::string::npos);
+
+  auto by_trace = rest.call("traces", "trace_id=" + std::to_string(ctx.trace));
+  ASSERT_TRUE(by_trace.ok());
+  EXPECT_EQ(by_trace.value(), by_job.value());
+
+  auto missing = rest.call("traces", "job_id=job-999");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.error().str().find("no trace for job job-999"),
+            std::string::npos);
+}
+
+// ----------------------------------------------------- tracing e2e -------
+
+// Acceptance: a real scenario attaches at least one histogram exemplar, and
+// every exemplar's trace id resolves to finished spans of that same trace —
+// the /metrics -> /traces pivot never dangles.
+TEST(DstTraces, ScenarioExemplarsResolveToRecordedTraces) {
+  const auto result = dst::run_scenario(dst::default_corpus(1)[0]);
+  EXPECT_TRUE(result.ok()) << result.violation_summary();
+  ASSERT_FALSE(result.spans.empty());
+  EXPECT_EQ(result.trace_json.rfind("{\"traceEvents\":[", 0), 0u);
+
+  std::set<std::uint64_t> trace_ids;
+  for (const auto& span : result.spans) trace_ids.insert(span.trace);
+
+  std::size_t exemplars = 0;
+  for (const auto& series : result.metrics.series) {
+    for (const auto& ex : series.exemplars) {
+      if (!ex.valid()) continue;
+      ++exemplars;
+      EXPECT_EQ(trace_ids.count(ex.trace), 1u)
+          << series.name << " exemplar names unknown trace " << ex.trace;
+    }
+  }
+  EXPECT_GT(exemplars, 0u) << "no exemplar attached anywhere in the scenario";
 }
 
 }  // namespace
