@@ -1,0 +1,88 @@
+// Structure-aware input splitting for the fuzz harnesses.
+//
+// FuzzInput carves the raw fuzzer byte stream into typed fields (the same
+// idea as LLVM's FuzzedDataProvider, without the libFuzzer dependency so
+// the harnesses also build in driver mode). Exhausted input yields zeros —
+// deterministic, so a minimized corpus file replays identically.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+/// Harness invariant check: violations abort so both libFuzzer and the
+/// standalone driver report the input as a crash.
+#define FUZZ_ASSERT(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::fprintf(stderr, "FUZZ_ASSERT failed: %s at %s:%d\n", #cond, \
+                   __FILE__, __LINE__);                                \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (0)
+
+namespace blab::fuzz {
+
+class FuzzInput {
+ public:
+  FuzzInput(const std::uint8_t* data, std::size_t size)
+      : data_{data}, size_{size} {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool empty() const { return pos_ >= size_; }
+
+  std::uint8_t u8() {
+    if (empty()) return 0;
+    return data_[pos_++];
+  }
+
+  std::uint16_t u16() {
+    return static_cast<std::uint16_t>(u8() | (u8() << 8));
+  }
+
+  std::uint32_t u32() {
+    return static_cast<std::uint32_t>(u16()) |
+           (static_cast<std::uint32_t>(u16()) << 16);
+  }
+
+  std::uint64_t u64() {
+    return static_cast<std::uint64_t>(u32()) |
+           (static_cast<std::uint64_t>(u32()) << 32);
+  }
+
+  /// Uniform-ish pick in [lo, hi] (inclusive); lo when the range is empty.
+  std::uint64_t uint_in_range(std::uint64_t lo, std::uint64_t hi) {
+    if (hi <= lo) return lo;
+    return lo + u64() % (hi - lo + 1);
+  }
+
+  float f32_bits() {
+    const std::uint32_t bits = u32();
+    float f = 0.0f;
+    std::memcpy(&f, &bits, sizeof f);
+    return f;
+  }
+
+  /// Up to `max` raw bytes (fewer when the input runs out).
+  std::string bytes(std::size_t max) {
+    const std::size_t n = max < remaining() ? max : remaining();
+    std::string out{reinterpret_cast<const char*>(data_ + pos_), n};
+    pos_ += n;
+    return out;
+  }
+
+  /// Everything left, without consuming-position bookkeeping overhead.
+  std::string_view rest() const {
+    return {reinterpret_cast<const char*>(data_ + pos_), remaining()};
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace blab::fuzz

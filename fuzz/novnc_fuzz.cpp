@@ -1,0 +1,110 @@
+// Fuzz target: the RFC 6455 websocket frame codec behind the noVNC gateway —
+// the only parser in the platform that consumes raw bytes straight from an
+// untrusted viewer's browser.
+//
+// Modes (first input byte):
+//   0: arbitrary bytes through decode_ws_frame and decode_client_frames;
+//      accepted frames must re-encode to exactly the consumed prefix;
+//   1: structured frame round-trip — legal frames built from carved fields
+//      must encode, decode back field-for-field, and pass the client-packet
+//      parser iff masked;
+//   2: structured client packets — concatenated masked text/ping frames must
+//      parse, and a single unmasked byte (client frames MUST be masked) or
+//      trailing garbage must fail the whole packet.
+#include <string>
+#include <vector>
+
+#include "fuzz_input.hpp"
+#include "mirror/ws_frame.hpp"
+
+namespace {
+
+using blab::mirror::WsFrame;
+using blab::mirror::WsOpcode;
+
+WsOpcode carve_opcode(std::uint8_t raw) {
+  static constexpr WsOpcode kOps[] = {WsOpcode::kContinuation, WsOpcode::kText,
+                                      WsOpcode::kBinary,       WsOpcode::kClose,
+                                      WsOpcode::kPing,         WsOpcode::kPong};
+  return kOps[raw % 6];
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  blab::fuzz::FuzzInput in{data, size};
+  switch (in.u8() % 3) {
+    case 0: {
+      const std::string bytes{in.rest()};
+      std::size_t consumed = 0;
+      const auto frame = blab::mirror::decode_ws_frame(bytes, &consumed);
+      if (frame.ok()) {
+        FUZZ_ASSERT(consumed > 0 && consumed <= bytes.size());
+        // Minimal-length encoding: accepted bytes re-encode identically.
+        FUZZ_ASSERT(blab::mirror::encode_ws_frame(frame.value()) ==
+                    bytes.substr(0, consumed));
+      }
+      (void)blab::mirror::decode_client_frames(bytes);
+      break;
+    }
+    case 1: {
+      WsFrame frame;
+      frame.opcode = carve_opcode(in.u8());
+      const bool control = blab::mirror::is_control_opcode(frame.opcode);
+      frame.fin = control ? true : (in.u8() & 1) != 0;
+      frame.masked = (in.u8() & 1) != 0;
+      for (auto& b : frame.mask_key) b = in.u8();
+      // Control frames cap at 125 bytes; text frames must be UTF-8, so keep
+      // the carved payload in the ASCII range for that opcode.
+      const std::size_t max_payload = control ? 125 : 4096;
+      frame.payload = in.bytes(max_payload);
+      if (frame.opcode == WsOpcode::kText) {
+        for (auto& c : frame.payload) c = static_cast<char>(c & 0x7F);
+      }
+      const std::string wire = blab::mirror::encode_ws_frame(frame);
+      std::size_t consumed = 0;
+      const auto back = blab::mirror::decode_ws_frame(wire, &consumed);
+      FUZZ_ASSERT(back.ok());
+      FUZZ_ASSERT(consumed == wire.size());
+      FUZZ_ASSERT(back.value().fin == frame.fin);
+      FUZZ_ASSERT(back.value().opcode == frame.opcode);
+      FUZZ_ASSERT(back.value().masked == frame.masked);
+      FUZZ_ASSERT(back.value().payload == frame.payload);
+      const auto packet = blab::mirror::decode_client_frames(wire);
+      FUZZ_ASSERT(packet.ok() == frame.masked);
+      break;
+    }
+    case 2: {
+      const std::size_t frames = 1 + in.u8() % 4;
+      std::string packet;
+      for (std::size_t i = 0; i < frames; ++i) {
+        if (in.u8() & 1) {
+          packet += blab::mirror::encode_client_text(
+              "input tap " + std::to_string(in.u16() % 1080) + " " +
+                  std::to_string(in.u16() % 1920),
+              in.u64());
+        } else {
+          WsFrame ping;
+          ping.opcode = WsOpcode::kPing;
+          ping.masked = true;
+          for (auto& b : ping.mask_key) b = in.u8();
+          ping.payload = std::to_string(in.u16());
+          packet += blab::mirror::encode_ws_frame(ping);
+        }
+      }
+      const auto parsed = blab::mirror::decode_client_frames(packet);
+      FUZZ_ASSERT(parsed.ok());
+      FUZZ_ASSERT(parsed.value().size() == frames);
+      for (const auto& f : parsed.value()) FUZZ_ASSERT(f.masked);
+      // Clearing one MASK bit must fail the whole packet (RFC 6455 §5.1).
+      std::string unmasked = packet;
+      unmasked[1] = static_cast<char>(unmasked[1] & 0x7F);
+      FUZZ_ASSERT(!blab::mirror::decode_client_frames(unmasked).ok());
+      // So must trailing garbage after the last complete frame.
+      FUZZ_ASSERT(!blab::mirror::decode_client_frames(packet + "\x81").ok());
+      break;
+    }
+  }
+  return 0;
+}

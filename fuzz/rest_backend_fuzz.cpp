@@ -1,0 +1,73 @@
+// Fuzz target: REST request-line + query-string parsing, plus the built-in
+// /metrics and /traces endpoints behind them (the surface every untrusted
+// experimenter request crosses first).
+//
+// Invariants checked on accepted input:
+//   - endpoint names respect the documented charset and length limits;
+//   - parse_query never yields empty keys, never exceeds kMaxQueryParams,
+//     and is idempotent on already-decoded text without '%', '+', '&', '=';
+//   - a full backend dispatch returns a Result, never throws or crashes.
+#include <string>
+
+#include "controller/rest_backend.hpp"
+#include "fuzz_input.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using blab::controller::RestBackend;
+
+blab::util::Result<std::string> dispatch(const std::string& name,
+                                         const std::string& query) {
+  // One long-lived backend across all iterations, like a real deployment.
+  static blab::sim::Simulator sim;
+  static blab::net::Network net{sim, 0x5EED};
+  static RestBackend backend{net, "fuzz-ctrl"};
+  static bool init = [] {
+    backend.register_endpoint("echo", [](const std::string& q) {
+      return blab::util::Result<std::string>{"echo:" + q};
+    });
+    return true;
+  }();
+  (void)init;
+  return backend.call(name, query);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string payload{reinterpret_cast<const char*>(data), size};
+
+  auto request = blab::controller::parse_request_line(payload);
+  if (request.ok()) {
+    const auto& name = request.value().name;
+    FUZZ_ASSERT(!name.empty());
+    FUZZ_ASSERT(name.size() <= blab::controller::kMaxEndpointBytes);
+    FUZZ_ASSERT(payload.size() <= blab::controller::kMaxRequestBytes);
+    for (const char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == '-' ||
+                      c == '.';
+      FUZZ_ASSERT(ok);
+    }
+    (void)dispatch(request.value().name, request.value().query);
+  }
+
+  // Query parsing must be total on arbitrary bytes, with the documented
+  // shape guarantees.
+  const auto params = blab::controller::parse_query(payload);
+  FUZZ_ASSERT(params.size() <= blab::controller::kMaxQueryParams);
+  for (const auto& [key, value] : params) {
+    FUZZ_ASSERT(!key.empty());
+    // Decoding is a single pass: text with no metacharacters re-parses to
+    // itself ("a%2520b" decodes to "a%20b", never to "a b").
+    if (key.find_first_of("%+&=") == std::string::npos) {
+      const auto again = blab::controller::parse_query(key);
+      FUZZ_ASSERT(again.size() == 1 && again.begin()->first == key);
+    }
+    (void)value;
+  }
+  return 0;
+}

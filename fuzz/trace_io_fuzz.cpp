@@ -1,0 +1,69 @@
+// Fuzz target: the trace_io readers — Monsoon CSV and the chunked binary
+// capture format — which parse experimenter-supplied files in the offline
+// analysis app.
+//
+// Modes (first input byte):
+//   0: arbitrary bytes through the CSV reader;
+//   1: arbitrary bytes through the chunked binary reader;
+//   2: structured round-trip — synthesize a well-formed capture from the
+//      input, write CSV (optionally strided), read it back, and require
+//      success with the right sample count.
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "analysis/trace_io.hpp"
+#include "fuzz_input.hpp"
+
+namespace {
+
+void check_accepted(const blab::hw::Capture& capture) {
+  FUZZ_ASSERT(capture.sample_count() > 0);
+  FUZZ_ASSERT(std::isfinite(capture.sample_hz()) && capture.sample_hz() > 0);
+  FUZZ_ASSERT(std::isfinite(capture.voltage()));
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  blab::fuzz::FuzzInput in{data, size};
+  switch (in.u8() % 3) {
+    case 0: {
+      std::istringstream is{std::string{in.rest()}};
+      const auto result = blab::analysis::read_capture_csv_stream(is);
+      if (result.ok()) check_accepted(result.value());
+      break;
+    }
+    case 1: {
+      std::istringstream is{std::string{in.rest()}};
+      const auto result = blab::analysis::read_capture_chunked_stream(is);
+      if (result.ok()) check_accepted(result.value());
+      break;
+    }
+    case 2: {
+      const double rates[] = {1.0, 50.0, 685.714286, 5000.0};
+      const double hz = rates[in.u8() % 4];
+      const std::size_t stride = 1 + in.u8() % 16;
+      const std::size_t n = 1 + in.u16() % 512;
+      std::vector<float> samples;
+      samples.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        // Keep the synthesized signal in the printable range the writer's
+        // fixed-precision formatter can represent.
+        samples.push_back(static_cast<float>(in.u16()) / 10.0f);
+      }
+      const blab::hw::Capture capture{blab::util::TimePoint::epoch(), hz,
+                                      3.3 + (in.u8() % 80) / 10.0, samples};
+      std::ostringstream os;
+      blab::analysis::write_capture_csv(capture, os, stride);
+      std::istringstream is{os.str()};
+      const auto loaded = blab::analysis::read_capture_csv_stream(is);
+      FUZZ_ASSERT(loaded.ok());
+      FUZZ_ASSERT(loaded.value().sample_count() ==
+                  (n + stride - 1) / stride);
+      break;
+    }
+  }
+  return 0;
+}

@@ -5,15 +5,28 @@
 # changes behavior is itself a bug. The obs suite rides along because its
 # concurrency smokes (pooled corpus, multi-thread logging/counters) are
 # exactly what sanitizers are for.
+#
+# The lane ends with a fuzz smoke: every wire-surface harness (fuzz/) replays
+# the checked-in corpus, then runs FUZZ_RUNS bounded mutation rounds, all
+# under the same sanitizers. With a Clang toolchain the harnesses use real
+# libFuzzer; under GCC the bundled driver accepts the same CLI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build-asan}"
+FUZZ_RUNS="${FUZZ_RUNS:-10000}"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-strict_string_checks=1:detect_stack_use_after_return=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 
-cmake -S . -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DBLAB_SANITIZE=ON
+cmake -S . -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DBLAB_SANITIZE=ON -DBLAB_FUZZ=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target blab_dst store_test failure_test obs_test store_throughput
-ctest --test-dir "$BUILD_DIR" -L 'dst|store|obs' --output-on-failure
+  --target blab_dst store_test failure_test obs_test store_throughput \
+           rest_backend_fuzz trace_io_fuzz store_codec_fuzz novnc_fuzz
+ctest --test-dir "$BUILD_DIR" -L 'dst|store|obs|fuzz' --output-on-failure
 "$BUILD_DIR"/bench/store_throughput
+
+# Fuzz smoke: corpus replay + bounded deterministic mutation per harness.
+for target in rest_backend_fuzz trace_io_fuzz store_codec_fuzz novnc_fuzz; do
+  "$BUILD_DIR"/fuzz/"$target" -runs="$FUZZ_RUNS" "tests/fuzz_corpus/$target"
+done

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/parse.hpp"
 #include "util/strings.hpp"
 
 namespace blab::analysis {
@@ -64,12 +65,12 @@ util::Result<hw::Capture> read_capture_csv_stream(std::istream& is) {
       // Metadata comment; pick up the effective-rate marker if present.
       for (const auto& token : util::split(trimmed.substr(1), ' ')) {
         if (util::starts_with(token, "effective_hz=")) {
-          try {
-            marker_hz = std::stod(std::string{token.substr(13)});
-          } catch (const std::exception&) {
+          const auto hz = util::parse_double(token.substr(13));
+          if (!hz.has_value()) {
             return util::make_error(util::ErrorCode::kInvalidArgument,
                                     "bad effective_hz marker: " + trimmed);
           }
+          marker_hz = *hz;
         }
       }
       continue;
@@ -79,29 +80,29 @@ util::Result<hw::Capture> read_capture_csv_stream(std::istream& is) {
       return util::make_error(util::ErrorCode::kInvalidArgument,
                               "bad row " + std::to_string(row) + ": " + line);
     }
-    try {
-      const double t = std::stod(fields[0]);
-      const double current = std::stod(fields[1]);
-      const double v = std::stod(fields[2]);
-      if (!std::isfinite(t) || !std::isfinite(current) || !std::isfinite(v)) {
-        return util::make_error(
-            util::ErrorCode::kInvalidArgument,
-            "non-finite value in row " + std::to_string(row));
-      }
-      if (row > 0 && t <= prev_t) {
-        return util::make_error(
-            util::ErrorCode::kInvalidArgument,
-            "out-of-order timestamp in row " + std::to_string(row));
-      }
-      samples.push_back(static_cast<float>(current));
-      voltage = v;
-      if (row == 0) first_t = t;
-      if (row == 1) second_t = t;
-      prev_t = t;
-    } catch (const std::exception&) {
+    // Strict full-match parses: "1.5abc" or an out-of-range literal is a
+    // malformed row, not a best-effort 1.5. parse_double also rejects the
+    // "nan"/"inf" spellings, which keeps the non-finite error reserved for
+    // values that overflow to infinity after arithmetic elsewhere.
+    const auto t_parsed = util::parse_double(util::trim(fields[0]));
+    const auto current_parsed = util::parse_double(util::trim(fields[1]));
+    const auto v_parsed = util::parse_double(util::trim(fields[2]));
+    if (!t_parsed.has_value() || !current_parsed.has_value() ||
+        !v_parsed.has_value()) {
       return util::make_error(util::ErrorCode::kInvalidArgument,
                               "unparseable row " + std::to_string(row));
     }
+    const double t = *t_parsed;
+    if (row > 0 && t <= prev_t) {
+      return util::make_error(
+          util::ErrorCode::kInvalidArgument,
+          "out-of-order timestamp in row " + std::to_string(row));
+    }
+    samples.push_back(static_cast<float>(*current_parsed));
+    voltage = *v_parsed;
+    if (row == 0) first_t = t;
+    if (row == 1) second_t = t;
+    prev_t = t;
     ++row;
   }
   if (samples.empty()) {

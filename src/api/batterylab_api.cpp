@@ -3,6 +3,7 @@
 #include "controller/rest_backend.hpp"
 #include "obs/span.hpp"
 #include "util/logging.hpp"
+#include "util/parse.hpp"
 #include "util/strings.hpp"
 
 namespace blab::api {
@@ -218,7 +219,13 @@ void BatteryLabApi::bind_rest_endpoints() {
       return util::Result<std::string>{util::make_error(
           util::ErrorCode::kInvalidArgument, "voltage_val required")};
     }
-    if (auto st = set_voltage(std::stod(it->second)); !st.ok()) {
+    const auto voltage = util::parse_double(it->second);
+    if (!voltage.has_value()) {
+      return util::Result<std::string>{util::make_error(
+          util::ErrorCode::kInvalidArgument,
+          "voltage_val must be a finite number")};
+    }
+    if (auto st = set_voltage(*voltage); !st.ok()) {
       return util::Result<std::string>{st.error()};
     }
     return util::Result<std::string>{std::string{"ok"}};
@@ -232,7 +239,13 @@ void BatteryLabApi::bind_rest_endpoints() {
     }
     std::optional<util::Duration> duration;
     if (const auto d = params.find("duration"); d != params.end()) {
-      duration = util::Duration::seconds(std::stod(d->second));
+      const auto seconds = util::parse_double(d->second);
+      if (!seconds.has_value() || *seconds < 0.0) {
+        return util::Result<std::string>{util::make_error(
+            util::ErrorCode::kInvalidArgument,
+            "duration must be a non-negative number of seconds")};
+      }
+      duration = util::Duration::seconds(*seconds);
     }
     if (auto st = start_monitor(it->second, duration); !st.ok()) {
       return util::Result<std::string>{st.error()};

@@ -1,9 +1,10 @@
 #include "controller/rest_backend.hpp"
 
-#include <cstdlib>
+#include <cctype>
 
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "util/parse.hpp"
 #include "util/strings.hpp"
 
 namespace blab::controller {
@@ -41,7 +42,13 @@ RestBackend::RestBackend(net::Network& net, std::string host, int port)
     }
     std::uint64_t trace = 0;
     if (tid != params.end()) {
-      trace = std::strtoull(tid->second.c_str(), nullptr, 10);
+      const auto parsed = util::parse_u64(tid->second);
+      if (!parsed.has_value()) {
+        return util::Result<std::string>{util::make_error(
+            util::ErrorCode::kInvalidArgument,
+            "trace_id must be a decimal integer")};
+      }
+      trace = *parsed;
     } else {
       trace = tracer.find_trace_by_root_attr("job", job->second);
     }
@@ -88,12 +95,10 @@ util::Result<std::string> RestBackend::call(const std::string& name,
 
 void RestBackend::on_message(const net::Message& msg) {
   if (msg.tag != "rest.call") return;
-  // Payload: "<endpoint>?<query>".
-  const auto qmark = msg.payload.find('?');
-  const std::string name = msg.payload.substr(0, qmark);
-  const std::string query =
-      qmark == std::string::npos ? "" : msg.payload.substr(qmark + 1);
-  auto result = call(name, query);
+  auto request = parse_request_line(msg.payload);
+  auto result = request.ok()
+                    ? call(request.value().name, request.value().query)
+                    : util::Result<std::string>{request.error()};
 
   net::Message reply;
   reply.src = addr_;
@@ -108,16 +113,91 @@ void RestBackend::on_message(const net::Message& msg) {
   (void)net_.send(std::move(reply));
 }
 
+namespace {
+
+bool endpoint_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '.';
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Percent-decode one query token. Invalid or truncated escapes are kept
+/// literally; '+' decodes to a space.
+std::string decode_token(std::string_view token) {
+  std::string out;
+  out.reserve(token.size());
+  for (std::size_t i = 0; i < token.size(); ++i) {
+    const char c = token[i];
+    if (c == '+') {
+      out.push_back(' ');
+      continue;
+    }
+    // Only decode when both hex digits are present and valid; a trailing
+    // "%4" or "%zz" must not read past the token or decode to garbage.
+    if (c == '%' && i + 2 < token.size()) {
+      const int hi = hex_digit(token[i + 1]);
+      const int lo = hex_digit(token[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+util::Result<RestRequest> parse_request_line(std::string_view payload) {
+  if (payload.size() > kMaxRequestBytes) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "request exceeds " +
+                                std::to_string(kMaxRequestBytes) + " bytes");
+  }
+  const auto qmark = payload.find('?');
+  const std::string_view name =
+      qmark == std::string_view::npos ? payload : payload.substr(0, qmark);
+  if (name.empty()) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "empty endpoint name");
+  }
+  if (name.size() > kMaxEndpointBytes) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "endpoint name exceeds " +
+                                std::to_string(kMaxEndpointBytes) + " bytes");
+  }
+  for (const char c : name) {
+    if (!endpoint_char(c)) {
+      return util::make_error(util::ErrorCode::kInvalidArgument,
+                              "endpoint name has invalid characters");
+    }
+  }
+  RestRequest req;
+  req.name.assign(name);
+  if (qmark != std::string_view::npos) req.query.assign(payload.substr(qmark + 1));
+  return req;
+}
+
 std::map<std::string, std::string> parse_query(const std::string& query) {
   std::map<std::string, std::string> out;
   if (query.empty()) return out;
   for (const auto& pair : util::split(query, '&')) {
+    if (out.size() >= kMaxQueryParams) break;
     const auto eq = pair.find('=');
-    if (eq == std::string::npos) {
-      out[pair] = "";
-    } else {
-      out[pair.substr(0, eq)] = pair.substr(eq + 1);
-    }
+    const std::string key =
+        decode_token(eq == std::string::npos ? pair : pair.substr(0, eq));
+    if (key.empty()) continue;
+    std::string value =
+        eq == std::string::npos ? "" : decode_token(pair.substr(eq + 1));
+    out.try_emplace(key, std::move(value));  // first occurrence wins
   }
   return out;
 }

@@ -24,6 +24,18 @@ namespace blab::controller {
 using RestHandler =
     std::function<util::Result<std::string>(const std::string& query)>;
 
+/// Parsed "<endpoint>?<query>" request line.
+struct RestRequest {
+  std::string name;   ///< endpoint, validated against kEndpointChars
+  std::string query;  ///< raw query string (still percent-encoded)
+};
+
+/// Wire-facing limits. Requests beyond these are rejected up front so a
+/// hostile client cannot make the backend buffer or iterate unboundedly.
+inline constexpr std::size_t kMaxRequestBytes = 8192;
+inline constexpr std::size_t kMaxEndpointBytes = 128;
+inline constexpr std::size_t kMaxQueryParams = 64;
+
 class RestBackend {
  public:
   RestBackend(net::Network& net, std::string host,
@@ -55,7 +67,20 @@ class RestBackend {
   obs::Counter* requests_counter_ = nullptr;
 };
 
-/// Parse "k1=v1&k2=v2" into a map (no URL decoding needed in simulation).
+/// Parse the request line "<endpoint>?<query>" arriving on the wire.
+/// Typed errors on: oversize payload, empty endpoint, endpoint characters
+/// outside [A-Za-z0-9_.-]. The query is returned verbatim (handlers decode
+/// it with parse_query).
+util::Result<RestRequest> parse_request_line(std::string_view payload);
+
+/// Parse "k1=v1&k2=v2" into a map. Defined behavior on hostile input:
+///  - percent-escapes are decoded ("%41" -> "A", "+" -> space); an invalid
+///    or truncated escape ("%zz", trailing "%4") is kept literally rather
+///    than read past the end of the token;
+///  - duplicate keys: the FIRST occurrence wins (parameter-pollution guard —
+///    an attacker appending "&user=admin" cannot override the first value);
+///  - empty keys ("=v", "&&") are dropped; a key without '=' maps to "";
+///  - at most kMaxQueryParams pairs are kept, the rest are ignored.
 std::map<std::string, std::string> parse_query(const std::string& query);
 
 }  // namespace blab::controller

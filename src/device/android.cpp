@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "device/device.hpp"
+#include "util/parse.hpp"
 #include "util/strings.hpp"
 
 namespace blab::device {
@@ -254,18 +255,27 @@ util::Result<std::string> AndroidOs::execute_shell(const std::string& command) {
 
   if (cmd == "input") {
     if (argv.size() < 2) return err("input: missing subcommand");
+    // Coordinates and keycodes arrive from the viewer-facing input path
+    // (noVNC websocket -> scrcpy control socket), so a non-numeric argument
+    // is a malformed command to reject, never an exception to throw.
+    const auto arg_int = [&argv](std::size_t i) {
+      return util::parse_int(argv[i]);
+    };
     util::Status st = util::Status::ok_status();
     if (argv[1] == "text" && argv.size() >= 3) {
       // Everything after "text" is the literal input (shell-quoted upstream).
       std::string text = command.substr(command.find("text") + 5);
       st = input_text(std::string{util::trim(text)});
-    } else if (argv[1] == "keyevent" && argv.size() >= 3) {
-      st = input_keyevent(std::stoi(argv[2]));
-    } else if (argv[1] == "swipe" && argv.size() >= 6) {
-      st = input_swipe(std::stoi(argv[2]), std::stoi(argv[3]),
-                       std::stoi(argv[4]), std::stoi(argv[5]));
-    } else if (argv[1] == "tap" && argv.size() >= 4) {
-      st = input_tap(std::stoi(argv[2]), std::stoi(argv[3]));
+    } else if (argv[1] == "keyevent" && argv.size() >= 3 &&
+               arg_int(2).has_value()) {
+      st = input_keyevent(*arg_int(2));
+    } else if (argv[1] == "swipe" && argv.size() >= 6 &&
+               arg_int(2).has_value() && arg_int(3).has_value() &&
+               arg_int(4).has_value() && arg_int(5).has_value()) {
+      st = input_swipe(*arg_int(2), *arg_int(3), *arg_int(4), *arg_int(5));
+    } else if (argv[1] == "tap" && argv.size() >= 4 &&
+               arg_int(2).has_value() && arg_int(3).has_value()) {
+      st = input_tap(*arg_int(2), *arg_int(3));
     } else {
       return err("input: bad arguments");
     }

@@ -2,6 +2,7 @@
 
 #include "device/android.hpp"
 #include "device/device.hpp"
+#include "util/parse.hpp"
 #include "util/strings.hpp"
 
 namespace blab::device {
@@ -20,14 +21,22 @@ void BtHidService::on_message(const net::Message& msg) {
   if (argv.empty()) return;
   auto& os = device_.os();
   util::Status st = util::Status::ok_status();
+  // HID events ride the viewer-facing input path; malformed numbers are
+  // dropped (no ack), mirroring a keyboard that never saw the keystroke.
+  const auto arg_int = [&argv](std::size_t i) {
+    return util::parse_int(argv[i]);
+  };
   if (argv[0] == "text" && argv.size() >= 2) {
     st = os.input_text(msg.payload.substr(5));
-  } else if ((argv[0] == "key" || argv[0] == "keyevent") && argv.size() >= 2) {
-    st = os.input_keyevent(std::stoi(argv[1]));
-  } else if (argv[0] == "swipe" && argv.size() >= 2) {
-    st = os.input_swipe(540, 1200, 540, 1200 + std::stoi(argv[1]));
-  } else if (argv[0] == "tap" && argv.size() >= 3) {
-    st = os.input_tap(std::stoi(argv[1]), std::stoi(argv[2]));
+  } else if ((argv[0] == "key" || argv[0] == "keyevent") && argv.size() >= 2 &&
+             arg_int(1).has_value()) {
+    st = os.input_keyevent(*arg_int(1));
+  } else if (argv[0] == "swipe" && argv.size() >= 2 &&
+             arg_int(1).has_value()) {
+    st = os.input_swipe(540, 1200, 540, 1200 + *arg_int(1));
+  } else if (argv[0] == "tap" && argv.size() >= 3 && arg_int(1).has_value() &&
+             arg_int(2).has_value()) {
+    st = os.input_tap(*arg_int(1), *arg_int(2));
   } else if (argv[0] == "launch" && argv.size() >= 2) {
     st = os.start_activity(argv[1]);
   } else {

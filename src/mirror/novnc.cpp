@@ -1,5 +1,8 @@
 #include "mirror/novnc.hpp"
 
+#include "obs/metrics.hpp"
+#include "util/logging.hpp"
+
 namespace blab::mirror {
 
 NoVncGateway::NoVncGateway(net::Network& net, VncServer& vnc, std::string host,
@@ -9,6 +12,8 @@ NoVncGateway::NoVncGateway(net::Network& net, VncServer& vnc, std::string host,
   net_.listen(addr_, [this](const net::Message& m) { on_message(m); });
   vnc_token_ = vnc_.subscribe(
       [this](const FramebufferUpdate& u) { on_update(u); });
+  bad_frames_counter_ =
+      &net_.simulator().metrics().counter("blab_novnc_bad_frames_total");
 }
 
 NoVncGateway::~NoVncGateway() {
@@ -59,8 +64,10 @@ void NoVncGateway::on_update(const FramebufferUpdate& update) {
 }
 
 void NoVncGateway::on_message(const net::Message& msg) {
-  // Browser-side events: "novnc.input" carries an input command from the
-  // interactive area; "novnc.connect"/"novnc.disconnect" manage the viewer.
+  // Browser-side events: "novnc.ws" carries websocket-framed bytes (the
+  // real browser wire format); "novnc.input" is the legacy unframed command
+  // used by in-process automation; "novnc.connect"/"novnc.disconnect"
+  // manage the viewer.
   if (msg.tag == "novnc.connect") {
     // Payload carries the session token (empty for open sessions).
     (void)connect_viewer(msg.src, msg.payload);
@@ -75,6 +82,52 @@ void NoVncGateway::on_message(const net::Message& msg) {
       injector_(msg.payload);
     }
     return;
+  }
+  if (msg.tag == "novnc.ws") {
+    on_ws_packet(msg);
+    return;
+  }
+}
+
+void NoVncGateway::on_ws_packet(const net::Message& msg) {
+  if (!viewer_.has_value() || msg.src != *viewer_) return;
+  auto frames = decode_client_frames(msg.payload);
+  if (!frames.ok()) {
+    // RFC 6455 §7.1.7: a malformed frame fails the websocket connection.
+    // Dropping the viewer bounds what a byte-flipping client can probe.
+    ++bad_frames_;
+    bad_frames_counter_->inc();
+    BLAB_WARN_KV("novnc", "dropping viewer on malformed ws packet",
+                 {"error", frames.error().message});
+    (void)disconnect_viewer();
+    return;
+  }
+  for (const WsFrame& frame : frames.value()) {
+    switch (frame.opcode) {
+      case WsOpcode::kText:
+        if (injector_) injector_(frame.payload);
+        break;
+      case WsOpcode::kPing: {
+        WsFrame pong;
+        pong.opcode = WsOpcode::kPong;
+        pong.payload = frame.payload;
+        net::Message reply;
+        reply.src = addr_;
+        reply.dst = msg.src;
+        reply.tag = "novnc.ws";
+        reply.payload = encode_ws_frame(pong);
+        reply.wire_bytes = reply.payload.size() + 16;
+        if (net_.send(std::move(reply)).ok()) ++pongs_sent_;
+        break;
+      }
+      case WsOpcode::kClose:
+        (void)disconnect_viewer();
+        return;  // frames after close are ignored
+      default:
+        // Binary, continuation and pong frames are legal but carry nothing
+        // the gateway consumes today.
+        break;
+    }
   }
 }
 

@@ -12,8 +12,13 @@
 #include <string>
 
 #include "mirror/vnc.hpp"
+#include "mirror/ws_frame.hpp"
 #include "net/network.hpp"
 #include "util/result.hpp"
+
+namespace blab::obs {
+class Counter;
+}  // namespace blab::obs
 
 namespace blab::mirror {
 
@@ -57,10 +62,18 @@ class NoVncGateway {
 
   std::uint64_t bytes_to_viewer() const { return bytes_to_viewer_; }
   std::uint64_t frames_relayed() const { return frames_relayed_; }
+  /// Malformed websocket packets dropped (and, per RFC 6455, the number of
+  /// times the offending viewer was disconnected).
+  std::uint64_t bad_frames() const { return bad_frames_; }
+  std::uint64_t pongs_sent() const { return pongs_sent_; }
 
  private:
   void on_update(const FramebufferUpdate& update);
   void on_message(const net::Message& msg);
+  /// The browser side of the wire: a "novnc.ws" payload is one or more
+  /// RFC 6455 client frames. Text frames feed the input injector, pings are
+  /// answered, close disconnects; any malformed byte fails the connection.
+  void on_ws_packet(const net::Message& msg);
 
   net::Network& net_;
   VncServer& vnc_;
@@ -73,6 +86,9 @@ class NoVncGateway {
   InputInjector injector_;
   std::uint64_t bytes_to_viewer_ = 0;
   std::uint64_t frames_relayed_ = 0;
+  std::uint64_t bad_frames_ = 0;
+  std::uint64_t pongs_sent_ = 0;
+  obs::Counter* bad_frames_counter_ = nullptr;
 };
 
 }  // namespace blab::mirror

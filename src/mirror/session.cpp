@@ -1,8 +1,10 @@
 #include "mirror/session.hpp"
 
 #include "device/hid_service.hpp"
+#include "mirror/ws_frame.hpp"
 #include "obs/metrics.hpp"
 #include "util/logging.hpp"
+#include "util/parse.hpp"
 #include "util/strings.hpp"
 
 namespace blab::mirror {
@@ -10,11 +12,15 @@ namespace {
 
 constexpr char kProbeMarker[] = "#probe";
 
-/// Extract a "#probe<id>" marker from an input command, if present.
+/// Extract a "#probe<id>" marker from an input command, if present. Input
+/// commands reach this via the viewer-facing websocket, so a marker that is
+/// not followed by a clean decimal id is simply "no probe" — never a throw.
 std::uint64_t probe_id_of(const std::string& command) {
   const auto pos = command.rfind(kProbeMarker);
   if (pos == std::string::npos) return 0;
-  return std::stoull(command.substr(pos + sizeof(kProbeMarker) - 1));
+  return util::parse_u64(
+             std::string_view{command}.substr(pos + sizeof(kProbeMarker) - 1))
+      .value_or(0);
 }
 
 }  // namespace
@@ -236,7 +242,8 @@ void MirroringSession::on_frame(const net::Message& msg) {
     bytes_received_ += msg.size();
     metrics_.frames->inc();
     metrics_.bytes->inc(msg.size());
-    const std::uint64_t id = std::stoull(msg.payload);
+    const std::uint64_t id = util::parse_u64(msg.payload).value_or(0);
+    if (id == 0) return;  // malformed probe id: drop, never throw
     const std::uint64_t update_span =
         tracer().begin_detached("mirror", "vnc_update", probe_ctx(id));
     tracer().set_attr(update_span, "bytes",
@@ -318,7 +325,8 @@ void MirroringSession::remote_tap(const net::Address& viewer, int x, int y,
   // The probe result returns to the viewer's own address.
   net.listen(viewer, [this, viewer, id, started,
                       cb = std::move(on_displayed)](const net::Message& m) {
-    if (m.tag != "novnc.frame.probe" || std::stoull(m.payload) != id) {
+    if (m.tag != "novnc.frame.probe" ||
+        util::parse_u64(m.payload).value_or(0) != id) {
       return;  // regular frames keep flowing to the same viewer
     }
     ctrl_.network().unlisten(viewer);
@@ -336,13 +344,18 @@ void MirroringSession::remote_tap(const net::Address& viewer, int x, int y,
     }, "mirror.browser-render");
   });
 
+  // The click travels exactly as a browser would send it: one masked
+  // websocket text frame. The mask key is derived from the probe id, not
+  // the session RNG, so framing does not perturb scenario draw order.
   net::Message click;
   click.src = viewer;
   click.dst = novnc_ ? novnc_->address()
                      : net::Address{ctrl_.host(), net::kNoVncPort};
-  click.tag = "novnc.input";
-  click.payload = "input tap " + std::to_string(x) + " " + std::to_string(y) +
-                  " " + kProbeMarker + std::to_string(id);
+  click.tag = "novnc.ws";
+  click.payload = encode_client_text(
+      "input tap " + std::to_string(x) + " " + std::to_string(y) + " " +
+          kProbeMarker + std::to_string(id),
+      id);
   click.wire_bytes = 96;
   (void)net.send(std::move(click));
 }

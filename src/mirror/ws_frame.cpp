@@ -1,0 +1,209 @@
+#include "mirror/ws_frame.hpp"
+
+namespace blab::mirror {
+namespace {
+
+util::Error bad_frame(std::string what) {
+  return util::make_error(util::ErrorCode::kInvalidArgument,
+                          "ws frame: " + std::move(what));
+}
+
+void mask_in_place(std::string& payload,
+                   const std::array<std::uint8_t, 4>& key) {
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>(static_cast<std::uint8_t>(payload[i]) ^
+                                   key[i % 4]);
+  }
+}
+
+}  // namespace
+
+bool is_control_opcode(WsOpcode op) {
+  return static_cast<std::uint8_t>(op) >= 0x8;
+}
+
+const char* ws_opcode_name(WsOpcode op) {
+  switch (op) {
+    case WsOpcode::kContinuation: return "continuation";
+    case WsOpcode::kText: return "text";
+    case WsOpcode::kBinary: return "binary";
+    case WsOpcode::kClose: return "close";
+    case WsOpcode::kPing: return "ping";
+    case WsOpcode::kPong: return "pong";
+  }
+  return "?";
+}
+
+std::string encode_ws_frame(const WsFrame& frame) {
+  std::string out;
+  out.reserve(frame.payload.size() + 14);
+  out.push_back(static_cast<char>((frame.fin ? 0x80 : 0x00) |
+                                  static_cast<std::uint8_t>(frame.opcode)));
+  const std::uint64_t len = frame.payload.size();
+  const std::uint8_t mask_bit = frame.masked ? 0x80 : 0x00;
+  if (len <= 125) {
+    out.push_back(static_cast<char>(mask_bit | static_cast<std::uint8_t>(len)));
+  } else if (len <= 0xFFFF) {
+    out.push_back(static_cast<char>(mask_bit | 126));
+    out.push_back(static_cast<char>(len >> 8));
+    out.push_back(static_cast<char>(len & 0xFF));
+  } else {
+    out.push_back(static_cast<char>(mask_bit | 127));
+    for (int i = 7; i >= 0; --i) {
+      out.push_back(static_cast<char>((len >> (8 * i)) & 0xFF));
+    }
+  }
+  if (frame.masked) {
+    for (const std::uint8_t b : frame.mask_key) {
+      out.push_back(static_cast<char>(b));
+    }
+    std::string masked = frame.payload;
+    mask_in_place(masked, frame.mask_key);
+    out.append(masked);
+  } else {
+    out.append(frame.payload);
+  }
+  return out;
+}
+
+util::Result<WsFrame> decode_ws_frame(std::string_view bytes,
+                                      std::size_t* consumed) {
+  if (bytes.size() < 2) return bad_frame("truncated header");
+  const auto b0 = static_cast<std::uint8_t>(bytes[0]);
+  const auto b1 = static_cast<std::uint8_t>(bytes[1]);
+
+  WsFrame frame;
+  frame.fin = (b0 & 0x80) != 0;
+  if ((b0 & 0x70) != 0) return bad_frame("RSV bits set");
+  const std::uint8_t op = b0 & 0x0F;
+  switch (op) {
+    case 0x0: case 0x1: case 0x2: case 0x8: case 0x9: case 0xA:
+      frame.opcode = static_cast<WsOpcode>(op);
+      break;
+    default:
+      return bad_frame("reserved opcode");
+  }
+  frame.masked = (b1 & 0x80) != 0;
+
+  std::uint64_t len = b1 & 0x7F;
+  std::size_t pos = 2;
+  if (len == 126) {
+    if (bytes.size() < pos + 2) return bad_frame("truncated 16-bit length");
+    len = (static_cast<std::uint64_t>(static_cast<std::uint8_t>(bytes[2]))
+           << 8) |
+          static_cast<std::uint8_t>(bytes[3]);
+    if (len <= 125) return bad_frame("non-minimal 16-bit length");
+    pos += 2;
+  } else if (len == 127) {
+    if (bytes.size() < pos + 8) return bad_frame("truncated 64-bit length");
+    len = 0;
+    for (int i = 0; i < 8; ++i) {
+      len = (len << 8) | static_cast<std::uint8_t>(bytes[pos + i]);
+    }
+    if (len <= 0xFFFF) return bad_frame("non-minimal 64-bit length");
+    if ((len >> 63) != 0) return bad_frame("length sign bit set");
+    pos += 8;
+  }
+  if (is_control_opcode(frame.opcode)) {
+    if (!frame.fin) return bad_frame("fragmented control frame");
+    if (len > 125) return bad_frame("oversized control frame");
+  }
+  if (len > kMaxWsPayload) return bad_frame("payload exceeds limit");
+
+  if (frame.masked) {
+    if (bytes.size() < pos + 4) return bad_frame("truncated mask key");
+    for (int i = 0; i < 4; ++i) {
+      frame.mask_key[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(bytes[pos + static_cast<std::size_t>(i)]);
+    }
+    pos += 4;
+  }
+  if (bytes.size() - pos < len) return bad_frame("truncated payload");
+  frame.payload.assign(bytes.substr(pos, static_cast<std::size_t>(len)));
+  if (frame.masked) mask_in_place(frame.payload, frame.mask_key);
+  pos += static_cast<std::size_t>(len);
+
+  if (frame.opcode == WsOpcode::kText && !is_valid_utf8(frame.payload)) {
+    return bad_frame("text payload is not valid UTF-8");
+  }
+  if (consumed != nullptr) *consumed = pos;
+  return frame;
+}
+
+util::Result<std::vector<WsFrame>> decode_client_frames(
+    std::string_view bytes, std::size_t max_frames) {
+  std::vector<WsFrame> frames;
+  while (!bytes.empty()) {
+    if (frames.size() >= max_frames) {
+      return bad_frame("too many frames in one packet");
+    }
+    std::size_t consumed = 0;
+    auto frame = decode_ws_frame(bytes, &consumed);
+    if (!frame.ok()) return frame.error();
+    if (!frame.value().masked) return bad_frame("client frame not masked");
+    frames.push_back(std::move(frame).take());
+    bytes.remove_prefix(consumed);
+  }
+  if (frames.empty()) return bad_frame("empty packet");
+  return frames;
+}
+
+std::string encode_client_text(std::string_view text, std::uint64_t seed) {
+  // splitmix64 finalizer: cheap, deterministic, and independent of the
+  // simulation RNG so framing never perturbs scenario draw order.
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  WsFrame frame;
+  frame.opcode = WsOpcode::kText;
+  frame.masked = true;
+  for (int i = 0; i < 4; ++i) {
+    frame.mask_key[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(z >> (8 * i));
+  }
+  frame.payload.assign(text);
+  return encode_ws_frame(frame);
+}
+
+bool is_valid_utf8(std::string_view bytes) {
+  std::size_t i = 0;
+  while (i < bytes.size()) {
+    const auto b0 = static_cast<std::uint8_t>(bytes[i]);
+    if (b0 < 0x80) {
+      ++i;
+      continue;
+    }
+    int extra = 0;
+    std::uint32_t cp = 0;
+    if ((b0 & 0xE0) == 0xC0) {
+      extra = 1;
+      cp = b0 & 0x1F;
+    } else if ((b0 & 0xF0) == 0xE0) {
+      extra = 2;
+      cp = b0 & 0x0F;
+    } else if ((b0 & 0xF8) == 0xF0) {
+      extra = 3;
+      cp = b0 & 0x07;
+    } else {
+      return false;  // stray continuation byte or 0xF8..0xFF
+    }
+    if (bytes.size() - i < static_cast<std::size_t>(extra) + 1) return false;
+    for (int k = 1; k <= extra; ++k) {
+      const auto bk = static_cast<std::uint8_t>(bytes[i + static_cast<std::size_t>(k)]);
+      if ((bk & 0xC0) != 0x80) return false;
+      cp = (cp << 6) | (bk & 0x3F);
+    }
+    // Overlong encodings, UTF-16 surrogates and post-Unicode code points
+    // are how classic filter bypasses smuggle bytes past validators.
+    if (extra == 1 && cp < 0x80) return false;
+    if (extra == 2 && cp < 0x800) return false;
+    if (extra == 3 && cp < 0x10000) return false;
+    if (cp >= 0xD800 && cp <= 0xDFFF) return false;
+    if (cp > 0x10FFFF) return false;
+    i += static_cast<std::size_t>(extra) + 1;
+  }
+  return true;
+}
+
+}  // namespace blab::mirror

@@ -1,0 +1,77 @@
+// Websocket framing for the noVNC gateway (§3.2).
+//
+// A real browser talks to noVNC over RFC 6455 websocket frames; this is the
+// byte-accurate subset the gateway speaks: FIN/RSV/opcode octet, MASK bit +
+// 7/16/64-bit payload length, 4-byte masking key on client frames, payload.
+// It is the platform's only parser that consumes raw bytes straight from an
+// untrusted viewer (a recruited tester's browser), so the decoder is strict:
+// every malformed shape returns a typed error, never UB, and accepted frames
+// re-encode byte-identically (the fuzz harness asserts both).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace blab::mirror {
+
+enum class WsOpcode : std::uint8_t {
+  kContinuation = 0x0,
+  kText = 0x1,
+  kBinary = 0x2,
+  kClose = 0x8,
+  kPing = 0x9,
+  kPong = 0xA,
+};
+
+bool is_control_opcode(WsOpcode op);
+const char* ws_opcode_name(WsOpcode op);
+
+struct WsFrame {
+  bool fin = true;
+  WsOpcode opcode = WsOpcode::kText;
+  bool masked = false;
+  std::array<std::uint8_t, 4> mask_key{};  ///< meaningful iff masked
+  std::string payload;                     ///< unmasked payload bytes
+};
+
+/// Largest payload the gateway accepts in one frame. Real noVNC input events
+/// are tens of bytes; 1 MiB leaves room for clipboard pastes while keeping a
+/// hostile 2^63-byte length field from ever reaching an allocator.
+inline constexpr std::uint64_t kMaxWsPayload = 1 << 20;
+
+/// Serialize a frame (payload is masked on the wire iff frame.masked).
+/// Always emits the minimal length encoding, so decode(encode(f)) == f and
+/// encode(decode(b)) == b for accepted b.
+std::string encode_ws_frame(const WsFrame& frame);
+
+/// Decode one frame from the front of `bytes`; `consumed` (optional)
+/// receives how many bytes the frame occupied. Typed kInvalidArgument
+/// errors on: truncated input, RSV bits set, reserved opcodes, fragmented
+/// or oversized (>125 byte) control frames, non-minimal 16/64-bit length
+/// encodings, lengths above kMaxWsPayload or with the sign bit set, and
+/// text frames whose unmasked payload is not valid UTF-8.
+util::Result<WsFrame> decode_ws_frame(std::string_view bytes,
+                                      std::size_t* consumed = nullptr);
+
+/// Decode a whole client->server packet: one or more concatenated frames,
+/// each of which MUST be masked (RFC 6455 §5.1 — an unmasked client frame
+/// fails the connection). At most `max_frames` frames; trailing garbage
+/// after the last frame is an error.
+util::Result<std::vector<WsFrame>> decode_client_frames(
+    std::string_view bytes, std::size_t max_frames = 16);
+
+/// Convenience for the simulated browser side: one masked text frame
+/// carrying `text`, with a mask key derived deterministically from `seed`
+/// (the simulation must not burn RNG draws on masking).
+std::string encode_client_text(std::string_view text, std::uint64_t seed);
+
+/// Strict UTF-8 validation (rejects overlong encodings, surrogates and
+/// code points above U+10FFFF) — RFC 6455 requires text payloads be UTF-8.
+bool is_valid_utf8(std::string_view bytes);
+
+}  // namespace blab::mirror

@@ -61,6 +61,7 @@ const char* get_tier(const char* p, const char* end, Tier& tier) {
   if (p == nullptr) return nullptr;
   p = get_u64(p, end, buckets);
   if (p == nullptr || factor == 0) return nullptr;
+  if (!std::isfinite(tier.rate_hz) || tier.rate_hz <= 0.0) return nullptr;
   // 12 bytes per bucket; reject counts the payload cannot hold.
   if (buckets > static_cast<std::uint64_t>(end - p) / 12) return nullptr;
   tier.factor = static_cast<std::size_t>(factor);
@@ -266,10 +267,20 @@ util::Result<ChunkedCapture> ChunkedCapture::deserialize(
   cc.t0_ = util::TimePoint::from_micros(static_cast<std::int64_t>(t0_us));
   cc.sample_count_ = static_cast<std::size_t>(sample_count);
   cc.chunk_samples_ = static_cast<std::size_t>(chunk_samples);
-  if (cc.chunk_samples_ == 0 || !(cc.sample_hz_ > 0.0)) {
+  if (cc.chunk_samples_ == 0 || !(cc.sample_hz_ > 0.0) ||
+      !std::isfinite(cc.sample_hz_) || !std::isfinite(cc.voltage_)) {
     return malformed("bad header fields");
   }
-  cc.raw_available_ = *p++ != 0;
+  const std::uint8_t raw_flag = static_cast<std::uint8_t>(*p++);
+  if (raw_flag > 1) return malformed("bad raw-tier flag");
+  cc.raw_available_ = raw_flag == 1;
+  // While the raw tier is present the delta codec spends at least one byte
+  // per sample, so a sample count the input cannot possibly back must die
+  // here — before decode() sizes a vector from it. Purged captures carry
+  // footers only; their counts are bounded by the per-chunk checks below.
+  if (cc.raw_available_ && sample_count > bytes.size()) {
+    return malformed("bad header fields");
+  }
 
   std::uint64_t chunk_count = 0;
   p = get_u64(p, end, chunk_count);
@@ -285,6 +296,20 @@ util::Result<ChunkedCapture> ChunkedCapture::deserialize(
     if (p != nullptr) p = get_u64(p, end, payload);
     if (p == nullptr || payload > static_cast<std::uint64_t>(end - p)) {
       return malformed("truncated chunk");
+    }
+    // With the raw tier present every sample costs at least one payload
+    // byte and empty chunks carry none; purged chunks carry footers only.
+    // Either way a chunk never holds more than chunk_samples_ samples.
+    const bool payload_consistent =
+        cc.raw_available_
+            ? chunk.footer.count <= payload &&
+                  (chunk.footer.count > 0 || payload == 0)
+            : payload == 0;
+    if (!payload_consistent || chunk.footer.count > cc.chunk_samples_) {
+      return malformed("chunk count disagrees with payload");
+    }
+    if (!std::isfinite(chunk.footer.sum_ma)) {
+      return malformed("bad chunk footer");
     }
     chunk.bytes.assign(p, static_cast<std::size_t>(payload));
     p += payload;

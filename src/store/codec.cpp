@@ -17,6 +17,14 @@ const char* get_varint(const char* p, const char* end, std::uint64_t& v) {
   int shift = 0;
   while (p < end && shift < 64) {
     const auto byte = static_cast<std::uint8_t>(*p++);
+    // Tenth byte: only the low bit may be set, anything above bit 63 would
+    // silently wrap. Rejecting here also rejects >10-byte encodings.
+    if (shift == 63 && byte > 0x01) return nullptr;
+    // Canonical LEB128 only: a trailing 0x00 continuation byte ("\x80\x00"
+    // for 0) is an overlong encoding of a value put_varint would have
+    // emitted shorter. One codeword per value keeps decode->re-encode
+    // byte-identical, which the fuzz harness asserts.
+    if (byte == 0x00 && shift > 0) return nullptr;
     v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
     if ((byte & 0x80) == 0) return p;
     shift += 7;
@@ -90,8 +98,12 @@ bool decode_samples(std::string_view bytes, std::size_t n,
                     std::vector<float>& out) {
   const char* p = bytes.data();
   const char* end = bytes.data() + bytes.size();
-  out.reserve(out.size() + n);
   if (n == 0) return p == end;
+  // Every sample takes at least one payload byte, so a count beyond the
+  // payload size is malformed. Checking before the reserve keeps a hostile
+  // 32-bit count from forcing a multi-GB allocation up front.
+  if (n > bytes.size()) return false;
+  out.reserve(out.size() + n);
   std::uint64_t first = 0;
   p = get_varint(p, end, first);
   if (p == nullptr || first > 0xFFFFFFFFULL) return false;

@@ -15,7 +15,10 @@
 namespace blab::store {
 
 /// LEB128 varint append / bounded read. `get_varint` returns the position
-/// after the value, or nullptr on truncated/overlong input.
+/// after the value, or nullptr on truncated, overlong (non-canonical
+/// trailing zero byte, >10 bytes) or overflowing (bits above 63) input.
+/// Accepting exactly the encodings put_varint emits makes decode followed
+/// by re-encode byte-identical — the codec fuzz harness relies on that.
 void put_varint(std::string& out, std::uint64_t v);
 const char* get_varint(const char* p, const char* end, std::uint64_t& v);
 
@@ -44,7 +47,10 @@ const char* get_f64(const char* p, const char* end, double& v);
 /// same samples always produce the same bytes.
 std::string encode_samples(const float* samples, std::size_t n);
 
-/// Decode exactly `n` samples appended to `out`; false on malformed input.
+/// Decode exactly `n` samples appended to `out`; false on malformed input
+/// (truncated or trailing bytes, overlong varints, deltas leaving the
+/// 32-bit range, or a count larger than the payload could possibly hold —
+/// rejected before any allocation).
 bool decode_samples(std::string_view bytes, std::size_t n,
                     std::vector<float>& out);
 

@@ -1,0 +1,61 @@
+// Strict, non-throwing numeric parsers for untrusted wire input.
+//
+// std::stod / std::stoull throw on malformed text and silently accept
+// trailing garbage ("1.5abc" -> 1.5), both of which are wrong at a parse
+// boundary that faces experimenter traffic. These helpers full-match the
+// token with std::from_chars and return nullopt on anything else, so the
+// caller decides the failure policy with a typed error instead of an
+// exception escaping the event loop.
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace blab::util {
+
+/// Full-match unsigned decimal parse; nullopt on empty input, sign, spaces,
+/// trailing garbage, or overflow.
+inline std::optional<std::uint64_t> parse_u64(std::string_view s) {
+  std::uint64_t v = 0;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc{} || ptr != end || s.empty()) return std::nullopt;
+  return v;
+}
+
+/// Full-match signed decimal parse with the same strictness.
+inline std::optional<std::int64_t> parse_i64(std::string_view s) {
+  std::int64_t v = 0;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc{} || ptr != end || s.empty()) return std::nullopt;
+  return v;
+}
+
+/// parse_i64 narrowed to int range.
+inline std::optional<int> parse_int(std::string_view s) {
+  const auto v = parse_i64(s);
+  if (!v.has_value() || *v < INT32_MIN || *v > INT32_MAX) return std::nullopt;
+  return static_cast<int>(*v);
+}
+
+/// Full-match floating-point parse. Accepts the usual fixed/scientific
+/// forms; rejects hex floats, "nan"/"inf" spellings and anything that does
+/// not consume the whole token. The result is always finite.
+inline std::optional<double> parse_double(std::string_view s) {
+  double v = 0.0;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] =
+      std::from_chars(begin, end, v, std::chars_format::general);
+  if (ec != std::errc{} || ptr != end || s.empty()) return std::nullopt;
+  if (!std::isfinite(v)) return std::nullopt;
+  return v;
+}
+
+}  // namespace blab::util

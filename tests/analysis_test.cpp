@@ -7,6 +7,7 @@
 
 #include "analysis/report.hpp"
 #include "analysis/software_estimator.hpp"
+#include "analysis/trace_io.hpp"
 #include "util/rng.hpp"
 
 namespace blab::analysis {
@@ -215,6 +216,74 @@ TEST_P(EstimatorSweep, PredictionsNonNegative) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EstimatorSweep,
                          ::testing::Values(2, 4, 8, 16, 32));
+
+// ------------------------------------------------ malformed trace input ----
+// Pins the trace_io rejection behavior the fuzz harness relies on: every
+// malformed shape is a typed kInvalidArgument with a stable message prefix,
+// never a throw or a best-effort parse.
+
+struct RejectCase {
+  const char* label;
+  const char* body;           ///< appended after the Monsoon header
+  const char* message_prefix; ///< start of the expected error message
+};
+
+class TraceIoRejects : public ::testing::TestWithParam<RejectCase> {};
+
+TEST_P(TraceIoRejects, TypedErrorWithStableMessage) {
+  std::istringstream is{std::string{"time_s,current_mA,voltage\n"} +
+                        GetParam().body};
+  const auto r = read_capture_csv_stream(is);
+  ASSERT_FALSE(r.ok()) << GetParam().label;
+  EXPECT_EQ(r.error().code, util::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(r.error().message.rfind(GetParam().message_prefix, 0), 0u)
+      << GetParam().label << ": got \"" << r.error().message << '"';
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Goldens, TraceIoRejects,
+    ::testing::Values(
+        RejectCase{"no_rows", "", "capture has no samples"},
+        RejectCase{"short_row", "0.0,1.5\n", "bad row 0"},
+        RejectCase{"long_row", "0.0,1.5,3.7,9\n", "bad row 0"},
+        RejectCase{"trailing_garbage", "0.0,1.5abc,3.7\n", "unparseable row"},
+        RejectCase{"nan_literal", "0.0,nan,3.7\n", "unparseable row"},
+        RejectCase{"inf_literal", "0.0,inf,3.7\n", "unparseable row"},
+        RejectCase{"hex_float", "0.0,0x1p3,3.7\n", "unparseable row"},
+        RejectCase{"empty_field", "0.0,,3.7\n", "unparseable row"},
+        RejectCase{"out_of_order", "0.1,1.0,3.7\n0.1,2.0,3.7\n",
+                   "out-of-order timestamp"},
+        RejectCase{"bad_marker", "# effective_hz=abc\n0.0,1.0,3.7\n",
+                   "bad effective_hz marker"}),
+    [](const ::testing::TestParamInfo<RejectCase>& info) {
+      return info.param.label;
+    });
+
+TEST(TraceIoRejects, MissingHeaderAndBinaryGarbage) {
+  std::istringstream no_header{"0.0,1.5,3.7\n"};
+  const auto r = read_capture_csv_stream(no_header);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, util::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(r.error().message, "missing Monsoon CSV header");
+
+  std::istringstream garbage{std::string{"\x00\xFF\x81\x7F garbage", 12}};
+  EXPECT_FALSE(read_capture_csv_stream(garbage).ok());
+  std::istringstream chunk_garbage{std::string{"\x00\xFF\x81\x7F", 4}};
+  EXPECT_FALSE(read_capture_chunked_stream(chunk_garbage).ok());
+}
+
+TEST(TraceIoRejects, StrictParseStillAcceptsHonestExports) {
+  // The hardening must not reject what write_capture_csv itself emits.
+  std::istringstream is{
+      "time_s,current_mA,voltage\n"
+      "# effective_hz=50.000000 source_hz=5000.000000 stride=100\n"
+      "0.000000,120.500,3.700\n"
+      "0.020000,121.000,3.700\n"};
+  const auto r = read_capture_csv_stream(is);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().sample_count(), 2u);
+  EXPECT_DOUBLE_EQ(r.value().sample_hz(), 50.0);
+}
 
 }  // namespace
 }  // namespace blab::analysis

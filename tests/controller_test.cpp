@@ -2,7 +2,9 @@
 // poller service, device registry, REST backend.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
+#include <string>
 
 #include "controller/controller.hpp"
 #include "controller/monsoon_poller.hpp"
@@ -217,6 +219,74 @@ TEST(ParseQueryTest, SplitsPairs) {
   EXPECT_EQ(q.at("duration"), "300");
   EXPECT_EQ(q.at("flag"), "");
   EXPECT_TRUE(parse_query("").empty());
+}
+
+TEST(ParseQueryTest, EdgeCaseTable) {
+  struct Case {
+    const char* query;
+    std::map<std::string, std::string> want;
+  };
+  const Case cases[] = {
+      // Percent-decoding, including '+' as space.
+      {"k=%41%42+c", {{"k", "AB c"}}},
+      {"a%20b=1", {{"a b", "1"}}},
+      // Truncated or invalid escapes stay literal rather than eating bytes.
+      {"k=%4", {{"k", "%4"}}},
+      {"k=%", {{"k", "%"}}},
+      {"k=%zz", {{"k", "%zz"}}},
+      {"k=100%25", {{"k", "100%"}}},
+      // Duplicate keys: first occurrence wins (parameter pollution defense).
+      {"dup=1&dup=2&dup=3", {{"dup", "1"}}},
+      {"dup=1&dup%32=x", {{"dup", "1"}, {"dup2", "x"}}},
+      // Empty keys are dropped; empty values are kept.
+      {"=orphan&ok=1", {{"ok", "1"}}},
+      {"=&=x&ok=", {{"ok", ""}}},
+      {"&&&", {}},
+      // Single-pass decode: double-encoded input decodes exactly once.
+      {"k=a%2520b", {{"k", "a%20b"}}},
+  };
+  for (const auto& c : cases) {
+    const auto got = parse_query(c.query);
+    EXPECT_EQ(got, c.want) << "query: " << c.query;
+  }
+}
+
+TEST(ParseQueryTest, CapsParameterCount) {
+  std::string query;
+  for (int i = 0; i < 100; ++i) {
+    query += "k" + std::to_string(i) + "=v&";
+  }
+  EXPECT_EQ(parse_query(query).size(), kMaxQueryParams);
+}
+
+TEST(ParseRequestLineTest, AcceptsNameAndQuery) {
+  const auto r = parse_request_line("status?verbose=1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().name, "status");
+  EXPECT_EQ(r.value().query, "verbose=1");
+
+  const auto bare = parse_request_line("list_devices");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare.value().name, "list_devices");
+  EXPECT_EQ(bare.value().query, "");
+}
+
+TEST(ParseRequestLineTest, RejectsMalformedLines) {
+  const std::string bad[] = {
+      "",                                         // empty
+      "?x=1",                                     // empty endpoint
+      "sta tus",                                  // space in endpoint
+      "../etc/passwd?x=1",                        // '/' outside the charset
+      "status\r\nX-Injected: 1",                  // control bytes
+      std::string(kMaxEndpointBytes + 1, 'a'),    // overlong endpoint
+  };
+  for (const auto& line : bad) {
+    const auto r = parse_request_line(line);
+    EXPECT_FALSE(r.ok()) << "line: " << line;
+    EXPECT_EQ(r.error().code, util::ErrorCode::kInvalidArgument);
+  }
+  EXPECT_FALSE(
+      parse_request_line(std::string(kMaxRequestBytes + 1, 'a')).ok());
 }
 
 }  // namespace

@@ -219,6 +219,130 @@ TEST_F(MirrorFixture, NoVncInputOnlyFromConnectedViewer) {
   EXPECT_EQ(injected, "input tap 2 2");
 }
 
+TEST_F(MirrorFixture, WsTextFrameReachesInjector) {
+  VncServer vnc;
+  NoVncGateway gateway{net, vnc, "ctrl"};
+  std::string injected;
+  gateway.set_input_injector([&](const std::string& cmd) { injected = cmd; });
+  ASSERT_TRUE(gateway.connect_viewer({"viewer", 7000}).ok());
+
+  net::Message msg;
+  msg.src = {"viewer", 7000};
+  msg.dst = gateway.address();
+  msg.tag = "novnc.ws";
+  msg.payload = encode_client_text("input tap 540 1200", 0xBEEF);
+  ASSERT_TRUE(net.send(std::move(msg)).ok());
+  sim.run_for(Duration::seconds(1));
+  EXPECT_EQ(injected, "input tap 540 1200");
+  EXPECT_EQ(gateway.bad_frames(), 0u);
+}
+
+TEST_F(MirrorFixture, WsMalformedFrameDisconnectsViewer) {
+  VncServer vnc;
+  NoVncGateway gateway{net, vnc, "ctrl"};
+  std::string injected;
+  gateway.set_input_injector([&](const std::string& cmd) { injected = cmd; });
+  ASSERT_TRUE(gateway.connect_viewer({"viewer", 7000}).ok());
+
+  // An unmasked client frame fails the connection (RFC 6455 §5.1).
+  net::Message msg;
+  msg.src = {"viewer", 7000};
+  msg.dst = gateway.address();
+  msg.tag = "novnc.ws";
+  msg.payload = std::string{"\x81\x03"} + "abc";
+  ASSERT_TRUE(net.send(std::move(msg)).ok());
+  sim.run_for(Duration::seconds(1));
+  EXPECT_TRUE(injected.empty());
+  EXPECT_EQ(gateway.bad_frames(), 1u);
+  EXPECT_FALSE(gateway.has_viewer()) << "malformed bytes must fail the "
+                                        "connection, not be skipped";
+}
+
+TEST_F(MirrorFixture, WsPingIsAnsweredWithPong) {
+  VncServer vnc;
+  NoVncGateway gateway{net, vnc, "ctrl"};
+  ASSERT_TRUE(gateway.connect_viewer({"viewer", 7000}).ok());
+
+  std::string pong_payload;
+  net.listen({"viewer", 7000}, [&](const net::Message& m) {
+    if (m.tag != "novnc.ws") return;
+    const auto frames = decode_ws_frame(m.payload);
+    if (frames.ok() && frames.value().opcode == WsOpcode::kPong) {
+      pong_payload = frames.value().payload;
+    }
+  });
+
+  WsFrame ping;
+  ping.opcode = WsOpcode::kPing;
+  ping.masked = true;
+  ping.mask_key = {1, 2, 3, 4};
+  ping.payload = "hb-17";
+  net::Message msg;
+  msg.src = {"viewer", 7000};
+  msg.dst = gateway.address();
+  msg.tag = "novnc.ws";
+  msg.payload = encode_ws_frame(ping);
+  ASSERT_TRUE(net.send(std::move(msg)).ok());
+  sim.run_for(Duration::seconds(1));
+  EXPECT_EQ(gateway.pongs_sent(), 1u);
+  EXPECT_EQ(pong_payload, "hb-17") << "pong must echo the ping payload";
+  net.unlisten({"viewer", 7000});
+}
+
+TEST_F(MirrorFixture, WsCloseFrameDisconnects) {
+  VncServer vnc;
+  NoVncGateway gateway{net, vnc, "ctrl"};
+  ASSERT_TRUE(gateway.connect_viewer({"viewer", 7000}).ok());
+
+  WsFrame close;
+  close.opcode = WsOpcode::kClose;
+  close.masked = true;
+  net::Message msg;
+  msg.src = {"viewer", 7000};
+  msg.dst = gateway.address();
+  msg.tag = "novnc.ws";
+  msg.payload = encode_ws_frame(close);
+  ASSERT_TRUE(net.send(std::move(msg)).ok());
+  sim.run_for(Duration::seconds(1));
+  EXPECT_FALSE(gateway.has_viewer());
+  EXPECT_EQ(gateway.bad_frames(), 0u) << "close is a clean shutdown";
+}
+
+TEST(WsFrameTest, ControlFrameLimits) {
+  WsFrame ping;
+  ping.opcode = WsOpcode::kPing;
+  ping.masked = true;
+  ping.payload = std::string(126, 'x');  // one over the control-frame cap
+  const std::string wire = encode_ws_frame(ping);
+  EXPECT_FALSE(decode_ws_frame(wire).ok());
+
+  ping.payload.resize(125);
+  EXPECT_TRUE(decode_ws_frame(encode_ws_frame(ping)).ok());
+}
+
+TEST(WsFrameTest, RejectsOversizedAndNonCanonicalLengths) {
+  // 64-bit length above the payload cap never reaches an allocator.
+  std::string huge{"\x81\xFF", 2};
+  huge += std::string{"\x7F\xFF\xFF\xFF\xFF\xFF\xFF\xFF", 8};
+  const auto r = decode_ws_frame(huge);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, util::ErrorCode::kInvalidArgument);
+
+  // A 16-bit length that fits in 7 bits is non-canonical.
+  std::string nonmin{"\x81\xFE\x00\x05", 4};
+  nonmin += "hello";
+  EXPECT_FALSE(decode_ws_frame(nonmin).ok());
+}
+
+TEST(WsFrameTest, TextFramesMustBeUtf8) {
+  WsFrame text;
+  text.opcode = WsOpcode::kText;
+  text.payload = "\xC0\xAF";  // overlong encoding of '/'
+  EXPECT_FALSE(decode_ws_frame(encode_ws_frame(text)).ok());
+  text.payload = "\xF0\x9F\x94\x8B";  // U+1F50B BATTERY, legitimate
+  EXPECT_TRUE(decode_ws_frame(encode_ws_frame(text)).ok());
+}
+
 TEST_F(MirrorFixture, ToolbarVisibilityToggle) {
   VncServer vnc;
   NoVncGateway gateway{net, vnc, "ctrl"};

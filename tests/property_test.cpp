@@ -3,13 +3,18 @@
 // suites cannot see.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "api/batterylab_api.hpp"
 #include "device/android.hpp"
 #include "device/browser.hpp"
 #include "hw/relay.hpp"
+#include "mirror/ws_frame.hpp"
 #include "server/access_server.hpp"
+#include "store/codec.hpp"
 #include "util/stats.hpp"
 
 namespace blab {
@@ -294,6 +299,97 @@ TEST_P(DeterminismSweep, CapturesAreBitIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismSweep,
                          ::testing::Values(7, 1984, 20191113));
+
+// ---------------------------------------------------------------------------
+// Property 6: the wire codecs are adversarially total. For any random byte
+// string, decoding never crashes, and every accepted input re-encodes to the
+// exact bytes that were decoded (canonical encodings). For any random value,
+// encode -> decode is the identity.
+// ---------------------------------------------------------------------------
+
+class WireCodecFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireCodecFuzz, SampleCodecRoundTripsAndRejectsCanonically) {
+  util::Rng rng{GetParam()};
+  for (int iter = 0; iter < 200; ++iter) {
+    // Random values: encode -> decode is the identity, bit for bit.
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(0, 64));
+    std::vector<float> samples;
+    samples.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      samples.push_back(static_cast<float>(rng.uniform(-1e4, 1e4)));
+    }
+    const std::string bytes =
+        store::encode_samples(samples.data(), samples.size());
+    std::vector<float> decoded;
+    ASSERT_TRUE(store::decode_samples(bytes, n, decoded));
+    EXPECT_EQ(decoded, samples);
+    EXPECT_EQ(store::encode_samples(decoded.data(), decoded.size()), bytes);
+
+    // Random bytes: decode either fails or re-encodes byte-identically.
+    std::string junk;
+    const std::size_t len = static_cast<std::size_t>(rng.uniform_int(0, 48));
+    for (std::size_t i = 0; i < len; ++i) {
+      junk.push_back(static_cast<char>(rng.uniform_int(0, 255)));
+    }
+    const std::size_t claim = static_cast<std::size_t>(rng.uniform_int(0, 16));
+    decoded.clear();
+    if (store::decode_samples(junk, claim, decoded)) {
+      EXPECT_EQ(decoded.size(), claim);
+      EXPECT_EQ(store::encode_samples(decoded.data(), decoded.size()), junk);
+    }
+  }
+}
+
+TEST_P(WireCodecFuzz, WsFramesRoundTripAndRejectCanonically) {
+  util::Rng rng{GetParam() ^ 0x5733A};
+  for (int iter = 0; iter < 200; ++iter) {
+    // Random legal frames: encode -> decode is the identity.
+    mirror::WsFrame frame;
+    static constexpr mirror::WsOpcode kOps[] = {
+        mirror::WsOpcode::kContinuation, mirror::WsOpcode::kText,
+        mirror::WsOpcode::kBinary,       mirror::WsOpcode::kClose,
+        mirror::WsOpcode::kPing,         mirror::WsOpcode::kPong};
+    frame.opcode = kOps[rng.uniform_int(0, 5)];
+    const bool control = mirror::is_control_opcode(frame.opcode);
+    frame.fin = control || rng.uniform_int(0, 1) == 1;
+    frame.masked = rng.uniform_int(0, 1) == 1;
+    for (auto& b : frame.mask_key) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    const std::size_t max_len = control ? 125 : 300;
+    const std::size_t len =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(max_len)));
+    for (std::size_t i = 0; i < len; ++i) {
+      // ASCII keeps text frames valid UTF-8; binary frames take any byte.
+      const int hi = frame.opcode == mirror::WsOpcode::kText ? 126 : 255;
+      frame.payload.push_back(static_cast<char>(rng.uniform_int(1, hi)));
+    }
+    const std::string wire = mirror::encode_ws_frame(frame);
+    std::size_t consumed = 0;
+    const auto back = mirror::decode_ws_frame(wire, &consumed);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(consumed, wire.size());
+    EXPECT_EQ(back.value().payload, frame.payload);
+    EXPECT_EQ(back.value().opcode, frame.opcode);
+
+    // Random bytes: decode either fails or re-encodes the consumed prefix.
+    std::string junk;
+    const std::size_t jlen = static_cast<std::size_t>(rng.uniform_int(0, 64));
+    for (std::size_t i = 0; i < jlen; ++i) {
+      junk.push_back(static_cast<char>(rng.uniform_int(0, 255)));
+    }
+    consumed = 0;
+    const auto parsed = mirror::decode_ws_frame(junk, &consumed);
+    if (parsed.ok()) {
+      EXPECT_EQ(mirror::encode_ws_frame(parsed.value()),
+                junk.substr(0, consumed));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireCodecFuzz,
+                         ::testing::Values(3, 555, 90210));
 
 }  // namespace
 }  // namespace blab

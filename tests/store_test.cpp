@@ -12,6 +12,7 @@
 #include "hw/power_monitor.hpp"
 #include "store/capture_store.hpp"
 #include "store/chunked_capture.hpp"
+#include "store/codec.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -219,6 +220,97 @@ TEST(ChunkedCapture, DeserializeRejectsMalformedBytes) {
       ChunkedCapture::deserialize(std::string_view{good}.substr(
           0, good.size() / 2)).ok());
   EXPECT_FALSE(ChunkedCapture::deserialize(good + std::string(1, '\0')).ok());
+}
+
+// ----------------------------------------------- adversarial codec input ----
+
+TEST(Codec, VarintRejectsTruncatedOverlongAndOverflowing) {
+  using blab::store::get_varint;
+  using blab::store::put_varint;
+  std::uint64_t v = 0;
+
+  // Truncated: continuation bit set on the last available byte.
+  const std::string truncated{"\x80", 1};
+  EXPECT_EQ(get_varint(truncated.data(),
+                       truncated.data() + truncated.size(), v),
+            nullptr);
+
+  // Overlong: a non-canonical trailing zero byte ("\x80\x00" also encodes 0).
+  const std::string overlong{"\x80\x00", 2};
+  EXPECT_EQ(get_varint(overlong.data(), overlong.data() + overlong.size(), v),
+            nullptr);
+
+  // Overflowing: 10th byte carries bits above bit 63.
+  std::string overflow(9, '\xFF');
+  overflow.push_back('\x02');
+  EXPECT_EQ(get_varint(overflow.data(), overflow.data() + overflow.size(), v),
+            nullptr);
+
+  // The canonical max encoding (2^64-1) still decodes.
+  std::string max_enc;
+  put_varint(max_enc, ~0ULL);
+  EXPECT_NE(get_varint(max_enc.data(), max_enc.data() + max_enc.size(), v),
+            nullptr);
+  EXPECT_EQ(v, ~0ULL);
+
+  // Every canonical encoding round-trips to the exact same bytes.
+  for (const std::uint64_t val :
+       {0ULL, 1ULL, 127ULL, 128ULL, 16383ULL, 16384ULL, 1ULL << 32,
+        ~0ULL >> 1, ~0ULL}) {
+    std::string enc;
+    put_varint(enc, val);
+    std::uint64_t back = 0;
+    const char* p = get_varint(enc.data(), enc.data() + enc.size(), back);
+    ASSERT_EQ(p, enc.data() + enc.size());
+    EXPECT_EQ(back, val);
+  }
+}
+
+TEST(Codec, DecodeSamplesRejectsHostileCounts) {
+  using blab::store::decode_samples;
+  using blab::store::encode_samples;
+  const std::vector<float> samples{1.0f, 1.5f, 2.0f, -3.25f};
+  const std::string bytes = encode_samples(samples.data(), samples.size());
+
+  std::vector<float> out;
+  // A count larger than the payload could possibly hold is rejected before
+  // any allocation (each sample is at least one varint byte).
+  EXPECT_FALSE(decode_samples(bytes, 1u << 31, out));
+  EXPECT_TRUE(out.empty());
+
+  // Off-by-one counts fail: trailing bytes and truncation are both errors.
+  EXPECT_FALSE(decode_samples(bytes, samples.size() - 1, out));
+  EXPECT_FALSE(decode_samples(bytes, samples.size() + 1, out));
+
+  // Non-canonical payload bytes fail even when the count fits.
+  EXPECT_FALSE(decode_samples(std::string{"\x80\x00", 2}, 1, out));
+
+  // And the honest decode still works and re-encodes byte-identically.
+  out.clear();
+  ASSERT_TRUE(decode_samples(bytes, samples.size(), out));
+  EXPECT_EQ(out, samples);
+  EXPECT_EQ(encode_samples(out.data(), out.size()), bytes);
+}
+
+TEST(ChunkedCapture, DeserializeRejectsNonCanonicalHeaderFields) {
+  const auto cc = ChunkedCapture::encode(make_capture(11, 300));
+  const std::string good = cc.serialize();
+
+  // Accepted bytes must re-serialize identically (the fuzz invariant).
+  const auto back = ChunkedCapture::deserialize(good);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().serialize(), good);
+
+  // Single-byte corruption anywhere must never crash; it either fails with
+  // a typed error or yields a capture that still re-serializes losslessly.
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    std::string bad = good;
+    bad[i] = static_cast<char>(bad[i] ^ 0x10);
+    const auto r = ChunkedCapture::deserialize(bad);
+    if (r.ok()) {
+      EXPECT_EQ(r.value().serialize(), bad) << "byte " << i;
+    }
+  }
 }
 
 TEST(ChunkedCapture, CompressionBeatsCsvByFourX) {
