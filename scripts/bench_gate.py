@@ -3,7 +3,8 @@
 
 Reads the pinned baseline (BENCH_core.json at the repo root), the fresh
 measurement JSONs produced by scripts/ci_bench.sh (google-benchmark output
-from micro_core, plus the scenario_e2e and store_throughput emitters), writes
+from micro_core, plus the scenario_e2e, store_throughput and store_persist
+emitters), writes
 a merged BENCH_core.json artifact with the current rates next to the pinned
 ones, and exits non-zero if any gated throughput falls below
 floor_fraction * baseline (default 0.7, i.e. a >30% regression).
@@ -14,7 +15,8 @@ artifact as an improvement to consider re-pinning.
 
 Usage:
   bench_gate.py --baseline BENCH_core.json --micro micro.json \
-      --e2e e2e.json --store store.json --out artifact.json
+      --e2e e2e.json --store store.json --persist persist.json \
+      --out artifact.json
 """
 
 import argparse
@@ -40,7 +42,7 @@ def median_items_per_second(micro):
     return out
 
 
-def collect_current(micro, e2e, store):
+def collect_current(micro, e2e, store, persist):
     rates = {}
     for name, value in median_items_per_second(micro).items():
         rates[f"{name}_items_per_s"] = value
@@ -48,6 +50,15 @@ def collect_current(micro, e2e, store):
     rates["scenario_e2e_scenarios_per_s"] = e2e["scenarios_per_s"]
     rates["store_sim_events_per_s"] = store["sim_events_per_s"]
     rates["store_synth_samples_per_s"] = store["synth_samples_per_s"]
+    rates["persist_append_samples_per_s"] = persist[
+        "persist_append_samples_per_s"
+    ]
+    rates["persist_cold_query_samples_per_s"] = persist[
+        "persist_cold_query_samples_per_s"
+    ]
+    rates["persist_recovery_records_per_s"] = persist[
+        "persist_recovery_records_per_s"
+    ]
     return rates
 
 
@@ -57,6 +68,7 @@ def main():
     parser.add_argument("--micro", required=True)
     parser.add_argument("--e2e", required=True)
     parser.add_argument("--store", required=True)
+    parser.add_argument("--persist", required=True)
     parser.add_argument("--out", required=True)
     args = parser.parse_args()
 
@@ -68,9 +80,11 @@ def main():
         e2e = json.load(f)
     with open(args.store) as f:
         store = json.load(f)
+    with open(args.persist) as f:
+        persist = json.load(f)
 
     floor = baseline.get("floor_fraction", 0.7)
-    current = collect_current(micro, e2e, store)
+    current = collect_current(micro, e2e, store, persist)
 
     failures = []
     report = []

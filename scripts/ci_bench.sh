@@ -14,7 +14,7 @@ BUILD_DIR="${BUILD_DIR:-build-bench}"
 
 cmake -S . -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target micro_core scenario_e2e store_throughput
+  --target micro_core scenario_e2e store_throughput store_persist
 
 "$BUILD_DIR"/bench/micro_core \
   --benchmark_format=json \
@@ -26,12 +26,14 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --trace-out="$BUILD_DIR/BENCH_trace.json" \
   > "$BUILD_DIR/bench_e2e.json"
 "$BUILD_DIR"/bench/store_throughput > "$BUILD_DIR/bench_store.json"
+"$BUILD_DIR"/bench/store_persist > "$BUILD_DIR/bench_persist.json"
 
 python3 scripts/bench_gate.py \
   --baseline BENCH_core.json \
   --micro "$BUILD_DIR/bench_micro.json" \
   --e2e "$BUILD_DIR/bench_e2e.json" \
   --store "$BUILD_DIR/bench_store.json" \
+  --persist "$BUILD_DIR/bench_persist.json" \
   --out "$BUILD_DIR/BENCH_core.json"
 
 # Telemetry drift gate: the bench corpus is deterministic, so its merged

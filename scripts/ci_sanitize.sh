@@ -21,12 +21,20 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 cmake -S . -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DBLAB_SANITIZE=ON -DBLAB_FUZZ=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target blab_dst store_test failure_test obs_test store_throughput \
-           rest_backend_fuzz trace_io_fuzz store_codec_fuzz novnc_fuzz
+  --target blab_dst store_test persist_test failure_test obs_test \
+           store_throughput rest_backend_fuzz trace_io_fuzz \
+           store_codec_fuzz novnc_fuzz persist_fuzz
 ctest --test-dir "$BUILD_DIR" -L 'dst|store|obs|fuzz' --output-on-failure
 "$BUILD_DIR"/bench/store_throughput
 
+# Crash-recovery oracle, explicitly and at full width: kill-restart every
+# corpus scenario under the sanitizers (the ctest lane above already runs it
+# once through gtest discovery; this run pins the worker-pool width so ASan
+# sees the concurrent recovery path).
+"$BUILD_DIR"/tests/blab_dst --jobs=4 --gtest_filter='DstPersistence.*'
+
 # Fuzz smoke: corpus replay + bounded deterministic mutation per harness.
-for target in rest_backend_fuzz trace_io_fuzz store_codec_fuzz novnc_fuzz; do
+for target in rest_backend_fuzz trace_io_fuzz store_codec_fuzz novnc_fuzz \
+              persist_fuzz; do
   "$BUILD_DIR"/fuzz/"$target" -runs="$FUZZ_RUNS" "tests/fuzz_corpus/$target"
 done

@@ -272,6 +272,45 @@ void BatteryLabApi::bind_rest_endpoints() {
     }
     return util::Result<std::string>{std::string{"ok"}};
   });
+  // GET /captures/:id/source — where a stored capture currently lives
+  // (memory | disk | tier). Endpoint names have no path segments, so the
+  // capture id rides in the query: "id=<workspace>%23<seq>" ('#' must be
+  // percent-escaped). With no id, reports on the last archived capture.
+  rest.register_endpoint("captures_source", [this](const std::string& query) {
+    if (capture_store_ == nullptr) {
+      return util::Result<std::string>{util::make_error(
+          util::ErrorCode::kFailedPrecondition, "no capture store attached")};
+    }
+    const auto params = controller::parse_query(query);
+    std::optional<store::CaptureId> id;
+    if (const auto it = params.find("id"); it != params.end()) {
+      const auto hash = it->second.rfind('#');
+      if (hash == std::string::npos) {
+        return util::Result<std::string>{util::make_error(
+            util::ErrorCode::kInvalidArgument,
+            "id must be <workspace>#<seq> ('#' percent-escaped as %23)")};
+      }
+      const auto seq = util::parse_u64(it->second.substr(hash + 1));
+      if (!seq.has_value()) {
+        return util::Result<std::string>{util::make_error(
+            util::ErrorCode::kInvalidArgument,
+            "capture sequence must be a decimal integer")};
+      }
+      id = store::CaptureId{it->second.substr(0, hash), *seq};
+    } else {
+      id = last_capture_id_;
+    }
+    if (!id.has_value()) {
+      return util::Result<std::string>{util::make_error(
+          util::ErrorCode::kInvalidArgument,
+          "id required (no capture archived yet)")};
+    }
+    const auto source = capture_store_->source_of(*id);
+    if (!source.ok()) return util::Result<std::string>{source.error()};
+    return util::Result<std::string>{
+        "id=" + id->str() +
+        "&source=" + store::capture_source_name(source.value())};
+  });
   rest.register_endpoint("execute_adb", [this](const std::string& query) {
     const auto params = controller::parse_query(query);
     const auto dev = params.find("device_id");

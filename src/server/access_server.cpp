@@ -32,6 +32,28 @@ void AccessServer::enable_credit_enforcement(CreditPolicy policy) {
   scheduler_.attach_credits(&credits_, policy);
 }
 
+util::Status AccessServer::enable_persistence(
+    const std::string& dir, store::persist::PersistOptions options) {
+  if (persist_ != nullptr) {
+    return util::make_error(util::ErrorCode::kAlreadyExists,
+                            "persistence already enabled at " +
+                                persist_->dir());
+  }
+  auto engine =
+      std::make_unique<store::persist::PersistEngine>(dir, options);
+  if (auto st = engine->open(); !st.ok()) return st;
+  persist_ = std::move(engine);
+  persist_->attach_metrics(&sim_.metrics());
+  capture_store_.attach_persistence(persist_.get());
+  BLAB_INFO("access-server",
+            "persistence enabled at " << dir << ": recovered "
+                                      << persist_->stats().recovered_records
+                                      << " record(s) across "
+                                      << persist_->shard_count()
+                                      << " shard(s)");
+  return util::Status::ok_status();
+}
+
 util::Status AccessServer::onboard_vantage_point(
     const std::string& label, api::VantagePoint& vp,
     const std::string& host_owner) {

@@ -23,6 +23,7 @@
 #include "server/scheduler.hpp"
 #include "server/testers.hpp"
 #include "store/capture_store.hpp"
+#include "store/persist/engine.hpp"
 
 namespace blab::server {
 
@@ -49,6 +50,15 @@ class AccessServer {
   /// receive the policy's hosting bonus at approval time.
   void enable_credit_enforcement(CreditPolicy policy = {});
   bool credits_enforced() const { return credit_policy_.has_value(); }
+
+  /// Turn on durable capture storage rooted at `dir`: opens (and on a
+  /// restart, recovers) the sharded WAL+segment store there and attaches it
+  /// to the capture store, so every workspace persisted by a previous
+  /// process is immediately listable and queryable again.
+  util::Status enable_persistence(const std::string& dir,
+                                  store::persist::PersistOptions options = {});
+  bool persistence_enabled() const { return persist_ != nullptr; }
+  store::persist::PersistEngine* persist_engine() { return persist_.get(); }
 
   /// Full onboarding per the §3.4 tutorial: register the node, install the
   /// server's public key and IP whitelist on the controller's sshd, deploy
@@ -93,6 +103,7 @@ class AccessServer {
   CertificateManager certs_;
   Scheduler scheduler_;
   store::CaptureStore capture_store_;
+  std::unique_ptr<store::persist::PersistEngine> persist_;
   CreditLedger credits_;
   TesterPool testers_;
   std::optional<CreditPolicy> credit_policy_;

@@ -85,12 +85,19 @@ Job make_capture_retention_job(AccessServer& server) {
   job.script = [&server](JobContext& ctx) -> util::Status {
     auto& store = server.capture_store();
     const auto now = server.simulator().now();
+    const std::uint64_t reclaimed_before =
+        store.stats().retention_bytes_reclaimed;
+    // Ages out in-memory chunks AND, when persistence is enabled, the
+    // expired on-disk segments (erase + demote + compact) behind them.
     const std::size_t touched = store.run_retention(now);
     const std::size_t workspaces =
         server.scheduler().purge_workspaces(store.policy().summary_ttl);
+    const std::uint64_t reclaimed =
+        store.stats().retention_bytes_reclaimed - reclaimed_before;
     ctx.workspace->log("retention touched " + std::to_string(touched) +
                        " captures, purged " + std::to_string(workspaces) +
-                       " workspaces; " + std::to_string(store.size()) +
+                       " workspaces, reclaimed " + std::to_string(reclaimed) +
+                       " disk bytes; " + std::to_string(store.size()) +
                        " records remain");
     return util::Status::ok_status();
   };

@@ -5,6 +5,8 @@
 
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "store/persist/engine.hpp"
+#include "util/logging.hpp"
 
 namespace blab::store {
 namespace {
@@ -15,6 +17,15 @@ util::Error not_found(const CaptureId& id) {
 }
 
 }  // namespace
+
+const char* capture_source_name(CaptureSource source) {
+  switch (source) {
+    case CaptureSource::kMemory: return "memory";
+    case CaptureSource::kDisk: return "disk";
+    case CaptureSource::kTier: return "tier";
+  }
+  return "?";
+}
 
 void CaptureStore::bump(obs::Counter* c, std::uint64_t n) {
   if (c != nullptr && n > 0) c->inc(n);
@@ -76,7 +87,18 @@ CaptureId CaptureStore::append(const std::string& workspace, std::string name,
   span.attr("chunks", static_cast<std::int64_t>(chunks));
   span.attr("bytes_raw", static_cast<std::int64_t>(raw_bytes));
   span.attr("bytes_encoded", static_cast<std::int64_t>(encoded_bytes));
-  records_.emplace(id, std::move(record));
+  const auto [it, inserted] = records_.emplace(id, std::move(record));
+  if (persist_ != nullptr && inserted) {
+    // Archive-through: the capture is durable once append() returns. A
+    // failed archive keeps the in-memory record (still queryable this
+    // process lifetime) and is surfaced as a warning, not an exception.
+    if (auto st = persist_->append(id, it->second.name, now,
+                                   it->second.capture);
+        !st.ok()) {
+      BLAB_WARN("store", "archive-through failed for " << id.str() << ": "
+                                                       << st.str());
+    }
+  }
   ++stats_.captures_appended;
   stats_.chunks_written += chunks;
   stats_.bytes_raw += raw_bytes;
@@ -89,8 +111,18 @@ CaptureId CaptureStore::append(const std::string& workspace, std::string name,
   return id;
 }
 
+void CaptureStore::attach_persistence(persist::PersistEngine* engine) {
+  persist_ = engine;
+  if (persist_ != nullptr) {
+    // Resume sequencing past everything ever persisted (including erased
+    // records, via the manifest floor) so recovered ids never collide.
+    next_seq_ = std::max(next_seq_, persist_->next_seq());
+  }
+}
+
 bool CaptureStore::contains(const CaptureId& id) const {
-  return records_.contains(id);
+  return records_.contains(id) ||
+         (persist_ != nullptr && persist_->contains(id));
 }
 
 const ChunkedCapture* CaptureStore::find(const CaptureId& id) const {
@@ -99,15 +131,26 @@ const ChunkedCapture* CaptureStore::find(const CaptureId& id) const {
 }
 
 std::optional<std::string> CaptureStore::name_of(const CaptureId& id) const {
-  const Record* record = find_record(id);
-  if (record == nullptr) return std::nullopt;
-  return record->name;
+  if (const Record* record = find_record(id)) return record->name;
+  if (persist_ != nullptr) {
+    if (const auto info = persist_->info(id)) return info->name;
+  }
+  return std::nullopt;
 }
 
 std::vector<CaptureId> CaptureStore::list(const std::string& workspace) const {
   std::vector<CaptureId> ids;
   for (const auto& [id, record] : records_) {
     if (id.workspace == workspace) ids.push_back(id);
+  }
+  if (persist_ != nullptr) {
+    // Warm records are also persisted, so the union is a sorted merge.
+    std::vector<CaptureId> merged;
+    const std::vector<CaptureId> cold = persist_->list(workspace);
+    std::merge(ids.begin(), ids.end(), cold.begin(), cold.end(),
+               std::back_inserter(merged));
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    return merged;
   }
   return ids;
 }
@@ -123,13 +166,56 @@ std::vector<std::string> CaptureStore::workspaces() const {
   // may repeat across interleaved appends only if sequences interleave —
   // they cannot, map order guarantees grouping. Dedup defensively anyway.
   names.erase(std::unique(names.begin(), names.end()), names.end());
+  if (persist_ != nullptr) {
+    std::vector<std::string> merged;
+    const std::vector<std::string> cold = persist_->workspaces();
+    std::merge(names.begin(), names.end(), cold.begin(), cold.end(),
+               std::back_inserter(merged));
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    return merged;
+  }
   return names;
+}
+
+util::Result<CaptureSource> CaptureStore::source_of(
+    const CaptureId& id) const {
+  if (const Record* record = find_record(id)) {
+    return record->capture.raw_available() ? CaptureSource::kMemory
+                                           : CaptureSource::kTier;
+  }
+  if (persist_ != nullptr) {
+    if (const auto info = persist_->info(id)) {
+      return info->raw_dropped ? CaptureSource::kTier : CaptureSource::kDisk;
+    }
+  }
+  return not_found(id);
 }
 
 const CaptureStore::Record* CaptureStore::find_record(
     const CaptureId& id) const {
   const auto it = records_.find(id);
   return it != records_.end() ? &it->second : nullptr;
+}
+
+const CaptureStore::Record* CaptureStore::warm_record(const CaptureId& id) {
+  if (const Record* record = find_record(id)) return record;
+  if (persist_ == nullptr) return nullptr;
+  const auto info = persist_->info(id);
+  if (!info.has_value()) return nullptr;
+  auto cc = persist_->load(id);
+  if (!cc.ok()) {
+    BLAB_WARN("store", "cold load failed for " << id.str() << ": "
+                                               << cc.error().str());
+    return nullptr;
+  }
+  Record record;
+  record.name = info->name;
+  record.stored_at = info->stored_at;
+  record.capture = std::move(cc).take();
+  ++stats_.disk_loads;
+  const auto [it, inserted] = records_.emplace(id, std::move(record));
+  sync_record_gauge();
+  return &it->second;
 }
 
 util::Result<std::vector<float>> CaptureStore::chunk_samples(
@@ -170,7 +256,7 @@ void CaptureStore::evict_capture(const CaptureId& id) {
 util::Result<hw::Capture> CaptureStore::range(const CaptureId& id,
                                               util::TimePoint t0,
                                               util::TimePoint t1) {
-  const Record* record = find_record(id);
+  const Record* record = warm_record(id);
   if (record == nullptr) return not_found(id);
   const ChunkedCapture& cc = record->capture;
   if (!cc.raw_available()) {
@@ -213,7 +299,7 @@ util::Result<hw::Capture> CaptureStore::range(const CaptureId& id,
 
 util::Result<std::vector<AggregateBucket>> CaptureStore::aggregate(
     const CaptureId& id, util::Duration window) {
-  const Record* record = find_record(id);
+  const Record* record = warm_record(id);
   if (record == nullptr) return not_found(id);
   if (window <= util::Duration::zero()) {
     return util::make_error(util::ErrorCode::kInvalidArgument,
@@ -292,7 +378,7 @@ util::Result<std::vector<AggregateBucket>> CaptureStore::aggregate(
 }
 
 util::Result<util::Cdf> CaptureStore::percentiles(const CaptureId& id) {
-  const Record* record = find_record(id);
+  const Record* record = warm_record(id);
   if (record == nullptr) return not_found(id);
   const ChunkedCapture& cc = record->capture;
   ++stats_.tier_queries;
@@ -315,7 +401,7 @@ util::Result<util::Cdf> CaptureStore::percentiles(const CaptureId& id) {
 }
 
 util::Result<double> CaptureStore::energy_mwh(const CaptureId& id) {
-  const Record* record = find_record(id);
+  const Record* record = warm_record(id);
   if (record == nullptr) return not_found(id);
   ++stats_.tier_queries;
   bump(metrics_.tier_queries);
@@ -323,7 +409,7 @@ util::Result<double> CaptureStore::energy_mwh(const CaptureId& id) {
 }
 
 util::Result<double> CaptureStore::mean_ma(const CaptureId& id) {
-  const Record* record = find_record(id);
+  const Record* record = warm_record(id);
   if (record == nullptr) return not_found(id);
   ++stats_.tier_queries;
   bump(metrics_.tier_queries);
@@ -352,6 +438,12 @@ std::size_t CaptureStore::run_retention(util::TimePoint now) {
     }
     ++it;
   }
+  if (persist_ != nullptr) {
+    // The on-disk copy ages by the same policy: expired segments records are
+    // erased or demoted to the summary stream, segments are compacted, and
+    // the freed bytes feed blab_store_retention_bytes_reclaimed_total.
+    stats_.retention_bytes_reclaimed += persist_->run_retention(now, policy_);
+  }
   sync_record_gauge();
   return touched;
 }
@@ -367,6 +459,17 @@ std::size_t CaptureStore::drop_workspace_raw(const std::string& workspace) {
     ++stats_.raw_purges;
     bump(metrics_.raw_purges);
     ++touched;
+  }
+  if (persist_ != nullptr) {
+    // Journal the purge for every persisted copy — including cold records
+    // this process never warmed — so a restart cannot resurrect raw samples
+    // the workspace purge already discarded.
+    for (const CaptureId& id : persist_->list(workspace)) {
+      const auto info = persist_->info(id);
+      if (!info.has_value() || info->raw_dropped) continue;
+      (void)persist_->note_drop_raw(id);
+      if (!records_.contains(id)) ++touched;  // warm ones counted above
+    }
   }
   return touched;
 }

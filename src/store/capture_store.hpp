@@ -30,6 +30,10 @@ class Tracer;
 
 namespace blab::store {
 
+namespace persist {
+class PersistEngine;
+}  // namespace persist
+
 /// Stable handle to one stored capture: workspace + per-store sequence.
 struct CaptureId {
   std::string workspace;
@@ -68,7 +72,15 @@ struct StoreStats {
   std::uint64_t raw_purges = 0;     ///< records whose raw tier was dropped
   std::uint64_t record_purges = 0;  ///< records dropped entirely
   std::uint64_t tier_queries = 0;   ///< queries served from tiers/footers
+  std::uint64_t disk_loads = 0;     ///< cold records warmed from persistence
+  std::uint64_t retention_bytes_reclaimed = 0;  ///< on-disk bytes freed
 };
+
+/// Where a capture's data currently lives, for the REST `captures_source`
+/// endpoint: resident in memory with raw chunks, cold on disk with raw
+/// chunks, or reduced to downsample tiers (raw purged by retention).
+enum class CaptureSource { kMemory, kDisk, kTier };
+const char* capture_source_name(CaptureSource source);
 
 class CaptureStore {
  public:
@@ -85,14 +97,19 @@ class CaptureStore {
                    const hw::Capture& capture, util::TimePoint now);
 
   // -- lookup ------------------------------------------------------------
+  /// True for warm (in-memory) and cold (persisted-only) records alike.
   bool contains(const CaptureId& id) const;
+  /// Warm records only; cold records surface through the query API, which
+  /// loads them transparently.
   const ChunkedCapture* find(const CaptureId& id) const;
   std::optional<std::string> name_of(const CaptureId& id) const;
-  /// Ids in `workspace`, ascending by sequence.
+  /// Ids in `workspace` (warm and cold), ascending by sequence.
   std::vector<CaptureId> list(const std::string& workspace) const;
-  /// All workspaces with at least one record, sorted.
+  /// All workspaces with at least one record (warm or cold), sorted.
   std::vector<std::string> workspaces() const;
   std::size_t size() const { return records_.size(); }
+  /// Which tier would serve `id` right now (memory | disk | tier).
+  util::Result<CaptureSource> source_of(const CaptureId& id) const;
 
   // -- queries -----------------------------------------------------------
   /// Raw samples in [t0, t1) — sample-exact, decoded chunk-by-chunk via the
@@ -135,6 +152,14 @@ class CaptureStore {
   /// chunk and byte counts. Null-safe like attach_metrics.
   void attach_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Attach an opened durability engine: appends archive through to its WAL,
+  /// cold queries load transparently from its segments, retention reclaims
+  /// its expired on-disk bytes, and the sequence counter resumes past the
+  /// largest persisted sequence. Null detaches. The engine must outlive the
+  /// store's last mutation (true for AccessServer, which owns both).
+  void attach_persistence(persist::PersistEngine* engine);
+  persist::PersistEngine* persistence() { return persist_; }
+
  private:
   struct Record {
     std::string name;
@@ -169,6 +194,8 @@ class CaptureStore {
   void sync_record_gauge();
 
   const Record* find_record(const CaptureId& id) const;
+  /// find_record, loading a cold record from the persist engine on miss.
+  const Record* warm_record(const CaptureId& id);
   /// Decoded samples for one chunk, through the LRU cache.
   util::Result<std::vector<float>> chunk_samples(const CaptureId& id,
                                                  const Record& record,
@@ -185,6 +212,7 @@ class CaptureStore {
   StoreStats stats_;
   Metrics metrics_;
   obs::Tracer* tracer_ = nullptr;
+  persist::PersistEngine* persist_ = nullptr;
 };
 
 }  // namespace blab::store

@@ -372,6 +372,11 @@ std::string job_state_counts(const server::Scheduler& scheduler) {
 }  // namespace
 
 ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  return run_scenario(spec, RunOptions{});
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec,
+                            const RunOptions& options) {
   ScenarioResult result;
   result.seed = spec.seed;
   result.description = describe(spec);
@@ -386,6 +391,13 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
                net::LinkSpec::symmetric(Duration::millis(4), 900.0));
   server.scheduler().attach_vpn(&vpn);
   if (spec.enforce_credits) server.enable_credit_enforcement();
+  if (!options.persist_dir.empty()) {
+    if (auto st = server.enable_persistence(options.persist_dir); !st.ok()) {
+      result.violations.push_back(
+          {"persistence", "enable_persistence failed: " + st.str()});
+      return result;
+    }
+  }
 
   TraceRecorder recorder{sim};
   recorder.note(result.description);
@@ -454,6 +466,7 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   OracleRegistry oracles;
 
   // ---- the scenario loop ----------------------------------------------
+  bool killed = false;
   for (int step = 0; step < spec.steps; ++step) {
     recorder.note("step " + std::to_string(step) + " begin");
     for (const JobGenSpec& gen : spec.jobs) {
@@ -466,6 +479,13 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     }
     if (auto ran = server.run_queue(exp_tokens.front()); ran.ok()) {
       result.jobs_dispatched += ran.value();
+    }
+    if (options.kill_after_steps >= 0 && step == options.kill_after_steps) {
+      // Mid-step kill: advance a fraction of the step, then abandon the loop.
+      // No oracles, no step-end note — the process is "dead".
+      sim.run_for(std::min(options.kill_extra, spec.step_length));
+      killed = true;
+      break;
     }
     sim.run_for(spec.step_length);
     // Flush lazy battery integration so the sanity oracle sees fresh state.
@@ -491,7 +511,8 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     recorder.note("step " + std::to_string(step) + " end: " +
                   job_state_counts(server.scheduler()) + "; " + balances);
   }
-  recorder.note("scenario end");
+  if (!killed) recorder.note("scenario end");
+  if (options.before_teardown) options.before_teardown(server);
 
   result.events_executed = sim.executed_events();
   result.captures = ctx.captures.size();

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,10 @@
 #include "testing/oracles.hpp"
 #include "testing/scenario.hpp"
 #include "testing/trace.hpp"
+
+namespace blab::server {
+class AccessServer;
+}  // namespace blab::server
 
 namespace blab::testing {
 
@@ -50,8 +55,31 @@ struct ScenarioResult {
   std::string violation_summary() const;
 };
 
+/// Knobs for persistence-aware runs. The defaults reproduce the plain
+/// run_scenario behavior exactly (same digests, same event stream).
+struct RunOptions {
+  /// Non-empty: enable the durable capture store rooted here before any job
+  /// runs. A directory left by a previous run is recovered, which is how the
+  /// kill-restart oracle models a process restart.
+  std::string persist_dir;
+  /// >= 0: run that many full steps, then *partially* run one more — submit
+  /// and dispatch its jobs, advance the clock by min(kill_extra,
+  /// step_length), and tear the whole deployment down mid-flight with no
+  /// checkpoint or shutdown hook. With persistence enabled this is a
+  /// kill -9: only what the WAL/manifest already made durable survives.
+  int kill_after_steps = -1;
+  /// Sim-time slice of the killed step to execute before the teardown.
+  util::Duration kill_extra;
+  /// Called right before the deployment is destroyed (after the kill point
+  /// on killed runs, after the final step otherwise). The oracle uses it to
+  /// snapshot pre-crash query answers.
+  std::function<void(server::AccessServer&)> before_teardown;
+};
+
 /// Run one fully-specified scenario through a fresh deployment.
 ScenarioResult run_scenario(const ScenarioSpec& spec);
+ScenarioResult run_scenario(const ScenarioSpec& spec,
+                            const RunOptions& options);
 
 /// Generate the scenario for `seed` and run it.
 ScenarioResult run_scenario(std::uint64_t seed);

@@ -7,6 +7,7 @@
 #include "api/vantage_point.hpp"
 #include "device/android.hpp"
 #include "device/video_player.hpp"
+#include "store/capture_store.hpp"
 
 namespace blab::api {
 namespace {
@@ -246,6 +247,55 @@ TEST_F(ApiFixture, RestMonitorWithDuration) {
       vp->rest().call("start_monitor", "device_id=J7DUO-1&duration=3").ok());
   sim.run_for(Duration::seconds(4));
   EXPECT_FALSE(api->monitoring()) << "duration parameter auto-stops";
+}
+
+TEST_F(ApiFixture, RestCapturesSourceEndpoint) {
+  api->bind_rest_endpoints();
+  auto& rest = vp->rest();
+  ASSERT_TRUE(rest.has_endpoint("captures_source"));
+
+  // No store attached yet: the endpoint must refuse, not crash.
+  auto unattached = rest.call("captures_source", "");
+  ASSERT_FALSE(unattached.ok());
+  EXPECT_EQ(unattached.error().code, util::ErrorCode::kFailedPrecondition);
+
+  store::CaptureStore captures;
+  api->attach_capture_store(&captures, "lab");
+
+  // Attached but nothing archived: no default id to fall back on.
+  EXPECT_FALSE(rest.call("captures_source", "").ok());
+
+  ASSERT_TRUE(rest.call("power_monitor", "").ok());
+  ASSERT_TRUE(rest.call("set_voltage", "voltage_val=3.85").ok());
+  ASSERT_TRUE(rest.call("start_monitor", "device_id=J7DUO-1").ok());
+  sim.run_for(Duration::seconds(2));
+  ASSERT_TRUE(rest.call("stop_monitor", "").ok());
+  ASSERT_EQ(captures.size(), 1u) << "stop_monitor archives through the store";
+
+  // Default id: the most recently archived capture.
+  auto latest = rest.call("captures_source", "");
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest.value(), "id=lab#1&source=memory");
+
+  // Explicit id, '#' percent-encoded as %23 in the query string.
+  auto explicit_id = rest.call("captures_source", "id=lab%231");
+  ASSERT_TRUE(explicit_id.ok());
+  EXPECT_EQ(explicit_id.value(), latest.value());
+
+  // Malformed and unknown ids fail with distinct codes.
+  auto malformed = rest.call("captures_source", "id=lab-1");
+  ASSERT_FALSE(malformed.ok());
+  EXPECT_EQ(malformed.error().code, util::ErrorCode::kInvalidArgument);
+  auto unknown = rest.call("captures_source", "id=lab%2399");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.error().code, util::ErrorCode::kNotFound);
+
+  // Once retention reduces the record to downsample tiers, the endpoint
+  // reports it.
+  ASSERT_EQ(captures.drop_workspace_raw("lab"), 1u);
+  auto tiered = rest.call("captures_source", "");
+  ASSERT_TRUE(tiered.ok());
+  EXPECT_EQ(tiered.value(), "id=lab#1&source=tier");
 }
 
 }  // namespace
