@@ -17,9 +17,22 @@ Usage:
   bench_gate.py --baseline BENCH_core.json --micro micro.json \
       --e2e e2e.json --store store.json --persist persist.json \
       --out artifact.json
+
+Re-pin mode (deliberate baseline updates only):
+  bench_gate.py ... --repin --repin-out BENCH_core.json \
+      --require store_synth_samples_per_s=1.8 \
+      --require 'BM_MonsoonCaptureSynthesis/10_items_per_s=1.8' \
+      --note 'why the baseline moved'
+
+--repin refuses to write a new baseline unless every --require metric
+improved by at least its stated factor over the old pin. A re-pin that
+cannot demonstrate its claimed win is a no-op with a non-zero exit: the
+point of the pin is that it only ever moves on purpose, with the
+justification recorded in the artifact's note.
 """
 
 import argparse
+import datetime
 import json
 import sys
 
@@ -62,6 +75,65 @@ def collect_current(micro, e2e, store, persist):
     return rates
 
 
+def parse_requirement(spec):
+    """'metric_name=1.8' -> (metric_name, 1.8), with loud failures."""
+    name, sep, factor = spec.rpartition("=")
+    if not sep or not name:
+        raise SystemExit(f"--require expects NAME=FACTOR, got {spec!r}")
+    try:
+        value = float(factor)
+    except ValueError:
+        raise SystemExit(f"--require factor must be numeric, got {spec!r}")
+    if value <= 1.0:
+        raise SystemExit(
+            f"--require factor must exceed 1.0 (a re-pin must improve "
+            f"something), got {spec!r}"
+        )
+    return name, value
+
+
+def repin_baseline(baseline, current, requirements, note):
+    """Build the replacement baseline, or return (None, failures)."""
+    failures = []
+    for name, factor in requirements:
+        pinned = baseline["metrics"].get(name)
+        if pinned is None:
+            failures.append(f"{name}: not a pinned metric")
+            continue
+        got = current.get(name)
+        if got is None:
+            failures.append(f"{name}: no measurement produced")
+            continue
+        ratio = got / pinned["baseline"]
+        if ratio < factor:
+            failures.append(
+                f"{name}: {got:.3e} is only {ratio:.2f}x of the pinned "
+                f"{pinned['baseline']:.3e}; re-pin requires >= {factor:.2f}x"
+            )
+    if failures:
+        return None, failures
+    metrics = {}
+    for name, pinned in baseline["metrics"].items():
+        got = current.get(name)
+        if got is None:
+            failures.append(f"{name}: no measurement produced")
+            continue
+        # Keep three significant figures: the pin documents a magnitude on a
+        # reference machine, not a nanosecond-exact number.
+        metrics[name] = {
+            "baseline": float(f"{got:.3g}"),
+            "pre_pr": pinned["baseline"],
+        }
+    if failures:
+        return None, failures
+    new_baseline = dict(baseline)
+    new_baseline["metrics"] = metrics
+    new_baseline["pinned_date"] = datetime.date.today().isoformat()
+    if note is not None:
+        new_baseline["note"] = note
+    return new_baseline, []
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True)
@@ -70,7 +142,33 @@ def main():
     parser.add_argument("--store", required=True)
     parser.add_argument("--persist", required=True)
     parser.add_argument("--out", required=True)
+    parser.add_argument(
+        "--repin",
+        action="store_true",
+        help="rewrite the pinned baseline from this run's measurements",
+    )
+    parser.add_argument(
+        "--repin-out",
+        help="path for the new baseline (default: overwrite --baseline)",
+    )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME=FACTOR",
+        help="re-pin only if NAME improved by >= FACTOR over the old pin "
+        "(repeatable; at least one is mandatory with --repin)",
+    )
+    parser.add_argument(
+        "--note",
+        help="replacement note recording why the baseline moved",
+    )
     args = parser.parse_args()
+    if args.repin and not args.require:
+        parser.error(
+            "--repin needs at least one --require NAME=FACTOR: a baseline "
+            "update must state the improvement that justifies it"
+        )
 
     with open(args.baseline) as f:
         baseline = json.load(f)
@@ -130,6 +228,29 @@ def main():
             print(f"  {failure}", file=sys.stderr)
         return 1
     print(f"\nperf gate passed: all rates >= {floor:.2f}x of baseline")
+
+    if args.repin:
+        requirements = [parse_requirement(spec) for spec in args.require]
+        new_baseline, repin_failures = repin_baseline(
+            baseline, current, requirements, args.note
+        )
+        if repin_failures:
+            print("\nre-pin REFUSED (baseline left untouched):",
+                  file=sys.stderr)
+            for failure in repin_failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        repin_out = args.repin_out or args.baseline
+        with open(repin_out, "w") as f:
+            json.dump(new_baseline, f, indent=2)
+            f.write("\n")
+        print(f"\nre-pinned baseline -> {repin_out}")
+        for name, factor in requirements:
+            old = baseline["metrics"][name]["baseline"]
+            print(
+                f"  {name}: {old:.3e} -> {current[name]:.3e} "
+                f"({current[name] / old:.2f}x, required {factor:.2f}x)"
+            )
     return 0
 
 

@@ -28,6 +28,35 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
 "$BUILD_DIR"/bench/store_throughput > "$BUILD_DIR/bench_store.json"
 "$BUILD_DIR"/bench/store_persist > "$BUILD_DIR/bench_persist.json"
 
+# Determinism-window kernel sweep: the same scenario corpus at three sizes,
+# serial and 4-way parallel. Parallel speedup here is only trustworthy
+# because the DST oracle pins serial == --jobs=4 digests — the sweep is the
+# perf face of that correctness invariant, archived as BENCH_sweep.json so a
+# scaling regression (e.g. contention that only shows at 160 seeds) is
+# visible in CI history even though it is not gated.
+SWEEP_RUNS=()
+for seeds in 10 40 160; do
+  for jobs in 1 4; do
+    out="$BUILD_DIR/bench_sweep_${seeds}x${jobs}.json"
+    "$BUILD_DIR"/bench/scenario_e2e --jobs="$jobs" --seeds="$seeds" \
+      --rounds=3 > "$out"
+    SWEEP_RUNS+=("$seeds" "$jobs" "$out")
+  done
+done
+python3 - "$BUILD_DIR/BENCH_sweep.json" "${SWEEP_RUNS[@]}" <<'PYEOF'
+import json, sys
+out, rest = sys.argv[1], sys.argv[2:]
+runs = []
+for seeds, jobs, path in zip(rest[0::3], rest[1::3], rest[2::3]):
+    with open(path) as f:
+        result = json.load(f)
+    runs.append({"seeds": int(seeds), "jobs": int(jobs), "result": result})
+with open(out, "w") as f:
+    json.dump({"schema": "blab-bench-sweep-v1", "runs": runs}, f, indent=2)
+    f.write("\n")
+print(f"wrote {out} ({len(runs)} sweep points)")
+PYEOF
+
 python3 scripts/bench_gate.py \
   --baseline BENCH_core.json \
   --micro "$BUILD_DIR/bench_micro.json" \

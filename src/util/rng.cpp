@@ -1,24 +1,9 @@
 #include "util/rng.hpp"
 
 #include <cmath>
-#include <numbers>
 
 namespace blab::util {
 namespace {
-
-// glibc's sincos computes both branches with the same argument reduction and
-// polynomial kernels as the separate sin/cos entry points, so the results are
-// bit-identical while costing ~one call instead of two. The unit test
-// FillNormalMatchesScalarSequence pins this assumption: if a libm ever
-// disagreed bitwise, that test (and the DST goldens) would fail loudly.
-inline void sin_cos(double x, double& s, double& c) {
-#if defined(__GLIBC__)
-  ::sincos(x, &s, &c);
-#else
-  s = std::sin(x);
-  c = std::cos(x);
-#endif
-}
 
 std::uint64_t splitmix64(std::uint64_t& state) {
   state += 0x9E3779B97F4A7C15ULL;
@@ -31,6 +16,60 @@ std::uint64_t splitmix64(std::uint64_t& state) {
 std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));
 }
+
+// ---------------------------------------------------------------------------
+// Ziggurat tables for the standard normal (256 layers, 52-bit mantissa
+// variant). Layer 0 is the base strip whose overhang is the [r, inf) tail;
+// layers 1..255 are rectangles of equal area kV stacked under
+// f(x) = exp(-x^2/2). The accept test is integer-only: a draw at layer i is
+// inside the strictly-under-the-curve part of its rectangle iff the 52-bit
+// magnitude is below k[i], which happens for ~98.9% of draws and costs one
+// u64, one table compare, and one multiply. w[i] converts the magnitude to
+// x = rabs * w[i]; f[i] = f(x_i) feeds the wedge test on the slow path.
+//
+// The tables are a pure function of (kR, kV) and are rebuilt at process
+// start; the statistical-quality suite in tests/util_test.cpp (moments, tail
+// mass, chi-squared against the normal CDF) fails loudly on any table typo.
+// ---------------------------------------------------------------------------
+
+// Right edge of layer 1 / start of the tail, and the common layer area, for
+// 256 layers: the canonical constants from Marsaglia & Tsang's setup solved
+// at double precision.
+constexpr double kZigR = 3.6541528853610088;
+constexpr double kZigInvR = 1.0 / kZigR;
+constexpr double kZigV = 0.00492867323399708743;
+// Magnitudes carry 52 bits: the largest exactly-representable power of two
+// below 2^53, so rabs * w stays exact-ish and the k compare is pure integer.
+constexpr double kZigM = 4503599627370496.0;  // 2^52
+
+struct ZigTables {
+  std::uint64_t k[256];
+  double w[256];
+  double f[256];
+};
+
+ZigTables make_zig_tables() {
+  ZigTables t;
+  double dn = kZigR;
+  double tn = kZigR;
+  const double q = kZigV / std::exp(-0.5 * dn * dn);
+  t.k[0] = static_cast<std::uint64_t>((dn / q) * kZigM);
+  t.k[1] = 0;
+  t.w[0] = q / kZigM;
+  t.w[255] = dn / kZigM;
+  t.f[0] = 1.0;
+  t.f[255] = std::exp(-0.5 * dn * dn);
+  for (int i = 254; i >= 1; --i) {
+    dn = std::sqrt(-2.0 * std::log(kZigV / dn + std::exp(-0.5 * dn * dn)));
+    t.k[i + 1] = static_cast<std::uint64_t>((dn / tn) * kZigM);
+    tn = dn;
+    t.f[i] = std::exp(-0.5 * dn * dn);
+    t.w[i] = dn / kZigM;
+  }
+  return t;
+}
+
+const ZigTables kZig = make_zig_tables();
 
 }  // namespace
 
@@ -76,22 +115,62 @@ double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   if (lo >= hi) return lo;
   const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
-  return lo + static_cast<std::int64_t>(next_u64() % span);
+  if (span == 0) {
+    // Full [INT64_MIN, INT64_MAX]: every u64 maps to exactly one value.
+    return static_cast<std::int64_t>(next_u64());
+  }
+  // Lemire's bounded rejection: map the draw through a 64x64->128 multiply;
+  // the high word is uniform over [0, span) once draws landing in the biased
+  // low-residue band (2^64 mod span values, < 1 in 2^32 for every span the
+  // platform uses) are rejected and retried.
+  unsigned __int128 m = static_cast<unsigned __int128>(next_u64()) * span;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < span) {
+    const std::uint64_t threshold = (0 - span) % span;
+    while (low < threshold) {
+      m = static_cast<unsigned __int128>(next_u64()) * span;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return lo + static_cast<std::int64_t>(static_cast<std::uint64_t>(m >> 64));
+}
+
+bool Rng::normal_edge(unsigned layer, double x, bool negative, double& out) {
+  if (layer == 0) {
+    // Tail beyond r: Marsaglia's exponential rejection, exact for the
+    // density conditioned on |x| > r. log1p(-u) keeps u == 0 finite.
+    double xx, yy;
+    do {
+      xx = -kZigInvR * std::log1p(-uniform());
+      yy = -std::log1p(-uniform());
+    } while (yy + yy <= xx * xx);
+    const double v = kZigR + xx;
+    out = negative ? -v : v;
+    return true;
+  }
+  // Wedge between the rectangle top and the curve: accept x with probability
+  // proportional to how far under f(x) the vertical draw lands.
+  if (kZig.f[layer] + uniform() * (kZig.f[layer - 1] - kZig.f[layer]) <
+      std::exp(-0.5 * x * x)) {
+    out = negative ? -x : x;
+    return true;
+  }
+  return false;
 }
 
 double Rng::normal() {
-  if (has_cached_normal_) {
-    has_cached_normal_ = false;
-    return cached_normal_;
+  for (;;) {
+    const std::uint64_t u = next_u64();
+    const auto layer = static_cast<unsigned>(u & 0xFF);
+    const bool negative = (u & 0x100) != 0;
+    const std::uint64_t rabs = u >> 12;  // top 52 bits, disjoint from layer/sign
+    const double x = static_cast<double>(rabs) * kZig.w[layer];
+    if (rabs < kZig.k[layer]) [[likely]] {
+      return negative ? -x : x;
+    }
+    double out;
+    if (normal_edge(layer, x, negative, out)) return out;
   }
-  double u1 = uniform();
-  while (u1 <= 1e-300) u1 = uniform();
-  const double u2 = uniform();
-  const double r = std::sqrt(-2.0 * std::log(u1));
-  const double theta = 2.0 * std::numbers::pi * u2;
-  cached_normal_ = r * std::sin(theta);
-  has_cached_normal_ = true;
-  return r * std::cos(theta);
 }
 
 double Rng::normal(double mean, double stddev) {
@@ -99,32 +178,26 @@ double Rng::normal(double mean, double stddev) {
 }
 
 void Rng::fill_normal(std::span<double> out, double mean, double stddev) {
-  std::size_t i = 0;
-  const std::size_t n = out.size();
-  if (i < n && has_cached_normal_) {
-    has_cached_normal_ = false;
-    out[i++] = mean + stddev * cached_normal_;
-  }
-  while (i < n) {
-    // One Box-Muller pair, in the scalar draw order: the cosine branch is
-    // emitted first, the sine branch second (or cached if the block ends on
-    // an odd count, exactly like the scalar path).
-    double u1 = uniform();
-    while (u1 <= 1e-300) u1 = uniform();
-    const double u2 = uniform();
-    const double r = std::sqrt(-2.0 * std::log(u1));
-    const double theta = 2.0 * std::numbers::pi * u2;
-    double sin_t;
-    double cos_t;
-    sin_cos(theta, sin_t, cos_t);
-    const double z_sin = r * sin_t;
-    out[i++] = mean + stddev * (r * cos_t);
-    if (i < n) {
-      out[i++] = mean + stddev * z_sin;
-    } else {
-      cached_normal_ = z_sin;
-      has_cached_normal_ = true;
+  // Same sampler, same draw order: the loop body is normal() inlined so the
+  // xoshiro state lives in registers across the block; only the rare edge
+  // layers call out. Consumption counting is what keeps scalar and batched
+  // streams bit-identical — each sample eats exactly the u64s its own
+  // accept/reject path needs, regardless of how draws are grouped.
+  for (double& slot : out) {
+    double z;
+    for (;;) {
+      const std::uint64_t u = next_u64();
+      const auto layer = static_cast<unsigned>(u & 0xFF);
+      const bool negative = (u & 0x100) != 0;
+      const std::uint64_t rabs = u >> 12;
+      const double x = static_cast<double>(rabs) * kZig.w[layer];
+      if (rabs < kZig.k[layer]) [[likely]] {
+        z = negative ? -x : x;
+        break;
+      }
+      if (normal_edge(layer, x, negative, z)) break;
     }
+    slot = mean + stddev * z;
   }
 }
 

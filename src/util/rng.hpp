@@ -27,17 +27,23 @@ class Rng {
   double uniform();
   /// Uniform in [lo, hi).
   double uniform(double lo, double hi);
-  /// Uniform integer in [lo, hi] inclusive.
+  /// Uniform integer in [lo, hi] inclusive, bias-free (Lemire bounded
+  /// rejection: one 64x64->128 multiply in the common case, a rare extra
+  /// draw when the first lands in the biased residue of the span).
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
-  /// Standard normal via Box-Muller (cached pair).
+  /// Standard normal via a 256-layer ziggurat (McFarland/Marsaglia-Tsang
+  /// layout). ~98.9% of draws consume exactly one u64 and cost a table
+  /// lookup plus a multiply; the wedge and tail layers live in a cold
+  /// function. The generator holds no cross-call sampler state: every draw
+  /// consumes the same u64 sequence whether issued scalar or batched.
   double normal();
   double normal(double mean, double stddev);
   /// Fill `out` with normal(mean, stddev) draws. Guaranteed to produce the
   /// exact scalar sequence: fill_normal over n values consumes the generator
-  /// and the Box-Muller pair cache identically to n calls of
-  /// normal(mean, stddev), bit for bit — block-wise capture synthesis must
-  /// not perturb DST golden digests or the fig2 CDFs. The win is mechanical:
-  /// one call per block, with the generator state kept in registers.
+  /// identically to n calls of normal(mean, stddev), bit for bit — and any
+  /// split of n into consecutive fills produces the same stream, so
+  /// block-wise capture synthesis is free to choose its block size. The win
+  /// is mechanical: one call per block, generator state kept in registers.
   void fill_normal(std::span<double> out, double mean, double stddev);
   /// Log-normal with given *linear-space* median and sigma of underlying normal.
   double lognormal_median(double median, double sigma);
@@ -55,9 +61,14 @@ class Rng {
   }
 
  private:
+  /// Cold path for the ~1.1% of ziggurat draws that fall outside the
+  /// all-rectangle fast accept: the wedge test for layers 1..255 and the
+  /// Marsaglia exponential-rejection tail for layer 0. Returns true with the
+  /// sample in `out`, or false when the wedge rejects and the caller must
+  /// redraw.
+  bool normal_edge(unsigned layer, double x, bool negative, double& out);
+
   std::uint64_t s_[4];
-  bool has_cached_normal_ = false;
-  double cached_normal_ = 0.0;
 };
 
 /// Stable 64-bit FNV-1a hash, used for fork labels and content hashing.

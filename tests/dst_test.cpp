@@ -102,12 +102,15 @@ TEST(DstCorpus, ParallelRunMatchesSerialPerSeed) {
 
 TEST(DstGolden, FirstFiveCorpusSeedDigestsArePinned) {
   const auto seeds = dst::default_corpus(5);
+  // Re-pinned once by the ziggurat-sampler PR (DESIGN.md §13): the noise
+  // stream and uniform_int draw order changed deliberately, with the ~2x
+  // synthesis win banked in BENCH_core.json as the required justification.
   const std::vector<std::string> pinned = {
-      "dc8d8868461604be",
-      "3092e196eab268d5",
-      "de7e7886923eb85c",
-      "2ee996291e785b4e",
-      "587571a4d65fc668",
+      "42ff2e955ac6a4e6",
+      "525f856c01f5f42b",
+      "780698edf08c0704",
+      "13d16cc9fee701ea",
+      "bc8899169e0b0b08",
   };
   ASSERT_EQ(seeds.size(), pinned.size());
   std::size_t captures = 0, faults = 0, dispatched = 0;

@@ -2,8 +2,13 @@
 // tables.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <limits>
+#include <numbers>
 #include <set>
+#include <span>
+#include <vector>
 
 #include "util/id.hpp"
 #include "util/logging.hpp"
@@ -197,9 +202,9 @@ TEST(RngTest, ForkedStreamsIndependent) {
 TEST(RngTest, FillNormalMatchesScalarSequence) {
   // fill_normal is the batched hot path behind capture synthesis; it must
   // reproduce the scalar normal() stream BITWISE (same draws, same order,
-  // same Box-Muller pair caching) or the DST golden digests drift. This also
-  // pins the assumption that libm's sincos agrees bit-for-bit with separate
-  // sin/cos calls. Odd lengths exercise the cached second pair member.
+  // same per-sample u64 consumption through the ziggurat accept/reject
+  // path) or the DST golden digests drift. Long lengths make edge-layer and
+  // wedge-rejection draws statistically certain to appear.
   const std::vector<std::size_t> lengths{1, 2, 3, 7, 8, 64, 1023};
   for (std::size_t n : lengths) {
     Rng scalar{0xB10CULL + n};
@@ -219,20 +224,141 @@ TEST(RngTest, FillNormalMatchesScalarSequence) {
   }
 }
 
-TEST(RngTest, FillNormalDrainsCachedPairFirst) {
-  // An odd scalar draw leaves the sine branch cached; a following batched
-  // fill must consume that cached value first, exactly like normal() would.
+TEST(RngTest, FillNormalInterleavesWithScalarDraws) {
+  // The sampler keeps no cross-call state, so scalar draws and batched fills
+  // can interleave arbitrarily without perturbing the stream: scalar, fill,
+  // scalar must equal the pure-scalar sequence.
   Rng scalar{77};
-  Rng batched{77};
-  (void)scalar.normal();
-  (void)batched.normal();
-  std::vector<double> want(5);
+  Rng mixed{77};
+  std::vector<double> want(7);
   for (auto& v : want) v = scalar.normal(-2.0, 3.0);
-  std::vector<double> got(5);
-  batched.fill_normal(got, -2.0, 3.0);
+  std::vector<double> got(7);
+  got[0] = mixed.normal(-2.0, 3.0);
+  mixed.fill_normal(std::span<double>{got}.subspan(1, 5), -2.0, 3.0);
+  got[6] = mixed.normal(-2.0, 3.0);
   for (std::size_t i = 0; i < want.size(); ++i) {
     EXPECT_EQ(want[i], got[i]) << "sample " << i;
   }
+  EXPECT_EQ(scalar.next_u64(), mixed.next_u64());
+}
+
+// ------------------------------------------------------------------------
+// Ziggurat statistical quality: a table typo would skew every scenario's
+// noise silently, so the distribution itself is pinned — moments, tail
+// mass, and a coarse-bin chi-squared against the standard normal CDF.
+// ------------------------------------------------------------------------
+
+/// Standard normal CDF via the complementary error function.
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::numbers::sqrt2); }
+
+TEST(RngZigguratQuality, MomentsMatchStandardNormal) {
+  Rng rng{0x216697A7};
+  constexpr int kN = 1'000'000;
+  // Accumulate central moments in one pass; with a fixed seed the values are
+  // deterministic, and the tolerances are ~4x the asymptotic standard errors
+  // (se(mean)=1e-3, se(var)=1.4e-3, se(skew)=2.4e-3, se(kurt)=4.9e-3).
+  double sum = 0.0;
+  std::vector<double> draws(kN);
+  rng.fill_normal(draws, 0.0, 1.0);
+  for (double x : draws) sum += x;
+  const double mean = sum / kN;
+  double m2 = 0.0, m3 = 0.0, m4 = 0.0;
+  for (double x : draws) {
+    const double d = x - mean;
+    m2 += d * d;
+    m3 += d * d * d;
+    m4 += d * d * d * d;
+  }
+  m2 /= kN;
+  m3 /= kN;
+  m4 /= kN;
+  const double skew = m3 / std::pow(m2, 1.5);
+  const double kurtosis_excess = m4 / (m2 * m2) - 3.0;
+  EXPECT_NEAR(mean, 0.0, 0.005);
+  EXPECT_NEAR(m2, 1.0, 0.006);
+  EXPECT_NEAR(skew, 0.0, 0.01);
+  EXPECT_NEAR(kurtosis_excess, 0.0, 0.025);
+}
+
+TEST(RngZigguratQuality, TailMassBeyondThreeAndFourSigma) {
+  // The tail layers are the part a broken table or tail sampler would get
+  // wrong first. Expected counts over 10^6 draws: P(|X|>3) = 2.6998e-3
+  // (~2700), P(|X|>4) = 6.334e-5 (~63).
+  Rng rng{0x7A11};
+  constexpr int kN = 1'000'000;
+  int beyond3 = 0, beyond4 = 0;
+  double worst = 0.0;
+  std::vector<double> draws(kN);
+  rng.fill_normal(draws, 0.0, 1.0);
+  for (double x : draws) {
+    const double a = std::abs(x);
+    if (a > 3.0) ++beyond3;
+    if (a > 4.0) ++beyond4;
+    if (a > worst) worst = a;
+  }
+  EXPECT_GT(beyond3, 2300);
+  EXPECT_LT(beyond3, 3150);
+  EXPECT_GT(beyond4, 30);
+  EXPECT_LT(beyond4, 105);
+  // The tail must actually extend past the ziggurat base strip (r = 3.654),
+  // and produce nothing absurd.
+  EXPECT_GT(worst, 3.8);
+  EXPECT_LT(worst, 7.0);
+}
+
+TEST(RngZigguratQuality, ChiSquaredAgainstNormalCdf) {
+  // 18 bins: (-inf,-4], 16 equal-width bins over [-4, 4], [4, inf). With 17
+  // degrees of freedom the 99.9th percentile is ~40.8; 60 leaves slack for
+  // the fixed seed while still failing loudly on any layer-table skew.
+  Rng rng{0xC41};
+  constexpr int kN = 1'000'000;
+  constexpr int kInner = 16;
+  std::array<int, kInner + 2> counts{};
+  std::vector<double> draws(kN);
+  rng.fill_normal(draws, 0.0, 1.0);
+  for (double x : draws) {
+    if (x <= -4.0) {
+      ++counts[0];
+    } else if (x > 4.0) {
+      ++counts[kInner + 1];
+    } else {
+      ++counts[1 + static_cast<int>((x + 4.0) / 0.5)];
+    }
+  }
+  double chi2 = 0.0;
+  for (int b = 0; b < kInner + 2; ++b) {
+    const double lo = b == 0 ? -1e30 : -4.0 + 0.5 * (b - 1);
+    const double hi = b == kInner + 1 ? 1e30 : -4.0 + 0.5 * b;
+    const double expected = kN * (normal_cdf(hi) - normal_cdf(lo));
+    const double d = counts[b] - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 60.0) << "ziggurat output diverges from the normal CDF";
+}
+
+TEST(RngTest, UniformIntSmallSpanIsUnbiased) {
+  // Lemire bounded rejection: no span may inherit the old modulo bias. A
+  // span of 3 (2^64 % 3 != 0) is exactly the shape the modulo fold skewed;
+  // chi-squared over the three cells with 2 dof (99.9th pct ~13.8).
+  Rng rng{0x5BA5};
+  constexpr int kN = 300'000;
+  std::array<int, 3> counts{};
+  for (int i = 0; i < kN; ++i) {
+    ++counts[static_cast<std::size_t>(rng.uniform_int(-1, 1)) + 1];
+  }
+  const double expected = kN / 3.0;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 14.0);
+  // Extreme spans stay total: the full-domain span cannot overflow.
+  const auto full = rng.uniform_int(std::numeric_limits<std::int64_t>::min(),
+                                    std::numeric_limits<std::int64_t>::max());
+  (void)full;
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+  EXPECT_EQ(rng.uniform_int(9, 2), 9);  // degenerate bounds clamp to lo
 }
 
 TEST(RngTest, WeightedIndexRespectsWeights) {
