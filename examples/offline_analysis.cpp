@@ -1,11 +1,16 @@
 // Offline analysis workflow: run a measured experiment, export the capture
 // in the Monsoon CSV dialect (what the job workspace retains, §3.1), then
 // reload it later and analyze without the testbed — CDFs, quantiles, a
-// software-model calibration, and a decimated archive copy.
+// software-model calibration, and a decimated archive copy. The run's own
+// trace forest is folded into a flame tree + critical-path readout at the
+// end (obs/aggregate), the same analytics GET /flame serves.
 //
 //   ./build/examples/offline_analysis
 #include <cstdio>
+#include <functional>
 #include <iostream>
+
+#include "obs/aggregate.hpp"
 
 #include "analysis/report.hpp"
 #include "analysis/software_estimator.hpp"
@@ -76,6 +81,36 @@ int main() {
                    3)
             << " mA (means survive decimation; tails do not — see "
                "bench/ablations)\n";
+
+  // ---- Trace analytics: where did the simulated time go? -----------------
+  const auto& spans = sim.tracer().spans();
+  const obs::FlameNode flame = obs::build_flame(spans);
+  std::cout << "\nflame tree (" << spans.size() << " finished spans):\n";
+  const std::function<void(const obs::FlameNode&, int)> print_node =
+      [&](const obs::FlameNode& node, int depth) {
+        for (const obs::FlameNode& child : node.children) {
+          std::cout << std::string(static_cast<std::size_t>(depth) * 2, ' ')
+                    << child.component << "/" << child.name << " x"
+                    << child.count << " total="
+                    << util::format_double(child.total_us / 1e6, 3)
+                    << "s self="
+                    << util::format_double(child.self_us / 1e6, 3) << "s\n";
+          print_node(child, depth + 1);
+        }
+      };
+  print_node(flame, 1);
+  for (const obs::CriticalPath& path : obs::critical_paths(spans)) {
+    std::cout << "critical path trace " << path.trace << ": total "
+              << util::format_double(path.total_us / 1e6, 3) << "s";
+    for (std::size_t i = 0; i < obs::kPathSegmentCount; ++i) {
+      if (path.segment_us[i] == 0) continue;
+      std::cout << " " << obs::path_segment_name(
+                              static_cast<obs::PathSegment>(i))
+                << "=" << util::format_double(path.segment_us[i] / 1e6, 3)
+                << "s";
+    }
+    std::cout << "\n";
+  }
 
   std::remove(full_path.c_str());
   std::remove(archive_path.c_str());

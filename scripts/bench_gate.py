@@ -3,8 +3,8 @@
 
 Reads the pinned baseline (BENCH_core.json at the repo root), the fresh
 measurement JSONs produced by scripts/ci_bench.sh (google-benchmark output
-from micro_core, plus the scenario_e2e, store_throughput and store_persist
-emitters), writes
+from micro_core, plus the scenario_e2e, store_throughput, store_persist and
+flame_aggregate emitters), writes
 a merged BENCH_core.json artifact with the current rates next to the pinned
 ones, and exits non-zero if any gated throughput falls below
 floor_fraction * baseline (default 0.7, i.e. a >30% regression).
@@ -16,7 +16,7 @@ artifact as an improvement to consider re-pinning.
 Usage:
   bench_gate.py --baseline BENCH_core.json --micro micro.json \
       --e2e e2e.json --store store.json --persist persist.json \
-      --out artifact.json
+      --flame flame.json --out artifact.json
 
 Re-pin mode (deliberate baseline updates only):
   bench_gate.py ... --repin --repin-out BENCH_core.json \
@@ -55,7 +55,7 @@ def median_items_per_second(micro):
     return out
 
 
-def collect_current(micro, e2e, store, persist):
+def collect_current(micro, e2e, store, persist, flame):
     rates = {}
     for name, value in median_items_per_second(micro).items():
         rates[f"{name}_items_per_s"] = value
@@ -72,6 +72,8 @@ def collect_current(micro, e2e, store, persist):
     rates["persist_recovery_records_per_s"] = persist[
         "persist_recovery_records_per_s"
     ]
+    if flame is not None:
+        rates["flame_spans_per_s"] = flame["flame_spans_per_s"]
     return rates
 
 
@@ -141,6 +143,11 @@ def main():
     parser.add_argument("--e2e", required=True)
     parser.add_argument("--store", required=True)
     parser.add_argument("--persist", required=True)
+    parser.add_argument(
+        "--flame",
+        help="flame_aggregate emitter JSON (optional until the analytics "
+        "bench exists in the build being gated)",
+    )
     parser.add_argument("--out", required=True)
     parser.add_argument(
         "--repin",
@@ -180,9 +187,13 @@ def main():
         store = json.load(f)
     with open(args.persist) as f:
         persist = json.load(f)
+    flame = None
+    if args.flame:
+        with open(args.flame) as f:
+            flame = json.load(f)
 
     floor = baseline.get("floor_fraction", 0.7)
-    current = collect_current(micro, e2e, store, persist)
+    current = collect_current(micro, e2e, store, persist, flame)
 
     failures = []
     report = []

@@ -14,7 +14,8 @@ BUILD_DIR="${BUILD_DIR:-build-bench}"
 
 cmake -S . -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target micro_core scenario_e2e store_throughput store_persist
+  --target micro_core scenario_e2e store_throughput store_persist \
+           flame_aggregate
 
 "$BUILD_DIR"/bench/micro_core \
   --benchmark_format=json \
@@ -27,6 +28,10 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
   > "$BUILD_DIR/bench_e2e.json"
 "$BUILD_DIR"/bench/store_throughput > "$BUILD_DIR/bench_store.json"
 "$BUILD_DIR"/bench/store_persist > "$BUILD_DIR/bench_persist.json"
+# Trace-analytics fold throughput; --out archives the BENCH_flame.json
+# artifact next to BENCH_core.json for CI to upload.
+"$BUILD_DIR"/bench/flame_aggregate \
+  --out="$BUILD_DIR/BENCH_flame.json" > "$BUILD_DIR/bench_flame.json"
 
 # Determinism-window kernel sweep: the same scenario corpus at three sizes,
 # serial and 4-way parallel. Parallel speedup here is only trustworthy
@@ -63,6 +68,7 @@ python3 scripts/bench_gate.py \
   --e2e "$BUILD_DIR/bench_e2e.json" \
   --store "$BUILD_DIR/bench_store.json" \
   --persist "$BUILD_DIR/bench_persist.json" \
+  --flame "$BUILD_DIR/bench_flame.json" \
   --out "$BUILD_DIR/BENCH_core.json"
 
 # Telemetry drift gate: the bench corpus is deterministic, so its merged

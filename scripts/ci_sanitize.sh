@@ -33,6 +33,13 @@ ctest --test-dir "$BUILD_DIR" -L 'dst|store|obs|fuzz' --output-on-failure
 # sees the concurrent recovery path).
 "$BUILD_DIR"/tests/blab_dst --jobs=4 --gtest_filter='DstPersistence.*'
 
+# Retry-chain + span-conservation oracles at full width: the retry corpus
+# resubmits failed/aborted jobs (cross-trace links) while sampled span
+# families keep weighted aggregates exact; pinning --jobs=4 makes ASan see
+# the pooled path here too. (The new aggregation tests ride the obs label in
+# the ctest lane above.)
+"$BUILD_DIR"/tests/blab_dst --jobs=4 --gtest_filter='DstRetry*'
+
 # Fuzz smoke: corpus replay + bounded deterministic mutation per harness.
 for target in rest_backend_fuzz trace_io_fuzz store_codec_fuzz novnc_fuzz \
               persist_fuzz; do

@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "obs/aggregate.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "util/parse.hpp"
@@ -29,14 +30,19 @@ RestBackend::RestBackend(net::Network& net, std::string host, int port)
     return util::Result<std::string>{obs::encode_prometheus(snap)};
   });
   // Trace surface: GET /traces lists every finished trace; "?job_id=<id>"
-  // (or "?trace_id=<n>") returns that trace as Chrome trace-event JSON,
-  // loadable directly in Perfetto. Exemplars in /metrics name the same trace
-  // ids, so an outlier histogram bucket resolves to a concrete span tree.
+  // (alias "?job=") or "?trace_id=<n>" (alias "?trace=") returns that trace
+  // as Chrome trace-event JSON, loadable directly in Perfetto. Exemplars in
+  // /metrics name the same trace ids, so an outlier histogram bucket
+  // resolves to a concrete span tree.
   register_endpoint("traces", [this](const std::string& query) {
     obs::Tracer& tracer = net_.simulator().tracer();
     const auto params = parse_query(query);
-    const auto job = params.find("job_id");
-    const auto tid = params.find("trace_id");
+    const auto pick = [&params](const char* canonical, const char* alias) {
+      auto it = params.find(canonical);
+      return it != params.end() ? it : params.find(alias);
+    };
+    const auto job = pick("job_id", "job");
+    const auto tid = pick("trace_id", "trace");
     if (job == params.end() && tid == params.end()) {
       return util::Result<std::string>{obs::encode_trace_list_json(tracer)};
     }
@@ -46,7 +52,7 @@ RestBackend::RestBackend(net::Network& net, std::string host, int port)
       if (!parsed.has_value()) {
         return util::Result<std::string>{util::make_error(
             util::ErrorCode::kInvalidArgument,
-            "trace_id must be a decimal integer")};
+            tid->first + " must be a decimal integer")};
       }
       trace = *parsed;
     } else {
@@ -60,6 +66,33 @@ RestBackend::RestBackend(net::Network& net, std::string host, int port)
           util::ErrorCode::kNotFound, "no trace for " + wanted)};
     }
     return util::Result<std::string>{obs::encode_trace_json(spans)};
+  });
+  // Analytics surface: GET /flame folds the whole span buffer into a merged
+  // flame tree plus per-job critical paths (obs/aggregate). "?trace=<n>"
+  // (alias "?trace_id=") restricts the fold to one trace.
+  register_endpoint("flame", [this](const std::string& query) {
+    obs::Tracer& tracer = net_.simulator().tracer();
+    const auto params = parse_query(query);
+    auto tid = params.find("trace");
+    if (tid == params.end()) tid = params.find("trace_id");
+    if (tid != params.end()) {
+      const auto parsed = util::parse_u64(tid->second);
+      if (!parsed.has_value()) {
+        return util::Result<std::string>{util::make_error(
+            util::ErrorCode::kInvalidArgument,
+            tid->first + " must be a decimal integer")};
+      }
+      const auto spans = tracer.spans_in(*parsed);
+      if (spans.empty()) {
+        return util::Result<std::string>{util::make_error(
+            util::ErrorCode::kNotFound, "no trace for trace " + tid->second)};
+      }
+      return util::Result<std::string>{obs::encode_flame_json(
+          obs::build_flame(spans), obs::critical_paths(spans))};
+    }
+    const auto& spans = tracer.spans();
+    return util::Result<std::string>{obs::encode_flame_json(
+        obs::build_flame(spans), obs::critical_paths(spans))};
   });
 }
 

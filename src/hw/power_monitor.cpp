@@ -86,6 +86,7 @@ PowerMonitor::PowerMonitor(sim::Simulator& sim, util::Rng rng, MonsoonSpec spec)
     : sim_{sim}, rng_{std::move(rng)}, spec_{spec} {
   obs::MetricsRegistry& m = sim_.metrics();
   metrics_.samples = &m.counter("blab_monsoon_samples_synthesized_total");
+  metrics_.blocks = &m.counter("blab_monsoon_synth_blocks_total");
   metrics_.captures = &m.counter("blab_monsoon_captures_total");
   metrics_.captures_aborted = &m.counter("blab_monsoon_captures_aborted_total");
   metrics_.overcurrent_clamps =
@@ -95,6 +96,10 @@ PowerMonitor::PowerMonitor(sim::Simulator& sim, util::Rng rng, MonsoonSpec spec)
   metrics_.calibrations = &m.counter("blab_monsoon_calibrations_total");
   metrics_.calibration_resets =
       &m.counter("blab_monsoon_calibration_resets_total");
+  // Per-block synthesis spans fire once per 4096 samples — sample them
+  // 1-in-kBlockSampling per trace, with weights keeping the aggregate count
+  // exact against blab_monsoon_synth_blocks_total.
+  sim_.tracer().set_sampling("monsoon", "synth_block", kBlockSampling);
 }
 
 void PowerMonitor::reset_calibration() {
@@ -193,6 +198,12 @@ util::Result<Capture> PowerMonitor::stop_capture() {
   for (std::size_t start = 0; start < n; start += kBlock) {
     const std::size_t len = std::min(kBlock, n - start);
     const std::size_t block_end = start + len;
+    // One (sampled) span per block, nested under synthesize_capture and
+    // paired 1:1 with the blocks counter so weighted span aggregates equal
+    // it exactly. Blocks take zero simulated time: the spans are instants.
+    obs::ScopedSpan block_span{&sim_.tracer(), "monsoon", "synth_block"};
+    block_span.attr("samples", static_cast<std::int64_t>(len));
+    metrics_.blocks->inc();
     rng_.fill_normal(std::span<double>{noise, len}, 0.0, spec_.noise_sigma_ma);
     std::size_t i = start;
     while (i < block_end) {

@@ -95,6 +95,10 @@ class Capture {
 
 class PowerMonitor {
  public:
+  /// Head-sampling rate for per-block synthesis spans: keep 1 in this many
+  /// blocks per trace; weights keep the aggregates exact.
+  static constexpr std::uint64_t kBlockSampling = 8;
+
   PowerMonitor(sim::Simulator& sim, util::Rng rng, MonsoonSpec spec = {});
 
   const MonsoonSpec& spec() const { return spec_; }
@@ -151,6 +155,7 @@ class PowerMonitor {
   /// capture, so instrumenting costs nothing per sample.
   struct Metrics {
     obs::Counter* samples = nullptr;
+    obs::Counter* blocks = nullptr;  ///< synthesis blocks (one span each)
     obs::Counter* captures = nullptr;
     obs::Counter* captures_aborted = nullptr;
     obs::Counter* overcurrent_clamps = nullptr;

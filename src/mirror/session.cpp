@@ -43,6 +43,11 @@ MirroringSession::MirroringSession(controller::Controller& ctrl,
   metrics_.bytes = &m.counter("blab_mirror_bytes_total");
   metrics_.session_seconds = &m.histogram(
       "blab_mirror_session_seconds", {1.0, 10.0, 60.0, 300.0, 900.0, 3600.0});
+  // Frame arrivals are the hottest span family in the tree (one per stream
+  // tick); head-sample them 1-in-kFrameSampling per trace. Kept spans carry
+  // the dropped ones' weight, so weighted frame counts stay exact against
+  // blab_mirror_frames_total (the span-conservation DST oracle checks this).
+  tracer().set_sampling("mirror", "frame", kFrameSampling);
 }
 
 bool MirroringSession::is_ios() const {
@@ -224,12 +229,23 @@ util::Status MirroringSession::detach_viewer() {
   return novnc_->disconnect_viewer();
 }
 
+void MirroringSession::note_frame_span(std::size_t bytes) {
+  // Frames only flow while the session listens, so the session span is open
+  // and the frame span lands inside its interval (and its trace). Sampling
+  // may discard the record at end(); the attr write is wasted then, which
+  // is cheaper than special-casing the dropped path here.
+  obs::ScopedSpan span{&tracer(), "mirror", "frame",
+                       tracer().context_of(session_span_)};
+  span.attr("bytes", static_cast<std::int64_t>(bytes));
+}
+
 void MirroringSession::on_frame(const net::Message& msg) {
   if (msg.tag == "scrcpy.frame" || msg.tag == "airplay.frame") {
     ++frames_received_;
     bytes_received_ += msg.size();
     metrics_.frames->inc();
     metrics_.bytes->inc(msg.size());
+    note_frame_span(msg.size());
     FramebufferUpdate update;
     update.sequence = vnc_.version() + 1;
     update.encoded_bytes = msg.size();
@@ -242,6 +258,7 @@ void MirroringSession::on_frame(const net::Message& msg) {
     bytes_received_ += msg.size();
     metrics_.frames->inc();
     metrics_.bytes->inc(msg.size());
+    note_frame_span(msg.size());
     const std::uint64_t id = util::parse_u64(msg.payload).value_or(0);
     if (id == 0) return;  // malformed probe id: drop, never throw
     const std::uint64_t update_span =

@@ -50,6 +50,11 @@ struct MirrorTimings {
 
 inline constexpr int kFrameSinkPort = 27200;
 
+/// Head-sampling rate for per-frame spans: keep 1 in this many frame
+/// arrivals per trace (weights keep the aggregates exact, see
+/// Tracer::set_sampling).
+inline constexpr std::uint64_t kFrameSampling = 4;
+
 class MirroringSession {
  public:
   MirroringSession(controller::Controller& ctrl,
@@ -90,6 +95,9 @@ class MirroringSession {
 
  private:
   void on_frame(const net::Message& msg);
+  /// Instant, sampled "mirror/frame" span under the session span; one per
+  /// frame arrival, paired 1:1 with the blab_mirror_frames_total increment.
+  void note_frame_span(std::size_t bytes);
   void on_input(const std::string& command);
   util::Duration jittered(util::Duration mean);
   obs::Tracer& tracer();

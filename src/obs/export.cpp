@@ -92,6 +92,13 @@ void append_trace_event(std::string& out, const SpanRecord& s, int pid,
          ",\"args\":{\"span\":" + std::to_string(s.id) +
          ",\"parent\":" + std::to_string(s.parent) +
          ",\"trace\":" + std::to_string(s.trace);
+  if (s.weight != 1) out += ",\"weight\":" + std::to_string(s.weight);
+  // Cross-trace links render as "link.<kind>" args naming the target, so a
+  // Perfetto query can hop from a retry's root to its predecessor trace.
+  for (const SpanLink& l : s.links) {
+    out += ',' + json_string("link." + l.kind) + ':' +
+           json_string(std::to_string(l.trace) + ":" + std::to_string(l.span));
+  }
   for (const SpanAttr& a : s.attrs) {
     out += ',' + json_string(a.key) + ':';
     switch (a.kind) {

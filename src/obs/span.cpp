@@ -1,5 +1,6 @@
 #include "obs/span.hpp"
 
+#include <cstddef>
 #include <utility>
 
 namespace blab::obs {
@@ -40,6 +41,36 @@ std::string_view SpanRecord::attr_str(std::string_view key) const {
 Tracer::Tracer(std::function<std::int64_t()> clock, std::size_t max_spans)
     : clock_{std::move(clock)}, max_spans_{max_spans} {}
 
+std::size_t Tracer::policy_index(std::string_view component,
+                                 std::string_view name) const {
+  for (std::size_t i = 0; i < policies_.size(); ++i) {
+    if (policies_[i].component == component && policies_[i].name == name) {
+      return i;
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+void Tracer::set_sampling(std::string_view component, std::string_view name,
+                          std::uint64_t keep_one_in) {
+  const std::size_t idx = policy_index(component, name);
+  if (keep_one_in <= 1) {
+    if (idx != static_cast<std::size_t>(-1)) {
+      policies_.erase(policies_.begin() + static_cast<std::ptrdiff_t>(idx));
+      // Family state keys are policy indices; rebuilding them after an
+      // erase is not worth it for a config-time operation — drop them all.
+      family_state_.clear();
+    }
+    return;
+  }
+  if (idx != static_cast<std::size_t>(-1)) {
+    policies_[idx].keep_one_in = keep_one_in;
+    return;
+  }
+  policies_.push_back(
+      SamplingPolicy{std::string{component}, std::string{name}, keep_one_in});
+}
+
 SpanRecord Tracer::make_record(std::string_view component,
                                std::string_view name, TraceContext ctx,
                                bool inherit_stack) {
@@ -58,6 +89,15 @@ SpanRecord Tracer::make_record(std::string_view component,
   rec.component = std::string{component};
   rec.name = std::string{name};
   rec.start_us = clock_();
+  // Head-based sampling decision, made at begin time so the policy is
+  // independent of how long the span stays open: the first span of each
+  // (family, trace) is always kept, then 1 in keep_one_in.
+  const std::size_t fam = policy_index(component, name);
+  if (fam != static_cast<std::size_t>(-1)) {
+    FamilyState& st = family_state_[{fam, rec.trace}];
+    if (st.count % policies_[fam].keep_one_in != 0) rec.weight = 0;
+    ++st.count;
+  }
   return rec;
 }
 
@@ -80,6 +120,22 @@ std::uint64_t Tracer::begin_detached(std::string_view component,
 
 void Tracer::finish_record(SpanRecord&& record, std::int64_t now) {
   record.end_us = now;
+  const std::size_t fam = policy_index(record.component, record.name);
+  if (record.weight == 0) {
+    // Sampled out at begin time: never buffered. Its unit of weight moves
+    // to the last kept span of the same family and trace, keeping
+    // sum-of-weights exactly equal to the true span count.
+    ++sampled_out_;
+    const auto st = fam == static_cast<std::size_t>(-1)
+                        ? family_state_.end()
+                        : family_state_.find({fam, record.trace});
+    if (st != family_state_.end() && st->second.has_kept) {
+      finished_[st->second.last_kept].weight += 1;
+    } else {
+      ++weight_uncredited_;
+    }
+    return;
+  }
   if (finished_.size() >= max_spans_) {
     ++dropped_;
     return;
@@ -93,6 +149,11 @@ void Tracer::finish_record(SpanRecord&& record, std::int64_t now) {
     it->second.push_back(static_cast<std::uint32_t>(finished_.size()));
   } else {
     ++index_dropped_;
+  }
+  if (fam != static_cast<std::size_t>(-1)) {
+    FamilyState& st = family_state_[{fam, record.trace}];
+    st.last_kept = static_cast<std::uint32_t>(finished_.size());
+    st.has_kept = true;
   }
   finished_.push_back(std::move(record));
 }
@@ -195,6 +256,13 @@ void Tracer::set_attr(std::uint64_t id, std::string_view key,
   rec->attrs.push_back(std::move(a));
 }
 
+void Tracer::add_link(std::uint64_t id, SpanLink link) {
+  SpanRecord* rec = find_open(id);
+  if (rec == nullptr || rec->links.size() >= kMaxLinksPerSpan) return;
+  rec->links.push_back(std::move(link));
+  ++links_added_;
+}
+
 std::vector<std::uint64_t> Tracer::trace_ids() const {
   std::vector<std::uint64_t> ids;
   ids.reserve(trace_index_.size());
@@ -240,9 +308,13 @@ void Tracer::clear() {
   detached_.clear();
   finished_.clear();
   trace_index_.clear();
+  family_state_.clear();  // policies survive: they are configuration
   dropped_ = 0;
   end_mismatches_ = 0;
   index_dropped_ = 0;
+  sampled_out_ = 0;
+  weight_uncredited_ = 0;
+  links_added_ = 0;
   next_id_ = 1;
   next_trace_ = 1;
   misuse_once_.reset();
@@ -254,6 +326,20 @@ void Tracer::write_jsonl(std::ostream& out) const {
         << ",\"trace\":" << s.trace << ",\"depth\":" << s.depth
         << ",\"component\":\"" << s.component << "\",\"name\":\"" << s.name
         << "\",\"start_us\":" << s.start_us << ",\"end_us\":" << s.end_us;
+    if (s.weight != 1) out << ",\"weight\":" << s.weight;
+    if (!s.links.empty()) {
+      out << ",\"links\":[";
+      bool first = true;
+      for (const SpanLink& l : s.links) {
+        if (!first) out << ',';
+        first = false;
+        out << "{\"trace\":" << l.trace << ",\"span\":" << l.span
+            << ",\"kind\":";
+        append_json_string(out, l.kind);
+        out << '}';
+      }
+      out << ']';
+    }
     if (!s.attrs.empty()) {
       out << ",\"attrs\":{";
       bool first = true;

@@ -33,6 +33,7 @@
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "util/logging.hpp"
@@ -47,6 +48,16 @@ struct TraceContext {
   std::uint64_t span = 0;
 
   bool valid() const { return trace != 0; }
+};
+
+/// A typed causal edge to a span in *another* trace. Parent/child edges
+/// stay within one trace tree; links connect trees — e.g. a resubmitted
+/// job's fresh trace carries a "retry_of" link to its predecessor's root,
+/// so a job's full retry history is one walkable chain.
+struct SpanLink {
+  std::uint64_t trace = 0;
+  std::uint64_t span = 0;
+  std::string kind;  ///< e.g. "retry_of"
 };
 
 /// One typed key/value attached to a span (sample counts, byte totals,
@@ -71,7 +82,15 @@ struct SpanRecord {
   std::string name;
   std::int64_t start_us = 0;
   std::int64_t end_us = 0;
+  /// Sampling weight: how many spans of this (component, name, trace)
+  /// family this record stands for. 1 unless a sampling policy applies; a
+  /// policy-dropped span is never buffered and instead credits +1 here on
+  /// the last kept span of its family, so weighted aggregates over the
+  /// buffer equal the exact unsampled counts. 0 marks a sampled-out span
+  /// while it is still open (it is discarded, not buffered, at end()).
+  std::uint64_t weight = 1;
   std::vector<SpanAttr> attrs;
+  std::vector<SpanLink> links;
 
   std::int64_t duration_us() const { return end_us - start_us; }
   /// String attribute lookup ("" when absent or not a string).
@@ -82,6 +101,8 @@ class Tracer {
  public:
   /// Hard ceiling on attributes per span; extras are silently ignored.
   static constexpr std::size_t kMaxAttrsPerSpan = 16;
+  /// Hard ceiling on cross-trace links per span; extras are ignored.
+  static constexpr std::size_t kMaxLinksPerSpan = 4;
   /// Bounds on the per-trace index (the span buffer itself is bounded by
   /// max_spans). Traces past the cap still record spans, just unindexed.
   static constexpr std::size_t kMaxIndexedTraces = 1024;
@@ -121,6 +142,21 @@ class Tracer {
   void set_attr(std::uint64_t id, std::string_view key,
                 std::string_view value);
 
+  /// Attach a typed cross-trace link to an open span (stack or detached).
+  /// No-op on unknown ids or past kMaxLinksPerSpan.
+  void add_link(std::uint64_t id, SpanLink link);
+
+  /// Deterministic head-based sampling for a high-frequency (component,
+  /// name) family: per trace, keep 1 in every `keep_one_in` spans (the
+  /// first is always kept). Dropped spans never enter the buffer; each adds
+  /// +1 weight to the last kept span of the same family and trace, so
+  /// sum-of-weights over kept spans equals the exact span count at every
+  /// instant. `keep_one_in <= 1` removes the policy. Only apply to leaf
+  /// spans: a sampled-out span is discarded, so children parented under it
+  /// would become unreachable in their trace.
+  void set_sampling(std::string_view component, std::string_view name,
+                    std::uint64_t keep_one_in);
+
   const std::vector<SpanRecord>& spans() const { return finished_; }
   std::size_t open_depth() const { return open_.size(); }
   /// Open spans including detached ones.
@@ -128,6 +164,14 @@ class Tracer {
   std::uint64_t dropped() const { return dropped_; }
   std::uint64_t end_mismatches() const { return end_mismatches_; }
   std::uint64_t index_dropped() const { return index_dropped_; }
+  /// Spans dropped by a sampling policy (their weight was credited to a
+  /// kept sibling unless counted in weight_uncredited()).
+  std::uint64_t sampled_out() const { return sampled_out_; }
+  /// Sampled-out spans whose family had no kept span left in the buffer to
+  /// credit (only possible once the buffer cap has dropped spans); nonzero
+  /// means weighted aggregates undercount by exactly this much.
+  std::uint64_t weight_uncredited() const { return weight_uncredited_; }
+  std::uint64_t links_added() const { return links_added_; }
 
   /// All trace ids with at least one finished, indexed span (ascending).
   std::vector<std::uint64_t> trace_ids() const;
@@ -151,10 +195,27 @@ class Tracer {
     SpanRecord record;
   };
 
+  /// One registered sampling policy. Families are few (hand-registered per
+  /// component), so lookups are linear scans over this vector.
+  struct SamplingPolicy {
+    std::string component;
+    std::string name;
+    std::uint64_t keep_one_in = 1;
+  };
+  /// Per-(policy, trace) sampling state.
+  struct FamilyState {
+    std::uint64_t count = 0;       ///< spans begun in this family+trace
+    std::uint32_t last_kept = 0;   ///< index into finished_ of the last kept
+    bool has_kept = false;
+  };
+
   SpanRecord make_record(std::string_view component, std::string_view name,
                          TraceContext ctx, bool inherit_stack);
   void finish_record(SpanRecord&& record, std::int64_t now);
   SpanRecord* find_open(std::uint64_t id);
+  /// Index into policies_ for this family, or npos.
+  std::size_t policy_index(std::string_view component,
+                           std::string_view name) const;
 
   std::function<std::int64_t()> clock_;
   std::size_t max_spans_;
@@ -163,6 +224,11 @@ class Tracer {
   std::uint64_t dropped_ = 0;
   std::uint64_t end_mismatches_ = 0;
   std::uint64_t index_dropped_ = 0;
+  std::uint64_t sampled_out_ = 0;
+  std::uint64_t weight_uncredited_ = 0;
+  std::uint64_t links_added_ = 0;
+  std::vector<SamplingPolicy> policies_;
+  std::map<std::pair<std::size_t, std::uint64_t>, FamilyState> family_state_;
   std::vector<Open> open_;
   std::map<std::uint64_t, SpanRecord> detached_;
   std::vector<SpanRecord> finished_;

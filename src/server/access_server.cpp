@@ -105,6 +105,24 @@ util::Result<JobId> AccessServer::submit_job(const std::string& token,
   return scheduler_.submit(std::move(job));
 }
 
+util::Result<JobId> AccessServer::resubmit_job(const std::string& token,
+                                               JobId id) {
+  if (auto st = users_.authorize(token, Permission::kCreateJob); !st.ok()) {
+    return st.error();
+  }
+  auto user = users_.authenticate(token);
+  const Job* pred = scheduler_.find(id);
+  if (pred == nullptr) {
+    return util::make_error(util::ErrorCode::kNotFound, "unknown job");
+  }
+  if (pred->owner != user.value()->username &&
+      user.value()->role != Role::kAdmin) {
+    return util::make_error(util::ErrorCode::kPermissionDenied,
+                            "only the job owner or an admin may resubmit");
+  }
+  return scheduler_.resubmit(id);
+}
+
 util::Status AccessServer::approve_pipeline(const std::string& admin_token,
                                             JobId id) {
   if (auto st = users_.authorize(admin_token, Permission::kApprovePipeline);

@@ -72,6 +72,10 @@ class AccessServer {
   /// Authenticated job submission; dispatch still requires an admin's
   /// pipeline approval.
   util::Result<JobId> submit_job(const std::string& token, Job job);
+  /// Authenticated retry of a terminally failed/aborted job: only the job's
+  /// owner (or an admin) may resubmit, and the retry inherits its approval
+  /// from the predecessor (see Scheduler::resubmit for the trace linkage).
+  util::Result<JobId> resubmit_job(const std::string& token, JobId id);
   util::Status approve_pipeline(const std::string& admin_token, JobId id);
   /// Run the dispatch loop (authorization: any enabled experimenter/admin).
   util::Result<std::size_t> run_queue(const std::string& token);

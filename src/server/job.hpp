@@ -104,6 +104,14 @@ struct Job {
   /// automation, capture, archival) lives in this tree. 0 until submitted.
   std::uint64_t trace_id = 0;
   std::uint64_t root_span = 0;  ///< detached root, closed when the job ends
+  /// Retry lineage (Scheduler::resubmit). A resubmitted job gets a fresh
+  /// trace whose root carries a "retry_of" span link to the predecessor's
+  /// root, so the full causal history is one walkable chain. retry_of names
+  /// the predecessor (invalid on originals), retried_by the single
+  /// successor (invalid until resubmitted), and attempt counts from 1.
+  JobId retry_of;
+  JobId retried_by;
+  std::uint32_t attempt = 1;
 };
 
 }  // namespace blab::server

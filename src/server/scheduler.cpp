@@ -12,6 +12,7 @@ Scheduler::Scheduler(sim::Simulator& sim, VantagePointRegistry& registry)
     : sim_{sim}, registry_{registry} {
   obs::MetricsRegistry& m = sim_.metrics();
   metrics_.submitted = &m.counter("blab_scheduler_jobs_submitted_total");
+  metrics_.resubmitted = &m.counter("blab_scheduler_jobs_resubmitted_total");
   metrics_.dispatched = &m.counter("blab_scheduler_jobs_dispatched_total");
   metrics_.succeeded = &m.counter("blab_scheduler_jobs_finished_total",
                                   {{"result", "succeeded"}});
@@ -72,6 +73,45 @@ util::Status Scheduler::abort(JobId id) {
   metrics_.aborted->inc();
   metrics_.queue_depth->add(-1.0);
   return util::Status::ok_status();
+}
+
+util::Result<JobId> Scheduler::resubmit(JobId id) {
+  Job* pred = find(id);
+  if (pred == nullptr) {
+    return util::make_error(util::ErrorCode::kNotFound, "unknown job");
+  }
+  if (pred->state != JobState::kFailed && pred->state != JobState::kAborted) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "only failed or aborted jobs can be resubmitted");
+  }
+  if (pred->retried_by.valid()) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "job already retried by " + pred->retried_by.str());
+  }
+  Job retry;
+  retry.owner = pred->owner;
+  retry.name = pred->name;
+  retry.constraints = pred->constraints;
+  retry.script = pred->script;
+  retry.pipeline_approved = pred->pipeline_approved;
+  retry.max_duration = pred->max_duration;
+  retry.retry_of = pred->id;
+  retry.attempt = pred->attempt + 1;
+  const JobId new_id = submit(std::move(retry));
+  // submit() may reallocate jobs_; re-resolve the predecessor before linking.
+  pred = find(id);
+  Job* succ = find(new_id);
+  pred->retried_by = new_id;
+  obs::Tracer& tracer = sim_.tracer();
+  tracer.set_attr(succ->root_span, "retry_of", pred->id.str());
+  tracer.set_attr(succ->root_span, "attempt",
+                  static_cast<std::int64_t>(succ->attempt));
+  tracer.add_link(succ->root_span,
+                  obs::SpanLink{pred->trace_id, pred->root_span, "retry_of"});
+  metrics_.resubmitted->inc();
+  BLAB_INFO_KV("scheduler", "job resubmitted", {"job", pred->id.str()},
+               {"retry", new_id.str()});
+  return new_id;
 }
 
 bool Scheduler::device_matches(api::VantagePoint& vp,

@@ -58,6 +58,14 @@ class Scheduler {
   util::Status approve_pipeline(JobId id);
   util::Status abort(JobId id);
 
+  /// Resubmit a terminally failed or aborted job as a fresh attempt. The new
+  /// job clones the predecessor's definition, gets its own trace, and its
+  /// root span carries a "retry_of" link to the predecessor's root so the
+  /// causal chain stays walkable across traces. Each job can be retried at
+  /// most once (retried_by is a bijection); further retries must target the
+  /// newest attempt.
+  util::Result<JobId> resubmit(JobId id);
+
   /// Dispatch every queued job whose constraints are satisfiable right now;
   /// returns the number of jobs run.
   std::size_t dispatch_pending();
@@ -102,6 +110,7 @@ class Scheduler {
   /// cached pointers without touching the registry lock.
   struct Metrics {
     obs::Counter* submitted = nullptr;
+    obs::Counter* resubmitted = nullptr;
     obs::Counter* dispatched = nullptr;
     obs::Counter* succeeded = nullptr;
     obs::Counter* failed = nullptr;

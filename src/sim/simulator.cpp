@@ -30,6 +30,27 @@ Simulator::Simulator()
         static_cast<double>(heap_high_water_));
     m.gauge("blab_sim_pending_events").set(static_cast<double>(live_count_));
     m.gauge("blab_sim_now_seconds").set(static_cast<double>(now_.us()) / 1e6);
+    // Tracer self-metrics: same delta-publishing pattern, so the trace
+    // analytics layer (sampling, retry links) is observable from /metrics.
+    // Tracer::clear() can shrink a stat between snapshots; clamp the delta
+    // at zero so counters stay monotone.
+    const auto delta = [](std::uint64_t current, std::uint64_t& published) {
+      const std::uint64_t d = current >= published ? current - published : 0;
+      published = current;
+      return d;
+    };
+    const obs::Tracer& t = *tracer_;
+    m.counter("blab_trace_spans_finished_total")
+        .inc(delta(t.spans().size(), published_.trace_finished));
+    m.counter("blab_trace_spans_sampled_out_total")
+        .inc(delta(t.sampled_out(), published_.trace_sampled_out));
+    m.counter("blab_trace_span_links_total")
+        .inc(delta(t.links_added(), published_.trace_links));
+    m.counter("blab_trace_spans_dropped_total")
+        .inc(delta(t.dropped(), published_.trace_dropped));
+    m.counter("blab_trace_end_mismatches_total")
+        .inc(delta(t.end_mismatches(), published_.trace_end_mismatches));
+    m.gauge("blab_trace_open_spans").set(static_cast<double>(t.open_total()));
   });
 }
 

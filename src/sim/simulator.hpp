@@ -224,6 +224,11 @@ class Simulator {
     std::uint64_t dispatched = 0;
     std::uint64_t stale_skipped = 0;
     std::uint64_t clamps = 0;
+    std::uint64_t trace_finished = 0;
+    std::uint64_t trace_sampled_out = 0;
+    std::uint64_t trace_links = 0;
+    std::uint64_t trace_dropped = 0;
+    std::uint64_t trace_end_mismatches = 0;
   };
   PublishedKernelStats published_;
 

@@ -499,6 +499,28 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
     for (auto& finding : oracles.run(ctx)) {
       result.violations.push_back(std::move(finding));
     }
+    if (options.retry_failed_jobs) {
+      // Step-end retry sweep: give every freshly failed/aborted chain one
+      // more attempt (dispatch happens through the next step's run_queue).
+      // The resubmit events and ids fold into the digest, keeping retry runs
+      // replay-checked like everything else.
+      server::Scheduler& scheduler = server.scheduler();
+      std::vector<server::JobId> to_retry;
+      for (const server::Job* job : scheduler.all_jobs()) {
+        const bool terminal_bad = job->state == server::JobState::kFailed ||
+                                  job->state == server::JobState::kAborted;
+        if (terminal_bad && !job->retried_by.valid() &&
+            job->attempt < options.max_attempts) {
+          to_retry.push_back(job->id);
+        }
+      }
+      for (server::JobId id : to_retry) {
+        auto retry = scheduler.resubmit(id);
+        if (retry.ok()) {
+          recorder.note("resubmit " + id.str() + " -> " + retry.value().str());
+        }
+      }
+    }
     std::string balances = "balances";
     for (const std::string& name : exp_names) {
       const auto& ledger = server.credits().balances();
@@ -535,6 +557,14 @@ std::vector<ScenarioResult> run_corpus(const std::vector<std::uint64_t>& seeds,
                                        unsigned jobs) {
   return pooled_map<ScenarioResult>(
       seeds, jobs, [](std::uint64_t seed) { return run_scenario(seed); });
+}
+
+std::vector<ScenarioResult> run_corpus(const std::vector<std::uint64_t>& seeds,
+                                       unsigned jobs,
+                                       const RunOptions& options) {
+  return pooled_map<ScenarioResult>(seeds, jobs, [&options](std::uint64_t seed) {
+    return run_scenario(generate_scenario(seed), options);
+  });
 }
 
 std::string ScenarioResult::violation_summary() const {

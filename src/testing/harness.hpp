@@ -74,6 +74,14 @@ struct RunOptions {
   /// on killed runs, after the final step otherwise). The oracle uses it to
   /// snapshot pre-crash query answers.
   std::function<void(server::AccessServer&)> before_teardown;
+  /// Retry terminally failed/aborted jobs at each step end via
+  /// Scheduler::resubmit, up to max_attempts total attempts per chain. The
+  /// resubmitted job gets a fresh trace with a "retry_of" link back to the
+  /// predecessor (validated by the retry-chain oracle). Off by default — the
+  /// extra submissions change the event stream, so the pinned golden digests
+  /// only cover runs without it.
+  bool retry_failed_jobs = false;
+  std::uint32_t max_attempts = 2;
 };
 
 /// Run one fully-specified scenario through a fresh deployment.
@@ -96,6 +104,11 @@ ScenarioResult run_scenario(std::uint64_t seed);
 /// warning lines from concurrent scenarios may interleave on stderr.
 std::vector<ScenarioResult> run_corpus(const std::vector<std::uint64_t>& seeds,
                                        unsigned jobs = 0);
+/// run_corpus with per-scenario RunOptions (persist dirs are NOT seed-scoped
+/// here, so only option sets without persist_dir make sense for a corpus).
+std::vector<ScenarioResult> run_corpus(const std::vector<std::uint64_t>& seeds,
+                                       unsigned jobs,
+                                       const RunOptions& options);
 
 /// Outcome of running one seed twice from scratch and diffing the traces.
 struct ReplayReport {

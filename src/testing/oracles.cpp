@@ -318,6 +318,10 @@ class TraceIntegrityOracle : public InvariantOracle {
       const bool terminal = job->state == server::JobState::kSucceeded ||
                             job->state == server::JobState::kFailed ||
                             job->state == server::JobState::kAborted;
+      if (job->workspace.purged() && !terminal) {
+        out.push_back({name(), "non-terminal job has a purged workspace (job " +
+                                   job->id.str() + ")"});
+      }
       if (!terminal) continue;  // root still legitimately open
 
       const std::string where =
@@ -362,7 +366,190 @@ class TraceIntegrityOracle : public InvariantOracle {
                                      ") escapes its parent interval" + where});
         }
       }
+      // Cross-trace links must be structurally sane and time-ordered: a link
+      // points at a *different* trace, and a resolvable target span ended at
+      // or before the linking span started (a retry can only reference a
+      // predecessor whose root already closed).
+      for (const obs::SpanRecord* s : spans) {
+        for (const obs::SpanLink& link : s->links) {
+          if (link.trace == 0 || link.span == 0) {
+            out.push_back({name(), "span " + std::to_string(s->id) +
+                                       " carries a null link" + where});
+            continue;
+          }
+          if (link.trace == s->trace) {
+            out.push_back({name(), "span " + std::to_string(s->id) +
+                                       " links within its own trace" + where});
+            continue;
+          }
+          for (const obs::SpanRecord* t : tracer.spans_in(link.trace)) {
+            if (t->id != link.span) continue;
+            if (t->end_us > s->start_us) {
+              out.push_back({name(), "link target span " +
+                                         std::to_string(link.span) +
+                                         " ends after linking span " +
+                                         std::to_string(s->id) + " starts" +
+                                         where});
+            }
+          }
+        }
+      }
     }
+  }
+};
+
+class RetryChainOracle : public InvariantOracle {
+ public:
+  const char* name() const override { return "retry-chain"; }
+
+  void check(const OracleContext& ctx,
+             std::vector<OracleFinding>& out) override {
+    // Retry lineage must form well-founded chains: every retry names a
+    // terminally failed/aborted predecessor, retried_by/retry_of are a
+    // bijection, attempts count up by one, ids and queue times only move
+    // forward (so chains are acyclic), each attempt has its own trace, and a
+    // finished retry's root span carries exactly one "retry_of" link to the
+    // predecessor's root.
+    const obs::Tracer& tracer = ctx.sim->tracer();
+    const auto& scheduler = ctx.server->scheduler();
+    for (const server::Job* job : scheduler.all_jobs()) {
+      if (job->retried_by.valid()) {
+        const server::Job* succ = scheduler.find(job->retried_by);
+        if (succ == nullptr) {
+          out.push_back({name(), "job " + job->id.str() +
+                                     " retried by unknown job " +
+                                     job->retried_by.str()});
+        } else if (succ->retry_of != job->id) {
+          out.push_back({name(), "retry bijection broken: " + job->id.str() +
+                                     " -> " + succ->id.str() + " -> " +
+                                     succ->retry_of.str()});
+        }
+      }
+      if (!job->retry_of.valid()) continue;
+
+      const std::string where = " (retry " + job->id.str() + " of " +
+                                job->retry_of.str() + ")";
+      const server::Job* pred = scheduler.find(job->retry_of);
+      if (pred == nullptr) {
+        out.push_back({name(), "predecessor unknown" + where});
+        continue;
+      }
+      if (pred->state != server::JobState::kFailed &&
+          pred->state != server::JobState::kAborted) {
+        out.push_back({name(), std::string{"predecessor is "} +
+                                   server::job_state_name(pred->state) +
+                                   ", not failed/aborted" + where});
+      }
+      if (pred->retried_by != job->id) {
+        out.push_back({name(), "predecessor's retried_by is " +
+                                   pred->retried_by.str() + where});
+      }
+      if (job->attempt != pred->attempt + 1) {
+        out.push_back({name(), "attempt " + std::to_string(job->attempt) +
+                                   " after attempt " +
+                                   std::to_string(pred->attempt) + where});
+      }
+      if (!(pred->id < job->id)) {
+        out.push_back({name(), "retry id does not follow predecessor" + where});
+      }
+      if (job->queued_at < pred->queued_at) {
+        out.push_back({name(), "retry queued before its predecessor" + where});
+      }
+      // Aborted-from-queue jobs never got a finished_at stamp; skip those.
+      if (pred->finished_at.us() != 0 && job->queued_at < pred->finished_at) {
+        out.push_back({name(), "retry queued before predecessor finished" +
+                                   where});
+      }
+      if (job->trace_id == pred->trace_id) {
+        out.push_back({name(), "retry shares the predecessor's trace" + where});
+      }
+
+      // Walk the chain tail -> head; monotone ids make real cycles
+      // impossible, so the bound only guards against corrupted pointers.
+      std::size_t hops = 0;
+      const std::size_t bound = scheduler.all_jobs().size() + 1;
+      for (const server::Job* cur = job;
+           cur != nullptr && cur->retry_of.valid();
+           cur = scheduler.find(cur->retry_of)) {
+        if (++hops > bound) {
+          out.push_back({name(), "retry chain does not terminate" + where});
+          break;
+        }
+      }
+
+      const bool terminal = job->state == server::JobState::kSucceeded ||
+                            job->state == server::JobState::kFailed ||
+                            job->state == server::JobState::kAborted;
+      if (!terminal) continue;  // root still open; link checked once closed
+      const obs::SpanRecord* root = nullptr;
+      for (const obs::SpanRecord* s : tracer.spans_in(job->trace_id)) {
+        if (s->parent == 0) root = s;
+      }
+      if (root == nullptr) {
+        out.push_back({name(), "finished retry has no root span" + where});
+        continue;
+      }
+      std::size_t retry_links = 0;
+      for (const obs::SpanLink& link : root->links) {
+        if (link.kind != "retry_of") continue;
+        ++retry_links;
+        if (link.trace != pred->trace_id || link.span != pred->root_span) {
+          out.push_back({name(), "retry_of link targets trace " +
+                                     std::to_string(link.trace) + " span " +
+                                     std::to_string(link.span) +
+                                     ", expected the predecessor root" +
+                                     where});
+        }
+      }
+      if (retry_links != 1) {
+        out.push_back({name(), std::to_string(retry_links) +
+                                   " retry_of links on the root, expected 1" +
+                                   where});
+      }
+    }
+  }
+};
+
+class SpanConservationOracle : public InvariantOracle {
+ public:
+  const char* name() const override { return "span-conservation"; }
+
+  void check(const OracleContext& ctx,
+             std::vector<OracleFinding>& out) override {
+    // Weighted span aggregates must be EXACT: for every sampled family the
+    // sum of kept-span weights equals the unsampled counter in the metrics
+    // registry, at every step boundary. A sampled-out span may never reach
+    // the buffer (its weight rides on a kept sibling instead).
+    const obs::Tracer& tracer = ctx.sim->tracer();
+    std::uint64_t frames = 0;
+    std::uint64_t blocks = 0;
+    for (const obs::SpanRecord& s : tracer.spans()) {
+      if (s.weight == 0) {
+        out.push_back({name(), "sampled-out span reached the buffer: " +
+                                   s.component + "/" + s.name + " id " +
+                                   std::to_string(s.id)});
+      }
+      if (s.component == "mirror" && s.name == "frame") frames += s.weight;
+      if (s.component == "monsoon" && s.name == "synth_block") {
+        blocks += s.weight;
+      }
+    }
+    // Once the buffer cap has dropped spans (or a credit had no kept span
+    // left to land on) the buffer no longer covers the full history and
+    // exact conservation is unprovable from it.
+    if (tracer.dropped() > 0 || tracer.weight_uncredited() > 0) return;
+    const obs::MetricsSnapshot snap = ctx.sim->metrics().snapshot();
+    const auto expect = [&](const char* family, std::uint64_t weighted,
+                            const char* metric) {
+      const double counted = snap.value_or(metric);
+      if (static_cast<double>(weighted) != counted) {
+        out.push_back({name(), std::string{family} + " weighted span sum " +
+                                   std::to_string(weighted) + " != " + metric +
+                                   " " + util::format_double(counted, 0)});
+      }
+    };
+    expect("mirror/frame", frames, "blab_mirror_frames_total");
+    expect("monsoon/synth_block", blocks, "blab_monsoon_synth_blocks_total");
   }
 };
 
@@ -378,6 +565,8 @@ OracleRegistry::OracleRegistry() {
   add(std::make_unique<DnsCertConsistencyOracle>());
   add(std::make_unique<MetricAccountingOracle>());
   add(std::make_unique<TraceIntegrityOracle>());
+  add(std::make_unique<RetryChainOracle>());
+  add(std::make_unique<SpanConservationOracle>());
 }
 
 void OracleRegistry::add(std::unique_ptr<InvariantOracle> oracle) {

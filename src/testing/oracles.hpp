@@ -25,6 +25,21 @@
 //                        jobs_submitted == queued + running + finished +
 //                        aborted, and each series matches the scheduler's
 //                        actual job-state counts
+//   trace-integrity      every job yields one well-formed causal trace (one
+//                        root, reachable spans, nested intervals, nothing
+//                        open after a terminal state, purged workspaces only
+//                        on terminal jobs) and cross-trace links are sane
+//                        and time-ordered
+//   retry-chain          resubmitted jobs form acyclic, time-ordered chains:
+//                        retry_of/retried_by are a bijection onto terminal
+//                        predecessors, attempts count up, each attempt has
+//                        its own trace, and a finished retry's root carries
+//                        exactly one "retry_of" link to the predecessor root
+//   span-conservation    weighted span aggregates are exact: for sampled
+//                        families (mirror frames, Monsoon synthesis blocks)
+//                        the sum of kept-span weights equals the unsampled
+//                        registry counter, and no zero-weight span is ever
+//                        buffered
 #pragma once
 
 #include <memory>

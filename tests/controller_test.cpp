@@ -10,6 +10,7 @@
 #include "controller/monsoon_poller.hpp"
 #include "controller/rest_backend.hpp"
 #include "hw/power_monitor.hpp"
+#include "obs/span.hpp"
 #include "util/stats.hpp"
 
 namespace blab::controller {
@@ -175,10 +176,99 @@ TEST_F(RestTest, InProcessCall) {
 TEST_F(RestTest, EndpointListing) {
   EXPECT_TRUE(rest.has_endpoint("echo"));
   EXPECT_FALSE(rest.has_endpoint("nope"));
-  // "echo", "status", plus the built-in "metrics" and "traces" endpoints.
+  // "echo", "fail", plus the built-in "metrics", "traces" and "flame"
+  // endpoints.
   EXPECT_TRUE(rest.has_endpoint("metrics"));
   EXPECT_TRUE(rest.has_endpoint("traces"));
-  EXPECT_EQ(rest.endpoints().size(), 4u);
+  EXPECT_TRUE(rest.has_endpoint("flame"));
+  EXPECT_EQ(rest.endpoints().size(), 5u);
+}
+
+// ------------------------------------------------------ trace analytics ----
+
+// One finished job trace to query through the REST trace/analytics surface.
+class RestTraceTest : public ::testing::Test {
+ protected:
+  RestTraceTest() : net{sim, 4}, rest{net, "ctrl.node1"} {
+    obs::Tracer& tracer = sim.tracer();
+    root = tracer.begin_detached("scheduler", "job");
+    tracer.set_attr(root, "job", std::string_view{"job-1"});
+    const obs::TraceContext ctx = tracer.context_of(root);
+    trace = ctx.trace;
+    { obs::ScopedSpan run{&tracer, "scheduler", "run_job", ctx}; }
+    tracer.end(root);
+  }
+  sim::Simulator sim;
+  net::Network net;
+  RestBackend rest;
+  std::uint64_t root = 0;
+  std::uint64_t trace = 0;
+};
+
+TEST_F(RestTraceTest, TracesAliasesResolveLikeCanonicalParams) {
+  const auto canonical_job = rest.call("traces", "job_id=job-1");
+  const auto alias_job = rest.call("traces", "job=job-1");
+  ASSERT_TRUE(canonical_job.ok());
+  ASSERT_TRUE(alias_job.ok());
+  EXPECT_EQ(canonical_job.value(), alias_job.value());
+
+  const std::string id = std::to_string(trace);
+  const auto canonical_trace = rest.call("traces", "trace_id=" + id);
+  const auto alias_trace = rest.call("traces", "trace=" + id);
+  ASSERT_TRUE(canonical_trace.ok());
+  ASSERT_TRUE(alias_trace.ok());
+  EXPECT_EQ(canonical_trace.value(), alias_trace.value());
+  EXPECT_EQ(canonical_trace.value(), canonical_job.value());
+
+  // The canonical spelling wins when both are present (first-wins parsing
+  // already guards duplicates of the same key).
+  const auto both = rest.call("traces", "trace=999&trace_id=" + id);
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ(both.value(), canonical_trace.value());
+}
+
+TEST_F(RestTraceTest, MalformedTraceIdsGetTypedErrors) {
+  for (const char* query : {"trace_id=abc", "trace=abc", "trace="}) {
+    const auto r = rest.call("traces", query);
+    ASSERT_FALSE(r.ok()) << query;
+    EXPECT_EQ(r.error().code, util::ErrorCode::kInvalidArgument) << query;
+    EXPECT_NE(r.error().str().find("must be a decimal integer"),
+              std::string::npos)
+        << r.error().str();
+  }
+  // The message names the parameter as the caller spelled it.
+  EXPECT_NE(rest.call("traces", "trace=abc").error().str().find("trace "),
+            std::string::npos);
+  const auto missing = rest.call("traces", "trace_id=424242");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, util::ErrorCode::kNotFound);
+}
+
+TEST_F(RestTraceTest, FlameEndpointFoldsTheSpanForest) {
+  const auto all = rest.call("flame", "");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().rfind("{\"flame\":", 0), 0u) << all.value();
+  EXPECT_NE(all.value().find("\"critical_paths\":["), std::string::npos);
+  EXPECT_NE(all.value().find("\"name\":\"run_job\""), std::string::npos);
+  EXPECT_NE(all.value().find("\"job\":\"job-1\""), std::string::npos);
+
+  const auto one = rest.call("flame", "trace=" + std::to_string(trace));
+  ASSERT_TRUE(one.ok());
+  const auto alias = rest.call("flame", "trace_id=" + std::to_string(trace));
+  ASSERT_TRUE(alias.ok());
+  EXPECT_EQ(one.value(), alias.value());
+
+  const auto bad = rest.call("flame", "trace=bogus");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, util::ErrorCode::kInvalidArgument);
+  EXPECT_NE(bad.error().str().find("trace must be a decimal integer"),
+            std::string::npos);
+
+  const auto missing = rest.call("flame", "trace=999999");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, util::ErrorCode::kNotFound);
+  EXPECT_NE(missing.error().str().find("no trace for trace 999999"),
+            std::string::npos);
 }
 
 TEST_F(RestTest, NetworkAjaxRoundTrip) {

@@ -185,6 +185,43 @@ TEST(DstPersistence, CrashRecoveryOracleAcrossCorpus) {
 }
 
 // ------------------------------------------------------------------------
+// Retry lineage: with the harness retry knob on, every terminal
+// failed/aborted job is resubmitted once, so each corpus seed exercises the
+// cross-trace "retry_of" links under the retry-chain oracle and keeps the
+// weighted span families honest under the span-conservation oracle. The
+// knob is opt-in because the extra submissions change the event stream —
+// the pinned golden digests above deliberately cover only plain runs.
+// ------------------------------------------------------------------------
+
+TEST(DstRetry, RetryChainsHoldAcrossCorpusSerialAndPooled) {
+  const auto seeds = dst::default_corpus(40);
+  const unsigned jobs = g_corpus_jobs == 0 ? 4 : g_corpus_jobs;
+  dst::RunOptions options;
+  options.retry_failed_jobs = true;
+  const auto serial = dst::run_corpus(seeds, 1, options);
+  const auto pooled = dst::run_corpus(seeds, jobs, options);
+  ASSERT_EQ(serial.size(), seeds.size());
+  ASSERT_EQ(pooled.size(), seeds.size());
+  double resubmitted = 0.0;
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_TRUE(serial[i].ok()) << serial[i].violation_summary();
+    EXPECT_TRUE(pooled[i].ok()) << pooled[i].violation_summary();
+    EXPECT_EQ(serial[i].digest_hex, pooled[i].digest_hex)
+        << "seed " << seeds[i] << " retry digest depends on the worker count";
+    EXPECT_EQ(serial[i].metrics_text, pooled[i].metrics_text)
+        << "seed " << seeds[i];
+    EXPECT_EQ(serial[i].trace_json, pooled[i].trace_json)
+        << "seed " << seeds[i];
+    resubmitted +=
+        serial[i].metrics.value_or("blab_scheduler_jobs_resubmitted_total");
+  }
+  // The corpus must actually resubmit something, or the retry-chain oracle
+  // passes vacuously on a fault schedule that never failed a job.
+  EXPECT_GT(resubmitted, 0.0)
+      << "no corpus seed produced a failed/aborted job to resubmit";
+}
+
+// ------------------------------------------------------------------------
 // Scenario generator properties.
 // ------------------------------------------------------------------------
 
@@ -374,9 +411,10 @@ TEST(Oracles, DefaultRegistryCoversTheDocumentedInvariants) {
   dst::OracleRegistry registry;
   const auto names = registry.names();
   const std::vector<std::string> expected{
-      "clock-monotonicity", "scheduler-safety", "credit-ledger",
-      "energy-conservation", "battery-sanity", "mirroring-lifecycle",
-      "dns-cert-consistency", "metric-accounting", "trace-integrity"};
+      "clock-monotonicity", "scheduler-safety",  "credit-ledger",
+      "energy-conservation", "battery-sanity",   "mirroring-lifecycle",
+      "dns-cert-consistency", "metric-accounting", "trace-integrity",
+      "retry-chain",          "span-conservation"};
   for (const auto& name : expected) {
     EXPECT_NE(std::find(names.begin(), names.end(), name), names.end())
         << "missing oracle: " << name;

@@ -15,6 +15,7 @@
 
 #include "controller/rest_backend.hpp"
 #include "net/network.hpp"
+#include "obs/aggregate.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -314,6 +315,38 @@ TEST(Encoders, MergeKeepsTheLatestExemplarPerBucket) {
   EXPECT_EQ(h->exemplars[0].ts_us, 200);
 }
 
+// The tie-break is strict: equal sim timestamps keep the EARLIER snapshot's
+// exemplar, so merge output does not depend on which pooled worker happened
+// to flush last. An invalid exemplar never displaces a valid one.
+TEST(Encoders, MergeExemplarTiesKeepTheEarlierSnapshot) {
+  obs::MetricsRegistry a, b, c;
+  a.histogram("blab_h", {1.0}).observe(0.5, obs::Exemplar{1, 100});
+  b.histogram("blab_h", {1.0}).observe(0.5, obs::Exemplar{2, 100});  // tie
+  c.histogram("blab_h", {1.0}).observe(0.5);  // no exemplar attached
+  const auto merged =
+      obs::merge_snapshots({a.snapshot(), b.snapshot(), c.snapshot()});
+  const obs::SeriesSnapshot* h = merged.find("blab_h");
+  ASSERT_NE(h, nullptr);
+  ASSERT_FALSE(h->exemplars.empty());
+  EXPECT_EQ(h->exemplars[0].trace, 1u) << "tie must keep the first snapshot";
+  EXPECT_EQ(h->exemplars[0].ts_us, 100);
+  EXPECT_EQ(h->count, 3u);
+}
+
+// Histograms only merge when their bucket boundaries agree exactly; a
+// mismatched layout is skipped rather than summed bucket-by-index into
+// nonsense (counts from the first-seen layout survive untouched).
+TEST(Encoders, MergeSkipsHistogramsWithMismatchedBounds) {
+  obs::MetricsRegistry a, b;
+  a.histogram("blab_h", {1.0, 5.0}).observe(0.5);
+  b.histogram("blab_h", {2.0}).observe(0.5);
+  const auto merged = obs::merge_snapshots({a.snapshot(), b.snapshot()});
+  const obs::SeriesSnapshot* h = merged.find("blab_h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->bounds, (std::vector<double>{1.0, 5.0}));
+  EXPECT_EQ(h->count, 1u) << "mismatched layout must not fold in";
+}
+
 // ------------------------------------------------------------ spans ------
 
 TEST(Spans, NestAndCloseLifoOnSimClock) {
@@ -443,6 +476,357 @@ TEST(Spans, OpenSpansSurviveTheSimulatorEventCap) {
   EXPECT_EQ(sim.tracer().open_total(), 0u);
   EXPECT_EQ(sim.tracer().spans().size(), ids.size());
   EXPECT_EQ(sim.tracer().end_mismatches(), 0u);
+}
+
+// ----------------------------------------------------------- sampling ----
+
+// The conservation contract: with keep-1-in-4 on (mirror, frame), opening
+// and closing N frame spans buffers only the kept ones, but their weights
+// always sum to the exact span count — at every instant, not just at the
+// end — so weighted aggregates equal unsampled counters.
+TEST(Sampling, WeightsConserveTheExactSpanCount) {
+  std::int64_t now_us = 0;
+  obs::Tracer tracer{[&] { return now_us; }};
+  tracer.set_sampling("mirror", "frame", 4);
+  const std::uint64_t session = tracer.begin_detached("mirror", "session");
+  const obs::TraceContext ctx = tracer.context_of(session);
+  for (int i = 0; i < 10; ++i) {
+    now_us += 10;
+    { obs::ScopedSpan frame{&tracer, "mirror", "frame", ctx}; }
+    std::uint64_t weighted = 0;
+    for (const obs::SpanRecord& s : tracer.spans()) weighted += s.weight;
+    EXPECT_EQ(weighted, static_cast<std::uint64_t>(i + 1))
+        << "conservation broke after frame " << i;
+  }
+  tracer.end(session);
+
+  // Counts 0..9 with keep-1-in-4: 0, 4, 8 kept; each drop credits the last
+  // kept span of its family, so the weights land 4, 4, 2.
+  std::vector<std::uint64_t> frame_weights;
+  for (const obs::SpanRecord& s : tracer.spans()) {
+    if (s.name == "frame") frame_weights.push_back(s.weight);
+  }
+  EXPECT_EQ(frame_weights, (std::vector<std::uint64_t>{4, 4, 2}));
+  EXPECT_EQ(tracer.sampled_out(), 7u);
+  EXPECT_EQ(tracer.weight_uncredited(), 0u);
+  // The unsampled session span keeps weight 1.
+  EXPECT_EQ(tracer.spans().back().weight, 1u);
+}
+
+// Sampling state is per (family, trace): every trace keeps its own first
+// span, so a low-traffic trace is never blinded by a busy neighbor.
+TEST(Sampling, FirstSpanOfEveryTraceIsKept) {
+  std::int64_t now_us = 0;
+  obs::Tracer tracer{[&] { return now_us; }};
+  tracer.set_sampling("mirror", "frame", 8);
+  for (int t = 0; t < 3; ++t) {
+    const std::uint64_t root = tracer.begin_detached("mirror", "session");
+    const obs::TraceContext ctx = tracer.context_of(root);
+    { obs::ScopedSpan frame{&tracer, "mirror", "frame", ctx}; }
+    tracer.end(root);
+  }
+  std::size_t frames = 0;
+  for (const obs::SpanRecord& s : tracer.spans()) {
+    if (s.name == "frame") ++frames;
+  }
+  EXPECT_EQ(frames, 3u) << "each trace's first frame must survive sampling";
+  EXPECT_EQ(tracer.sampled_out(), 0u);
+}
+
+TEST(Sampling, KeepOneInOneRemovesThePolicy) {
+  std::int64_t now_us = 0;
+  obs::Tracer tracer{[&] { return now_us; }};
+  tracer.set_sampling("mirror", "frame", 4);
+  tracer.set_sampling("mirror", "frame", 1);
+  const std::uint64_t root = tracer.begin_detached("mirror", "session");
+  const obs::TraceContext ctx = tracer.context_of(root);
+  for (int i = 0; i < 6; ++i) {
+    obs::ScopedSpan frame{&tracer, "mirror", "frame", ctx};
+  }
+  tracer.end(root);
+  EXPECT_EQ(tracer.spans().size(), 7u);
+  EXPECT_EQ(tracer.sampled_out(), 0u);
+}
+
+// end() misuse accounting must stay exact for sampled-out spans: the span
+// was never buffered, but its id is live until the first end(), and only a
+// second end() of the same id is a mismatch.
+TEST(Sampling, EndMismatchCountingSurvivesSampledOutSpans) {
+  std::int64_t now_us = 0;
+  obs::Tracer tracer{[&] { return now_us; }};
+  tracer.set_sampling("mirror", "frame", 2);
+  const std::uint64_t root = tracer.begin_detached("mirror", "session");
+  const obs::TraceContext ctx = tracer.context_of(root);
+  const std::uint64_t kept = tracer.begin_detached("mirror", "frame", ctx);
+  const std::uint64_t dropped = tracer.begin_detached("mirror", "frame", ctx);
+  tracer.end(kept);
+  tracer.end(dropped);  // discarded, not buffered — still a clean end
+  EXPECT_EQ(tracer.end_mismatches(), 0u);
+  tracer.end(dropped);  // double end of the sampled-out span
+  EXPECT_EQ(tracer.end_mismatches(), 1u);
+  tracer.end(root);
+  EXPECT_EQ(tracer.sampled_out(), 1u);
+  ASSERT_EQ(tracer.spans().size(), 2u);
+  EXPECT_EQ(tracer.spans()[0].weight, 2u) << "drop credited the kept frame";
+}
+
+// ------------------------------------------------------------- links -----
+
+TEST(Links, TypedCrossTraceEdgesAttachAndCap) {
+  std::int64_t now_us = 0;
+  obs::Tracer tracer{[&] { return now_us; }};
+  const std::uint64_t first = tracer.begin_detached("scheduler", "job");
+  const obs::TraceContext pred = tracer.context_of(first);
+  tracer.end(first);
+
+  const std::uint64_t second = tracer.begin_detached("scheduler", "job");
+  tracer.add_link(second, obs::SpanLink{pred.trace, pred.span, "retry_of"});
+  EXPECT_EQ(tracer.links_added(), 1u);
+  // Past the per-span cap, extras are dropped silently.
+  for (std::uint64_t i = 0; i < obs::Tracer::kMaxLinksPerSpan + 2; ++i) {
+    tracer.add_link(second, obs::SpanLink{pred.trace, pred.span, "extra"});
+  }
+  EXPECT_EQ(tracer.links_added(),
+            static_cast<std::uint64_t>(obs::Tracer::kMaxLinksPerSpan));
+  tracer.add_link(999, obs::SpanLink{pred.trace, pred.span, "x"});  // unknown
+  EXPECT_EQ(tracer.links_added(),
+            static_cast<std::uint64_t>(obs::Tracer::kMaxLinksPerSpan));
+  tracer.end(second);
+
+  const obs::SpanRecord& retry = tracer.spans().back();
+  ASSERT_EQ(retry.links.size(), obs::Tracer::kMaxLinksPerSpan);
+  EXPECT_EQ(retry.links[0].trace, pred.trace);
+  EXPECT_EQ(retry.links[0].span, pred.span);
+  EXPECT_EQ(retry.links[0].kind, "retry_of");
+}
+
+// Perfetto rendering carries both analytics extensions: a non-unit sampling
+// weight and the typed link, as plain args Perfetto will display.
+TEST(Links, PerfettoRendersWeightAndLinkArgs) {
+  std::int64_t now_us = 0;
+  obs::Tracer tracer{[&] { return now_us; }};
+  tracer.set_sampling("mirror", "frame", 2);
+  const std::uint64_t root = tracer.begin_detached("mirror", "session");
+  const obs::TraceContext ctx = tracer.context_of(root);
+  const std::uint64_t a = tracer.begin_detached("mirror", "frame", ctx);
+  tracer.end(a);
+  const std::uint64_t b = tracer.begin_detached("mirror", "frame", ctx);
+  tracer.end(b);  // sampled out: credits a's record with weight 2
+  tracer.add_link(root, obs::SpanLink{7, 3, "retry_of"});
+  tracer.end(root);
+
+  const std::string json = obs::encode_trace_json(tracer.spans());
+  EXPECT_NE(json.find("\"weight\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"link.retry_of\":\"7:3\""), std::string::npos)
+      << json;
+
+  std::ostringstream jsonl;
+  tracer.write_jsonl(jsonl);
+  EXPECT_NE(jsonl.str().find("\"weight\":2"), std::string::npos);
+  EXPECT_NE(jsonl.str().find("retry_of"), std::string::npos);
+}
+
+// ----------------------------------------------------------- aggregate ----
+
+// Hand-built two-trace forest exercising the flame fold: merging by
+// (component, name) path, weighted counts, and self time under overlapping
+// and gapped children.
+TEST(Aggregate, FlameMergesPathsAndComputesSelfTime) {
+  std::int64_t now_us = 0;
+  obs::Tracer tracer{[&] { return now_us; }};
+  for (int t = 0; t < 2; ++t) {
+    now_us = 0;
+    const std::uint64_t root = tracer.begin_detached("scheduler", "job");
+    const obs::TraceContext ctx = tracer.context_of(root);
+    const std::uint64_t run = tracer.begin_detached("scheduler", "run_job",
+                                                    ctx);
+    now_us = 100;
+    const std::uint64_t flow =
+        tracer.begin_detached("net", "flow", tracer.context_of(run));
+    now_us = 400;
+    tracer.end(flow);  // net/flow: 100..400 under run_job
+    now_us = 600;
+    tracer.end(run);  // run_job: 0..600
+    now_us = 1000;
+    tracer.end(root);  // job: 0..1000, 400us uncovered tail
+  }
+  const obs::FlameNode forest = obs::build_flame(tracer.spans());
+  EXPECT_EQ(forest.count, 2u) << "forest root sums its children's counts";
+  const obs::FlameNode* job = forest.find("scheduler", "job");
+  ASSERT_NE(job, nullptr);
+  EXPECT_EQ(job->count, 2u);
+  EXPECT_EQ(job->total_us, 2000);
+  EXPECT_EQ(job->self_us, 800);  // 2 x (1000 - 600 covered by run_job)
+  const obs::FlameNode* run = job->find("scheduler", "run_job");
+  ASSERT_NE(run, nullptr);
+  EXPECT_EQ(run->count, 2u);
+  EXPECT_EQ(run->total_us, 1200);
+  EXPECT_EQ(run->self_us, 600);  // 2 x (600 - 300 covered by net/flow)
+  const obs::FlameNode* flow = run->find("net", "flow");
+  ASSERT_NE(flow, nullptr);
+  EXPECT_EQ(flow->total_us, 600);
+  EXPECT_EQ(flow->self_us, 600);  // leaf: self == total
+  EXPECT_EQ(job->find("net", "flow"), nullptr)
+      << "path-sensitive merge must not flatten flow under job";
+}
+
+// A span whose parent is missing from the input (buffer overflow, filtered
+// query) folds in as a root instead of vanishing from the flame.
+TEST(Aggregate, OrphanSpansBecomeFlameRoots) {
+  std::vector<obs::SpanRecord> spans(1);
+  spans[0].id = 5;
+  spans[0].parent = 99;  // not in the input
+  spans[0].trace = 1;
+  spans[0].component = "store";
+  spans[0].name = "append_capture";
+  spans[0].start_us = 0;
+  spans[0].end_us = 50;
+  const obs::FlameNode forest = obs::build_flame(spans);
+  const obs::FlameNode* node = forest.find("store", "append_capture");
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->count, 1u);
+  EXPECT_EQ(node->total_us, 50);
+}
+
+// Span ids are only unique within one tracer. Pooling buffers from several
+// tracers can repeat an id; the fold must keep the first record per id and
+// drop the rest, or the shared children lookup would re-walk subtrees once
+// per duplicate (exponential in depth).
+TEST(Aggregate, DuplicateSpanIdsFoldOnce) {
+  std::vector<obs::SpanRecord> spans(3);
+  spans[0].id = 1;
+  spans[0].trace = 1;
+  spans[0].component = "scheduler";
+  spans[0].name = "job";
+  spans[0].start_us = 0;
+  spans[0].end_us = 100;
+  spans[1] = spans[0];  // same id from another tracer's buffer
+  spans[1].component = "mirror";
+  spans[1].name = "frame";
+  spans[2].id = 2;
+  spans[2].parent = 1;
+  spans[2].trace = 1;
+  spans[2].component = "net";
+  spans[2].name = "flow";
+  spans[2].start_us = 10;
+  spans[2].end_us = 40;
+  const obs::FlameNode forest = obs::build_flame(spans);
+  const obs::FlameNode* job = forest.find("scheduler", "job");
+  ASSERT_NE(job, nullptr);
+  EXPECT_EQ(job->count, 1u);
+  const obs::FlameNode* flow = job->find("net", "flow");
+  ASSERT_NE(flow, nullptr);
+  EXPECT_EQ(flow->count, 1u) << "the child folds once, not once per duplicate";
+  EXPECT_EQ(forest.find("mirror", "frame"), nullptr)
+      << "the duplicate id's record is dropped, not folded as a second root";
+}
+
+// Weighted spans scale both count and duration: one kept span standing for
+// three sampled siblings contributes three spans' worth to the flame.
+TEST(Aggregate, FlameScalesByWeight) {
+  std::vector<obs::SpanRecord> spans(1);
+  spans[0].id = 1;
+  spans[0].trace = 1;
+  spans[0].component = "mirror";
+  spans[0].name = "frame";
+  spans[0].start_us = 0;
+  spans[0].end_us = 10;
+  spans[0].weight = 3;
+  const obs::FlameNode forest = obs::build_flame(spans);
+  const obs::FlameNode* node = forest.find("mirror", "frame");
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->count, 3u);
+  EXPECT_EQ(node->total_us, 30);
+  EXPECT_EQ(node->self_us, 30);
+}
+
+TEST(Aggregate, SegmentMappingCoversEveryComponent) {
+  const auto seg = [](const char* component, const char* name) {
+    obs::SpanRecord s;
+    s.component = component;
+    s.name = name;
+    return obs::segment_of(s);
+  };
+  EXPECT_EQ(seg("scheduler", "job"), obs::PathSegment::kQueueWait);
+  EXPECT_EQ(seg("scheduler", "run_job"), obs::PathSegment::kDispatch);
+  EXPECT_EQ(seg("net", "flow"), obs::PathSegment::kNetwork);
+  EXPECT_EQ(seg("net", "vpn_connect"), obs::PathSegment::kNetwork);
+  EXPECT_EQ(seg("api", "start_monitor"), obs::PathSegment::kCapture);
+  EXPECT_EQ(seg("monsoon", "synth_block"), obs::PathSegment::kCapture);
+  EXPECT_EQ(seg("store", "append_capture"), obs::PathSegment::kStore);
+  EXPECT_EQ(seg("mirror", "session"), obs::PathSegment::kMirror);
+  EXPECT_EQ(seg("novel", "thing"), obs::PathSegment::kOther);
+  EXPECT_STREQ(obs::path_segment_name(obs::PathSegment::kQueueWait),
+               "queue_wait");
+  EXPECT_STREQ(obs::path_segment_name(obs::PathSegment::kOther), "other");
+}
+
+// The partition contract: every microsecond of the root interval lands in
+// exactly one segment, deepest-span-wins, so the segment sums equal the
+// root duration no matter how children overlap or leave gaps.
+TEST(Aggregate, CriticalPathPartitionsTheRootInterval) {
+  std::int64_t now_us = 0;
+  obs::Tracer tracer{[&] { return now_us; }};
+  const std::uint64_t root = tracer.begin_detached("scheduler", "job");
+  tracer.set_attr(root, "job", std::string_view{"job-1"});
+  const obs::TraceContext ctx = tracer.context_of(root);
+  now_us = 100;  // 0..100: queue wait (root self time)
+  const std::uint64_t run = tracer.begin_detached("scheduler", "run_job",
+                                                  ctx);
+  now_us = 150;
+  const std::uint64_t api = tracer.begin_detached("api", "start_monitor",
+                                                  tracer.context_of(run));
+  now_us = 250;
+  tracer.end(api);  // 150..250 capture, nested inside dispatch
+  now_us = 300;
+  tracer.end(run);  // 100..300 dispatch minus the api slice
+  const std::uint64_t flow = tracer.begin_detached("net", "flow", ctx);
+  now_us = 500;
+  tracer.end(flow);  // 300..500 network
+  now_us = 600;
+  tracer.end(root);  // 500..600 idles back in queue_wait
+
+  const auto paths = obs::critical_paths(tracer.spans());
+  ASSERT_EQ(paths.size(), 1u);
+  const obs::CriticalPath& cp = paths[0];
+  EXPECT_EQ(cp.job, "job-1");
+  EXPECT_EQ(cp.total_us, 600);
+  EXPECT_EQ(cp.segment(obs::PathSegment::kQueueWait), 200);
+  EXPECT_EQ(cp.segment(obs::PathSegment::kDispatch), 100);
+  EXPECT_EQ(cp.segment(obs::PathSegment::kCapture), 100);
+  EXPECT_EQ(cp.segment(obs::PathSegment::kNetwork), 200);
+  std::int64_t sum = 0;
+  for (std::size_t i = 0; i < obs::kPathSegmentCount; ++i) {
+    sum += cp.segment_us[i];
+  }
+  EXPECT_EQ(sum, cp.total_us) << "attribution must partition the interval";
+}
+
+// Traces without a scheduler/job root (mirror-only work, bare harness
+// spans) carry no job to attribute and are skipped.
+TEST(Aggregate, CriticalPathsSkipNonJobTraces) {
+  std::int64_t now_us = 0;
+  obs::Tracer tracer{[&] { return now_us; }};
+  const std::uint64_t session = tracer.begin_detached("mirror", "session");
+  now_us = 50;
+  tracer.end(session);
+  EXPECT_TRUE(obs::critical_paths(tracer.spans()).empty());
+}
+
+TEST(Aggregate, EncodeFlameJsonShape) {
+  std::int64_t now_us = 0;
+  obs::Tracer tracer{[&] { return now_us; }};
+  const std::uint64_t root = tracer.begin_detached("scheduler", "job");
+  tracer.set_attr(root, "job", std::string_view{"job-1"});
+  now_us = 100;
+  tracer.end(root);
+  const std::string json = obs::encode_flame_json(
+      obs::build_flame(tracer.spans()), obs::critical_paths(tracer.spans()));
+  EXPECT_EQ(json.rfind("{\"flame\":", 0), 0u) << json;
+  EXPECT_NE(json.find("\"critical_paths\":["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"job\":\"job-1\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"queue_wait\":100"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"self_us\":100"), std::string::npos) << json;
 }
 
 // ------------------------------------------------------------ logging ----
