@@ -124,5 +124,38 @@ int main() {
   std::cout << "  node1 $ uptime -> "
             << (uptime.ok() ? uptime.value().output : uptime.error().str())
             << "\n";
+
+  std::cout << "\n== Fleet health: rollups, SLOs, auto-retry (§15) ==\n";
+  show("enable_health", server.enable_health());
+  server.scheduler().set_retry_policy({.max_attempts = 2,
+                                       .backoff = util::Duration::minutes(5),
+                                       .owner_budget = 20});
+  (void)server.schedule_health_evaluations(util::Duration::minutes(2));
+
+  // Take one real measurement so the fleet rollup has something to fold.
+  server::Job measure;
+  measure.name = "admin/health-demo-capture";
+  measure.script = [](server::JobContext& ctx) -> util::Status {
+    if (auto st = ctx.api->power_monitor(); !st.ok()) return st;
+    if (auto st = ctx.api->set_voltage(3.85); !st.ok()) return st;
+    auto cap =
+        ctx.api->run_monitor(ctx.device_serial, util::Duration::seconds(2));
+    return cap.ok() ? util::Status::ok_status() : cap.error();
+  };
+  submit(std::move(measure), "node1", "PHONE-node1");
+  (void)server.run_queue(alice.value());
+  sim.run_for(util::Duration::minutes(10));  // several SLO evaluations
+
+  controller::RestBackend* health = server.health_rest();
+  auto fleet = health->call("rollup", "scope=fleet");
+  std::cout << "  GET /rollup?scope=fleet ->\n    "
+            << (fleet.ok() ? fleet.value() : fleet.error().str()) << "\n";
+  auto status = health->call("health", "");
+  std::cout << "  GET /health ->\n    "
+            << (status.ok() ? status.value() : status.error().str()) << "\n";
+  std::cout << "  overall: "
+            << health::health_state_name(server.slo_engine()->overall())
+            << " after " << server.slo_engine()->evaluations()
+            << " evaluation(s)\n";
   return 0;
 }

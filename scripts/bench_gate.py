@@ -55,7 +55,7 @@ def median_items_per_second(micro):
     return out
 
 
-def collect_current(micro, e2e, store, persist, flame):
+def collect_current(micro, e2e, store, persist, flame, health):
     rates = {}
     for name, value in median_items_per_second(micro).items():
         rates[f"{name}_items_per_s"] = value
@@ -74,6 +74,8 @@ def collect_current(micro, e2e, store, persist, flame):
     ]
     if flame is not None:
         rates["flame_spans_per_s"] = flame["flame_spans_per_s"]
+    if health is not None:
+        rates["rollup_captures_per_s"] = health["rollup_captures_per_s"]
     return rates
 
 
@@ -148,6 +150,11 @@ def main():
         help="flame_aggregate emitter JSON (optional until the analytics "
         "bench exists in the build being gated)",
     )
+    parser.add_argument(
+        "--health",
+        help="health_rollup emitter JSON (optional until the fleet-health "
+        "bench exists in the build being gated)",
+    )
     parser.add_argument("--out", required=True)
     parser.add_argument(
         "--repin",
@@ -191,9 +198,13 @@ def main():
     if args.flame:
         with open(args.flame) as f:
             flame = json.load(f)
+    health = None
+    if args.health:
+        with open(args.health) as f:
+            health = json.load(f)
 
     floor = baseline.get("floor_fraction", 0.7)
-    current = collect_current(micro, e2e, store, persist, flame)
+    current = collect_current(micro, e2e, store, persist, flame, health)
 
     failures = []
     report = []

@@ -15,7 +15,7 @@ BUILD_DIR="${BUILD_DIR:-build-bench}"
 cmake -S . -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target micro_core scenario_e2e store_throughput store_persist \
-           flame_aggregate
+           flame_aggregate health_rollup
 
 "$BUILD_DIR"/bench/micro_core \
   --benchmark_format=json \
@@ -32,6 +32,10 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
 # artifact next to BENCH_core.json for CI to upload.
 "$BUILD_DIR"/bench/flame_aggregate \
   --out="$BUILD_DIR/BENCH_flame.json" > "$BUILD_DIR/bench_flame.json"
+# Fleet-health rollup throughput (the GET /rollup read path); --out archives
+# the BENCH_health.json artifact next to BENCH_core.json for CI to upload.
+"$BUILD_DIR"/bench/health_rollup \
+  --out="$BUILD_DIR/BENCH_health.json" > "$BUILD_DIR/bench_health.json"
 
 # Determinism-window kernel sweep: the same scenario corpus at three sizes,
 # serial and 4-way parallel. Parallel speedup here is only trustworthy
@@ -69,6 +73,7 @@ python3 scripts/bench_gate.py \
   --store "$BUILD_DIR/bench_store.json" \
   --persist "$BUILD_DIR/bench_persist.json" \
   --flame "$BUILD_DIR/bench_flame.json" \
+  --health "$BUILD_DIR/bench_health.json" \
   --out "$BUILD_DIR/BENCH_core.json"
 
 # Telemetry drift gate: the bench corpus is deterministic, so its merged

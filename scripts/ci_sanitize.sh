@@ -22,7 +22,7 @@ cmake -S . -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DBLAB_SANITIZE=ON -DBLAB_FUZZ=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target blab_dst store_test persist_test failure_test obs_test \
-           store_throughput rest_backend_fuzz trace_io_fuzz \
+           health_test store_throughput rest_backend_fuzz trace_io_fuzz \
            store_codec_fuzz novnc_fuzz persist_fuzz
 ctest --test-dir "$BUILD_DIR" -L 'dst|store|obs|fuzz' --output-on-failure
 "$BUILD_DIR"/bench/store_throughput
@@ -39,6 +39,12 @@ ctest --test-dir "$BUILD_DIR" -L 'dst|store|obs|fuzz' --output-on-failure
 # the pooled path here too. (The new aggregation tests ride the obs label in
 # the ctest lane above.)
 "$BUILD_DIR"/tests/blab_dst --jobs=4 --gtest_filter='DstRetry*'
+
+# Fleet-health oracle lane at full width: health-enabled corpus runs with the
+# rollup-accuracy oracle live, GET /rollup and GET /health byte-compared
+# serial vs pooled under the sanitizers. (health_test itself rides the obs
+# label in the ctest lane above.)
+"$BUILD_DIR"/tests/blab_dst --jobs=4 --gtest_filter='DstHealth.*'
 
 # Fuzz smoke: corpus replay + bounded deterministic mutation per harness.
 for target in rest_backend_fuzz trace_io_fuzz store_codec_fuzz novnc_fuzz \

@@ -96,10 +96,12 @@ PowerMonitor::PowerMonitor(sim::Simulator& sim, util::Rng rng, MonsoonSpec spec)
   metrics_.calibrations = &m.counter("blab_monsoon_calibrations_total");
   metrics_.calibration_resets =
       &m.counter("blab_monsoon_calibration_resets_total");
-  // Per-block synthesis spans fire once per 4096 samples — sample them
+  // Per-block synthesis spans fire once per 4096 samples — tail-sample them
   // 1-in-kBlockSampling per trace, with weights keeping the aggregate count
-  // exact against blab_monsoon_synth_blocks_total.
-  sim_.tracer().set_sampling("monsoon", "synth_block", kBlockSampling);
+  // exact against blab_monsoon_synth_blocks_total. Traces whose root runs at
+  // least kTailThresholdUs keep every block span at full fidelity.
+  sim_.tracer().set_tail_sampling("monsoon", "synth_block", kBlockSampling,
+                                  kTailThresholdUs);
 }
 
 void PowerMonitor::reset_calibration() {

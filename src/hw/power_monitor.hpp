@@ -95,9 +95,14 @@ class Capture {
 
 class PowerMonitor {
  public:
-  /// Head-sampling rate for per-block synthesis spans: keep 1 in this many
+  /// Sampling rate for per-block synthesis spans: keep 1 in this many
   /// blocks per trace; weights keep the aggregates exact.
   static constexpr std::uint64_t kBlockSampling = 8;
+  /// Tail-sampling threshold: a trace whose root span runs at least this
+  /// long (sim time) is a slow outlier and keeps every synth_block span at
+  /// full fidelity instead of falling back to 1-in-kBlockSampling. Job
+  /// roots in the DST corpus cluster at 1-3 s; 4 s is past p90.
+  static constexpr std::int64_t kTailThresholdUs = 4'000'000;
 
   PowerMonitor(sim::Simulator& sim, util::Rng rng, MonsoonSpec spec = {});
 

@@ -44,10 +44,13 @@ MirroringSession::MirroringSession(controller::Controller& ctrl,
   metrics_.session_seconds = &m.histogram(
       "blab_mirror_session_seconds", {1.0, 10.0, 60.0, 300.0, 900.0, 3600.0});
   // Frame arrivals are the hottest span family in the tree (one per stream
-  // tick); head-sample them 1-in-kFrameSampling per trace. Kept spans carry
-  // the dropped ones' weight, so weighted frame counts stay exact against
-  // blab_mirror_frames_total (the span-conservation DST oracle checks this).
-  tracer().set_sampling("mirror", "frame", kFrameSampling);
+  // tick); tail-sample them 1-in-kFrameSampling per trace, keeping slow
+  // traces (root >= kFrameTailThresholdUs) at full fidelity. Kept spans
+  // carry the dropped ones' weight, so weighted frame counts stay exact
+  // against blab_mirror_frames_total modulo the undecided pending buffer
+  // (the span-conservation DST oracle checks kept + pending == counter).
+  tracer().set_tail_sampling("mirror", "frame", kFrameSampling,
+                             kFrameTailThresholdUs);
 }
 
 bool MirroringSession::is_ios() const {

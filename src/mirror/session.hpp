@@ -50,10 +50,14 @@ struct MirrorTimings {
 
 inline constexpr int kFrameSinkPort = 27200;
 
-/// Head-sampling rate for per-frame spans: keep 1 in this many frame
-/// arrivals per trace (weights keep the aggregates exact, see
-/// Tracer::set_sampling).
+/// Sampling rate for per-frame spans: keep 1 in this many frame arrivals
+/// per trace (weights keep the aggregates exact, see Tracer::set_sampling).
 inline constexpr std::uint64_t kFrameSampling = 4;
+/// Tail-sampling threshold for frame spans: a trace whose root runs at
+/// least this long (sim time) keeps every frame span at full fidelity (see
+/// Tracer::set_tail_sampling). Job roots in the DST corpus cluster at
+/// 1-3 s; 5 s marks the slow tail (~p95).
+inline constexpr std::int64_t kFrameTailThresholdUs = 5'000'000;
 
 class MirroringSession {
  public:

@@ -1,0 +1,172 @@
+// SloEngine: declarative service-level objectives evaluated over sliding
+// sim-time windows with multi-window burn-rate alerting (DESIGN.md §15).
+//
+// Each SloSpec names a bad/total signal pair drawn from the unsampled
+// MetricsRegistry (counter ratios, or the fraction of histogram
+// observations above a bound), an objective (target good fraction), and two
+// windows. Every evaluation snapshots the registry, appends a cumulative
+// (bad, total) sample to the spec's history, and computes the burn rate —
+// bad_fraction / error_budget — over both windows. An alert fires only when
+// BOTH windows burn (the classic multi-window rule: the long window proves
+// the problem is real, the short window proves it is still happening), at
+// two severities: slow burn (ticket) and fast burn (page).
+//
+// Alert states drive a per-vantage health state machine
+// (healthy/degraded/unhealthy): escalation is immediate, recovery steps
+// down one level only after kRecoveryEvals consecutive clean evaluations.
+// Transitions emit health/slo_transition spans and blab_slo_* metrics; the
+// maintenance tier consults health_of() before scheduling risky work.
+//
+// Deterministic by construction: evaluation consumes no randomness and
+// reads only simulated time plus registry counters, so the health timeline
+// is a pure function of the DST seed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/time.hpp"
+
+namespace blab::obs {
+class Tracer;
+}  // namespace blab::obs
+
+namespace blab::health {
+
+/// One metric series reference: name + exact label set.
+struct SeriesRef {
+  std::string name;
+  obs::Labels labels;
+};
+
+struct SloSignal {
+  enum class Kind : std::uint8_t {
+    /// bad = sum(bad refs), total = sum(total refs); both counters.
+    kCounterRatio = 0,
+    /// total refs name histograms; bad = observations above `above_bound`
+    /// (bucket-resolution: the bound should match a configured boundary).
+    kHistogramAbove = 1,
+  };
+  Kind kind = Kind::kCounterRatio;
+  std::vector<SeriesRef> bad;
+  std::vector<SeriesRef> total;
+  double above_bound = 0.0;
+};
+
+enum class AlertState : std::uint8_t { kOk = 0, kSlowBurn = 1, kFastBurn = 2 };
+const char* alert_state_name(AlertState state);
+
+enum class HealthState : std::uint8_t {
+  kHealthy = 0,
+  kDegraded = 1,
+  kUnhealthy = 2,
+};
+const char* health_state_name(HealthState state);
+
+struct SloSpec {
+  std::string name;     ///< metric/label-safe identifier, e.g. "job-completion"
+  std::string vantage;  ///< "" = fleet-wide; else feeds that vantage's health
+  SloSignal signal;
+  double objective = 0.99;  ///< target good fraction; budget = 1 - objective
+  util::Duration long_window = util::Duration::minutes(30);
+  util::Duration short_window = util::Duration::minutes(5);
+  double fast_burn = 14.0;
+  double slow_burn = 2.0;
+};
+
+struct SloStatus {
+  std::string name;
+  std::string vantage;
+  AlertState state = AlertState::kOk;
+  double burn_long = 0.0;
+  double burn_short = 0.0;
+  double bad_fraction_long = 0.0;
+  std::uint64_t transitions = 0;
+};
+
+struct VantageHealth {
+  std::string vantage;  ///< "fleet" aggregates the fleet-wide specs
+  HealthState state = HealthState::kHealthy;
+  std::uint64_t transitions = 0;
+};
+
+class SloEngine {
+ public:
+  /// Consecutive clean evaluations required to step health down one level.
+  static constexpr std::uint64_t kRecoveryEvals = 3;
+
+  /// The registry is both the signal source (snapshot per evaluation) and
+  /// the sink for blab_slo_* / blab_health_* instruments. The tracer (may
+  /// be null) receives transition spans.
+  explicit SloEngine(obs::MetricsRegistry& registry,
+                     obs::Tracer* tracer = nullptr);
+
+  void add_spec(SloSpec spec);
+  std::size_t spec_count() const { return specs_.size(); }
+
+  /// Evaluate every spec against a fresh registry snapshot at `now`.
+  void evaluate(util::TimePoint now);
+
+  std::uint64_t evaluations() const { return evaluations_; }
+  std::vector<SloStatus> statuses() const;
+  /// Health of one vantage ("fleet" for the fleet-wide bucket); unknown
+  /// vantages are healthy.
+  HealthState health_of(const std::string& vantage) const;
+  /// Worst state across every tracked vantage — what maintenance consults.
+  HealthState overall() const;
+  std::vector<VantageHealth> vantages() const;  ///< ascending by name
+
+ private:
+  struct WindowSample {
+    util::TimePoint t;
+    double bad = 0.0;
+    double total = 0.0;
+  };
+  struct SpecState {
+    SloSpec spec;
+    SloStatus status;
+    std::deque<WindowSample> history;  ///< pruned to long_window
+    obs::Gauge* state_gauge = nullptr;
+    obs::Gauge* burn_long_gauge = nullptr;
+    obs::Gauge* burn_short_gauge = nullptr;
+  };
+  struct VantageState {
+    VantageHealth health;
+    std::uint64_t clean_evals = 0;
+    obs::Gauge* gauge = nullptr;
+  };
+
+  static WindowSample sample_signal(const SloSignal& signal,
+                                    const obs::MetricsSnapshot& snap,
+                                    util::TimePoint now);
+  /// (bad, total) delta over [now - window, now]; burn rate per the spec.
+  double burn_over(const SpecState& st, util::TimePoint now,
+                   util::Duration window, double* bad_fraction) const;
+  void transition_spec(SpecState& st, AlertState next);
+  void evaluate_vantage(const std::string& vantage, AlertState worst);
+  VantageState& vantage_state(const std::string& vantage);
+
+  obs::MetricsRegistry& registry_;
+  obs::Tracer* tracer_;
+  std::vector<SpecState> specs_;
+  // std::map keeps /health vantage ordering deterministic.
+  std::map<std::string, VantageState> vantages_;
+  std::uint64_t evaluations_ = 0;
+};
+
+/// Deterministic JSON for GET /health: overall state, per-vantage states,
+/// per-SLO burn rates. Byte-identical for identical engine state.
+std::string encode_health_json(const SloEngine& engine);
+
+/// The stock BatteryLab SLO set: job completion rate, queue-wait p99,
+/// capture clamp rate, plus a per-vantage job error rate for each label in
+/// `vantages` (fed by blab_scheduler_node_jobs_*_total).
+std::vector<SloSpec> default_slo_specs(
+    const std::vector<std::string>& vantages);
+
+}  // namespace blab::health

@@ -56,6 +56,14 @@ void Tracer::set_sampling(std::string_view component, std::string_view name,
   const std::size_t idx = policy_index(component, name);
   if (keep_one_in <= 1) {
     if (idx != static_cast<std::size_t>(-1)) {
+      // Policy indices shift on erase, so undecided tail buffers (keyed by
+      // index) must drain first. Flushing at full fidelity loses no weight;
+      // this is a config-time operation, not a hot path.
+      while (!tail_pending_.empty()) {
+        const auto key = tail_pending_.begin()->first;
+        flush_tail_pending(key.first, key.second, /*keep_all=*/true);
+      }
+      tail_decisions_.clear();
       policies_.erase(policies_.begin() + static_cast<std::ptrdiff_t>(idx));
       // Family state keys are policy indices; rebuilding them after an
       // erase is not worth it for a config-time operation — drop them all.
@@ -64,11 +72,32 @@ void Tracer::set_sampling(std::string_view component, std::string_view name,
     return;
   }
   if (idx != static_cast<std::size_t>(-1)) {
+    // Switching a tail family back to head mode strands its undecided
+    // buffer; flush it at full fidelity before changing the policy.
+    std::vector<std::uint64_t> traces;
+    for (const auto& [key, pending] : tail_pending_) {
+      if (key.first == idx && !pending.empty()) traces.push_back(key.second);
+    }
+    for (const std::uint64_t trace : traces) {
+      flush_tail_pending(idx, trace, /*keep_all=*/true);
+    }
     policies_[idx].keep_one_in = keep_one_in;
+    policies_[idx].tail_threshold_us = 0;
     return;
   }
   policies_.push_back(
       SamplingPolicy{std::string{component}, std::string{name}, keep_one_in});
+}
+
+void Tracer::set_tail_sampling(std::string_view component,
+                               std::string_view name,
+                               std::uint64_t keep_one_in,
+                               std::int64_t tail_threshold_us) {
+  set_sampling(component, name, keep_one_in);
+  const std::size_t idx = policy_index(component, name);
+  if (idx != static_cast<std::size_t>(-1) && tail_threshold_us > 0) {
+    policies_[idx].tail_threshold_us = tail_threshold_us;
+  }
 }
 
 SpanRecord Tracer::make_record(std::string_view component,
@@ -91,9 +120,12 @@ SpanRecord Tracer::make_record(std::string_view component,
   rec.start_us = clock_();
   // Head-based sampling decision, made at begin time so the policy is
   // independent of how long the span stays open: the first span of each
-  // (family, trace) is always kept, then 1 in keep_one_in.
+  // (family, trace) is always kept, then 1 in keep_one_in. Tail-mode
+  // families defer the decision to finish_record (the head counter then
+  // only advances for spans that actually fall back to head sampling).
   const std::size_t fam = policy_index(component, name);
-  if (fam != static_cast<std::size_t>(-1)) {
+  if (fam != static_cast<std::size_t>(-1) &&
+      policies_[fam].tail_threshold_us <= 0) {
     FamilyState& st = family_state_[{fam, rec.trace}];
     if (st.count % policies_[fam].keep_one_in != 0) rec.weight = 0;
     ++st.count;
@@ -120,6 +152,12 @@ std::uint64_t Tracer::begin_detached(std::string_view component,
 
 void Tracer::finish_record(SpanRecord&& record, std::int64_t now) {
   record.end_us = now;
+  // A trace root ending is the tail-sampling decision point: resolve the
+  // trace's pending buffers BEFORE committing the root, so kept children
+  // precede their root in finish order.
+  if (record.parent == 0) {
+    resolve_tail(record.trace, record.end_us - record.start_us);
+  }
   const std::size_t fam = policy_index(record.component, record.name);
   if (record.weight == 0) {
     // Sampled out at begin time: never buffered. Its unit of weight moves
@@ -136,6 +174,35 @@ void Tracer::finish_record(SpanRecord&& record, std::int64_t now) {
     }
     return;
   }
+  if (fam != static_cast<std::size_t>(-1) &&
+      policies_[fam].tail_threshold_us > 0) {
+    const auto dec = tail_decisions_.find(record.trace);
+    if (dec == tail_decisions_.end()) {
+      // Root still open: buffer, undecided. A runaway trace flushes its
+      // prefix through head sampling rather than growing without bound.
+      const std::pair<std::size_t, std::uint64_t> key{fam, record.trace};
+      const auto pending = tail_pending_.find(key);
+      if (pending != tail_pending_.end() &&
+          pending->second.size() >= kMaxTailPendingPerTrace) {
+        ++tail_overflows_;
+        flush_tail_pending(fam, record.trace, /*keep_all=*/false);
+      }
+      tail_pending_[key].push_back(std::move(record));
+      ++tail_pending_total_;
+      return;
+    }
+    // Straggler: finished after the root's decision — apply it directly.
+    if (dec->second.root_duration_us >= policies_[fam].tail_threshold_us) {
+      commit_record(std::move(record), fam);
+    } else {
+      head_decide(std::move(record), fam);
+    }
+    return;
+  }
+  commit_record(std::move(record), fam);
+}
+
+void Tracer::commit_record(SpanRecord&& record, std::size_t fam) {
   if (finished_.size() >= max_spans_) {
     ++dropped_;
     return;
@@ -156,6 +223,79 @@ void Tracer::finish_record(SpanRecord&& record, std::int64_t now) {
     st.has_kept = true;
   }
   finished_.push_back(std::move(record));
+}
+
+void Tracer::drop_record(const SpanRecord& record, std::size_t fam) {
+  ++sampled_out_;
+  const auto st = fam == static_cast<std::size_t>(-1)
+                      ? family_state_.end()
+                      : family_state_.find({fam, record.trace});
+  if (st != family_state_.end() && st->second.has_kept) {
+    finished_[st->second.last_kept].weight += record.weight;
+  } else {
+    weight_uncredited_ += record.weight;
+  }
+}
+
+void Tracer::head_decide(SpanRecord&& record, std::size_t fam) {
+  FamilyState& st = family_state_[{fam, record.trace}];
+  const bool keep = st.count % policies_[fam].keep_one_in == 0;
+  ++st.count;
+  if (keep) {
+    commit_record(std::move(record), fam);
+  } else {
+    drop_record(record, fam);
+  }
+}
+
+void Tracer::resolve_tail(std::uint64_t trace, std::int64_t root_duration_us) {
+  bool any_tail = false;
+  for (const SamplingPolicy& p : policies_) {
+    if (p.tail_threshold_us > 0) {
+      any_tail = true;
+      break;
+    }
+  }
+  if (!any_tail) return;
+  tail_decisions_[trace] = TailDecision{root_duration_us};
+  bool slow = false;
+  for (std::size_t fam = 0; fam < policies_.size(); ++fam) {
+    if (policies_[fam].tail_threshold_us <= 0) continue;
+    const auto it = tail_pending_.find({fam, trace});
+    if (it == tail_pending_.end() || it->second.empty()) continue;
+    const bool keep_all =
+        root_duration_us >= policies_[fam].tail_threshold_us;
+    slow = slow || keep_all;
+    flush_tail_pending(fam, trace, keep_all);
+  }
+  if (slow) ++tail_slow_traces_;
+}
+
+void Tracer::flush_tail_pending(std::size_t fam, std::uint64_t trace,
+                                bool keep_all) {
+  const auto it = tail_pending_.find({fam, trace});
+  if (it == tail_pending_.end()) return;
+  std::vector<SpanRecord> pending = std::move(it->second);
+  tail_pending_.erase(it);
+  tail_pending_total_ -= pending.size();
+  for (SpanRecord& rec : pending) {
+    if (keep_all) {
+      commit_record(std::move(rec), fam);
+    } else {
+      head_decide(std::move(rec), fam);
+    }
+  }
+}
+
+std::uint64_t Tracer::tail_pending(std::string_view component,
+                                   std::string_view name) const {
+  const std::size_t fam = policy_index(component, name);
+  if (fam == static_cast<std::size_t>(-1)) return 0;
+  std::uint64_t n = 0;
+  for (const auto& [key, pending] : tail_pending_) {
+    if (key.first == fam) n += pending.size();
+  }
+  return n;
 }
 
 void Tracer::end(std::uint64_t id) {
@@ -309,6 +449,11 @@ void Tracer::clear() {
   finished_.clear();
   trace_index_.clear();
   family_state_.clear();  // policies survive: they are configuration
+  tail_pending_.clear();
+  tail_decisions_.clear();
+  tail_pending_total_ = 0;
+  tail_slow_traces_ = 0;
+  tail_overflows_ = 0;
   dropped_ = 0;
   end_mismatches_ = 0;
   index_dropped_ = 0;

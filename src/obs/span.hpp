@@ -107,6 +107,11 @@ class Tracer {
   /// max_spans). Traces past the cap still record spans, just unindexed.
   static constexpr std::size_t kMaxIndexedTraces = 1024;
   static constexpr std::size_t kMaxIndexedSpansPerTrace = 4096;
+  /// Bound on one family's undecided tail-sampling buffer per trace; on
+  /// overflow the buffered prefix is flushed through head sampling (so a
+  /// runaway trace cannot hold unbounded spans hostage) and buffering
+  /// resumes for the remainder.
+  static constexpr std::size_t kMaxTailPendingPerTrace = 4096;
 
   /// `clock` returns the current simulated time in microseconds.
   explicit Tracer(std::function<std::int64_t()> clock,
@@ -157,6 +162,23 @@ class Tracer {
   void set_sampling(std::string_view component, std::string_view name,
                     std::uint64_t keep_one_in);
 
+  /// Tail-based sampling: like set_sampling, but the keep/drop decision for
+  /// each trace is deferred until its root span ends. Finished spans of the
+  /// family buffer as *pending* until then; if the root's duration is at
+  /// least `tail_threshold_us` the whole trace is a slow outlier and every
+  /// pending span commits at weight 1 (full fidelity), otherwise the
+  /// pending buffer falls back to head sampling (keep 1 in `keep_one_in`,
+  /// drops credit the last kept sibling). Spans of the family that finish
+  /// after the root carry the same decision. Everything is driven by sim
+  /// time, so the decision is deterministic and replay-stable. Conservation
+  /// contract: sum-of-weights over kept spans plus tail_pending() of the
+  /// family equals the exact span count at every instant.
+  /// `keep_one_in <= 1` removes the policy; `tail_threshold_us <= 0`
+  /// degenerates to plain head sampling.
+  void set_tail_sampling(std::string_view component, std::string_view name,
+                         std::uint64_t keep_one_in,
+                         std::int64_t tail_threshold_us);
+
   const std::vector<SpanRecord>& spans() const { return finished_; }
   std::size_t open_depth() const { return open_.size(); }
   /// Open spans including detached ones.
@@ -172,6 +194,18 @@ class Tracer {
   /// means weighted aggregates undercount by exactly this much.
   std::uint64_t weight_uncredited() const { return weight_uncredited_; }
   std::uint64_t links_added() const { return links_added_; }
+
+  /// Spans of tail-sampled families whose trace root has not ended yet:
+  /// buffered, undecided, each still carrying its own unit of weight.
+  /// Totalled over all families, or for one family.
+  std::uint64_t tail_pending() const { return tail_pending_total_; }
+  std::uint64_t tail_pending(std::string_view component,
+                             std::string_view name) const;
+  /// Traces decided as slow outliers (kept at full fidelity) so far.
+  std::uint64_t tail_slow_traces() const { return tail_slow_traces_; }
+  /// Times a (family, trace) pending buffer hit kMaxTailPendingPerTrace and
+  /// its prefix was flushed through head sampling before the root ended.
+  std::uint64_t tail_overflows() const { return tail_overflows_; }
 
   /// All trace ids with at least one finished, indexed span (ascending).
   std::vector<std::uint64_t> trace_ids() const;
@@ -201,6 +235,9 @@ class Tracer {
     std::string component;
     std::string name;
     std::uint64_t keep_one_in = 1;
+    /// > 0 switches the family to tail mode: per-trace keep/drop decisions
+    /// wait for the trace root and compare its duration to this threshold.
+    std::int64_t tail_threshold_us = 0;
   };
   /// Per-(policy, trace) sampling state.
   struct FamilyState {
@@ -208,10 +245,28 @@ class Tracer {
     std::uint32_t last_kept = 0;   ///< index into finished_ of the last kept
     bool has_kept = false;
   };
+  /// Per-trace tail decision input, recorded when the trace root ends, so
+  /// spans of tail families that finish later follow the same policy. The
+  /// root duration (not a bool) is stored because each family compares it
+  /// against its own threshold.
+  struct TailDecision {
+    std::int64_t root_duration_us = 0;
+  };
 
   SpanRecord make_record(std::string_view component, std::string_view name,
                          TraceContext ctx, bool inherit_stack);
   void finish_record(SpanRecord&& record, std::int64_t now);
+  /// Buffer-commit half of finish_record: index + family bookkeeping.
+  void commit_record(SpanRecord&& record, std::size_t fam);
+  /// Discard a span under head sampling, crediting its weight.
+  void drop_record(const SpanRecord& record, std::size_t fam);
+  /// Run `record` through the head-sampling counter of its family+trace.
+  void head_decide(SpanRecord&& record, std::size_t fam);
+  /// Root of `trace` just ended with this duration: decide every tail
+  /// family's pending buffer for the trace and flush it into finished_.
+  void resolve_tail(std::uint64_t trace, std::int64_t root_duration_us);
+  /// Flush one (family, trace) pending buffer under a known decision.
+  void flush_tail_pending(std::size_t fam, std::uint64_t trace, bool keep_all);
   SpanRecord* find_open(std::uint64_t id);
   /// Index into policies_ for this family, or npos.
   std::size_t policy_index(std::string_view component,
@@ -227,8 +282,17 @@ class Tracer {
   std::uint64_t sampled_out_ = 0;
   std::uint64_t weight_uncredited_ = 0;
   std::uint64_t links_added_ = 0;
+  std::uint64_t tail_pending_total_ = 0;
+  std::uint64_t tail_slow_traces_ = 0;
+  std::uint64_t tail_overflows_ = 0;
   std::vector<SamplingPolicy> policies_;
   std::map<std::pair<std::size_t, std::uint64_t>, FamilyState> family_state_;
+  /// (policy, trace) -> finished-but-undecided tail spans, in finish order.
+  std::map<std::pair<std::size_t, std::uint64_t>, std::vector<SpanRecord>>
+      tail_pending_;
+  /// trace -> tail decision once its root has ended (or overflow forced
+  /// head mode); absent means undecided.
+  std::map<std::uint64_t, TailDecision> tail_decisions_;
   std::vector<Open> open_;
   std::map<std::uint64_t, SpanRecord> detached_;
   std::vector<SpanRecord> finished_;

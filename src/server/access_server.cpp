@@ -1,8 +1,11 @@
 #include "server/access_server.hpp"
 
+#include "device/device.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "server/maintenance.hpp"
 #include "util/logging.hpp"
+#include "util/parse.hpp"
 
 namespace blab::server {
 
@@ -52,6 +55,111 @@ util::Status AccessServer::enable_persistence(
                                       << persist_->shard_count()
                                       << " shard(s)");
   return util::Status::ok_status();
+}
+
+health::CaptureContext AccessServer::resolve_capture_context(
+    const std::string& workspace) {
+  health::CaptureContext ctx;
+  for (const Job* job : scheduler_.all_jobs()) {
+    if (job->id.str() != workspace) continue;
+    ctx.vantage = job->assigned_node;
+    ctx.owner = job->owner;
+    if (!job->assigned_device.empty()) {
+      api::VantagePoint* vp = registry_.vantage_point(job->assigned_node);
+      auto* dev =
+          vp == nullptr ? nullptr : vp->find_device(job->assigned_device);
+      if (dev != nullptr) {
+        ctx.device_class =
+            std::string{device::platform_name(dev->spec().platform)} + "-" +
+            device::device_class_name(dev->spec().device_class);
+      }
+    }
+    break;
+  }
+  return ctx;
+}
+
+util::Status AccessServer::enable_health() {
+  if (slo_ != nullptr) {
+    return util::make_error(util::ErrorCode::kAlreadyExists,
+                            "health engine already enabled");
+  }
+  rollup_ = std::make_unique<health::RollupEngine>(capture_store_);
+  rollup_->attach_metrics(&sim_.metrics());
+  rollup_->set_context_resolver([this](const std::string& workspace) {
+    return resolve_capture_context(workspace);
+  });
+
+  slo_ = std::make_unique<health::SloEngine>(sim_.metrics(), &sim_.tracer());
+  for (health::SloSpec& spec :
+       health::default_slo_specs(registry_.approved_labels())) {
+    slo_->add_spec(std::move(spec));
+  }
+
+  health_rest_ =
+      std::make_unique<controller::RestBackend>(net_, host_, kHealthPort);
+  health_rest_->register_endpoint(
+      "rollup",
+      [this](const std::string& query) -> util::Result<std::string> {
+        const auto params = controller::parse_query(query);
+        auto scope = health::RollupScope::kFleet;
+        if (const auto it = params.find("scope"); it != params.end()) {
+          const auto parsed = health::parse_rollup_scope(it->second);
+          if (!parsed.has_value()) {
+            return util::make_error(util::ErrorCode::kInvalidArgument,
+                                    "scope must be fleet, job or vantage");
+          }
+          scope = *parsed;
+        }
+        auto t0 = util::TimePoint::epoch();
+        auto t1 = util::TimePoint::max();
+        if (const auto it = params.find("t0_us"); it != params.end()) {
+          const auto us = util::parse_u64(it->second);
+          if (!us.has_value()) {
+            return util::make_error(util::ErrorCode::kInvalidArgument,
+                                    "t0_us must be unsigned microseconds");
+          }
+          t0 = util::TimePoint::from_micros(static_cast<std::int64_t>(*us));
+        }
+        if (const auto it = params.find("t1_us"); it != params.end()) {
+          const auto us = util::parse_u64(it->second);
+          if (!us.has_value()) {
+            return util::make_error(util::ErrorCode::kInvalidArgument,
+                                    "t1_us must be unsigned microseconds");
+          }
+          t1 = util::TimePoint::from_micros(static_cast<std::int64_t>(*us));
+        }
+        return health::encode_rollup_json(rollup_->compute(scope, t0, t1));
+      });
+  health_rest_->register_endpoint(
+      "health", [this](const std::string&) -> util::Result<std::string> {
+        return health::encode_health_json(*slo_);
+      });
+
+  BLAB_INFO("access-server", "health engine enabled: "
+                                 << slo_->spec_count() << " SLO spec(s), "
+                                 << "REST on port " << kHealthPort);
+  return util::Status::ok_status();
+}
+
+util::Result<std::size_t> AccessServer::schedule_persist_checkpoints(
+    util::Duration period) {
+  if (persist_ == nullptr) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "persistence not enabled");
+  }
+  return schedule_recurring([this] { return make_persist_checkpoint_job(*this); },
+                            period);
+}
+
+util::Result<std::size_t> AccessServer::schedule_health_evaluations(
+    util::Duration period) {
+  if (slo_ == nullptr) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "health engine not enabled");
+  }
+  return schedule_recurring(
+      [this] { return make_health_evaluation_job(*this); }, period);
 }
 
 util::Status AccessServer::onboard_vantage_point(

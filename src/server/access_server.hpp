@@ -12,9 +12,12 @@
 #include <optional>
 #include <string>
 
+#include "controller/rest_backend.hpp"
 #include "net/dns.hpp"
 #include "net/network.hpp"
 #include "net/ssh.hpp"
+#include "obs/health/rollup.hpp"
+#include "obs/health/slo.hpp"
 #include "sim/periodic.hpp"
 #include "server/auth.hpp"
 #include "server/certs.hpp"
@@ -59,6 +62,29 @@ class AccessServer {
                                   store::persist::PersistOptions options = {});
   bool persistence_enabled() const { return persist_ != nullptr; }
   store::persist::PersistEngine* persist_engine() { return persist_.get(); }
+
+  /// Port of the fleet-health REST surface (GET /rollup, GET /health).
+  static constexpr int kHealthPort = 8090;
+
+  /// Turn on the fleet health engine (DESIGN.md §15): a rollup engine over
+  /// the capture store's merged warm+cold catalog, an SLO engine seeded
+  /// with the stock spec set plus one error-rate SLO per vantage point
+  /// approved so far, and a REST backend on kHealthPort serving GET /rollup
+  /// and GET /health. Call after onboarding so every vantage is covered.
+  util::Status enable_health();
+  bool health_enabled() const { return slo_ != nullptr; }
+  health::RollupEngine* rollup_engine() { return rollup_.get(); }
+  health::SloEngine* slo_engine() { return slo_.get(); }
+  controller::RestBackend* health_rest() { return health_rest_.get(); }
+
+  /// Recurring maintenance helpers: scheduled PersistEngine checkpoints
+  /// (cause=scheduled; requires persistence) and periodic SLO evaluation
+  /// (requires enable_health). Both run as ordinary maintenance jobs, so
+  /// they show up in traces and the job table like any other work.
+  util::Result<std::size_t> schedule_persist_checkpoints(
+      util::Duration period);
+  util::Result<std::size_t> schedule_health_evaluations(
+      util::Duration period);
 
   /// Full onboarding per the §3.4 tutorial: register the node, install the
   /// server's public key and IP whitelist on the controller's sshd, deploy
@@ -111,9 +137,15 @@ class AccessServer {
   CreditLedger credits_;
   TesterPool testers_;
   std::optional<CreditPolicy> credit_policy_;
+  /// Workspace -> vantage/device-class/owner context for rollup grouping.
+  health::CaptureContext resolve_capture_context(const std::string& workspace);
+
   net::SshKeyPair ssh_key_;
   net::SshClient ssh_client_;
   std::vector<std::unique_ptr<sim::PeriodicTask>> recurring_;
+  std::unique_ptr<health::RollupEngine> rollup_;
+  std::unique_ptr<health::SloEngine> slo_;
+  std::unique_ptr<controller::RestBackend> health_rest_;
 };
 
 }  // namespace blab::server

@@ -112,6 +112,13 @@ struct Job {
   JobId retry_of;
   JobId retried_by;
   std::uint32_t attempt = 1;
+  /// Earliest dispatch time; epoch means "immediately". Auto-retries use
+  /// this to defer the next attempt by the retry policy's backoff.
+  util::TimePoint not_before;
+  /// Assignment of the (last) run, recorded at dispatch — the rollup
+  /// engine's workspace -> vantage/device-class context comes from here.
+  std::string assigned_node;
+  std::string assigned_device;
 };
 
 }  // namespace blab::server

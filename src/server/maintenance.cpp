@@ -104,4 +104,54 @@ Job make_capture_retention_job(AccessServer& server) {
   return job;
 }
 
+Job make_persist_checkpoint_job(AccessServer& server) {
+  Job job;
+  job.name = "maintenance/persist-checkpoint";
+  job.constraints.needs_device = false;
+  job.script = [&server](JobContext& ctx) -> util::Status {
+    auto* engine = server.persist_engine();
+    if (engine == nullptr) {
+      ctx.workspace->log("persistence not enabled; nothing to fold");
+      return util::Status::ok_status();
+    }
+    if (server.health_enabled() &&
+        server.slo_engine()->overall() == health::HealthState::kUnhealthy) {
+      ctx.workspace->log("fleet unhealthy; deferring checkpoint");
+      return util::Status::ok_status();
+    }
+    const std::uint64_t flushes_before = engine->stats().segment_flushes;
+    if (auto st =
+            engine->checkpoint(store::persist::CheckpointCause::kScheduled);
+        !st.ok()) {
+      return st;
+    }
+    ctx.workspace->log(
+        "checkpoint folded WALs into " +
+        std::to_string(engine->stats().segment_flushes - flushes_before) +
+        " segment(s); " + std::to_string(engine->size()) +
+        " record(s) on disk");
+    return util::Status::ok_status();
+  };
+  return job;
+}
+
+Job make_health_evaluation_job(AccessServer& server) {
+  Job job;
+  job.name = "maintenance/health-evaluation";
+  job.constraints.needs_device = false;
+  job.script = [&server](JobContext& ctx) -> util::Status {
+    if (!server.health_enabled()) {
+      ctx.workspace->log("health engine not enabled; nothing to evaluate");
+      return util::Status::ok_status();
+    }
+    auto* slo = server.slo_engine();
+    slo->evaluate(server.simulator().now());
+    ctx.workspace->log(
+        "evaluated " + std::to_string(slo->spec_count()) + " SLO spec(s); " +
+        "overall " + health::health_state_name(slo->overall()));
+    return util::Status::ok_status();
+  };
+  return job;
+}
+
 }  // namespace blab::server

@@ -198,13 +198,18 @@ std::size_t Scheduler::dispatch_pending() {
   bool progress = true;
   while (progress) {
     progress = false;
-    for (auto& job_ptr : jobs_) {
-      Job& job = *job_ptr;
+    // Index-based: maybe_auto_retry can push into jobs_ mid-loop, which
+    // would invalidate range-for iterators.
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+      Job& job = *jobs_[i];
       if (job.state != JobState::kQueued || !job.pipeline_approved) continue;
+      if (sim_.now() < job.not_before) continue;  // deferred retry backoff
       if (!owner_can_afford(job)) continue;  // stays queued (§5)
       auto assignment = match(job.constraints);
       if (!assignment.has_value()) continue;
+      const JobId id = job.id;
       run_job(job, *assignment);
+      maybe_auto_retry(id);  // may reallocate jobs_; `job` is dead here
       ++dispatched;
       progress = true;
     }
@@ -212,13 +217,54 @@ std::size_t Scheduler::dispatch_pending() {
   return dispatched;
 }
 
-void Scheduler::note_finished(const Job& job) {
+void Scheduler::note_finished(const Job& job, const Assignment& assignment) {
   metrics_.running->add(-1.0);
   (job.state == JobState::kSucceeded ? metrics_.succeeded : metrics_.failed)
       ->inc();
+  if (job.state == JobState::kFailed) {
+    sim_.metrics()
+        .counter("blab_scheduler_node_jobs_failed_total",
+                 {{"vp", assignment.node_label}})
+        .inc();
+  }
   metrics_.run_duration->observe(
       (job.finished_at - job.started_at).to_seconds(),
       obs::Exemplar{job.trace_id, sim_.now().us()});
+}
+
+void Scheduler::maybe_auto_retry(JobId id) {
+  if (retry_policy_.max_attempts <= 1) return;
+  Job* job = find(id);
+  if (job == nullptr || job->state != JobState::kFailed) return;
+  if (job->retried_by.valid()) return;
+  if (job->attempt >= retry_policy_.max_attempts) return;
+  if (retry_policy_.owner_budget > 0 &&
+      retries_by_owner_[job->owner] >= retry_policy_.owner_budget) {
+    sim_.metrics()
+        .counter("blab_scheduler_retry_budget_exhausted_total",
+                 {{"owner", job->owner}})
+        .inc();
+    BLAB_INFO_KV("scheduler", "retry budget exhausted", {"job", id.str()},
+                 {"owner", job->owner});
+    return;
+  }
+  const std::string owner = job->owner;
+  const std::uint32_t attempt = job->attempt;
+  auto retried = resubmit(id);  // reallocates jobs_; `job` is dead here
+  if (!retried.ok()) return;
+  Job* retry = find(retried.value());
+  retry->not_before =
+      sim_.now() + retry_policy_.backoff * static_cast<double>(attempt);
+  sim_.tracer().set_attr(retry->root_span, "auto_retry",
+                         static_cast<std::int64_t>(1));
+  ++auto_retries_;
+  ++retries_by_owner_[owner];
+  sim_.metrics()
+      .counter("blab_scheduler_auto_retries_total", {{"owner", owner}})
+      .inc();
+  BLAB_INFO_KV("scheduler", "auto-retry queued", {"job", id.str()},
+               {"retry", retried.value().str()},
+               {"not_before", util::to_string(retry->not_before)});
 }
 
 void Scheduler::run_job(Job& job, const Assignment& assignment) {
@@ -242,6 +288,8 @@ void Scheduler::execute_job(Job& job, const Assignment& assignment,
                             std::uint64_t span_id) {
   job.state = JobState::kRunning;
   job.started_at = sim_.now();
+  job.assigned_node = assignment.node_label;
+  job.assigned_device = assignment.device_serial;
   metrics_.dispatched->inc();
   metrics_.queue_depth->add(-1.0);
   metrics_.running->add(1.0);
@@ -277,7 +325,7 @@ void Scheduler::execute_job(Job& job, const Assignment& assignment,
       job.failure_reason = "vpn: " + st.error().str();
       job.finished_at = sim_.now();
       busy_devices_.erase(assignment.device_serial);
-      note_finished(job);
+      note_finished(job, assignment);
       return;
     }
   }
@@ -325,7 +373,7 @@ void Scheduler::execute_job(Job& job, const Assignment& assignment,
     job.failure_reason = result.error().str();
   }
   busy_devices_.erase(assignment.device_serial);
-  note_finished(job);
+  note_finished(job, assignment);
   settle_credits(job, assignment);
   BLAB_INFO_KV("scheduler", "job finished", {"job", job.id.str()},
                {"state", job_state_name(job.state)});

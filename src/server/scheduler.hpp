@@ -10,6 +10,7 @@
 #pragma once
 
 #include <deque>
+#include <map>
 #include <memory>
 #include <unordered_set>
 #include <vector>
@@ -28,6 +29,18 @@ class Histogram;
 }  // namespace blab::obs
 
 namespace blab::server {
+
+/// Budgeted automatic retry of failed jobs (rides the resubmit machinery:
+/// retries keep the retry_of/retried_by lineage and span links).
+struct RetryPolicy {
+  /// Total attempts a job lineage may make; <= 1 disables auto-retry.
+  std::uint32_t max_attempts = 1;
+  /// Attempt n+1 is deferred by backoff * n (linear), via Job::not_before.
+  util::Duration backoff = util::Duration::minutes(5);
+  /// Auto-retries charged against each owner (0 = unlimited); exhaustion
+  /// counts in blab_scheduler_retry_budget_exhausted_total{owner}.
+  std::uint64_t owner_budget = 0;
+};
 
 class Scheduler {
  public:
@@ -66,8 +79,15 @@ class Scheduler {
   /// newest attempt.
   util::Result<JobId> resubmit(JobId id);
 
-  /// Dispatch every queued job whose constraints are satisfiable right now;
-  /// returns the number of jobs run.
+  /// Enable budgeted auto-retry: after a dispatched job fails, the
+  /// scheduler resubmits it (once per attempt, up to the policy's
+  /// max_attempts) with a backoff-deferred not_before.
+  void set_retry_policy(RetryPolicy policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+  std::uint64_t auto_retries() const { return auto_retries_; }
+
+  /// Dispatch every queued job whose constraints are satisfiable right now
+  /// (and whose not_before has passed); returns the number of jobs run.
   std::size_t dispatch_pending();
 
   Job* find(JobId id);
@@ -103,7 +123,11 @@ class Scheduler {
   void run_job(Job& job, const Assignment& assignment);
   void execute_job(Job& job, const Assignment& assignment,
                    std::uint64_t span_id);
-  void note_finished(const Job& job);
+  void note_finished(const Job& job, const Assignment& assignment);
+  /// Auto-retry hook, run after a dispatched job reaches a terminal state.
+  /// May submit (and therefore reallocate jobs_) — callers must not hold
+  /// Job pointers across it.
+  void maybe_auto_retry(JobId id);
 
   sim::Simulator& sim_;
   /// Instruments resolved once against sim_.metrics(); hot paths hit the
@@ -129,6 +153,10 @@ class Scheduler {
   util::IdAllocator<JobTag> ids_;
   std::vector<std::unique_ptr<Job>> jobs_;
   std::unordered_set<std::string> busy_devices_;
+  RetryPolicy retry_policy_{};
+  std::uint64_t auto_retries_ = 0;
+  // std::map: deterministic iteration if this ever feeds an oracle/export.
+  std::map<std::string, std::uint64_t> retries_by_owner_;
 };
 
 }  // namespace blab::server

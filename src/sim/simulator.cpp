@@ -50,7 +50,13 @@ Simulator::Simulator()
         .inc(delta(t.dropped(), published_.trace_dropped));
     m.counter("blab_trace_end_mismatches_total")
         .inc(delta(t.end_mismatches(), published_.trace_end_mismatches));
+    m.counter("blab_trace_tail_slow_traces_total")
+        .inc(delta(t.tail_slow_traces(), published_.trace_tail_slow));
+    m.counter("blab_trace_tail_overflows_total")
+        .inc(delta(t.tail_overflows(), published_.trace_tail_overflows));
     m.gauge("blab_trace_open_spans").set(static_cast<double>(t.open_total()));
+    m.gauge("blab_trace_tail_pending_spans")
+        .set(static_cast<double>(t.tail_pending()));
   });
 }
 

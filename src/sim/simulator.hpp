@@ -229,6 +229,8 @@ class Simulator {
     std::uint64_t trace_links = 0;
     std::uint64_t trace_dropped = 0;
     std::uint64_t trace_end_mismatches = 0;
+    std::uint64_t trace_tail_slow = 0;
+    std::uint64_t trace_tail_overflows = 0;
   };
   PublishedKernelStats published_;
 

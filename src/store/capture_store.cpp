@@ -416,6 +416,52 @@ util::Result<double> CaptureStore::mean_ma(const CaptureId& id) {
   return record->capture.mean_ma();
 }
 
+util::Result<CaptureSummary> CaptureStore::summary(const CaptureId& id) {
+  const Record* record = warm_record(id);
+  if (record == nullptr) return not_found(id);
+  ++stats_.tier_queries;
+  bump(metrics_.tier_queries);
+  const ChunkedCapture& cc = record->capture;
+  CaptureSummary s;
+  s.id = id;
+  s.name = record->name;
+  s.stored_at = record->stored_at;
+  s.start = cc.start();
+  s.duration = cc.duration();
+  s.samples = cc.sample_count();
+  s.sample_hz = cc.sample_hz();
+  s.voltage = cc.voltage();
+  s.mean_ma = cc.mean_ma();
+  s.min_ma = cc.min_ma();
+  s.max_ma = cc.max_ma();
+  s.charge_mah = cc.charge_mah();
+  s.energy_mwh = cc.energy_mwh();
+  return s;
+}
+
+std::vector<CaptureId> CaptureStore::catalog(util::TimePoint t0,
+                                             util::TimePoint t1) const {
+  std::vector<CaptureId> ids;
+  for (const auto& [id, record] : records_) {
+    if (record.stored_at >= t0 && record.stored_at < t1) ids.push_back(id);
+  }
+  if (persist_ != nullptr) {
+    // Warm records are also persisted, so the union is a sorted merge.
+    std::vector<CaptureId> cold;
+    persist_->scan_catalog(
+        t0, t1,
+        [&cold](const persist::PersistEngine::EntryInfo& entry) {
+          cold.push_back(entry.id);
+        });
+    std::vector<CaptureId> merged;
+    std::merge(ids.begin(), ids.end(), cold.begin(), cold.end(),
+               std::back_inserter(merged));
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    return merged;
+  }
+  return ids;
+}
+
 std::size_t CaptureStore::run_retention(util::TimePoint now) {
   std::size_t touched = 0;
   for (auto it = records_.begin(); it != records_.end();) {

@@ -61,6 +61,25 @@ struct RetentionPolicy {
   util::Duration summary_ttl = util::Duration::minutes(240);
 };
 
+/// Footer/tier-level description of one capture — everything the rollup
+/// engine needs, computable without decoding raw chunks (and therefore
+/// still available after the raw tier is purged by retention).
+struct CaptureSummary {
+  CaptureId id;
+  std::string name;
+  util::TimePoint stored_at;  ///< when the record entered the store
+  util::TimePoint start;      ///< capture start (device time)
+  util::Duration duration;
+  std::size_t samples = 0;
+  double sample_hz = 0.0;
+  double voltage = 0.0;
+  double mean_ma = 0.0;
+  double min_ma = 0.0;
+  double max_ma = 0.0;
+  double charge_mah = 0.0;
+  double energy_mwh = 0.0;
+};
+
 struct StoreStats {
   std::uint64_t captures_appended = 0;
   std::uint64_t chunks_written = 0;
@@ -128,6 +147,14 @@ class CaptureStore {
   util::Result<double> energy_mwh(const CaptureId& id);
   /// Mean current in mA, from chunk footers alone.
   util::Result<double> mean_ma(const CaptureId& id);
+  /// Footer-level summary of one capture (cold records load transparently).
+  util::Result<CaptureSummary> summary(const CaptureId& id);
+
+  // -- catalog -----------------------------------------------------------
+  /// Every capture id (warm or cold) whose stored_at falls in [t0, t1),
+  /// ascending — the rollup engine's scan surface. Cold entries come from
+  /// the persist engine's catalog without loading their payloads.
+  std::vector<CaptureId> catalog(util::TimePoint t0, util::TimePoint t1) const;
 
   // -- retention ---------------------------------------------------------
   const RetentionPolicy& policy() const { return policy_; }

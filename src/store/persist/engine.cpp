@@ -155,7 +155,11 @@ void PersistEngine::attach_metrics(obs::MetricsRegistry* registry) {
   metrics_.wal_bytes = &m.counter("blab_persist_wal_bytes_total");
   metrics_.segment_flushes = &m.counter("blab_persist_segment_flushes_total");
   metrics_.segment_bytes = &m.counter("blab_persist_segment_bytes_total");
-  metrics_.checkpoints = &m.counter("blab_persist_checkpoints_total");
+  for (std::size_t c = 0; c < kCheckpointCauses; ++c) {
+    metrics_.checkpoints[c] = &m.counter(
+        "blab_persist_checkpoints_total",
+        {{"cause", checkpoint_cause_name(static_cast<CheckpointCause>(c))}});
+  }
   metrics_.compactions = &m.counter("blab_persist_compactions_total");
   metrics_.compaction_bytes = &m.counter("blab_persist_compaction_bytes_total");
   metrics_.recovered = &m.counter("blab_persist_recovered_records_total");
@@ -168,7 +172,9 @@ void PersistEngine::attach_metrics(obs::MetricsRegistry* registry) {
   bump(metrics_.wal_bytes, stats_.wal_bytes);
   bump(metrics_.segment_flushes, stats_.segment_flushes);
   bump(metrics_.segment_bytes, stats_.segment_bytes);
-  bump(metrics_.checkpoints, stats_.checkpoints);
+  for (std::size_t c = 0; c < kCheckpointCauses; ++c) {
+    bump(metrics_.checkpoints[c], stats_.checkpoints_by_cause[c]);
+  }
   bump(metrics_.compactions, stats_.compactions);
   bump(metrics_.compaction_bytes, stats_.compaction_bytes);
   bump(metrics_.recovered, stats_.recovered_records);
@@ -493,7 +499,9 @@ util::Status PersistEngine::append(const CaptureId& id,
   index_[id] = std::move(entry);
   next_seq_ = std::max(next_seq_, id.seq + 1);
   sync_gauges();
-  if (shard.wal_size > options_.wal_checkpoint_bytes) return checkpoint();
+  if (shard.wal_size > options_.wal_checkpoint_bytes) {
+    return checkpoint(CheckpointCause::kBytes);
+  }
   return util::Status::ok_status();
 }
 
@@ -683,7 +691,17 @@ util::Status PersistEngine::install_manifest() {
                            encode_manifest(manifest));
 }
 
-util::Status PersistEngine::checkpoint() {
+const char* checkpoint_cause_name(CheckpointCause cause) {
+  switch (cause) {
+    case CheckpointCause::kBytes: return "bytes";
+    case CheckpointCause::kScheduled: return "scheduled";
+    case CheckpointCause::kRetention: return "retention";
+    case CheckpointCause::kManual: return "manual";
+  }
+  return "?";
+}
+
+util::Status PersistEngine::checkpoint(CheckpointCause cause) {
   if (!opened_) {
     return util::make_error(util::ErrorCode::kFailedPrecondition,
                             "persist engine not opened");
@@ -742,8 +760,18 @@ util::Status PersistEngine::checkpoint() {
     }
   }
   ++stats_.checkpoints;
-  bump(metrics_.checkpoints);
+  ++stats_.checkpoints_by_cause[static_cast<std::size_t>(cause)];
+  bump(metrics_.checkpoints[static_cast<std::size_t>(cause)]);
   return util::Status::ok_status();
+}
+
+void PersistEngine::scan_catalog(
+    util::TimePoint t0, util::TimePoint t1,
+    const std::function<void(const EntryInfo&)>& fn) const {
+  for (const auto& [id, entry] : index_) {
+    if (entry.stored_at < t0 || entry.stored_at >= t1) continue;
+    fn(EntryInfo{id, entry.name, entry.stored_at, entry.raw_dropped});
+  }
 }
 
 std::uint64_t PersistEngine::run_retention(util::TimePoint now,
@@ -762,7 +790,7 @@ std::uint64_t PersistEngine::run_retention(util::TimePoint now,
   }
   for (const CaptureId& id : erase_ids) (void)note_erase(id);
   for (const CaptureId& id : drop_ids) (void)note_drop_raw(id);
-  if (auto st = checkpoint(); !st.ok()) {
+  if (auto st = checkpoint(CheckpointCause::kRetention); !st.ok()) {
     BLAB_WARN("persist", "retention checkpoint failed: " << st.str());
   }
   const std::uint64_t after = disk_usage_bytes();

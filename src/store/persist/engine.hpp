@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -60,12 +61,26 @@ struct PersistOptions {
   std::size_t wal_checkpoint_bytes = 1u << 20;
 };
 
+/// Why a checkpoint ran: the shard WAL crossed wal_checkpoint_bytes, the
+/// maintenance tier's sim-time cadence fired, retention folded its drops,
+/// or an operator/test asked for one directly. Labels the
+/// blab_persist_checkpoints_total metric.
+enum class CheckpointCause : std::uint8_t {
+  kBytes = 0,
+  kScheduled = 1,
+  kRetention = 2,
+  kManual = 3,
+};
+inline constexpr std::size_t kCheckpointCauses = 4;
+const char* checkpoint_cause_name(CheckpointCause cause);
+
 struct PersistStats {
   std::uint64_t wal_appends = 0;  ///< records journaled (all op kinds)
   std::uint64_t wal_bytes = 0;
   std::uint64_t segment_flushes = 0;  ///< segment files written
   std::uint64_t segment_bytes = 0;
-  std::uint64_t checkpoints = 0;
+  std::uint64_t checkpoints = 0;  ///< total across causes
+  std::uint64_t checkpoints_by_cause[kCheckpointCauses] = {};
   std::uint64_t compactions = 0;  ///< existing segments rewritten
   std::uint64_t compaction_bytes = 0;  ///< bytes of segments rewritten
   std::uint64_t recovered_records = 0;  ///< index entries after open()
@@ -104,8 +119,10 @@ class PersistEngine {
 
   /// Fold every shard's WAL into segments, rewrite segments with pending
   /// drops/erases (LSM-style compaction into the tier streams), install a
-  /// new manifest version, truncate the WALs.
-  util::Status checkpoint();
+  /// new manifest version, truncate the WALs. `cause` labels the checkpoint
+  /// counter so operators can tell byte-pressure checkpoints from the
+  /// maintenance tier's scheduled cadence.
+  util::Status checkpoint(CheckpointCause cause = CheckpointCause::kManual);
 
   /// Apply TTLs to the on-disk copy and compact. Returns bytes reclaimed
   /// (segment + WAL shrinkage).
@@ -123,6 +140,11 @@ class PersistEngine {
   std::optional<EntryInfo> info(const CaptureId& id) const;
   /// All entries, ascending by id.
   std::vector<EntryInfo> entries() const;
+  /// Visit every entry whose stored_at falls in [t0, t1), ascending by id —
+  /// the rollup engine's catalog-iteration surface. Touches only the index,
+  /// never capture payloads.
+  void scan_catalog(util::TimePoint t0, util::TimePoint t1,
+                    const std::function<void(const EntryInfo&)>& fn) const;
   std::vector<CaptureId> list(const std::string& workspace) const;
   std::vector<std::string> workspaces() const;
   /// Materialize one capture from disk (WAL or segment, checksummed).
@@ -171,7 +193,7 @@ class PersistEngine {
     obs::Counter* wal_bytes = nullptr;
     obs::Counter* segment_flushes = nullptr;
     obs::Counter* segment_bytes = nullptr;
-    obs::Counter* checkpoints = nullptr;
+    obs::Counter* checkpoints[kCheckpointCauses] = {};
     obs::Counter* compactions = nullptr;
     obs::Counter* compaction_bytes = nullptr;
     obs::Counter* recovered = nullptr;

@@ -441,6 +441,21 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
     nodes.push_back(std::move(vp));
   }
 
+  if (options.enable_health) {
+    // After onboarding, so the SLO set covers every vantage point. The
+    // recurring evaluation (and, with persistence, checkpoint) jobs ride the
+    // ordinary maintenance pipeline and fold into the digest like any job.
+    if (auto st = server.enable_health(); !st.ok()) {
+      result.violations.push_back(
+          {"health", "enable_health failed: " + st.str()});
+      return result;
+    }
+    (void)server.schedule_health_evaluations(options.health_period);
+    if (server.persistence_enabled()) {
+      (void)server.schedule_persist_checkpoints(options.health_period * 2.0);
+    }
+  }
+
   // ---- users and funding ----------------------------------------------
   std::string admin_token;
   if (auto admin = server.users().register_user("fz-admin",
@@ -543,6 +558,19 @@ ScenarioResult run_scenario(const ScenarioSpec& spec,
   result.metrics_text = obs::encode_prometheus(result.metrics);
   result.spans = sim.tracer().spans();
   result.trace_json = obs::encode_trace_json(result.spans);
+  if (server.health_enabled()) {
+    // Capture the REST bodies through the real endpoint handlers, so the
+    // serial-vs-pooled byte-identity check covers the whole query path.
+    controller::RestBackend* rest = server.health_rest();
+    const auto grab = [&](const char* endpoint, const std::string& query) {
+      auto body = rest->call(endpoint, query);
+      return body.ok() ? body.value() : "error: " + body.error().str();
+    };
+    result.rollup_fleet_json = grab("rollup", "scope=fleet");
+    result.rollup_job_json = grab("rollup", "scope=job");
+    result.rollup_vantage_json = grab("rollup", "scope=vantage");
+    result.health_json = grab("health", "");
+  }
   result.digest = recorder.digest();
   result.digest_hex = recorder.digest_hex();
   result.trace = recorder.events();

@@ -49,6 +49,14 @@ struct ScenarioResult {
   /// runs of the same seed must produce byte-identical `trace_json`.
   std::vector<obs::SpanRecord> spans;
   std::string trace_json;
+  /// Fleet-health REST bodies captured at scenario end when
+  /// RunOptions::enable_health was set (empty otherwise): GET /rollup for
+  /// each scope plus GET /health. Same contract as metrics_text — NOT in the
+  /// digest, but serial and pooled runs must be byte-identical.
+  std::string rollup_fleet_json;
+  std::string rollup_job_json;
+  std::string rollup_vantage_json;
+  std::string health_json;
 
   bool ok() const { return violations.empty(); }
   /// Failure-message payload: the seed plus every oracle finding.
@@ -82,6 +90,17 @@ struct RunOptions {
   /// only cover runs without it.
   bool retry_failed_jobs = false;
   std::uint32_t max_attempts = 2;
+  /// Turn on the fleet health engine after onboarding: GET /rollup and
+  /// GET /health become live, a recurring maintenance job evaluates every
+  /// SLO each `health_period`, and (when persistence is on) scheduled
+  /// checkpoints fold WALs at twice that cadence. The recurring jobs change
+  /// the event stream, so the pinned golden digests only cover runs without
+  /// it; the rollup-accuracy oracle only runs with it.
+  bool enable_health = false;
+  /// Sim-time cadence of the health-evaluation maintenance job. Scenario
+  /// horizons are tens of simulated seconds (3-6 steps of 2-5 s), so the
+  /// default is short enough that every scenario gets several evaluations.
+  util::Duration health_period = util::Duration::seconds(2);
 };
 
 /// Run one fully-specified scenario through a fresh deployment.

@@ -517,9 +517,11 @@ class SpanConservationOracle : public InvariantOracle {
   void check(const OracleContext& ctx,
              std::vector<OracleFinding>& out) override {
     // Weighted span aggregates must be EXACT: for every sampled family the
-    // sum of kept-span weights equals the unsampled counter in the metrics
+    // sum of kept-span weights PLUS the spans still awaiting their trace's
+    // tail-sampling decision equals the unsampled counter in the metrics
     // registry, at every step boundary. A sampled-out span may never reach
-    // the buffer (its weight rides on a kept sibling instead).
+    // the buffer (its weight rides on a kept sibling instead); an undecided
+    // span sits in the tail buffer at weight 1 until its root closes.
     const obs::Tracer& tracer = ctx.sim->tracer();
     std::uint64_t frames = 0;
     std::uint64_t blocks = 0;
@@ -535,9 +537,13 @@ class SpanConservationOracle : public InvariantOracle {
       }
     }
     // Once the buffer cap has dropped spans (or a credit had no kept span
-    // left to land on) the buffer no longer covers the full history and
-    // exact conservation is unprovable from it.
-    if (tracer.dropped() > 0 || tracer.weight_uncredited() > 0) return;
+    // left to land on, or a runaway trace overflowed its tail buffer) the
+    // buffer no longer covers the full history and exact conservation is
+    // unprovable from it.
+    if (tracer.dropped() > 0 || tracer.weight_uncredited() > 0 ||
+        tracer.tail_overflows() > 0) {
+      return;
+    }
     const obs::MetricsSnapshot snap = ctx.sim->metrics().snapshot();
     const auto expect = [&](const char* family, std::uint64_t weighted,
                             const char* metric) {
@@ -548,8 +554,123 @@ class SpanConservationOracle : public InvariantOracle {
                                    " " + util::format_double(counted, 0)});
       }
     };
-    expect("mirror/frame", frames, "blab_mirror_frames_total");
-    expect("monsoon/synth_block", blocks, "blab_monsoon_synth_blocks_total");
+    expect("mirror/frame", frames + tracer.tail_pending("mirror", "frame"),
+           "blab_mirror_frames_total");
+    expect("monsoon/synth_block",
+           blocks + tracer.tail_pending("monsoon", "synth_block"),
+           "blab_monsoon_synth_blocks_total");
+  }
+};
+
+class RollupAccuracyOracle : public InvariantOracle {
+ public:
+  const char* name() const override { return "rollup-accuracy"; }
+
+  void check(const OracleContext& ctx,
+             std::vector<OracleFinding>& out) override {
+    server::AccessServer* server = ctx.server;
+    if (server == nullptr || !server->health_enabled()) return;
+    health::RollupEngine* engine = server->rollup_engine();
+    store::CaptureStore& store = server->capture_store();
+
+    // Independent fold over the catalog, in the engine's documented order
+    // and arithmetic (ascending CaptureId, plain double accumulation) — the
+    // fleet rollup must reproduce it EXACTLY, no tolerance.
+    double energy = 0.0;
+    double charge = 0.0;
+    double mean_acc = 0.0;
+    std::uint64_t samples = 0;
+    std::size_t captures = 0;
+    for (const store::CaptureId& id :
+         store.catalog(util::TimePoint::epoch(), util::TimePoint::max())) {
+      const auto summary = store.summary(id);
+      if (!summary.ok()) continue;
+      const store::CaptureSummary& s = summary.value();
+      energy += s.energy_mwh;
+      charge += s.charge_mah;
+      mean_acc += s.mean_ma * static_cast<double>(s.samples);
+      samples += s.samples;
+      ++captures;
+      // Chain to ground truth: the summary's energy must be exactly the
+      // store's canonical footer integral (warm and cold paths agree); that
+      // integral's physical accuracy against the relay board's analytic
+      // model is the energy-conservation oracle's job.
+      const auto direct = store.energy_mwh(id);
+      if (!direct.ok() || direct.value() != s.energy_mwh) {
+        out.push_back({name(),
+                       "summary energy diverges from footer integral for " +
+                           id.str()});
+      }
+    }
+    const double mean = samples > 0
+                            ? mean_acc / static_cast<double>(samples)
+                            : 0.0;
+
+    const health::Rollup fleet =
+        engine->compute(health::RollupScope::kFleet);
+    if (fleet.captures_scanned != captures || fleet.groups.size() > 1) {
+      out.push_back({name(), "fleet rollup scanned " +
+                                 std::to_string(fleet.captures_scanned) +
+                                 " captures in " +
+                                 std::to_string(fleet.groups.size()) +
+                                 " group(s), expected " +
+                                 std::to_string(captures) + " in <= 1"});
+      return;
+    }
+    if (captures == 0) return;
+    const health::RollupGroup& g = fleet.groups.front();
+    const auto exact = [&](const char* field, double got, double want) {
+      if (got != want) {
+        out.push_back({name(), std::string{"fleet rollup "} + field + " " +
+                                   util::format_double(got, 9) +
+                                   " != recomputed " +
+                                   util::format_double(want, 9)});
+      }
+    };
+    exact("energy_mwh", g.energy_mwh, energy);
+    exact("charge_mah", g.charge_mah, charge);
+    exact("mean_ma", g.mean_ma, mean);
+    if (g.samples != samples || g.captures != captures) {
+      out.push_back({name(), "fleet rollup counts diverge: " +
+                                 std::to_string(g.captures) + "/" +
+                                 std::to_string(g.samples) + " vs " +
+                                 std::to_string(captures) + "/" +
+                                 std::to_string(samples)});
+    }
+
+    // Job- and vantage-scoped rollups must partition the fleet: identical
+    // capture/sample counts, and the same energy up to summation order
+    // (per-group partial sums re-associate the additions).
+    for (const auto scope :
+         {health::RollupScope::kJob, health::RollupScope::kVantage}) {
+      const health::Rollup partitioned = engine->compute(scope);
+      std::uint64_t part_samples = 0;
+      std::size_t part_captures = 0;
+      double part_energy = 0.0;
+      for (const health::RollupGroup& group : partitioned.groups) {
+        part_samples += group.samples;
+        part_captures += group.captures;
+        part_energy += group.energy_mwh;
+      }
+      if (part_captures != captures || part_samples != samples) {
+        out.push_back({name(),
+                       std::string{health::rollup_scope_name(scope)} +
+                           " rollup does not partition the fleet: " +
+                           std::to_string(part_captures) + "/" +
+                           std::to_string(part_samples) + " vs " +
+                           std::to_string(captures) + "/" +
+                           std::to_string(samples)});
+      }
+      if (std::abs(part_energy - energy) >
+          1e-9 * std::max(1.0, std::abs(energy))) {
+        out.push_back({name(),
+                       std::string{health::rollup_scope_name(scope)} +
+                           " rollup energy " +
+                           util::format_double(part_energy, 9) +
+                           " diverges from fleet " +
+                           util::format_double(energy, 9)});
+      }
+    }
   }
 };
 
@@ -567,6 +688,7 @@ OracleRegistry::OracleRegistry() {
   add(std::make_unique<TraceIntegrityOracle>());
   add(std::make_unique<RetryChainOracle>());
   add(std::make_unique<SpanConservationOracle>());
+  add(std::make_unique<RollupAccuracyOracle>());
 }
 
 void OracleRegistry::add(std::unique_ptr<InvariantOracle> oracle) {

@@ -37,9 +37,16 @@
 //                        exactly one "retry_of" link to the predecessor root
 //   span-conservation    weighted span aggregates are exact: for sampled
 //                        families (mirror frames, Monsoon synthesis blocks)
-//                        the sum of kept-span weights equals the unsampled
-//                        registry counter, and no zero-weight span is ever
-//                        buffered
+//                        the sum of kept-span weights plus spans still
+//                        buffered for a tail-sampling decision equals the
+//                        unsampled registry counter, and no zero-weight span
+//                        is ever buffered
+//   rollup-accuracy      when the fleet health engine is enabled, the fleet
+//                        rollup reproduces an independent ascending-id fold
+//                        over the persisted catalog exactly (energy, charge,
+//                        mean, counts), each capture's summary energy equals
+//                        the store's footer integral bit-for-bit, and the
+//                        job/vantage scopes partition the fleet
 #pragma once
 
 #include <memory>

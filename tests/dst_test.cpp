@@ -222,6 +222,78 @@ TEST(DstRetry, RetryChainsHoldAcrossCorpusSerialAndPooled) {
 }
 
 // ------------------------------------------------------------------------
+// Fleet health engine: with the harness health knob on, every corpus seed
+// stands up the rollup + SLO engines, evaluates SLOs on a recurring
+// maintenance cadence, and answers GET /rollup + GET /health at scenario
+// end. The rollup-accuracy oracle cross-checks the rollups against an
+// independent catalog fold after every step, and the REST bodies must be
+// byte-identical between serial and pooled runs. Like retries, the knob is
+// opt-in because the recurring jobs change the event stream — the pinned
+// golden digests cover only plain runs.
+// ------------------------------------------------------------------------
+
+TEST(DstHealth, RollupsAndHealthHoldAcrossCorpusSerialAndPooled) {
+  const auto seeds = dst::default_corpus(40);
+  const unsigned jobs = g_corpus_jobs == 0 ? 4 : g_corpus_jobs;
+  dst::RunOptions options;
+  options.enable_health = true;
+  const auto serial = dst::run_corpus(seeds, 1, options);
+  const auto pooled = dst::run_corpus(seeds, jobs, options);
+  ASSERT_EQ(serial.size(), seeds.size());
+  ASSERT_EQ(pooled.size(), seeds.size());
+  std::size_t with_captures = 0;
+  double evaluations = 0.0;
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_TRUE(serial[i].ok()) << serial[i].violation_summary();
+    EXPECT_TRUE(pooled[i].ok()) << pooled[i].violation_summary();
+    EXPECT_EQ(serial[i].digest_hex, pooled[i].digest_hex)
+        << "seed " << seeds[i] << " health digest depends on the worker count";
+    EXPECT_EQ(serial[i].rollup_fleet_json, pooled[i].rollup_fleet_json)
+        << "seed " << seeds[i] << " GET /rollup?scope=fleet is not "
+        << "byte-identical between serial and pooled runs";
+    EXPECT_EQ(serial[i].rollup_job_json, pooled[i].rollup_job_json)
+        << "seed " << seeds[i];
+    EXPECT_EQ(serial[i].rollup_vantage_json, pooled[i].rollup_vantage_json)
+        << "seed " << seeds[i];
+    EXPECT_EQ(serial[i].health_json, pooled[i].health_json)
+        << "seed " << seeds[i] << " GET /health is not byte-identical";
+    EXPECT_FALSE(serial[i].rollup_fleet_json.empty()) << "seed " << seeds[i];
+    EXPECT_FALSE(serial[i].health_json.empty()) << "seed " << seeds[i];
+    EXPECT_NE(serial[i].health_json.find("\"overall\""), std::string::npos)
+        << "seed " << seeds[i] << ": " << serial[i].health_json;
+    with_captures += serial[i].captures > 0 ? 1 : 0;
+    evaluations += serial[i].metrics.value_or("blab_slo_evaluations_total");
+  }
+  // The corpus must actually feed the engines: some seeds archive captures
+  // (so the rollup-accuracy oracle sees non-empty catalogs) and the
+  // recurring maintenance job must have evaluated SLOs.
+  EXPECT_GT(with_captures, 0u) << "no corpus seed archived any capture";
+  EXPECT_GT(evaluations, 0.0) << "no recurring SLO evaluation ever ran";
+}
+
+// Turning the health engine on must not perturb what it observes: the
+// pinned golden seeds still pass every oracle (now including
+// rollup-accuracy) and their REST bodies replay byte-identically.
+TEST(DstHealth, HealthRunsAreReplayDeterministic) {
+  for (const std::uint64_t seed : dst::default_corpus(5)) {
+    const auto spec = dst::generate_scenario(seed);
+    dst::RunOptions options;
+    options.enable_health = true;
+    const dst::ScenarioResult first = dst::run_scenario(spec, options);
+    const dst::ScenarioResult second = dst::run_scenario(spec, options);
+    EXPECT_TRUE(first.ok()) << first.violation_summary();
+    EXPECT_EQ(first.digest_hex, second.digest_hex) << "seed " << seed;
+    EXPECT_EQ(first.rollup_fleet_json, second.rollup_fleet_json)
+        << "seed " << seed;
+    EXPECT_EQ(first.rollup_job_json, second.rollup_job_json)
+        << "seed " << seed;
+    EXPECT_EQ(first.rollup_vantage_json, second.rollup_vantage_json)
+        << "seed " << seed;
+    EXPECT_EQ(first.health_json, second.health_json) << "seed " << seed;
+  }
+}
+
+// ------------------------------------------------------------------------
 // Scenario generator properties.
 // ------------------------------------------------------------------------
 
@@ -414,7 +486,7 @@ TEST(Oracles, DefaultRegistryCoversTheDocumentedInvariants) {
       "clock-monotonicity", "scheduler-safety",  "credit-ledger",
       "energy-conservation", "battery-sanity",   "mirroring-lifecycle",
       "dns-cert-consistency", "metric-accounting", "trace-integrity",
-      "retry-chain",          "span-conservation"};
+      "retry-chain",          "span-conservation", "rollup-accuracy"};
   for (const auto& name : expected) {
     EXPECT_NE(std::find(names.begin(), names.end(), name), names.end())
         << "missing oracle: " << name;

@@ -570,6 +570,156 @@ TEST(Sampling, EndMismatchCountingSurvivesSampledOutSpans) {
   EXPECT_EQ(tracer.spans()[0].weight, 2u) << "drop credited the kept frame";
 }
 
+// ------------------------------------------------------- tail sampling ----
+
+// A slow trace (root duration >= threshold) keeps every buffered span at
+// weight 1; a fast trace falls back to head sampling. The decision defers
+// until the root ends — meanwhile the spans sit in tail_pending at full
+// weight, preserving the conservation contract at every instant.
+TEST(TailSampling, SlowTraceKeepsFullFidelityFastTraceHeadSamples) {
+  std::int64_t now_us = 0;
+  obs::Tracer tracer{[&] { return now_us; }};
+  tracer.set_tail_sampling("mirror", "frame", 4, 1000);
+
+  // Slow trace: root spans 0..2000 us, past the 1000 us threshold.
+  const std::uint64_t slow = tracer.begin_detached("mirror", "session");
+  const obs::TraceContext slow_ctx = tracer.context_of(slow);
+  for (int i = 0; i < 8; ++i) {
+    now_us += 250;
+    { obs::ScopedSpan frame{&tracer, "mirror", "frame", slow_ctx}; }
+  }
+  EXPECT_EQ(tracer.tail_pending("mirror", "frame"), 8u)
+      << "undecided spans buffer at full weight";
+  EXPECT_TRUE(tracer.spans().empty()) << "nothing commits before the root";
+  tracer.end(slow);
+  EXPECT_EQ(tracer.tail_pending("mirror", "frame"), 0u);
+  EXPECT_EQ(tracer.tail_slow_traces(), 1u);
+  std::size_t frames = 0;
+  for (const obs::SpanRecord& s : tracer.spans()) {
+    if (s.name != "frame") continue;
+    ++frames;
+    EXPECT_EQ(s.weight, 1u) << "slow-outlier spans commit at weight 1";
+  }
+  EXPECT_EQ(frames, 8u);
+  EXPECT_EQ(tracer.sampled_out(), 0u);
+
+  // Fast trace: root closes immediately, under the threshold. The pending
+  // buffer falls back to keep-1-in-4 with drop credits.
+  const std::size_t before = tracer.spans().size();
+  const std::uint64_t fast = tracer.begin_detached("mirror", "session");
+  const obs::TraceContext fast_ctx = tracer.context_of(fast);
+  for (int i = 0; i < 8; ++i) {
+    obs::ScopedSpan frame{&tracer, "mirror", "frame", fast_ctx};
+  }
+  tracer.end(fast);
+  EXPECT_EQ(tracer.tail_slow_traces(), 1u);
+  std::uint64_t kept = 0, weighted = 0;
+  for (std::size_t i = before; i < tracer.spans().size(); ++i) {
+    const obs::SpanRecord& s = tracer.spans()[i];
+    if (s.name != "frame") continue;
+    ++kept;
+    weighted += s.weight;
+  }
+  EXPECT_EQ(kept, 2u) << "8 frames at keep-1-in-4";
+  EXPECT_EQ(weighted, 8u) << "head fallback still conserves the count";
+  EXPECT_EQ(tracer.sampled_out(), 6u);
+}
+
+// Conservation with the pending term: kept weights + tail_pending equals
+// the exact span count at every instant, before and after the decision.
+TEST(TailSampling, PendingPlusKeptWeightsConserveTheCount) {
+  std::int64_t now_us = 0;
+  obs::Tracer tracer{[&] { return now_us; }};
+  tracer.set_tail_sampling("monsoon", "synth_block", 8, 5000);
+  const std::uint64_t root = tracer.begin_detached("monsoon", "capture");
+  const obs::TraceContext ctx = tracer.context_of(root);
+  for (int i = 0; i < 20; ++i) {
+    now_us += 100;
+    { obs::ScopedSpan block{&tracer, "monsoon", "synth_block", ctx}; }
+    std::uint64_t weighted = 0;
+    for (const obs::SpanRecord& s : tracer.spans()) {
+      if (s.name == "synth_block") weighted += s.weight;
+    }
+    EXPECT_EQ(weighted + tracer.tail_pending("monsoon", "synth_block"),
+              static_cast<std::uint64_t>(i + 1))
+        << "conservation broke at block " << i;
+  }
+  tracer.end(root);  // 2000 us < 5000 us threshold: head fallback
+  std::uint64_t weighted = 0;
+  for (const obs::SpanRecord& s : tracer.spans()) {
+    if (s.name == "synth_block") weighted += s.weight;
+  }
+  EXPECT_EQ(weighted, 20u);
+  EXPECT_EQ(tracer.tail_pending(), 0u);
+  EXPECT_EQ(tracer.weight_uncredited(), 0u);
+}
+
+// Spans of the family that finish AFTER the root's decision inherit it
+// instead of re-buffering.
+TEST(TailSampling, LateSpansFollowTheTraceDecision) {
+  std::int64_t now_us = 0;
+  obs::Tracer tracer{[&] { return now_us; }};
+  tracer.set_tail_sampling("mirror", "frame", 4, 1000);
+  const std::uint64_t root = tracer.begin_detached("mirror", "session");
+  const obs::TraceContext ctx = tracer.context_of(root);
+  now_us += 2000;
+  tracer.end(root);  // slow outlier, decided with zero pending frames
+  for (int i = 0; i < 5; ++i) {
+    obs::ScopedSpan frame{&tracer, "mirror", "frame", ctx};
+  }
+  std::size_t frames = 0;
+  for (const obs::SpanRecord& s : tracer.spans()) {
+    if (s.name != "frame") continue;
+    ++frames;
+    EXPECT_EQ(s.weight, 1u);
+  }
+  EXPECT_EQ(frames, 5u) << "post-decision spans keep full fidelity";
+  EXPECT_EQ(tracer.tail_pending(), 0u);
+}
+
+// A runaway trace cannot hold unbounded spans hostage: at
+// kMaxTailPendingPerTrace the buffered prefix flushes through head sampling
+// and tail_overflows ticks (the conservation oracle bails on that signal).
+TEST(TailSampling, PendingBufferOverflowFlushesPrefix) {
+  std::int64_t now_us = 0;
+  obs::Tracer tracer{[&] { return now_us; }};
+  tracer.set_tail_sampling("mirror", "frame", 4, 1'000'000);
+  const std::uint64_t root = tracer.begin_detached("mirror", "session");
+  const obs::TraceContext ctx = tracer.context_of(root);
+  const std::size_t n = obs::Tracer::kMaxTailPendingPerTrace + 10;
+  for (std::size_t i = 0; i < n; ++i) {
+    now_us += 1;
+    obs::ScopedSpan frame{&tracer, "mirror", "frame", ctx};
+  }
+  EXPECT_EQ(tracer.tail_overflows(), 1u);
+  EXPECT_EQ(tracer.tail_pending("mirror", "frame"), 10u)
+      << "buffering resumes for the remainder after the flush";
+  tracer.end(root);
+  EXPECT_EQ(tracer.tail_pending(), 0u);
+}
+
+// Re-configuring or removing the policy flushes pending spans through the
+// previous policy's head fallback rather than leaking them.
+TEST(TailSampling, RemovingThePolicyFlushesPendingSpans) {
+  std::int64_t now_us = 0;
+  obs::Tracer tracer{[&] { return now_us; }};
+  tracer.set_tail_sampling("mirror", "frame", 2, 1000);
+  const std::uint64_t root = tracer.begin_detached("mirror", "session");
+  const obs::TraceContext ctx = tracer.context_of(root);
+  for (int i = 0; i < 4; ++i) {
+    obs::ScopedSpan frame{&tracer, "mirror", "frame", ctx};
+  }
+  EXPECT_EQ(tracer.tail_pending("mirror", "frame"), 4u);
+  tracer.set_tail_sampling("mirror", "frame", 1, 0);  // remove
+  EXPECT_EQ(tracer.tail_pending(), 0u);
+  std::uint64_t weighted = 0;
+  for (const obs::SpanRecord& s : tracer.spans()) {
+    if (s.name == "frame") weighted += s.weight;
+  }
+  EXPECT_EQ(weighted, 4u) << "the flush conserves every buffered span";
+  tracer.end(root);
+}
+
 // ------------------------------------------------------------- links -----
 
 TEST(Links, TypedCrossTraceEdgesAttachAndCap) {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "hw/power_monitor.hpp"
+#include "obs/metrics.hpp"
 #include "store/capture_store.hpp"
 #include "store/chunked_capture.hpp"
 #include "store/persist/crc32c.hpp"
@@ -388,6 +389,77 @@ TEST(PersistEngine, CheckpointInstallsManifestAndSurvivesRestart) {
   auto intact = engine.load({"vp-2", 2});
   ASSERT_TRUE(intact.ok());
   EXPECT_EQ(intact.value().serialize(), cc.serialize());
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+
+TEST(PersistEngine, CheckpointCausesAreCountedAndLabeled) {
+  const std::string dir = scratch_dir("cause");
+  const ChunkedCapture cc = ChunkedCapture::encode(make_capture(60, 200));
+  persist::PersistEngine engine{dir};
+  ASSERT_TRUE(engine.open().ok());
+  blab::obs::MetricsRegistry registry;
+  engine.attach_metrics(&registry);
+
+  ASSERT_TRUE(engine.append({"vp-a", 1}, "DEV", TimePoint::from_micros(1), cc)
+                  .ok());
+  ASSERT_TRUE(engine.checkpoint(persist::CheckpointCause::kScheduled).ok());
+  ASSERT_TRUE(engine.append({"vp-a", 2}, "DEV", TimePoint::from_micros(2), cc)
+                  .ok());
+  ASSERT_TRUE(engine.checkpoint().ok());  // default: manual
+
+  const auto& by_cause = engine.stats().checkpoints_by_cause;
+  EXPECT_EQ(by_cause[static_cast<std::size_t>(
+                persist::CheckpointCause::kScheduled)],
+            1u);
+  EXPECT_EQ(by_cause[static_cast<std::size_t>(
+                persist::CheckpointCause::kManual)],
+            1u);
+  EXPECT_EQ(engine.stats().checkpoints, 2u);
+
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.value_or("blab_persist_checkpoints_total",
+                          {{"cause", "scheduled"}}),
+            1.0);
+  EXPECT_EQ(snap.value_or("blab_persist_checkpoints_total",
+                          {{"cause", "manual"}}),
+            1.0);
+  EXPECT_STREQ(
+      persist::checkpoint_cause_name(persist::CheckpointCause::kRetention),
+      "retention");
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+
+TEST(PersistEngine, ScanCatalogVisitsWindowAscendingById) {
+  const std::string dir = scratch_dir("scancat");
+  const ChunkedCapture cc = ChunkedCapture::encode(make_capture(61, 100));
+  persist::PersistEngine engine{dir};
+  ASSERT_TRUE(engine.open().ok());
+  // Insert out of id order with distinct stored_at stamps.
+  ASSERT_TRUE(engine.append({"vp-b", 2}, "DEV",
+                            TimePoint::from_micros(2000), cc).ok());
+  ASSERT_TRUE(engine.append({"vp-a", 1}, "DEV",
+                            TimePoint::from_micros(1000), cc).ok());
+  ASSERT_TRUE(engine.append({"vp-c", 3}, "DEV",
+                            TimePoint::from_micros(3000), cc).ok());
+
+  std::vector<CaptureId> seen;
+  engine.scan_catalog(TimePoint::from_micros(0), TimePoint::max(),
+                      [&](const persist::PersistEngine::EntryInfo& e) {
+                        seen.push_back(e.id);
+                      });
+  EXPECT_EQ(seen, (std::vector<CaptureId>{
+                      {"vp-a", 1}, {"vp-b", 2}, {"vp-c", 3}}));
+
+  // [t0, t1) half-open window on stored_at.
+  seen.clear();
+  engine.scan_catalog(TimePoint::from_micros(1000),
+                      TimePoint::from_micros(3000),
+                      [&](const persist::PersistEngine::EntryInfo& e) {
+                        seen.push_back(e.id);
+                      });
+  EXPECT_EQ(seen, (std::vector<CaptureId>{{"vp-a", 1}, {"vp-b", 2}}));
   std::error_code ec;
   fs::remove_all(dir, ec);
 }

@@ -318,6 +318,95 @@ TEST_F(SchedulerFixture, CrashedScriptReleasesMonitor) {
       << "scheduler safety net must stop the capture";
 }
 
+// ---------------------------------------------------------- auto-retry ----
+
+class RetryFixture : public SchedulerFixture {
+ protected:
+  Job failing_job(const std::string& name) {
+    Job job;
+    job.name = name;
+    job.script = [](JobContext&) -> util::Status {
+      return util::make_error(util::ErrorCode::kUnknown, "script exploded");
+    };
+    return job;
+  }
+};
+
+TEST_F(RetryFixture, AutoRetryDisabledByDefault) {
+  auto id = server.submit_job(exp_token, failing_job("boom"));
+  ASSERT_TRUE(server.approve_pipeline(admin_token, id.value()).ok());
+  EXPECT_EQ(server.run_queue(exp_token).value(), 1u);
+  const Job* j = server.scheduler().find(id.value());
+  EXPECT_EQ(j->state, JobState::kFailed);
+  EXPECT_FALSE(j->retried_by.valid()) << "max_attempts=1 means no retries";
+  EXPECT_EQ(server.scheduler().auto_retries(), 0u);
+}
+
+TEST_F(RetryFixture, AutoRetryDefersByBackoffAndKeepsLineage) {
+  const Duration backoff = Duration::minutes(5);
+  server.scheduler().set_retry_policy({.max_attempts = 2, .backoff = backoff});
+  auto id = server.submit_job(exp_token, failing_job("boom"));
+  ASSERT_TRUE(server.approve_pipeline(admin_token, id.value()).ok());
+
+  // First dispatch runs only the original: the auto-retry is queued with a
+  // not_before in the future, so the same dispatch pass cannot run it.
+  EXPECT_EQ(server.run_queue(exp_token).value(), 1u);
+  const Job* original = server.scheduler().find(id.value());
+  ASSERT_NE(original, nullptr);
+  EXPECT_EQ(original->state, JobState::kFailed);
+  ASSERT_TRUE(original->retried_by.valid());
+  const JobId retry_id = original->retried_by;
+  const Job* retry = server.scheduler().find(retry_id);
+  ASSERT_NE(retry, nullptr);
+  EXPECT_EQ(retry->retry_of, id.value());
+  EXPECT_EQ(retry->attempt, 2u);
+  EXPECT_EQ(retry->not_before, sim.now() + backoff);
+  EXPECT_TRUE(retry->pipeline_approved) << "approval carries to the retry";
+
+  // Before the backoff elapses the retry stays parked in the queue.
+  EXPECT_EQ(server.run_queue(exp_token).value(), 0u);
+  sim.run_for(backoff);
+  EXPECT_EQ(server.run_queue(exp_token).value(), 1u);
+  retry = server.scheduler().find(retry_id);
+  EXPECT_EQ(retry->state, JobState::kFailed);
+  EXPECT_FALSE(retry->retried_by.valid())
+      << "max_attempts=2 caps the lineage at one auto-retry";
+
+  EXPECT_EQ(server.scheduler().auto_retries(), 1u);
+  const auto snap = sim.metrics().snapshot();
+  EXPECT_EQ(snap.value_or("blab_scheduler_auto_retries_total",
+                          {{"owner", "alice"}}),
+            1.0);
+  EXPECT_EQ(snap.value_or("blab_scheduler_node_jobs_failed_total",
+                          {{"vp", "node1"}}),
+            2.0);
+}
+
+TEST_F(RetryFixture, OwnerBudgetExhaustionIsCountedNotRetried) {
+  const Duration backoff = Duration::minutes(1);
+  server.scheduler().set_retry_policy(
+      {.max_attempts = 3, .backoff = backoff, .owner_budget = 1});
+  auto id = server.submit_job(exp_token, failing_job("boom"));
+  ASSERT_TRUE(server.approve_pipeline(admin_token, id.value()).ok());
+
+  EXPECT_EQ(server.run_queue(exp_token).value(), 1u);  // attempt 1 + retry
+  sim.run_for(backoff);
+  EXPECT_EQ(server.run_queue(exp_token).value(), 1u);  // attempt 2 fails
+  const Job* original = server.scheduler().find(id.value());
+  ASSERT_TRUE(original->retried_by.valid());
+  const Job* retry = server.scheduler().find(original->retried_by);
+  ASSERT_NE(retry, nullptr);
+  EXPECT_EQ(retry->state, JobState::kFailed);
+  EXPECT_FALSE(retry->retried_by.valid())
+      << "alice's budget of 1 auto-retry is spent";
+
+  EXPECT_EQ(server.scheduler().auto_retries(), 1u);
+  const auto snap = sim.metrics().snapshot();
+  EXPECT_EQ(snap.value_or("blab_scheduler_retry_budget_exhausted_total",
+                          {{"owner", "alice"}}),
+            1.0);
+}
+
 TEST_F(SchedulerFixture, JobsRunSequentiallyPerDevice) {
   std::vector<std::string> order;
   for (int i = 0; i < 3; ++i) {

@@ -414,6 +414,60 @@ TEST(CaptureStore, SummaryQueriesNeverDecodeRawChunks) {
   EXPECT_EQ(store.stats().raw_chunk_decodes, 0u);
 }
 
+TEST(CaptureStore, CatalogFiltersByStoredAtAndSortsById) {
+  CaptureStore store;
+  const auto b = store.append("job-b", "m0", make_capture(40, 100),
+                              TimePoint::epoch() + Duration::minutes(1));
+  const auto a = store.append("job-a", "m1", make_capture(41, 100),
+                              TimePoint::epoch() + Duration::minutes(5));
+  const auto c = store.append("job-c", "m2", make_capture(42, 100),
+                              TimePoint::epoch() + Duration::minutes(9));
+  // Ascending CaptureId order regardless of insertion order — the rollup
+  // engine's determinism contract leans on this.
+  EXPECT_EQ(store.catalog(TimePoint::epoch(), TimePoint::max()),
+            (std::vector<CaptureId>{a, b, c}));
+  // [t0, t1) filters on stored_at.
+  EXPECT_EQ(store.catalog(TimePoint::epoch(),
+                          TimePoint::epoch() + Duration::minutes(5)),
+            (std::vector<CaptureId>{b}));
+  EXPECT_EQ(store.catalog(TimePoint::epoch() + Duration::minutes(5),
+                          TimePoint::max()),
+            (std::vector<CaptureId>{a, c}));
+  EXPECT_TRUE(store.catalog(TimePoint::epoch() + Duration::minutes(30),
+                            TimePoint::max())
+                  .empty());
+}
+
+TEST(CaptureStore, SummaryServesFooterAggregatesWithoutRawDecodes) {
+  CaptureStore store;
+  const Capture original = make_capture(43, 10000);  // 2 s at 5 kHz
+  const auto stored_at = TimePoint::epoch() + Duration::seconds(7);
+  const auto id = store.append("job", "m", original, stored_at);
+  const auto summary = store.summary(id);
+  ASSERT_TRUE(summary.ok()) << summary.error().message;
+  const auto& s = summary.value();
+  EXPECT_EQ(s.id, id);
+  EXPECT_EQ(s.name, "m");
+  EXPECT_EQ(s.stored_at, stored_at);
+  EXPECT_EQ(s.start, original.start());
+  EXPECT_EQ(s.samples, 10000u);
+  EXPECT_DOUBLE_EQ(s.sample_hz, original.sample_hz());
+  EXPECT_DOUBLE_EQ(s.voltage, original.voltage());
+  EXPECT_NEAR(s.mean_ma, original.mean_current_ma(),
+              1e-6 * original.mean_current_ma());
+  EXPECT_NEAR(s.energy_mwh, original.energy_mwh(),
+              1e-6 * original.energy_mwh());
+  EXPECT_GT(s.charge_mah, 0.0);
+  EXPECT_LE(s.min_ma, s.max_ma);
+  // The summary must agree exactly with the individual footer queries the
+  // rollup-accuracy oracle chains to.
+  EXPECT_EQ(s.energy_mwh, store.energy_mwh(id).value());
+  EXPECT_EQ(s.mean_ma, store.mean_ma(id).value());
+  EXPECT_EQ(store.stats().raw_chunk_decodes, 0u);
+  EXPECT_EQ(store.summary(CaptureId{"ghost", 1}).error().code,
+            ErrorCode::kNotFound);
+}
+
 TEST(CaptureStore, WindowedAggregateMatchesRawMeans) {
   CaptureStore store;
   const Capture original = make_capture(25, 10000);  // 2 s at 5 kHz
